@@ -1,0 +1,232 @@
+// Shared infrastructure for the paper-figure benchmark harness.
+//
+// Every bench binary regenerates one figure of the paper's evaluation
+// (Section IV): same workloads, same latency configurations, same series
+// (HART / WOART / ART+CoW / FPTree), printed as a table on stdout.
+// Absolute numbers differ from the paper (different host, emulated PM);
+// the *shape* — who wins, by roughly what factor — is the reproduction
+// target. See EXPERIMENTS.md.
+//
+// Environment knobs (defaults chosen to finish in seconds on a laptop):
+//   HART_BENCH_RECORDS  records for Sequential/Random    (default 100000)
+//   HART_DICT_WORDS     records for Dictionary           (default 100000;
+//                       the paper used the full 466544)
+//   HART_FIG8_MAX       largest record count in Fig. 8   (default 1000000)
+//   HART_BENCH_ARENA_MB arena size per tree              (default 1024)
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "artcow/artcow.h"
+#include "common/histogram.h"
+#include "common/index.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "fptree/fptree.h"
+#include "hart/hart.h"
+#include "pmem/arena.h"
+#include "woart/woart.h"
+#include "workload/keygen.h"
+
+namespace hart::bench {
+
+inline size_t env_size(const char* name, size_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : def;
+}
+
+inline size_t bench_records() { return env_size("HART_BENCH_RECORDS", 100000); }
+inline size_t dict_words() {
+  return env_size("HART_DICT_WORDS", 100000);
+}
+inline size_t arena_mb() { return env_size("HART_BENCH_ARENA_MB", 1024); }
+
+enum class TreeKind { kHart, kWoart, kArtCow, kFpTree };
+inline constexpr TreeKind kAllTrees[] = {TreeKind::kHart, TreeKind::kWoart,
+                                         TreeKind::kArtCow,
+                                         TreeKind::kFpTree};
+
+inline const char* tree_name(TreeKind k) {
+  switch (k) {
+    case TreeKind::kHart: return "HART";
+    case TreeKind::kWoart: return "WOART";
+    case TreeKind::kArtCow: return "ART+CoW";
+    default: return "FPTree";
+  }
+}
+
+inline std::unique_ptr<pmem::Arena> make_bench_arena(
+    const pmem::LatencyConfig& lat, size_t mb = 0) {
+  pmem::Arena::Options o;
+  o.size = (mb != 0 ? mb : arena_mb()) << 20;
+  o.latency = lat;
+  o.shadow = false;  // crash simulation off: measure op cost only
+  o.charge_alloc_persist = true;
+  return std::make_unique<pmem::Arena>(o);
+}
+
+inline std::unique_ptr<common::Index> make_tree(TreeKind k,
+                                                pmem::Arena& arena) {
+  switch (k) {
+    case TreeKind::kHart: return std::make_unique<core::Hart>(arena);
+    case TreeKind::kWoart: return std::make_unique<pmart::Woart>(arena);
+    case TreeKind::kArtCow: return std::make_unique<pmart::ArtCow>(arena);
+    default: return std::make_unique<fptree::FpTree>(arena);
+  }
+}
+
+inline std::vector<pmem::LatencyConfig> paper_configs() {
+  return {pmem::LatencyConfig::c300_100(), pmem::LatencyConfig::c300_300(),
+          pmem::LatencyConfig::c600_300()};
+}
+
+/// Value for key i: 8 bytes, distinct per insert round.
+inline std::string value_for(size_t i, int round = 0) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "v%06zu%d", i % 1000000, round & 7);
+  return std::string(buf, 8);
+}
+
+/// Deterministic in-place shuffle (uniform op order for Search/Update/
+/// Delete measurements, like YCSB's Uniform distribution).
+template <typename T>
+void shuffle(std::vector<T>& v, uint64_t seed) {
+  common::Rng rng(seed);
+  for (size_t i = v.size(); i > 1; --i) std::swap(v[i - 1], v[rng.next_below(i)]);
+}
+
+enum class BasicOp { kInsert, kSearch, kUpdate, kDelete };
+inline const char* op_name(BasicOp op) {
+  switch (op) {
+    case BasicOp::kInsert: return "Insertion";
+    case BasicOp::kSearch: return "Search";
+    case BasicOp::kUpdate: return "Update";
+    default: return "Deletion";
+  }
+}
+
+/// Set HART_BENCH_PERCENTILES=1 to additionally collect per-operation
+/// latency histograms (adds one clock read per op).
+inline bool percentiles_enabled() {
+  const char* v = std::getenv("HART_BENCH_PERCENTILES");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Build a tree with `keys`, then time `op` over all keys (shuffled order
+/// for non-insert ops). Returns average microseconds per operation and,
+/// when enabled and `hist` is non-null, fills the per-op histogram.
+inline double run_basic_op(TreeKind kind, const pmem::LatencyConfig& lat,
+                           const std::vector<std::string>& keys, BasicOp op,
+                           common::LatencyHistogram* hist = nullptr) {
+  auto arena = make_bench_arena(lat);
+  auto tree = make_tree(kind, *arena);
+  const bool record = hist != nullptr && percentiles_enabled();
+
+  auto timed = [&](auto&& body) {
+    if (!record) {
+      body();
+      return;
+    }
+    const common::Stopwatch op_sw;
+    const uint64_t t0 = op_sw.nanos();
+    body();
+    hist->record(op_sw.nanos() - t0);
+  };
+
+  if (op == BasicOp::kInsert) {
+    common::Stopwatch sw;
+    for (size_t i = 0; i < keys.size(); ++i)
+      timed([&] { tree->insert(keys[i], value_for(i)); });
+    return sw.seconds() * 1e6 / static_cast<double>(keys.size());
+  }
+
+  for (size_t i = 0; i < keys.size(); ++i)
+    tree->insert(keys[i], value_for(i));
+  std::vector<const std::string*> order;
+  order.reserve(keys.size());
+  for (const auto& k : keys) order.push_back(&k);
+  shuffle(order, 12345);
+
+  common::Stopwatch sw;
+  switch (op) {
+    case BasicOp::kSearch: {
+      std::string v;
+      size_t hits = 0;
+      for (const auto* k : order) timed([&] { hits += tree->search(*k, &v); });
+      if (hits != keys.size()) std::cerr << "warning: search misses\n";
+      break;
+    }
+    case BasicOp::kUpdate: {
+      for (size_t i = 0; i < order.size(); ++i)
+        timed([&] { tree->update(*order[i], value_for(i, 1)); });
+      break;
+    }
+    case BasicOp::kDelete: {
+      for (const auto* k : order) timed([&] { tree->remove(*k); });
+      break;
+    }
+    default: break;
+  }
+  return sw.seconds() * 1e6 / static_cast<double>(keys.size());
+}
+
+/// Set HART_BENCH_CSV=<path> to append machine-readable rows
+/// (figure,workload,latency,tree,us_per_op) alongside the tables.
+inline void csv_row(const char* fig, const std::string& workload,
+                    const std::string& latency, const char* tree,
+                    double us_per_op) {
+  const char* path = std::getenv("HART_BENCH_CSV");
+  if (path == nullptr) return;
+  if (FILE* f = std::fopen(path, "a"); f != nullptr) {
+    std::fprintf(f, "%s,%s,%s,%s,%.6f\n", fig, workload.c_str(),
+                 latency.c_str(), tree, us_per_op);
+    std::fclose(f);
+  }
+}
+
+/// Figs. 4-7: one sub-figure per workload, rows = latency config,
+/// series = tree; cells are avg µs per operation.
+inline void run_basic_op_figure(const char* fig, BasicOp op) {
+  std::cout << fig << ": " << op_name(op)
+            << " performance (avg time per record, microseconds)\n"
+            << "Series: HART | WOART | ART+CoW | FPTree; rows: PM "
+               "write/read latency (ns)\n\n";
+  const workload::WorkloadKind kinds[] = {workload::WorkloadKind::kDictionary,
+                                          workload::WorkloadKind::kSequential,
+                                          workload::WorkloadKind::kRandom};
+  for (const auto wk : kinds) {
+    const size_t n = wk == workload::WorkloadKind::kDictionary
+                         ? dict_words()
+                         : bench_records();
+    const auto keys = workload::make_workload(wk, n);
+    common::Table table({std::string("(") + workload::workload_name(wk) +
+                             ", n=" + std::to_string(n) + ")",
+                         "HART", "WOART", "ART+CoW", "FPTree"});
+    std::vector<std::string> tails;
+    for (const auto& lat : paper_configs()) {
+      std::vector<std::string> row{lat.label()};
+      for (const auto kind : kAllTrees) {
+        common::LatencyHistogram hist;
+        const double us = run_basic_op(kind, lat, keys, op, &hist);
+        row.push_back(common::Table::num(us));
+        csv_row(fig, workload::workload_name(wk), lat.label(),
+                tree_name(kind), us);
+        if (hist.count() > 0)
+          tails.push_back(std::string(tree_name(kind)) + " @ " +
+                          lat.label() + ": " + hist.summary());
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    for (const auto& t : tails) std::cout << "  " << t << '\n';
+    std::cout << '\n';
+  }
+}
+
+}  // namespace hart::bench

@@ -1,0 +1,28 @@
+// Fig. 10b: memory consumption (PM and DRAM) after inserting the
+// Sequential workload. Paper shape (at 100M records): WOART/ART+CoW use no
+// DRAM; HART uses the most DRAM (NODE256-heavy internal nodes + hash
+// table); FPTree uses more PM than HART (fingerprints, no leaf
+// coalescing). PM figures here are logical (requested) bytes.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace hart::bench;
+  const size_t n = bench_records();
+  const auto keys = hart::workload::make_sequential(n);
+  const auto lat = hart::pmem::LatencyConfig::off();
+
+  std::cout << "Fig. 10b: memory consumption, Sequential, " << n
+            << " records (MB)\n\n";
+  hart::common::Table table({"tree", "PM (MB)", "DRAM (MB)"});
+  for (const auto kind : kAllTrees) {
+    auto arena = make_bench_arena(lat);
+    auto tree = make_tree(kind, *arena);
+    for (size_t i = 0; i < n; ++i) tree->insert(keys[i], value_for(i));
+    const auto mu = tree->memory_usage();
+    table.add_row({tree_name(kind),
+                   hart::common::Table::num(mu.pm_bytes / 1048576.0, 2),
+                   hart::common::Table::num(mu.dram_bytes / 1048576.0, 2)});
+  }
+  table.print();
+  return 0;
+}

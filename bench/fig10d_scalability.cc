@@ -1,0 +1,86 @@
+// Fig. 10d: HART multi-threaded scalability — MIOPS for each basic
+// operation at 1/2/4/8/16 threads, Random, 300/100. Paper shape:
+// near-linear to the physical core count (x7.1-7.3 at 8 threads),
+// sub-linear beyond it (hyper-threading), search scaling best (readers
+// share the per-ART lock).
+#include <thread>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace hart::bench;
+
+double run_threads(hart::core::Hart& h,
+                   const std::vector<std::string>& keys, BasicOp op,
+                   unsigned threads, size_t ops_per_thread) {
+  std::vector<std::thread> pool;
+  hart::common::Stopwatch sw;
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      hart::common::Rng rng(t + 1);
+      std::string v;
+      for (size_t i = 0; i < ops_per_thread; ++i) {
+        switch (op) {
+          case BasicOp::kInsert: {
+            // Fresh keys: a disjoint tail slice per thread.
+            const size_t idx =
+                keys.size() / 2 + t * ops_per_thread + i;
+            h.insert(keys[idx], value_for(idx));
+            break;
+          }
+          case BasicOp::kSearch:
+            h.search(keys[rng.next_below(keys.size() / 2)], &v);
+            break;
+          case BasicOp::kUpdate:
+            h.update(keys[rng.next_below(keys.size() / 2)],
+                     value_for(i, 1));
+            break;
+          default: {  // delete a disjoint preloaded slice per thread
+            const size_t idx = t * ops_per_thread + i;
+            h.remove(keys[idx]);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const double total = static_cast<double>(threads) *
+                       static_cast<double>(ops_per_thread);
+  return total / sw.seconds() / 1e6;  // MIOPS
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = bench_records();  // preload size
+  const auto lat = hart::pmem::LatencyConfig::c300_100();
+  const unsigned max_threads = 16;
+  const size_t ops_total = n / 4;
+  // Key pool: first half preloaded, second half reserved for inserts
+  // (16 threads x ops_per_thread must fit).
+  const auto keys = hart::workload::make_random(2 * n + 16 * ops_total, 42);
+
+  std::cout << "Fig. 10d: HART scalability (MIOPS), Random, 300/100, "
+            << n << " preloaded records, hardware threads available: "
+            << std::thread::hardware_concurrency() << "\n\n";
+
+  hart::common::Table table(
+      {"threads", "Insertion", "Search", "Update", "Deletion"});
+  for (const unsigned threads : {1u, 2u, 4u, 8u, max_threads}) {
+    const size_t per_thread = ops_total / threads;
+    std::vector<std::string> row{std::to_string(threads)};
+    for (const BasicOp op : {BasicOp::kInsert, BasicOp::kSearch,
+                             BasicOp::kUpdate, BasicOp::kDelete}) {
+      auto arena = make_bench_arena(lat);
+      hart::core::Hart h(*arena);
+      for (size_t i = 0; i < n; ++i) h.insert(keys[i], value_for(i));
+      row.push_back(hart::common::Table::num(
+          run_threads(h, keys, op, threads, per_thread), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

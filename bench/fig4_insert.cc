@@ -1,0 +1,10 @@
+// Fig. 4: insertion performance of the four persistent trees under
+// Dictionary / Sequential / Random and the three PM latency configs.
+// Paper shape: HART fastest everywhere (1.4x-4x over WOART, up to ~4x over
+// FPTree); ART+CoW worst in most cases.
+#include "bench/bench_common.h"
+
+int main() {
+  hart::bench::run_basic_op_figure("Fig. 4", hart::bench::BasicOp::kInsert);
+  return 0;
+}

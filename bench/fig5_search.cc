@@ -1,0 +1,8 @@
+// Fig. 5: search performance. Paper shape: HART best at 300/300 and
+// 600/300; at 300/100 (PM read == DRAM read) WOART matches or beats HART.
+#include "bench/bench_common.h"
+
+int main() {
+  hart::bench::run_basic_op_figure("Fig. 5", hart::bench::BasicOp::kSearch);
+  return 0;
+}

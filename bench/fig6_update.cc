@@ -1,0 +1,8 @@
+// Fig. 6: update performance. Paper shape: HART beats WOART/ART+CoW in
+// most cases (faster leaf location) and FPTree in all cases.
+#include "bench/bench_common.h"
+
+int main() {
+  hart::bench::run_basic_op_figure("Fig. 6", hart::bench::BasicOp::kUpdate);
+  return 0;
+}

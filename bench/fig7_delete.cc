@@ -1,0 +1,9 @@
+// Fig. 7: deletion performance. Paper shape: FPTree best on the small
+// Dictionary workload, worst on the larger ones; HART strongest when PM
+// latency exceeds DRAM on larger data sets.
+#include "bench/bench_common.h"
+
+int main() {
+  hart::bench::run_basic_op_figure("Fig. 7", hart::bench::BasicOp::kDelete);
+  return 0;
+}

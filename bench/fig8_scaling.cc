@@ -1,0 +1,41 @@
+// Fig. 8: impact of the number of records on the four basic operations —
+// total time (seconds) vs record count, Random workload, 300/100.
+// Paper shape: HART scales best on insertion; the three ART-based trees are
+// close on search/update at this config; FPTree worst at search.
+// Record counts are the paper's {1,10,50,100} M scaled down by
+// HART_FIG8_MAX (default 1M) at the same 1:10:50:100 ratios.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace hart::bench;
+  const size_t max_n = env_size("HART_FIG8_MAX", 1000000);
+  const std::vector<size_t> sizes = {max_n / 100, max_n / 10, max_n / 2,
+                                     max_n};
+  const auto lat = hart::pmem::LatencyConfig::c300_100();
+  std::cout << "Fig. 8: total time (seconds) vs number of records, Random, "
+               "300/100\n(paper: 1M..100M records; here scaled to "
+            << max_n << " via HART_FIG8_MAX)\n\n";
+
+  const auto all_keys = hart::workload::make_random(max_n, 42);
+
+  for (const BasicOp op : {BasicOp::kInsert, BasicOp::kSearch,
+                           BasicOp::kUpdate, BasicOp::kDelete}) {
+    hart::common::Table table(
+        {std::string(op_name(op)) + " / records", "HART", "WOART",
+         "ART+CoW", "FPTree"});
+    for (const size_t n : sizes) {
+      const std::vector<std::string> keys(all_keys.begin(),
+                                          all_keys.begin() + n);
+      std::vector<std::string> row{std::to_string(n)};
+      for (const auto kind : kAllTrees) {
+        const double us = run_basic_op(kind, lat, keys, op);
+        row.push_back(hart::common::Table::num(
+            us * static_cast<double>(n) / 1e6, 3));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    std::cout << '\n';
+  }
+  return 0;
+}

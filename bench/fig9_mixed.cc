@@ -1,0 +1,60 @@
+// Fig. 9: YCSB-style mixed workloads (Uniform distribution) — avg time per
+// operation for Read-Intensive, Read-Modified-Write and Write-Intensive
+// mixes. Paper shape: HART wins everywhere except Read-Modified-Write at
+// 300/100, where WOART/ART+CoW edge it out.
+#include "bench/bench_common.h"
+#include "workload/mixes.h"
+
+int main() {
+  using namespace hart::bench;
+  const size_t n_ops = bench_records();
+  const size_t preload = n_ops / 2;
+  // Pool: enough distinct keys for preload plus the insert share.
+  const auto pool = hart::workload::make_random(preload + n_ops / 2 + 16, 7);
+
+  std::cout << "Fig. 9: mixed workloads (avg time per op, microseconds), "
+            << n_ops << " ops over " << preload << " preloaded records\n\n";
+
+  for (const auto& mix :
+       {hart::workload::kReadIntensive, hart::workload::kReadModifyWrite,
+        hart::workload::kWriteIntensive}) {
+    const auto ops =
+        hart::workload::make_mixed_ops(n_ops, preload, pool.size(), mix, 3);
+    hart::common::Table table({std::string("(") + mix.name + ")", "HART",
+                               "WOART", "ART+CoW", "FPTree"});
+    for (const auto& lat : paper_configs()) {
+      std::vector<std::string> row{lat.label()};
+      for (const auto kind : kAllTrees) {
+        auto arena = make_bench_arena(lat);
+        auto tree = make_tree(kind, *arena);
+        for (size_t i = 0; i < preload; ++i)
+          tree->insert(pool[i], value_for(i));
+        hart::common::Stopwatch sw;
+        std::string v;
+        for (const auto& op : ops) {
+          const std::string& key = pool[op.key_idx];
+          switch (op.type) {
+            case hart::workload::OpType::kInsert:
+              tree->insert(key, value_for(op.key_idx));
+              break;
+            case hart::workload::OpType::kSearch:
+              tree->search(key, &v);
+              break;
+            case hart::workload::OpType::kUpdate:
+              tree->update(key, value_for(op.key_idx, 1));
+              break;
+            case hart::workload::OpType::kDelete:
+              tree->remove(key);
+              break;
+          }
+        }
+        row.push_back(hart::common::Table::num(
+            sw.seconds() * 1e6 / static_cast<double>(ops.size())));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    std::cout << '\n';
+  }
+  return 0;
+}

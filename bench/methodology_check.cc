@@ -1,0 +1,68 @@
+// Validates the PM read-latency emulation methodology against the paper's
+// (Section IV.A): the paper measures CPU stall cycles S on remote-NUMA
+// loads, then adds the derived extra read latency *off-line* (equations
+// (1)-(2)). Our device model supports both:
+//   (a) on-line injection: pm_read() busy-waits extra_read_ns per line;
+//   (b) off-line adjustment: run with read injection off, count touched PM
+//       lines, and add lines x extra_read_ns to the measured time.
+// This bench runs a search workload both ways and reports the disagreement
+// — it should be small, which justifies using on-line injection in the
+// figure benches.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace hart::bench;
+  const size_t n = bench_records();
+  const auto keys = hart::workload::make_random(n, 42);
+
+  std::cout << "Methodology check: on-line PM-read injection vs the "
+               "paper's off-line stall-cycle adjustment (search, Random, "
+            << n << " records)\n\n";
+  hart::common::Table table({"tree", "online us/op", "offline us/op",
+                             "disagreement"});
+  for (const auto kind : kAllTrees) {
+    // (a) On-line: 300/300 injects 200 ns per touched PM line.
+    double online_us = 0;
+    {
+      auto arena = make_bench_arena(hart::pmem::LatencyConfig::c300_300());
+      auto tree = make_tree(kind, *arena);
+      for (size_t i = 0; i < keys.size(); ++i)
+        tree->insert(keys[i], value_for(i));
+      hart::common::Stopwatch sw;
+      std::string v;
+      for (const auto& k : keys) tree->search(k, &v);
+      online_us = sw.seconds() * 1e6 / static_cast<double>(n);
+    }
+    // (b) Off-line: run at 300/100 (no read delta), count lines, adjust.
+    double offline_us = 0;
+    {
+      auto arena = make_bench_arena(hart::pmem::LatencyConfig::c300_100());
+      auto tree = make_tree(kind, *arena);
+      for (size_t i = 0; i < keys.size(); ++i)
+        tree->insert(keys[i], value_for(i));
+      const uint64_t lines_before = arena->stats().pm_read_lines.load();
+      hart::common::Stopwatch sw;
+      std::string v;
+      for (const auto& k : keys) tree->search(k, &v);
+      const double base_us = sw.seconds() * 1e6 / static_cast<double>(n);
+      const uint64_t lines =
+          arena->stats().pm_read_lines.load() - lines_before;
+      // Equations (1)-(2) with S expressed directly in stalled PM lines:
+      // delta = lines * (L_PM - L_DRAM).
+      const double extra_us =
+          static_cast<double>(lines) *
+          hart::pmem::LatencyConfig::c300_300().extra_read_ns() / 1e3 /
+          static_cast<double>(n);
+      offline_us = base_us + extra_us;
+    }
+    const double disagree =
+        online_us > 0 ? (online_us - offline_us) / online_us * 100.0 : 0;
+    table.add_row({tree_name(kind), hart::common::Table::num(online_us),
+                   hart::common::Table::num(offline_us),
+                   hart::common::Table::num(disagree, 1) + "%"});
+  }
+  table.print();
+  std::cout << "\n(positive disagreement = busy-wait overshoot of the "
+               "on-line spin loop)\n";
+  return 0;
+}

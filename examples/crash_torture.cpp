@@ -1,0 +1,89 @@
+// Crash-torture demo: sweep a simulated crash across the persist points of
+// a write-heavy run, recover after each crash, and verify HART's
+// guarantees — committed data survives, uncommitted data vanishes, and no
+// persistent memory leaks (the byte accounting balances against the
+// reachable chunks every time).
+//
+//   $ ./examples/crash_torture [sweeps=40]
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "hart/hart.h"
+#include "workload/keygen.h"
+
+int main(int argc, char** argv) {
+  const uint64_t sweeps = argc > 1 ? std::stoul(argv[1]) : 40;
+  const auto keys = hart::workload::make_random(400, 99, 4, 12);
+
+  uint64_t crashes = 0, total_committed = 0;
+  for (uint64_t sweep = 1; sweep <= sweeps; ++sweep) {
+    const uint64_t crash_at = sweep * 37;  // deeper into the run each time
+
+    hart::pmem::Arena::Options opts;
+    opts.size = 64 << 20;
+    opts.shadow = true;  // crash simulation needs the flush-tracking shadow
+    hart::pmem::Arena arena(opts);
+
+    size_t committed = 0;
+    {
+      hart::core::Hart index(arena);
+      arena.arm_crash_after(crash_at);
+      try {
+        hart::common::Rng rng(sweep);
+        for (const auto& k : keys) {
+          index.insert(k, "v" + k.substr(0, 4));
+          ++committed;
+          if (rng.next_below(4) == 0) {
+            index.update(k, "u" + k.substr(0, 4));
+          }
+        }
+        arena.disarm_crash();
+      } catch (const hart::pmem::CrashPoint&) {
+        arena.crash();  // lose everything that was not flushed
+        ++crashes;
+      }
+    }
+
+    // Recovery: rebuild DRAM state from the persistent leaf chunks.
+    hart::core::Hart recovered(arena);
+
+    // 1) committed keys present, 2) at most the in-flight op extra.
+    size_t present = 0;
+    for (size_t i = 0; i < committed; ++i) {
+      std::string v;
+      if (!recovered.search(keys[i], &v)) {
+        std::cerr << "LOST committed key " << keys[i] << " (crash_at="
+                  << crash_at << ")\n";
+        return 1;
+      }
+      ++present;
+    }
+    if (recovered.size() > committed + 1) {
+      std::cerr << "phantom keys after recovery\n";
+      return 1;
+    }
+
+    // 3) leak freedom: PM live bytes == bytes of reachable chunks.
+    uint64_t reachable = 0;
+    for (auto t : {hart::epalloc::ObjType::kLeaf,
+                   hart::epalloc::ObjType::kValue8,
+                   hart::epalloc::ObjType::kValue16,
+                   hart::epalloc::ObjType::kValue32,
+                   hart::epalloc::ObjType::kValue64})
+      reachable += recovered.allocator().chunk_count(t) *
+                   recovered.allocator().geom(t).chunk_bytes;
+    if (arena.stats().pm_live_bytes.load() != reachable) {
+      std::cerr << "LEAK: live=" << arena.stats().pm_live_bytes.load()
+                << " reachable=" << reachable << "\n";
+      return 1;
+    }
+    total_committed += present;
+  }
+
+  std::cout << "crash torture: " << sweeps << " sweeps, " << crashes
+            << " crashes fired, " << total_committed
+            << " committed records verified, 0 lost, 0 leaked\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Run a YCSB-style mixed workload (the paper's Fig. 9 mixes) against any of
+// the four trees, with a chosen PM latency configuration.
+//
+//   $ ./examples/ycsb_mix                    # defaults: hart ri 300/300
+//   $ ./examples/ycsb_mix woart wi 600/300 200000 zipf
+//   trees: hart woart artcow fptree
+//   mixes: ri (read-intensive) rmw (read-modified-write) wi (write-intensive)
+//   latencies: 300/100 300/300 600/300 off
+//   distributions: uniform (paper) zipf latest (extensions)
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "artcow/artcow.h"
+#include "common/stopwatch.h"
+#include "fptree/fptree.h"
+#include "hart/hart.h"
+#include "woart/woart.h"
+#include "workload/keygen.h"
+#include "workload/mixes.h"
+
+int main(int argc, char** argv) {
+  const std::string tree = argc > 1 ? argv[1] : "hart";
+  const std::string mix_name = argc > 2 ? argv[2] : "ri";
+  const std::string lat_name = argc > 3 ? argv[3] : "300/300";
+  const size_t n_ops = argc > 4 ? std::stoul(argv[4]) : 100000;
+  const std::string dist_name = argc > 5 ? argv[5] : "uniform";
+  hart::workload::DistKind dist = hart::workload::DistKind::kUniform;
+  if (dist_name == "zipf") dist = hart::workload::DistKind::kZipfian;
+  else if (dist_name == "latest") dist = hart::workload::DistKind::kLatest;
+
+  hart::pmem::LatencyConfig lat = hart::pmem::LatencyConfig::off();
+  if (lat_name == "300/100") lat = hart::pmem::LatencyConfig::c300_100();
+  else if (lat_name == "300/300") lat = hart::pmem::LatencyConfig::c300_300();
+  else if (lat_name == "600/300") lat = hart::pmem::LatencyConfig::c600_300();
+
+  const hart::workload::MixSpec* mix = &hart::workload::kReadIntensive;
+  if (mix_name == "rmw") mix = &hart::workload::kReadModifyWrite;
+  else if (mix_name == "wi") mix = &hart::workload::kWriteIntensive;
+
+  hart::pmem::Arena::Options opts;
+  opts.size = size_t{1} << 30;
+  opts.latency = lat;
+  hart::pmem::Arena arena(opts);
+
+  std::unique_ptr<hart::common::Index> index;
+  if (tree == "woart") index = std::make_unique<hart::pmart::Woart>(arena);
+  else if (tree == "artcow") index = std::make_unique<hart::pmart::ArtCow>(arena);
+  else if (tree == "fptree") index = std::make_unique<hart::fptree::FpTree>(arena);
+  else index = std::make_unique<hart::core::Hart>(arena);
+
+  const size_t preload = n_ops / 2;
+  const auto pool = hart::workload::make_random(preload + n_ops / 2 + 16, 7);
+  const auto ops = hart::workload::make_mixed_ops(n_ops, preload,
+                                                  pool.size(), *mix, 3, dist);
+
+  for (size_t i = 0; i < preload; ++i) index->insert(pool[i], "00000000");
+
+  hart::common::Stopwatch sw;
+  std::string v;
+  size_t done[4] = {0, 0, 0, 0};
+  for (const auto& op : ops) {
+    const std::string& key = pool[op.key_idx];
+    switch (op.type) {
+      case hart::workload::OpType::kInsert: index->insert(key, "11111111"); break;
+      case hart::workload::OpType::kSearch: index->search(key, &v); break;
+      case hart::workload::OpType::kUpdate: index->update(key, "22222222"); break;
+      case hart::workload::OpType::kDelete: index->remove(key); break;
+    }
+    ++done[static_cast<int>(op.type)];
+  }
+  const double secs = sw.seconds();
+
+  std::cout << index->name() << ", " << mix->name << ", " << lat_name
+            << ", " << hart::workload::dist_name(dist)
+            << ", " << n_ops << " ops over " << preload
+            << " preloaded records\n"
+            << "  inserts=" << done[0] << " searches=" << done[1]
+            << " updates=" << done[2] << " deletes=" << done[3] << "\n"
+            << "  total " << secs << " s, "
+            << secs * 1e6 / static_cast<double>(n_ops) << " us/op, "
+            << static_cast<double>(n_ops) / secs / 1e6 << " Mops/s\n";
+  const auto mem = index->memory_usage();
+  std::cout << "  PM " << mem.pm_bytes / 1048576.0 << " MB, DRAM "
+            << mem.dram_bytes / 1048576.0 << " MB\n";
+  return 0;
+}

@@ -1,0 +1,649 @@
+// Volatile (DRAM) Adaptive Radix Tree — Leis et al., ICDE 2013 — used by
+// HART as its internal-node engine (paper Fig. 1: internal nodes live in
+// DRAM, only leaf nodes live in PM).
+//
+// The tree stores opaque leaf pointers supplied by the caller; `Traits`
+// tells it how to read a leaf's key bytes. All four adaptive node types
+// (NODE4/16/48/256) are implemented, with sorted keys in NODE4/16, path
+// compression (pessimistic prefixes up to kMaxPrefixLen bytes with min-leaf
+// fallback for longer prefixes) and lazy expansion.
+//
+// Key model: a key is a byte string without NUL bytes; the tree appends an
+// implicit 0x00 terminator so that a key that is a strict prefix of another
+// gets its own slot (the same convention as libart, which the paper's
+// implementation was based on). Iteration order is therefore plain
+// lexicographic order.
+//
+// Concurrency: single writer, or multiple readers with no writer — HART
+// enforces this with one reader/writer lock per ART (Section III.A.3).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace hart::art {
+
+using Key = std::span<const uint8_t>;
+
+inline constexpr uint32_t kMaxPrefixLen = 10;
+
+/// Byte of `k` at logical depth `d`, with the implicit terminator: positions
+/// at or past the end read as 0x00.
+inline uint32_t key_at(Key k, uint32_t d) {
+  return d < k.size() ? k[d] : 0u;
+}
+/// Logical key length including the terminator.
+inline uint32_t key_len(Key k) { return static_cast<uint32_t>(k.size()) + 1; }
+
+namespace detail {
+
+enum NodeType : uint8_t { kNode4 = 1, kNode16 = 2, kNode48 = 3, kNode256 = 4 };
+
+struct Node {
+  uint8_t type;
+  uint16_t num_children = 0;  // NODE256 can hold 256 children
+  uint32_t prefix_len = 0;              // logical length of the compressed path
+  uint8_t prefix[kMaxPrefixLen] = {0};  // first min(prefix_len, kMax) bytes
+};
+
+struct Node4 : Node {
+  uint8_t keys[4];
+  Node* children[4];
+};
+struct Node16 : Node {
+  uint8_t keys[16];
+  Node* children[16];
+};
+struct Node48 : Node {
+  uint8_t child_index[256];  // 0xFF = empty, else slot into children
+  Node* children[48];
+};
+struct Node256 : Node {
+  Node* children[256];
+};
+
+inline constexpr uint8_t kEmptySlot = 0xFF;
+
+}  // namespace detail
+
+/// Traits must provide:
+///   using Leaf = <leaf type>;
+///   Key key(const Leaf*) const;   // the leaf's ART key bytes (no terminator)
+template <class Traits>
+class Tree {
+  using Node = detail::Node;
+  using Node4 = detail::Node4;
+  using Node16 = detail::Node16;
+  using Node48 = detail::Node48;
+  using Node256 = detail::Node256;
+
+ public:
+  using Leaf = typename Traits::Leaf;
+
+  /// `dram_bytes` (optional) tracks this tree's internal-node footprint.
+  explicit Tree(Traits traits = Traits{},
+                std::atomic<uint64_t>* dram_bytes = nullptr)
+      : traits_(traits), dram_bytes_(dram_bytes) {}
+  ~Tree() { clear(); }
+  Tree(const Tree&) = delete;
+  Tree& operator=(const Tree&) = delete;
+
+  [[nodiscard]] bool empty() const { return root_ == nullptr; }
+  [[nodiscard]] size_t size() const { return count_; }
+
+  /// Point lookup; nullptr if absent.
+  [[nodiscard]] Leaf* search(Key k) const {
+    Node* n = root_;
+    uint32_t depth = 0;
+    while (n != nullptr) {
+      if (is_leaf(n)) {
+        Leaf* l = as_leaf(n);
+        return leaf_matches(l, k) ? l : nullptr;
+      }
+      if (n->prefix_len > 0) {
+        // Optimistic skip: verify only the stored bytes, confirm at leaf.
+        const uint32_t m = std::min(n->prefix_len, kMaxPrefixLen);
+        for (uint32_t i = 0; i < m; ++i)
+          if (n->prefix[i] != key_at(k, depth + i)) return nullptr;
+        depth += n->prefix_len;
+      }
+      Node* const* child = find_child(n, key_at(k, depth));
+      n = child != nullptr ? *child : nullptr;
+      ++depth;
+    }
+    return nullptr;
+  }
+
+  /// Insert `leaf` under key `k`. If the key already exists, nothing is
+  /// modified and the existing leaf is returned; otherwise returns nullptr.
+  Leaf* insert(Key k, Leaf* leaf) { return insert_rec(root_, k, leaf, 0); }
+
+  /// Remove the leaf with key `k`; returns it (caller owns leaf memory), or
+  /// nullptr if absent.
+  Leaf* remove(Key k) { return remove_rec(root_, k, 0); }
+
+  /// Leftmost (smallest-key) leaf; nullptr when empty.
+  [[nodiscard]] Leaf* minimum() const {
+    return root_ ? minimum(root_) : nullptr;
+  }
+
+  /// In-order traversal of all leaves; `fn(Leaf*)` returns false to stop.
+  /// Returns false iff stopped early.
+  template <class F>
+  bool for_each(F&& fn) const {
+    return root_ == nullptr || walk_all(root_, fn);
+  }
+
+  /// In-order traversal of leaves with key >= lo.
+  template <class F>
+  bool for_each_from(Key lo, F&& fn) const {
+    return root_ == nullptr || walk_from(root_, lo, 0, fn);
+  }
+
+  /// Free all internal nodes (leaves are owned by the caller).
+  void clear() {
+    if (root_ != nullptr) {
+      clear_rec(root_);
+      root_ = nullptr;
+      count_ = 0;
+    }
+  }
+
+ private:
+  // ---- leaf tagging ----------------------------------------------------
+  static bool is_leaf(const Node* n) {
+    return (reinterpret_cast<uintptr_t>(n) & 1) != 0;
+  }
+  static Leaf* as_leaf(const Node* n) {
+    return reinterpret_cast<Leaf*>(reinterpret_cast<uintptr_t>(n) & ~uintptr_t{1});
+  }
+  static Node* tag_leaf(Leaf* l) {
+    return reinterpret_cast<Node*>(reinterpret_cast<uintptr_t>(l) | 1);
+  }
+  bool leaf_matches(const Leaf* l, Key k) const {
+    const Key lk = traits_.key(l);
+    return lk.size() == k.size() &&
+           std::memcmp(lk.data(), k.data(), k.size()) == 0;
+  }
+
+  // ---- node memory ------------------------------------------------------
+  template <class N>
+  N* alloc_node(detail::NodeType t) {
+    N* n = new N();
+    n->type = t;
+    if (dram_bytes_)
+      dram_bytes_->fetch_add(sizeof(N), std::memory_order_relaxed);
+    return n;
+  }
+  void free_node(Node* n) {
+    if (dram_bytes_)
+      dram_bytes_->fetch_sub(node_size(n), std::memory_order_relaxed);
+    switch (n->type) {
+      case detail::kNode4: delete static_cast<Node4*>(n); break;
+      case detail::kNode16: delete static_cast<Node16*>(n); break;
+      case detail::kNode48: delete static_cast<Node48*>(n); break;
+      default: delete static_cast<Node256*>(n); break;
+    }
+  }
+  static size_t node_size(const Node* n) {
+    switch (n->type) {
+      case detail::kNode4: return sizeof(Node4);
+      case detail::kNode16: return sizeof(Node16);
+      case detail::kNode48: return sizeof(Node48);
+      default: return sizeof(Node256);
+    }
+  }
+
+  void clear_rec(Node* n) {
+    if (is_leaf(n)) return;
+    for_each_child(n, [&](uint32_t, Node* c) {
+      clear_rec(c);
+      return true;
+    });
+    free_node(n);
+  }
+
+  // ---- child access -------------------------------------------------------
+  static Node* const* find_child(const Node* n, uint32_t byte) {
+    switch (n->type) {
+      case detail::kNode4: {
+        const auto* p = static_cast<const Node4*>(n);
+        for (int i = 0; i < p->num_children; ++i)
+          if (p->keys[i] == byte) return &p->children[i];
+        return nullptr;
+      }
+      case detail::kNode16: {
+        const auto* p = static_cast<const Node16*>(n);
+        for (int i = 0; i < p->num_children; ++i)
+          if (p->keys[i] == byte) return &p->children[i];
+        return nullptr;
+      }
+      case detail::kNode48: {
+        const auto* p = static_cast<const Node48*>(n);
+        const uint8_t slot = p->child_index[byte];
+        return slot == detail::kEmptySlot ? nullptr : &p->children[slot];
+      }
+      default: {
+        const auto* p = static_cast<const Node256*>(n);
+        return p->children[byte] != nullptr ? &p->children[byte] : nullptr;
+      }
+    }
+  }
+  static Node** find_child(Node* n, uint32_t byte) {
+    return const_cast<Node**>(find_child(static_cast<const Node*>(n), byte));
+  }
+
+  /// Invoke f(byte, child) in ascending key-byte order; f returns false to
+  /// stop. Returns false iff stopped.
+  template <class F>
+  static bool for_each_child(const Node* n, F&& f) {
+    switch (n->type) {
+      case detail::kNode4: {
+        const auto* p = static_cast<const Node4*>(n);
+        for (int i = 0; i < p->num_children; ++i)
+          if (!f(p->keys[i], p->children[i])) return false;
+        return true;
+      }
+      case detail::kNode16: {
+        const auto* p = static_cast<const Node16*>(n);
+        for (int i = 0; i < p->num_children; ++i)
+          if (!f(p->keys[i], p->children[i])) return false;
+        return true;
+      }
+      case detail::kNode48: {
+        const auto* p = static_cast<const Node48*>(n);
+        for (uint32_t b = 0; b < 256; ++b) {
+          const uint8_t slot = p->child_index[b];
+          if (slot != detail::kEmptySlot)
+            if (!f(b, p->children[slot])) return false;
+        }
+        return true;
+      }
+      default: {
+        const auto* p = static_cast<const Node256*>(n);
+        for (uint32_t b = 0; b < 256; ++b)
+          if (p->children[b] != nullptr)
+            if (!f(b, p->children[b])) return false;
+        return true;
+      }
+    }
+  }
+
+  Leaf* minimum(const Node* n) const {
+    while (!is_leaf(n)) {
+      const Node* next = nullptr;
+      for_each_child(n, [&](uint32_t, Node* c) {
+        next = c;
+        return false;  // first (smallest) child
+      });
+      n = next;
+    }
+    return as_leaf(n);
+  }
+
+  // ---- prefix helpers ----------------------------------------------------
+  /// Full logical mismatch position of `k` against n's compressed path,
+  /// reading bytes past kMaxPrefixLen from the subtree's minimum leaf.
+  uint32_t prefix_mismatch(const Node* n, Key k, uint32_t depth) const {
+    const uint32_t stored = std::min(n->prefix_len, kMaxPrefixLen);
+    uint32_t i = 0;
+    for (; i < stored; ++i)
+      if (n->prefix[i] != key_at(k, depth + i)) return i;
+    if (n->prefix_len > kMaxPrefixLen) {
+      const Key lk = traits_.key(minimum(n));
+      for (; i < n->prefix_len; ++i)
+        if (key_at(lk, depth + i) != key_at(k, depth + i)) return i;
+    }
+    return n->prefix_len;
+  }
+
+  // ---- add / grow ----------------------------------------------------------
+  void add_child(Node*& ref, Node* n, uint32_t byte, Node* child) {
+    switch (n->type) {
+      case detail::kNode4: {
+        auto* p = static_cast<Node4*>(n);
+        if (p->num_children < 4) {
+          int pos = 0;
+          while (pos < p->num_children && p->keys[pos] < byte) ++pos;
+          std::memmove(p->keys + pos + 1, p->keys + pos,
+                       p->num_children - pos);
+          std::memmove(p->children + pos + 1, p->children + pos,
+                       (p->num_children - pos) * sizeof(Node*));
+          p->keys[pos] = static_cast<uint8_t>(byte);
+          p->children[pos] = child;
+          ++p->num_children;
+        } else {
+          auto* g = alloc_node<Node16>(detail::kNode16);
+          std::memcpy(g->keys, p->keys, 4);
+          std::memcpy(g->children, p->children, 4 * sizeof(Node*));
+          copy_header(g, p);
+          ref = g;
+          free_node(p);
+          add_child(ref, g, byte, child);
+        }
+        return;
+      }
+      case detail::kNode16: {
+        auto* p = static_cast<Node16*>(n);
+        if (p->num_children < 16) {
+          int pos = 0;
+          while (pos < p->num_children && p->keys[pos] < byte) ++pos;
+          std::memmove(p->keys + pos + 1, p->keys + pos,
+                       p->num_children - pos);
+          std::memmove(p->children + pos + 1, p->children + pos,
+                       (p->num_children - pos) * sizeof(Node*));
+          p->keys[pos] = static_cast<uint8_t>(byte);
+          p->children[pos] = child;
+          ++p->num_children;
+        } else {
+          auto* g = alloc_node<Node48>(detail::kNode48);
+          std::memset(g->child_index, detail::kEmptySlot, 256);
+          std::memset(g->children, 0, sizeof(g->children));
+          for (int i = 0; i < 16; ++i) {
+            g->child_index[p->keys[i]] = static_cast<uint8_t>(i);
+            g->children[i] = p->children[i];
+          }
+          copy_header(g, p);
+          ref = g;
+          free_node(p);
+          add_child(ref, g, byte, child);
+        }
+        return;
+      }
+      case detail::kNode48: {
+        auto* p = static_cast<Node48*>(n);
+        if (p->num_children < 48) {
+          int slot = 0;
+          while (p->children[slot] != nullptr) ++slot;
+          p->children[slot] = child;
+          p->child_index[byte] = static_cast<uint8_t>(slot);
+          ++p->num_children;
+        } else {
+          auto* g = alloc_node<Node256>(detail::kNode256);
+          std::memset(g->children, 0, sizeof(g->children));
+          for (uint32_t b = 0; b < 256; ++b)
+            if (p->child_index[b] != detail::kEmptySlot)
+              g->children[b] = p->children[p->child_index[b]];
+          copy_header(g, p);
+          ref = g;
+          free_node(p);
+          add_child(ref, g, byte, child);
+        }
+        return;
+      }
+      default: {
+        auto* p = static_cast<Node256*>(n);
+        p->children[byte] = child;
+        ++p->num_children;
+        return;
+      }
+    }
+  }
+
+  static void copy_header(Node* dst, const Node* src) {
+    dst->num_children = src->num_children;
+    dst->prefix_len = src->prefix_len;
+    std::memcpy(dst->prefix, src->prefix, kMaxPrefixLen);
+  }
+
+  // ---- insert ----------------------------------------------------------
+  Leaf* insert_rec(Node*& ref, Key k, Leaf* leaf, uint32_t depth) {
+    Node* n = ref;
+    if (n == nullptr) {
+      ref = tag_leaf(leaf);
+      ++count_;
+      return nullptr;
+    }
+    if (is_leaf(n)) {
+      Leaf* existing = as_leaf(n);
+      if (leaf_matches(existing, k)) return existing;
+      // Lazy expansion undone: split into a NODE4 under the common prefix.
+      const Key ek = traits_.key(existing);
+      uint32_t lcp = 0;
+      while (key_at(k, depth + lcp) == key_at(ek, depth + lcp)) ++lcp;
+      auto* nn = alloc_node<Node4>(detail::kNode4);
+      nn->prefix_len = lcp;
+      for (uint32_t i = 0; i < std::min(lcp, kMaxPrefixLen); ++i)
+        nn->prefix[i] = static_cast<uint8_t>(key_at(k, depth + i));
+      Node* nref = nn;
+      add_child(nref, nn, key_at(k, depth + lcp), tag_leaf(leaf));
+      add_child(nref, nn, key_at(ek, depth + lcp), n);
+      ref = nref;
+      ++count_;
+      return nullptr;
+    }
+
+    if (n->prefix_len > 0) {
+      const uint32_t p = prefix_mismatch(n, k, depth);
+      if (p < n->prefix_len) {
+        // Split the compressed path at position p.
+        auto* nn = alloc_node<Node4>(detail::kNode4);
+        nn->prefix_len = p;
+        std::memcpy(nn->prefix, n->prefix, std::min(p, kMaxPrefixLen));
+        Node* nref = nn;
+        if (n->prefix_len <= kMaxPrefixLen) {
+          add_child(nref, nn, n->prefix[p], n);
+          n->prefix_len -= p + 1;
+          std::memmove(n->prefix, n->prefix + p + 1,
+                       std::min(n->prefix_len, kMaxPrefixLen));
+        } else {
+          // Recover the edge byte and the new stored prefix from a leaf.
+          const Key lk = traits_.key(minimum(n));
+          n->prefix_len -= p + 1;
+          add_child(nref, nn, key_at(lk, depth + p), n);
+          for (uint32_t i = 0; i < std::min(n->prefix_len, kMaxPrefixLen);
+               ++i)
+            n->prefix[i] =
+                static_cast<uint8_t>(key_at(lk, depth + p + 1 + i));
+        }
+        add_child(nref, nn, key_at(k, depth + p), tag_leaf(leaf));
+        ref = nref;
+        ++count_;
+        return nullptr;
+      }
+      depth += n->prefix_len;
+    }
+
+    Node** child = find_child(n, key_at(k, depth));
+    if (child != nullptr) return insert_rec(*child, k, leaf, depth + 1);
+    add_child(ref, n, key_at(k, depth), tag_leaf(leaf));
+    ++count_;
+    return nullptr;
+  }
+
+  // ---- remove / shrink ---------------------------------------------------
+  Leaf* remove_rec(Node*& ref, Key k, uint32_t depth) {
+    Node* n = ref;
+    if (n == nullptr) return nullptr;
+    if (is_leaf(n)) {
+      Leaf* l = as_leaf(n);
+      if (!leaf_matches(l, k)) return nullptr;
+      ref = nullptr;
+      --count_;
+      return l;
+    }
+    if (n->prefix_len > 0) {
+      const uint32_t stored = std::min(n->prefix_len, kMaxPrefixLen);
+      for (uint32_t i = 0; i < stored; ++i)
+        if (n->prefix[i] != key_at(k, depth + i)) return nullptr;
+      depth += n->prefix_len;
+    }
+    const uint32_t byte = key_at(k, depth);
+    Node** child = find_child(n, byte);
+    if (child == nullptr) return nullptr;
+    if (is_leaf(*child)) {
+      Leaf* l = as_leaf(*child);
+      if (!leaf_matches(l, k)) return nullptr;
+      remove_child(ref, n, byte, child);
+      --count_;
+      return l;
+    }
+    return remove_rec(*child, k, depth + 1);
+  }
+
+  void remove_child(Node*& ref, Node* n, uint32_t byte, Node** slot) {
+    switch (n->type) {
+      case detail::kNode4: {
+        auto* p = static_cast<Node4*>(n);
+        const auto pos = static_cast<int>(slot - p->children);
+        std::memmove(p->keys + pos, p->keys + pos + 1,
+                     p->num_children - pos - 1);
+        std::memmove(p->children + pos, p->children + pos + 1,
+                     (p->num_children - pos - 1) * sizeof(Node*));
+        --p->num_children;
+        if (p->num_children == 1) {
+          Node* child = p->children[0];
+          if (!is_leaf(child)) {
+            // Re-concatenate the compressed paths (path compression).
+            uint32_t pl = p->prefix_len;
+            if (pl < kMaxPrefixLen) p->prefix[pl] = p->keys[0];
+            ++pl;
+            if (pl < kMaxPrefixLen) {
+              const uint32_t sub = std::min(child->prefix_len,
+                                            kMaxPrefixLen - pl);
+              std::memcpy(p->prefix + pl, child->prefix, sub);
+              pl += sub;
+            }
+            std::memcpy(child->prefix, p->prefix,
+                        std::min(pl, kMaxPrefixLen));
+            child->prefix_len += p->prefix_len + 1;
+          }
+          ref = child;
+          free_node(p);
+        }
+        return;
+      }
+      case detail::kNode16: {
+        auto* p = static_cast<Node16*>(n);
+        const auto pos = static_cast<int>(slot - p->children);
+        std::memmove(p->keys + pos, p->keys + pos + 1,
+                     p->num_children - pos - 1);
+        std::memmove(p->children + pos, p->children + pos + 1,
+                     (p->num_children - pos - 1) * sizeof(Node*));
+        --p->num_children;
+        if (p->num_children == 3) {
+          auto* s = alloc_node<Node4>(detail::kNode4);
+          copy_header(s, p);
+          std::memcpy(s->keys, p->keys, 3);
+          std::memcpy(s->children, p->children, 3 * sizeof(Node*));
+          ref = s;
+          free_node(p);
+        }
+        return;
+      }
+      case detail::kNode48: {
+        auto* p = static_cast<Node48*>(n);
+        const auto slot_idx = p->child_index[byte];
+        p->child_index[byte] = detail::kEmptySlot;
+        p->children[slot_idx] = nullptr;
+        --p->num_children;
+        if (p->num_children == 12) {
+          auto* s = alloc_node<Node16>(detail::kNode16);
+          copy_header(s, p);
+          int j = 0;
+          for (uint32_t b = 0; b < 256; ++b)
+            if (p->child_index[b] != detail::kEmptySlot) {
+              s->keys[j] = static_cast<uint8_t>(b);
+              s->children[j] = p->children[p->child_index[b]];
+              ++j;
+            }
+          s->num_children = static_cast<uint16_t>(j);
+          ref = s;
+          free_node(p);
+        }
+        return;
+      }
+      default: {
+        auto* p = static_cast<Node256*>(n);
+        p->children[byte] = nullptr;
+        --p->num_children;
+        if (p->num_children == 37) {
+          auto* s = alloc_node<Node48>(detail::kNode48);
+          copy_header(s, p);
+          std::memset(s->child_index, detail::kEmptySlot, 256);
+          std::memset(s->children, 0, sizeof(s->children));
+          int j = 0;
+          for (uint32_t b = 0; b < 256; ++b)
+            if (p->children[b] != nullptr) {
+              s->child_index[b] = static_cast<uint8_t>(j);
+              s->children[j] = p->children[b];
+              ++j;
+            }
+          s->num_children = static_cast<uint16_t>(j);
+          ref = s;
+          free_node(p);
+        }
+        return;
+      }
+    }
+  }
+
+  // ---- ordered walks -------------------------------------------------------
+  template <class F>
+  bool walk_all(const Node* n, F& fn) const {
+    if (is_leaf(n)) return fn(as_leaf(n));
+    return for_each_child(n,
+                          [&](uint32_t, Node* c) { return walk_all(c, fn); });
+  }
+
+  /// -1: subtree entirely < lo is possible (prefix < lo segment)
+  ///  0: prefix equals lo's bytes at [depth, depth+prefix_len)
+  /// +1: subtree entirely >= lo (prefix > lo segment)
+  int compare_prefix(const Node* n, Key lo, uint32_t depth) const {
+    const uint32_t stored = std::min(n->prefix_len, kMaxPrefixLen);
+    for (uint32_t i = 0; i < stored; ++i) {
+      const uint32_t a = n->prefix[i];
+      const uint32_t b = key_at(lo, depth + i);
+      if (a != b) return a < b ? -1 : 1;
+    }
+    if (n->prefix_len > kMaxPrefixLen) {
+      const Key lk = traits_.key(minimum(n));
+      for (uint32_t i = stored; i < n->prefix_len; ++i) {
+        const uint32_t a = key_at(lk, depth + i);
+        const uint32_t b = key_at(lo, depth + i);
+        if (a != b) return a < b ? -1 : 1;
+      }
+    }
+    return 0;
+  }
+
+  template <class F>
+  bool walk_from(const Node* n, Key lo, uint32_t depth, F& fn) const {
+    if (is_leaf(n)) {
+      Leaf* l = as_leaf(n);
+      const Key lk = traits_.key(l);
+      // Compare lk against lo from `depth` (all earlier bytes are equal on
+      // the boundary path).
+      const uint32_t end = std::max(key_len(lk), key_len(lo));
+      for (uint32_t i = depth; i < end; ++i) {
+        const uint32_t a = key_at(lk, i);
+        const uint32_t b = key_at(lo, i);
+        if (a != b) return a < b ? true : fn(l);
+      }
+      return fn(l);  // equal
+    }
+    if (n->prefix_len > 0) {
+      const int c = compare_prefix(n, lo, depth);
+      if (c < 0) return true;           // whole subtree < lo: skip
+      if (c > 0) return walk_all(n, fn);  // whole subtree > lo
+      depth += n->prefix_len;
+    }
+    const uint32_t b = key_at(lo, depth);
+    return for_each_child(n, [&](uint32_t byte, Node* c) {
+      if (byte < b) return true;
+      if (byte > b) return walk_all(c, fn);
+      return walk_from(c, lo, depth + 1, fn);
+    });
+  }
+
+  Traits traits_;
+  std::atomic<uint64_t>* dram_bytes_;
+  Node* root_ = nullptr;
+  size_t count_ = 0;
+};
+
+}  // namespace hart::art

@@ -1,0 +1,146 @@
+// A purely volatile ART-backed index: no persistence, no PM, no recovery.
+// Not part of the paper's comparison — it serves as the DRAM upper bound
+// in the "cost of persistence" ablation (how much of HART's time goes into
+// durability rather than indexing) and as a differential-testing oracle.
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "art/art_tree.h"
+#include "common/index.h"
+
+namespace hart::art {
+
+class DramIndex final : public common::Index {
+ public:
+  DramIndex() : tree_(LeafTraits{}, &dram_bytes_) {}
+  ~DramIndex() override {
+    tree_.for_each([](Leaf* l) {
+      delete l;
+      return true;
+    });
+    tree_.clear();
+  }
+
+  bool insert(std::string_view key, std::string_view value) override {
+    validate(key, value);
+    std::unique_lock lk(mu_);
+    if (Leaf* existing = tree_.search(as_key(key)); existing != nullptr) {
+      existing->value.assign(value);
+      return false;
+    }
+    auto leaf = std::make_unique<Leaf>();
+    leaf->key.assign(key);
+    leaf->value.assign(value);
+    account(*leaf, +1);
+    Leaf* raw = leaf.release();  // (do not mix release() into the call:
+                                 // argument evaluation order is unspecified)
+    tree_.insert(as_key(raw->key), raw);
+    return true;
+  }
+
+  bool search(std::string_view key, std::string* out) const override {
+    validate_key(key);
+    std::shared_lock lk(mu_);
+    const Leaf* l = tree_.search(as_key(key));
+    if (l == nullptr) return false;
+    if (out != nullptr) *out = l->value;
+    return true;
+  }
+
+  bool update(std::string_view key, std::string_view value) override {
+    validate(key, value);
+    std::unique_lock lk(mu_);
+    Leaf* l = tree_.search(as_key(key));
+    if (l == nullptr) return false;
+    l->value.assign(value);
+    return true;
+  }
+
+  bool remove(std::string_view key) override {
+    validate_key(key);
+    std::unique_lock lk(mu_);
+    Leaf* l = tree_.remove(as_key(key));
+    if (l == nullptr) return false;
+    account(*l, -1);
+    delete l;
+    return true;
+  }
+
+  size_t range(std::string_view lo, size_t limit,
+               std::vector<std::pair<std::string, std::string>>* out)
+      const override {
+    validate_key(lo);
+    out->clear();
+    if (limit == 0) return 0;
+    std::shared_lock lk(mu_);
+    tree_.for_each_from(as_key(lo), [&](Leaf* l) {
+      out->emplace_back(l->key, l->value);
+      return out->size() < limit;
+    });
+    return out->size();
+  }
+
+  size_t size() const override {
+    std::shared_lock lk(mu_);
+    return tree_.size();
+  }
+
+  common::MemoryUsage memory_usage() const override {
+    common::MemoryUsage u;
+    u.dram_bytes = dram_bytes_.load(std::memory_order_relaxed);
+    u.pm_bytes = 0;  // nothing is persistent
+    return u;
+  }
+
+  const char* name() const override { return "DRAM-ART"; }
+
+ private:
+  struct Leaf {
+    std::string key;
+    std::string value;
+  };
+  struct LeafTraits {
+    using Leaf = DramIndex::Leaf;
+    Key key(const Leaf* l) const {
+      return {reinterpret_cast<const uint8_t*>(l->key.data()),
+              l->key.size()};
+    }
+  };
+
+  static Key as_key(std::string_view s) {
+    return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+  }
+  static void validate_key(std::string_view key) {
+    if (key.empty() || key.size() > common::kMaxKeyLen)
+      throw std::invalid_argument("key length must be 1..24 bytes");
+    if (std::memchr(key.data(), 0, key.size()) != nullptr)
+      throw std::invalid_argument("keys must not contain NUL bytes");
+  }
+  static void validate(std::string_view key, std::string_view value) {
+    validate_key(key);
+    if (value.empty() || value.size() > common::kMaxValueLen)
+      throw std::invalid_argument("value length must be 1..64 bytes");
+  }
+  void account(const Leaf& l, int sign) {
+    const auto bytes = static_cast<uint64_t>(
+        sizeof(Leaf) + l.key.capacity() + l.value.capacity());
+    if (sign > 0)
+      dram_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    else
+      dram_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  mutable std::shared_mutex mu_;
+  std::atomic<uint64_t> dram_bytes_{0};
+  Tree<LeafTraits> tree_;
+};
+
+}  // namespace hart::art

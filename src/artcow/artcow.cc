@@ -1,0 +1,678 @@
+#include "artcow/artcow.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace hart::pmart {
+
+namespace {
+constexpr uint64_t kCowMagic = 0x434f5741'52540001ULL;
+
+uint32_t key_at(std::string_view k, uint32_t d) {
+  return d < k.size() ? static_cast<uint8_t>(k[d]) : 0u;
+}
+void validate_key(std::string_view key) {
+  if (key.empty() || key.size() > common::kMaxKeyLen)
+    throw std::invalid_argument("key length must be 1..24 bytes");
+  if (std::memchr(key.data(), 0, key.size()) != nullptr)
+    throw std::invalid_argument("keys must not contain NUL bytes");
+}
+void validate_value(std::string_view value) {
+  if (value.empty() || value.size() > common::kMaxValueLen)
+    throw std::invalid_argument("value length must be 1..64 bytes");
+}
+std::string_view leaf_key(const PmLeaf* l) { return {l->key, l->key_len}; }
+}  // namespace
+
+ArtCow::ArtCow(pmem::Arena& arena)
+    : arena_(arena), root_(arena.root<Root>()) {
+  if (root_->magic == kCowMagic) {
+    recover();
+  } else {
+    *root_ = Root{};
+    root_->magic = kCowMagic;
+    persist(root_, sizeof(*root_));
+  }
+}
+
+const PmLeaf* ArtCow::min_leaf(const PNode* n) const {
+  for (;;) {
+    uint64_t child = only_child(n);  // any child works; reuse the scan
+    // only_child returns the *last* child; for prefix reconstruction any
+    // descendant leaf has the same bytes over the prefix range.
+    assert(child != 0);
+    arena_.pm_read(&child, sizeof(child));
+    if (ChildRef::is_leaf(child)) {
+      const auto* l = leaf_at(child);
+      arena_.pm_read(l, sizeof(PmLeaf));
+      return l;
+    }
+    n = node_at(child);
+    arena_.pm_read(n, sizeof(PNode));
+  }
+}
+
+uint32_t ArtCow::prefix_mismatch(const PNode* n, std::string_view key,
+                                 uint32_t depth) const {
+  const uint64_t w = n->pword;
+  const uint32_t len = PWord::prefix_len(w);
+  uint32_t i = 0;
+  for (; i < len && i < kStoredPrefix; ++i)
+    if (PWord::prefix_byte(w, i) != key_at(key, depth + i)) return i;
+  if (len > kStoredPrefix) {
+    const std::string_view lk = leaf_key(min_leaf(n));
+    for (; i < len; ++i)
+      if (key_at(lk, depth + i) != key_at(key, depth + i)) return i;
+  }
+  return len;
+}
+
+uint64_t* ArtCow::find_child_slot(PNode* n, uint32_t byte) const {
+  arena_.pm_read(n, sizeof(PNode));
+  switch (n->type) {
+    case kPNode4: {
+      auto* p = static_cast<PNode4*>(n);
+      arena_.pm_read(p->keys, sizeof(p->keys));
+      for (int i = 0; i < 4; ++i)
+        if (p->children[i] != 0 && p->keys[i] == byte)
+          return &p->children[i];
+      return nullptr;
+    }
+    case kPNode16: {
+      auto* p = static_cast<PNode16*>(n);
+      arena_.pm_read(p->keys, sizeof(p->keys));
+      for (int i = 0; i < 16; ++i)
+        if ((p->bitmap16 & (1u << i)) && p->keys[i] == byte)
+          return &p->children[i];
+      return nullptr;
+    }
+    case kPNode48: {
+      auto* p = static_cast<PNode48*>(n);
+      arena_.pm_read(&p->child_index[byte], 1);
+      const uint8_t slot = p->child_index[byte];
+      return slot == kEmpty48 ? nullptr : &p->children[slot];
+    }
+    default: {
+      auto* p = static_cast<PNode256*>(n);
+      arena_.pm_read(&p->children[byte], 8);
+      return p->children[byte] != 0 ? &p->children[byte] : nullptr;
+    }
+  }
+}
+
+uint32_t ArtCow::valid_children(const PNode* n) const {
+  switch (n->type) {
+    case kPNode4: {
+      const auto* p = static_cast<const PNode4*>(n);
+      uint32_t c = 0;
+      for (int i = 0; i < 4; ++i) c += p->children[i] != 0;
+      return c;
+    }
+    case kPNode16:
+      return std::popcount(static_cast<const PNode16*>(n)->bitmap16);
+    case kPNode48: {
+      const auto* p = static_cast<const PNode48*>(n);
+      uint32_t c = 0;
+      for (int b = 0; b < 256; ++b) c += p->child_index[b] != kEmpty48;
+      return c;
+    }
+    default: {
+      const auto* p = static_cast<const PNode256*>(n);
+      uint32_t c = 0;
+      for (int b = 0; b < 256; ++b) c += p->children[b] != 0;
+      return c;
+    }
+  }
+}
+
+uint64_t ArtCow::only_child(const PNode* n) const {
+  uint64_t found = 0;
+  switch (n->type) {
+    case kPNode4: {
+      const auto* p = static_cast<const PNode4*>(n);
+      for (int i = 0; i < 4; ++i)
+        if (p->children[i] != 0) found = p->children[i];
+      return found;
+    }
+    case kPNode16: {
+      const auto* p = static_cast<const PNode16*>(n);
+      for (int i = 0; i < 16; ++i)
+        if (p->bitmap16 & (1u << i)) found = p->children[i];
+      return found;
+    }
+    case kPNode48: {
+      const auto* p = static_cast<const PNode48*>(n);
+      for (int b = 0; b < 256; ++b)
+        if (p->child_index[b] != kEmpty48)
+          found = p->children[p->child_index[b]];
+      return found;
+    }
+    default: {
+      const auto* p = static_cast<const PNode256*>(n);
+      for (int b = 0; b < 256; ++b)
+        if (p->children[b] != 0) found = p->children[b];
+      return found;
+    }
+  }
+}
+
+template <class F>
+bool ArtCow::for_each_child_sorted(const PNode* n, F&& f) const {
+  switch (n->type) {
+    case kPNode4:
+    case kPNode16: {
+      const int cap = n->type == kPNode4 ? 4 : 16;
+      const uint8_t* keys = n->type == kPNode4
+                                ? static_cast<const PNode4*>(n)->keys
+                                : static_cast<const PNode16*>(n)->keys;
+      const uint64_t* children =
+          n->type == kPNode4 ? static_cast<const PNode4*>(n)->children
+                             : static_cast<const PNode16*>(n)->children;
+      std::pair<uint8_t, uint64_t> entries[16];
+      int cnt = 0;
+      for (int i = 0; i < cap; ++i) {
+        const bool valid =
+            n->type == kPNode4
+                ? children[i] != 0
+                : (static_cast<const PNode16*>(n)->bitmap16 & (1u << i)) != 0;
+        if (valid) entries[cnt++] = {keys[i], children[i]};
+      }
+      std::sort(entries, entries + cnt);
+      for (int i = 0; i < cnt; ++i)
+        if (!f(entries[i].first, entries[i].second)) return false;
+      return true;
+    }
+    case kPNode48: {
+      const auto* p = static_cast<const PNode48*>(n);
+      for (int b = 0; b < 256; ++b)
+        if (p->child_index[b] != kEmpty48)
+          if (!f(static_cast<uint8_t>(b), p->children[p->child_index[b]]))
+            return false;
+      return true;
+    }
+    default: {
+      const auto* p = static_cast<const PNode256*>(n);
+      for (int b = 0; b < 256; ++b)
+        if (p->children[b] != 0)
+          if (!f(static_cast<uint8_t>(b), p->children[b])) return false;
+      return true;
+    }
+  }
+}
+
+// ---- CoW node builders -----------------------------------------------------
+
+void ArtCow::free_node(const PNode* n) {
+  arena_.free(arena_.off(n), pnode_size(n->type), 64);
+}
+
+uint64_t ArtCow::clone_with_child(const PNode* n, uint32_t byte,
+                                  uint64_t child) {
+  // Gather surviving entries, then build the (possibly grown) clone.
+  std::pair<uint8_t, uint64_t> entries[257];
+  int cnt = 0;
+  for_each_child_sorted(n, [&](uint8_t b, uint64_t c) {
+    entries[cnt++] = {b, c};
+    return true;
+  });
+  entries[cnt++] = {static_cast<uint8_t>(byte), child};
+
+  uint8_t type = n->type;
+  if ((type == kPNode4 && cnt > 4) || (type == kPNode16 && cnt > 16) ||
+      (type == kPNode48 && cnt > 48))
+    ++type;
+
+  const uint64_t off = arena_.alloc(pnode_size(type), 64);
+  auto* g = arena_.ptr<PNode>(off);
+  std::memset(g, 0, pnode_size(type));
+  g->type = type;
+  g->pword = n->pword;
+  switch (type) {
+    case kPNode4: {
+      auto* p = static_cast<PNode4*>(g);
+      for (int i = 0; i < cnt; ++i) {
+        p->keys[i] = entries[i].first;
+        p->children[i] = entries[i].second;
+      }
+      break;
+    }
+    case kPNode16: {
+      auto* p = static_cast<PNode16*>(g);
+      for (int i = 0; i < cnt; ++i) {
+        p->keys[i] = entries[i].first;
+        p->children[i] = entries[i].second;
+        p->bitmap16 |= static_cast<uint16_t>(1u << i);
+      }
+      break;
+    }
+    case kPNode48: {
+      auto* p = static_cast<PNode48*>(g);
+      std::memset(p->child_index, kEmpty48, 256);
+      for (int i = 0; i < cnt; ++i) {
+        p->children[i] = entries[i].second;
+        p->child_index[entries[i].first] = static_cast<uint8_t>(i);
+      }
+      break;
+    }
+    default: {
+      auto* p = static_cast<PNode256*>(g);
+      for (int i = 0; i < cnt; ++i)
+        p->children[entries[i].first] = entries[i].second;
+      break;
+    }
+  }
+  persist(g, pnode_size(type));  // the whole clone is flushed — CoW cost
+  return ChildRef::node(off);
+}
+
+uint64_t ArtCow::clone_without_child(const PNode* n, uint32_t byte) {
+  std::pair<uint8_t, uint64_t> entries[257];
+  int cnt = 0;
+  for_each_child_sorted(n, [&](uint8_t b, uint64_t c) {
+    if (b != byte) entries[cnt++] = {b, c};
+    return true;
+  });
+  uint8_t type = n->type;
+  if (type == kPNode256 && cnt <= 37)
+    type = kPNode48;
+  if (type == kPNode48 && cnt <= 12)
+    type = kPNode16;
+  if (type == kPNode16 && cnt <= 3)
+    type = kPNode4;
+
+  const uint64_t off = arena_.alloc(pnode_size(type), 64);
+  auto* g = arena_.ptr<PNode>(off);
+  std::memset(g, 0, pnode_size(type));
+  g->type = type;
+  g->pword = n->pword;
+  switch (type) {
+    case kPNode4: {
+      auto* p = static_cast<PNode4*>(g);
+      for (int i = 0; i < cnt; ++i) {
+        p->keys[i] = entries[i].first;
+        p->children[i] = entries[i].second;
+      }
+      break;
+    }
+    case kPNode16: {
+      auto* p = static_cast<PNode16*>(g);
+      for (int i = 0; i < cnt; ++i) {
+        p->keys[i] = entries[i].first;
+        p->children[i] = entries[i].second;
+        p->bitmap16 |= static_cast<uint16_t>(1u << i);
+      }
+      break;
+    }
+    case kPNode48: {
+      auto* p = static_cast<PNode48*>(g);
+      std::memset(p->child_index, kEmpty48, 256);
+      for (int i = 0; i < cnt; ++i) {
+        p->children[i] = entries[i].second;
+        p->child_index[entries[i].first] = static_cast<uint8_t>(i);
+      }
+      break;
+    }
+    default: {
+      auto* p = static_cast<PNode256*>(g);
+      for (int i = 0; i < cnt; ++i)
+        p->children[entries[i].first] = entries[i].second;
+      break;
+    }
+  }
+  persist(g, pnode_size(type));
+  return ChildRef::node(off);
+}
+
+uint64_t ArtCow::clone_with_pword(const PNode* n, uint64_t pword) {
+  const uint64_t off = arena_.alloc(pnode_size(n->type), 64);
+  auto* g = arena_.ptr<PNode>(off);
+  std::memcpy(g, n, pnode_size(n->type));
+  g->pword = pword;
+  persist(g, pnode_size(n->type));
+  return ChildRef::node(off);
+}
+
+// ---- insert ---------------------------------------------------------------
+
+bool ArtCow::insert(std::string_view key, std::string_view value) {
+  validate_key(key);
+  validate_value(value);
+  const bool inserted = insert_rec(&root_->root, key, value, 0);
+  if (inserted) ++count_;
+  return inserted;
+}
+
+bool ArtCow::insert_rec(uint64_t* slot, std::string_view key,
+                        std::string_view value, uint32_t depth) {
+  const uint64_t ref = *slot;
+  if (ref == 0) {
+    const uint64_t voff = alloc_value(arena_, value);
+    const uint64_t loff = alloc_leaf(arena_, key, voff);
+    *slot = ChildRef::leaf(loff);
+    persist(slot, 8);
+    return true;
+  }
+
+  if (ChildRef::is_leaf(ref)) {
+    PmLeaf* l = leaf_at(ref);
+    arena_.pm_read(l, sizeof(PmLeaf));
+    const std::string_view ek = leaf_key(l);
+    if (ek == key) {
+      const uint64_t old = l->p_value;
+      l->p_value = alloc_value(arena_, value);
+      persist(&l->p_value, 8);
+      free_value(arena_, old);
+      return false;
+    }
+    uint32_t lcp = 0;
+    while (key_at(key, depth + lcp) == key_at(ek, depth + lcp)) ++lcp;
+    const uint64_t voff = alloc_value(arena_, value);
+    const uint64_t loff = alloc_leaf(arena_, key, voff);
+    const uint64_t noff = arena_.alloc(sizeof(PNode4), 64);
+    auto* nn = arena_.ptr<PNode4>(noff);
+    std::memset(nn, 0, sizeof(*nn));
+    nn->type = kPNode4;
+    uint8_t pbytes[kStoredPrefix];
+    for (uint32_t i = 0; i < kStoredPrefix && i < lcp; ++i)
+      pbytes[i] = static_cast<uint8_t>(key_at(key, depth + i));
+    nn->pword = PWord::make(static_cast<uint8_t>(depth),
+                            static_cast<uint8_t>(lcp), pbytes, lcp);
+    nn->keys[0] = static_cast<uint8_t>(key_at(key, depth + lcp));
+    nn->children[0] = ChildRef::leaf(loff);
+    nn->keys[1] = static_cast<uint8_t>(key_at(ek, depth + lcp));
+    nn->children[1] = ref;
+    persist(nn, sizeof(*nn));
+    *slot = ChildRef::node(noff);
+    persist(slot, 8);
+    return true;
+  }
+
+  PNode* n = node_at(ref);
+  arena_.pm_read(n, sizeof(PNode));
+  const uint32_t plen = PWord::prefix_len(n->pword);
+  if (plen > 0) {
+    const uint32_t p = prefix_mismatch(n, key, depth);
+    if (p < plen) {
+      // CoW prefix split: clone n with the shortened prefix, hang the
+      // clone and the new leaf under a fresh NODE4, swing the parent.
+      const std::string_view lk = leaf_key(min_leaf(n));
+      uint8_t rbytes[kStoredPrefix];
+      const uint32_t rlen = plen - p - 1;
+      for (uint32_t i = 0; i < kStoredPrefix && i < rlen; ++i)
+        rbytes[i] = static_cast<uint8_t>(key_at(lk, depth + p + 1 + i));
+      const uint64_t clone = clone_with_pword(
+          n, PWord::make(static_cast<uint8_t>(depth + p + 1),
+                         static_cast<uint8_t>(rlen), rbytes, rlen));
+
+      const uint64_t voff = alloc_value(arena_, value);
+      const uint64_t loff = alloc_leaf(arena_, key, voff);
+      const uint64_t noff = arena_.alloc(sizeof(PNode4), 64);
+      auto* nn = arena_.ptr<PNode4>(noff);
+      std::memset(nn, 0, sizeof(*nn));
+      nn->type = kPNode4;
+      uint8_t pbytes[kStoredPrefix];
+      for (uint32_t i = 0; i < kStoredPrefix && i < p; ++i)
+        pbytes[i] = static_cast<uint8_t>(key_at(key, depth + i));
+      nn->pword = PWord::make(static_cast<uint8_t>(depth),
+                              static_cast<uint8_t>(p), pbytes, p);
+      nn->keys[0] = static_cast<uint8_t>(key_at(key, depth + p));
+      nn->children[0] = ChildRef::leaf(loff);
+      nn->keys[1] = static_cast<uint8_t>(key_at(lk, depth + p));
+      nn->children[1] = clone;
+      persist(nn, sizeof(*nn));
+      *slot = ChildRef::node(noff);
+      persist(slot, 8);
+      free_node(n);
+      return true;
+    }
+    depth += plen;
+  }
+
+  const uint32_t byte = key_at(key, depth);
+  if (uint64_t* child = find_child_slot(n, byte); child != nullptr)
+    return insert_rec(child, key, value, depth + 1);
+
+  // CoW child addition: clone (possibly grown), persist, swing, free old.
+  const uint64_t voff = alloc_value(arena_, value);
+  const uint64_t loff = alloc_leaf(arena_, key, voff);
+  const uint64_t clone = clone_with_child(n, byte, ChildRef::leaf(loff));
+  *slot = clone;
+  persist(slot, 8);
+  free_node(n);
+  return true;
+}
+
+// ---- search / update -------------------------------------------------------
+
+bool ArtCow::search(std::string_view key, std::string* out) const {
+  validate_key(key);
+  uint64_t ref = root_->root;
+  uint32_t depth = 0;
+  while (ref != 0) {
+    if (ChildRef::is_leaf(ref)) {
+      const PmLeaf* l = leaf_at(ref);
+      arena_.pm_read(l, sizeof(PmLeaf));
+      if (leaf_key(l) != key) return false;
+      const auto* v = arena_.ptr<PmValue>(l->p_value);
+      arena_.pm_read(v, 1 + v->len);
+      if (out != nullptr) out->assign(v->data, v->len);
+      return true;
+    }
+    PNode* n = node_at(ref);
+    arena_.pm_read(n, sizeof(PNode));
+    const uint64_t w = n->pword;
+    const uint32_t m = std::min<uint32_t>(PWord::prefix_len(w),
+                                          kStoredPrefix);
+    for (uint32_t i = 0; i < m; ++i)
+      if (PWord::prefix_byte(w, i) != key_at(key, depth + i)) return false;
+    depth += PWord::prefix_len(w);
+    uint64_t* child = find_child_slot(n, key_at(key, depth));
+    if (child == nullptr) return false;
+    ref = *child;
+    ++depth;
+  }
+  return false;
+}
+
+bool ArtCow::update(std::string_view key, std::string_view value) {
+  validate_key(key);
+  validate_value(value);
+  uint64_t ref = root_->root;
+  uint32_t depth = 0;
+  while (ref != 0 && !ChildRef::is_leaf(ref)) {
+    PNode* n = node_at(ref);
+    arena_.pm_read(n, sizeof(PNode));
+    depth += PWord::prefix_len(n->pword);
+    uint64_t* child = find_child_slot(n, key_at(key, depth));
+    if (child == nullptr) return false;
+    ref = *child;
+    ++depth;
+  }
+  if (ref == 0) return false;
+  PmLeaf* l = leaf_at(ref);
+  arena_.pm_read(l, sizeof(PmLeaf));
+  if (leaf_key(l) != key) return false;
+  const uint64_t old = l->p_value;
+  l->p_value = alloc_value(arena_, value);
+  persist(&l->p_value, 8);
+  free_value(arena_, old);
+  return true;
+}
+
+// ---- remove ----------------------------------------------------------------
+
+bool ArtCow::remove(std::string_view key) {
+  validate_key(key);
+  const bool removed = remove_rec(&root_->root, key, 0);
+  if (removed) --count_;
+  return removed;
+}
+
+bool ArtCow::remove_rec(uint64_t* slot, std::string_view key,
+                        uint32_t depth) {
+  const uint64_t ref = *slot;
+  if (ref == 0) return false;
+  if (ChildRef::is_leaf(ref)) {
+    PmLeaf* l = leaf_at(ref);
+    arena_.pm_read(l, sizeof(PmLeaf));
+    if (leaf_key(l) != key) return false;
+    *slot = 0;
+    persist(slot, 8);
+    free_value(arena_, l->p_value);
+    arena_.free(ChildRef::off(ref), sizeof(PmLeaf), 8);
+    return true;
+  }
+  PNode* n = node_at(ref);
+  arena_.pm_read(n, sizeof(PNode));
+  const uint32_t plen = PWord::prefix_len(n->pword);
+  if (plen > 0) {
+    if (prefix_mismatch(n, key, depth) < plen) return false;
+    depth += plen;
+  }
+  const uint32_t byte = key_at(key, depth);
+  uint64_t* child = find_child_slot(n, byte);
+  if (child == nullptr) return false;
+  if (!ChildRef::is_leaf(*child)) return remove_rec(child, key, depth + 1);
+
+  PmLeaf* l = leaf_at(*child);
+  arena_.pm_read(l, sizeof(PmLeaf));
+  if (leaf_key(l) != key) return false;
+  const uint64_t voff = l->p_value;
+  const uint64_t leaf_ref = *child;
+
+  if (valid_children(n) == 2) {
+    // Path collapse: the sibling replaces n, with the prefixes merged into
+    // a cloned sibling when it is an internal node.
+    uint64_t sibling = 0;
+    uint8_t sib_byte = 0;
+    for_each_child_sorted(n, [&](uint8_t b, uint64_t c) {
+      if (c != leaf_ref) {
+        sibling = c;
+        sib_byte = b;
+      }
+      return true;
+    });
+    uint64_t replacement = sibling;
+    if (!ChildRef::is_leaf(sibling)) {
+      const PNode* s = node_at(sibling);
+      const uint32_t merged_len = plen + 1 + PWord::prefix_len(s->pword);
+      uint8_t bytes[kStoredPrefix];
+      uint32_t have = 0;
+      for (; have < kStoredPrefix && have < plen; ++have)
+        bytes[have] = PWord::prefix_byte(n->pword, have);
+      if (have < kStoredPrefix && have == plen) bytes[have++] = sib_byte;
+      for (uint32_t i = 0;
+           have < kStoredPrefix && i < PWord::prefix_len(s->pword);
+           ++i)
+        bytes[have++] = PWord::prefix_byte(s->pword, i);
+      replacement = clone_with_pword(
+          s, PWord::make(PWord::depth(n->pword),
+                         static_cast<uint8_t>(merged_len), bytes, have));
+    }
+    *slot = replacement;
+    persist(slot, 8);
+    if (!ChildRef::is_leaf(sibling)) free_node(node_at(sibling));
+    free_node(n);
+  } else {
+    const uint64_t clone = clone_without_child(n, byte);
+    *slot = clone;
+    persist(slot, 8);
+    free_node(n);
+  }
+  free_value(arena_, voff);
+  arena_.free(ChildRef::off(leaf_ref), sizeof(PmLeaf), 8);
+  return true;
+}
+
+// ---- scans ------------------------------------------------------------------
+
+template <class F>
+bool ArtCow::walk_all(uint64_t ref, F& fn) const {
+  if (ChildRef::is_leaf(ref)) {
+    const PmLeaf* l = leaf_at(ref);
+    arena_.pm_read(l, sizeof(PmLeaf));
+    return fn(l);
+  }
+  return for_each_child_sorted(
+      node_at(ref), [&](uint8_t, uint64_t c) { return walk_all(c, fn); });
+}
+
+template <class F>
+bool ArtCow::walk_from(uint64_t ref, std::string_view lo, uint32_t depth,
+                       F& fn) const {
+  if (ChildRef::is_leaf(ref)) {
+    const PmLeaf* l = leaf_at(ref);
+    arena_.pm_read(l, sizeof(PmLeaf));
+    return leaf_key(l) < lo ? true : fn(l);
+  }
+  const PNode* n = node_at(ref);
+  const uint32_t plen = PWord::prefix_len(n->pword);
+  if (plen > 0) {
+    const std::string_view lk = leaf_key(min_leaf(n));
+    for (uint32_t i = 0; i < plen; ++i) {
+      const uint32_t a = key_at(lk, depth + i);
+      const uint32_t b = key_at(lo, depth + i);
+      if (a < b) return true;
+      if (a > b) return walk_all(ref, fn);
+    }
+    depth += plen;
+  }
+  const uint32_t b = key_at(lo, depth);
+  return for_each_child_sorted(n, [&](uint8_t byte, uint64_t c) {
+    if (byte < b) return true;
+    if (byte > b) return walk_all(c, fn);
+    return walk_from(c, lo, depth + 1, fn);
+  });
+}
+
+size_t ArtCow::range(
+    std::string_view lo, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  validate_key(lo);
+  out->clear();
+  if (limit == 0 || root_->root == 0) return 0;
+  auto emit = [&](const PmLeaf* l) {
+    const auto* v = arena_.ptr<PmValue>(l->p_value);
+    arena_.pm_read(v, 1 + v->len);
+    out->emplace_back(std::string(l->key, l->key_len),
+                      std::string(v->data, v->len));
+    return out->size() < limit;
+  };
+  walk_from(root_->root, lo, 0, emit);
+  return out->size();
+}
+
+common::MemoryUsage ArtCow::memory_usage() const {
+  common::MemoryUsage u;
+  u.pm_bytes = arena_.stats().pm_live_bytes.load(std::memory_order_relaxed);
+  u.dram_bytes = 0;
+  return u;
+}
+
+void ArtCow::mark_reachable(uint64_t ref) {
+  if (ChildRef::is_leaf(ref)) {
+    const PmLeaf* l = leaf_at(ref);
+    arena_.mark_used(ChildRef::off(ref), sizeof(PmLeaf));
+    const auto* v = arena_.ptr<PmValue>(l->p_value);
+    arena_.mark_used(l->p_value, 1 + v->len);
+    ++count_;
+    return;
+  }
+  const PNode* n = node_at(ref);
+  arena_.mark_used(ChildRef::off(ref), pnode_size(n->type));
+  for_each_child_sorted(n, [&](uint8_t, uint64_t c) {
+    mark_reachable(c);
+    return true;
+  });
+}
+
+void ArtCow::recover() {
+  arena_.reset_alloc_map();
+  count_ = 0;
+  if (root_->root != 0) mark_reachable(root_->root);
+}
+
+}  // namespace hart::pmart

@@ -1,0 +1,87 @@
+// ART+CoW — an ART kept in PM whose consistency comes from copy-on-write
+// (Lee et al., FAST 2017; reimplemented as in the HART paper's evaluation).
+//
+// Every structural modification clones the affected node, persists the
+// clone in full, and commits by swinging the parent's 8-byte child pointer.
+// That makes each mutation failure-atomic without logs or careful store
+// ordering, at the cost of allocating and flushing a whole node per write —
+// which is why the paper finds ART+CoW the slowest at insertion (Fig. 4).
+// Node layouts are shared with WOART (pm_nodes.h). Single-writer.
+#pragma once
+
+#include <string_view>
+
+#include "common/index.h"
+#include "pmem/arena.h"
+#include "woart/pm_nodes.h"
+
+namespace hart::pmart {
+
+class ArtCow final : public common::Index {
+ public:
+  explicit ArtCow(pmem::Arena& arena);
+
+  bool insert(std::string_view key, std::string_view value) override;
+  bool search(std::string_view key, std::string* out) const override;
+  bool update(std::string_view key, std::string_view value) override;
+  bool remove(std::string_view key) override;
+  size_t range(std::string_view lo, size_t limit,
+               std::vector<std::pair<std::string, std::string>>* out)
+      const override;
+  size_t size() const override { return count_; }
+  common::MemoryUsage memory_usage() const override;
+  const char* name() const override { return "ART+CoW"; }
+
+  /// Rebuild the volatile allocation map by reachability after a reopen.
+  void recover();
+
+ private:
+  struct Root {
+    uint64_t magic;
+    uint64_t root;
+  };
+
+  PNode* node_at(uint64_t ref) const {
+    return arena_.ptr<PNode>(ChildRef::off(ref));
+  }
+  PmLeaf* leaf_at(uint64_t ref) const {
+    return arena_.ptr<PmLeaf>(ChildRef::off(ref));
+  }
+  const PmLeaf* min_leaf(const PNode* n) const;
+  uint32_t prefix_mismatch(const PNode* n, std::string_view key,
+                           uint32_t depth) const;
+  uint64_t* find_child_slot(PNode* n, uint32_t byte) const;
+  uint32_t valid_children(const PNode* n) const;
+  uint64_t only_child(const PNode* n) const;
+  template <class F>
+  bool for_each_child_sorted(const PNode* n, F&& f) const;
+
+  /// Clone `n` with `byte -> child` added (growing the node type if full),
+  /// persist the clone, and return its ChildRef. The caller swings the
+  /// parent pointer and frees the original.
+  uint64_t clone_with_child(const PNode* n, uint32_t byte, uint64_t child);
+  /// Clone `n` with `byte` removed (shrinking if warranted).
+  uint64_t clone_without_child(const PNode* n, uint32_t byte);
+  /// Clone `n` with a new prefix word.
+  uint64_t clone_with_pword(const PNode* n, uint64_t pword);
+  void free_node(const PNode* n);
+
+  bool insert_rec(uint64_t* slot, std::string_view key,
+                  std::string_view value, uint32_t depth);
+  bool remove_rec(uint64_t* slot, std::string_view key, uint32_t depth);
+
+  template <class F>
+  bool walk_all(uint64_t ref, F& fn) const;
+  template <class F>
+  bool walk_from(uint64_t ref, std::string_view lo, uint32_t depth,
+                 F& fn) const;
+  void mark_reachable(uint64_t ref);
+
+  void persist(const void* p, size_t n) const { arena_.persist(p, n); }
+
+  pmem::Arena& arena_;
+  Root* root_;
+  size_t count_ = 0;
+};
+
+}  // namespace hart::pmart

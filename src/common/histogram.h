@@ -1,0 +1,82 @@
+// Log-bucketed latency histogram for the benchmark harness: cheap to
+// record (one increment), accurate to ~4% per bucket, reports mean and
+// percentiles. Used when HART_BENCH_PERCENTILES=1.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hart::common {
+
+class LatencyHistogram {
+ public:
+  // Buckets: 16 sub-buckets per power of two, covering 1 ns .. ~1 s.
+  static constexpr int kSubBits = 4;
+  static constexpr int kBuckets = 64 * (1 << kSubBits);
+
+  LatencyHistogram() : counts_(kBuckets, 0) {}
+
+  void record(uint64_t ns) {
+    counts_[bucket_of(ns)]++;
+    ++n_;
+    sum_ += ns;
+  }
+
+  void merge(const LatencyHistogram& other) {
+    for (int i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    n_ += other.n_;
+    sum_ += other.sum_;
+  }
+
+  [[nodiscard]] uint64_t count() const { return n_; }
+  [[nodiscard]] double mean_ns() const {
+    return n_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(n_);
+  }
+
+  /// p in [0, 100]; returns the lower edge of the bucket containing the
+  /// p-th percentile sample.
+  [[nodiscard]] uint64_t percentile_ns(double p) const {
+    if (n_ == 0) return 0;
+    const auto target = static_cast<uint64_t>(
+        std::min(static_cast<double>(n_ - 1), p / 100.0 * static_cast<double>(n_)));
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen > target) return bucket_floor(i);
+    }
+    return bucket_floor(kBuckets - 1);
+  }
+
+  [[nodiscard]] std::string summary() const {
+    auto us = [](uint64_t ns) { return std::to_string(ns / 1000.0); };
+    return "mean=" + std::to_string(mean_ns() / 1000.0) +
+           "us p50=" + us(percentile_ns(50)) +
+           "us p99=" + us(percentile_ns(99)) +
+           "us p99.9=" + us(percentile_ns(99.9)) + "us";
+  }
+
+ private:
+  static int bucket_of(uint64_t ns) {
+    if (ns < (1 << kSubBits)) return static_cast<int>(ns);
+    const int msb = 63 - std::countl_zero(ns);
+    const int sub = static_cast<int>((ns >> (msb - kSubBits)) & ((1 << kSubBits) - 1));
+    const int idx = ((msb - kSubBits + 1) << kSubBits) + sub;
+    return std::min(idx, kBuckets - 1);
+  }
+  static uint64_t bucket_floor(int idx) {
+    if (idx < (1 << kSubBits)) return static_cast<uint64_t>(idx);
+    const int exp = (idx >> kSubBits) + kSubBits - 1;
+    const int sub = idx & ((1 << kSubBits) - 1);
+    return (uint64_t{1} << exp) +
+           (static_cast<uint64_t>(sub) << (exp - kSubBits));
+  }
+
+  std::vector<uint64_t> counts_;
+  uint64_t n_ = 0;
+  uint64_t sum_ = 0;
+};
+
+}  // namespace hart::common

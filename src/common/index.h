@@ -1,0 +1,71 @@
+// The common key-value index interface implemented by all four trees in this
+// repository (HART and its three baselines WOART, ART+CoW, FPTree).
+//
+// Keys are byte strings of 1..kMaxKeyLen bytes that must not contain a NUL
+// byte (the internal radix trees use an implicit 0x00 terminator, the same
+// restriction as libart, which the paper's implementation was based on).
+// Values are byte strings of 1..kMaxValueLen bytes; they are stored
+// out-of-leaf in persistent memory in fixed size classes (Section III.A.5).
+// The paper ships two classes (8 B / 16 B) and notes the design "can be
+// easily extended to support more sizes of values by implementing more
+// singly linked-lists of value object memory chunks" — this implementation
+// does exactly that, with classes {8, 16, 32, 64}.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hart::common {
+
+inline constexpr size_t kMaxKeyLen = 24;    // paper: "maximal key length ... 24 bytes"
+inline constexpr size_t kMaxValueLen = 64;  // paper classes 8/16, extended to 32/64
+
+/// DRAM / PM footprint of an index, in bytes. PM figures are *logical*
+/// (requested) sizes so they are comparable across allocators.
+struct MemoryUsage {
+  uint64_t dram_bytes = 0;
+  uint64_t pm_bytes = 0;
+};
+
+/// Abstract index. Thread-safety is implementation-defined: HART supports
+/// concurrent operation (per-ART reader/writer locks); the baselines are
+/// single-writer like the paper's.
+class Index {
+ public:
+  virtual ~Index() = default;
+
+  /// Upsert: inserts key->value, or updates the value if the key exists
+  /// (Algorithm 1 calls Update() when the leaf is found).
+  /// Returns true if a new key was inserted, false if an existing one was
+  /// updated.
+  virtual bool insert(std::string_view key, std::string_view value) = 0;
+
+  /// Point lookup. On hit, copies the value into `out` and returns true.
+  virtual bool search(std::string_view key, std::string* out) const = 0;
+
+  /// Update the value of an existing key (Algorithm 3). Returns false if the
+  /// key is absent (no insertion happens).
+  virtual bool update(std::string_view key, std::string_view value) = 0;
+
+  /// Delete a key (Algorithm 5). Returns false if the key is absent.
+  virtual bool remove(std::string_view key) = 0;
+
+  /// Ordered scan: collect up to `limit` entries with key >= lo, in key
+  /// order. Returns the number collected.
+  virtual size_t range(std::string_view lo, size_t limit,
+                       std::vector<std::pair<std::string, std::string>>* out)
+      const = 0;
+
+  /// Number of live keys.
+  virtual size_t size() const = 0;
+
+  virtual MemoryUsage memory_usage() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace hart::common

@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation used by workload generators,
+// property tests and the crash simulator. Everything in this repo that is
+// "random" is seeded so every experiment is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hart::common {
+
+/// xoshiro256** 1.0 (Blackman & Vigna, public domain reference algorithm).
+/// Small, fast, and good enough statistical quality for workload synthesis.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding so nearby seeds give unrelated streams.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t next_below(uint64_t bound) {
+    // Lemire's nearly-divisionless bounded generation, simplified: the tiny
+    // modulo bias of a plain % is irrelevant here, but the multiply-shift
+    // method is faster than % and unbiased enough for workloads.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace hart::common

@@ -1,0 +1,61 @@
+// A tiny fixed-width table printer used by the benchmark harness to emit
+// paper-shaped result tables on stdout.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hart::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int prec = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<size_t> w(header_.size(), 0);
+    for (size_t i = 0; i < header_.size(); ++i) w[i] = header_[i].size();
+    for (const auto& r : rows_)
+      for (size_t i = 0; i < r.size() && i < w.size(); ++i)
+        if (r[i].size() > w[i]) w[i] = r[i].size();
+
+    auto line = [&] {
+      os << '+';
+      for (size_t i = 0; i < w.size(); ++i)
+        os << std::string(w[i] + 2, '-') << '+';
+      os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string>& r) {
+      os << '|';
+      for (size_t i = 0; i < w.size(); ++i) {
+        const std::string& cell = i < r.size() ? r[i] : std::string();
+        os << ' ' << cell << std::string(w[i] - cell.size() + 1, ' ') << '|';
+      }
+      os << '\n';
+    };
+    line();
+    emit(header_);
+    line();
+    for (const auto& r : rows_) emit(r);
+    line();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hart::common

@@ -1,0 +1,359 @@
+#include "epalloc/epalloc.h"
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace hart::epalloc {
+
+EPAllocator::EPAllocator(pmem::Arena& arena, EPRoot* root,
+                         uint32_t leaf_obj_size, LeafProbeFn probe,
+                         LeafClearFn clear)
+    : arena_(arena), root_(root), probe_(probe), clear_(clear) {
+  types_[static_cast<int>(ObjType::kLeaf)].geom =
+      TypeGeometry::for_obj_size(leaf_obj_size);
+  for (int t = 1; t < kNumObjTypes; ++t)
+    types_[t].geom = TypeGeometry::for_obj_size(
+        value_class_size(static_cast<ObjType>(t)));
+}
+
+void EPAllocator::persist_head(ObjType t) {
+  arena_.persist(&root_->heads[static_cast<int>(t)], sizeof(uint64_t));
+}
+
+void EPAllocator::make_available_locked(TypeState& st, uint64_t chunk_off,
+                                        ChunkState& cs) {
+  if (!cs.in_avail) {
+    cs.in_avail = true;
+    st.avail.push_back(chunk_off);
+  }
+}
+
+uint64_t EPAllocator::new_chunk_locked(TypeState& st, ObjType t) {
+  const TypeGeometry& g = st.geom;
+  const uint64_t off = arena_.alloc(g.chunk_bytes, g.stride);
+  auto* c = chunk_ptr(off);
+  // Zero the whole chunk so stale-value probes on never-used leaf slots see
+  // a null p_value, then make it durable before linking (Alg. 2 lines 8-10;
+  // a crash before the head update leaves the chunk unreachable, and the
+  // recovery reachability scan frees it — no leak).
+  std::memset(c, 0, g.chunk_bytes);
+  c->header = ChunkHdr::make(0, 0, kIndAvailable);
+  c->pnext = root_->heads[static_cast<int>(t)];
+  arena_.persist(c, g.chunk_bytes);
+  root_->heads[static_cast<int>(t)] = off;
+  persist_head(t);
+
+  if (c->pnext != pmem::kNullOff) {
+    auto it = st.chunks.find(c->pnext);
+    assert(it != st.chunks.end());
+    it->second.prev = off;
+  }
+  ChunkState& cs = st.chunks[off];
+  cs.reserved = 0;
+  cs.prev = 0;
+  make_available_locked(st, off, cs);
+  return off;
+}
+
+uint64_t EPAllocator::ep_malloc(ObjType t) {
+  TypeState& st = ts(t);
+  uint64_t obj_off = 0;
+  {
+    std::lock_guard lk(st.mu);
+    for (;;) {
+      while (!st.avail.empty()) {
+        const uint64_t c_off = st.avail.back();
+        auto it = st.chunks.find(c_off);
+        if (it == st.chunks.end()) {  // recycled; stale avail entry
+          st.avail.pop_back();
+          continue;
+        }
+        ChunkState& cs = it->second;
+        const uint64_t occupied =
+            ChunkHdr::bitmap(chunk_ptr(c_off)->header) | cs.reserved;
+        const auto idx = static_cast<uint32_t>(std::countr_one(occupied));
+        if (idx >= kObjectsPerChunk) {  // actually full
+          cs.in_avail = false;
+          st.avail.pop_back();
+          continue;
+        }
+        cs.reserved |= (uint64_t{1} << idx);
+        obj_off = st.geom.object_off(c_off, idx);
+        break;
+      }
+      if (obj_off != 0) break;
+      new_chunk_locked(st, t);
+    }
+  }
+
+  // Algorithm 2 lines 12-16: a free leaf slot may still reference a value
+  // committed by a prior incomplete insertion or deletion; reclaim it so
+  // the value object becomes allocatable again.
+  if (t == ObjType::kLeaf && probe_ != nullptr) {
+    const LeafValueRef ref = probe_(arena_, obj_off);
+    if (ref.value_off != 0 && bit_is_set(ref.cls, ref.value_off)) {
+      free_object(ref.cls, ref.value_off);
+      recycle_chunk_of(ref.cls, ref.value_off);
+      clear_(arena_, obj_off);
+    }
+  }
+  return obj_off;
+}
+
+void EPAllocator::commit(ObjType t, uint64_t obj_off) {
+  TypeState& st = ts(t);
+  const uint64_t c_off = st.geom.chunk_of(obj_off);
+  const uint32_t idx = st.geom.index_of(obj_off);
+  std::lock_guard lk(st.mu);
+  auto* c = chunk_ptr(c_off);
+  std::atomic_ref<uint64_t>(c->header)
+      .store(ChunkHdr::with_bit(c->header, idx, true),
+             std::memory_order_release);
+  arena_.persist(&c->header, sizeof(c->header));
+  auto it = st.chunks.find(c_off);
+  assert(it != st.chunks.end());
+  it->second.reserved &= ~(uint64_t{1} << idx);
+}
+
+void EPAllocator::release(ObjType t, uint64_t obj_off) {
+  TypeState& st = ts(t);
+  const uint64_t c_off = st.geom.chunk_of(obj_off);
+  const uint32_t idx = st.geom.index_of(obj_off);
+  std::lock_guard lk(st.mu);
+  auto it = st.chunks.find(c_off);
+  assert(it != st.chunks.end());
+  it->second.reserved &= ~(uint64_t{1} << idx);
+  make_available_locked(st, c_off, it->second);
+}
+
+void EPAllocator::free_object_locked(TypeState& st, uint64_t obj_off) {
+  const uint64_t c_off = st.geom.chunk_of(obj_off);
+  const uint32_t idx = st.geom.index_of(obj_off);
+  auto* c = chunk_ptr(c_off);
+  assert((ChunkHdr::bitmap(c->header) >> idx) & 1);
+  std::atomic_ref<uint64_t>(c->header)
+      .store(ChunkHdr::with_bit(c->header, idx, false),
+             std::memory_order_release);
+  arena_.persist(&c->header, sizeof(c->header));
+  auto it = st.chunks.find(c_off);
+  assert(it != st.chunks.end());
+  make_available_locked(st, c_off, it->second);
+}
+
+void EPAllocator::free_object(ObjType t, uint64_t obj_off) {
+  TypeState& st = ts(t);
+  std::lock_guard lk(st.mu);
+  free_object_locked(st, obj_off);
+}
+
+void EPAllocator::free_leaf_with_value(uint64_t leaf_off, ObjType vcls,
+                                       uint64_t val_off) {
+  TypeState& leaf_st = ts(ObjType::kLeaf);
+  std::lock_guard lk(leaf_st.mu);  // blocks leaf reservations throughout
+  // Alg. 5 line 11: reset the leaf bit (the delete's commit point).
+  free_object_locked(leaf_st, leaf_off);
+  // Alg. 5 line 12: reset the value bit (nested LEAF -> VALUE lock order,
+  // same as the stale-value probe path).
+  {
+    TypeState& val_st = ts(vcls);
+    std::lock_guard vlk(val_st.mu);
+    free_object_locked(val_st, val_off);
+  }
+  // Clear the leaf's dangling value pointer so the freed value slot can be
+  // safely re-allocated to another key (see Hart::remove and DESIGN.md).
+  clear_(arena_, leaf_off);
+}
+
+bool EPAllocator::bit_probe(ObjType t, uint64_t obj_off) const {
+  const TypeGeometry& g = geom(t);
+  auto* c = chunk_ptr(g.chunk_of(obj_off));
+  const uint64_t w =
+      std::atomic_ref<uint64_t>(c->header).load(std::memory_order_acquire);
+  return (ChunkHdr::bitmap(w) >> g.index_of(obj_off)) & 1;
+}
+
+bool EPAllocator::bit_is_set(ObjType t, uint64_t obj_off) const {
+  const TypeState& st = ts(t);
+  const uint64_t c_off = st.geom.chunk_of(obj_off);
+  const uint32_t idx = st.geom.index_of(obj_off);
+  std::lock_guard lk(st.mu);
+  if (st.chunks.find(c_off) == st.chunks.end()) return false;
+  return (ChunkHdr::bitmap(chunk_ptr(c_off)->header) >> idx) & 1;
+}
+
+void EPAllocator::recycle_chunk_of(ObjType t, uint64_t obj_off) {
+  TypeState& st = ts(t);
+  const uint64_t c_off = st.geom.chunk_of(obj_off);
+  std::lock_guard lk(st.mu);
+  auto it = st.chunks.find(c_off);
+  if (it == st.chunks.end()) return;  // already recycled
+  ChunkState& cs = it->second;
+  auto* c = chunk_ptr(c_off);
+  // Algorithm 6 lines 1-2: only an entirely empty chunk is recycled.
+  if (ChunkHdr::bitmap(c->header) != 0 || cs.reserved != 0) return;
+
+  RecycleLog& rlog = root_->rlog;
+  rlog.type_plus1 = static_cast<uint64_t>(t) + 1;
+  rlog.pcurrent = c_off;
+  arena_.persist(&rlog, sizeof(rlog));
+
+  const uint64_t next = c->pnext;
+  uint64_t prev = 0;
+  if (root_->heads[static_cast<int>(t)] == c_off) {
+    root_->heads[static_cast<int>(t)] = next;
+    persist_head(t);
+  } else {
+    prev = cs.prev;
+    assert(prev != 0);
+    rlog.pprev = prev;
+    arena_.persist(&rlog.pprev, sizeof(rlog.pprev));
+    auto* pc = chunk_ptr(prev);
+    pc->pnext = next;
+    arena_.persist(&pc->pnext, sizeof(pc->pnext));
+  }
+  if (next != pmem::kNullOff) {
+    auto nit = st.chunks.find(next);
+    assert(nit != st.chunks.end());
+    nit->second.prev = prev;
+  }
+  st.chunks.erase(it);  // stale avail entries are skipped on pop
+  arena_.free(c_off, st.geom.chunk_bytes, st.geom.stride);
+
+  rlog = RecycleLog{};
+  arena_.persist(&rlog, sizeof(rlog));
+}
+
+UpdateLog* EPAllocator::acquire_ulog() {
+  for (;;) {
+    {
+      std::lock_guard lk(ulog_mu_);
+      const auto idx = static_cast<uint32_t>(std::countr_one(ulog_busy_));
+      if (idx < kUpdateLogSlots) {
+        ulog_busy_ |= (uint32_t{1} << idx);
+        return &root_->ulogs[idx];
+      }
+    }
+    std::this_thread::yield();  // all slots in flight; extremely unlikely
+  }
+}
+
+void EPAllocator::reclaim_ulog(UpdateLog* log) {
+  *log = UpdateLog{};
+  arena_.persist(log, sizeof(*log));
+  const auto idx = static_cast<uint32_t>(log - root_->ulogs);
+  std::lock_guard lk(ulog_mu_);
+  ulog_busy_ &= ~(uint32_t{1} << idx);
+}
+
+void EPAllocator::finish_recycle_log() {
+  RecycleLog& rlog = root_->rlog;
+  if (rlog.pcurrent == 0) return;
+  const ObjType t = rlog.type();
+  const uint64_t c_off = rlog.pcurrent;
+  auto* c = chunk_ptr(c_off);
+  if (rlog.pprev != 0) {
+    // Crash somewhere around line 10: redo the unlink if still pending.
+    auto* pc = chunk_ptr(rlog.pprev);
+    if (pc->pnext == c_off) {
+      pc->pnext = c->pnext;
+      arena_.persist(&pc->pnext, sizeof(pc->pnext));
+    }
+  } else {
+    uint64_t& head = root_->heads[static_cast<int>(t)];
+    if (head == c_off) {
+      // Crash before the head was updated: resume from line 6.
+      head = c->pnext;
+      persist_head(t);
+    }
+    // Otherwise either the head update already persisted (c->pnext == head)
+    // or the log was written but nothing else happened with the chunk not
+    // at the head; in both cases the list is consistent as-is. The chunk,
+    // if unlinked, is unreachable and thus freed by the reachability scan.
+  }
+  rlog = RecycleLog{};
+  arena_.persist(&rlog, sizeof(rlog));
+}
+
+void EPAllocator::recover_structure() {
+  finish_recycle_log();
+
+  arena_.reset_alloc_map();
+  for (auto& st : types_) {
+    std::lock_guard lk(st.mu);
+    st.chunks.clear();
+    st.avail.clear();
+  }
+  ulog_busy_ = 0;
+
+  const uint64_t max_chunks =
+      arena_.size() / sizeof(MemChunk);  // loop guard for corrupt lists
+  for (int ti = 0; ti < kNumObjTypes; ++ti) {
+    TypeState& st = types_[ti];
+    std::lock_guard lk(st.mu);
+    uint64_t prev = 0;
+    uint64_t off = root_->heads[ti];
+    uint64_t n = 0;
+    while (off != pmem::kNullOff) {
+      if (++n > max_chunks)
+        throw std::runtime_error("EPAllocator: cyclic chunk list");
+      arena_.mark_used(off, st.geom.chunk_bytes);
+      auto* c = chunk_ptr(off);
+      ChunkState& cs = st.chunks[off];
+      cs.reserved = 0;
+      cs.prev = prev;
+      cs.in_avail = false;
+      if (ChunkHdr::bitmap(c->header) != kBitmapMask)
+        make_available_locked(st, off, cs);
+      prev = off;
+      off = c->pnext;
+    }
+  }
+}
+
+void EPAllocator::for_each_live(
+    ObjType t, const std::function<void(uint64_t)>& f) const {
+  const TypeState& st = ts(t);
+  uint64_t off = root_->heads[static_cast<int>(t)];
+  while (off != pmem::kNullOff) {
+    const auto* c = chunk_ptr(off);
+    uint64_t bm = ChunkHdr::bitmap(c->header);
+    while (bm != 0) {
+      const auto idx = static_cast<uint32_t>(std::countr_zero(bm));
+      bm &= bm - 1;
+      f(st.geom.object_off(off, idx));
+    }
+    off = c->pnext;
+  }
+}
+
+std::vector<uint64_t> EPAllocator::chunk_offsets(ObjType t) const {
+  std::vector<uint64_t> out;
+  uint64_t off = root_->heads[static_cast<int>(t)];
+  while (off != pmem::kNullOff) {
+    out.push_back(off);
+    off = chunk_ptr(off)->pnext;
+  }
+  return out;
+}
+
+uint64_t EPAllocator::live_objects(ObjType t) const {
+  const TypeState& st = ts(t);
+  std::lock_guard lk(st.mu);
+  uint64_t total = 0;
+  for (const auto& [off, cs] : st.chunks)
+    total += static_cast<uint64_t>(
+        std::popcount(ChunkHdr::bitmap(chunk_ptr(off)->header)));
+  return total;
+}
+
+uint64_t EPAllocator::chunk_count(ObjType t) const {
+  const TypeState& st = ts(t);
+  std::lock_guard lk(st.mu);
+  return st.chunks.size();
+}
+
+}  // namespace hart::epalloc

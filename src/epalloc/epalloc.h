@@ -1,0 +1,155 @@
+// EPallocator — the paper's enhanced persistent memory allocator
+// (Section III.A.4-6, Algorithms 2 and 6).
+//
+// Instead of persisting allocator metadata per object, EPallocator hands out
+// objects from 56-object chunks whose single 8-byte header word (bitmap +
+// hint + full indicator) is updated failure-atomically. Chunks of each type
+// form a singly linked persistent list rooted in EPRoot, which is both the
+// recovery index (Algorithm 7 walks the leaf list) and the leak-prevention
+// device: an object's bit is set only *after* the object is fully linked
+// into the index, so a crash in between leaves the slot free.
+//
+// Two-phase allocation: ep_malloc() returns a *reserved* object (volatile
+// reservation, so concurrent writers on different ARTs never collide), and
+// commit() sets the persistent bit. Reservations evaporate at a crash —
+// which is exactly the paper's leak-freedom argument.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "epalloc/chunk.h"
+#include "epalloc/micrologs.h"
+#include "pmem/arena.h"
+
+namespace hart::epalloc {
+
+class EPAllocator {
+ public:
+  /// Result of probing a free leaf slot for a dangling committed value left
+  /// by a prior incomplete insertion or deletion (Algorithm 2, lines 12-16).
+  struct LeafValueRef {
+    uint64_t value_off = 0;  // 0 = no dangling value
+    ObjType cls = ObjType::kValue8;
+  };
+  /// Reads the (stale) leaf at `leaf_off` and reports its value reference.
+  using LeafProbeFn = LeafValueRef (*)(const pmem::Arena&, uint64_t leaf_off);
+  /// Clears the stale leaf's value pointer (object.p_value = NULL).
+  using LeafClearFn = void (*)(pmem::Arena&, uint64_t leaf_off);
+
+  /// `root` must live in the arena header (persistent). On a fresh arena it
+  /// must be zero; on reopen call recover_structure() before any use.
+  EPAllocator(pmem::Arena& arena, EPRoot* root, uint32_t leaf_obj_size,
+              LeafProbeFn probe, LeafClearFn clear);
+
+  EPAllocator(const EPAllocator&) = delete;
+  EPAllocator& operator=(const EPAllocator&) = delete;
+
+  /// Algorithm 2. Returns the arena offset of a reserved object. The
+  /// persistent bit is not yet set; call commit() once the object is
+  /// reachable from the index, or release() to abort.
+  uint64_t ep_malloc(ObjType t);
+
+  /// Set and persist the object's bitmap bit (e.g. Alg. 1 lines 14/18).
+  void commit(ObjType t, uint64_t obj_off);
+
+  /// Drop a reservation without committing (abort path; no crash involved).
+  void release(ObjType t, uint64_t obj_off);
+
+  /// Reset and persist the object's bitmap bit (deletion / update paths).
+  /// Does not recycle; call recycle_chunk_of() afterwards (Alg. 5/6).
+  void free_object(ObjType t, uint64_t obj_off);
+
+  /// Deletion path (Alg. 5 lines 11-12 plus the p_value clear deviation,
+  /// see DESIGN.md): atomically — with respect to leaf reservations —
+  /// reset the leaf bit, reset the value bit, and clear the leaf's value
+  /// pointer. Holding the leaf mutex across all three prevents another
+  /// writer from reserving the just-freed leaf slot and racing the
+  /// stale-value probe against this clear.
+  void free_leaf_with_value(uint64_t leaf_off, ObjType vcls,
+                            uint64_t val_off);
+
+  /// EPRecycle(MemChunkOf(obj)) — Algorithm 6. Unlinks and frees the chunk
+  /// if it contains no used (or reserved) object.
+  void recycle_chunk_of(ObjType t, uint64_t obj_off);
+
+  [[nodiscard]] bool bit_is_set(ObjType t, uint64_t obj_off) const;
+
+  /// Lock-free read of an object's persistent bit, for concurrent readers
+  /// (HART search validates the leaf bit, Algorithm 4 line 9). Header words
+  /// are updated with atomic 8-byte stores, so this is race-free.
+  [[nodiscard]] bool bit_probe(ObjType t, uint64_t obj_off) const;
+  [[nodiscard]] const TypeGeometry& geom(ObjType t) const {
+    return types_[static_cast<int>(t)].geom;
+  }
+  [[nodiscard]] uint64_t chunk_of(ObjType t, uint64_t obj_off) const {
+    return geom(t).chunk_of(obj_off);
+  }
+
+  // ---- update-log slot pool (Algorithm 3 uses one slot per update) ----
+  UpdateLog* acquire_ulog();
+  /// LogReclaim: zero + persist the slot, return it to the pool.
+  void reclaim_ulog(UpdateLog* log);
+
+  // ---- recovery -------------------------------------------------------
+  /// Structural recovery: finish or roll back the recycle log, rebuild the
+  /// arena allocation map from the reachable chunk lists (leak freedom by
+  /// construction), and rebuild all volatile state. The caller then replays
+  /// its update logs and rebuilds DRAM structures (Algorithm 7).
+  void recover_structure();
+
+  /// Invoke `f(obj_off)` for every object whose bit is set, in list order.
+  void for_each_live(ObjType t,
+                     const std::function<void(uint64_t)>& f) const;
+
+  /// Snapshot of the chunk offsets of one list (parallel recovery shards
+  /// the leaf list across workers by chunk).
+  [[nodiscard]] std::vector<uint64_t> chunk_offsets(ObjType t) const;
+
+  // ---- introspection (tests, stats) -----------------------------------
+  [[nodiscard]] uint64_t live_objects(ObjType t) const;
+  [[nodiscard]] uint64_t chunk_count(ObjType t) const;
+  [[nodiscard]] uint64_t list_head(ObjType t) const {
+    return root_->heads[static_cast<int>(t)];
+  }
+
+ private:
+  struct ChunkState {
+    uint64_t reserved = 0;  // volatile reservation bitmap
+    uint64_t prev = 0;      // volatile back-pointer in the chunk list
+    bool in_avail = false;
+  };
+  struct TypeState {
+    TypeGeometry geom;
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, ChunkState> chunks;
+    std::vector<uint64_t> avail;  // chunks that may have a free slot
+  };
+
+  TypeState& ts(ObjType t) { return types_[static_cast<int>(t)]; }
+  const TypeState& ts(ObjType t) const {
+    return types_[static_cast<int>(t)];
+  }
+  MemChunk* chunk_ptr(uint64_t off) const {
+    return arena_.ptr<MemChunk>(off);
+  }
+  uint64_t new_chunk_locked(TypeState& st, ObjType t);
+  void free_object_locked(TypeState& st, uint64_t obj_off);
+  void make_available_locked(TypeState& st, uint64_t chunk_off,
+                             ChunkState& cs);
+  void persist_head(ObjType t);
+  void finish_recycle_log();
+
+  pmem::Arena& arena_;
+  EPRoot* root_;
+  LeafProbeFn probe_;
+  LeafClearFn clear_;
+  TypeState types_[kNumObjTypes];
+  std::mutex ulog_mu_;
+  uint32_t ulog_busy_ = 0;  // bitmask over kUpdateLogSlots (<= 32)
+};
+
+}  // namespace hart::epalloc

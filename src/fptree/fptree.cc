@@ -1,0 +1,478 @@
+#include "fptree/fptree.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "woart/pm_nodes.h"  // PmValue / alloc_value / free_value
+
+namespace hart::fptree {
+
+namespace {
+constexpr uint64_t kFpMagic = 0x46505452'45450001ULL;
+constexpr uint64_t kLeafFullMask = (uint64_t{1} << kLeafSlots) - 1;
+
+void validate_key(std::string_view key) {
+  if (key.empty() || key.size() > common::kMaxKeyLen)
+    throw std::invalid_argument("key length must be 1..24 bytes");
+  if (std::memchr(key.data(), 0, key.size()) != nullptr)
+    throw std::invalid_argument("keys must not contain NUL bytes");
+}
+void validate_value(std::string_view value) {
+  if (value.empty() || value.size() > common::kMaxValueLen)
+    throw std::invalid_argument("value length must be 1..64 bytes");
+}
+
+std::string_view entry_key(const FpLeaf::Entry& e) {
+  return {e.key, e.klen};
+}
+}  // namespace
+
+uint8_t FpTree::fingerprint(std::string_view key) {
+  uint32_t h = 2166136261u;  // FNV-1a, folded to one byte
+  for (const char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return static_cast<uint8_t>(h ^ (h >> 8) ^ (h >> 16) ^ (h >> 24));
+}
+
+FpTree::FpTree(pmem::Arena& arena)
+    : arena_(arena), root_(arena.root<Root>()) {
+  if (root_->magic == kFpMagic) {
+    recover();
+  } else {
+    *root_ = Root{};
+    root_->magic = kFpMagic;
+    arena_.persist(root_, sizeof(*root_));
+  }
+}
+
+FpTree::~FpTree() {
+  if (!root_is_leaf_ && tree_root_ != 0) free_inner_rec(tree_root_, false);
+}
+
+FpTree::Inner* FpTree::new_inner() {
+  auto* p = new Inner();
+  dram_bytes_.fetch_add(sizeof(Inner), std::memory_order_relaxed);
+  return p;
+}
+
+void FpTree::free_inner_rec(uint64_t ref, bool /*is_leaf_level*/) {
+  Inner* n = inner_at(ref);
+  if (!n->child_is_leaf)
+    for (uint16_t i = 0; i < n->count; ++i)
+      free_inner_rec(n->children[i], false);
+  dram_bytes_.fetch_sub(sizeof(Inner), std::memory_order_relaxed);
+  delete n;
+}
+
+uint64_t FpTree::alloc_leaf() {
+  const uint64_t off = arena_.alloc(sizeof(FpLeaf), 64);
+  auto* l = leaf_at(off);
+  std::memset(l, 0, sizeof(FpLeaf));
+  return off;
+}
+
+int FpTree::find_slot(const FpLeaf* l, std::string_view key,
+                      uint8_t fp) const {
+  arena_.pm_read(l->fp, sizeof(l->fp));  // the fingerprint scan
+  for (uint32_t i = 0; i < kLeafSlots; ++i) {
+    if (((l->bitmap >> i) & 1) == 0 || l->fp[i] != fp) continue;
+    arena_.pm_read(&l->kv[i], sizeof(FpLeaf::Entry));
+    if (entry_key(l->kv[i]) == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int FpTree::free_slot(const FpLeaf* l) const {
+  const auto i = static_cast<uint32_t>(std::countr_one(l->bitmap));
+  return i < kLeafSlots ? static_cast<int>(i) : -1;
+}
+
+IKey FpTree::leaf_min_key(const FpLeaf* l) const {
+  IKey best;
+  bool have = false;
+  for (uint32_t i = 0; i < kLeafSlots; ++i)
+    if ((l->bitmap >> i) & 1) {
+      IKey k = IKey::of(entry_key(l->kv[i]));
+      if (!have || k < best) {
+        best = k;
+        have = true;
+      }
+    }
+  assert(have);
+  return best;
+}
+
+uint64_t FpTree::descend(std::string_view key) const {
+  uint64_t ref = tree_root_;
+  bool is_leaf = root_is_leaf_;
+  while (!is_leaf) {
+    const Inner* n = inner_at(ref);
+    const IKey k = IKey::of(key);
+    const auto* end = n->keys + (n->count - 1);
+    const auto* it = std::upper_bound(n->keys, end, k);
+    ref = n->children[it - n->keys];
+    is_leaf = n->child_is_leaf;
+  }
+  return ref;
+}
+
+// Write a fresh entry into `slot` (allocating its out-of-leaf value) and
+// commit it via the bitmap word.
+void FpTree::leaf_put(FpLeaf* l, int slot, std::string_view key,
+                      std::string_view value, uint8_t fp) {
+  auto& e = l->kv[slot];
+  e.p_value = pmart::alloc_value(arena_, value);
+  std::memcpy(e.key, key.data(), key.size());
+  e.klen = static_cast<uint8_t>(key.size());
+  arena_.persist(&e, sizeof(e));
+  l->fp[slot] = fp;
+  arena_.persist(&l->fp[slot], 1);
+  l->bitmap |= (uint64_t{1} << slot);  // atomic commit
+  arena_.persist(&l->bitmap, sizeof(l->bitmap));
+}
+
+// Split `leaf_off` around its median key, guarded by the split micro-log.
+FpTree::Split FpTree::split_leaf(uint64_t leaf_off) {
+  FpLeaf* cur = leaf_at(leaf_off);
+
+  // Choose the median of the in-leaf keys; entries >= median move right.
+  std::vector<IKey> keys;
+  keys.reserve(kLeafSlots);
+  for (uint32_t i = 0; i < kLeafSlots; ++i)
+    if ((cur->bitmap >> i) & 1) keys.push_back(IKey::of(entry_key(cur->kv[i])));
+  std::nth_element(keys.begin(), keys.begin() + keys.size() / 2, keys.end());
+  const IKey median = keys[keys.size() / 2];
+
+  // µlog step 1: record the leaf being split.
+  root_->slog_cur = leaf_off;
+  arena_.persist(&root_->slog_cur, sizeof(root_->slog_cur));
+
+  // Build the new right sibling in full, then persist it.
+  const uint64_t right_off = alloc_leaf();
+  FpLeaf* right = leaf_at(right_off);
+  uint64_t moved = 0;
+  uint32_t j = 0;
+  for (uint32_t i = 0; i < kLeafSlots; ++i) {
+    if (((cur->bitmap >> i) & 1) == 0) continue;
+    if (entry_key(cur->kv[i]) < median.view()) continue;
+    right->kv[j] = cur->kv[i];
+    right->fp[j] = cur->fp[i];
+    right->bitmap |= (uint64_t{1} << j);
+    ++j;
+    moved |= (uint64_t{1} << i);
+  }
+  right->next = cur->next;
+  arena_.persist(right, sizeof(FpLeaf));
+
+  // µlog step 2: the new leaf is ready; from here recovery can redo.
+  root_->slog_new = right_off;
+  arena_.persist(&root_->slog_new, sizeof(root_->slog_new));
+
+  cur->next = right_off;
+  arena_.persist(&cur->next, sizeof(cur->next));
+  cur->bitmap &= ~moved;  // atomic removal of the moved entries
+  arena_.persist(&cur->bitmap, sizeof(cur->bitmap));
+
+  root_->slog_cur = root_->slog_new = 0;
+  arena_.persist(&root_->slog_cur, 2 * sizeof(uint64_t));
+
+  Split s;
+  s.happened = true;
+  s.sep = median;
+  s.right = right_off;
+  return s;
+}
+
+// Redo or roll back an interrupted split (constructor/recover path).
+void FpTree::finish_split_log() {
+  if (root_->slog_cur == 0) return;
+  if (root_->slog_new != 0) {
+    FpLeaf* cur = leaf_at(root_->slog_cur);
+    FpLeaf* right = leaf_at(root_->slog_new);
+    if (cur->next != root_->slog_new) {
+      cur->next = root_->slog_new;
+      arena_.persist(&cur->next, sizeof(cur->next));
+    }
+    // Clear entries from cur that were moved right (present in both).
+    uint64_t moved = 0;
+    for (uint32_t i = 0; i < kLeafSlots; ++i) {
+      if (((cur->bitmap >> i) & 1) == 0) continue;
+      for (uint32_t k = 0; k < kLeafSlots; ++k)
+        if (((right->bitmap >> k) & 1) &&
+            entry_key(right->kv[k]) == entry_key(cur->kv[i]))
+          moved |= (uint64_t{1} << i);
+    }
+    if (moved != 0) {
+      cur->bitmap &= ~moved;
+      arena_.persist(&cur->bitmap, sizeof(cur->bitmap));
+    }
+  }
+  // slog_new == 0: the new leaf was never linked; it is unreachable and the
+  // allocation-map rebuild reclaims it. Either way, reset the log.
+  root_->slog_cur = root_->slog_new = 0;
+  arena_.persist(&root_->slog_cur, 2 * sizeof(uint64_t));
+}
+
+FpTree::Split FpTree::insert_rec(uint64_t ref, bool is_leaf,
+                                 std::string_view key,
+                                 std::string_view value, bool* inserted) {
+  if (is_leaf) {
+    FpLeaf* l = leaf_at(ref);
+    const uint8_t fp = fingerprint(key);
+    const int existing = find_slot(l, key, fp);
+    if (existing >= 0) {
+      // Out-of-place value update: allocate and persist the new value,
+      // swing the entry's 8-byte value pointer, free the old value.
+      *inserted = false;
+      auto& e = l->kv[existing];
+      const uint64_t old = e.p_value;
+      e.p_value = pmart::alloc_value(arena_, value);
+      arena_.persist(&e.p_value, sizeof(e.p_value));
+      pmart::free_value(arena_, old);
+      return {};
+    }
+    *inserted = true;
+    int slot = free_slot(l);
+    if (slot >= 0) {
+      leaf_put(l, slot, key, value, fp);
+      return {};
+    }
+    const Split s = split_leaf(ref);
+    FpLeaf* target = key < s.sep.view() ? l : leaf_at(s.right);
+    slot = free_slot(target);
+    assert(slot >= 0);
+    leaf_put(target, slot, key, value, fp);
+    return s;
+  }
+
+  Inner* n = inner_at(ref);
+  const IKey k = IKey::of(key);
+  const IKey* begin = n->keys;
+  const IKey* it = std::upper_bound(begin, begin + (n->count - 1), k);
+  const auto idx = static_cast<uint32_t>(it - begin);
+  const Split child_split =
+      insert_rec(n->children[idx], n->child_is_leaf, key, value, inserted);
+  if (!child_split.happened) return {};
+
+  // Insert (sep, right) after child idx; split this inner if full.
+  if (n->count < kInnerFan) {
+    for (uint32_t i = n->count - 1; i > idx; --i) {
+      n->keys[i] = n->keys[i - 1];
+      n->children[i + 1] = n->children[i];
+    }
+    n->keys[idx] = child_split.sep;
+    n->children[idx + 1] = child_split.right;
+    ++n->count;
+    return {};
+  }
+  // Inner split (DRAM only — no persistence needed).
+  std::vector<IKey> keys(n->keys, n->keys + (n->count - 1));
+  std::vector<uint64_t> children(n->children, n->children + n->count);
+  keys.insert(keys.begin() + idx, child_split.sep);
+  children.insert(children.begin() + idx + 1, child_split.right);
+  const size_t total = children.size();
+  const size_t left_n = total / 2;
+
+  Inner* rightn = new_inner();
+  rightn->child_is_leaf = n->child_is_leaf;
+  rightn->count = static_cast<uint16_t>(total - left_n);
+  for (size_t i = 0; i < total - left_n; ++i)
+    rightn->children[i] = children[left_n + i];
+  for (size_t i = 0; i + 1 < total - left_n; ++i)
+    rightn->keys[i] = keys[left_n + i];
+
+  n->count = static_cast<uint16_t>(left_n);
+  for (size_t i = 0; i < left_n; ++i) n->children[i] = children[i];
+  for (size_t i = 0; i + 1 < left_n; ++i) n->keys[i] = keys[i];
+
+  Split up;
+  up.happened = true;
+  up.sep = keys[left_n - 1];
+  up.right = inner_ref(rightn);
+  return up;
+}
+
+bool FpTree::insert(std::string_view key, std::string_view value) {
+  validate_key(key);
+  validate_value(value);
+  if (tree_root_ == 0) {  // very first leaf
+    const uint64_t off = alloc_leaf();
+    FpLeaf* l = leaf_at(off);
+    leaf_put(l, 0, key, value, fingerprint(key));
+    arena_.persist(l, sizeof(FpLeaf));
+    root_->head = off;
+    arena_.persist(&root_->head, sizeof(root_->head));
+    tree_root_ = off;
+    root_is_leaf_ = true;
+    count_ = 1;
+    return true;
+  }
+  bool inserted = false;
+  const Split s = insert_rec(tree_root_, root_is_leaf_, key, value,
+                             &inserted);
+  if (s.happened) {
+    Inner* nr = new_inner();
+    nr->child_is_leaf = root_is_leaf_;
+    nr->count = 2;
+    nr->keys[0] = s.sep;
+    nr->children[0] = tree_root_;
+    nr->children[1] = s.right;
+    tree_root_ = inner_ref(nr);
+    root_is_leaf_ = false;
+  }
+  if (inserted) ++count_;
+  return inserted;
+}
+
+bool FpTree::search(std::string_view key, std::string* out) const {
+  validate_key(key);
+  if (tree_root_ == 0) return false;
+  const uint64_t loff = descend(key);
+  const FpLeaf* l = leaf_at(loff);
+  const int slot = find_slot(l, key, fingerprint(key));
+  if (slot < 0) return false;
+  const auto* v = arena_.ptr<pmart::PmValue>(l->kv[slot].p_value);
+  arena_.pm_read(v, 1 + v->len);
+  if (out != nullptr) out->assign(v->data, v->len);
+  return true;
+}
+
+bool FpTree::update(std::string_view key, std::string_view value) {
+  validate_key(key);
+  validate_value(value);
+  if (tree_root_ == 0) return false;
+  // Reuse the insert path's update branch only when the key exists.
+  if (!search(key, nullptr)) return false;
+  bool inserted = false;
+  const Split s = insert_rec(tree_root_, root_is_leaf_, key, value,
+                             &inserted);
+  if (s.happened) {
+    Inner* nr = new_inner();
+    nr->child_is_leaf = root_is_leaf_;
+    nr->count = 2;
+    nr->keys[0] = s.sep;
+    nr->children[0] = tree_root_;
+    nr->children[1] = s.right;
+    tree_root_ = inner_ref(nr);
+    root_is_leaf_ = false;
+  }
+  assert(!inserted);
+  return true;
+}
+
+bool FpTree::remove(std::string_view key) {
+  validate_key(key);
+  if (tree_root_ == 0) return false;
+  const uint64_t loff = descend(key);
+  FpLeaf* l = leaf_at(loff);
+  const int slot = find_slot(l, key, fingerprint(key));
+  if (slot < 0) return false;
+  const uint64_t voff = l->kv[slot].p_value;
+  l->bitmap &= ~(uint64_t{1} << slot);  // atomic un-commit; no coalescing
+  arena_.persist(&l->bitmap, sizeof(l->bitmap));
+  pmart::free_value(arena_, voff);
+  --count_;
+  return true;
+}
+
+size_t FpTree::range(
+    std::string_view lo, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  validate_key(lo);
+  out->clear();
+  if (limit == 0 || tree_root_ == 0) return 0;
+  uint64_t loff = descend(lo);
+  while (loff != 0 && out->size() < limit) {
+    const FpLeaf* l = leaf_at(loff);
+    arena_.pm_read(l, sizeof(uint64_t) + sizeof(l->fp));
+    std::vector<std::pair<std::string, std::string>> batch;
+    for (uint32_t i = 0; i < kLeafSlots; ++i)
+      if ((l->bitmap >> i) & 1) {
+        arena_.pm_read(&l->kv[i], sizeof(FpLeaf::Entry));
+        std::string k(l->kv[i].key, l->kv[i].klen);
+        if (k < lo) continue;
+        const auto* v = arena_.ptr<pmart::PmValue>(l->kv[i].p_value);
+        arena_.pm_read(v, 1 + v->len);
+        batch.emplace_back(std::move(k), std::string(v->data, v->len));
+      }
+    std::sort(batch.begin(), batch.end());  // leaves are unsorted
+    for (auto& kv : batch) {
+      out->push_back(std::move(kv));
+      if (out->size() >= limit) break;
+    }
+    loff = l->next;
+  }
+  return out->size();
+}
+
+common::MemoryUsage FpTree::memory_usage() const {
+  common::MemoryUsage u;
+  u.dram_bytes = dram_bytes_.load(std::memory_order_relaxed);
+  u.pm_bytes = arena_.stats().pm_live_bytes.load(std::memory_order_relaxed);
+  return u;
+}
+
+void FpTree::recover() {
+  if (!root_is_leaf_ && tree_root_ != 0) free_inner_rec(tree_root_, false);
+  tree_root_ = 0;
+  root_is_leaf_ = true;
+  count_ = 0;
+
+  finish_split_log();
+
+  // Walk the persistent leaf list: re-mark allocations and collect the
+  // (min-key, leaf) pairs for the bulk rebuild of the inner levels.
+  arena_.reset_alloc_map();
+  std::vector<std::pair<IKey, uint64_t>> level;
+  uint64_t off = root_->head;
+  while (off != 0) {
+    arena_.mark_used(off, sizeof(FpLeaf));
+    const FpLeaf* l = leaf_at(off);
+    arena_.pm_read(l, sizeof(FpLeaf));
+    const auto live = static_cast<uint32_t>(
+        std::popcount(l->bitmap & kLeafFullMask));
+    count_ += live;
+    for (uint32_t i = 0; i < kLeafSlots; ++i)
+      if ((l->bitmap >> i) & 1) {
+        const auto* v = arena_.ptr<pmart::PmValue>(l->kv[i].p_value);
+        arena_.mark_used(l->kv[i].p_value, 1 + v->len);
+      }
+    if (live > 0) level.emplace_back(leaf_min_key(l), off);
+    off = l->next;
+  }
+  if (level.empty()) return;
+  if (level.size() == 1) {
+    tree_root_ = level[0].second;
+    root_is_leaf_ = true;
+    return;
+  }
+  // Bottom-up bulk build of the DRAM inner nodes.
+  bool child_is_leaf = true;
+  while (level.size() > 1) {
+    std::vector<std::pair<IKey, uint64_t>> parents;
+    size_t i = 0;
+    while (i < level.size()) {
+      const size_t take = std::min<size_t>(kInnerFan, level.size() - i);
+      Inner* n = new_inner();
+      n->child_is_leaf = child_is_leaf;
+      n->count = static_cast<uint16_t>(take);
+      for (size_t j = 0; j < take; ++j) {
+        n->children[j] = level[i + j].second;
+        if (j > 0) n->keys[j - 1] = level[i + j].first;
+      }
+      parents.emplace_back(level[i].first, inner_ref(n));
+      i += take;
+    }
+    level.swap(parents);
+    child_is_leaf = false;
+  }
+  tree_root_ = level[0].second;
+  root_is_leaf_ = false;
+}
+
+}  // namespace hart::fptree

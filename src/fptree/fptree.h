@@ -1,0 +1,136 @@
+// FPTree — Fingerprinting Persistent Tree (Oukid et al., SIGMOD 2016),
+// reimplemented as the HART paper did for its evaluation.
+//
+// A hybrid SCM-DRAM B+-tree: inner nodes are volatile (DRAM, rebuilt on
+// recovery from the persistent leaf list), leaf nodes live in PM. Leaves
+// are *unsorted*; each carries a validity bitmap (the failure-atomic commit
+// word), one-byte fingerprints of the in-leaf keys (a fingerprint scan
+// limits full key comparisons to ~1 per lookup), and a next pointer forming
+// the sorted leaf list used for range scans and recovery. Leaf splits are
+// made failure-atomic with a small persistent micro-log. Leaves are never
+// coalesced (the paper notes this as the reason FPTree consumes more PM).
+// Single-writer, like the paper's single-threaded evaluation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/index.h"
+#include "pmem/arena.h"
+
+namespace hart::fptree {
+
+inline constexpr uint32_t kLeafSlots = 48;
+inline constexpr uint32_t kInnerFan = 32;  // max children per inner node
+
+/// Fixed-size key copy used in (volatile) inner nodes.
+struct IKey {
+  uint8_t len = 0;
+  char b[common::kMaxKeyLen] = {};
+
+  static IKey of(std::string_view s) {
+    IKey k;
+    k.len = static_cast<uint8_t>(s.size());
+    for (size_t i = 0; i < s.size(); ++i) k.b[i] = s[i];
+    return k;
+  }
+  [[nodiscard]] std::string_view view() const { return {b, len}; }
+  friend bool operator<(const IKey& a, const IKey& b) {
+    return a.view() < b.view();
+  }
+};
+
+/// Persistent leaf node. Like the bpt-based implementation the paper
+/// started from, entries hold a pointer to an out-of-leaf value object
+/// (allocated per record from the raw PM allocator — FPTree has no
+/// EPallocator-style amortization).
+struct FpLeaf {
+  uint64_t bitmap;          // slot validity; single-word atomic commit
+  uint8_t fp[kLeafSlots];   // one-byte key fingerprints
+  uint64_t next;            // next leaf in key order (0 = end)
+  struct Entry {
+    uint64_t p_value;       // arena offset of a pmart::PmValue
+    char key[common::kMaxKeyLen];
+    uint8_t klen;
+    uint8_t pad[7];
+  } kv[kLeafSlots];
+};
+static_assert(sizeof(FpLeaf::Entry) == 40);
+
+class FpTree final : public common::Index {
+ public:
+  explicit FpTree(pmem::Arena& arena);
+  ~FpTree() override;
+
+  bool insert(std::string_view key, std::string_view value) override;
+  bool search(std::string_view key, std::string* out) const override;
+  bool update(std::string_view key, std::string_view value) override;
+  bool remove(std::string_view key) override;
+  size_t range(std::string_view lo, size_t limit,
+               std::vector<std::pair<std::string, std::string>>* out)
+      const override;
+  size_t size() const override { return count_; }
+  common::MemoryUsage memory_usage() const override;
+  const char* name() const override { return "FPTree"; }
+
+  /// Rebuild the DRAM inner nodes (and the allocation map) from the
+  /// persistent leaf list — the operation timed in Fig. 10c.
+  void recover();
+
+ private:
+  struct Root {               // persistent root (arena header)
+    uint64_t magic;
+    uint64_t head;            // first leaf in the list
+    uint64_t slog_cur;        // split micro-log: leaf being split
+    uint64_t slog_new;        // split micro-log: its new right sibling
+  };
+  struct Inner {              // volatile inner node
+    bool child_is_leaf = false;
+    uint16_t count = 0;       // number of children
+    IKey keys[kInnerFan - 1];
+    uint64_t children[kInnerFan];  // Inner* (cast) or leaf offset
+  };
+  struct Split {              // propagated up after a child split
+    bool happened = false;
+    IKey sep;
+    uint64_t right = 0;
+  };
+
+  static uint8_t fingerprint(std::string_view key);
+  FpLeaf* leaf_at(uint64_t off) const { return arena_.ptr<FpLeaf>(off); }
+  Inner* inner_at(uint64_t ref) const {
+    return reinterpret_cast<Inner*>(static_cast<uintptr_t>(ref));
+  }
+  static uint64_t inner_ref(Inner* p) {
+    return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(p));
+  }
+  Inner* new_inner();
+  void free_inner_rec(uint64_t ref, bool is_leaf_level);
+
+  /// Slot of `key` in `l`, or -1 (fingerprint scan + key verify).
+  int find_slot(const FpLeaf* l, std::string_view key, uint8_t fp) const;
+  int free_slot(const FpLeaf* l) const;
+  uint64_t alloc_leaf();
+  IKey leaf_min_key(const FpLeaf* l) const;
+
+  /// Descend to the leaf that should hold `key` (read-only).
+  uint64_t descend(std::string_view key) const;
+
+  Split insert_rec(uint64_t ref, bool is_leaf, std::string_view key,
+                   std::string_view value, bool* inserted);
+  Split split_leaf(uint64_t leaf_off);
+  void leaf_put(FpLeaf* l, int slot, std::string_view key,
+                std::string_view value, uint8_t fp);
+  void finish_split_log();
+
+  pmem::Arena& arena_;
+  Root* root_;
+  uint64_t tree_root_ = 0;  // leaf offset or Inner ref (volatile)
+  bool root_is_leaf_ = true;
+  size_t count_ = 0;
+  std::atomic<uint64_t> dram_bytes_{0};
+};
+
+}  // namespace hart::fptree

@@ -1,0 +1,412 @@
+#include "hart/hart.h"
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace hart::core {
+
+namespace {
+constexpr uint64_t kHartMagic = kHartRootMagic;
+
+size_t value_object_size(epalloc::ObjType t) {
+  return epalloc::value_class_size(t);
+}
+}  // namespace
+
+Hart::Options Hart::resolve_options(pmem::Arena& arena, Options opts) {
+  const auto* root = arena.root<HartRoot>();
+  if (root->magic == kHartMagic) {
+    // Reopening an existing HART: kh is a structural parameter recorded in
+    // the root (the split of every persisted key depends on it).
+    opts.hash_key_len = root->hash_key_len;
+  }
+  if (opts.hash_key_len > 8)
+    throw std::invalid_argument("hash_key_len must be <= 8");
+  if ((opts.hash_buckets & (opts.hash_buckets - 1)) != 0)
+    throw std::invalid_argument("hash_buckets must be a power of two");
+  return opts;
+}
+
+Hart::Hart(pmem::Arena& arena, Options opts)
+    : arena_(arena),
+      opts_(resolve_options(arena, opts)),
+      root_(arena.root<HartRoot>()),
+      ep_(arena, &root_->ep, sizeof(HartLeaf), &hart_leaf_probe,
+          &hart_leaf_clear),
+      dir_(opts_.hash_buckets,
+           HartLeafTraits{opts_.hash_key_len, &arena},
+           &dram_bytes_) {
+  if (root_->magic == kHartMagic) {
+    recover();
+  } else {
+    *root_ = HartRoot{};
+    root_->hash_key_len = opts_.hash_key_len;
+    root_->magic = kHartMagic;
+    arena_.persist(root_, sizeof(HartRoot));
+  }
+}
+
+void Hart::validate_key(std::string_view key) {
+  if (key.empty() || key.size() > common::kMaxKeyLen)
+    throw std::invalid_argument("key length must be 1..24 bytes");
+  if (std::memchr(key.data(), 0, key.size()) != nullptr)
+    throw std::invalid_argument("keys must not contain NUL bytes");
+}
+
+void Hart::validate_value(std::string_view value) {
+  if (value.empty() || value.size() > common::kMaxValueLen)
+    throw std::invalid_argument("value length must be 1..64 bytes");
+}
+
+// Algorithm 1: Insertion(K, V, HT).
+bool Hart::insert(std::string_view key, std::string_view value) {
+  validate_key(key);
+  validate_value(value);
+  const uint64_t hkey = pack_hash_key(key, opts_.hash_key_len);
+  // Lines 2-5: locate the ART, creating one if absent.
+  HashDir::Partition* part = dir_.find_or_create(hkey);
+  std::unique_lock lk(part->mu);
+
+  // Line 6-8: if the key exists, this is an update.
+  const art::Key akey = art_key(key);
+  if (HartLeaf* existing = part->tree.search(akey); existing != nullptr) {
+    update_locked(existing, value);
+    return false;
+  }
+
+  // Lines 10-11: allocate the leaf and the value object.
+  const uint64_t leaf_off = ep_.ep_malloc(epalloc::ObjType::kLeaf);
+  const epalloc::ObjType vcls = value_class_for(value.size());
+  const uint64_t val_off = ep_.ep_malloc(vcls);
+
+  // Line 12: value = V; persistent(value).
+  char* vp = arena_.ptr<char>(val_off);
+  std::memcpy(vp, value.data(), value.size());
+  std::memset(vp + value.size(), 0, value_object_size(vcls) - value.size());
+  arena_.persist(vp, value_object_size(vcls));
+
+  // Line 13: leaf.p_value = &value; persistent(). The value's class tag
+  // and length are flushed in the same step (they sit next to p_value at
+  // the leaf tail): the stale-value probe and the verifier interpret
+  // p_value through val_class, so the tag must never be persisted *after*
+  // the value bit — a crash in between would leave a dangling value whose
+  // chunk geometry would be derived from a stale class.
+  auto* leaf = arena_.ptr<HartLeaf>(leaf_off);
+  leaf->val_len = static_cast<uint8_t>(value.size());
+  leaf->val_class = value_class_tag(vcls);
+  leaf->p_value = val_off;
+  arena_.persist(&leaf->val_len,
+                 sizeof(HartLeaf) - offsetof(HartLeaf, val_len));
+
+  // Line 14: set + persist the value bit.
+  ep_.commit(vcls, val_off);
+
+  // Lines 15-16: the complete key and its length into the leaf.
+  std::memcpy(leaf->key, key.data(), key.size());
+  leaf->key_len = static_cast<uint8_t>(key.size());
+  arena_.persist(leaf, sizeof(HartLeaf));
+
+  // Line 17: Insert2Tree — DRAM only, no persistence needed (selective
+  // consistency: internal nodes are reconstructable).
+  HartLeafTraits traits{opts_.hash_key_len, &arena_};
+  part->tree.insert(traits.key(leaf), leaf);
+
+  // Line 18: set + persist the leaf bit — the commit point.
+  ep_.commit(epalloc::ObjType::kLeaf, leaf_off);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+// Algorithm 3: Update(K, V, L) — out-of-place with the update micro-log.
+void Hart::update_locked(HartLeaf* leaf, std::string_view value) {
+  validate_value(value);
+  const uint64_t leaf_off = arena_.off(leaf);
+  const uint64_t old_off = leaf->p_value;
+  const epalloc::ObjType old_cls = value_class_of(leaf);
+  const epalloc::ObjType new_cls = value_class_for(value.size());
+
+  epalloc::UpdateLog* ulog = ep_.acquire_ulog();
+  // Lines 2-3: record the leaf and its old value in the log. The two words
+  // share a cache line and stores are program-ordered, so one flush
+  // suffices (recovery treats {pleaf} and {pleaf, poldv} identically: both
+  // reset the log when pnewv is absent).
+  ulog->pleaf = leaf_off;
+  ulog->poldv = old_off;
+  arena_.persist(&ulog->pleaf, 2 * sizeof(uint64_t));
+
+  // Lines 4-5: write the new value into freshly allocated space.
+  const uint64_t new_off = ep_.ep_malloc(new_cls);
+  char* vp = arena_.ptr<char>(new_off);
+  std::memcpy(vp, value.data(), value.size());
+  std::memset(vp + value.size(), 0, value_object_size(new_cls) - value.size());
+  arena_.persist(vp, value_object_size(new_cls));
+
+  // Line 6: PNewV plus our meta word. Both live in the same log line and
+  // stores are program-ordered, so one flush suffices: a persisted PNewV
+  // implies a persisted meta.
+  ulog->meta = epalloc::UpdateLog::pack_meta(
+      static_cast<uint32_t>(value.size()), old_cls, new_cls);
+  ulog->pnewv = new_off;
+  arena_.persist(&ulog->pnewv, 2 * sizeof(uint64_t));  // pnewv + meta
+
+  // Line 7: set the bit for the new value.
+  ep_.commit(new_cls, new_off);
+
+  // Line 8: swing the value pointer and its metadata in the leaf — they
+  // are adjacent at the leaf tail, one flush covers them.
+  leaf->val_len = static_cast<uint8_t>(value.size());
+  leaf->val_class = value_class_tag(new_cls);
+  leaf->p_value = new_off;
+  arena_.persist(&leaf->val_len,
+                 sizeof(HartLeaf) - offsetof(HartLeaf, val_len));
+
+  // Lines 9-10: release the old value, recycle its chunk if empty.
+  ep_.free_object(old_cls, old_off);
+  ep_.recycle_chunk_of(old_cls, old_off);
+
+  // Line 11: LogReclaim.
+  ep_.reclaim_ulog(ulog);
+}
+
+bool Hart::update(std::string_view key, std::string_view value) {
+  validate_key(key);
+  validate_value(value);
+  HashDir::Partition* part =
+      dir_.find(pack_hash_key(key, opts_.hash_key_len));
+  if (part == nullptr) return false;
+  std::unique_lock lk(part->mu);
+  HartLeaf* leaf = part->tree.search(art_key(key));
+  if (leaf == nullptr) return false;
+  update_locked(leaf, value);
+  return true;
+}
+
+// Algorithm 4: Search(K, HT).
+bool Hart::search(std::string_view key, std::string* out) const {
+  validate_key(key);
+  HashDir::Partition* part =
+      dir_.find(pack_hash_key(key, opts_.hash_key_len));
+  if (part == nullptr) return false;
+  std::shared_lock lk(part->mu);
+  const HartLeaf* leaf = part->tree.search(art_key(key));
+  if (leaf == nullptr) return false;
+  // Line 9: validate the leaf bit in the chunk bitmap.
+  if (!ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
+    return false;
+  const char* vp = arena_.ptr<char>(leaf->p_value);
+  arena_.pm_read(vp, value_object_size(value_class_of(leaf)));
+  if (out != nullptr) out->assign(vp, leaf->val_len);
+  return true;
+}
+
+// Algorithm 5: Deletion(K, HT).
+bool Hart::remove(std::string_view key) {
+  validate_key(key);
+  HashDir::Partition* part =
+      dir_.find(pack_hash_key(key, opts_.hash_key_len));
+  if (part == nullptr) return false;
+  std::unique_lock lk(part->mu);
+  // Lines 5-9: locate and unlink the leaf from the (DRAM) tree.
+  HartLeaf* leaf = part->tree.remove(art_key(key));
+  if (leaf == nullptr) return false;
+  const uint64_t leaf_off = arena_.off(leaf);
+  const uint64_t val_off = leaf->p_value;
+  const epalloc::ObjType vcls = value_class_of(leaf);
+
+  // Lines 11-12: reset the leaf bit, then the value bit. A crash in
+  // between leaves a dangling committed value that EPMalloc's stale-value
+  // check reclaims when the leaf slot is reused (Alg. 2 lines 12-16).
+  //
+  // Deviation from the paper's Algorithm 5 (documented in DESIGN.md): the
+  // freed leaf's p_value is additionally cleared once both bits are reset.
+  // Otherwise, after the freed value slot is re-allocated to another key,
+  // a reuse of this leaf slot would see p_value -> live value with its bit
+  // set and Alg. 2's stale-value check would reclaim the *new* owner's
+  // value. All three steps happen atomically w.r.t. leaf reservations.
+  ep_.free_leaf_with_value(leaf_off, vcls, val_off);
+
+  // Lines 13-14: recycle now-empty chunks.
+  ep_.recycle_chunk_of(vcls, val_off);
+  ep_.recycle_chunk_of(epalloc::ObjType::kLeaf, leaf_off);
+
+  // Lines 15-16: free the ART if it became empty (internal nodes were
+  // already collapsed away by the tree removal).
+  count_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+size_t Hart::range(
+    std::string_view lo, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  validate_key(lo);
+  out->clear();
+  if (limit == 0) return 0;
+  const uint64_t hlo = pack_hash_key(lo, opts_.hash_key_len);
+  dir_.for_each_partition_from(hlo, [&](HashDir::Partition* part) {
+    std::shared_lock lk(part->mu);
+    auto emit = [&](HartLeaf* leaf) {
+      if (!ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
+        return true;
+      const char* vp = arena_.ptr<char>(leaf->p_value);
+      arena_.pm_read(vp, value_object_size(value_class_of(leaf)));
+      out->emplace_back(std::string(leaf->key, leaf->key_len),
+                        std::string(vp, leaf->val_len));
+      return out->size() < limit;
+    };
+    return part->hkey == hlo ? part->tree.for_each_from(art_key(lo), emit)
+                             : part->tree.for_each(emit);
+  });
+  return out->size();
+}
+
+size_t Hart::multi_get(const std::vector<std::string>& keys,
+                       std::vector<std::string>* out,
+                       std::vector<bool>* found) const {
+  out->assign(keys.size(), std::string());
+  found->assign(keys.size(), false);
+  // Group request indices by partition so each ART lock is taken once.
+  std::unordered_map<HashDir::Partition*, std::vector<size_t>> groups;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    validate_key(keys[i]);
+    HashDir::Partition* part =
+        dir_.find(pack_hash_key(keys[i], opts_.hash_key_len));
+    if (part != nullptr) groups[part].push_back(i);
+  }
+  size_t hits = 0;
+  for (auto& [part, idxs] : groups) {
+    std::shared_lock lk(part->mu);
+    for (const size_t i : idxs) {
+      const HartLeaf* leaf = part->tree.search(art_key(keys[i]));
+      if (leaf == nullptr ||
+          !ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
+        continue;
+      const char* vp = arena_.ptr<char>(leaf->p_value);
+      arena_.pm_read(vp, value_object_size(value_class_of(leaf)));
+      (*out)[i].assign(vp, leaf->val_len);
+      (*found)[i] = true;
+      ++hits;
+    }
+  }
+  return hits;
+}
+
+common::MemoryUsage Hart::memory_usage() const {
+  common::MemoryUsage u;
+  u.dram_bytes = dram_bytes_.load(std::memory_order_relaxed);
+  u.pm_bytes = arena_.stats().pm_live_bytes.load(std::memory_order_relaxed);
+  return u;
+}
+
+HartCursor::HartCursor(const Hart& hart, std::string_view start,
+                       size_t batch_size)
+    : hart_(hart), batch_size_(batch_size == 0 ? 1 : batch_size) {
+  refill(std::string(start), /*skip_equal=*/false);
+}
+
+void HartCursor::refill(const std::string& from, bool skip_equal) {
+  // Fetch one extra entry so that re-seeking from the last consumed key
+  // (inclusive lower bound) can drop the duplicate.
+  hart_.range(from, batch_size_ + 1, &buf_);
+  pos_ = 0;
+  if (skip_equal && !buf_.empty() && buf_.front().first == from)
+    pos_ = 1;
+}
+
+void HartCursor::next() {
+  if (!valid()) return;
+  if (pos_ + 1 < buf_.size()) {
+    ++pos_;
+    return;
+  }
+  const std::string last = std::move(buf_.back().first);
+  refill(last, /*skip_equal=*/true);
+}
+
+// Algorithm 3's recovery case analysis, applied to every log slot.
+void Hart::replay_update_logs() {
+  for (auto& ulog : root_->ep.ulogs) {
+    if (ulog.pleaf == 0) continue;
+    if (ulog.pnewv == 0) {
+      // Crash before line 6: the old value is intact; the reserved new
+      // space evaporated with the volatile reservation. Just reset.
+      ulog = epalloc::UpdateLog{};
+      arena_.persist(&ulog, sizeof(ulog));
+      continue;
+    }
+    // All three pointers valid: resume from line 7 (idempotent redo).
+    auto* leaf = arena_.ptr<HartLeaf>(ulog.pleaf);
+    const epalloc::ObjType new_cls = ulog.new_class();
+    const epalloc::ObjType old_cls = ulog.old_class();
+    ep_.commit(new_cls, ulog.pnewv);
+    leaf->p_value = ulog.pnewv;
+    leaf->val_len = static_cast<uint8_t>(ulog.new_len());
+    leaf->val_class = value_class_tag(new_cls);
+    arena_.persist(leaf, sizeof(HartLeaf));
+    if (ep_.bit_is_set(old_cls, ulog.poldv))
+      ep_.free_object(old_cls, ulog.poldv);
+    ep_.recycle_chunk_of(old_cls, ulog.poldv);
+    ulog = epalloc::UpdateLog{};
+    arena_.persist(&ulog, sizeof(ulog));
+  }
+}
+
+// Algorithm 7: Recovery(HT) — rebuild the hash table and all internal
+// nodes from the persistent leaf list.
+void Hart::recover(unsigned threads) {
+  dir_.clear();
+  count_.store(0, std::memory_order_relaxed);
+  ep_.recover_structure();
+  replay_update_logs();
+
+  const HartLeafTraits traits{opts_.hash_key_len, &arena_};
+  auto insert_leaf = [&](uint64_t leaf_off) {
+    auto* leaf = arena_.ptr<HartLeaf>(leaf_off);
+    assert(ep_.bit_is_set(value_class_of(leaf), leaf->p_value));
+    const uint64_t hkey = pack_hash_key(
+        std::string_view(leaf->key, leaf->key_len), opts_.hash_key_len);
+    HashDir::Partition* part = dir_.find_or_create(hkey);
+    std::unique_lock lk(part->mu, std::defer_lock);
+    if (threads > 1) lk.lock();  // single-threaded recovery needs no locks
+    part->tree.insert(traits.key(leaf), leaf);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  if (threads <= 1) {
+    ep_.for_each_live(epalloc::ObjType::kLeaf, insert_leaf);
+    return;
+  }
+
+  // Parallel recovery (extension): shard the leaf chunks across workers.
+  const std::vector<uint64_t> chunks =
+      ep_.chunk_offsets(epalloc::ObjType::kLeaf);
+  const auto& geom = ep_.geom(epalloc::ObjType::kLeaf);
+  std::vector<std::thread> pool;
+  std::atomic<size_t> next{0};
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= chunks.size()) return;
+        const auto* c = arena_.ptr<epalloc::MemChunk>(chunks[i]);
+        uint64_t bm = epalloc::ChunkHdr::bitmap(c->header);
+        while (bm != 0) {
+          const auto idx = static_cast<uint32_t>(std::countr_zero(bm));
+          bm &= bm - 1;
+          insert_leaf(geom.object_off(chunks[i], idx));
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace hart::core

@@ -1,0 +1,145 @@
+// HART — Hash-assisted Adaptive Radix Tree (the paper's contribution).
+//
+// Structure (paper Fig. 1): a DRAM hash table maps the first kh bytes of a
+// key to an ART whose internal nodes live in DRAM and whose leaf nodes live
+// in PM, managed by EPallocator. Selective consistency/persistence
+// (Section III.A.2): only leaves and values are persisted; the hash table
+// and all internal nodes are reconstructable from the leaves (Algorithm 7).
+// One reader/writer lock per ART provides concurrency (Section III.A.3).
+#pragma once
+
+#include <atomic>
+#include <string_view>
+
+#include "common/index.h"
+#include "epalloc/epalloc.h"
+#include "hart/hash_dir.h"
+#include "hart/hart_leaf.h"
+#include "pmem/arena.h"
+
+namespace hart::core {
+
+/// Signature of a HART root in an arena ("HARTROOT").
+inline constexpr uint64_t kHartRootMagic = 0x48415254'524f4f54ULL;
+
+/// Persistent root of a HART instance, stored in the arena header. Contains
+/// everything needed to recover: the EPallocator chunk lists (the leaf list
+/// is the recovery index) and the micro-logs.
+struct HartRoot {
+  uint64_t magic;
+  uint32_t hash_key_len;
+  uint32_t reserved;
+  epalloc::EPRoot ep;
+};
+
+class Hart final : public common::Index {
+ public:
+  struct Options {
+    /// kh: number of key bytes consumed by the hash table (paper default 2;
+    /// 0 degenerates to a single ART — the "no hash assist" ablation).
+    uint32_t hash_key_len = 2;
+    /// Bucket count of the DRAM hash table (power of two).
+    size_t hash_buckets = size_t{1} << 16;
+  };
+
+  /// Opens a HART on `arena`. A fresh arena is initialized; an arena whose
+  /// root carries a valid HART signature is recovered (Algorithm 7).
+  explicit Hart(pmem::Arena& arena) : Hart(arena, Options{}) {}
+  Hart(pmem::Arena& arena, Options opts);
+
+  // ---- common::Index -----------------------------------------------------
+  bool insert(std::string_view key, std::string_view value) override;
+  bool search(std::string_view key, std::string* out) const override;
+  bool update(std::string_view key, std::string_view value) override;
+  bool remove(std::string_view key) override;
+  size_t range(std::string_view lo, size_t limit,
+               std::vector<std::pair<std::string, std::string>>* out)
+      const override;
+  size_t size() const override {
+    return count_.load(std::memory_order_relaxed);
+  }
+  common::MemoryUsage memory_usage() const override;
+  const char* name() const override { return "HART"; }
+
+  // ---- HART-specific -----------------------------------------------------
+  /// Batched point lookups: groups the keys by hash partition and takes
+  /// each ART's read lock once, amortizing lock acquisition (an extension;
+  /// useful for the multi-get pattern of KV-store front ends).
+  /// `out[i]` is set to the value of `keys[i]`; returns the hit count.
+  /// Misses leave `out[i]` empty with `found[i] == false`.
+  size_t multi_get(const std::vector<std::string>& keys,
+                   std::vector<std::string>* out,
+                   std::vector<bool>* found) const;
+
+  /// Rebuild all DRAM state from PM (Algorithm 7). Invoked automatically
+  /// when the constructor finds an existing HART in the arena; exposed for
+  /// the recovery experiment (Fig. 10c) and crash tests.
+  ///
+  /// `threads > 1` distributes the leaf chunks over worker threads (an
+  /// extension beyond the paper — safe because partition creation is
+  /// lock-free and every tree insert takes its partition's write lock).
+  void recover(unsigned threads = 1);
+
+  [[nodiscard]] uint32_t hash_key_len() const { return opts_.hash_key_len; }
+  [[nodiscard]] size_t partition_count() const {
+    return dir_.partition_count();
+  }
+  [[nodiscard]] epalloc::EPAllocator& allocator() { return ep_; }
+  [[nodiscard]] const epalloc::EPAllocator& allocator() const { return ep_; }
+  [[nodiscard]] pmem::Arena& arena() { return arena_; }
+
+ private:
+  static Options resolve_options(pmem::Arena& arena, Options opts);
+  [[nodiscard]] art::Key art_key(std::string_view key) const {
+    const size_t h =
+        opts_.hash_key_len < key.size() ? opts_.hash_key_len : key.size();
+    return {reinterpret_cast<const uint8_t*>(key.data()) + h,
+            key.size() - h};
+  }
+  /// Algorithm 3 (out-of-place update with the update micro-log). The
+  /// partition's write lock must be held.
+  void update_locked(HartLeaf* leaf, std::string_view value);
+  /// Redo/abort in-flight updates after a crash (Algorithm 3's recovery
+  /// case analysis).
+  void replay_update_logs();
+  static void validate_key(std::string_view key);
+  static void validate_value(std::string_view value);
+
+  pmem::Arena& arena_;
+  Options opts_;
+  HartRoot* root_;
+  epalloc::EPAllocator ep_;
+  std::atomic<uint64_t> dram_bytes_{0};
+  HashDir dir_;
+  std::atomic<size_t> count_{0};
+};
+
+/// Ordered stateful scan over a Hart (an extension beyond the paper's
+/// one-shot range query). Batches entries internally and re-seeks between
+/// batches, so it holds no lock while the caller consumes entries.
+/// Concurrent-writer semantics are read-committed per batch: entries
+/// inserted or removed mid-scan may or may not be observed.
+class HartCursor {
+ public:
+  HartCursor(const Hart& hart, std::string_view start,
+             size_t batch_size = 256);
+
+  [[nodiscard]] bool valid() const { return pos_ < buf_.size(); }
+  [[nodiscard]] const std::string& key() const { return buf_[pos_].first; }
+  [[nodiscard]] const std::string& value() const {
+    return buf_[pos_].second;
+  }
+  /// Advance; refills the batch transparently. After the last entry,
+  /// valid() becomes false.
+  void next();
+
+ private:
+  void refill(const std::string& from, bool skip_equal);
+
+  const Hart& hart_;
+  size_t batch_size_;
+  std::vector<std::pair<std::string, std::string>> buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hart::core

@@ -1,0 +1,61 @@
+// HART's persistent leaf node (paper Fig. 1 / Fig. 3).
+//
+// Only leaf nodes (and value objects) live in PM; the complete key is stored
+// in the leaf "for the purpose of failure recovery" (Section III.A.1) even
+// though the ART path already encodes it. The value is out-of-leaf: the
+// leaf holds an 8-byte pointer (arena offset) to a value object in one of
+// the two EPallocator value size classes, which is what enables
+// variable-size values (Section III.A.5).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/index.h"
+#include "epalloc/epalloc.h"
+#include "pmem/arena.h"
+
+namespace hart::core {
+
+struct HartLeaf {
+  char key[common::kMaxKeyLen];       // complete key (hash prefix + ART key)
+  uint8_t key_len;                    // 1..24
+  uint8_t val_len;                    // 1..64
+  uint8_t val_class;                  // value class tag: 0/1/2/3 = 8/16/32/64 B
+  uint8_t pad[5];
+  // The value pointer and its metadata sit together at the leaf's tail so
+  // an update can refresh all of them with a single flush (Alg. 3 line 8).
+  uint64_t p_value;                   // arena offset of the value object
+};
+static_assert(sizeof(HartLeaf) == 40);
+static_assert(std::is_trivially_copyable_v<HartLeaf>);
+
+inline epalloc::ObjType value_class_for(size_t len) {
+  return epalloc::value_class_for_len(len);
+}
+inline uint8_t value_class_tag(epalloc::ObjType t) {
+  return static_cast<uint8_t>(t) - 1;  // 0..3 for the four value classes
+}
+inline epalloc::ObjType value_class_of(const HartLeaf* l) {
+  return static_cast<epalloc::ObjType>(l->val_class + 1);
+}
+
+/// EPallocator stale-value probe (Algorithm 2, lines 12-16): a free leaf
+/// slot handed out by EPMalloc may still reference a value committed by a
+/// prior incomplete insertion or deletion.
+inline epalloc::EPAllocator::LeafValueRef hart_leaf_probe(
+    const pmem::Arena& arena, uint64_t leaf_off) {
+  const auto* l = arena.ptr<HartLeaf>(leaf_off);
+  epalloc::EPAllocator::LeafValueRef ref;
+  ref.value_off = l->p_value;
+  ref.cls = value_class_of(l);
+  return ref;
+}
+
+inline void hart_leaf_clear(pmem::Arena& arena, uint64_t leaf_off) {
+  auto* l = arena.ptr<HartLeaf>(leaf_off);
+  l->p_value = 0;  // object.p_value = NULL (Alg. 2 line 16)
+  arena.persist(&l->p_value, sizeof(l->p_value));
+}
+
+}  // namespace hart::core

@@ -1,0 +1,256 @@
+#include "hart/verify.h"
+
+#include <bit>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "epalloc/chunk.h"
+#include "epalloc/micrologs.h"
+#include "hart/hart.h"
+#include "hart/hart_leaf.h"
+
+namespace hart::core {
+
+namespace {
+
+struct Ctx {
+  const pmem::Arena& arena;
+  VerifyReport* report;
+
+  void error(std::string what) {
+    report->issues.push_back(
+        {VerifyIssue::Severity::kError, std::move(what)});
+  }
+  void warn(std::string what) {
+    report->issues.push_back(
+        {VerifyIssue::Severity::kWarning, std::move(what)});
+  }
+};
+
+std::string hex(uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+bool in_bounds(const pmem::Arena& arena, uint64_t off, uint64_t bytes) {
+  return off >= pmem::kArenaHeaderSize && off + bytes <= arena.size();
+}
+
+/// Walk one chunk list; returns the set of chunk offsets (empty on fatal
+/// structural damage, which is reported).
+std::vector<uint64_t> walk_list(Ctx& ctx, epalloc::ObjType t, uint64_t head,
+                                const epalloc::TypeGeometry& g) {
+  std::vector<uint64_t> chunks;
+  std::set<uint64_t> seen;
+  uint64_t off = head;
+  while (off != pmem::kNullOff) {
+    if (!in_bounds(ctx.arena, off, g.chunk_bytes)) {
+      ctx.error("chunk " + hex(off) + " (type " +
+                std::to_string(static_cast<int>(t)) + ") out of bounds");
+      return chunks;
+    }
+    if (off % g.stride != 0) {
+      ctx.error("chunk " + hex(off) + " not aligned to stride " +
+                std::to_string(g.stride));
+      return chunks;
+    }
+    if (!seen.insert(off).second) {
+      ctx.error("cycle in chunk list of type " +
+                std::to_string(static_cast<int>(t)) + " at " + hex(off));
+      return chunks;
+    }
+    chunks.push_back(off);
+    const auto* c = ctx.arena.ptr<epalloc::MemChunk>(off);
+
+    // V2: header internal consistency.
+    const uint64_t bm = epalloc::ChunkHdr::bitmap(c->header);
+    const bool full = epalloc::ChunkHdr::full(c->header);
+    if (full != (bm == epalloc::kBitmapMask))
+      ctx.error("chunk " + hex(off) +
+                ": full indicator disagrees with bitmap");
+    if (!full) {
+      const uint32_t hint = epalloc::ChunkHdr::next_free(c->header);
+      if (hint >= epalloc::kObjectsPerChunk ||
+          ((bm >> hint) & 1) != 0)
+        ctx.error("chunk " + hex(off) + ": next-free hint " +
+                  std::to_string(hint) + " points at a used slot");
+    }
+    off = c->pnext;
+  }
+  return chunks;
+}
+
+}  // namespace
+
+std::string VerifyReport::summary() const {
+  std::ostringstream os;
+  os << (ok() ? "OK" : "CORRUPT") << ": " << live_leaves << " leaves, "
+     << live_values << " values, " << chunks << " chunks, "
+     << pending_reclamations << " pending reclamations";
+  size_t errors = 0, warnings = 0;
+  for (const auto& i : issues)
+    (i.severity == VerifyIssue::Severity::kError ? errors : warnings)++;
+  os << ", " << errors << " errors, " << warnings << " warnings";
+  return os.str();
+}
+
+VerifyReport verify_hart_image(const pmem::Arena& arena) {
+  VerifyReport report;
+  Ctx ctx{arena, &report};
+
+  const auto* root = arena.root<HartRoot>();
+  // V1: root sanity.
+  if (root->magic != kHartRootMagic) {
+    ctx.error("root magic mismatch: " + hex(root->magic));
+    return report;
+  }
+  if (root->hash_key_len > 8)
+    ctx.error("hash_key_len out of range: " +
+              std::to_string(root->hash_key_len));
+
+  // V2: chunk lists per type.
+  const epalloc::TypeGeometry geoms[epalloc::kNumObjTypes] = {
+      epalloc::TypeGeometry::for_obj_size(sizeof(HartLeaf)),
+      epalloc::TypeGeometry::for_obj_size(8),
+      epalloc::TypeGeometry::for_obj_size(16),
+      epalloc::TypeGeometry::for_obj_size(32),
+      epalloc::TypeGeometry::for_obj_size(64)};
+  std::vector<uint64_t> chunks_of[epalloc::kNumObjTypes];
+  std::set<uint64_t> value_chunks[epalloc::kNumObjTypes];
+  for (int t = 0; t < epalloc::kNumObjTypes; ++t) {
+    chunks_of[t] = walk_list(ctx, static_cast<epalloc::ObjType>(t),
+                             root->ep.heads[t], geoms[t]);
+    report.chunks += chunks_of[t].size();
+    for (const uint64_t c : chunks_of[t]) value_chunks[t].insert(c);
+  }
+
+  auto value_bit = [&](int cls, uint64_t voff) -> int {
+    // -1: not a valid live-value reference; 0: bit clear; 1: bit set.
+    const auto& g = geoms[cls];
+    const uint64_t c = g.chunk_of(voff);
+    if (!value_chunks[cls].count(c)) return -1;
+    const uint64_t idx = g.index_of(voff);
+    if (g.object_off(c, static_cast<uint32_t>(idx)) != voff) return -1;
+    const auto* mc = arena.ptr<epalloc::MemChunk>(c);
+    return static_cast<int>(
+        (epalloc::ChunkHdr::bitmap(mc->header) >> idx) & 1);
+  };
+
+  // V3/V4/V5: leaves and value references.
+  std::map<uint64_t, uint64_t> value_owner;  // value off -> leaf off
+  uint64_t referenced_values = 0;
+  for (const uint64_t c_off : chunks_of[0]) {
+    const auto* c = arena.ptr<epalloc::MemChunk>(c_off);
+    const uint64_t bm = epalloc::ChunkHdr::bitmap(c->header);
+    for (uint32_t i = 0; i < epalloc::kObjectsPerChunk; ++i) {
+      const uint64_t leaf_off = geoms[0].object_off(c_off, i);
+      const auto* leaf = arena.ptr<HartLeaf>(leaf_off);
+      const bool live = (bm >> i) & 1;
+      if (live) {
+        ++report.live_leaves;
+        if (leaf->key_len == 0 || leaf->key_len > common::kMaxKeyLen)
+          ctx.error("leaf " + hex(leaf_off) + ": bad key length " +
+                    std::to_string(leaf->key_len));
+        else if (std::memchr(leaf->key, 0, leaf->key_len) != nullptr)
+          ctx.error("leaf " + hex(leaf_off) + ": key contains NUL");
+        if (leaf->val_class > 3) {
+          ctx.error("leaf " + hex(leaf_off) + ": bad value class " +
+                    std::to_string(leaf->val_class));
+          continue;
+        }
+        const int cls = leaf->val_class + 1;
+        if (leaf->val_len == 0 ||
+            leaf->val_len > epalloc::value_class_size(
+                                static_cast<epalloc::ObjType>(cls)))
+          ctx.error("leaf " + hex(leaf_off) + ": value length " +
+                    std::to_string(leaf->val_len) +
+                    " exceeds its class");
+        const int bit = value_bit(cls, leaf->p_value);
+        if (bit != 1) {
+          ctx.error("leaf " + hex(leaf_off) +
+                    ": value reference invalid or bit clear (" +
+                    hex(leaf->p_value) + ")");
+        } else {
+          ++referenced_values;
+          auto [it, fresh] = value_owner.emplace(leaf->p_value, leaf_off);
+          if (!fresh)
+            ctx.error("value " + hex(leaf->p_value) +
+                      " referenced by two live leaves " + hex(it->second) +
+                      " and " + hex(leaf_off));
+        }
+      } else if (leaf->p_value != 0) {
+        // V5: a free slot with a dangling reference — benign iff the value
+        // bit is set (pending lazy reclamation per Alg. 2) or clear (the
+        // p_value clear had not persisted; the probe will ignore it).
+        const int cls = leaf->val_class <= 3 ? leaf->val_class + 1 : -1;
+        if (cls > 0 && value_bit(cls, leaf->p_value) == 1)
+          ++report.pending_reclamations;
+      }
+    }
+  }
+
+  // Count in-flight update logs first: each may hold one extra committed
+  // value (the new value committed before the leaf pointer swings).
+  uint64_t inflight_ulogs = 0;
+  for (const auto& ulog : root->ep.ulogs)
+    if (ulog.pleaf != 0) ++inflight_ulogs;
+
+  // V4 (leak side): every committed value must be referenced by exactly one
+  // live leaf or be a pending reclamation — modulo in-flight updates.
+  uint64_t committed_values = 0;
+  for (int cls = 1; cls < epalloc::kNumObjTypes; ++cls)
+    for (const uint64_t c_off : chunks_of[cls]) {
+      const auto* c = arena.ptr<epalloc::MemChunk>(c_off);
+      committed_values += static_cast<uint64_t>(
+          std::popcount(epalloc::ChunkHdr::bitmap(c->header)));
+    }
+  report.live_values = committed_values;
+  const uint64_t accounted =
+      referenced_values + report.pending_reclamations;
+  if (committed_values < accounted ||
+      committed_values > accounted + 2 * inflight_ulogs) {
+    const std::string what =
+        "value accounting mismatch: " + std::to_string(committed_values) +
+        " committed vs " + std::to_string(referenced_values) +
+        " referenced + " + std::to_string(report.pending_reclamations) +
+        " pending";
+    if (inflight_ulogs > 0)
+      ctx.warn(what + " (update logs in flight)");
+    else
+      ctx.error(what);
+  }
+
+  // V6: micro-logs.
+  const auto& rlog = root->ep.rlog;
+  if (rlog.pcurrent != 0) {
+    if (rlog.type_plus1 == 0 ||
+        rlog.type_plus1 > epalloc::kNumObjTypes)
+      ctx.error("recycle log has invalid type");
+    else if (!in_bounds(arena, rlog.pcurrent, sizeof(epalloc::MemChunk)))
+      ctx.error("recycle log PCurrent out of bounds");
+    else
+      ctx.warn("recycle log in flight (recovery will finish it)");
+  } else if (rlog.pprev != 0 || rlog.type_plus1 != 0) {
+    ctx.error("recycle log partially cleared");
+  }
+  for (const auto& ulog : root->ep.ulogs) {
+    if (ulog.pleaf == 0) {
+      if (ulog.poldv != 0 || ulog.pnewv != 0)
+        ctx.error("update log slot partially cleared");
+      continue;
+    }
+    if (!in_bounds(arena, ulog.pleaf, sizeof(HartLeaf)))
+      ctx.error("update log PLeaf out of bounds");
+    if (ulog.pnewv != 0 &&
+        static_cast<uint8_t>(ulog.new_class()) >= epalloc::kNumObjTypes)
+      ctx.error("update log has invalid new-value class");
+    ctx.warn("update log slot in flight (recovery will replay it)");
+  }
+
+  return report;
+}
+
+}  // namespace hart::core

@@ -1,0 +1,178 @@
+#include "pmem/arena.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace hart::pmem {
+
+namespace {
+constexpr uint64_t kArenaMagic = 0x48415254'41524E41ULL;  // "HARTARNA"
+
+struct ArenaHeader {
+  uint64_t magic;
+  uint64_t size;
+};
+}  // namespace
+
+Arena::Arena(const Options& opts)
+    : opts_(opts),
+      blocks_(kArenaHeaderSize, opts.size - kArenaHeaderSize),
+      crash_rng_(opts.crash_seed) {
+  if (opts_.size < kArenaHeaderSize * 2 ||
+      (opts_.size % kBlockSize) != 0) {
+    throw std::invalid_argument("arena size too small or unaligned");
+  }
+  map_memory();
+
+  auto* hdr = reinterpret_cast<ArenaHeader*>(base_);
+  if (file_backed_ && hdr->magic == kArenaMagic) {
+    if (hdr->size != opts_.size)
+      throw std::runtime_error("arena file size mismatch");
+    reopened_ = true;
+  } else {
+    std::memset(base_, 0, kArenaHeaderSize);
+    hdr->magic = kArenaMagic;
+    hdr->size = opts_.size;
+  }
+
+  if (opts_.shadow) {
+    shadow_ = std::make_unique<std::byte[]>(opts_.size);
+    std::memcpy(shadow_.get(), base_, opts_.size);
+  }
+}
+
+void Arena::map_memory() {
+  if (!opts_.file_path.empty()) {
+    fd_ = ::open(opts_.file_path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0) throw std::runtime_error("cannot open arena file");
+    if (::ftruncate(fd_, static_cast<off_t>(opts_.size)) != 0) {
+      ::close(fd_);
+      throw std::runtime_error("cannot size arena file");
+    }
+    void* p = ::mmap(nullptr, opts_.size, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     fd_, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd_);
+      throw std::runtime_error("cannot mmap arena file");
+    }
+    base_ = static_cast<std::byte*>(p);
+    file_backed_ = true;
+  } else {
+    void* p = ::mmap(nullptr, opts_.size, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) throw std::runtime_error("cannot mmap arena");
+    base_ = static_cast<std::byte*>(p);
+  }
+}
+
+Arena::~Arena() {
+  if (base_ != nullptr) {
+    if (file_backed_) ::msync(base_, opts_.size, MS_SYNC);
+    ::munmap(base_, opts_.size);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+uint64_t Arena::alloc(uint64_t bytes, uint64_t align) {
+  const uint64_t off = blocks_.alloc(bytes, align);
+  stats_.alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  stats_.pm_live_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  stats_.pm_block_bytes.store(blocks_.used_block_bytes(),
+                              std::memory_order_relaxed);
+  if (opts_.charge_alloc_persist) {
+    stats_.alloc_meta_persists.fetch_add(1, std::memory_order_relaxed);
+    spin_ns(opts_.latency.extra_write_ns());
+  }
+  return off;
+}
+
+void Arena::free(uint64_t off, uint64_t bytes, uint64_t align) {
+  blocks_.free(off, bytes, align);
+  stats_.free_calls.fetch_add(1, std::memory_order_relaxed);
+  stats_.pm_live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  stats_.pm_block_bytes.store(blocks_.used_block_bytes(),
+                              std::memory_order_relaxed);
+  if (opts_.charge_alloc_persist) {
+    stats_.alloc_meta_persists.fetch_add(1, std::memory_order_relaxed);
+    spin_ns(opts_.latency.extra_write_ns());
+  }
+}
+
+void Arena::reset_alloc_map() {
+  blocks_.reset_all_free();
+  stats_.pm_live_bytes.store(0, std::memory_order_relaxed);
+  stats_.pm_block_bytes.store(0, std::memory_order_relaxed);
+}
+
+void Arena::mark_used(uint64_t off, uint64_t bytes) {
+  blocks_.mark_used(off, bytes);
+  stats_.pm_live_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  stats_.pm_block_bytes.store(blocks_.used_block_bytes(),
+                              std::memory_order_relaxed);
+}
+
+void Arena::persist(const void* p, size_t len) {
+  stats_.persist_calls.fetch_add(1, std::memory_order_relaxed);
+  stats_.persisted_bytes.fetch_add(len, std::memory_order_relaxed);
+
+  if (crash_armed_.load(std::memory_order_relaxed)) {
+    if (crash_countdown_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+      crash_armed_.store(false, std::memory_order_relaxed);
+      throw CrashPoint{};
+    }
+  }
+
+  // CLFLUSH granularity: the flush covers whole cache lines.
+  const uint64_t start = off(p) & ~(kCacheLine - 1);
+  uint64_t end = off(p) + len;
+  end = (end + kCacheLine - 1) & ~(kCacheLine - 1);
+  if (shadow_) {
+    std::memcpy(shadow_.get() + start, base_ + start, end - start);
+  }
+  // One CLFLUSH per line; each pays the PM-write delta (the paper charges
+  // the delta per persistent() invocation, whose common case is one line).
+  spin_ns(opts_.latency.extra_write_ns() * ((end - start) / kCacheLine));
+}
+
+void Arena::pm_read(const void* p, size_t len) const {
+  const uint64_t start = off(p) & ~(kCacheLine - 1);
+  uint64_t end = off(p) + len;
+  end = (end + kCacheLine - 1) & ~(kCacheLine - 1);
+  const uint64_t lines = (end - start) / kCacheLine;
+  stats_.pm_read_lines.fetch_add(lines, std::memory_order_relaxed);
+  const uint32_t extra = opts_.latency.extra_read_ns();
+  if (extra != 0) spin_ns(extra * lines);
+}
+
+void Arena::arm_crash_after(uint64_t nth_persist) {
+  crash_countdown_.store(static_cast<int64_t>(nth_persist),
+                         std::memory_order_relaxed);
+  crash_armed_.store(true, std::memory_order_relaxed);
+}
+
+void Arena::disarm_crash() {
+  crash_armed_.store(false, std::memory_order_relaxed);
+}
+
+void Arena::crash() {
+  if (!shadow_) throw std::logic_error("crash() requires Options::shadow");
+  disarm_crash();
+  for (uint64_t line = 0; line < opts_.size; line += kCacheLine) {
+    if (std::memcmp(base_ + line, shadow_.get() + line, kCacheLine) == 0)
+      continue;
+    if (opts_.eviction_prob > 0.0 &&
+        crash_rng_.next_bool(opts_.eviction_prob)) {
+      // This dirty line happened to be evicted before the crash: it is
+      // persistent after all.
+      std::memcpy(shadow_.get() + line, base_ + line, kCacheLine);
+    } else {
+      std::memcpy(base_ + line, shadow_.get() + line, kCacheLine);
+    }
+  }
+}
+
+}  // namespace hart::pmem

@@ -1,0 +1,152 @@
+// The PM device model: one Arena is one emulated persistent-memory device.
+//
+// What it models (cf. DESIGN.md, substitution table):
+//  * byte-addressable persistent space, addressed by offsets (POff<T>) so a
+//    file-backed arena survives re-mapping;
+//  * the persistent() primitive of the paper ({MFENCE, CLFLUSH, MFENCE}):
+//    Arena::persist() flushes a cache-line-granular range, injects the
+//    configured PM-write latency delta, and participates in crash
+//    simulation;
+//  * PM read latency: Arena::pm_read() charges the read delta per touched
+//    cache line (the paper's stall-cycle accounting, eq. (1)-(2), applied
+//    on-line);
+//  * the crash model "stores that were not flushed are lost": with
+//    Options::shadow enabled the arena keeps a shadow copy updated only by
+//    persist(); crash() rolls unflushed lines back (optionally keeping each
+//    dirty line with probability eviction_prob, modeling cache eviction).
+//
+// Thread-safety: alloc/free/persist/pm_read are safe to call concurrently.
+// Crash simulation (arm_crash_at / crash) is for single-threaded tests.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "pmem/block_alloc.h"
+#include "pmem/latency.h"
+#include "pmem/pmdefs.h"
+#include "pmem/stats.h"
+
+namespace hart::pmem {
+
+class Arena {
+ public:
+  struct Options {
+    size_t size = size_t{256} << 20;  // 256 MiB default device
+    LatencyConfig latency = LatencyConfig::off();
+    bool shadow = false;  // enable crash simulation (tests)
+    /// Model one metadata flush per raw PM alloc/free (a real persistent
+    /// allocator must persist its metadata; EPallocator amortizes this).
+    bool charge_alloc_persist = true;
+    /// At crash(), probability that a dirty (unflushed) cache line survives
+    /// anyway, modeling uncontrolled cache eviction. 0 = strict model.
+    double eviction_prob = 0.0;
+    uint64_t crash_seed = 1;
+    /// Optional file backing; empty = anonymous memory. An existing file
+    /// with a valid header is re-opened (recovered), otherwise initialized.
+    std::string file_path;
+  };
+
+  explicit Arena(const Options& opts);
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  [[nodiscard]] size_t size() const { return opts_.size; }
+  [[nodiscard]] bool reopened() const { return reopened_; }
+  [[nodiscard]] const LatencyConfig& latency() const { return opts_.latency; }
+  Stats& stats() { return stats_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // ---- address translation -------------------------------------------
+  template <typename T>
+  [[nodiscard]] T* ptr(uint64_t off) const {
+    return off == kNullOff
+               ? nullptr
+               : reinterpret_cast<T*>(base_ + off);
+  }
+  template <typename T>
+  [[nodiscard]] T* ptr(POff<T> o) const {
+    return ptr<T>(o.raw);
+  }
+  [[nodiscard]] uint64_t off(const void* p) const {
+    return p == nullptr
+               ? kNullOff
+               : static_cast<uint64_t>(reinterpret_cast<const std::byte*>(p) -
+                                       base_);
+  }
+  template <typename T>
+  [[nodiscard]] POff<T> poff(const T* p) const {
+    return POff<T>{off(p)};
+  }
+
+  /// The user root object, stored inside the arena header. Zero-initialized
+  /// on a fresh arena; preserved when re-opening a file-backed arena. The
+  /// index stores its magic, chunk-list heads and micro-logs here.
+  template <typename T>
+  [[nodiscard]] T* root() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(sizeof(T) <= kArenaHeaderSize - 128,
+                  "root object too large for the header area");
+    return reinterpret_cast<T*>(base_ + 128);
+  }
+
+  // ---- allocation ------------------------------------------------------
+  /// Allocate `bytes` of PM with the given alignment; returns the offset.
+  uint64_t alloc(uint64_t bytes, uint64_t align = kBlockSize);
+  void free(uint64_t off, uint64_t bytes, uint64_t align = kBlockSize);
+
+  /// Recovery protocol: mark all of PM free, then re-mark each span
+  /// reachable from the index's persistent structures. Anything not marked
+  /// is free again — allocator-level leak freedom by construction.
+  void reset_alloc_map();
+  void mark_used(uint64_t off, uint64_t bytes);
+
+  [[nodiscard]] bool is_allocated(uint64_t off, uint64_t bytes) const {
+    return blocks_.is_used(off, bytes);
+  }
+
+  // ---- persistence primitive ------------------------------------------
+  /// persistent(): flush [p, p+len) (cache-line granular) to the
+  /// persistence domain. Injects the PM-write latency delta. If a crash
+  /// point is armed and fires, throws CrashPoint *before* flushing.
+  void persist(const void* p, size_t len);
+  void persist_off(uint64_t o, size_t len) { persist(base_ + o, len); }
+
+  /// Charge the PM read latency delta for a read of [p, p+len).
+  void pm_read(const void* p, size_t len) const;
+
+  // ---- crash simulation -------------------------------------------------
+  /// Arm: the nth persist() from now (1-based) throws CrashPoint and does
+  /// not flush. Automatically disarmed when it fires.
+  void arm_crash_after(uint64_t nth_persist);
+  void disarm_crash();
+  /// Lose all unflushed stores (requires Options::shadow). Each dirty line
+  /// independently survives with eviction_prob.
+  void crash();
+  /// Number of persist() calls since construction (to size crash sweeps).
+  [[nodiscard]] uint64_t persist_count() const {
+    return stats_.persist_calls.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void map_memory();
+
+  Options opts_;
+  std::byte* base_ = nullptr;
+  std::unique_ptr<std::byte[]> shadow_;
+  bool file_backed_ = false;
+  bool reopened_ = false;
+  int fd_ = -1;
+  BlockAllocator blocks_;
+  Stats stats_;
+  std::atomic<bool> crash_armed_{false};
+  std::atomic<int64_t> crash_countdown_{0};
+  common::Rng crash_rng_;
+};
+
+}  // namespace hart::pmem

@@ -1,0 +1,90 @@
+// PM latency emulation.
+//
+// The paper emulates PM on remote-NUMA DRAM and injects latency deltas:
+//   * write path: the (PM_write - DRAM) difference is added to every
+//     invocation of persistent() (Section IV.A);
+//   * read path: the (PM_read - DRAM) difference is charged per stalled
+//     load, computed off-line from CPU stall cycles (equations (1)-(2)).
+// We reproduce the same model in-process: Arena::persist() busy-waits for
+// extra_write_ns(), and Arena::pm_read() busy-waits for extra_read_ns() per
+// touched cache line. Setting PM latencies equal to DRAM latency disables
+// injection entirely (that is the test configuration).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace hart::pmem {
+
+struct LatencyConfig {
+  uint32_t dram_ns = 100;      // measured local-DRAM latency in the paper
+  uint32_t pm_write_ns = 100;  // emulated PM write latency
+  uint32_t pm_read_ns = 100;   // emulated PM read latency
+
+  [[nodiscard]] uint32_t extra_write_ns() const {
+    return pm_write_ns > dram_ns ? pm_write_ns - dram_ns : 0;
+  }
+  [[nodiscard]] uint32_t extra_read_ns() const {
+    return pm_read_ns > dram_ns ? pm_read_ns - dram_ns : 0;
+  }
+
+  [[nodiscard]] std::string label() const {
+    return std::to_string(pm_write_ns) + "/" + std::to_string(pm_read_ns);
+  }
+
+  /// No latency injection at all (unit tests).
+  static LatencyConfig off() { return {100, 100, 100}; }
+  /// The paper's three configurations (PM write ns / PM read ns).
+  static LatencyConfig c300_100() { return {100, 300, 100}; }
+  static LatencyConfig c300_300() { return {100, 300, 300}; }
+  static LatencyConfig c600_300() { return {100, 600, 300}; }
+};
+
+#if defined(__x86_64__)
+namespace detail {
+inline uint64_t rdtsc() { return __builtin_ia32_rdtsc(); }
+
+/// TSC ticks per nanosecond, calibrated once against the steady clock.
+inline double tsc_per_ns() {
+  static const double v = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t c0 = rdtsc();
+    // ~2 ms calibration window: plenty for 0.1% accuracy.
+    while (std::chrono::steady_clock::now() - t0 <
+           std::chrono::milliseconds(2)) {
+    }
+    const uint64_t c1 = rdtsc();
+    const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    return static_cast<double>(c1 - c0) / static_cast<double>(dt);
+  }();
+  return v;
+}
+}  // namespace detail
+#endif
+
+/// Busy-wait for approximately `ns` nanoseconds. Uses the TSC on x86-64
+/// (a few ns of overhead per call — the injected deltas are 200-500 ns, so
+/// clock-read overhead must stay well below that); falls back to the
+/// steady clock elsewhere.
+inline void spin_ns(uint64_t ns) {
+  if (ns == 0) return;
+#if defined(__x86_64__)
+  const uint64_t target =
+      detail::rdtsc() +
+      static_cast<uint64_t>(static_cast<double>(ns) * detail::tsc_per_ns());
+  // No PAUSE in the loop: the injected waits are only hundreds of ns and
+  // PAUSE would add ~14 ns of quantization per iteration.
+  while (detail::rdtsc() < target) {
+  }
+#else
+  const auto end =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < end) {
+  }
+#endif
+}
+
+}  // namespace hart::pmem

@@ -1,0 +1,42 @@
+// Basic definitions for the persistent-memory device model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hart::pmem {
+
+/// CPU cache-line size assumed by the flush model (CLFLUSH granularity).
+inline constexpr size_t kCacheLine = 64;
+
+/// Allocation granule of the persistent block allocator. One cache line:
+/// small enough that WOART's NODE4 does not waste space, large enough that
+/// the block bitmap stays compact.
+inline constexpr size_t kBlockSize = 64;
+
+/// Size of the arena header (block space begins after it). The user root
+/// object lives inside the header.
+inline constexpr size_t kArenaHeaderSize = 4096;
+
+/// Offset value meaning "null persistent pointer". Offset 0 is the arena
+/// header, which is never handed out by the allocator, so 0 is safe.
+inline constexpr uint64_t kNullOff = 0;
+
+/// Exception thrown by Arena::persist() when a simulated crash point fires.
+/// Tests catch this, call Arena::crash(), and run the recovery path.
+struct CrashPoint {};
+
+/// A typed persistent pointer: an offset into the arena. Stored *in* PM, so
+/// it must stay valid across re-mapping (file-backed arenas) — hence an
+/// offset, not an address. Trivially copyable by design.
+template <typename T>
+struct POff {
+  uint64_t raw = kNullOff;
+
+  [[nodiscard]] bool is_null() const { return raw == kNullOff; }
+  explicit operator bool() const { return raw != kNullOff; }
+  friend bool operator==(POff a, POff b) { return a.raw == b.raw; }
+  friend bool operator!=(POff a, POff b) { return a.raw != b.raw; }
+};
+
+}  // namespace hart::pmem

@@ -1,0 +1,58 @@
+// Counters collected by the PM device model. Used by the memory-consumption
+// experiment (Fig. 10b), by the EPallocator ablation, and by tests asserting
+// leak freedom.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hart::pmem {
+
+struct StatsSnapshot {
+  uint64_t persist_calls = 0;       // persistent() invocations
+  uint64_t persisted_bytes = 0;     // total bytes covered by persist()
+  uint64_t pm_read_lines = 0;       // PM cache lines touched by reads
+  uint64_t alloc_calls = 0;         // raw PM allocations
+  uint64_t free_calls = 0;          // raw PM frees
+  uint64_t alloc_meta_persists = 0; // modeled allocator-metadata flushes
+  uint64_t pm_live_bytes = 0;       // logical (requested) live PM bytes
+  uint64_t pm_block_bytes = 0;      // physical (block-rounded) live PM bytes
+};
+
+class Stats {
+ public:
+  std::atomic<uint64_t> persist_calls{0};
+  std::atomic<uint64_t> persisted_bytes{0};
+  mutable std::atomic<uint64_t> pm_read_lines{0};
+  std::atomic<uint64_t> alloc_calls{0};
+  std::atomic<uint64_t> free_calls{0};
+  std::atomic<uint64_t> alloc_meta_persists{0};
+  std::atomic<uint64_t> pm_live_bytes{0};
+  std::atomic<uint64_t> pm_block_bytes{0};
+
+  [[nodiscard]] StatsSnapshot snapshot() const {
+    StatsSnapshot s;
+    s.persist_calls = persist_calls.load(std::memory_order_relaxed);
+    s.persisted_bytes = persisted_bytes.load(std::memory_order_relaxed);
+    s.pm_read_lines = pm_read_lines.load(std::memory_order_relaxed);
+    s.alloc_calls = alloc_calls.load(std::memory_order_relaxed);
+    s.free_calls = free_calls.load(std::memory_order_relaxed);
+    s.alloc_meta_persists =
+        alloc_meta_persists.load(std::memory_order_relaxed);
+    s.pm_live_bytes = pm_live_bytes.load(std::memory_order_relaxed);
+    s.pm_block_bytes = pm_block_bytes.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset_counters() {
+    persist_calls = 0;
+    persisted_bytes = 0;
+    pm_read_lines = 0;
+    alloc_calls = 0;
+    free_calls = 0;
+    alloc_meta_persists = 0;
+    // pm_live_bytes / pm_block_bytes track live state and are not reset.
+  }
+};
+
+}  // namespace hart::pmem

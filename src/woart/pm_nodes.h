@@ -1,0 +1,145 @@
+// Persistent ART node layouts shared by the two PM-resident radix-tree
+// baselines, WOART and ART+CoW (Lee et al., FAST 2017, reimplemented like
+// the HART paper did — Section IV.A).
+//
+// All four adaptive node types live in PM and reference children by arena
+// offset (bit 0 tags a leaf). The 8-byte header word packs the node's
+// depth, logical prefix length and the first 6 prefix bytes, so WOART can
+// update a compressed path with a single failure-atomic store; ART+CoW
+// uses the same layout but replaces nodes wholesale.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/index.h"
+#include "pmem/arena.h"
+
+namespace hart::pmart {
+
+inline constexpr uint32_t kStoredPrefix = 6;
+
+/// Header word codec: byte 0 = depth, byte 1 = prefix_len, bytes 2..7 =
+/// first 6 prefix bytes. Updated with one 8-byte store + persist.
+struct PWord {
+  static uint64_t make(uint8_t depth, uint8_t prefix_len,
+                       const uint8_t* bytes, uint32_t nbytes) {
+    uint64_t w = uint64_t{depth} | (uint64_t{prefix_len} << 8);
+    for (uint32_t i = 0; i < nbytes && i < kStoredPrefix; ++i)
+      w |= uint64_t{bytes[i]} << (16 + 8 * i);
+    return w;
+  }
+  static uint8_t depth(uint64_t w) { return static_cast<uint8_t>(w); }
+  static uint8_t prefix_len(uint64_t w) {
+    return static_cast<uint8_t>(w >> 8);
+  }
+  static uint8_t prefix_byte(uint64_t w, uint32_t i) {
+    return static_cast<uint8_t>(w >> (16 + 8 * i));
+  }
+};
+
+enum PNodeType : uint8_t {
+  kPNode4 = 1,
+  kPNode16 = 2,
+  kPNode48 = 3,
+  kPNode256 = 4,
+};
+
+/// Child reference: arena offset with bit 0 tagging a leaf (all
+/// allocations are >= 8-byte aligned). 0 = empty slot.
+struct ChildRef {
+  static uint64_t leaf(uint64_t off) { return off | 1; }
+  static uint64_t node(uint64_t off) { return off; }
+  static bool is_leaf(uint64_t r) { return (r & 1) != 0; }
+  static uint64_t off(uint64_t r) { return r & ~uint64_t{1}; }
+};
+
+struct PNode {
+  uint64_t pword;  // depth + prefix (failure-atomic update unit)
+  uint8_t type;
+  uint8_t pad0;
+  uint16_t bitmap16;  // NODE16 slot-validity commit word
+  uint8_t pad1[4];
+};
+static_assert(sizeof(PNode) == 16);
+
+struct PNode4 : PNode {
+  uint8_t keys[4];
+  uint8_t pad2[4];
+  uint64_t children[4];  // non-zero = valid slot (commit by pointer store)
+};
+static_assert(sizeof(PNode4) == 56);
+
+struct PNode16 : PNode {
+  uint8_t keys[16];
+  uint64_t children[16];
+};
+static_assert(sizeof(PNode16) == 160);
+
+struct PNode48 : PNode {
+  uint8_t child_index[256];  // 0xFF = empty (1-byte atomic commit)
+  uint64_t children[48];
+};
+static_assert(sizeof(PNode48) == 656);
+
+struct PNode256 : PNode {
+  uint64_t children[256];  // pointer store is the atomic commit
+};
+static_assert(sizeof(PNode256) == 2064);
+
+inline constexpr uint8_t kEmpty48 = 0xFF;
+
+inline size_t pnode_size(uint8_t type) {
+  switch (type) {
+    case kPNode4: return sizeof(PNode4);
+    case kPNode16: return sizeof(PNode16);
+    case kPNode48: return sizeof(PNode48);
+    default: return sizeof(PNode256);
+  }
+}
+
+/// Persistent leaf shared by WOART and ART+CoW: complete key plus an
+/// out-of-leaf value pointer (the paper gives all three ART-based trees the
+/// same update mechanism, Section IV.B "Update").
+struct PmLeaf {
+  uint64_t p_value;  // offset of a PmValue
+  char key[common::kMaxKeyLen];
+  uint8_t key_len;
+  uint8_t pad[7];
+};
+static_assert(sizeof(PmLeaf) == 40);
+
+/// Out-of-leaf value object: 1-byte length + payload, allocated per object
+/// from the raw PM allocator (no EPallocator in the baselines — that is
+/// HART's advantage).
+struct PmValue {
+  uint8_t len;
+  char data[common::kMaxValueLen];
+};
+
+inline uint64_t alloc_value(pmem::Arena& a, std::string_view v) {
+  const uint64_t off = a.alloc(1 + v.size(), 8);
+  auto* pv = a.ptr<PmValue>(off);
+  pv->len = static_cast<uint8_t>(v.size());
+  std::memcpy(pv->data, v.data(), v.size());
+  a.persist(pv, 1 + v.size());
+  return off;
+}
+
+inline void free_value(pmem::Arena& a, uint64_t off) {
+  const auto* pv = a.ptr<PmValue>(off);
+  a.free(off, 1 + pv->len, 8);
+}
+
+inline uint64_t alloc_leaf(pmem::Arena& a, std::string_view key,
+                           uint64_t value_off) {
+  const uint64_t off = a.alloc(sizeof(PmLeaf), 8);
+  auto* l = a.ptr<PmLeaf>(off);
+  l->p_value = value_off;
+  std::memcpy(l->key, key.data(), key.size());
+  l->key_len = static_cast<uint8_t>(key.size());
+  a.persist(l, sizeof(PmLeaf));
+  return off;
+}
+
+}  // namespace hart::pmart

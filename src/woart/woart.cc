@@ -1,0 +1,812 @@
+#include "woart/woart.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace hart::pmart {
+
+namespace {
+constexpr uint64_t kWoartMagic = 0x574f4152'54000001ULL;
+
+uint32_t key_at(std::string_view k, uint32_t d) {
+  return d < k.size() ? static_cast<uint8_t>(k[d]) : 0u;
+}
+
+void validate_key(std::string_view key) {
+  if (key.empty() || key.size() > common::kMaxKeyLen)
+    throw std::invalid_argument("key length must be 1..24 bytes");
+  if (std::memchr(key.data(), 0, key.size()) != nullptr)
+    throw std::invalid_argument("keys must not contain NUL bytes");
+}
+void validate_value(std::string_view value) {
+  if (value.empty() || value.size() > common::kMaxValueLen)
+    throw std::invalid_argument("value length must be 1..64 bytes");
+}
+
+std::string_view leaf_key(const PmLeaf* l) {
+  return {l->key, l->key_len};
+}
+}  // namespace
+
+Woart::Woart(pmem::Arena& arena)
+    : arena_(arena), root_(arena.root<Root>()) {
+  if (root_->magic == kWoartMagic) {
+    recover();
+  } else {
+    *root_ = Root{};
+    root_->magic = kWoartMagic;
+    persist(root_, sizeof(*root_));
+  }
+}
+
+// ---- prefix handling (WORT depth-embedded headers) ------------------------
+
+const PmLeaf* Woart::min_leaf(const PNode* n) const {
+  for (;;) {
+    uint64_t child = 0;
+    switch (n->type) {
+      case kPNode4: {
+        const auto* p = static_cast<const PNode4*>(n);
+        for (int i = 0; i < 4 && child == 0; ++i) child = p->children[i];
+        break;
+      }
+      case kPNode16: {
+        const auto* p = static_cast<const PNode16*>(n);
+        for (int i = 0; i < 16 && child == 0; ++i)
+          if (p->bitmap16 & (1u << i)) child = p->children[i];
+        break;
+      }
+      case kPNode48: {
+        const auto* p = static_cast<const PNode48*>(n);
+        for (int b = 0; b < 256 && child == 0; ++b)
+          if (p->child_index[b] != kEmpty48)
+            child = p->children[p->child_index[b]];
+        break;
+      }
+      default: {
+        const auto* p = static_cast<const PNode256*>(n);
+        for (int b = 0; b < 256 && child == 0; ++b) child = p->children[b];
+        break;
+      }
+    }
+    assert(child != 0 && "internal node with no children");
+    arena_.pm_read(&child, sizeof(child));
+    if (ChildRef::is_leaf(child)) {
+      const auto* l = leaf_at(child);
+      arena_.pm_read(l, sizeof(PmLeaf));
+      return l;
+    }
+    n = node_at(child);
+    arena_.pm_read(n, sizeof(PNode));
+  }
+}
+
+/// A node whose header depth differs from the traversal depth is stale
+/// (left behind by a crash between a parent-pointer swing and the header
+/// update, or by a lazy path collapse). The prefix *end* position
+/// (hdr.depth + hdr.prefix_len) is invariant; rewrite the header in place
+/// with one atomic store.
+void Woart::repair_prefix(PNode* n, uint32_t depth) {
+  const uint64_t w = n->pword;
+  if (PWord::depth(w) == depth) return;
+  const uint32_t end = PWord::depth(w) + PWord::prefix_len(w);
+  assert(end >= depth);
+  const uint32_t len = end - depth;
+  uint8_t bytes[kStoredPrefix] = {0};
+  if (len > 0) {
+    const std::string_view lk = leaf_key(min_leaf(n));
+    for (uint32_t i = 0; i < kStoredPrefix && i < len; ++i)
+      bytes[i] = static_cast<uint8_t>(key_at(lk, depth + i));
+  }
+  n->pword = PWord::make(static_cast<uint8_t>(depth),
+                         static_cast<uint8_t>(len), bytes, len);
+  persist(&n->pword, sizeof(n->pword));
+}
+
+uint32_t Woart::prefix_mismatch(const PNode* n, std::string_view key,
+                                uint32_t depth) const {
+  const uint64_t w = n->pword;
+  assert(PWord::depth(w) == depth && "caller must repair first");
+  const uint32_t len = PWord::prefix_len(w);
+  uint32_t i = 0;
+  for (; i < len && i < kStoredPrefix; ++i)
+    if (PWord::prefix_byte(w, i) != key_at(key, depth + i)) return i;
+  if (len > kStoredPrefix) {
+    const std::string_view lk = leaf_key(min_leaf(n));
+    for (; i < len; ++i)
+      if (key_at(lk, depth + i) != key_at(key, depth + i)) return i;
+  }
+  return len;
+}
+
+// ---- child access ----------------------------------------------------------
+
+uint64_t* Woart::find_child_slot(PNode* n, uint32_t byte) const {
+  arena_.pm_read(n, sizeof(PNode));
+  switch (n->type) {
+    case kPNode4: {
+      auto* p = static_cast<PNode4*>(n);
+      arena_.pm_read(p->keys, sizeof(p->keys));
+      for (int i = 0; i < 4; ++i)
+        if (p->children[i] != 0 && p->keys[i] == byte)
+          return &p->children[i];
+      return nullptr;
+    }
+    case kPNode16: {
+      auto* p = static_cast<PNode16*>(n);
+      arena_.pm_read(p->keys, sizeof(p->keys));
+      for (int i = 0; i < 16; ++i)
+        if ((p->bitmap16 & (1u << i)) && p->keys[i] == byte)
+          return &p->children[i];
+      return nullptr;
+    }
+    case kPNode48: {
+      auto* p = static_cast<PNode48*>(n);
+      arena_.pm_read(&p->child_index[byte], 1);
+      const uint8_t slot = p->child_index[byte];
+      return slot == kEmpty48 ? nullptr : &p->children[slot];
+    }
+    default: {
+      auto* p = static_cast<PNode256*>(n);
+      arena_.pm_read(&p->children[byte], 8);
+      return p->children[byte] != 0 ? &p->children[byte] : nullptr;
+    }
+  }
+}
+
+uint32_t Woart::valid_children(const PNode* n) const {
+  switch (n->type) {
+    case kPNode4: {
+      const auto* p = static_cast<const PNode4*>(n);
+      uint32_t c = 0;
+      for (int i = 0; i < 4; ++i) c += p->children[i] != 0;
+      return c;
+    }
+    case kPNode16:
+      return std::popcount(static_cast<const PNode16*>(n)->bitmap16);
+    case kPNode48: {
+      const auto* p = static_cast<const PNode48*>(n);
+      uint32_t c = 0;
+      for (int b = 0; b < 256; ++b) c += p->child_index[b] != kEmpty48;
+      return c;
+    }
+    default: {
+      const auto* p = static_cast<const PNode256*>(n);
+      uint32_t c = 0;
+      for (int b = 0; b < 256; ++b) c += p->children[b] != 0;
+      return c;
+    }
+  }
+}
+
+uint64_t Woart::only_child(const PNode* n) const {
+  uint64_t found = 0;
+  switch (n->type) {
+    case kPNode4: {
+      const auto* p = static_cast<const PNode4*>(n);
+      for (int i = 0; i < 4; ++i)
+        if (p->children[i] != 0) found = p->children[i];
+      return found;
+    }
+    case kPNode16: {
+      const auto* p = static_cast<const PNode16*>(n);
+      for (int i = 0; i < 16; ++i)
+        if (p->bitmap16 & (1u << i)) found = p->children[i];
+      return found;
+    }
+    case kPNode48: {
+      const auto* p = static_cast<const PNode48*>(n);
+      for (int b = 0; b < 256; ++b)
+        if (p->child_index[b] != kEmpty48)
+          found = p->children[p->child_index[b]];
+      return found;
+    }
+    default: {
+      const auto* p = static_cast<const PNode256*>(n);
+      for (int b = 0; b < 256; ++b)
+        if (p->children[b] != 0) found = p->children[b];
+      return found;
+    }
+  }
+}
+
+template <class F>
+bool Woart::for_each_child_sorted(const PNode* n, F&& f) const {
+  switch (n->type) {
+    case kPNode4:
+    case kPNode16: {
+      // Keys are unsorted in PM (slot-append order): gather and sort.
+      const int cap = n->type == kPNode4 ? 4 : 16;
+      const uint8_t* keys = n->type == kPNode4
+                                ? static_cast<const PNode4*>(n)->keys
+                                : static_cast<const PNode16*>(n)->keys;
+      const uint64_t* children =
+          n->type == kPNode4 ? static_cast<const PNode4*>(n)->children
+                             : static_cast<const PNode16*>(n)->children;
+      std::pair<uint8_t, uint64_t> entries[16];
+      int cnt = 0;
+      for (int i = 0; i < cap; ++i) {
+        const bool valid =
+            n->type == kPNode4
+                ? children[i] != 0
+                : (static_cast<const PNode16*>(n)->bitmap16 & (1u << i)) != 0;
+        if (valid) entries[cnt++] = {keys[i], children[i]};
+      }
+      std::sort(entries, entries + cnt);
+      for (int i = 0; i < cnt; ++i)
+        if (!f(entries[i].first, entries[i].second)) return false;
+      return true;
+    }
+    case kPNode48: {
+      const auto* p = static_cast<const PNode48*>(n);
+      for (int b = 0; b < 256; ++b)
+        if (p->child_index[b] != kEmpty48)
+          if (!f(static_cast<uint8_t>(b), p->children[p->child_index[b]]))
+            return false;
+      return true;
+    }
+    default: {
+      const auto* p = static_cast<const PNode256*>(n);
+      for (int b = 0; b < 256; ++b)
+        if (p->children[b] != 0)
+          if (!f(static_cast<uint8_t>(b), p->children[b])) return false;
+      return true;
+    }
+  }
+}
+
+// ---- add child / grow (copy-on-write node replacement) --------------------
+
+void Woart::add_child(uint64_t* slot, PNode* n, uint32_t byte,
+                      uint64_t child) {
+  switch (n->type) {
+    case kPNode4: {
+      auto* p = static_cast<PNode4*>(n);
+      for (int i = 0; i < 4; ++i) {
+        if (p->children[i] == 0) {
+          // WOART NODE4 protocol: key byte first, pointer store commits.
+          p->keys[i] = static_cast<uint8_t>(byte);
+          persist(&p->keys[i], 1);
+          p->children[i] = child;
+          persist(&p->children[i], 8);
+          return;
+        }
+      }
+      // Grow 4 -> 16 (CoW: build, persist, swing parent pointer).
+      const uint64_t goff = arena_.alloc(sizeof(PNode16), 64);
+      auto* g = arena_.ptr<PNode16>(goff);
+      std::memset(g, 0, sizeof(*g));
+      g->type = kPNode16;
+      g->pword = p->pword;
+      int j = 0;
+      for (int i = 0; i < 4; ++i) {
+        g->keys[j] = p->keys[i];
+        g->children[j] = p->children[i];
+        g->bitmap16 |= (1u << j);
+        ++j;
+      }
+      g->keys[j] = static_cast<uint8_t>(byte);
+      g->children[j] = child;
+      g->bitmap16 |= (1u << j);
+      persist(g, sizeof(*g));
+      *slot = ChildRef::node(goff);
+      persist(slot, 8);
+      arena_.free(arena_.off(p), sizeof(PNode4), 64);
+      return;
+    }
+    case kPNode16: {
+      auto* p = static_cast<PNode16*>(n);
+      if (std::popcount(p->bitmap16) < 16) {
+        const int i = std::countr_one(p->bitmap16);
+        p->keys[i] = static_cast<uint8_t>(byte);
+        p->children[i] = child;
+        persist(&p->keys[i], 1);
+        persist(&p->children[i], 8);
+        p->bitmap16 |= (1u << i);  // validity bitmap commits the slot
+        persist(&p->bitmap16, 2);
+        return;
+      }
+      const uint64_t goff = arena_.alloc(sizeof(PNode48), 64);
+      auto* g = arena_.ptr<PNode48>(goff);
+      std::memset(g, 0, sizeof(*g));
+      g->type = kPNode48;
+      g->pword = p->pword;
+      std::memset(g->child_index, kEmpty48, 256);
+      for (int i = 0; i < 16; ++i) {
+        g->children[i] = p->children[i];
+        g->child_index[p->keys[i]] = static_cast<uint8_t>(i);
+      }
+      g->children[16] = child;
+      g->child_index[byte] = 16;
+      persist(g, sizeof(*g));
+      *slot = ChildRef::node(goff);
+      persist(slot, 8);
+      arena_.free(arena_.off(p), sizeof(PNode16), 64);
+      return;
+    }
+    case kPNode48: {
+      auto* p = static_cast<PNode48*>(n);
+      // Used slots are defined by child_index (the commit authority).
+      bool used[48] = {};
+      uint32_t cnt = 0;
+      for (int b = 0; b < 256; ++b)
+        if (p->child_index[b] != kEmpty48) {
+          used[p->child_index[b]] = true;
+          ++cnt;
+        }
+      if (cnt < 48) {
+        int s = 0;
+        while (used[s]) ++s;
+        p->children[s] = child;
+        persist(&p->children[s], 8);
+        p->child_index[byte] = static_cast<uint8_t>(s);  // 1-byte commit
+        persist(&p->child_index[byte], 1);
+        return;
+      }
+      const uint64_t goff = arena_.alloc(sizeof(PNode256), 64);
+      auto* g = arena_.ptr<PNode256>(goff);
+      std::memset(g, 0, sizeof(*g));
+      g->type = kPNode256;
+      g->pword = p->pword;
+      for (int b = 0; b < 256; ++b)
+        if (p->child_index[b] != kEmpty48)
+          g->children[b] = p->children[p->child_index[b]];
+      g->children[byte] = child;
+      persist(g, sizeof(*g));
+      *slot = ChildRef::node(goff);
+      persist(slot, 8);
+      arena_.free(arena_.off(p), sizeof(PNode48), 64);
+      return;
+    }
+    default: {
+      auto* p = static_cast<PNode256*>(n);
+      p->children[byte] = child;  // 8-byte store is the atomic commit
+      persist(&p->children[byte], 8);
+      return;
+    }
+  }
+}
+
+// ---- insert ---------------------------------------------------------------
+
+bool Woart::insert(std::string_view key, std::string_view value) {
+  validate_key(key);
+  validate_value(value);
+  const bool inserted = insert_rec(&root_->root, key, value, 0);
+  if (inserted) ++count_;
+  return inserted;
+}
+
+bool Woart::insert_rec(uint64_t* slot, std::string_view key,
+                       std::string_view value, uint32_t depth) {
+  const uint64_t ref = *slot;
+  if (ref == 0) {
+    const uint64_t voff = alloc_value(arena_, value);
+    const uint64_t loff = alloc_leaf(arena_, key, voff);
+    *slot = ChildRef::leaf(loff);  // pointer store commits the insert
+    persist(slot, 8);
+    return true;
+  }
+
+  if (ChildRef::is_leaf(ref)) {
+    PmLeaf* l = leaf_at(ref);
+    arena_.pm_read(l, sizeof(PmLeaf));
+    const std::string_view ek = leaf_key(l);
+    if (ek == key) {  // value update, out-of-place pointer swing
+      const uint64_t old = l->p_value;
+      l->p_value = alloc_value(arena_, value);
+      persist(&l->p_value, 8);
+      free_value(arena_, old);
+      return false;
+    }
+    // Split under a new NODE4 at the common prefix.
+    uint32_t lcp = 0;
+    while (key_at(key, depth + lcp) == key_at(ek, depth + lcp)) ++lcp;
+    const uint64_t voff = alloc_value(arena_, value);
+    const uint64_t loff = alloc_leaf(arena_, key, voff);
+    const uint64_t noff = arena_.alloc(sizeof(PNode4), 64);
+    auto* nn = arena_.ptr<PNode4>(noff);
+    std::memset(nn, 0, sizeof(*nn));
+    nn->type = kPNode4;
+    uint8_t pbytes[kStoredPrefix];
+    for (uint32_t i = 0; i < kStoredPrefix && i < lcp; ++i)
+      pbytes[i] = static_cast<uint8_t>(key_at(key, depth + i));
+    nn->pword = PWord::make(static_cast<uint8_t>(depth),
+                            static_cast<uint8_t>(lcp), pbytes, lcp);
+    nn->keys[0] = static_cast<uint8_t>(key_at(key, depth + lcp));
+    nn->children[0] = ChildRef::leaf(loff);
+    nn->keys[1] = static_cast<uint8_t>(key_at(ek, depth + lcp));
+    nn->children[1] = ref;
+    persist(nn, sizeof(*nn));
+    *slot = ChildRef::node(noff);  // atomic commit
+    persist(slot, 8);
+    return true;
+  }
+
+  PNode* n = node_at(ref);
+  arena_.pm_read(n, sizeof(PNode));
+  repair_prefix(n, depth);
+  const uint32_t plen = PWord::prefix_len(n->pword);
+  if (plen > 0) {
+    const uint32_t p = prefix_mismatch(n, key, depth);
+    if (p < plen) {
+      // Split the compressed path: new NODE4 parent commits via the
+      // parent-pointer swing; n's header is fixed afterwards (a crash in
+      // between leaves a depth mismatch that repair_prefix handles).
+      const uint64_t voff = alloc_value(arena_, value);
+      const uint64_t loff = alloc_leaf(arena_, key, voff);
+      const std::string_view lk = leaf_key(min_leaf(n));
+      const uint64_t noff = arena_.alloc(sizeof(PNode4), 64);
+      auto* nn = arena_.ptr<PNode4>(noff);
+      std::memset(nn, 0, sizeof(*nn));
+      nn->type = kPNode4;
+      uint8_t pbytes[kStoredPrefix];
+      for (uint32_t i = 0; i < kStoredPrefix && i < p; ++i)
+        pbytes[i] = static_cast<uint8_t>(key_at(key, depth + i));
+      nn->pword = PWord::make(static_cast<uint8_t>(depth),
+                              static_cast<uint8_t>(p), pbytes, p);
+      nn->keys[0] = static_cast<uint8_t>(key_at(key, depth + p));
+      nn->children[0] = ChildRef::leaf(loff);
+      nn->keys[1] = static_cast<uint8_t>(key_at(lk, depth + p));
+      nn->children[1] = ref;
+      persist(nn, sizeof(*nn));
+      *slot = ChildRef::node(noff);
+      persist(slot, 8);
+      // Now shorten n's prefix (depth moves past the split byte).
+      repair_prefix(n, depth + p + 1);
+      return true;
+    }
+    depth += plen;
+  }
+
+  const uint32_t byte = key_at(key, depth);
+  if (uint64_t* child = find_child_slot(n, byte); child != nullptr)
+    return insert_rec(child, key, value, depth + 1);
+
+  const uint64_t voff = alloc_value(arena_, value);
+  const uint64_t loff = alloc_leaf(arena_, key, voff);
+  add_child(slot, n, byte, ChildRef::leaf(loff));
+  return true;
+}
+
+// ---- search ----------------------------------------------------------------
+
+bool Woart::search(std::string_view key, std::string* out) const {
+  validate_key(key);
+  uint64_t ref = root_->root;
+  uint32_t depth = 0;
+  while (ref != 0) {
+    if (ChildRef::is_leaf(ref)) {
+      const PmLeaf* l = leaf_at(ref);
+      arena_.pm_read(l, sizeof(PmLeaf));
+      if (leaf_key(l) != key) return false;
+      const auto* v = arena_.ptr<PmValue>(l->p_value);
+      arena_.pm_read(v, 1 + v->len);
+      if (out != nullptr) out->assign(v->data, v->len);
+      return true;
+    }
+    PNode* n = node_at(ref);
+    arena_.pm_read(n, sizeof(PNode));
+    // Optimistic skip: derive the effective prefix length from the
+    // depth-embedded header (stale headers included); the final leaf
+    // comparison rejects false positives.
+    const uint64_t w = n->pword;
+    const uint32_t end = PWord::depth(w) + PWord::prefix_len(w);
+    depth = end;
+    uint64_t* child = find_child_slot(n, key_at(key, depth));
+    if (child == nullptr) return false;
+    ref = *child;
+    ++depth;
+  }
+  return false;
+}
+
+bool Woart::update(std::string_view key, std::string_view value) {
+  validate_key(key);
+  validate_value(value);
+  uint64_t ref = root_->root;
+  uint32_t depth = 0;
+  while (ref != 0 && !ChildRef::is_leaf(ref)) {
+    PNode* n = node_at(ref);
+    arena_.pm_read(n, sizeof(PNode));
+    const uint64_t w = n->pword;
+    depth = PWord::depth(w) + PWord::prefix_len(w);
+    uint64_t* child = find_child_slot(n, key_at(key, depth));
+    if (child == nullptr) return false;
+    ref = *child;
+    ++depth;
+  }
+  if (ref == 0) return false;
+  PmLeaf* l = leaf_at(ref);
+  arena_.pm_read(l, sizeof(PmLeaf));
+  if (leaf_key(l) != key) return false;
+  const uint64_t old = l->p_value;
+  l->p_value = alloc_value(arena_, value);
+  persist(&l->p_value, 8);  // the 8-byte swing is the commit (no log)
+  free_value(arena_, old);
+  return true;
+}
+
+// ---- remove ----------------------------------------------------------------
+
+bool Woart::remove(std::string_view key) {
+  validate_key(key);
+  const bool removed = remove_rec(&root_->root, key, 0);
+  if (removed) --count_;
+  return removed;
+}
+
+void Woart::remove_from_node(uint64_t* slot, PNode* n, uint32_t byte) {
+  switch (n->type) {
+    case kPNode4: {
+      auto* p = static_cast<PNode4*>(n);
+      for (int i = 0; i < 4; ++i)
+        if (p->children[i] != 0 && p->keys[i] == byte) {
+          p->children[i] = 0;  // atomic un-commit
+          persist(&p->children[i], 8);
+          break;
+        }
+      if (valid_children(n) == 1) {
+        // Path collapse: swing the parent directly to the only child; a
+        // stale child header is repaired lazily (depth-embedded headers).
+        const uint64_t child = only_child(n);
+        *slot = child;
+        persist(slot, 8);
+        arena_.free(arena_.off(n), sizeof(PNode4), 64);
+      }
+      return;
+    }
+    case kPNode16: {
+      auto* p = static_cast<PNode16*>(n);
+      for (int i = 0; i < 16; ++i)
+        if ((p->bitmap16 & (1u << i)) && p->keys[i] == byte) {
+          p->bitmap16 &= static_cast<uint16_t>(~(1u << i));
+          persist(&p->bitmap16, 2);
+          break;
+        }
+      shrink_if_needed(slot, n);
+      return;
+    }
+    case kPNode48: {
+      auto* p = static_cast<PNode48*>(n);
+      p->child_index[byte] = kEmpty48;  // 1-byte atomic un-commit
+      persist(&p->child_index[byte], 1);
+      shrink_if_needed(slot, n);
+      return;
+    }
+    default: {
+      auto* p = static_cast<PNode256*>(n);
+      p->children[byte] = 0;
+      persist(&p->children[byte], 8);
+      shrink_if_needed(slot, n);
+      return;
+    }
+  }
+}
+
+void Woart::shrink_if_needed(uint64_t* slot, PNode* n) {
+  const uint32_t cnt = valid_children(n);
+  if (n->type == kPNode16 && cnt == 1) {
+    const uint64_t child = only_child(n);
+    *slot = child;
+    persist(slot, 8);
+    arena_.free(arena_.off(n), sizeof(PNode16), 64);
+    return;
+  }
+  if (n->type == kPNode16 && cnt == 3) {
+    auto* p = static_cast<PNode16*>(n);
+    const uint64_t soff = arena_.alloc(sizeof(PNode4), 64);
+    auto* s = arena_.ptr<PNode4>(soff);
+    std::memset(s, 0, sizeof(*s));
+    s->type = kPNode4;
+    s->pword = p->pword;
+    int j = 0;
+    for (int i = 0; i < 16; ++i)
+      if (p->bitmap16 & (1u << i)) {
+        s->keys[j] = p->keys[i];
+        s->children[j] = p->children[i];
+        ++j;
+      }
+    persist(s, sizeof(*s));
+    *slot = ChildRef::node(soff);
+    persist(slot, 8);
+    arena_.free(arena_.off(p), sizeof(PNode16), 64);
+    return;
+  }
+  if (n->type == kPNode48 && cnt == 12) {
+    auto* p = static_cast<PNode48*>(n);
+    const uint64_t soff = arena_.alloc(sizeof(PNode16), 64);
+    auto* s = arena_.ptr<PNode16>(soff);
+    std::memset(s, 0, sizeof(*s));
+    s->type = kPNode16;
+    s->pword = p->pword;
+    int j = 0;
+    for (int b = 0; b < 256; ++b)
+      if (p->child_index[b] != kEmpty48) {
+        s->keys[j] = static_cast<uint8_t>(b);
+        s->children[j] = p->children[p->child_index[b]];
+        s->bitmap16 |= static_cast<uint16_t>(1u << j);
+        ++j;
+      }
+    persist(s, sizeof(*s));
+    *slot = ChildRef::node(soff);
+    persist(slot, 8);
+    arena_.free(arena_.off(p), sizeof(PNode48), 64);
+    return;
+  }
+  if (n->type == kPNode256 && cnt == 37) {
+    auto* p = static_cast<PNode256*>(n);
+    const uint64_t soff = arena_.alloc(sizeof(PNode48), 64);
+    auto* s = arena_.ptr<PNode48>(soff);
+    std::memset(s, 0, sizeof(*s));
+    s->type = kPNode48;
+    s->pword = p->pword;
+    std::memset(s->child_index, kEmpty48, 256);
+    int j = 0;
+    for (int b = 0; b < 256; ++b)
+      if (p->children[b] != 0) {
+        s->child_index[b] = static_cast<uint8_t>(j);
+        s->children[j] = p->children[b];
+        ++j;
+      }
+    persist(s, sizeof(*s));
+    *slot = ChildRef::node(soff);
+    persist(slot, 8);
+    arena_.free(arena_.off(p), sizeof(PNode256), 64);
+    return;
+  }
+}
+
+bool Woart::remove_rec(uint64_t* slot, std::string_view key,
+                       uint32_t depth) {
+  const uint64_t ref = *slot;
+  if (ref == 0) return false;
+  if (ChildRef::is_leaf(ref)) {  // root-level leaf
+    PmLeaf* l = leaf_at(ref);
+    arena_.pm_read(l, sizeof(PmLeaf));
+    if (leaf_key(l) != key) return false;
+    *slot = 0;
+    persist(slot, 8);
+    free_value(arena_, l->p_value);
+    arena_.free(arena_.off(l), sizeof(PmLeaf), 8);
+    return true;
+  }
+  PNode* n = node_at(ref);
+  arena_.pm_read(n, sizeof(PNode));
+  repair_prefix(n, depth);
+  const uint32_t plen = PWord::prefix_len(n->pword);
+  if (plen > 0) {
+    if (prefix_mismatch(n, key, depth) < plen) return false;
+    depth += plen;
+  }
+  const uint32_t byte = key_at(key, depth);
+  uint64_t* child = find_child_slot(n, byte);
+  if (child == nullptr) return false;
+  if (ChildRef::is_leaf(*child)) {
+    PmLeaf* l = leaf_at(*child);
+    arena_.pm_read(l, sizeof(PmLeaf));
+    if (leaf_key(l) != key) return false;
+    const uint64_t voff = l->p_value;
+    remove_from_node(slot, n, byte);
+    free_value(arena_, voff);
+    arena_.free(arena_.off(l), sizeof(PmLeaf), 8);
+    return true;
+  }
+  return remove_rec(child, key, depth + 1);
+}
+
+// ---- ordered scans ---------------------------------------------------------
+
+template <class F>
+bool Woart::walk_all(uint64_t ref, F& fn) const {
+  if (ChildRef::is_leaf(ref)) {
+    const PmLeaf* l = leaf_at(ref);
+    arena_.pm_read(l, sizeof(PmLeaf));
+    return fn(l);
+  }
+  const PNode* n = node_at(ref);
+  return for_each_child_sorted(
+      n, [&](uint8_t, uint64_t c) { return walk_all(c, fn); });
+}
+
+template <class F>
+bool Woart::walk_from(uint64_t ref, std::string_view lo, uint32_t depth,
+                      F& fn) const {
+  if (ChildRef::is_leaf(ref)) {
+    const PmLeaf* l = leaf_at(ref);
+    arena_.pm_read(l, sizeof(PmLeaf));
+    return leaf_key(l) < lo ? true : fn(l);
+  }
+  const PNode* n = node_at(ref);
+  const uint64_t w = n->pword;
+  const uint32_t end = PWord::depth(w) + PWord::prefix_len(w);
+  if (end > depth) {
+    // Compare the subtree's prefix bytes [depth, end) against lo using a
+    // descendant leaf (robust against stale headers).
+    const std::string_view lk = leaf_key(min_leaf(n));
+    for (uint32_t i = depth; i < end; ++i) {
+      const uint32_t a = key_at(lk, i);
+      const uint32_t b = key_at(lo, i);
+      if (a < b) return true;  // whole subtree < lo
+      if (a > b) return walk_all(ref, fn);
+    }
+    depth = end;
+  }
+  const uint32_t b = key_at(lo, depth);
+  return for_each_child_sorted(n, [&](uint8_t byte, uint64_t c) {
+    if (byte < b) return true;
+    if (byte > b) return walk_all(c, fn);
+    return walk_from(c, lo, depth + 1, fn);
+  });
+}
+
+size_t Woart::range(
+    std::string_view lo, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  validate_key(lo);
+  out->clear();
+  if (limit == 0 || root_->root == 0) return 0;
+  auto emit = [&](const PmLeaf* l) {
+    const auto* v = arena_.ptr<PmValue>(l->p_value);
+    arena_.pm_read(v, 1 + v->len);
+    out->emplace_back(std::string(l->key, l->key_len),
+                      std::string(v->data, v->len));
+    return out->size() < limit;
+  };
+  walk_from(root_->root, lo, 0, emit);
+  return out->size();
+}
+
+common::MemoryUsage Woart::memory_usage() const {
+  common::MemoryUsage u;
+  u.pm_bytes = arena_.stats().pm_live_bytes.load(std::memory_order_relaxed);
+  u.dram_bytes = 0;  // WOART is a pure PM tree (paper Fig. 10b)
+  return u;
+}
+
+// ---- recovery (allocation-map reachability) --------------------------------
+
+void Woart::mark_reachable(uint64_t ref) {
+  if (ChildRef::is_leaf(ref)) {
+    const PmLeaf* l = leaf_at(ref);
+    arena_.mark_used(ChildRef::off(ref), sizeof(PmLeaf));
+    const auto* v = arena_.ptr<PmValue>(l->p_value);
+    arena_.mark_used(l->p_value, 1 + v->len);
+    ++count_;
+    return;
+  }
+  const PNode* n = node_at(ref);
+  arena_.mark_used(ChildRef::off(ref), pnode_size(n->type));
+  for_each_child_sorted(n, [&](uint8_t, uint64_t c) {
+    mark_reachable(c);
+    return true;
+  });
+}
+
+void Woart::recover() {
+  arena_.reset_alloc_map();
+  count_ = 0;
+  if (root_->root != 0) mark_reachable(root_->root);
+}
+
+void Woart::free_subtree(uint64_t ref) {
+  if (ref == 0) return;
+  if (ChildRef::is_leaf(ref)) {
+    PmLeaf* l = leaf_at(ref);
+    free_value(arena_, l->p_value);
+    arena_.free(ChildRef::off(ref), sizeof(PmLeaf), 8);
+    return;
+  }
+  PNode* n = node_at(ref);
+  for_each_child_sorted(n, [&](uint8_t, uint64_t c) {
+    free_subtree(c);
+    return true;
+  });
+  arena_.free(ChildRef::off(ref), pnode_size(n->type), 64);
+}
+
+}  // namespace hart::pmart

@@ -1,0 +1,98 @@
+// WOART — Write Optimal Adaptive Radix Tree (Lee et al., FAST 2017),
+// reimplemented as the HART paper did for its evaluation.
+//
+// Every node lives in PM. Consistency comes from ordered 8-byte
+// failure-atomic stores instead of logging:
+//  * NODE4 commits a slot by the child-pointer store (key byte written and
+//    persisted first);
+//  * NODE16 commits through a 16-bit validity bitmap;
+//  * NODE48 commits through the 1-byte child_index entry;
+//  * NODE256 commits through the pointer store itself;
+//  * node growth/shrink replaces the node copy-on-write and commits by
+//    swinging the parent pointer;
+//  * path-compression changes use the WORT depth-embedded header: the
+//    8-byte header word carries (depth, prefix_len, first 6 prefix bytes),
+//    and a node observed at a different traversal depth than its header
+//    records is stale and is repaired in place from a descendant leaf.
+//
+// Unlike HART, WOART has no allocator-side leak prevention (the HART paper
+// calls this out) and keeps internal nodes in PM, paying the PM write
+// latency on every structural change. Single-writer, like the paper's
+// evaluation of it.
+#pragma once
+
+#include <atomic>
+#include <string_view>
+
+#include "common/index.h"
+#include "pmem/arena.h"
+#include "woart/pm_nodes.h"
+
+namespace hart::pmart {
+
+class Woart final : public common::Index {
+ public:
+  explicit Woart(pmem::Arena& arena);
+
+  bool insert(std::string_view key, std::string_view value) override;
+  bool search(std::string_view key, std::string* out) const override;
+  bool update(std::string_view key, std::string_view value) override;
+  bool remove(std::string_view key) override;
+  size_t range(std::string_view lo, size_t limit,
+               std::vector<std::pair<std::string, std::string>>* out)
+      const override;
+  size_t size() const override { return count_; }
+  common::MemoryUsage memory_usage() const override;
+  const char* name() const override { return "WOART"; }
+
+  /// Re-establish the volatile allocation map (and count) by walking the
+  /// tree from the persistent root. Called automatically when the
+  /// constructor finds an existing tree.
+  void recover();
+
+ private:
+  struct Root {
+    uint64_t magic;
+    uint64_t root;  // ChildRef of the root (0 = empty)
+  };
+
+  // Traversal helpers (see pm_nodes.h for the layouts).
+  PNode* node_at(uint64_t ref) const { return arena_.ptr<PNode>(ChildRef::off(ref)); }
+  PmLeaf* leaf_at(uint64_t ref) const {
+    return arena_.ptr<PmLeaf>(ChildRef::off(ref));
+  }
+  const PmLeaf* min_leaf(const PNode* n) const;
+  void repair_prefix(PNode* n, uint32_t depth);
+  uint32_t prefix_mismatch(const PNode* n, std::string_view key,
+                           uint32_t depth) const;
+  uint64_t* find_child_slot(PNode* n, uint32_t byte) const;
+  void add_child(uint64_t* slot, PNode* n, uint32_t byte,
+                 uint64_t child);
+  uint32_t valid_children(const PNode* n) const;
+  template <class F>
+  bool for_each_child_sorted(const PNode* n, F&& f) const;
+  uint64_t only_child(const PNode* n) const;
+
+  bool insert_rec(uint64_t* slot, std::string_view key,
+                  std::string_view value, uint32_t depth);
+  bool remove_rec(uint64_t* slot, std::string_view key, uint32_t depth);
+  void remove_from_node(uint64_t* slot, PNode* n, uint32_t byte);
+  void shrink_if_needed(uint64_t* slot, PNode* n);
+
+  template <class F>
+  bool walk_all(uint64_t ref, F& fn) const;
+  template <class F>
+  bool walk_from(uint64_t ref, std::string_view lo, uint32_t depth,
+                 F& fn) const;
+
+  void mark_reachable(uint64_t ref);
+  void free_subtree(uint64_t ref);
+
+  void persist(const void* p, size_t n) const { arena_.persist(p, n); }
+
+  pmem::Arena& arena_;
+  Root* root_;
+  size_t count_ = 0;
+};
+
+}  // namespace hart::pmart

@@ -1,0 +1,392 @@
+#include "woart/wort.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace hart::pmart {
+
+namespace {
+constexpr uint64_t kWortMagic = 0x574f5254'00000001ULL;
+
+void validate_key(std::string_view key) {
+  if (key.empty() || key.size() > common::kMaxKeyLen)
+    throw std::invalid_argument("key length must be 1..24 bytes");
+  if (std::memchr(key.data(), 0, key.size()) != nullptr)
+    throw std::invalid_argument("keys must not contain NUL bytes");
+}
+void validate_value(std::string_view value) {
+  if (value.empty() || value.size() > common::kMaxValueLen)
+    throw std::invalid_argument("value length must be 1..64 bytes");
+}
+
+std::string_view leaf_key(const PmLeaf* l) { return {l->key, l->key_len}; }
+
+/// Nibble of `k` at nibble-depth `d` (high nibble first), with the
+/// implicit 0x00 terminator byte beyond the end.
+uint32_t key_nibble(std::string_view k, uint32_t d) {
+  const uint32_t byte_idx = d >> 1;
+  const uint8_t b =
+      byte_idx < k.size() ? static_cast<uint8_t>(k[byte_idx]) : 0;
+  return (d & 1) ? (b & 0xf) : (b >> 4);
+}
+}  // namespace
+
+Wort::Wort(pmem::Arena& arena) : arena_(arena), root_(arena.root<Root>()) {
+  if (root_->magic == kWortMagic) {
+    recover();
+  } else {
+    *root_ = Root{};
+    root_->magic = kWortMagic;
+    persist(root_, sizeof(*root_));
+  }
+}
+
+const PmLeaf* Wort::min_leaf(const WortNode* n) const {
+  for (;;) {
+    uint64_t child = 0;
+    for (int i = 0; i < 16 && child == 0; ++i) child = n->children[i];
+    assert(child != 0 && "internal WORT node with no children");
+    arena_.pm_read(&child, sizeof(child));
+    if (ChildRef::is_leaf(child)) {
+      const auto* l = leaf_at(child);
+      arena_.pm_read(l, sizeof(PmLeaf));
+      return l;
+    }
+    n = node_at(child);
+    arena_.pm_read(n, sizeof(uint64_t));
+  }
+}
+
+void Wort::repair_prefix(WortNode* n, uint32_t depth) {
+  const uint64_t w = n->pword;
+  if (WortPWord::depth(w) == depth) return;
+  const uint32_t end = WortPWord::depth(w) + WortPWord::prefix_len(w);
+  assert(end >= depth);
+  const uint32_t len = end - depth;
+  uint8_t nibbles[WortPWord::kStoredNibbles] = {0};
+  if (len > 0) {
+    const std::string_view lk = leaf_key(min_leaf(n));
+    for (uint32_t i = 0; i < WortPWord::kStoredNibbles && i < len; ++i)
+      nibbles[i] = static_cast<uint8_t>(key_nibble(lk, depth + i));
+  }
+  n->pword = WortPWord::make(static_cast<uint8_t>(depth),
+                             static_cast<uint8_t>(len), nibbles, len);
+  persist(&n->pword, sizeof(n->pword));
+}
+
+uint32_t Wort::prefix_mismatch(const WortNode* n, std::string_view key,
+                               uint32_t depth) const {
+  const uint64_t w = n->pword;
+  assert(WortPWord::depth(w) == depth);
+  const uint32_t len = WortPWord::prefix_len(w);
+  uint32_t i = 0;
+  for (; i < len && i < WortPWord::kStoredNibbles; ++i)
+    if (WortPWord::nibble(w, i) != key_nibble(key, depth + i)) return i;
+  if (len > WortPWord::kStoredNibbles) {
+    const std::string_view lk = leaf_key(min_leaf(n));
+    for (; i < len; ++i)
+      if (key_nibble(lk, depth + i) != key_nibble(key, depth + i)) return i;
+  }
+  return len;
+}
+
+uint64_t Wort::new_node(uint32_t depth, uint32_t plen,
+                        const uint8_t* nibbles, uint32_t n) {
+  const uint64_t off = arena_.alloc(sizeof(WortNode), 64);
+  auto* node = arena_.ptr<WortNode>(off);
+  std::memset(node, 0, sizeof(*node));
+  node->pword = WortPWord::make(static_cast<uint8_t>(depth),
+                                static_cast<uint8_t>(plen), nibbles, n);
+  return off;
+}
+
+bool Wort::insert(std::string_view key, std::string_view value) {
+  validate_key(key);
+  validate_value(value);
+  const bool inserted = insert_rec(&root_->root, key, value, 0);
+  if (inserted) ++count_;
+  return inserted;
+}
+
+bool Wort::insert_rec(uint64_t* slot, std::string_view key,
+                      std::string_view value, uint32_t depth) {
+  const uint64_t ref = *slot;
+  if (ref == 0) {
+    const uint64_t voff = alloc_value(arena_, value);
+    const uint64_t loff = alloc_leaf(arena_, key, voff);
+    *slot = ChildRef::leaf(loff);  // the pointer store is the commit
+    persist(slot, 8);
+    return true;
+  }
+
+  if (ChildRef::is_leaf(ref)) {
+    PmLeaf* l = leaf_at(ref);
+    arena_.pm_read(l, sizeof(PmLeaf));
+    const std::string_view ek = leaf_key(l);
+    if (ek == key) {
+      const uint64_t old = l->p_value;
+      l->p_value = alloc_value(arena_, value);
+      persist(&l->p_value, 8);
+      free_value(arena_, old);
+      return false;
+    }
+    // Split at the common nibble prefix: build a new node holding both
+    // leaves, persist it, swing the parent pointer.
+    uint32_t lcp = 0;
+    while (key_nibble(key, depth + lcp) == key_nibble(ek, depth + lcp))
+      ++lcp;
+    const uint64_t voff = alloc_value(arena_, value);
+    const uint64_t loff = alloc_leaf(arena_, key, voff);
+    uint8_t nibbles[WortPWord::kStoredNibbles];
+    for (uint32_t i = 0; i < WortPWord::kStoredNibbles && i < lcp; ++i)
+      nibbles[i] = static_cast<uint8_t>(key_nibble(key, depth + i));
+    const uint64_t noff = new_node(depth, lcp, nibbles, lcp);
+    auto* nn = arena_.ptr<WortNode>(noff);
+    nn->children[key_nibble(key, depth + lcp)] = ChildRef::leaf(loff);
+    nn->children[key_nibble(ek, depth + lcp)] = ref;
+    persist(nn, sizeof(*nn));
+    *slot = ChildRef::node(noff);
+    persist(slot, 8);
+    return true;
+  }
+
+  WortNode* n = node_at(ref);
+  arena_.pm_read(n, sizeof(uint64_t));
+  repair_prefix(n, depth);
+  const uint32_t plen = WortPWord::prefix_len(n->pword);
+  if (plen > 0) {
+    const uint32_t p = prefix_mismatch(n, key, depth);
+    if (p < plen) {
+      const uint64_t voff = alloc_value(arena_, value);
+      const uint64_t loff = alloc_leaf(arena_, key, voff);
+      const std::string_view lk = leaf_key(min_leaf(n));
+      uint8_t nibbles[WortPWord::kStoredNibbles];
+      for (uint32_t i = 0; i < WortPWord::kStoredNibbles && i < p; ++i)
+        nibbles[i] = static_cast<uint8_t>(key_nibble(key, depth + i));
+      const uint64_t noff = new_node(depth, p, nibbles, p);
+      auto* nn = arena_.ptr<WortNode>(noff);
+      nn->children[key_nibble(key, depth + p)] = ChildRef::leaf(loff);
+      nn->children[key_nibble(lk, depth + p)] = ref;
+      persist(nn, sizeof(*nn));
+      *slot = ChildRef::node(noff);  // atomic commit
+      persist(slot, 8);
+      // Fix n's header for its new, deeper position; a crash before this
+      // persists leaves a depth mismatch repaired lazily on next access.
+      repair_prefix(n, depth + p + 1);
+      return true;
+    }
+    depth += plen;
+  }
+
+  const uint32_t nib = key_nibble(key, depth);
+  arena_.pm_read(&n->children[nib], 8);
+  if (n->children[nib] != 0)
+    return insert_rec(&n->children[nib], key, value, depth + 1);
+  const uint64_t voff = alloc_value(arena_, value);
+  const uint64_t loff = alloc_leaf(arena_, key, voff);
+  n->children[nib] = ChildRef::leaf(loff);  // single atomic commit
+  persist(&n->children[nib], 8);
+  return true;
+}
+
+bool Wort::search(std::string_view key, std::string* out) const {
+  validate_key(key);
+  uint64_t ref = root_->root;
+  uint32_t depth = 0;
+  while (ref != 0) {
+    if (ChildRef::is_leaf(ref)) {
+      const PmLeaf* l = leaf_at(ref);
+      arena_.pm_read(l, sizeof(PmLeaf));
+      if (leaf_key(l) != key) return false;
+      const auto* v = arena_.ptr<PmValue>(l->p_value);
+      arena_.pm_read(v, 1 + v->len);
+      if (out != nullptr) out->assign(v->data, v->len);
+      return true;
+    }
+    const WortNode* n = node_at(ref);
+    arena_.pm_read(n, sizeof(uint64_t));
+    const uint64_t w = n->pword;
+    depth = WortPWord::depth(w) + WortPWord::prefix_len(w);
+    const uint32_t nib = key_nibble(key, depth);
+    arena_.pm_read(&n->children[nib], 8);
+    ref = n->children[nib];
+    ++depth;
+  }
+  return false;
+}
+
+bool Wort::update(std::string_view key, std::string_view value) {
+  validate_key(key);
+  validate_value(value);
+  uint64_t ref = root_->root;
+  uint32_t depth = 0;
+  while (ref != 0 && !ChildRef::is_leaf(ref)) {
+    WortNode* n = node_at(ref);
+    const uint64_t w = n->pword;
+    depth = WortPWord::depth(w) + WortPWord::prefix_len(w);
+    ref = n->children[key_nibble(key, depth)];
+    ++depth;
+  }
+  if (ref == 0) return false;
+  PmLeaf* l = leaf_at(ref);
+  arena_.pm_read(l, sizeof(PmLeaf));
+  if (leaf_key(l) != key) return false;
+  const uint64_t old = l->p_value;
+  l->p_value = alloc_value(arena_, value);
+  persist(&l->p_value, 8);
+  free_value(arena_, old);
+  return true;
+}
+
+bool Wort::remove(std::string_view key) {
+  validate_key(key);
+  const bool removed = remove_rec(&root_->root, key, 0);
+  if (removed) --count_;
+  return removed;
+}
+
+bool Wort::remove_rec(uint64_t* slot, std::string_view key,
+                      uint32_t depth) {
+  const uint64_t ref = *slot;
+  if (ref == 0) return false;
+  if (ChildRef::is_leaf(ref)) {
+    PmLeaf* l = leaf_at(ref);
+    if (leaf_key(l) != key) return false;
+    *slot = 0;
+    persist(slot, 8);
+    free_value(arena_, l->p_value);
+    arena_.free(ChildRef::off(ref), sizeof(PmLeaf), 8);
+    return true;
+  }
+  WortNode* n = node_at(ref);
+  repair_prefix(n, depth);
+  const uint32_t plen = WortPWord::prefix_len(n->pword);
+  if (plen > 0) {
+    if (prefix_mismatch(n, key, depth) < plen) return false;
+    depth += plen;
+  }
+  const uint32_t nib = key_nibble(key, depth);
+  uint64_t* child = &n->children[nib];
+  if (*child == 0) return false;
+  if (!ChildRef::is_leaf(*child)) return remove_rec(child, key, depth + 1);
+
+  PmLeaf* l = leaf_at(*child);
+  if (leaf_key(l) != key) return false;
+  const uint64_t voff = l->p_value;
+  const uint64_t leaf_ref = *child;
+  *child = 0;  // atomic un-commit
+  persist(child, 8);
+  // Path collapse: if one child remains, swing the parent to it (a stale
+  // child header is repaired lazily via the depth-embedded word).
+  uint64_t only = 0;
+  int live = 0;
+  for (int i = 0; i < 16; ++i)
+    if (n->children[i] != 0) {
+      only = n->children[i];
+      ++live;
+    }
+  if (live == 1) {
+    *slot = only;
+    persist(slot, 8);
+    arena_.free(ChildRef::off(ref), sizeof(WortNode), 64);
+  }
+  free_value(arena_, voff);
+  arena_.free(ChildRef::off(leaf_ref), sizeof(PmLeaf), 8);
+  return true;
+}
+
+template <class F>
+bool Wort::walk_all(uint64_t ref, F& fn) const {
+  if (ChildRef::is_leaf(ref)) {
+    const PmLeaf* l = leaf_at(ref);
+    arena_.pm_read(l, sizeof(PmLeaf));
+    return fn(l);
+  }
+  const WortNode* n = node_at(ref);
+  for (int i = 0; i < 16; ++i)
+    if (n->children[i] != 0)
+      if (!walk_all(n->children[i], fn)) return false;
+  return true;
+}
+
+template <class F>
+bool Wort::walk_from(uint64_t ref, std::string_view lo, uint32_t depth,
+                     F& fn) const {
+  if (ChildRef::is_leaf(ref)) {
+    const PmLeaf* l = leaf_at(ref);
+    arena_.pm_read(l, sizeof(PmLeaf));
+    return leaf_key(l) < lo ? true : fn(l);
+  }
+  const WortNode* n = node_at(ref);
+  const uint64_t w = n->pword;
+  const uint32_t end = WortPWord::depth(w) + WortPWord::prefix_len(w);
+  if (end > depth) {
+    const std::string_view lk = leaf_key(min_leaf(n));
+    for (uint32_t i = depth; i < end; ++i) {
+      const uint32_t a = key_nibble(lk, i);
+      const uint32_t b = key_nibble(lo, i);
+      if (a < b) return true;
+      if (a > b) return walk_all(ref, fn);
+    }
+    depth = end;
+  }
+  const uint32_t b = key_nibble(lo, depth);
+  for (uint32_t i = 0; i < 16; ++i) {
+    if (n->children[i] == 0) continue;
+    if (i < b) continue;
+    if (i > b) {
+      if (!walk_all(n->children[i], fn)) return false;
+    } else {
+      if (!walk_from(n->children[i], lo, depth + 1, fn)) return false;
+    }
+  }
+  return true;
+}
+
+size_t Wort::range(
+    std::string_view lo, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  validate_key(lo);
+  out->clear();
+  if (limit == 0 || root_->root == 0) return 0;
+  auto emit = [&](const PmLeaf* l) {
+    const auto* v = arena_.ptr<PmValue>(l->p_value);
+    arena_.pm_read(v, 1 + v->len);
+    out->emplace_back(std::string(l->key, l->key_len),
+                      std::string(v->data, v->len));
+    return out->size() < limit;
+  };
+  walk_from(root_->root, lo, 0, emit);
+  return out->size();
+}
+
+common::MemoryUsage Wort::memory_usage() const {
+  common::MemoryUsage u;
+  u.pm_bytes = arena_.stats().pm_live_bytes.load(std::memory_order_relaxed);
+  u.dram_bytes = 0;
+  return u;
+}
+
+void Wort::mark_reachable(uint64_t ref) {
+  if (ChildRef::is_leaf(ref)) {
+    const PmLeaf* l = leaf_at(ref);
+    arena_.mark_used(ChildRef::off(ref), sizeof(PmLeaf));
+    const auto* v = arena_.ptr<PmValue>(l->p_value);
+    arena_.mark_used(l->p_value, 1 + v->len);
+    ++count_;
+    return;
+  }
+  const WortNode* n = node_at(ref);
+  arena_.mark_used(ChildRef::off(ref), sizeof(WortNode));
+  for (int i = 0; i < 16; ++i)
+    if (n->children[i] != 0) mark_reachable(n->children[i]);
+}
+
+void Wort::recover() {
+  arena_.reset_alloc_map();
+  count_ = 0;
+  if (root_->root != 0) mark_reachable(root_->root);
+}
+
+}  // namespace hart::pmart

@@ -1,0 +1,106 @@
+// WORT — Write Optimal Radix Tree (Lee et al., FAST 2017), the third
+// radix-tree variant of that paper. The HART paper discusses WORT but
+// benchmarks WOART (which beat it in most of FAST'17's results); WORT is
+// provided here for completeness and for the radix-granularity ablation.
+//
+// WORT is a *non-adaptive* radix tree over 4-bit key chunks: every node is
+// a fixed array of 16 children indexed directly by the nibble, so an
+// insertion into an existing node is a single failure-atomic 8-byte
+// pointer store — no bitmaps, no slot arrays, no node growth. Path
+// compression uses the same depth-embedded 8-byte header as our WOART
+// (the original WORT trick): a node observed at a different depth than
+// its header records is stale and repaired in place from a descendant
+// leaf. All nodes live in PM. Single-writer.
+#pragma once
+
+#include <string_view>
+
+#include "common/index.h"
+#include "pmem/arena.h"
+#include "woart/pm_nodes.h"
+
+namespace hart::pmart {
+
+/// WORT node: header word + 16 direct children (one per nibble).
+struct WortNode {
+  uint64_t pword;          // depth/prefix codec below (nibble units)
+  uint64_t children[16];   // ChildRef; 0 = empty; the store is the commit
+};
+static_assert(sizeof(WortNode) == 136);
+
+/// Header codec in *nibble* units: byte 0 = depth, byte 1 = prefix_len,
+/// bytes 2..7 = up to 12 stored prefix nibbles (4 bits each).
+struct WortPWord {
+  static constexpr uint32_t kStoredNibbles = 12;
+
+  static uint64_t make(uint8_t depth, uint8_t plen, const uint8_t* nibbles,
+                       uint32_t n) {
+    uint64_t w = uint64_t{depth} | (uint64_t{plen} << 8);
+    for (uint32_t i = 0; i < n && i < kStoredNibbles; ++i)
+      w |= static_cast<uint64_t>(nibbles[i] & 0xf) << (16 + 4 * i);
+    return w;
+  }
+  static uint8_t depth(uint64_t w) { return static_cast<uint8_t>(w); }
+  static uint8_t prefix_len(uint64_t w) {
+    return static_cast<uint8_t>(w >> 8);
+  }
+  static uint8_t nibble(uint64_t w, uint32_t i) {
+    return static_cast<uint8_t>((w >> (16 + 4 * i)) & 0xf);
+  }
+};
+
+class Wort final : public common::Index {
+ public:
+  explicit Wort(pmem::Arena& arena);
+
+  bool insert(std::string_view key, std::string_view value) override;
+  bool search(std::string_view key, std::string* out) const override;
+  bool update(std::string_view key, std::string_view value) override;
+  bool remove(std::string_view key) override;
+  size_t range(std::string_view lo, size_t limit,
+               std::vector<std::pair<std::string, std::string>>* out)
+      const override;
+  size_t size() const override { return count_; }
+  common::MemoryUsage memory_usage() const override;
+  const char* name() const override { return "WORT"; }
+
+  void recover();
+
+ private:
+  struct Root {
+    uint64_t magic;
+    uint64_t root;
+  };
+
+  WortNode* node_at(uint64_t ref) const {
+    return arena_.ptr<WortNode>(ChildRef::off(ref));
+  }
+  PmLeaf* leaf_at(uint64_t ref) const {
+    return arena_.ptr<PmLeaf>(ChildRef::off(ref));
+  }
+  const PmLeaf* min_leaf(const WortNode* n) const;
+  void repair_prefix(WortNode* n, uint32_t depth);
+  uint32_t prefix_mismatch(const WortNode* n, std::string_view key,
+                           uint32_t depth) const;
+  uint64_t new_node(uint32_t depth, uint32_t plen,
+                    const uint8_t* nibbles, uint32_t n);
+
+  bool insert_rec(uint64_t* slot, std::string_view key,
+                  std::string_view value, uint32_t depth);
+  bool remove_rec(uint64_t* slot, std::string_view key, uint32_t depth);
+
+  template <class F>
+  bool walk_all(uint64_t ref, F& fn) const;
+  template <class F>
+  bool walk_from(uint64_t ref, std::string_view lo, uint32_t depth,
+                 F& fn) const;
+  void mark_reachable(uint64_t ref);
+
+  void persist(const void* p, size_t n) const { arena_.persist(p, n); }
+
+  pmem::Arena& arena_;
+  Root* root_;
+  size_t count_ = 0;
+};
+
+}  // namespace hart::pmart

@@ -1,0 +1,111 @@
+#include "workload/keygen.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace hart::workload {
+
+namespace {
+// ASCII-ordered so sequential keys are lexicographically increasing.
+constexpr char kAlphabet[] =
+    "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+constexpr uint32_t kAlphabetSize = 62;
+}  // namespace
+
+std::vector<std::string> make_sequential(size_t n, uint32_t width) {
+  if (width < 1 || width > 24)
+    throw std::invalid_argument("sequential width must be 1..24");
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  std::string cur(width, kAlphabet[0]);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(cur);
+    // Increment the base-62 counter (big-endian).
+    for (int pos = static_cast<int>(width) - 1; pos >= 0; --pos) {
+      const char* at = std::char_traits<char>::find(
+          kAlphabet, kAlphabetSize, cur[pos]);
+      const auto digit = static_cast<uint32_t>(at - kAlphabet);
+      if (digit + 1 < kAlphabetSize) {
+        cur[pos] = kAlphabet[digit + 1];
+        break;
+      }
+      cur[pos] = kAlphabet[0];
+      if (pos == 0) throw std::overflow_error("sequential space exhausted");
+    }
+  }
+  return keys;
+}
+
+std::vector<std::string> make_random(size_t n, uint64_t seed,
+                                     uint32_t min_len, uint32_t max_len) {
+  if (min_len < 1 || max_len > 24 || min_len > max_len)
+    throw std::invalid_argument("random key lengths must be within 1..24");
+  common::Rng rng(seed);
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  std::unordered_set<std::string> seen;
+  seen.reserve(n * 2);
+  while (keys.size() < n) {
+    const uint32_t len =
+        min_len + static_cast<uint32_t>(rng.next_below(max_len - min_len + 1));
+    std::string s(len, '\0');
+    for (uint32_t i = 0; i < len; ++i)
+      s[i] = kAlphabet[rng.next_below(kAlphabetSize)];
+    if (seen.insert(s).second) keys.push_back(std::move(s));
+  }
+  return keys;
+}
+
+std::vector<std::string> make_dictionary(size_t n, uint64_t seed) {
+  // English-like words from a syllable model: (onset? vowel coda?)+ with a
+  // geometric syllable count. Distinctness enforced by a hash set.
+  static constexpr const char* kOnsets[] = {
+      "b", "c",  "d",  "f",  "g",  "h",  "j",  "k",  "l",  "m",
+      "n", "p",  "r",  "s",  "t",  "v",  "w",  "y",  "z",  "ch",
+      "sh", "th", "st", "tr", "pl", "br", "gr", "cl", "fr", "sp"};
+  static constexpr const char* kVowels[] = {"a",  "e",  "i",  "o",  "u",
+                                            "ai", "ea", "ou", "io", "oo"};
+  static constexpr const char* kCodas[] = {"",  "",  "",  "n", "r", "s",
+                                           "t", "l", "m", "ng", "rd", "ck"};
+  common::Rng rng(seed);
+  std::vector<std::string> words;
+  words.reserve(n);
+  std::unordered_set<std::string> seen;
+  seen.reserve(n * 2);
+  while (words.size() < n) {
+    std::string w;
+    const uint32_t syllables =
+        1 + static_cast<uint32_t>(rng.next_below(4)) +
+        static_cast<uint32_t>(rng.next_below(2));
+    for (uint32_t s = 0; s < syllables; ++s) {
+      if (s > 0 || rng.next_below(10) < 9)
+        w += kOnsets[rng.next_below(std::size(kOnsets))];
+      w += kVowels[rng.next_below(std::size(kVowels))];
+      if (rng.next_below(10) < 4) w += kCodas[rng.next_below(std::size(kCodas))];
+    }
+    if (w.size() < 2 || w.size() > 24) continue;
+    if (seen.insert(w).second) words.push_back(std::move(w));
+  }
+  return words;
+}
+
+const char* workload_name(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kDictionary: return "Dictionary";
+    case WorkloadKind::kSequential: return "Sequential";
+    default: return "Random";
+  }
+}
+
+std::vector<std::string> make_workload(WorkloadKind k, size_t n,
+                                       uint64_t seed) {
+  switch (k) {
+    case WorkloadKind::kDictionary: return make_dictionary(n, seed);
+    case WorkloadKind::kSequential: return make_sequential(n);
+    default: return make_random(n, seed);
+  }
+}
+
+}  // namespace hart::workload

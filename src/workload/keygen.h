@@ -1,0 +1,40 @@
+// Workload key generators (paper Section IV.A): Dictionary, Sequential and
+// Random, all deterministic (seeded) so experiments are reproducible.
+//
+//  * Dictionary — a synthetic stand-in for the 466,544-word English
+//    dictionary of [19]: distinct alphabetic words produced by a seeded
+//    syllable model matching English-like length (2..24) and prefix
+//    statistics. See DESIGN.md (substitution table).
+//  * Sequential — fixed-width base-62 counter strings, in order.
+//  * Random — variable-size strings (5..16 bytes) over the 62-character
+//    alphabet A-Z a-z 0-9, exactly as described in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hart::workload {
+
+inline constexpr size_t kDictionaryWords = 466544;  // paper: 466,544 words
+
+/// Distinct sequential keys: base-62 big-endian counters of fixed width.
+std::vector<std::string> make_sequential(size_t n, uint32_t width = 10);
+
+/// Distinct random keys, lengths uniform in [min_len, max_len], alphabet
+/// A-Za-z0-9.
+std::vector<std::string> make_random(size_t n, uint64_t seed,
+                                     uint32_t min_len = 5,
+                                     uint32_t max_len = 16);
+
+/// Distinct English-like words (syllable model), lengths 2..24. `n`
+/// defaults to the paper's dictionary size via kDictionaryWords.
+std::vector<std::string> make_dictionary(size_t n, uint64_t seed = 19);
+
+/// The workloads of Figs. 4-8 by name, sized to `n` records.
+enum class WorkloadKind { kDictionary, kSequential, kRandom };
+const char* workload_name(WorkloadKind k);
+std::vector<std::string> make_workload(WorkloadKind k, size_t n,
+                                       uint64_t seed = 42);
+
+}  // namespace hart::workload

@@ -1,0 +1,59 @@
+#include "workload/mixes.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace hart::workload {
+
+std::vector<Op> make_mixed_ops(size_t n_ops, size_t preload,
+                               size_t pool_size, const MixSpec& mix,
+                               uint64_t seed, DistKind dist) {
+  if (mix.insert_pct + mix.search_pct + mix.update_pct + mix.delete_pct !=
+      100)
+    throw std::invalid_argument("mix percentages must sum to 100");
+  if (preload == 0) throw std::invalid_argument("preload must be > 0");
+
+  common::Rng rng(seed);
+  RequestDist picker(dist);
+  std::vector<Op> ops;
+  ops.reserve(n_ops);
+  // Live key indices, supporting O(1) uniform pick and swap-remove.
+  std::vector<uint32_t> live;
+  live.reserve(preload + n_ops);
+  for (size_t i = 0; i < preload; ++i)
+    live.push_back(static_cast<uint32_t>(i));
+  size_t next_fresh = preload;
+
+  for (size_t i = 0; i < n_ops; ++i) {
+    const auto dice = static_cast<int>(rng.next_below(100));
+    if (dice < mix.insert_pct) {
+      if (next_fresh >= pool_size)
+        throw std::invalid_argument("key pool exhausted by inserts");
+      ops.push_back({OpType::kInsert, static_cast<uint32_t>(next_fresh)});
+      live.push_back(static_cast<uint32_t>(next_fresh));
+      ++next_fresh;
+      continue;
+    }
+    if (live.empty()) {  // degenerate: everything deleted; re-insert
+      ops.push_back({OpType::kInsert, static_cast<uint32_t>(next_fresh)});
+      live.push_back(static_cast<uint32_t>(next_fresh));
+      ++next_fresh;
+      continue;
+    }
+    const size_t pick = picker.next_below(live.size(), rng);
+    const uint32_t key = live[pick];
+    if (dice < mix.insert_pct + mix.search_pct) {
+      ops.push_back({OpType::kSearch, key});
+    } else if (dice < mix.insert_pct + mix.search_pct + mix.update_pct) {
+      ops.push_back({OpType::kUpdate, key});
+    } else {
+      ops.push_back({OpType::kDelete, key});
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  return ops;
+}
+
+}  // namespace hart::workload

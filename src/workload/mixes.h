@@ -1,0 +1,51 @@
+// YCSB-style mixed workloads (paper Section IV.C): operation streams with
+// the paper's exact mixes over a Uniform request distribution.
+//
+//   Read-Intensive      10% insert / 70% search / 10% update / 10% delete
+//   Read-Modified-Write 50% search / 50% update
+//   Write-Intensive     40% insert / 20% search / 40% update
+//
+// A stream is generated against a pool of distinct keys: the first
+// `preload` keys are inserted up front; inserts consume fresh keys from the
+// pool; search/update/delete pick uniformly among currently-live keys
+// (delete removes from the live set).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/distribution.h"
+
+namespace hart::workload {
+
+enum class OpType : uint8_t { kInsert, kSearch, kUpdate, kDelete };
+
+struct Op {
+  OpType type;
+  uint32_t key_idx;  // index into the key pool
+};
+
+struct MixSpec {
+  const char* name;
+  int insert_pct;
+  int search_pct;
+  int update_pct;
+  int delete_pct;
+};
+
+inline constexpr MixSpec kReadIntensive{"Read-Intensive", 10, 70, 10, 10};
+inline constexpr MixSpec kReadModifyWrite{"Read-Modified-Write", 0, 50, 50,
+                                          0};
+inline constexpr MixSpec kWriteIntensive{"Write-Intensive", 40, 20, 40, 0};
+
+/// Generate `n_ops` operations. The pool must contain at least
+/// `preload + n_ops * insert_pct/100 + 1` keys. `dist` selects which live
+/// key a search/update/delete targets: the paper uses Uniform; Zipfian and
+/// Latest are extensions (see distribution.h).
+std::vector<Op> make_mixed_ops(size_t n_ops, size_t preload,
+                               size_t pool_size, const MixSpec& mix,
+                               uint64_t seed,
+                               DistKind dist = DistKind::kUniform);
+
+}  // namespace hart::workload

@@ -1,0 +1,306 @@
+// Unit and property tests for the volatile ART: node-type transitions,
+// path compression, lazy expansion, deletion with shrinking, ordered
+// iteration, and randomized differential testing against std::map.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "art/art_tree.h"
+#include "common/rng.h"
+
+namespace hart::art {
+namespace {
+
+struct TestLeaf {
+  std::string key;
+  int value;
+};
+
+struct TestTraits {
+  using Leaf = TestLeaf;
+  Key key(const Leaf* l) const {
+    return {reinterpret_cast<const uint8_t*>(l->key.data()), l->key.size()};
+  }
+};
+
+Key k(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+class ArtTest : public ::testing::Test {
+ protected:
+  TestLeaf* put(const std::string& key, int v) {
+    leaves_.push_back(std::make_unique<TestLeaf>(TestLeaf{key, v}));
+    TestLeaf* l = leaves_.back().get();
+    EXPECT_EQ(tree_.insert(k(key), l), nullptr) << "duplicate key " << key;
+    return l;
+  }
+  std::vector<std::string> collect_all() {
+    std::vector<std::string> out;
+    tree_.for_each([&](TestLeaf* l) {
+      out.push_back(l->key);
+      return true;
+    });
+    return out;
+  }
+
+  std::atomic<uint64_t> dram_{0};
+  Tree<TestTraits> tree_{TestTraits{}, &dram_};
+  std::vector<std::unique_ptr<TestLeaf>> leaves_;
+};
+
+TEST_F(ArtTest, EmptyTreeBehaves) {
+  EXPECT_TRUE(tree_.empty());
+  EXPECT_EQ(tree_.size(), 0u);
+  EXPECT_EQ(tree_.search(k("a")), nullptr);
+  EXPECT_EQ(tree_.remove(k("a")), nullptr);
+  EXPECT_EQ(tree_.minimum(), nullptr);
+}
+
+TEST_F(ArtTest, SingleLeafLazyExpansion) {
+  TestLeaf* l = put("hello", 1);
+  EXPECT_EQ(tree_.size(), 1u);
+  EXPECT_EQ(tree_.search(k("hello")), l);
+  EXPECT_EQ(tree_.search(k("hell")), nullptr);
+  EXPECT_EQ(tree_.search(k("hello!")), nullptr);
+  EXPECT_EQ(tree_.minimum(), l);
+}
+
+TEST_F(ArtTest, InsertDuplicateReturnsExistingUnchanged) {
+  TestLeaf* l = put("dup", 1);
+  TestLeaf other{"dup", 2};
+  EXPECT_EQ(tree_.insert(k("dup"), &other), l);
+  EXPECT_EQ(tree_.size(), 1u);
+  EXPECT_EQ(tree_.search(k("dup")), l);
+}
+
+TEST_F(ArtTest, PrefixKeysCoexist) {
+  put("a", 1);
+  put("ab", 2);
+  put("abc", 3);
+  put("abcd", 4);
+  for (const char* s : {"a", "ab", "abc", "abcd"})
+    EXPECT_NE(tree_.search(k(s)), nullptr) << s;
+  EXPECT_EQ(tree_.search(k("abcde")), nullptr);
+  EXPECT_EQ(collect_all(),
+            (std::vector<std::string>{"a", "ab", "abc", "abcd"}));
+}
+
+TEST_F(ArtTest, NodeGrowsThrough4_16_48_256) {
+  // 256 distinct first bytes force every node type in turn.
+  std::vector<std::string> keys;
+  for (int b = 1; b < 256; ++b) {
+    std::string s;
+    s.push_back(static_cast<char>(b));
+    s += "suffix";
+    keys.push_back(s);
+  }
+  for (size_t i = 0; i < keys.size(); ++i) put(keys[i], static_cast<int>(i));
+  EXPECT_EQ(tree_.size(), keys.size());
+  for (const auto& s : keys) {
+    auto* l = tree_.search(k(s));
+    ASSERT_NE(l, nullptr) << s;
+    EXPECT_EQ(l->key, s);
+  }
+}
+
+TEST_F(ArtTest, DeletionShrinksBackDown) {
+  std::vector<std::string> keys;
+  for (int b = 1; b < 256; ++b) {
+    std::string s(1, static_cast<char>(b));
+    keys.push_back(s);
+    put(s, b);
+  }
+  // Remove all but three; the node chain must shrink without losing them.
+  for (size_t i = 3; i < keys.size(); ++i)
+    EXPECT_NE(tree_.remove(k(keys[i])), nullptr) << keys[i];
+  EXPECT_EQ(tree_.size(), 3u);
+  for (size_t i = 0; i < 3; ++i)
+    EXPECT_NE(tree_.search(k(keys[i])), nullptr) << keys[i];
+}
+
+TEST_F(ArtTest, DeleteCollapsesPathCompression) {
+  put("team", 1);
+  put("test", 2);
+  put("toast", 3);
+  EXPECT_NE(tree_.remove(k("toast")), nullptr);
+  EXPECT_NE(tree_.search(k("team")), nullptr);
+  EXPECT_NE(tree_.search(k("test")), nullptr);
+  EXPECT_NE(tree_.remove(k("test")), nullptr);
+  EXPECT_NE(tree_.search(k("team")), nullptr);
+  EXPECT_EQ(tree_.size(), 1u);
+}
+
+TEST_F(ArtTest, LongCommonPrefixBeyondStoredBytes) {
+  // Common prefix longer than kMaxPrefixLen (10) exercises the min-leaf
+  // fallback in prefix_mismatch and split paths.
+  const std::string base(20, 'x');
+  put(base + "aa", 1);
+  put(base + "ab", 2);
+  put(base + "zz", 3);
+  // Now split deep inside the long prefix:
+  put(std::string(15, 'x') + "Q", 4);
+  EXPECT_NE(tree_.search(k(base + "aa")), nullptr);
+  EXPECT_NE(tree_.search(k(base + "ab")), nullptr);
+  EXPECT_NE(tree_.search(k(base + "zz")), nullptr);
+  EXPECT_NE(tree_.search(k(std::string(15, 'x') + "Q")), nullptr);
+  EXPECT_EQ(tree_.size(), 4u);
+}
+
+TEST_F(ArtTest, MinimumIsSmallestKey) {
+  put("m", 1);
+  put("b", 2);
+  put("z", 3);
+  put("ba", 4);
+  EXPECT_EQ(tree_.minimum()->key, "b");
+}
+
+TEST_F(ArtTest, IterationIsLexicographic) {
+  const std::vector<std::string> keys = {"b",  "a",   "ab", "ba", "aa",
+                                         "zz", "az",  "z",  "bb", "aaa"};
+  for (size_t i = 0; i < keys.size(); ++i) put(keys[i], static_cast<int>(i));
+  auto got = collect_all();
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(ArtTest, ForEachFromStartsAtLowerBound) {
+  for (const char* s : {"apple", "banana", "cherry", "date", "fig"})
+    put(s, 0);
+  std::vector<std::string> got;
+  tree_.for_each_from(k("c"), [&](TestLeaf* l) {
+    got.push_back(l->key);
+    return true;
+  });
+  EXPECT_EQ(got, (std::vector<std::string>{"cherry", "date", "fig"}));
+
+  got.clear();
+  tree_.for_each_from(k("cherry"), [&](TestLeaf* l) {
+    got.push_back(l->key);
+    return true;
+  });
+  EXPECT_EQ(got, (std::vector<std::string>{"cherry", "date", "fig"}))
+      << "lower bound is inclusive";
+}
+
+TEST_F(ArtTest, ForEachFromCanStopEarly) {
+  for (const char* s : {"a", "b", "c", "d"}) put(s, 0);
+  int n = 0;
+  const bool finished = tree_.for_each_from(k("a"), [&](TestLeaf*) {
+    return ++n < 2;
+  });
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(n, 2);
+}
+
+TEST_F(ArtTest, ClearReleasesAllNodes) {
+  for (int b = 1; b < 200; ++b) put(std::string(1, static_cast<char>(b)), b);
+  EXPECT_GT(dram_.load(), 0u);
+  tree_.clear();
+  EXPECT_TRUE(tree_.empty());
+  EXPECT_EQ(dram_.load(), 0u) << "DRAM accounting must balance after clear";
+}
+
+TEST_F(ArtTest, DramAccountingBalancesAfterDeletes) {
+  std::vector<std::string> keys;
+  common::Rng rng(7);
+  std::set<std::string> used;
+  for (int i = 0; i < 500; ++i) {
+    std::string s;
+    const size_t len = 1 + rng.next_below(12);
+    for (size_t j = 0; j < len; ++j)
+      s.push_back(static_cast<char>('a' + rng.next_below(26)));
+    if (used.insert(s).second) {
+      keys.push_back(s);
+      put(s, i);
+    }
+  }
+  for (const auto& s : keys) EXPECT_NE(tree_.remove(k(s)), nullptr) << s;
+  EXPECT_TRUE(tree_.empty());
+  EXPECT_EQ(dram_.load(), 0u);
+}
+
+// ---- randomized differential test vs std::map --------------------------
+
+class ArtFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ArtFuzz, MatchesStdMapUnderRandomOps) {
+  common::Rng rng(GetParam());
+  std::atomic<uint64_t> dram{0};
+  Tree<TestTraits> tree{TestTraits{}, &dram};
+  std::map<std::string, std::unique_ptr<TestLeaf>> ref;
+
+  auto random_key = [&] {
+    std::string s;
+    const size_t len = 1 + rng.next_below(10);
+    for (size_t j = 0; j < len; ++j)
+      s.push_back(static_cast<char>('a' + rng.next_below(4)));  // dense
+    return s;
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::string key = random_key();
+    const uint64_t dice = rng.next_below(100);
+    if (dice < 55) {  // insert
+      auto leaf = std::make_unique<TestLeaf>(TestLeaf{key, step});
+      TestLeaf* existing = tree.insert(k(key), leaf.get());
+      if (ref.count(key)) {
+        EXPECT_NE(existing, nullptr) << key;
+      } else {
+        EXPECT_EQ(existing, nullptr) << key;
+        ref[key] = std::move(leaf);
+      }
+    } else if (dice < 80) {  // search
+      TestLeaf* got = tree.search(k(key));
+      if (ref.count(key))
+        EXPECT_EQ(got, ref[key].get()) << key;
+      else
+        EXPECT_EQ(got, nullptr) << key;
+    } else {  // remove
+      TestLeaf* got = tree.remove(k(key));
+      if (ref.count(key)) {
+        EXPECT_EQ(got, ref[key].get()) << key;
+        ref.erase(key);
+      } else {
+        EXPECT_EQ(got, nullptr) << key;
+      }
+    }
+    EXPECT_EQ(tree.size(), ref.size());
+  }
+
+  // Final: full in-order agreement.
+  std::vector<std::string> got;
+  tree.for_each([&](TestLeaf* l) {
+    got.push_back(l->key);
+    return true;
+  });
+  std::vector<std::string> want;
+  for (const auto& [key, leaf] : ref) want.push_back(key);
+  EXPECT_EQ(got, want);
+
+  // Ordered scans from random lower bounds agree with map::lower_bound.
+  for (int t = 0; t < 50; ++t) {
+    const std::string lo = random_key();
+    std::vector<std::string> scan;
+    tree.for_each_from(k(lo), [&](TestLeaf* l) {
+      scan.push_back(l->key);
+      return scan.size() < 10;
+    });
+    std::vector<std::string> mref;
+    for (auto it = ref.lower_bound(lo); it != ref.end() && mref.size() < 10;
+         ++it)
+      mref.push_back(it->first);
+    EXPECT_EQ(scan, mref) << "lower bound " << lo;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArtFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 42, 1234, 99991));
+
+}  // namespace
+}  // namespace hart::art

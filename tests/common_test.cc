@@ -1,0 +1,100 @@
+// Tests for the common layer: RNG determinism and distribution, stopwatch
+// monotonicity, and the table printer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+
+namespace hart::common {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42), c(43);
+  bool all_equal = true, any_diff_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t x = a.next();
+    all_equal &= (x == b.next());
+    any_diff_c |= (x != c.next());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(Rng, NextBelowStaysInRangeAndCoversIt) {
+  Rng rng(7);
+  bool seen[10] = {};
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    seen[v] = true;
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(seen[i]) << i;
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(123);
+  int counts[8] = {};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(8)];
+  for (const int c : counts)
+    EXPECT_NEAR(c, kDraws / 8, kDraws / 8 * 0.1);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BoolProbability) {
+  Rng rng(9);
+  int truthy = 0;
+  for (int i = 0; i < 10000; ++i) truthy += rng.next_bool(0.25);
+  EXPECT_NEAR(truthy, 2500, 250);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 2000000; ++i) x = x + static_cast<uint64_t>(i);
+  EXPECT_GT(sw.nanos(), 0u);
+  const double before = sw.seconds();
+  sw.reset();
+  EXPECT_LE(sw.seconds(), before);
+}
+
+TEST(Table, PrintsAlignedCells) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "2.50"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name        | value |"), std::string::npos) << s;
+  EXPECT_NE(s.find("| longer-name | 2.50  |"), std::string::npos) << s;
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 3), "1.000");
+}
+
+TEST(Table, ShortRowsPadWithEmptyCells) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("| only |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hart::common

@@ -1,0 +1,296 @@
+// Functional tests for the HART index: CRUD semantics, key splitting,
+// range scans, recovery equivalence, and memory accounting.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "hart/hart.h"
+
+namespace hart::core {
+namespace {
+
+std::unique_ptr<pmem::Arena> make_arena(size_t mb = 64) {
+  pmem::Arena::Options o;
+  o.size = mb << 20;
+  o.shadow = true;
+  o.charge_alloc_persist = false;
+  return std::make_unique<pmem::Arena>(o);
+}
+
+TEST(Hart, InsertSearchRoundTrip) {
+  auto arena = make_arena();
+  Hart h(*arena);
+  EXPECT_TRUE(h.insert("hello", "world"));
+  std::string v;
+  EXPECT_TRUE(h.search("hello", &v));
+  EXPECT_EQ(v, "world");
+  EXPECT_FALSE(h.search("hell", &v));
+  EXPECT_FALSE(h.search("hello!", &v));
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(Hart, InsertExistingKeyUpdates) {
+  auto arena = make_arena();
+  Hart h(*arena);
+  EXPECT_TRUE(h.insert("k", "v1"));
+  EXPECT_FALSE(h.insert("k", "v2")) << "Alg.1 line 7-8: update, not insert";
+  std::string v;
+  EXPECT_TRUE(h.search("k", &v));
+  EXPECT_EQ(v, "v2");
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(Hart, UpdateRequiresExistingKey) {
+  auto arena = make_arena();
+  Hart h(*arena);
+  EXPECT_FALSE(h.update("missing", "v"));
+  h.insert("present", "a");
+  EXPECT_TRUE(h.update("present", "b"));
+  std::string v;
+  h.search("present", &v);
+  EXPECT_EQ(v, "b");
+}
+
+TEST(Hart, UpdateAcrossValueSizeClasses) {
+  auto arena = make_arena();
+  Hart h(*arena);
+  h.insert("k", "short");                  // 8-byte class
+  EXPECT_TRUE(h.update("k", "a-much-longer-v"));  // 16-byte class
+  std::string v;
+  EXPECT_TRUE(h.search("k", &v));
+  EXPECT_EQ(v, "a-much-longer-v");
+  EXPECT_TRUE(h.update("k", "x"));  // back to the 8-byte class
+  EXPECT_TRUE(h.search("k", &v));
+  EXPECT_EQ(v, "x");
+}
+
+TEST(Hart, RemoveDeletesAndFreesPm) {
+  auto arena = make_arena();
+  Hart h(*arena);
+  h.insert("a", "1");
+  h.insert("b", "2");
+  EXPECT_TRUE(h.remove("a"));
+  EXPECT_FALSE(h.remove("a"));
+  std::string v;
+  EXPECT_FALSE(h.search("a", &v));
+  EXPECT_TRUE(h.search("b", &v));
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_TRUE(h.remove("b"));
+  EXPECT_EQ(h.size(), 0u);
+  // All chunks recycled: no live PM except nothing.
+  EXPECT_EQ(arena->stats().pm_live_bytes.load(), 0u);
+}
+
+TEST(Hart, KeysShorterThanHashPrefix) {
+  auto arena = make_arena();
+  Hart h(*arena, {.hash_key_len = 2});
+  EXPECT_TRUE(h.insert("a", "1"));
+  EXPECT_TRUE(h.insert("ab", "2"));
+  EXPECT_TRUE(h.insert("abc", "3"));
+  std::string v;
+  EXPECT_TRUE(h.search("a", &v));
+  EXPECT_EQ(v, "1");
+  EXPECT_TRUE(h.search("ab", &v));
+  EXPECT_EQ(v, "2");
+  EXPECT_TRUE(h.search("abc", &v));
+  EXPECT_EQ(v, "3");
+  EXPECT_TRUE(h.remove("ab"));
+  EXPECT_TRUE(h.search("a", &v));
+  EXPECT_TRUE(h.search("abc", &v));
+}
+
+TEST(Hart, DistinctPrefixesUseDistinctArts) {
+  auto arena = make_arena();
+  Hart h(*arena, {.hash_key_len = 2});
+  h.insert("aa111", "1");
+  h.insert("aa222", "2");
+  h.insert("bb111", "3");
+  h.insert("cc111", "4");
+  EXPECT_EQ(h.partition_count(), 3u);
+}
+
+TEST(Hart, HashKeyLenZeroIsSingleArt) {
+  auto arena = make_arena();
+  Hart h(*arena, {.hash_key_len = 0});
+  h.insert("alpha", "1");
+  h.insert("beta", "2");
+  h.insert("gamma", "3");
+  EXPECT_EQ(h.partition_count(), 1u);
+  std::string v;
+  EXPECT_TRUE(h.search("beta", &v));
+  EXPECT_EQ(v, "2");
+}
+
+TEST(Hart, RejectsInvalidKeysAndValues) {
+  auto arena = make_arena();
+  Hart h(*arena);
+  EXPECT_THROW(h.insert("", "v"), std::invalid_argument);
+  EXPECT_THROW(h.insert(std::string(25, 'x'), "v"), std::invalid_argument);
+  EXPECT_THROW(h.insert(std::string("a\0b", 3), "v"), std::invalid_argument);
+  EXPECT_THROW(h.insert("k", ""), std::invalid_argument);
+  EXPECT_THROW(h.insert("k", std::string(65, 'v')), std::invalid_argument);
+  EXPECT_NO_THROW(h.insert(std::string(24, 'x'), std::string(64, 'v')));
+}
+
+TEST(Hart, RangeScanIsOrderedAcrossPartitions) {
+  auto arena = make_arena();
+  Hart h(*arena, {.hash_key_len = 2});
+  const std::vector<std::string> keys = {"aa1", "aa2", "ab1", "b",
+                                         "ba9", "bb0", "zz9"};
+  for (const auto& key : keys) h.insert(key, "v" + key);
+  std::vector<std::pair<std::string, std::string>> out;
+  EXPECT_EQ(h.range("ab", 100, &out), 5u);
+  std::vector<std::string> got;
+  for (auto& [key, value] : out) got.push_back(key);
+  EXPECT_EQ(got,
+            (std::vector<std::string>{"ab1", "b", "ba9", "bb0", "zz9"}));
+  // Limit respected.
+  EXPECT_EQ(h.range("aa1", 3, &out), 3u);
+  EXPECT_EQ(out[0].first, "aa1");
+  EXPECT_EQ(out[2].first, "ab1");
+  // Values travel with keys.
+  EXPECT_EQ(out[0].second, "vaa1");
+}
+
+TEST(Hart, RecoveryRebuildsIdenticalContents) {
+  auto arena = make_arena();
+  common::Rng rng(11);
+  std::map<std::string, std::string> ref;
+  {
+    Hart h(*arena);
+    for (int i = 0; i < 2000; ++i) {
+      std::string key;
+      const size_t len = 3 + rng.next_below(10);
+      for (size_t j = 0; j < len; ++j)
+        key.push_back(static_cast<char>('A' + rng.next_below(26)));
+      std::string value = "v" + std::to_string(i);
+      h.insert(key, value);
+      ref[key] = value;
+    }
+    // Delete a quarter.
+    int n = 0;
+    for (auto it = ref.begin(); it != ref.end();) {
+      if (++n % 4 == 0) {
+        EXPECT_TRUE(h.remove(it->first));
+        it = ref.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // A second Hart on the same arena re-opens and recovers (Alg. 7).
+  Hart h2(*arena);
+  EXPECT_EQ(h2.size(), ref.size());
+  for (const auto& [key, value] : ref) {
+    std::string v;
+    EXPECT_TRUE(h2.search(key, &v)) << key;
+    EXPECT_EQ(v, value) << key;
+  }
+  // Ordered scan equals the reference map order.
+  std::vector<std::pair<std::string, std::string>> out;
+  h2.range(ref.begin()->first, ref.size() + 10, &out);
+  ASSERT_EQ(out.size(), ref.size());
+  auto it = ref.begin();
+  for (const auto& [key, value] : out) {
+    EXPECT_EQ(key, it->first);
+    EXPECT_EQ(value, it->second);
+    ++it;
+  }
+}
+
+TEST(Hart, MemoryUsageTracksBothTiers) {
+  auto arena = make_arena();
+  Hart h(*arena);
+  const auto before = h.memory_usage();
+  for (int i = 0; i < 1000; ++i)
+    h.insert("key" + std::to_string(i), "value");
+  const auto after = h.memory_usage();
+  EXPECT_GT(after.dram_bytes, before.dram_bytes);
+  EXPECT_GT(after.pm_bytes, before.pm_bytes);
+}
+
+TEST(Hart, PersistCallsPerInsertAreBounded) {
+  // Selective persistence: a non-chunk-allocating insert costs a handful of
+  // persists (value, p_value, value bit, leaf fields, leaf bit), never one
+  // per touched internal node.
+  auto arena = make_arena();
+  Hart h(*arena);
+  for (int i = 0; i < 200; ++i)  // warm up chunks
+    h.insert("warm" + std::to_string(i), "v");
+  const uint64_t before = arena->stats().persist_calls.load();
+  for (int i = 0; i < 50; ++i)
+    h.insert("probe" + std::to_string(i), "v");
+  const uint64_t per_op = (arena->stats().persist_calls.load() - before) / 50;
+  EXPECT_LE(per_op, 7u);
+  EXPECT_GE(per_op, 5u);
+}
+
+
+TEST(Hart, MultiGetGroupsByPartition) {
+  auto arena = make_arena();
+  Hart h(*arena);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back("mg" + std::to_string(i));
+    h.insert(keys.back(), "v" + std::to_string(i));
+  }
+  // Interleave misses.
+  std::vector<std::string> req;
+  for (int i = 0; i < 500; i += 2) {
+    req.push_back(keys[i]);
+    req.push_back("absent" + std::to_string(i));
+  }
+  std::vector<std::string> vals;
+  std::vector<bool> found;
+  EXPECT_EQ(h.multi_get(req, &vals, &found), 250u);
+  for (size_t i = 0; i < req.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_TRUE(found[i]) << req[i];
+      EXPECT_EQ(vals[i], "v" + req[i].substr(2));
+    } else {
+      EXPECT_FALSE(found[i]);
+      EXPECT_TRUE(vals[i].empty());
+    }
+  }
+}
+
+TEST(Hart, MultiGetEmptyAndInvalid) {
+  auto arena = make_arena();
+  Hart h(*arena);
+  std::vector<std::string> vals;
+  std::vector<bool> found;
+  EXPECT_EQ(h.multi_get({}, &vals, &found), 0u);
+  EXPECT_THROW(h.multi_get({""}, &vals, &found), std::invalid_argument);
+}
+
+TEST(Hart, MultiGetAgreesWithSearch) {
+  auto arena = make_arena();
+  Hart h(*arena);
+  common::Rng rng(21);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) {
+    std::string k;
+    const size_t len = 2 + rng.next_below(10);
+    for (size_t j = 0; j < len; ++j)
+      k.push_back(static_cast<char>('a' + rng.next_below(20)));
+    keys.push_back(k);
+    h.insert(k, k.substr(0, 8));
+  }
+  std::vector<std::string> vals;
+  std::vector<bool> found;
+  h.multi_get(keys, &vals, &found);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    std::string v;
+    const bool f = h.search(keys[i], &v);
+    EXPECT_EQ(f, static_cast<bool>(found[i])) << keys[i];
+    if (f) {
+      EXPECT_EQ(v, vals[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hart::core

@@ -1,0 +1,75 @@
+// Tests for the log-bucketed latency histogram.
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace hart::common {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+  EXPECT_EQ(h.percentile_ns(50), 0u);
+}
+
+TEST(Histogram, SingleValue) {
+  LatencyHistogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.mean_ns(), 1000.0);
+  // Bucket resolution is ~1/16: the p50 bucket floor is within 7% below.
+  EXPECT_GE(h.percentile_ns(50), 930u);
+  EXPECT_LE(h.percentile_ns(50), 1000u);
+}
+
+TEST(Histogram, PercentilesAreMonotonic) {
+  LatencyHistogram h;
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) h.record(100 + rng.next_below(1000000));
+  uint64_t prev = 0;
+  for (const double p : {1.0, 10.0, 50.0, 90.0, 99.0, 99.9}) {
+    const uint64_t v = h.percentile_ns(p);
+    EXPECT_GE(v, prev) << p;
+    prev = v;
+  }
+}
+
+TEST(Histogram, UniformPercentilesApproximatelyCorrect) {
+  LatencyHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 200000; ++i) h.record(rng.next_below(1000000));
+  // p50 of U[0,1e6) is 5e5; bucket resolution ~6%.
+  EXPECT_NEAR(static_cast<double>(h.percentile_ns(50)), 5e5, 5e4);
+  EXPECT_NEAR(static_cast<double>(h.percentile_ns(90)), 9e5, 9e4);
+  EXPECT_NEAR(h.mean_ns(), 5e5, 2e4);
+}
+
+TEST(Histogram, TinyValuesExactBuckets) {
+  LatencyHistogram h;
+  for (uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.percentile_ns(0), 0u);
+  EXPECT_EQ(h.percentile_ns(100), 15u);
+}
+
+TEST(Histogram, MergeCombines) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 1000; ++i) a.record(100);
+  for (int i = 0; i < 1000; ++i) b.record(10000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2000u);
+  EXPECT_NEAR(a.mean_ns(), 5050.0, 1.0);
+  EXPECT_LE(a.percentile_ns(25), 100u);
+  EXPECT_GT(a.percentile_ns(75), 9000u);
+}
+
+TEST(Histogram, HugeValuesSaturateLastBucket) {
+  LatencyHistogram h;
+  h.record(~uint64_t{0});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.percentile_ns(100), 0u);
+}
+
+}  // namespace
+}  // namespace hart::common

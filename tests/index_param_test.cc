@@ -1,0 +1,226 @@
+// Cross-tree conformance suite: every Index implementation (HART, WOART,
+// ART+CoW, FPTree) must satisfy the same functional contract. Runs each
+// scenario against all four trees via TEST_P.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "art/dram_index.h"
+#include "artcow/artcow.h"
+#include "common/index.h"
+#include "common/rng.h"
+#include "fptree/fptree.h"
+#include "hart/hart.h"
+#include "pmem/arena.h"
+#include "woart/woart.h"
+#include "woart/wort.h"
+#include "workload/keygen.h"
+
+namespace hart {
+namespace {
+
+struct TreeFactory {
+  const char* name;
+  std::function<std::unique_ptr<common::Index>(pmem::Arena&)> make;
+};
+
+const TreeFactory kFactories[] = {
+    {"HART",
+     [](pmem::Arena& a) { return std::make_unique<core::Hart>(a); }},
+    {"WOART",
+     [](pmem::Arena& a) { return std::make_unique<pmart::Woart>(a); }},
+    {"ARTCoW",
+     [](pmem::Arena& a) { return std::make_unique<pmart::ArtCow>(a); }},
+    {"FPTree",
+     [](pmem::Arena& a) { return std::make_unique<fptree::FpTree>(a); }},
+    {"WORT",
+     [](pmem::Arena& a) { return std::make_unique<pmart::Wort>(a); }},
+    {"DramArt",
+     [](pmem::Arena&) { return std::make_unique<art::DramIndex>(); }},
+};
+
+class IndexParamTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  IndexParamTest() {
+    pmem::Arena::Options o;
+    o.size = size_t{256} << 20;
+    o.charge_alloc_persist = false;
+    arena_ = std::make_unique<pmem::Arena>(o);
+    index_ = kFactories[GetParam()].make(*arena_);
+  }
+  std::unique_ptr<pmem::Arena> arena_;
+  std::unique_ptr<common::Index> index_;
+};
+
+TEST_P(IndexParamTest, EmptyIndexMissesEverything) {
+  std::string v;
+  EXPECT_FALSE(index_->search("anything", &v));
+  EXPECT_FALSE(index_->remove("anything"));
+  EXPECT_FALSE(index_->update("anything", "x"));
+  EXPECT_EQ(index_->size(), 0u);
+}
+
+TEST_P(IndexParamTest, UpsertContract) {
+  EXPECT_TRUE(index_->insert("k", "v1"));
+  EXPECT_FALSE(index_->insert("k", "v2"));
+  std::string v;
+  ASSERT_TRUE(index_->search("k", &v));
+  EXPECT_EQ(v, "v2");
+  EXPECT_EQ(index_->size(), 1u);
+}
+
+TEST_P(IndexParamTest, ValueSizeBoundaries) {
+  // One value per size-class boundary: {8,16,32,64} classes.
+  const std::map<std::string, size_t> lens = {
+      {"a", 1},  {"b", 8},  {"c", 9},  {"d", 16},
+      {"e", 17}, {"f", 32}, {"g", 33}, {"h", 64}};
+  for (const auto& [k, len] : lens)
+    EXPECT_TRUE(index_->insert(k, std::string(len, 'x' ))) << k;
+  for (const auto& [k, len] : lens) {
+    std::string v;
+    ASSERT_TRUE(index_->search(k, &v)) << k;
+    EXPECT_EQ(v.size(), len) << k;
+  }
+  EXPECT_THROW(index_->insert("z", std::string(65, 'x')),
+               std::invalid_argument);
+}
+
+TEST_P(IndexParamTest, KeyLengthBoundaries) {
+  const std::string k1(1, 'k');
+  const std::string k24(24, 'k');
+  EXPECT_TRUE(index_->insert(k1, "v"));
+  EXPECT_TRUE(index_->insert(k24, "v"));
+  std::string v;
+  EXPECT_TRUE(index_->search(k1, &v));
+  EXPECT_TRUE(index_->search(k24, &v));
+  EXPECT_THROW(index_->insert(std::string(25, 'k'), "v"),
+               std::invalid_argument);
+  EXPECT_THROW(index_->insert("", "v"), std::invalid_argument);
+}
+
+TEST_P(IndexParamTest, PrefixKeysAreIndependent) {
+  for (const char* k : {"a", "ab", "abc", "abcd", "abcde"})
+    EXPECT_TRUE(index_->insert(k, k));
+  EXPECT_TRUE(index_->remove("abc"));
+  for (const char* k : {"a", "ab", "abcd", "abcde"}) {
+    std::string v;
+    EXPECT_TRUE(index_->search(k, &v)) << k;
+    EXPECT_EQ(v, k);
+  }
+  EXPECT_FALSE(index_->search("abc", nullptr));
+}
+
+TEST_P(IndexParamTest, RangeScanOrderedWithLimit) {
+  std::map<std::string, std::string> ref;
+  common::Rng rng(44);
+  while (ref.size() < 300) {
+    std::string k;
+    const size_t len = 2 + rng.next_below(10);
+    for (size_t j = 0; j < len; ++j)
+      k.push_back(static_cast<char>('A' + rng.next_below(20)));
+    ref[k] = "v" + k.substr(0, 10);
+    index_->insert(k, ref[k]);
+  }
+  const std::string lo = std::next(ref.begin(), 57)->first;
+  std::vector<std::pair<std::string, std::string>> out;
+  EXPECT_EQ(index_->range(lo, 40, &out), 40u);
+  auto it = ref.lower_bound(lo);
+  for (const auto& [k, v] : out) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+TEST_P(IndexParamTest, DictionaryWorkloadRoundTrip) {
+  const auto words = workload::make_dictionary(3000, 7);
+  for (size_t i = 0; i < words.size(); ++i)
+    EXPECT_TRUE(index_->insert(words[i], "w" + std::to_string(i % 100)));
+  EXPECT_EQ(index_->size(), words.size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    std::string v;
+    ASSERT_TRUE(index_->search(words[i], &v)) << words[i];
+    EXPECT_EQ(v, "w" + std::to_string(i % 100));
+  }
+  // Delete every other word.
+  for (size_t i = 0; i < words.size(); i += 2)
+    EXPECT_TRUE(index_->remove(words[i]));
+  for (size_t i = 0; i < words.size(); ++i)
+    EXPECT_EQ(index_->search(words[i], nullptr), i % 2 == 1) << words[i];
+}
+
+TEST_P(IndexParamTest, SequentialWorkloadRoundTrip) {
+  const auto keys = workload::make_sequential(2000);
+  for (const auto& k : keys) EXPECT_TRUE(index_->insert(k, "v"));
+  for (const auto& k : keys) EXPECT_TRUE(index_->search(k, nullptr));
+  // Sequential keys are dense: the range from the first key returns them
+  // in generation order.
+  std::vector<std::pair<std::string, std::string>> out;
+  index_->range(keys.front(), 100, &out);
+  ASSERT_EQ(out.size(), 100u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(out[i].first, keys[i]);
+}
+
+TEST_P(IndexParamTest, RandomChurnAgainstReference) {
+  std::map<std::string, std::string> ref;
+  common::Rng rng(GetParam() * 100 + 17);
+  for (int step = 0; step < 3000; ++step) {
+    std::string k;
+    const size_t len = 1 + rng.next_below(8);
+    for (size_t j = 0; j < len; ++j)
+      k.push_back(static_cast<char>('a' + rng.next_below(5)));
+    const std::string val = "v" + std::to_string(step % 37);
+    switch (rng.next_below(5)) {
+      case 0:
+      case 1:
+      case 2: {
+        EXPECT_EQ(index_->insert(k, val), ref.find(k) == ref.end());
+        ref[k] = val;
+        break;
+      }
+      case 3: {
+        std::string v;
+        const bool found = index_->search(k, &v);
+        EXPECT_EQ(found, ref.count(k) == 1);
+        if (found) {
+          EXPECT_EQ(v, ref[k]);
+        }
+        break;
+      }
+      default:
+        EXPECT_EQ(index_->remove(k), ref.erase(k) == 1);
+        break;
+    }
+  }
+  EXPECT_EQ(index_->size(), ref.size());
+}
+
+TEST_P(IndexParamTest, MemoryUsageIsReported) {
+  for (int i = 0; i < 2000; ++i)
+    index_->insert("key" + std::to_string(i), "value123");
+  const auto mu = index_->memory_usage();
+  if (std::string(index_->name()) == "DRAM-ART") {
+    EXPECT_EQ(mu.pm_bytes, 0u);  // nothing persistent by design
+  } else {
+    EXPECT_GT(mu.pm_bytes, 0u);
+  }
+  // Hybrid trees report DRAM too; pure PM trees report zero DRAM.
+  const std::string name = index_->name();
+  if (name == "HART" || name == "FPTree" || name == "DRAM-ART") {
+    EXPECT_GT(mu.dram_bytes, 0u);
+  } else {
+    EXPECT_EQ(mu.dram_bytes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrees, IndexParamTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return kFactories[info.param].name;
+                         });
+
+}  // namespace
+}  // namespace hart

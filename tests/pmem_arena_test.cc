@@ -1,0 +1,228 @@
+// Unit tests for the PM device model: allocation, offsets, persist
+// semantics, crash simulation (strict and with eviction), and the modeled
+// allocator-metadata charges.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <vector>
+
+#include "pmem/arena.h"
+
+namespace hart::pmem {
+namespace {
+
+Arena::Options small_opts() {
+  Arena::Options o;
+  o.size = 4 << 20;
+  o.shadow = true;
+  o.charge_alloc_persist = false;
+  return o;
+}
+
+TEST(Arena, AllocReturnsAlignedDistinctOffsets) {
+  Arena a(small_opts());
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t off = a.alloc(64, 64);
+    EXPECT_EQ(off % 64, 0u);
+    EXPECT_GE(off, kArenaHeaderSize);
+    EXPECT_TRUE(seen.insert(off).second) << "offset handed out twice";
+  }
+}
+
+TEST(Arena, AllocHonorsLargeAlignment) {
+  Arena a(small_opts());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.alloc(2256, 4096) % 4096, 0u);
+    EXPECT_EQ(a.alloc(464, 512) % 512, 0u);
+    EXPECT_EQ(a.alloc(912, 1024) % 1024, 0u);
+  }
+}
+
+TEST(Arena, FreeMakesSpanReusable) {
+  Arena a(small_opts());
+  const uint64_t off = a.alloc(128, 64);
+  a.free(off, 128, 64);
+  const uint64_t again = a.alloc(128, 64);
+  EXPECT_EQ(off, again) << "free-list should return the same span";
+}
+
+TEST(Arena, ExhaustionThrowsBadAlloc) {
+  Arena::Options o;
+  o.size = 64 << 10;
+  o.charge_alloc_persist = false;
+  Arena a(o);
+  EXPECT_THROW(
+      {
+        for (;;) a.alloc(4096, 64);
+      },
+      std::bad_alloc);
+}
+
+TEST(Arena, OffsetPointerRoundTrip) {
+  Arena a(small_opts());
+  const uint64_t off = a.alloc(64, 64);
+  auto* p = a.ptr<uint64_t>(off);
+  EXPECT_EQ(a.off(p), off);
+  EXPECT_EQ(a.ptr<uint64_t>(kNullOff), nullptr);
+  EXPECT_EQ(a.off(nullptr), kNullOff);
+}
+
+TEST(Arena, PersistCountsCallsAndLines) {
+  Arena a(small_opts());
+  const uint64_t off = a.alloc(256, 64);
+  auto* p = a.ptr<char>(off);
+  const uint64_t before = a.stats().persist_calls.load();
+  a.persist(p, 8);
+  a.persist(p, 256);
+  EXPECT_EQ(a.stats().persist_calls.load(), before + 2);
+}
+
+TEST(Arena, CrashDiscardsUnflushedStores) {
+  Arena a(small_opts());
+  const uint64_t off = a.alloc(64, 64);
+  auto* p = a.ptr<uint64_t>(off);
+  p[0] = 0xAAAA;
+  a.persist(&p[0], 8);
+  p[1] = 0xBBBB;  // never flushed
+  a.crash();
+  EXPECT_EQ(p[0], 0xAAAAu) << "flushed store must survive";
+  EXPECT_EQ(p[1], 0u) << "unflushed store must be lost";
+}
+
+TEST(Arena, CrashIsCacheLineGranular) {
+  Arena a(small_opts());
+  const uint64_t off = a.alloc(128, 64);
+  auto* p = a.ptr<uint64_t>(off);
+  p[0] = 1;  // line 0
+  p[8] = 2;  // line 1
+  a.persist(&p[8], 8);
+  a.crash();
+  EXPECT_EQ(p[0], 0u);
+  EXPECT_EQ(p[8], 2u);
+}
+
+TEST(Arena, ArmedCrashFiresOnNthPersist) {
+  Arena a(small_opts());
+  const uint64_t off = a.alloc(64, 64);
+  auto* p = a.ptr<uint64_t>(off);
+  a.arm_crash_after(3);
+  p[0] = 1;
+  a.persist(p, 8);
+  p[0] = 2;
+  a.persist(p, 8);
+  p[0] = 3;
+  EXPECT_THROW(a.persist(p, 8), CrashPoint);
+  a.crash();
+  EXPECT_EQ(p[0], 2u) << "the crashing persist must not have flushed";
+  // Disarmed after firing: further persists succeed.
+  p[0] = 4;
+  EXPECT_NO_THROW(a.persist(p, 8));
+}
+
+TEST(Arena, EvictionModeKeepsSomeDirtyLines) {
+  Arena::Options o = small_opts();
+  o.eviction_prob = 1.0;  // every dirty line "was evicted" = persisted
+  Arena a(o);
+  const uint64_t off = a.alloc(64, 64);
+  auto* p = a.ptr<uint64_t>(off);
+  p[0] = 42;  // dirty, never flushed
+  a.crash();
+  EXPECT_EQ(p[0], 42u);
+}
+
+TEST(Arena, ResetAndMarkRebuildAllocationMap) {
+  Arena a(small_opts());
+  const uint64_t keep = a.alloc(128, 64);
+  a.alloc(128, 64);  // will become unreachable
+  a.reset_alloc_map();
+  EXPECT_FALSE(a.is_allocated(keep, 128));
+  a.mark_used(keep, 128);
+  EXPECT_TRUE(a.is_allocated(keep, 128));
+  // The unmarked span must be allocatable again; the marked one must not
+  // be handed out.
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 32; ++i) seen.insert(a.alloc(128, 64));
+  EXPECT_EQ(seen.count(keep), 0u);
+}
+
+TEST(Arena, AllocMetadataChargeIsCounted) {
+  Arena::Options o = small_opts();
+  o.charge_alloc_persist = true;
+  Arena a(o);
+  const uint64_t off = a.alloc(64, 64);
+  a.free(off, 64, 64);
+  EXPECT_EQ(a.stats().alloc_meta_persists.load(), 2u);
+}
+
+TEST(Arena, LiveByteAccountingBalances) {
+  Arena a(small_opts());
+  const uint64_t o1 = a.alloc(100, 64);
+  const uint64_t o2 = a.alloc(200, 64);
+  EXPECT_EQ(a.stats().pm_live_bytes.load(), 300u);
+  a.free(o1, 100, 64);
+  a.free(o2, 200, 64);
+  EXPECT_EQ(a.stats().pm_live_bytes.load(), 0u);
+}
+
+TEST(Arena, RootObjectIsZeroInitializedAndStable) {
+  struct Root {
+    uint64_t magic;
+    uint64_t payload[4];
+  };
+  Arena a(small_opts());
+  auto* r = a.root<Root>();
+  EXPECT_EQ(r->magic, 0u);
+  r->magic = 77;
+  a.persist(r, sizeof(*r));
+  EXPECT_EQ(a.root<Root>()->magic, 77u);
+}
+
+TEST(Arena, FileBackedArenaSurvivesReopen) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "hart_arena_test.pm";
+  std::filesystem::remove(path);
+  struct Root {
+    uint64_t magic;
+  };
+  {
+    Arena::Options o;
+    o.size = 1 << 20;
+    o.file_path = path.string();
+    Arena a(o);
+    EXPECT_FALSE(a.reopened());
+    a.root<Root>()->magic = 123;
+    a.persist(a.root<Root>(), sizeof(Root));
+  }
+  {
+    Arena::Options o;
+    o.size = 1 << 20;
+    o.file_path = path.string();
+    Arena a(o);
+    EXPECT_TRUE(a.reopened());
+    EXPECT_EQ(a.root<Root>()->magic, 123u);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Arena, PmReadCountsLines) {
+  Arena a(small_opts());
+  const uint64_t off = a.alloc(256, 64);
+  const uint64_t before = a.stats().pm_read_lines.load();
+  a.pm_read(a.ptr<char>(off), 256);
+  EXPECT_EQ(a.stats().pm_read_lines.load(), before + 4);
+}
+
+TEST(LatencyConfig, DeltasMatchPaperConfigs) {
+  EXPECT_EQ(LatencyConfig::c300_100().extra_write_ns(), 200u);
+  EXPECT_EQ(LatencyConfig::c300_100().extra_read_ns(), 0u);
+  EXPECT_EQ(LatencyConfig::c300_300().extra_read_ns(), 200u);
+  EXPECT_EQ(LatencyConfig::c600_300().extra_write_ns(), 500u);
+  EXPECT_EQ(LatencyConfig::off().extra_write_ns(), 0u);
+  EXPECT_EQ(LatencyConfig::c300_100().label(), "300/100");
+}
+
+}  // namespace
+}  // namespace hart::pmem

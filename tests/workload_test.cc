@@ -1,0 +1,116 @@
+// Tests for workload generators: determinism, distinctness, size/length
+// contracts, and mixed-op stream semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "workload/keygen.h"
+#include "workload/mixes.h"
+
+namespace hart::workload {
+namespace {
+
+TEST(Sequential, KeysAreDistinctOrderedFixedWidth) {
+  const auto keys = make_sequential(5000, 8);
+  EXPECT_EQ(keys.size(), 5000u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i].size(), 8u);
+    if (i > 0) {
+      EXPECT_LT(keys[i - 1], keys[i]);
+    }
+  }
+}
+
+TEST(Sequential, CarriesAcrossDigits) {
+  const auto keys = make_sequential(63, 2);
+  // After 62 increments the last digit wraps and the next digit advances.
+  EXPECT_EQ(keys[0][0], keys[61][0]);
+  EXPECT_NE(keys[0][0], keys[62][0]);
+  EXPECT_EQ(keys[62][1], keys[0][1]);
+}
+
+TEST(Random, KeysMatchPaperSpec) {
+  const auto keys = make_random(10000, 42);
+  std::unordered_set<std::string> seen;
+  for (const auto& k : keys) {
+    EXPECT_GE(k.size(), 5u);
+    EXPECT_LE(k.size(), 16u);
+    for (const char c : k)
+      EXPECT_TRUE((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                  (c >= '0' && c <= '9'))
+          << k;
+    EXPECT_TRUE(seen.insert(k).second) << "duplicate " << k;
+  }
+}
+
+TEST(Random, SameSeedSameKeys) {
+  EXPECT_EQ(make_random(1000, 7), make_random(1000, 7));
+  EXPECT_NE(make_random(1000, 7), make_random(1000, 8));
+}
+
+TEST(Dictionary, WordsAreDistinctAlphabeticBounded) {
+  const auto words = make_dictionary(20000);
+  std::unordered_set<std::string> seen;
+  for (const auto& w : words) {
+    EXPECT_GE(w.size(), 2u);
+    EXPECT_LE(w.size(), 24u);
+    for (const char c : w) EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+    EXPECT_TRUE(seen.insert(w).second);
+  }
+}
+
+TEST(Dictionary, DefaultSizeMatchesPaper) {
+  EXPECT_EQ(kDictionaryWords, 466544u);
+}
+
+TEST(Mixes, RatiosApproximatelyHold) {
+  const auto ops = make_mixed_ops(100000, 1000, 200000, kReadIntensive, 3);
+  size_t counts[4] = {0, 0, 0, 0};
+  for (const auto& op : ops) ++counts[static_cast<int>(op.type)];
+  EXPECT_NEAR(counts[0] / 1000.0, 10.0, 1.0);  // insert ~10%
+  EXPECT_NEAR(counts[1] / 1000.0, 70.0, 1.0);  // search ~70%
+  EXPECT_NEAR(counts[2] / 1000.0, 10.0, 1.0);  // update ~10%
+  EXPECT_NEAR(counts[3] / 1000.0, 10.0, 1.0);  // delete ~10%
+}
+
+TEST(Mixes, ReadModifyWriteHasNoInsertsOrDeletes) {
+  const auto ops = make_mixed_ops(50000, 1000, 60000, kReadModifyWrite, 5);
+  for (const auto& op : ops)
+    EXPECT_TRUE(op.type == OpType::kSearch || op.type == OpType::kUpdate);
+}
+
+TEST(Mixes, OpsOnlyTouchLiveKeys) {
+  // Replay semantics: any search/update/delete targets a key that was
+  // preloaded or inserted earlier and not yet deleted.
+  const size_t preload = 500;
+  const auto ops = make_mixed_ops(20000, preload, 50000, kReadIntensive, 9);
+  std::set<uint32_t> live;
+  for (uint32_t i = 0; i < preload; ++i) live.insert(i);
+  for (const auto& op : ops) {
+    switch (op.type) {
+      case OpType::kInsert:
+        EXPECT_TRUE(live.insert(op.key_idx).second)
+            << "insert of an already-live key";
+        break;
+      case OpType::kDelete:
+        EXPECT_EQ(live.erase(op.key_idx), 1u);
+        break;
+      default:
+        EXPECT_TRUE(live.count(op.key_idx)) << "op on a dead key";
+    }
+  }
+}
+
+TEST(Mixes, InvalidSpecsThrow) {
+  EXPECT_THROW(make_mixed_ops(10, 1, 100, MixSpec{"bad", 50, 30, 10, 5}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(make_mixed_ops(10, 0, 100, kReadIntensive, 1),
+               std::invalid_argument);
+  // Pool too small for the insert stream:
+  EXPECT_THROW(make_mixed_ops(100000, 10, 11, kWriteIntensive, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hart::workload
