@@ -21,6 +21,7 @@ EPAllocator::EPAllocator(pmem::Arena& arena, EPRoot* root,
 }
 
 void EPAllocator::persist_head(ObjType t) {
+  arena_.trace_store(&root_->heads[static_cast<int>(t)], sizeof(uint64_t));
   arena_.persist(&root_->heads[static_cast<int>(t)], sizeof(uint64_t));
 }
 
@@ -43,6 +44,7 @@ uint64_t EPAllocator::new_chunk_locked(TypeState& st, ObjType t) {
   std::memset(c, 0, g.chunk_bytes);
   c->header = ChunkHdr::make(0, 0, kIndAvailable);
   c->pnext = root_->heads[static_cast<int>(t)];
+  arena_.trace_store(c, g.chunk_bytes);
   arena_.persist(c, g.chunk_bytes);
   root_->heads[static_cast<int>(t)] = off;
   persist_head(t);
@@ -90,6 +92,10 @@ uint64_t EPAllocator::ep_malloc(ObjType t) {
     }
   }
 
+  // PMCheck: the slot may be re-used space whose previous content was
+  // persisted; the new owner's first flush must not count as redundant.
+  arena_.note_object_alloc(obj_off, st.geom.obj_size);
+
   // Algorithm 2 lines 12-16: a free leaf slot may still reference a value
   // committed by a prior incomplete insertion or deletion; reclaim it so
   // the value object becomes allocatable again.
@@ -113,6 +119,7 @@ void EPAllocator::commit(ObjType t, uint64_t obj_off) {
   std::atomic_ref<uint64_t>(c->header)
       .store(ChunkHdr::with_bit(c->header, idx, true),
              std::memory_order_release);
+  arena_.trace_store(&c->header, sizeof(c->header));
   arena_.persist(&c->header, sizeof(c->header));
   auto it = st.chunks.find(c_off);
   assert(it != st.chunks.end());
@@ -138,6 +145,7 @@ void EPAllocator::free_object_locked(TypeState& st, uint64_t obj_off) {
   std::atomic_ref<uint64_t>(c->header)
       .store(ChunkHdr::with_bit(c->header, idx, false),
              std::memory_order_release);
+  arena_.trace_store(&c->header, sizeof(c->header));
   arena_.persist(&c->header, sizeof(c->header));
   auto it = st.chunks.find(c_off);
   assert(it != st.chunks.end());
@@ -196,9 +204,16 @@ void EPAllocator::recycle_chunk_of(ObjType t, uint64_t obj_off) {
   // Algorithm 6 lines 1-2: only an entirely empty chunk is recycled.
   if (ChunkHdr::bitmap(c->header) != 0 || cs.reserved != 0) return;
 
+  // The recycle log is one shared persistent structure: hold rlog_mu_ from
+  // the first log store until the log is cleared, or two threads recycling
+  // chunks of different types would interleave stores into the same words
+  // (PM race found by PMCheck; recovery could then unlink a chunk with the
+  // wrong type's geometry).
+  std::lock_guard rlk(rlog_mu_);
   RecycleLog& rlog = root_->rlog;
   rlog.type_plus1 = static_cast<uint64_t>(t) + 1;
   rlog.pcurrent = c_off;
+  arena_.trace_store(&rlog, sizeof(rlog));
   arena_.persist(&rlog, sizeof(rlog));
 
   const uint64_t next = c->pnext;
@@ -210,9 +225,11 @@ void EPAllocator::recycle_chunk_of(ObjType t, uint64_t obj_off) {
     prev = cs.prev;
     assert(prev != 0);
     rlog.pprev = prev;
+    arena_.trace_store(&rlog.pprev, sizeof(rlog.pprev));
     arena_.persist(&rlog.pprev, sizeof(rlog.pprev));
     auto* pc = chunk_ptr(prev);
     pc->pnext = next;
+    arena_.trace_store(&pc->pnext, sizeof(pc->pnext));
     arena_.persist(&pc->pnext, sizeof(pc->pnext));
   }
   if (next != pmem::kNullOff) {
@@ -224,6 +241,7 @@ void EPAllocator::recycle_chunk_of(ObjType t, uint64_t obj_off) {
   arena_.free(c_off, st.geom.chunk_bytes, st.geom.stride);
 
   rlog = RecycleLog{};
+  arena_.trace_store(&rlog, sizeof(rlog));
   arena_.persist(&rlog, sizeof(rlog));
 }
 
@@ -243,6 +261,7 @@ UpdateLog* EPAllocator::acquire_ulog() {
 
 void EPAllocator::reclaim_ulog(UpdateLog* log) {
   *log = UpdateLog{};
+  arena_.trace_store(log, sizeof(*log));
   arena_.persist(log, sizeof(*log));
   const auto idx = static_cast<uint32_t>(log - root_->ulogs);
   std::lock_guard lk(ulog_mu_);

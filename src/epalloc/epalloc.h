@@ -150,6 +150,13 @@ class EPAllocator {
   TypeState types_[kNumObjTypes];
   std::mutex ulog_mu_;
   uint32_t ulog_busy_ = 0;  // bitmask over kUpdateLogSlots (<= 32)
+  /// Serializes all use of the single shared RecycleLog. The per-type mutex
+  /// is not enough: chunks of *different* object types can be recycled
+  /// concurrently, and without this lock both writers would interleave
+  /// their stores into the same log words — a PM race that could make
+  /// recovery unlink a chunk with the wrong type's geometry. Acquired
+  /// after a TypeState mutex, never the other way around.
+  std::mutex rlog_mu_;
 };
 
 }  // namespace hart::epalloc

@@ -92,6 +92,7 @@ bool Hart::insert(std::string_view key, std::string_view value) {
   char* vp = arena_.ptr<char>(val_off);
   std::memcpy(vp, value.data(), value.size());
   std::memset(vp + value.size(), 0, value_object_size(vcls) - value.size());
+  arena_.trace_store(vp, value_object_size(vcls));
   arena_.persist(vp, value_object_size(vcls));
 
   // Line 13: leaf.p_value = &value; persistent(). The value's class tag
@@ -104,6 +105,8 @@ bool Hart::insert(std::string_view key, std::string_view value) {
   leaf->val_len = static_cast<uint8_t>(value.size());
   leaf->val_class = value_class_tag(vcls);
   leaf->p_value = val_off;
+  arena_.trace_store(&leaf->val_len,
+                     sizeof(HartLeaf) - offsetof(HartLeaf, val_len));
   arena_.persist(&leaf->val_len,
                  sizeof(HartLeaf) - offsetof(HartLeaf, val_len));
 
@@ -113,6 +116,8 @@ bool Hart::insert(std::string_view key, std::string_view value) {
   // Lines 15-16: the complete key and its length into the leaf.
   std::memcpy(leaf->key, key.data(), key.size());
   leaf->key_len = static_cast<uint8_t>(key.size());
+  arena_.trace_store(leaf->key, key.size());
+  arena_.trace_store(&leaf->key_len, sizeof(leaf->key_len));
   arena_.persist(leaf, sizeof(HartLeaf));
 
   // Line 17: Insert2Tree — DRAM only, no persistence needed (selective
@@ -141,6 +146,7 @@ void Hart::update_locked(HartLeaf* leaf, std::string_view value) {
   // reset the log when pnewv is absent).
   ulog->pleaf = leaf_off;
   ulog->poldv = old_off;
+  arena_.trace_store(&ulog->pleaf, 2 * sizeof(uint64_t));
   arena_.persist(&ulog->pleaf, 2 * sizeof(uint64_t));
 
   // Lines 4-5: write the new value into freshly allocated space.
@@ -148,6 +154,7 @@ void Hart::update_locked(HartLeaf* leaf, std::string_view value) {
   char* vp = arena_.ptr<char>(new_off);
   std::memcpy(vp, value.data(), value.size());
   std::memset(vp + value.size(), 0, value_object_size(new_cls) - value.size());
+  arena_.trace_store(vp, value_object_size(new_cls));
   arena_.persist(vp, value_object_size(new_cls));
 
   // Line 6: PNewV plus our meta word. Both live in the same log line and
@@ -156,6 +163,7 @@ void Hart::update_locked(HartLeaf* leaf, std::string_view value) {
   ulog->meta = epalloc::UpdateLog::pack_meta(
       static_cast<uint32_t>(value.size()), old_cls, new_cls);
   ulog->pnewv = new_off;
+  arena_.trace_store(&ulog->pnewv, 2 * sizeof(uint64_t));
   arena_.persist(&ulog->pnewv, 2 * sizeof(uint64_t));  // pnewv + meta
 
   // Line 7: set the bit for the new value.
@@ -166,6 +174,8 @@ void Hart::update_locked(HartLeaf* leaf, std::string_view value) {
   leaf->val_len = static_cast<uint8_t>(value.size());
   leaf->val_class = value_class_tag(new_cls);
   leaf->p_value = new_off;
+  arena_.trace_store(&leaf->val_len,
+                     sizeof(HartLeaf) - offsetof(HartLeaf, val_len));
   arena_.persist(&leaf->val_len,
                  sizeof(HartLeaf) - offsetof(HartLeaf, val_len));
 
@@ -339,6 +349,7 @@ void Hart::replay_update_logs() {
       // Crash before line 6: the old value is intact; the reserved new
       // space evaporated with the volatile reservation. Just reset.
       ulog = epalloc::UpdateLog{};
+      arena_.trace_store(&ulog, sizeof(ulog));
       arena_.persist(&ulog, sizeof(ulog));
       continue;
     }
@@ -350,11 +361,13 @@ void Hart::replay_update_logs() {
     leaf->p_value = ulog.pnewv;
     leaf->val_len = static_cast<uint8_t>(ulog.new_len());
     leaf->val_class = value_class_tag(new_cls);
+    arena_.trace_store(leaf, sizeof(HartLeaf));
     arena_.persist(leaf, sizeof(HartLeaf));
     if (ep_.bit_is_set(old_cls, ulog.poldv))
       ep_.free_object(old_cls, ulog.poldv);
     ep_.recycle_chunk_of(old_cls, ulog.poldv);
     ulog = epalloc::UpdateLog{};
+    arena_.trace_store(&ulog, sizeof(ulog));
     arena_.persist(&ulog, sizeof(ulog));
   }
 }

@@ -55,6 +55,7 @@ inline epalloc::EPAllocator::LeafValueRef hart_leaf_probe(
 inline void hart_leaf_clear(pmem::Arena& arena, uint64_t leaf_off) {
   auto* l = arena.ptr<HartLeaf>(leaf_off);
   l->p_value = 0;  // object.p_value = NULL (Alg. 2 line 16)
+  arena.trace_store(&l->p_value, sizeof(l->p_value));
   arena.persist(&l->p_value, sizeof(l->p_value));
 }
 

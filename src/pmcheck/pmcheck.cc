@@ -1,0 +1,322 @@
+#include "pmcheck/pmcheck.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <sstream>
+
+namespace hart::pmcheck {
+
+namespace {
+constexpr uint64_t kLineBytes = 64;  // kCacheLine, kept self-contained
+
+// Cap on remembered store windows per line: enough for every co-resident
+// 8-byte object on one line to have an open window.
+constexpr size_t kMaxStoresPerLine = 8;
+
+std::string hexstr(uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+}  // namespace
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kUnflushedRead:
+      return "unflushed-read";
+    case Kind::kRedundantPersist:
+      return "redundant-persist";
+    case Kind::kPersistToUnallocated:
+      return "persist-to-unallocated";
+    case Kind::kPmRace:
+      return "pm-race";
+  }
+  return "unknown";
+}
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  os << "PmReport{persist_calls=" << persist_calls
+     << " flushed_lines=" << flushed_lines
+     << " clean_line_flushes=" << clean_line_flushes;
+  for (int k = 0; k < kNumKinds; ++k)
+    os << ' ' << kind_name(static_cast<Kind>(k)) << '=' << counts[k];
+  os << '}';
+  for (const Violation& v : samples) {
+    os << "\n  [" << kind_name(v.kind) << "] off=0x" << std::hex << v.off
+       << std::dec << " len=" << v.len << " tid=" << v.tid;
+    if (v.kind == Kind::kPmRace) os << " tid2=" << v.tid2;
+    if (!v.note.empty()) os << " — " << v.note;
+  }
+  return os.str();
+}
+
+uint32_t PmCheck::self_tid() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+PmCheck::PmCheck(const std::byte* base, size_t size, size_t header_bytes,
+                 bool assume_reopened, Config cfg)
+    : base_(base), size_(size), header_bytes_(header_bytes), cfg_(cfg) {
+  shadow_.resize(size_);
+  std::memcpy(shadow_.data(), base_, size_);
+  line_flags_.assign(size_ / kLineBytes, 0);
+  if (assume_reopened) {
+    // Existing file contents: allocation unknown until the recovery
+    // protocol rebuilds the map; treat the whole block space as allocated
+    // and already flushed (it survived a previous lifetime).
+    for (uint64_t l = header_bytes_ / kLineBytes; l < line_flags_.size(); ++l)
+      line_flags_[l] = kAllocUnknown | kFlushedBefore;
+  }
+}
+
+bool PmCheck::line_allocated(uint64_t line) const {
+  if (line * kLineBytes < header_bytes_) return true;  // header is always live
+  const uint8_t f = line_flags_[line];
+  return (f & (kAllocated | kAllocUnknown)) != 0;
+}
+
+void PmCheck::record(Kind k, uint64_t off, uint64_t len, uint32_t tid2,
+                     std::string note) {
+  counts_[static_cast<int>(k)]++;
+  if (samples_.size() < kMaxSamples) {
+    Violation v;
+    v.kind = k;
+    v.off = off;
+    v.len = len;
+    v.tid = self_tid();
+    v.tid2 = tid2;
+    v.note = std::move(note);
+    samples_.push_back(std::move(v));
+  }
+}
+
+void PmCheck::on_alloc(uint64_t off, uint64_t bytes) {
+  std::lock_guard lk(mu_);
+  // Fresh span: content is whatever the allocator left there; sync the
+  // shadow so only post-allocation stores count as dirty, and clear the
+  // flushed-before flag so the first persist is never "redundant".
+  std::memcpy(shadow_.data() + off, base_ + off, bytes);
+  for (uint64_t l = line_of(off); l <= line_of(off + bytes - 1); ++l) {
+    line_flags_[l] = kAllocated;
+    stores_.erase(l);
+  }
+}
+
+void PmCheck::on_free(uint64_t off, uint64_t bytes) {
+  std::lock_guard lk(mu_);
+  for (uint64_t l = line_of(off); l <= line_of(off + bytes - 1); ++l) {
+    line_flags_[l] &= static_cast<uint8_t>(~(kAllocated | kAllocUnknown));
+    stores_.erase(l);
+  }
+}
+
+void PmCheck::on_object_alloc(uint64_t off, uint64_t bytes) {
+  if (bytes == 0) return;
+  std::lock_guard lk(mu_);
+  // Object slots are re-used inside live chunks: the new owner's first
+  // persist must not be judged against the previous owner's flushed bytes.
+  for (uint64_t l = line_of(off); l <= line_of(off + bytes - 1); ++l)
+    line_flags_[l] &= static_cast<uint8_t>(~kFlushedBefore);
+}
+
+void PmCheck::on_reset_alloc_map() {
+  std::lock_guard lk(mu_);
+  for (uint64_t l = header_bytes_ / kLineBytes; l < line_flags_.size(); ++l)
+    line_flags_[l] &=
+        static_cast<uint8_t>(~(kAllocated | kAllocUnknown | kFlushedBefore));
+  stores_.clear();
+}
+
+void PmCheck::on_mark_used(uint64_t off, uint64_t bytes) {
+  std::lock_guard lk(mu_);
+  for (uint64_t l = line_of(off); l <= line_of(off + bytes - 1); ++l) {
+    // Recovery re-persists ranges defensively (idempotent redo); clearing
+    // the flushed-before flag keeps those from counting as redundant.
+    line_flags_[l] = kAllocated;
+  }
+}
+
+void PmCheck::on_persist(uint64_t off, uint64_t len) {
+  if (len == 0 || off + len > size_) return;
+  const uint32_t tid = self_tid();
+  std::lock_guard lk(mu_);
+  persist_calls_++;
+  const uint64_t first = line_of(off);
+  const uint64_t last = line_of(off + len - 1);
+  flushed_lines_ += last - first + 1;
+
+  bool any_dirty = false;
+  bool all_flushed_before = true;
+  bool annotated_store = false;
+  bool unalloc_reported = false;
+  for (uint64_t l = first; l <= last; ++l) {
+    if (cfg_.unallocated && !line_allocated(l) && !unalloc_reported) {
+      unalloc_reported = true;
+      record(Kind::kPersistToUnallocated, off, len, 0,
+             "persist() targets unallocated/freed block space (line " +
+                 hexstr(l * kLineBytes) + ")");
+    }
+    // Dirtiness over the intersection of the persisted range with this
+    // line only — byte-exact, so neighbours' bytes are never touched.
+    const uint64_t lo = std::max(off, l * kLineBytes);
+    const uint64_t hi = std::min(off + len, (l + 1) * kLineBytes);
+    const bool dirty =
+        std::memcmp(base_ + lo, shadow_.data() + lo, hi - lo) != 0;
+    if (dirty)
+      any_dirty = true;
+    else if (line_flags_[l] & kFlushedBefore)
+      clean_line_flushes_++;
+    if ((line_flags_[l] & kFlushedBefore) == 0) all_flushed_before = false;
+    // An open annotated-store window over these bytes means the program
+    // really did store here since the last flush — even identical bytes
+    // (slot reuse rewriting the same key byte) then need this persist.
+    if (auto it = stores_.find(l); it != stores_.end()) {
+      for (const StoreRec& r : it->second)
+        if (r.lo < off + len && off < r.hi) annotated_store = true;
+    }
+  }
+  // Back-to-back evidence: this thread's previous persist already covered
+  // the whole range. Without it, a clean range may just be an unannotated
+  // rewrite of identical content, which is legal protocol.
+  bool repeat_of_last = false;
+  if (auto it = last_persist_.find(tid); it != last_persist_.end())
+    repeat_of_last =
+        it->second.first <= off && off + len <= it->second.first + it->second.second;
+  if (cfg_.redundant_persist && !any_dirty && all_flushed_before &&
+      !annotated_store && repeat_of_last) {
+    record(Kind::kRedundantPersist, off, len, 0,
+           "range persisted twice in a row with identical content and no "
+           "intervening store");
+  }
+  last_persist_[tid] = {off, len};
+
+  // Commit: the range is now part of the persistence domain.
+  std::memcpy(shadow_.data() + off, base_ + off, len);
+  for (uint64_t l = first; l <= last; ++l) {
+    line_flags_[l] |= kFlushedBefore;
+    // Close store windows whose bytes this flush (plus its fence) covered.
+    auto it = stores_.find(l);
+    if (it == stores_.end()) continue;
+    auto& v = it->second;
+    std::erase_if(v, [&](const StoreRec& r) {
+      return r.lo < off + len && off < r.hi;  // any overlap ends the window
+    });
+    if (v.empty()) stores_.erase(it);
+  }
+}
+
+void PmCheck::on_read(uint64_t off, uint64_t len) {
+  if (!cfg_.unflushed_read || len == 0 || off + len > size_) return;
+  std::lock_guard lk(mu_);
+  if (std::memcmp(base_ + off, shadow_.data() + off, len) != 0) {
+    // Find the first dirty byte for the diagnostic.
+    uint64_t d = off;
+    while (base_[d] == shadow_[d]) ++d;
+    record(Kind::kUnflushedRead, off, len, 0,
+           "pm_read consumed bytes not yet persisted (first dirty byte at " +
+               hexstr(d) + "); a crash here would lose them");
+  }
+}
+
+void PmCheck::on_store(uint64_t off, uint64_t len) {
+  if (len == 0 || off + len > size_) return;
+  const uint32_t tid = self_tid();
+  std::lock_guard lk(mu_);
+  const uint64_t first = line_of(off);
+  const uint64_t last = line_of(off + len - 1);
+  bool unalloc_reported = false;
+  bool race_reported = false;
+  for (uint64_t l = first; l <= last; ++l) {
+    if (cfg_.unallocated && !line_allocated(l) && !unalloc_reported) {
+      unalloc_reported = true;
+      record(Kind::kPersistToUnallocated, off, len, 0,
+             "annotated store targets unallocated/freed block space");
+    }
+    auto& recs = stores_[l];
+    if (cfg_.race && !race_reported) {
+      for (const StoreRec& r : recs) {
+        if (r.tid != tid && r.lo < off + len && off < r.hi) {
+          race_reported = true;
+          record(Kind::kPmRace, off, len, r.tid,
+                 "two threads wrote overlapping PM bytes with no "
+                 "flush+fence in between");
+          break;
+        }
+      }
+    }
+    // Merge with this thread's existing window on the line if adjacent or
+    // overlapping; otherwise append (bounded).
+    bool merged = false;
+    for (StoreRec& r : recs) {
+      if (r.tid == tid && r.lo <= off + len && off <= r.hi) {
+        r.lo = std::min(r.lo, off);
+        r.hi = std::max(r.hi, off + len);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      if (recs.size() >= kMaxStoresPerLine) recs.erase(recs.begin());
+      recs.push_back(StoreRec{tid, off, off + len});
+    }
+  }
+}
+
+void PmCheck::on_crash() {
+  std::lock_guard lk(mu_);
+  // The arena just rolled unflushed lines back (modulo eviction survivors,
+  // which are persistent after all): live contents are the persisted truth.
+  std::memcpy(shadow_.data(), base_, size_);
+  stores_.clear();
+  // Recovery legitimately re-persists the ranges in flight at the crash.
+  last_persist_.clear();
+}
+
+Report PmCheck::report() const {
+  std::lock_guard lk(mu_);
+  Report r;
+  for (int k = 0; k < kNumKinds; ++k) r.counts[k] = counts_[k];
+  r.samples = samples_;
+  r.persist_calls = persist_calls_;
+  r.flushed_lines = flushed_lines_;
+  r.clean_line_flushes = clean_line_flushes_;
+  return r;
+}
+
+void PmCheck::reset_violations() {
+  std::lock_guard lk(mu_);
+  for (uint64_t& c : counts_) c = 0;
+  samples_.clear();
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> PmCheck::unflushed_spans(
+    size_t max_spans) const {
+  std::lock_guard lk(mu_);
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  uint64_t run_start = 0;
+  uint64_t run_len = 0;
+  for (uint64_t l = 0; l < line_flags_.size(); ++l) {
+    const uint64_t off = l * kLineBytes;
+    const bool dirty =
+        line_allocated(l) &&
+        std::memcmp(base_ + off, shadow_.data() + off, kLineBytes) != 0;
+    if (dirty) {
+      if (run_len == 0) run_start = off;
+      run_len += kLineBytes;
+      continue;
+    }
+    if (run_len != 0) {
+      out.emplace_back(run_start, run_len);
+      run_len = 0;
+      if (out.size() >= max_spans) return out;
+    }
+  }
+  if (run_len != 0) out.emplace_back(run_start, run_len);
+  return out;
+}
+
+}  // namespace hart::pmcheck

@@ -1,0 +1,177 @@
+// PMCheck — a dynamic persistence-ordering and PM-race checker layered on
+// the Arena device model (enable with Arena::Options::check).
+//
+// The checker keeps a *flush shadow*: a private copy of the arena updated
+// only when a range is explicitly persisted. A byte whose live content
+// differs from the flush shadow is "dirty" — it would be lost under the
+// strict crash model. On top of that it tracks per-cache-line metadata
+// (flushed-before flag, allocation state) and, for code that annotates its
+// PM stores via Arena::trace_store, per-line unflushed store windows with
+// the writing thread id.
+//
+// Detected violation classes (see DESIGN.md, "PMCheck"):
+//   * unflushed-read        — a pm_read() consumed bytes that differ from
+//                             the flush shadow: a recovery or read path is
+//                             relying on data the crash model may lose.
+//   * redundant-persist     — the same thread persists the same byte range
+//                             twice in a row, with the range byte-identical
+//                             to the flush shadow, every line flushed
+//                             before, and no annotated store in between:
+//                             the second call inflates the paper's
+//                             persistent() count for no durability gain.
+//                             (Deliberately conservative: protocols may
+//                             legally re-persist content-identical bytes —
+//                             slot reuse rewrites the same key byte — so
+//                             content identity alone is not evidence.)
+//   * persist-to-unallocated— a persist() or annotated store targeting
+//                             block space that is not currently allocated
+//                             (covers stores to freed blocks).
+//   * pm-race               — two threads' annotated stores to overlapping
+//                             bytes with no flush+fence of those bytes in
+//                             between: the crash model gives no ordering
+//                             between them.
+//
+// All checks compare the *exact byte range* of the event, never whole
+// cache lines, so co-location of unrelated objects on one line (EPallocator
+// packs 8-byte values 8-per-line) cannot produce false positives, and the
+// checker never reads bytes a concurrent thread may be writing.
+//
+// Thread-safety: every hook takes one internal mutex; the checker is meant
+// for tests, not benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hart::pmcheck {
+
+enum class Kind : uint8_t {
+  kUnflushedRead = 0,
+  kRedundantPersist = 1,
+  kPersistToUnallocated = 2,
+  kPmRace = 3,
+};
+inline constexpr int kNumKinds = 4;
+
+const char* kind_name(Kind k);
+
+struct Violation {
+  Kind kind;
+  uint64_t off = 0;   // start offset of the offending range
+  uint64_t len = 0;   // length of the offending range
+  uint32_t tid = 0;   // thread observing/causing the violation
+  uint32_t tid2 = 0;  // second thread (pm-race only)
+  std::string note;
+};
+
+struct Report {
+  uint64_t counts[kNumKinds] = {0, 0, 0, 0};
+  std::vector<Violation> samples;  // first kMaxSamples violations
+  // Diagnostics tied to the paper's persistent()-count metric:
+  uint64_t persist_calls = 0;     // persist() calls observed
+  uint64_t flushed_lines = 0;     // cache lines covered by those calls
+  uint64_t clean_line_flushes = 0;  // lines flushed while already clean
+
+  [[nodiscard]] uint64_t count(Kind k) const {
+    return counts[static_cast<int>(k)];
+  }
+  [[nodiscard]] uint64_t total() const {
+    uint64_t t = 0;
+    for (const uint64_t c : counts) t += c;
+    return t;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Per-check enable switches (all on by default).
+struct Config {
+  bool unflushed_read = true;
+  bool redundant_persist = true;
+  bool unallocated = true;
+  bool race = true;
+};
+
+class PmCheck {
+ public:
+  static constexpr size_t kMaxSamples = 64;
+
+  /// `base`/`size` describe the mapped arena; `header_bytes` is the arena
+  /// header area (always considered allocated). If `assume_reopened`, the
+  /// block space starts in the *unknown* allocation state (existing data
+  /// re-opened from a file) and persists to it are not flagged until the
+  /// allocation map is rebuilt.
+  PmCheck(const std::byte* base, size_t size, size_t header_bytes,
+          bool assume_reopened, Config cfg = Config{});
+
+  PmCheck(const PmCheck&) = delete;
+  PmCheck& operator=(const PmCheck&) = delete;
+
+  // ---- event hooks (called by Arena; all offsets are arena offsets) ----
+  void on_alloc(uint64_t off, uint64_t bytes);
+  void on_free(uint64_t off, uint64_t bytes);
+  /// Sub-block reuse notification (EPallocator hands out objects inside
+  /// already-allocated chunks): suppresses redundant-persist on the first
+  /// flush of the re-used span.
+  void on_object_alloc(uint64_t off, uint64_t bytes);
+  void on_reset_alloc_map();
+  void on_mark_used(uint64_t off, uint64_t bytes);
+  void on_persist(uint64_t off, uint64_t len);
+  void on_read(uint64_t off, uint64_t len);
+  void on_store(uint64_t off, uint64_t len);  // annotated PM store
+  /// Called after Arena::crash() rolled the live contents back: re-syncs
+  /// the flush shadow and drops all open store windows.
+  void on_crash();
+
+  // ---- results ---------------------------------------------------------
+  [[nodiscard]] Report report() const;
+  void reset_violations();
+
+  /// Allocated spans whose live bytes differ from the flush shadow — i.e.
+  /// data a crash right now would lose. A correct index is expected to
+  /// have none at operation quiescence. Returns at most `max_spans`
+  /// (line-granular, coalesced).
+  [[nodiscard]] std::vector<std::pair<uint64_t, uint64_t>> unflushed_spans(
+      size_t max_spans = 16) const;
+
+ private:
+  // Per-line flag bits.
+  static constexpr uint8_t kFlushedBefore = 1;  // line persisted at least once
+  static constexpr uint8_t kAllocated = 2;
+  static constexpr uint8_t kAllocUnknown = 4;   // reopened, pre-recovery
+
+  struct StoreRec {
+    uint32_t tid;
+    uint64_t lo, hi;  // [lo, hi) byte range of the unflushed store
+  };
+
+  [[nodiscard]] uint64_t line_of(uint64_t off) const { return off >> 6; }
+  [[nodiscard]] bool line_allocated(uint64_t line) const;
+  void record(Kind k, uint64_t off, uint64_t len, uint32_t tid2,
+              std::string note);
+  static uint32_t self_tid();
+
+  const std::byte* base_;
+  const size_t size_;
+  const size_t header_bytes_;
+  const Config cfg_;
+  std::vector<std::byte> shadow_;      // flush shadow
+  std::vector<uint8_t> line_flags_;
+  // Open (unflushed) annotated-store windows, keyed by line index. Sparse:
+  // correct code persists promptly, so this stays small.
+  std::unordered_map<uint64_t, std::vector<StoreRec>> stores_;
+  // Each thread's immediately preceding persist range [off, off+len) — the
+  // back-to-back evidence the redundant-persist check requires.
+  std::unordered_map<uint32_t, std::pair<uint64_t, uint64_t>> last_persist_;
+  mutable std::mutex mu_;
+  uint64_t counts_[kNumKinds] = {0, 0, 0, 0};
+  std::vector<Violation> samples_;
+  uint64_t persist_calls_ = 0;
+  uint64_t flushed_lines_ = 0;
+  uint64_t clean_line_flushes_ = 0;
+};
+
+}  // namespace hart::pmcheck

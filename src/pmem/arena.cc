@@ -43,6 +43,10 @@ Arena::Arena(const Options& opts)
     shadow_ = std::make_unique<std::byte[]>(opts_.size);
     std::memcpy(shadow_.get(), base_, opts_.size);
   }
+  if (opts_.check) {
+    check_ = std::make_unique<pmcheck::PmCheck>(
+        base_, opts_.size, kArenaHeaderSize, reopened_, opts_.check_config);
+  }
 }
 
 void Arena::map_memory() {
@@ -87,11 +91,13 @@ uint64_t Arena::alloc(uint64_t bytes, uint64_t align) {
     stats_.alloc_meta_persists.fetch_add(1, std::memory_order_relaxed);
     spin_ns(opts_.latency.extra_write_ns());
   }
+  if (check_) check_->on_alloc(off, bytes);
   return off;
 }
 
 void Arena::free(uint64_t off, uint64_t bytes, uint64_t align) {
   blocks_.free(off, bytes, align);
+  if (check_) check_->on_free(off, bytes);
   stats_.free_calls.fetch_add(1, std::memory_order_relaxed);
   stats_.pm_live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
   stats_.pm_block_bytes.store(blocks_.used_block_bytes(),
@@ -104,12 +110,14 @@ void Arena::free(uint64_t off, uint64_t bytes, uint64_t align) {
 
 void Arena::reset_alloc_map() {
   blocks_.reset_all_free();
+  if (check_) check_->on_reset_alloc_map();
   stats_.pm_live_bytes.store(0, std::memory_order_relaxed);
   stats_.pm_block_bytes.store(0, std::memory_order_relaxed);
 }
 
 void Arena::mark_used(uint64_t off, uint64_t bytes) {
   blocks_.mark_used(off, bytes);
+  if (check_) check_->on_mark_used(off, bytes);
   stats_.pm_live_bytes.fetch_add(bytes, std::memory_order_relaxed);
   stats_.pm_block_bytes.store(blocks_.used_block_bytes(),
                               std::memory_order_relaxed);
@@ -119,12 +127,19 @@ void Arena::persist(const void* p, size_t len) {
   stats_.persist_calls.fetch_add(1, std::memory_order_relaxed);
   stats_.persisted_bytes.fetch_add(len, std::memory_order_relaxed);
 
-  if (crash_armed_.load(std::memory_order_relaxed)) {
+  // Acquire pairs with the release in arm_crash_after(): a thread that
+  // observes the armed flag also observes the freshly stored countdown
+  // (without it, a stale countdown could make the crash point fire at the
+  // wrong persist — or never). The fetch_sub itself hands exactly one
+  // thread the value 1, so concurrent persists cannot double-fire.
+  if (crash_armed_.load(std::memory_order_acquire)) {
     if (crash_countdown_.fetch_sub(1, std::memory_order_relaxed) == 1) {
       crash_armed_.store(false, std::memory_order_relaxed);
       throw CrashPoint{};
     }
   }
+
+  if (check_) check_->on_persist(off(p), len);
 
   // CLFLUSH granularity: the flush covers whole cache lines.
   const uint64_t start = off(p) & ~(kCacheLine - 1);
@@ -139,6 +154,7 @@ void Arena::persist(const void* p, size_t len) {
 }
 
 void Arena::pm_read(const void* p, size_t len) const {
+  if (check_) check_->on_read(off(p), len);
   const uint64_t start = off(p) & ~(kCacheLine - 1);
   uint64_t end = off(p) + len;
   end = (end + kCacheLine - 1) & ~(kCacheLine - 1);
@@ -151,7 +167,9 @@ void Arena::pm_read(const void* p, size_t len) const {
 void Arena::arm_crash_after(uint64_t nth_persist) {
   crash_countdown_.store(static_cast<int64_t>(nth_persist),
                          std::memory_order_relaxed);
-  crash_armed_.store(true, std::memory_order_relaxed);
+  // Release: publishes the countdown to any thread that sees armed == true
+  // (see the acquire load in persist()).
+  crash_armed_.store(true, std::memory_order_release);
 }
 
 void Arena::disarm_crash() {
@@ -173,6 +191,7 @@ void Arena::crash() {
       std::memcpy(base_ + line, shadow_.get() + line, kCacheLine);
     }
   }
+  if (check_) check_->on_crash();
 }
 
 }  // namespace hart::pmem

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "pmcheck/pmcheck.h"
 #include "pmem/block_alloc.h"
 #include "pmem/latency.h"
 #include "pmem/pmdefs.h"
@@ -39,6 +40,12 @@ class Arena {
     size_t size = size_t{256} << 20;  // 256 MiB default device
     LatencyConfig latency = LatencyConfig::off();
     bool shadow = false;  // enable crash simulation (tests)
+    /// Enable PMCheck: per-cache-line shadow state detecting unflushed
+    /// reads, redundant persists, persists to unallocated PM, and PM races
+    /// (see src/pmcheck/pmcheck.h). Test-only; adds a second shadow copy
+    /// and a mutex on every persist/pm_read.
+    bool check = false;
+    pmcheck::Config check_config;
     /// Model one metadata flush per raw PM alloc/free (a real persistent
     /// allocator must persist its metadata; EPallocator amortizes this).
     bool charge_alloc_persist = true;
@@ -120,6 +127,23 @@ class Arena {
   /// Charge the PM read latency delta for a read of [p, p+len).
   void pm_read(const void* p, size_t len) const;
 
+  // ---- PMCheck ---------------------------------------------------------
+  /// Annotate a PM store of [p, p+len) for the race checker. No-op unless
+  /// Options::check; call *after* the store, before the matching persist().
+  void trace_store(const void* p, size_t len) {
+    if (check_) check_->on_store(off(p), len);
+  }
+  /// Notify the checker of sub-block object reuse (EPallocator slots).
+  void note_object_alloc(uint64_t o, uint64_t bytes) {
+    if (check_) check_->on_object_alloc(o, bytes);
+  }
+  /// The active checker, or nullptr when Options::check is off.
+  [[nodiscard]] pmcheck::PmCheck* checker() const { return check_.get(); }
+  /// Violation report; empty when Options::check is off.
+  [[nodiscard]] pmcheck::Report pm_report() const {
+    return check_ ? check_->report() : pmcheck::Report{};
+  }
+
   // ---- crash simulation -------------------------------------------------
   /// Arm: the nth persist() from now (1-based) throws CrashPoint and does
   /// not flush. Automatically disarmed when it fires.
@@ -139,6 +163,7 @@ class Arena {
   Options opts_;
   std::byte* base_ = nullptr;
   std::unique_ptr<std::byte[]> shadow_;
+  std::unique_ptr<pmcheck::PmCheck> check_;
   bool file_backed_ = false;
   bool reopened_ = false;
   int fd_ = -1;

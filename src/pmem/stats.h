@@ -21,6 +21,13 @@ struct StatsSnapshot {
 
 class Stats {
  public:
+  // All counters are updated and read with std::memory_order_relaxed on
+  // purpose: they are monotonic event tallies (plus the two live-byte
+  // gauges) that never guard other memory — no reader derives a pointer or
+  // an invariant from them, so no acquire/release pairing is needed and a
+  // snapshot is allowed to be slightly stale/torn across *different*
+  // counters. Anything that must synchronize (crash arming, chunk headers)
+  // lives elsewhere with explicit ordering.
   std::atomic<uint64_t> persist_calls{0};
   std::atomic<uint64_t> persisted_bytes{0};
   mutable std::atomic<uint64_t> pm_read_lines{0};

@@ -2,6 +2,8 @@
 // (crash-point sweeps), and recovery by reachability.
 #include <gtest/gtest.h>
 
+#include "checked_arena.h"
+
 #include <map>
 #include <memory>
 #include <string>
@@ -13,12 +15,12 @@
 namespace hart::pmart {
 namespace {
 
-std::unique_ptr<pmem::Arena> make_arena(size_t mb = 64) {
+testutil::CheckedArena make_arena(size_t mb = 64) {
   pmem::Arena::Options o;
   o.size = mb << 20;
   o.shadow = true;
   o.charge_alloc_persist = false;
-  return std::make_unique<pmem::Arena>(o);
+  return testutil::make_checked_arena(o);
 }
 
 std::string random_key(common::Rng& rng, uint32_t max_len = 12,

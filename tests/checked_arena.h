@@ -1,0 +1,31 @@
+// Shared test helper: an Arena with PMCheck enabled (Options::check) whose
+// deleter asserts that the whole run produced zero persistence violations.
+// Index suites use this so every existing functional/crash/concurrency test
+// doubles as a PMCheck zero-false-positive test.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pmem/arena.h"
+
+namespace hart::testutil {
+
+struct CheckedArenaDeleter {
+  void operator()(pmem::Arena* a) const {
+    if (a == nullptr) return;
+    const pmcheck::Report rep = a->pm_report();
+    EXPECT_EQ(rep.total(), 0u) << rep.to_string();
+    delete a;
+  }
+};
+
+using CheckedArena = std::unique_ptr<pmem::Arena, CheckedArenaDeleter>;
+
+inline CheckedArena make_checked_arena(pmem::Arena::Options o) {
+  o.check = true;
+  return CheckedArena(new pmem::Arena(o));
+}
+
+}  // namespace hart::testutil

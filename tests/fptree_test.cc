@@ -3,6 +3,8 @@
 // (inner-node rebuild) and the no-coalescing policy.
 #include <gtest/gtest.h>
 
+#include "checked_arena.h"
+
 #include <map>
 #include <memory>
 #include <string>
@@ -14,12 +16,12 @@
 namespace hart::fptree {
 namespace {
 
-std::unique_ptr<pmem::Arena> make_arena(size_t mb = 64) {
+testutil::CheckedArena make_arena(size_t mb = 64) {
   pmem::Arena::Options o;
   o.size = mb << 20;
   o.shadow = true;
   o.charge_alloc_persist = false;
-  return std::make_unique<pmem::Arena>(o);
+  return testutil::make_checked_arena(o);
 }
 
 std::string random_key(common::Rng& rng, uint32_t max_len = 12) {

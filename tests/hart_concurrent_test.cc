@@ -4,6 +4,8 @@
 // post-hoc validation against a reference.
 #include <gtest/gtest.h>
 
+#include "checked_arena.h"
+
 #include <atomic>
 #include <barrier>
 #include <map>
@@ -19,11 +21,11 @@
 namespace hart::core {
 namespace {
 
-std::unique_ptr<pmem::Arena> make_arena(size_t mb = 256) {
+testutil::CheckedArena make_arena(size_t mb = 256) {
   pmem::Arena::Options o;
   o.size = mb << 20;
   o.charge_alloc_persist = false;
-  return std::make_unique<pmem::Arena>(o);
+  return testutil::make_checked_arena(o);
 }
 
 TEST(HartConcurrent, ParallelInsertsDisjointPrefixes) {

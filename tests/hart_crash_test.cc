@@ -7,6 +7,8 @@
 //   4. the index stays fully functional afterwards.
 #include <gtest/gtest.h>
 
+#include "checked_arena.h"
+
 #include <map>
 #include <memory>
 #include <string>
@@ -18,7 +20,7 @@
 namespace hart::core {
 namespace {
 
-std::unique_ptr<pmem::Arena> make_arena(double eviction_prob = 0.0,
+testutil::CheckedArena make_arena(double eviction_prob = 0.0,
                                         uint64_t seed = 1) {
   pmem::Arena::Options o;
   o.size = size_t{64} << 20;
@@ -26,7 +28,7 @@ std::unique_ptr<pmem::Arena> make_arena(double eviction_prob = 0.0,
   o.charge_alloc_persist = false;
   o.eviction_prob = eviction_prob;
   o.crash_seed = seed;
-  return std::make_unique<pmem::Arena>(o);
+  return testutil::make_checked_arena(o);
 }
 
 /// Live PM bytes must equal the bytes of the chunks reachable from the

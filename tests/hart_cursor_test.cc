@@ -1,6 +1,8 @@
 // Tests for HartCursor (ordered stateful scans) and parallel recovery.
 #include <gtest/gtest.h>
 
+#include "checked_arena.h"
+
 #include <map>
 #include <memory>
 #include <thread>
@@ -13,11 +15,11 @@
 namespace hart::core {
 namespace {
 
-std::unique_ptr<pmem::Arena> make_arena(size_t mb = 128) {
+testutil::CheckedArena make_arena(size_t mb = 128) {
   pmem::Arena::Options o;
   o.size = mb << 20;
   o.charge_alloc_persist = false;
-  return std::make_unique<pmem::Arena>(o);
+  return testutil::make_checked_arena(o);
 }
 
 TEST(HartCursor, IteratesAllInOrder) {

@@ -2,6 +2,8 @@
 // churn and crashes), and seeded corruptions are detected.
 #include <gtest/gtest.h>
 
+#include "checked_arena.h"
+
 #include <memory>
 
 #include "epalloc/chunk.h"
@@ -12,12 +14,12 @@
 namespace hart::core {
 namespace {
 
-std::unique_ptr<pmem::Arena> make_arena() {
+testutil::CheckedArena make_arena() {
   pmem::Arena::Options o;
   o.size = 64 << 20;
   o.shadow = true;
   o.charge_alloc_persist = false;
-  return std::make_unique<pmem::Arena>(o);
+  return testutil::make_checked_arena(o);
 }
 
 TEST(Verify, FreshEmptyHartIsClean) {
@@ -95,7 +97,7 @@ class VerifyCorruption : public ::testing::Test {
   uint64_t leaf_chunk() const {
     return root_->ep.heads[static_cast<int>(epalloc::ObjType::kLeaf)];
   }
-  std::unique_ptr<pmem::Arena> arena_;
+  testutil::CheckedArena arena_;
   HartRoot* root_ = nullptr;
 };
 

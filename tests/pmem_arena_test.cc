@@ -133,6 +133,124 @@ TEST(Arena, EvictionModeKeepsSomeDirtyLines) {
   EXPECT_EQ(p[0], 42u);
 }
 
+TEST(Arena, EvictionSurvivalIsLineGranularNeverTorn) {
+  // Fractional eviction: at crash each dirty line independently survives
+  // or rolls back, but a line is never torn — all 64 bytes are either the
+  // new content or the old content.
+  constexpr int kLines = 512;
+  Arena::Options o = small_opts();
+  o.eviction_prob = 0.5;
+  o.crash_seed = 7;
+  Arena a(o);
+  const uint64_t off = a.alloc(kLines * kCacheLine, kCacheLine);
+  auto* p = a.ptr<uint64_t>(off);
+  for (int l = 0; l < kLines; ++l)
+    for (int w = 0; w < 8; ++w) p[l * 8 + w] = uint64_t(l) * 8 + w + 1;
+  a.crash();
+  int survivors = 0;
+  for (int l = 0; l < kLines; ++l) {
+    const bool first_new = p[l * 8] == uint64_t(l) * 8 + 1;
+    survivors += first_new ? 1 : 0;
+    for (int w = 0; w < 8; ++w) {
+      const uint64_t want = first_new ? uint64_t(l) * 8 + w + 1 : 0;
+      ASSERT_EQ(p[l * 8 + w], want)
+          << "line " << l << " torn at word " << w;
+    }
+  }
+  // Binomial(512, 0.5): 3 sigma is ~34 lines. Both all-or-nothing outcomes
+  // would mean the probability is not being applied per line.
+  EXPECT_GT(survivors, 256 - 100);
+  EXPECT_LT(survivors, 256 + 100);
+}
+
+TEST(Arena, EvictionRateTracksProbability) {
+  constexpr int kLines = 2048;
+  Arena::Options o = small_opts();
+  o.eviction_prob = 0.3;
+  o.crash_seed = 11;
+  Arena a(o);
+  const uint64_t off = a.alloc(kLines * kCacheLine, kCacheLine);
+  auto* p = a.ptr<uint64_t>(off);
+  for (int l = 0; l < kLines; ++l) p[l * 8] = 1;
+  a.crash();
+  int survivors = 0;
+  for (int l = 0; l < kLines; ++l) survivors += p[l * 8] == 1 ? 1 : 0;
+  const double rate = double(survivors) / kLines;
+  EXPECT_GT(rate, 0.25);
+  EXPECT_LT(rate, 0.35);
+}
+
+TEST(Arena, EvictionIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    Arena::Options o;
+    o.size = 1 << 20;
+    o.shadow = true;
+    o.charge_alloc_persist = false;
+    o.eviction_prob = 0.5;
+    o.crash_seed = seed;
+    Arena a(o);
+    const uint64_t off = a.alloc(256 * kCacheLine, kCacheLine);
+    auto* p = a.ptr<uint64_t>(off);
+    for (int l = 0; l < 256; ++l) p[l * 8] = l + 1;
+    a.crash();
+    std::vector<uint64_t> out(256);
+    for (int l = 0; l < 256; ++l) out[l] = p[l * 8];
+    return out;
+  };
+  EXPECT_EQ(run(3), run(3)) << "same seed must replay the same survivors";
+  EXPECT_NE(run(3), run(4)) << "different seeds must differ (256 lines)";
+}
+
+TEST(Arena, EvictionSweepNeverLosesFlushedPrefix) {
+  // Armed-crash sweep under fractional eviction: everything persisted
+  // before the crash point must survive regardless of what the eviction
+  // coin does to the unflushed suffix.
+  constexpr int kRecs = 32;
+  for (uint64_t crash_at = 1; crash_at <= kRecs; crash_at += 3) {
+    Arena::Options o = small_opts();
+    o.eviction_prob = 0.5;
+    o.crash_seed = crash_at;  // vary the coin flips across the sweep
+    Arena a(o);
+    const uint64_t off = a.alloc(kRecs * kCacheLine, kCacheLine);
+    auto* p = a.ptr<uint64_t>(off);
+    a.arm_crash_after(crash_at);
+    uint64_t done = 0;
+    try {
+      for (int r = 0; r < kRecs; ++r) {
+        p[r * 8] = r + 100;
+        a.persist(&p[r * 8], 8);
+        ++done;
+      }
+    } catch (const CrashPoint&) {
+      a.crash();
+    }
+    for (uint64_t r = 0; r < done; ++r)
+      ASSERT_EQ(p[r * 8], r + 100)
+          << "flushed record " << r << " lost (crash_at=" << crash_at << ")";
+    for (uint64_t r = done; r < kRecs; ++r)
+      ASSERT_TRUE(p[r * 8] == 0 || p[r * 8] == r + 100)
+          << "record " << r << " torn (crash_at=" << crash_at << ")";
+  }
+}
+
+TEST(Arena, EvictionSurvivorsAreCleanUnderPmCheck) {
+  // A dirty line that survives the crash via eviction is persistent state:
+  // PMCheck must re-sync and not flag recovery reads of it.
+  Arena::Options o = small_opts();
+  o.eviction_prob = 1.0;
+  o.check = true;
+  Arena a(o);
+  const uint64_t off = a.alloc(64, 64);
+  auto* p = a.ptr<uint64_t>(off);
+  p[0] = 42;  // never flushed
+  a.crash();
+  a.pm_read(p, 8);
+  EXPECT_EQ(p[0], 42u);
+  const auto rep = a.pm_report();
+  EXPECT_EQ(rep.total(), 0u) << rep.to_string();
+  EXPECT_TRUE(a.checker()->unflushed_spans().empty());
+}
+
 TEST(Arena, ResetAndMarkRebuildAllocationMap) {
   Arena a(small_opts());
   const uint64_t keep = a.alloc(128, 64);

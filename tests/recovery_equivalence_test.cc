@@ -50,6 +50,7 @@ TEST_P(RecoveryEquivalence, ReopenMatchesCleanState) {
 
   pmem::Arena::Options o;
   o.size = size_t{128} << 20;
+  o.check = true;  // the whole run must be PMCheck-clean (asserted below)
   pmem::Arena arena(o);
 
   const auto keys = workload::make_workload(wk, 4000, 21);
@@ -101,6 +102,9 @@ TEST_P(RecoveryEquivalence, ReopenMatchesCleanState) {
   EXPECT_TRUE(reopened->insert("zzz-new-key", "fresh"));
   std::string v;
   EXPECT_TRUE(reopened->search("zzz-new-key", &v));
+
+  const pmcheck::Report rep = arena.pm_report();
+  EXPECT_EQ(rep.total(), 0u) << factory.name << ": " << rep.to_string();
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -3,6 +3,8 @@
 // commit protocol.
 #include <gtest/gtest.h>
 
+#include "checked_arena.h"
+
 #include <map>
 #include <memory>
 #include <string>
@@ -15,12 +17,12 @@
 namespace hart::pmart {
 namespace {
 
-std::unique_ptr<pmem::Arena> make_arena(size_t mb = 128) {
+testutil::CheckedArena make_arena(size_t mb = 128) {
   pmem::Arena::Options o;
   o.size = mb << 20;
   o.shadow = true;
   o.charge_alloc_persist = false;
-  return std::make_unique<pmem::Arena>(o);
+  return testutil::make_checked_arena(o);
 }
 
 TEST(WortPWordCodec, RoundTripsNibbles) {

@@ -1,0 +1,35 @@
+// Deliberately broken PM code: pmlint.py must flag every pattern below.
+// This file is NOT part of the build — it exists so CI can assert that the
+// linter still catches each rule (the `pmlint_badcase` ctest expects a
+// non-zero exit here, paired with `pmlint_clean` expecting zero on src/).
+#include <cstring>
+
+#include "pmem/arena.h"
+#include "pmem/pmdefs.h"
+
+namespace hart::badcase {
+
+// PL002 ×2: a vtable pointer and a raw address stored into PM are garbage
+// after the arena is re-mapped at a different base.
+struct BadNode {
+  pmem::POff<BadNode> next;  // fine: offsets survive re-mapping
+  BadNode* cached_sibling;   // PL002: raw pointer member
+  unsigned char payload[40];
+
+  virtual void visit() {}  // PL002: virtual function => vtable pointer
+};
+
+// PL001: the bytes land in the arena but nothing flushes them — a crash
+// right after return loses the record silently.
+void forget_persist(pmem::Arena& a, uint64_t off, const char* src) {
+  auto* dst = a.ptr<char>(off);
+  std::memcpy(dst, src, 32);
+}
+
+// PL003: 96 bytes from a field address with no alignment guarantee — the
+// range straddles cache lines and costs an extra CLFLUSH per call.
+void misaligned_persist(pmem::Arena& a, BadNode* n) {
+  a.persist(&n->payload, 96);
+}
+
+}  // namespace hart::badcase
