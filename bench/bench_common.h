@@ -15,8 +15,11 @@
 //   HART_BENCH_ARENA_MB arena size per tree              (default 1024)
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
+#include <initializer_list>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -41,11 +44,83 @@ inline size_t env_size(const char* name, size_t def) {
   return v != nullptr ? std::strtoull(v, nullptr, 10) : def;
 }
 
+// ---- shared CLI flag parsing --------------------------------------------
+// Every bench binary accepts the same flags; each flag is sugar for the
+// corresponding HART_* environment knob (the env stays the single source
+// of truth, so scripts using either spelling agree). Benches with extra
+// knobs pass them via `extra`.
+
+struct BenchFlag {
+  const char* flag;  // e.g. "--records"
+  const char* env;   // e.g. "HART_BENCH_RECORDS"
+  const char* help;
+  bool takes_value = true;
+};
+
+inline const std::vector<BenchFlag>& common_bench_flags() {
+  static const std::vector<BenchFlag> flags = {
+      {"--records", "HART_BENCH_RECORDS",
+       "records for Sequential/Random workloads (default 100000)", true},
+      {"--dict-words", "HART_DICT_WORDS",
+       "records for Dictionary (default 100000; paper used 466544)", true},
+      {"--arena-mb", "HART_BENCH_ARENA_MB",
+       "arena size per tree in MiB (default 1024)", true},
+      {"--threads", "HART_BENCH_THREADS",
+       "max thread count for scalability benches (default 16)", true},
+      {"--latency", "HART_BENCH_LATENCY",
+       "run only this PM write/read config, e.g. 300/100 or a custom W/R",
+       true},
+      {"--csv", "HART_BENCH_CSV",
+       "append machine-readable rows to this file", true},
+      {"--percentiles", "HART_BENCH_PERCENTILES",
+       "collect per-op latency histograms", false},
+  };
+  return flags;
+}
+
+/// Parse `--flag value` argument pairs into their environment knobs.
+/// Handles --help (prints the table, exits 0) and unknown flags (exits 2).
+inline void parse_bench_flags(int argc, char** argv, const char* what,
+                              std::initializer_list<BenchFlag> extra = {}) {
+  std::vector<BenchFlag> flags = common_bench_flags();
+  flags.insert(flags.end(), extra.begin(), extra.end());
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      std::printf("%s\n\nusage: %s [flags]\n", what, argv[0]);
+      for (const auto& f : flags)
+        std::printf("  %-14s %s%s [env %s]\n", f.flag,
+                    f.takes_value ? "N  " : "", f.help, f.env);
+      std::exit(0);
+    }
+    const BenchFlag* hit = nullptr;
+    for (const auto& f : flags)
+      if (a == f.flag) hit = &f;
+    if (hit == nullptr) {
+      std::fprintf(stderr, "%s: unknown flag '%s' (try --help)\n", argv[0],
+                   a.c_str());
+      std::exit(2);
+    }
+    const char* value = "1";
+    if (hit->takes_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], hit->flag);
+        std::exit(2);
+      }
+      value = argv[++i];
+    }
+    ::setenv(hit->env, value, 1);
+  }
+}
+
 inline size_t bench_records() { return env_size("HART_BENCH_RECORDS", 100000); }
 inline size_t dict_words() {
   return env_size("HART_DICT_WORDS", 100000);
 }
 inline size_t arena_mb() { return env_size("HART_BENCH_ARENA_MB", 1024); }
+inline unsigned bench_threads() {
+  return static_cast<unsigned>(env_size("HART_BENCH_THREADS", 16));
+}
 
 enum class TreeKind { kHart, kWoart, kArtCow, kFpTree };
 inline constexpr TreeKind kAllTrees[] = {TreeKind::kHart, TreeKind::kWoart,
@@ -81,9 +156,23 @@ inline std::unique_ptr<common::Index> make_tree(TreeKind k,
   }
 }
 
+/// The paper's three PM latency configurations — or, when
+/// HART_BENCH_LATENCY / --latency is set to "W/R" (write/read ns), just
+/// that one (custom values allowed; DRAM baseline stays 100 ns).
 inline std::vector<pmem::LatencyConfig> paper_configs() {
-  return {pmem::LatencyConfig::c300_100(), pmem::LatencyConfig::c300_300(),
-          pmem::LatencyConfig::c600_300()};
+  std::vector<pmem::LatencyConfig> all = {pmem::LatencyConfig::c300_100(),
+                                          pmem::LatencyConfig::c300_300(),
+                                          pmem::LatencyConfig::c600_300()};
+  const char* sel = std::getenv("HART_BENCH_LATENCY");
+  if (sel == nullptr) return all;
+  for (const auto& c : all)
+    if (c.label() == sel) return {c};
+  unsigned w = 0;
+  unsigned r = 0;
+  if (std::sscanf(sel, "%u/%u", &w, &r) == 2)
+    return {pmem::LatencyConfig{100, w, r}};
+  std::fprintf(stderr, "ignoring malformed HART_BENCH_LATENCY '%s'\n", sel);
+  return all;
 }
 
 /// Value for key i: 8 bytes, distinct per insert round.

@@ -6,8 +6,11 @@
 // HART keeps a sorted prefix directory, see DESIGN.md).
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hart::bench;
+  parse_bench_flags(argc, argv, "Fig. 10a: range query performance",
+                    {{"--range-records", "HART_RANGE_RECORDS",
+                      "records per range query (default 100000)", true}});
   const size_t n = bench_records();
   const size_t span = std::min<size_t>(env_size("HART_RANGE_RECORDS", 100000),
                                        n / 2);

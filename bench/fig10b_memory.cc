@@ -5,8 +5,9 @@
 // coalescing). PM figures here are logical (requested) bytes.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hart::bench;
+  parse_bench_flags(argc, argv, "Fig. 10b: memory consumption");
   const size_t n = bench_records();
   const auto keys = hart::workload::make_sequential(n);
   const auto lat = hart::pmem::LatencyConfig::off();

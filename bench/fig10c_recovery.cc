@@ -5,8 +5,11 @@
 // while a HART leaf holds one.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hart::bench;
+  parse_bench_flags(argc, argv, "Fig. 10c: build vs recovery time",
+                    {{"--fig8-max", "HART_FIG8_MAX",
+                      "largest record count (default 1000000)", true}});
   const size_t max_n = env_size("HART_FIG8_MAX", 1000000);
   const std::vector<size_t> sizes = {max_n / 100, max_n / 10, max_n / 2,
                                      max_n};

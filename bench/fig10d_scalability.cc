@@ -3,6 +3,7 @@
 // near-linear to the physical core count (x7.1-7.3 at 8 threads),
 // sub-linear beyond it (hyper-threading), search scaling best (readers
 // share the per-ART lock).
+#include <algorithm>
 #include <thread>
 
 #include "bench/bench_common.h"
@@ -53,14 +54,16 @@ double run_threads(hart::core::Hart& h,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_flags(argc, argv, "Fig. 10d: HART multi-threaded scalability");
   const size_t n = bench_records();  // preload size
   const auto lat = hart::pmem::LatencyConfig::c300_100();
-  const unsigned max_threads = 16;
+  const unsigned max_threads = std::max(1u, bench_threads());
   const size_t ops_total = n / 4;
   // Key pool: first half preloaded, second half reserved for inserts
-  // (16 threads x ops_per_thread must fit).
-  const auto keys = hart::workload::make_random(2 * n + 16 * ops_total, 42);
+  // (max_threads x ops_per_thread must fit).
+  const auto keys =
+      hart::workload::make_random(2 * n + max_threads * ops_total, 42);
 
   std::cout << "Fig. 10d: HART scalability (MIOPS), Random, 300/100, "
             << n << " preloaded records, hardware threads available: "
@@ -68,7 +71,10 @@ int main() {
 
   hart::common::Table table(
       {"threads", "Insertion", "Search", "Update", "Deletion"});
-  for (const unsigned threads : {1u, 2u, 4u, 8u, max_threads}) {
+  std::vector<unsigned> counts;
+  for (unsigned t = 1; t < max_threads; t *= 2) counts.push_back(t);
+  counts.push_back(max_threads);
+  for (const unsigned threads : counts) {
     const size_t per_thread = ops_total / threads;
     std::vector<std::string> row{std::to_string(threads)};
     for (const BasicOp op : {BasicOp::kInsert, BasicOp::kSearch,

@@ -4,7 +4,8 @@
 // FPTree); ART+CoW worst in most cases.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hart::bench::parse_bench_flags(argc, argv, "Fig. 4: insertion performance");
   hart::bench::run_basic_op_figure("Fig. 4", hart::bench::BasicOp::kInsert);
   return 0;
 }

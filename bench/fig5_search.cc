@@ -2,7 +2,8 @@
 // 600/300; at 300/100 (PM read == DRAM read) WOART matches or beats HART.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hart::bench::parse_bench_flags(argc, argv, "Fig. 5: search performance");
   hart::bench::run_basic_op_figure("Fig. 5", hart::bench::BasicOp::kSearch);
   return 0;
 }

@@ -2,7 +2,8 @@
 // most cases (faster leaf location) and FPTree in all cases.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hart::bench::parse_bench_flags(argc, argv, "Fig. 6: update performance");
   hart::bench::run_basic_op_figure("Fig. 6", hart::bench::BasicOp::kUpdate);
   return 0;
 }

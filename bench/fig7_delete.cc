@@ -3,7 +3,8 @@
 // latency exceeds DRAM on larger data sets.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hart::bench::parse_bench_flags(argc, argv, "Fig. 7: deletion performance");
   hart::bench::run_basic_op_figure("Fig. 7", hart::bench::BasicOp::kDelete);
   return 0;
 }

@@ -6,8 +6,11 @@
 // HART_FIG8_MAX (default 1M) at the same 1:10:50:100 ratios.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hart::bench;
+  parse_bench_flags(argc, argv, "Fig. 8: total time vs number of records",
+                    {{"--fig8-max", "HART_FIG8_MAX",
+                      "largest record count (default 1000000)", true}});
   const size_t max_n = env_size("HART_FIG8_MAX", 1000000);
   const std::vector<size_t> sizes = {max_n / 100, max_n / 10, max_n / 2,
                                      max_n};

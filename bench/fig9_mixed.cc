@@ -5,8 +5,9 @@
 #include "bench/bench_common.h"
 #include "workload/mixes.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hart::bench;
+  parse_bench_flags(argc, argv, "Fig. 9: YCSB-style mixed workloads");
   const size_t n_ops = bench_records();
   const size_t preload = n_ops / 2;
   // Pool: enough distinct keys for preload plus the insert share.

@@ -10,8 +10,9 @@
 // figure benches.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hart::bench;
+  parse_bench_flags(argc, argv, "Methodology check: PM read-latency model");
   const size_t n = bench_records();
   const auto keys = hart::workload::make_random(n, 42);
 

@@ -1,0 +1,153 @@
+// Service-layer throughput: hartd shard scaling and group-commit batch
+// sensitivity, measured end-to-end through in-process pipelined clients
+// (Random-insert — every op is a durable write, the worst case for the
+// group-persist design).
+//
+// Expected shape: throughput scales with shard count while the injected
+// per-shard PM device time dominates (each shard banks its batch's
+// latency and sleeps it off concurrently with the other shards — see
+// Arena::Options::defer_latency); once the host CPU saturates, scaling
+// flattens at the compute bound. On a single-core host the low-latency
+// configs are compute-bound from the start, so the scaling column shows
+// the device-bound configs' speedup only.
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "server/client.h"
+
+namespace {
+
+using namespace hart::bench;
+using hart::server::Hartd;
+using hart::server::OpCode;
+using hart::server::Request;
+
+struct SvcResult {
+  double ops_per_sec = 0;
+  uint64_t batches = 0;
+  uint64_t epochs = 0;
+  uint64_t acks = 0;
+};
+
+size_t svc_ops() { return env_size("HART_SVC_OPS", 20000); }       // per client
+size_t svc_clients() { return env_size("HART_SVC_CLIENTS", 4); }
+size_t svc_pipeline() { return env_size("HART_SVC_PIPELINE", 64); }
+
+SvcResult run_service(size_t shards, size_t batch,
+                      const hart::pmem::LatencyConfig& lat) {
+  Hartd::Options o;
+  o.shards = shards;
+  o.batch_size = batch;
+  o.latency = lat;
+  o.arena_mb = 64;
+  Hartd db(o);
+
+  const size_t per_client = svc_ops();
+  hart::common::Stopwatch sw;
+  std::vector<std::thread> pool;
+  for (size_t c = 0; c < svc_clients(); ++c) {
+    pool.emplace_back([&db, c, per_client] {
+      hart::Client cl(db);
+      std::deque<uint64_t> inflight;
+      for (size_t i = 0; i < per_client; ++i) {
+        char key[24];
+        std::snprintf(key, sizeof(key), "%c%c%08zx",
+                      static_cast<char>('A' + (c / 26) % 26),
+                      static_cast<char>('A' + c % 26), i);
+        inflight.push_back(cl.send(Request{OpCode::kPut, key, value_for(i)}));
+        if (inflight.size() >= svc_pipeline()) {
+          cl.wait(inflight.front());
+          inflight.pop_front();
+        }
+      }
+      cl.wait_all();
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  SvcResult r;
+  r.ops_per_sec =
+      static_cast<double>(per_client * svc_clients()) / sw.seconds();
+  for (size_t i = 0; i < db.shard_count(); ++i) {
+    const auto& st = db.shard(i).stats();
+    r.batches += st.batches.load();
+    r.epochs += st.epochs.load();
+    r.acks += st.write_acks.load();
+  }
+  db.shutdown();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  parse_bench_flags(
+      argc, argv, "hartd service throughput: shard scaling + batch size",
+      {{"--svc-ops", "HART_SVC_OPS", "inserts per client (default 20000)",
+        true},
+       {"--svc-clients", "HART_SVC_CLIENTS", "client threads (default 4)",
+        true},
+       {"--svc-pipeline", "HART_SVC_PIPELINE",
+        "outstanding requests per client (default 64)", true}});
+
+  const size_t total = svc_ops() * svc_clients();
+  std::cout << "hartd service throughput — Random-insert, " << total
+            << " ops over " << svc_clients() << " pipelined clients (depth "
+            << svc_pipeline() << "), deferred PM latency\n"
+            << "host hardware threads: "
+            << std::thread::hardware_concurrency() << "\n\n";
+
+  // Shard scaling. Device-latency configs: the paper's 300/100 and
+  // 600/300 plus a 1500/300 point deep in the device-bound regime (a
+  // slow PM / CXL-window-like device) where per-shard stalls dominate.
+  const hart::pmem::LatencyConfig lats[] = {
+      hart::pmem::LatencyConfig::c300_100(),
+      hart::pmem::LatencyConfig::c600_300(),
+      {100, 1500, 300}};
+  hart::common::Table scaling(
+      {"insert ops/s / shards", "1", "2", "4", "8"});
+  for (const auto& lat : lats) {
+    std::vector<std::string> row{lat.label()};
+    double base = 0;
+    for (const size_t shards : {1u, 2u, 4u, 8u}) {
+      const SvcResult r = run_service(shards, 32, lat);
+      if (shards == 1) base = r.ops_per_sec;
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%.0f (x%.2f)", r.ops_per_sec,
+                    r.ops_per_sec / base);
+      row.emplace_back(cell);
+      csv_row("svc-scaling", "Random-insert/" + std::to_string(shards),
+              lat.label(), "hartd", 1e6 / r.ops_per_sec);
+    }
+    scaling.add_row(std::move(row));
+  }
+  scaling.print();
+  std::cout << "(speedup vs 1 shard; low-latency rows go compute-bound "
+               "once the host cores saturate)\n\n";
+
+  // Batch-size sensitivity: 4 shards, 600/300. Group commit amortizes one
+  // epoch fence over the batch; tiny batches fence almost per-op.
+  hart::common::Table batching(
+      {"batch size (4 shards, 600/300)", "ops/s", "avg batch", "fences/kop"});
+  for (const size_t batch : {1u, 4u, 16u, 32u, 128u}) {
+    const SvcResult r = run_service(4, batch, lats[1]);
+    char ops[32], avg[32], fences[32];
+    std::snprintf(ops, sizeof(ops), "%.0f", r.ops_per_sec);
+    std::snprintf(avg, sizeof(avg), "%.1f",
+                  r.batches != 0 ? static_cast<double>(r.acks) /
+                                       static_cast<double>(r.batches)
+                                 : 0.0);
+    std::snprintf(fences, sizeof(fences), "%.1f",
+                  static_cast<double>(r.epochs) * 1000.0 /
+                      static_cast<double>(total));
+    batching.add_row({std::to_string(batch), ops, avg, fences});
+    csv_row("svc-batch", "Random-insert/batch" + std::to_string(batch),
+            lats[1].label(), "hartd", 1e6 / r.ops_per_sec);
+  }
+  batching.print();
+  return 0;
+}

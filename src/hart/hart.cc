@@ -309,6 +309,26 @@ size_t Hart::multi_get(const std::vector<std::string>& keys,
   return hits;
 }
 
+uint64_t Hart::flush_epoch() {
+  // One persistent() call per batch: the stamped counter changes every
+  // time, so the fence is never a redundant persist, and its completion
+  // point is the batch's commit point (each op persisted its own data
+  // before returning; this is the amortized final fence).
+  const uint64_t e = epoch_.load(std::memory_order_relaxed) + 1;
+  root_->epoch = e;
+  arena_.trace_store(&root_->epoch, sizeof(root_->epoch));
+  arena_.persist(&root_->epoch, sizeof(root_->epoch));
+  epoch_.store(e, std::memory_order_release);
+  return e;
+}
+
+void Hart::quiesce() {
+  dir_.for_each_partition([](HashDir::Partition* part) {
+    std::unique_lock lk(part->mu);
+    return true;
+  });
+}
+
 common::MemoryUsage Hart::memory_usage() const {
   common::MemoryUsage u;
   u.dram_bytes = dram_bytes_.load(std::memory_order_relaxed);
@@ -377,6 +397,7 @@ void Hart::replay_update_logs() {
 void Hart::recover(unsigned threads) {
   dir_.clear();
   count_.store(0, std::memory_order_relaxed);
+  epoch_.store(root_->epoch, std::memory_order_relaxed);
   ep_.recover_structure();
   replay_update_logs();
 

@@ -29,6 +29,10 @@ struct HartRoot {
   uint64_t magic;
   uint32_t hash_key_len;
   uint32_t reserved;
+  /// Group-commit epoch stamp (see flush_epoch()). Monotone; persisted by
+  /// the epoch fence, so after recovery it lower-bounds the number of
+  /// completed commit epochs.
+  uint64_t epoch;
   epalloc::EPRoot ep;
 };
 
@@ -80,6 +84,25 @@ class Hart final : public common::Index {
   /// lock-free and every tree insert takes its partition's write lock).
   void recover(unsigned threads = 1);
 
+  /// Group-commit epoch fence (the service layer's batching hook): stamps
+  /// and persists the root's epoch counter with ONE persistent() call,
+  /// then returns the new epoch. Every operation that returned before this
+  /// call is durable once flush_epoch() returns — each op already persists
+  /// its own data, so the fence is the per-batch "final fence" that a real
+  /// PM group commit would amortize (one fence per batch instead of per
+  /// op). Callers must serialize calls per Hart (one committer thread).
+  uint64_t flush_epoch();
+  /// The last epoch returned by flush_epoch() (0 before the first fence).
+  [[nodiscard]] uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Drain: acquire and release every partition's write lock, so every
+  /// operation that was in flight when quiesce() was called has completed
+  /// (and any later operation observes all of them). Used by the service
+  /// layer's graceful shutdown before closing the arena.
+  void quiesce();
+
   [[nodiscard]] uint32_t hash_key_len() const { return opts_.hash_key_len; }
   [[nodiscard]] size_t partition_count() const {
     return dir_.partition_count();
@@ -112,6 +135,7 @@ class Hart final : public common::Index {
   std::atomic<uint64_t> dram_bytes_{0};
   HashDir dir_;
   std::atomic<size_t> count_{0};
+  std::atomic<uint64_t> epoch_{0};
 };
 
 /// Ordered stateful scan over a Hart (an extension beyond the paper's

@@ -4,7 +4,12 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <ctime>
+
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
 
 namespace hart::pmem {
@@ -16,11 +21,45 @@ struct ArenaHeader {
   uint64_t magic;
   uint64_t size;
 };
+
+Arena::Options resolve_options(Arena::Options o) {
+  if (o.size == 0) {
+    size_t mb = 256;
+    if (const char* v = std::getenv("HART_ARENA_MB"); v != nullptr)
+      mb = std::strtoull(v, nullptr, 10);
+    o.size = mb << 20;
+  }
+  if (!o.file_path.empty()) o.file_path = Arena::resolve_file_path(o.file_path);
+  return o;
+}
 }  // namespace
 
+std::string Arena::arena_dir() {
+  std::filesystem::path dir;
+  if (const char* v = std::getenv("HART_ARENA_DIR");
+      v != nullptr && v[0] != '\0') {
+    dir = v;
+  } else {
+    dir = std::filesystem::temp_directory_path();
+  }
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string Arena::resolve_file_path(const std::string& path) {
+  std::filesystem::path p(path);
+  if (p.is_absolute()) {
+    std::filesystem::create_directories(p.parent_path());
+    return path;
+  }
+  std::filesystem::path full = std::filesystem::path(arena_dir()) / p;
+  std::filesystem::create_directories(full.parent_path());
+  return full.string();
+}
+
 Arena::Arena(const Options& opts)
-    : opts_(opts),
-      blocks_(kArenaHeaderSize, opts.size - kArenaHeaderSize),
+    : opts_(resolve_options(opts)),
+      blocks_(kArenaHeaderSize, opts_.size - kArenaHeaderSize),
       crash_rng_(opts.crash_seed) {
   if (opts_.size < kArenaHeaderSize * 2 ||
       (opts_.size % kBlockSize) != 0) {
@@ -89,7 +128,7 @@ uint64_t Arena::alloc(uint64_t bytes, uint64_t align) {
                               std::memory_order_relaxed);
   if (opts_.charge_alloc_persist) {
     stats_.alloc_meta_persists.fetch_add(1, std::memory_order_relaxed);
-    spin_ns(opts_.latency.extra_write_ns());
+    charge_latency(opts_.latency.extra_write_ns());
   }
   if (check_) check_->on_alloc(off, bytes);
   return off;
@@ -104,7 +143,7 @@ void Arena::free(uint64_t off, uint64_t bytes, uint64_t align) {
                               std::memory_order_relaxed);
   if (opts_.charge_alloc_persist) {
     stats_.alloc_meta_persists.fetch_add(1, std::memory_order_relaxed);
-    spin_ns(opts_.latency.extra_write_ns());
+    charge_latency(opts_.latency.extra_write_ns());
   }
 }
 
@@ -150,7 +189,7 @@ void Arena::persist(const void* p, size_t len) {
   }
   // One CLFLUSH per line; each pays the PM-write delta (the paper charges
   // the delta per persistent() invocation, whose common case is one line).
-  spin_ns(opts_.latency.extra_write_ns() * ((end - start) / kCacheLine));
+  charge_latency(opts_.latency.extra_write_ns() * ((end - start) / kCacheLine));
 }
 
 void Arena::pm_read(const void* p, size_t len) const {
@@ -161,7 +200,25 @@ void Arena::pm_read(const void* p, size_t len) const {
   const uint64_t lines = (end - start) / kCacheLine;
   stats_.pm_read_lines.fetch_add(lines, std::memory_order_relaxed);
   const uint32_t extra = opts_.latency.extra_read_ns();
-  if (extra != 0) spin_ns(extra * lines);
+  if (extra != 0) charge_latency(uint64_t{extra} * lines);
+}
+
+uint64_t Arena::pay_latency() {
+  const uint64_t ns = owed_ns_.exchange(0, std::memory_order_relaxed);
+  if (ns == 0) return 0;
+  struct timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  ts.tv_nsec += static_cast<long>(ns % 1000000000);
+  ts.tv_sec += static_cast<time_t>(ns / 1000000000);
+  if (ts.tv_nsec >= 1000000000) {
+    ts.tv_nsec -= 1000000000;
+    ++ts.tv_sec;
+  }
+  // Absolute deadline so EINTR restarts do not stretch the stall.
+  while (::clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &ts, nullptr) ==
+         EINTR) {
+  }
+  return ns;
 }
 
 void Arena::arm_crash_after(uint64_t nth_persist) {

@@ -37,7 +37,10 @@ namespace hart::pmem {
 class Arena {
  public:
   struct Options {
-    size_t size = size_t{256} << 20;  // 256 MiB default device
+    /// Device size in bytes. 0 resolves from the HART_ARENA_MB environment
+    /// variable (default 256 MiB) — tests and the service layer use this
+    /// so one knob sizes every arena of a run.
+    size_t size = size_t{256} << 20;
     LatencyConfig latency = LatencyConfig::off();
     bool shadow = false;  // enable crash simulation (tests)
     /// Enable PMCheck: per-cache-line shadow state detecting unflushed
@@ -49,14 +52,33 @@ class Arena {
     /// Model one metadata flush per raw PM alloc/free (a real persistent
     /// allocator must persist its metadata; EPallocator amortizes this).
     bool charge_alloc_persist = true;
+    /// Defer latency injection: persist()/pm_read()/alloc() accumulate the
+    /// owed delay instead of busy-waiting, and pay_latency() sleeps it off
+    /// in one block. On a time-shared host this lets several arenas
+    /// (service shards) overlap their device stalls the way independent PM
+    /// devices on dedicated cores would — the busy-wait default occupies
+    /// the CPU other shards need. The service worker pays once per
+    /// group-commit batch, before releasing the batch's acks.
+    bool defer_latency = false;
     /// At crash(), probability that a dirty (unflushed) cache line survives
     /// anyway, modeling uncontrolled cache eviction. 0 = strict model.
     double eviction_prob = 0.0;
     uint64_t crash_seed = 1;
     /// Optional file backing; empty = anonymous memory. An existing file
     /// with a valid header is re-opened (recovered), otherwise initialized.
+    /// A *relative* path is resolved under $HART_ARENA_DIR (or the system
+    /// temp directory), see resolve_file_path() — so parallel test runs
+    /// can be isolated by pointing HART_ARENA_DIR at distinct directories.
     std::string file_path;
   };
+
+  /// Where relative arena file paths land: $HART_ARENA_DIR when set, else
+  /// the system temp directory. The directory is created if missing.
+  static std::string arena_dir();
+  /// Resolve `path` the way the constructor does: absolute paths pass
+  /// through; relative paths are placed under arena_dir(), creating any
+  /// intermediate directories.
+  static std::string resolve_file_path(const std::string& path);
 
   explicit Arena(const Options& opts);
   ~Arena();
@@ -127,6 +149,16 @@ class Arena {
   /// Charge the PM read latency delta for a read of [p, p+len).
   void pm_read(const void* p, size_t len) const;
 
+  /// Deferred-latency mode: sleep off the accumulated device-latency debt
+  /// (clock_nanosleep, so the CPU is yielded to other shards' workers) and
+  /// reset it. Returns the nanoseconds paid. No-op returning 0 when the
+  /// debt is zero or Options::defer_latency is off.
+  uint64_t pay_latency();
+  /// Nanoseconds of injected latency accumulated and not yet paid.
+  [[nodiscard]] uint64_t owed_latency_ns() const {
+    return owed_ns_.load(std::memory_order_relaxed);
+  }
+
   // ---- PMCheck ---------------------------------------------------------
   /// Annotate a PM store of [p, p+len) for the race checker. No-op unless
   /// Options::check; call *after* the store, before the matching persist().
@@ -159,6 +191,15 @@ class Arena {
 
  private:
   void map_memory();
+  /// Inject `ns` of device latency: spin now, or bank it for pay_latency().
+  void charge_latency(uint64_t ns) const {
+    if (ns == 0) return;
+    if (opts_.defer_latency) {
+      owed_ns_.fetch_add(ns, std::memory_order_relaxed);
+    } else {
+      spin_ns(ns);
+    }
+  }
 
   Options opts_;
   std::byte* base_ = nullptr;
@@ -169,6 +210,7 @@ class Arena {
   int fd_ = -1;
   BlockAllocator blocks_;
   Stats stats_;
+  mutable std::atomic<uint64_t> owed_ns_{0};
   std::atomic<bool> crash_armed_{false};
   std::atomic<int64_t> crash_countdown_{0};
   common::Rng crash_rng_;

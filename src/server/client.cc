@@ -1,0 +1,176 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace hart::server {
+
+namespace {
+bool send_all(int fd, const char* p, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+}  // namespace
+
+Client::Client(Hartd& local) : local_(&local) {}
+
+Client::Client(const std::string& host, uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* ip = (host == "localhost" || host.empty()) ? "127.0.0.1"
+                                                         : host.c_str();
+  if (::inet_pton(AF_INET, ip, &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw std::runtime_error("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("cannot connect to " + host + ":" +
+                             std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+Client::~Client() {
+  if (local_ != nullptr) {
+    // Every in-process submission is acked eventually (Hartd drains its
+    // queues even on shutdown), so waiting here is bounded.
+    wait_all();
+    return;
+  }
+  ::shutdown(fd_, SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();  // fails outstanding with kNetError
+  ::close(fd_);
+}
+
+void Client::complete(uint64_t id, Response resp) {
+  {
+    std::lock_guard lk(mu_);
+    done_[id] = std::move(resp);
+    --outstanding_;
+  }
+  cv_.notify_all();
+}
+
+uint64_t Client::send(Request req) {
+  uint64_t id;
+  bool dead;
+  {
+    std::lock_guard lk(mu_);
+    id = next_id_++;
+    ++outstanding_;
+    dead = broken_;
+  }
+  if (dead) {
+    complete(id, Response{Status::kNetError, {}, 0});
+    return id;
+  }
+  if (local_ != nullptr) {
+    // Hartd::submit invokes the ack even when shutting down, so every id
+    // completes exactly once.
+    local_->submit(std::move(req),
+                   [this, id](Response r) { complete(id, std::move(r)); });
+    return id;
+  }
+  std::string frame;
+  encode_request(id, req, &frame);
+  bool ok;
+  {
+    std::lock_guard wl(write_mu_);
+    ok = send_all(fd_, frame.data(), frame.size());
+  }
+  if (!ok) complete(id, Response{Status::kNetError, {}, 0});
+  return id;
+}
+
+Response Client::wait(uint64_t id) {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return done_.count(id) != 0 || broken_; });
+  auto it = done_.find(id);
+  if (it == done_.end()) return Response{Status::kNetError, {}, 0};
+  Response r = std::move(it->second);
+  done_.erase(it);
+  return r;
+}
+
+void Client::wait_all() {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return outstanding_ == 0 || broken_; });
+}
+
+size_t Client::outstanding() const {
+  std::lock_guard lk(mu_);
+  return outstanding_;
+}
+
+bool Client::connected() const {
+  std::lock_guard lk(mu_);
+  return !broken_;
+}
+
+void Client::reader_loop() {
+  std::string buf;
+  std::string body;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (r <= 0) break;
+    buf.append(chunk, static_cast<size_t>(r));
+    for (;;) {
+      const int got = take_frame(&buf, &body);
+      if (got < 0) goto out;  // malformed stream
+      if (got == 0) break;
+      uint64_t id = 0;
+      Response resp;
+      if (!decode_response(body.data(), body.size(), &id, &resp)) goto out;
+      {
+        std::lock_guard lk(mu_);
+        done_[id] = std::move(resp);
+        if (outstanding_ > 0) --outstanding_;
+      }
+      cv_.notify_all();
+    }
+  }
+out:
+  // Stream is gone (server died or dtor shut the socket): fail every
+  // current and future wait with kNetError.
+  {
+    std::lock_guard lk(mu_);
+    broken_ = true;
+  }
+  cv_.notify_all();
+}
+
+Response Client::put(std::string key, std::string value) {
+  return wait(send(Request{OpCode::kPut, std::move(key), std::move(value)}));
+}
+Response Client::get(std::string key) {
+  return wait(send(Request{OpCode::kGet, std::move(key), {}}));
+}
+Response Client::update(std::string key, std::string value) {
+  return wait(
+      send(Request{OpCode::kUpdate, std::move(key), std::move(value)}));
+}
+Response Client::del(std::string key) {
+  return wait(send(Request{OpCode::kDelete, std::move(key), {}}));
+}
+Response Client::ping() { return wait(send(Request{OpCode::kPing, {}, {}})); }
+
+}  // namespace hart::server

@@ -1,0 +1,77 @@
+// hart::Client — client library for hartd with a synchronous API and a
+// pipelined asynchronous API, over either transport:
+//
+//   * in-process: Client(hartd) submits straight into the shard queues;
+//   * TCP:        Client(host, port) speaks the proto.h framing; a reader
+//                 thread matches responses to requests by id.
+//
+// Pipelining: send() returns immediately with a request id; wait(id)
+// blocks for that response. Responses complete out of submission order
+// across shards (per-shard batching), which is exactly what the id
+// correlation absorbs. A Client is thread-safe; one connection is shared.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "server/hartd.h"
+#include "server/proto.h"
+
+namespace hart::server {
+
+class Client {
+ public:
+  /// In-process transport: submits into `local`'s shard queues.
+  explicit Client(Hartd& local);
+  /// TCP transport. Throws on connection failure.
+  Client(const std::string& host, uint16_t port);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // ---- synchronous API --------------------------------------------------
+  Response put(std::string key, std::string value);
+  Response get(std::string key);
+  Response update(std::string key, std::string value);
+  Response del(std::string key);
+  Response ping();
+
+  // ---- pipelined API ----------------------------------------------------
+  /// Fire a request without waiting; returns its id. On a dead transport
+  /// the request completes immediately with kNetError (still waitable).
+  uint64_t send(Request req);
+  /// Block until the response for `id` arrives, then return it. Each id
+  /// may be waited on once.
+  Response wait(uint64_t id);
+  /// Block until every outstanding request has completed.
+  void wait_all();
+
+  [[nodiscard]] size_t outstanding() const;
+  [[nodiscard]] bool connected() const;
+
+ private:
+  void reader_loop();
+  void complete(uint64_t id, Response resp);
+
+  Hartd* local_ = nullptr;  // in-process transport when non-null
+  int fd_ = -1;             // TCP transport when >= 0
+  std::thread reader_;
+  std::mutex write_mu_;  // serializes TCP frame writes
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_id_ = 1;
+  size_t outstanding_ = 0;
+  bool broken_ = false;  // TCP stream died
+  std::unordered_map<uint64_t, Response> done_;
+};
+
+}  // namespace hart::server
+
+namespace hart {
+using Client = server::Client;  // the library's public name
+}

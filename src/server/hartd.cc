@@ -1,0 +1,99 @@
+#include "server/hartd.h"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace hart::server {
+
+Hartd::Hartd(const Options& opts) : opts_(opts) {
+  if (opts_.shards == 0) throw std::invalid_argument("shards must be >= 1");
+  shards_.resize(opts_.shards);
+
+  // Shard construction doubles as restart recovery for file-backed arenas
+  // (Hart's constructor runs Algorithm 7 on a re-opened arena), so open
+  // shards in parallel — recovery time is per-shard, not per-service.
+  std::vector<std::thread> pool;
+  std::vector<std::exception_ptr> errs(opts_.shards);
+  for (size_t i = 0; i < opts_.shards; ++i) {
+    pool.emplace_back([this, i, &errs] {
+      try {
+        Shard::Options so;
+        so.index = i;
+        so.batch_size = opts_.batch_size;
+        so.queue_capacity = opts_.queue_capacity;
+        so.hart = opts_.hart;
+        so.arena.size = opts_.arena_mb << 20;  // 0 -> HART_ARENA_MB default
+        so.arena.latency = opts_.latency;
+        so.arena.defer_latency = opts_.defer_latency;
+        so.arena.check = opts_.check;
+        so.arena.shadow = opts_.shadow;
+        if (!opts_.arena_dir.empty())
+          so.arena.file_path =
+              opts_.arena_dir + "/shard-" + std::to_string(i) + ".arena";
+        shards_[i] = std::make_unique<Shard>(so);
+      } catch (...) {
+        errs[i] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (auto& e : errs)
+    if (e) std::rethrow_exception(e);
+
+  reopened_ = !opts_.arena_dir.empty();
+  for (auto& s : shards_) reopened_ = reopened_ && s->arena().reopened();
+}
+
+Hartd::~Hartd() { shutdown(); }
+
+bool Hartd::submit(Request req, Shard::Ack ack) {
+  if (down_.load(std::memory_order_acquire)) {
+    if (ack) ack(Response{Status::kShuttingDown, {}, 0});
+    return false;
+  }
+  Shard& s = *shards_[shard_of(req.key)];
+  if (!s.submit(std::move(req), ack)) {
+    if (ack) ack(Response{Status::kShuttingDown, {}, 0});
+    return false;
+  }
+  return true;
+}
+
+Response Hartd::execute(Request req) {
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Response resp;
+  };
+  auto sync = std::make_shared<Sync>();
+  submit(std::move(req), [sync](Response r) {
+    std::lock_guard lk(sync->mu);
+    sync->resp = std::move(r);
+    sync->done = true;
+    sync->cv.notify_one();
+  });
+  std::unique_lock lk(sync->mu);
+  sync->cv.wait(lk, [&] { return sync->done; });
+  return std::move(sync->resp);
+}
+
+void Hartd::shutdown() {
+  if (down_.exchange(true)) return;
+  for (auto& s : shards_) s->shutdown();
+}
+
+size_t Hartd::total_size() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    const Shard& sh = *s;
+    n += sh.hart().size();
+  }
+  return n;
+}
+
+}  // namespace hart::server

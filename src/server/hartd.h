@@ -1,0 +1,82 @@
+// hartd — the sharded concurrent KV service. Fronts N independent HART
+// shards (each with its own arena + EPallocator; keys partitioned by an
+// FNV hash of the whole key) behind per-shard MPSC queues with group-
+// persist batching. With `arena_dir` set, shards are file-backed and a
+// restart recovers every shard (in parallel) with zero acked-write loss.
+// See DESIGN.md §5.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/shard.h"
+
+namespace hart::server {
+
+class Hartd {
+ public:
+  struct Options {
+    size_t shards = 4;
+    size_t batch_size = 32;
+    size_t queue_capacity = 4096;
+    /// Per-shard arena size in MiB; 0 resolves from HART_ARENA_MB.
+    size_t arena_mb = 0;
+    pmem::LatencyConfig latency = pmem::LatencyConfig::off();
+    /// Bank injected PM latency and pay it once per batch with a sleep in
+    /// the shard worker (Arena::Options::defer_latency) instead of
+    /// busy-waiting inside each persist. Default on: shards' device stalls
+    /// then overlap even when workers share cores — the behavior of
+    /// independent PM devices. Turn off to keep the figure benches'
+    /// spin-per-persist device model.
+    bool defer_latency = true;
+    bool check = false;   // PMCheck on every shard arena (tests)
+    bool shadow = false;  // crash simulation (tests)
+    /// Directory for file-backed shard arenas ("<dir>/shard-<i>.arena").
+    /// A relative path resolves under $HART_ARENA_DIR (Arena rules).
+    /// Empty: anonymous arenas, no restart capability.
+    std::string arena_dir;
+    core::Hart::Options hart;
+  };
+
+  /// Opens (or recovers) all shards; shard recovery runs in parallel, one
+  /// thread per shard. Throws on any shard failure.
+  explicit Hartd(const Options& opts);
+  ~Hartd();
+  Hartd(const Hartd&) = delete;
+  Hartd& operator=(const Hartd&) = delete;
+
+  [[nodiscard]] size_t shard_of(std::string_view key) const {
+    return static_cast<size_t>(shard_hash(key) % shards_.size());
+  }
+
+  /// Route to the key's shard. The ack fires exactly once — immediately
+  /// with kShuttingDown when the service is already draining.
+  /// Returns false in that case.
+  bool submit(Request req, Shard::Ack ack);
+
+  /// Synchronous convenience wrapper around submit().
+  Response execute(Request req);
+
+  /// Graceful shutdown: stop accepting, drain every shard queue (all
+  /// pending acks fire), quiesce every Hart. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] Shard& shard(size_t i) { return *shards_[i]; }
+  /// True when every file-backed shard re-opened an existing arena.
+  [[nodiscard]] bool reopened() const { return reopened_; }
+  /// Total live keys across shards.
+  [[nodiscard]] size_t total_size() const;
+
+ private:
+  Options opts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> down_{false};
+  bool reopened_ = false;
+};
+
+}  // namespace hart::server

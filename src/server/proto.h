@@ -1,0 +1,182 @@
+// hartd wire protocol — a small binary request/response format shared by
+// the in-process transport and the TCP loopback listener.
+//
+// Framing: every message is `u32 body_len` followed by `body_len` bytes of
+// body. All integers are host byte order (the protocol is loopback /
+// same-host only; keys and values are raw bytes, NUL-safe).
+//
+//   request body : u64 id | u8 op | u8 key_len | u16 val_len | key | value
+//   response body: u64 id | u8 status | u8 pad | u16 val_len | u64 epoch
+//                  | value
+//
+// `id` is a client-chosen correlation token: the pipelined client sends
+// many requests without waiting and matches responses by id (per-shard
+// batching means responses can complete out of submission order across
+// shards).
+//
+// `epoch` is the group-commit epoch that made the write durable (see
+// Hart::flush_epoch); 0 for reads and unfenced responses.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace hart::server {
+
+enum class OpCode : uint8_t {
+  kPut = 1,     // insert-or-update
+  kGet = 2,
+  kUpdate = 3,  // update-only (miss -> kNotFound)
+  kDelete = 4,
+  kPing = 5,
+};
+
+enum class Status : uint8_t {
+  kOk = 0,            // applied; for kPut: inserted a fresh key
+  kUpdated = 1,       // kPut hit an existing key and updated it in place
+  kNotFound = 2,      // kGet / kUpdate / kDelete missed
+  kBadRequest = 3,    // malformed frame or invalid key/value
+  kShardFailed = 4,   // shard hit a (simulated) crash point; NOT acked
+  kShuttingDown = 5,  // submitted after graceful shutdown began
+  kNetError = 6,      // client-side only: transport failed before a reply
+};
+
+inline const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kUpdated: return "updated";
+    case Status::kNotFound: return "not-found";
+    case Status::kBadRequest: return "bad-request";
+    case Status::kShardFailed: return "shard-failed";
+    case Status::kShuttingDown: return "shutting-down";
+    default: return "net-error";
+  }
+}
+
+/// An acked write: the server persisted it before replying.
+inline bool is_acked_write(Status s) {
+  return s == Status::kOk || s == Status::kUpdated;
+}
+
+inline bool is_write(OpCode op) {
+  return op == OpCode::kPut || op == OpCode::kUpdate || op == OpCode::kDelete;
+}
+
+struct Request {
+  OpCode op = OpCode::kPing;
+  std::string key;
+  std::string value;
+};
+
+struct Response {
+  Status status = Status::kOk;
+  std::string value;
+  uint64_t epoch = 0;
+};
+
+/// Frames are tiny (key <= 24, value <= 64); anything bigger than this is
+/// a corrupt or hostile stream and the connection is dropped.
+inline constexpr uint32_t kMaxFrameBody = 4096;
+inline constexpr size_t kRequestFixed = 8 + 1 + 1 + 2;
+inline constexpr size_t kResponseFixed = 8 + 1 + 1 + 2 + 8;
+
+namespace detail {
+template <typename T>
+void append_int(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+template <typename T>
+T read_int(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+}  // namespace detail
+
+inline void encode_request(uint64_t id, const Request& r, std::string* out) {
+  const uint32_t body = static_cast<uint32_t>(kRequestFixed + r.key.size() +
+                                              r.value.size());
+  detail::append_int(out, body);
+  detail::append_int(out, id);
+  detail::append_int(out, static_cast<uint8_t>(r.op));
+  detail::append_int(out, static_cast<uint8_t>(r.key.size()));
+  detail::append_int(out, static_cast<uint16_t>(r.value.size()));
+  out->append(r.key);
+  out->append(r.value);
+}
+
+inline bool decode_request(const char* p, size_t n, uint64_t* id,
+                           Request* r) {
+  if (n < kRequestFixed) return false;
+  *id = detail::read_int<uint64_t>(p);
+  const auto op = detail::read_int<uint8_t>(p + 8);
+  const size_t klen = detail::read_int<uint8_t>(p + 9);
+  const size_t vlen = detail::read_int<uint16_t>(p + 10);
+  if (op < static_cast<uint8_t>(OpCode::kPut) ||
+      op > static_cast<uint8_t>(OpCode::kPing) ||
+      n != kRequestFixed + klen + vlen)
+    return false;
+  r->op = static_cast<OpCode>(op);
+  r->key.assign(p + kRequestFixed, klen);
+  r->value.assign(p + kRequestFixed + klen, vlen);
+  return true;
+}
+
+inline void encode_response(uint64_t id, const Response& r,
+                            std::string* out) {
+  const uint32_t body =
+      static_cast<uint32_t>(kResponseFixed + r.value.size());
+  detail::append_int(out, body);
+  detail::append_int(out, id);
+  detail::append_int(out, static_cast<uint8_t>(r.status));
+  detail::append_int(out, static_cast<uint8_t>(0));
+  detail::append_int(out, static_cast<uint16_t>(r.value.size()));
+  detail::append_int(out, r.epoch);
+  out->append(r.value);
+}
+
+inline bool decode_response(const char* p, size_t n, uint64_t* id,
+                            Response* r) {
+  if (n < kResponseFixed) return false;
+  *id = detail::read_int<uint64_t>(p);
+  const auto st = detail::read_int<uint8_t>(p + 8);
+  const size_t vlen = detail::read_int<uint16_t>(p + 10);
+  if (st > static_cast<uint8_t>(Status::kNetError) ||
+      n != kResponseFixed + vlen)
+    return false;
+  r->status = static_cast<Status>(st);
+  r->epoch = detail::read_int<uint64_t>(p + 12);
+  r->value.assign(p + kResponseFixed, vlen);
+  return true;
+}
+
+/// Pull one complete frame body out of a receive buffer.
+/// Returns +1 and moves the body into `*body` when a full frame is
+/// buffered, 0 when more bytes are needed, -1 on a malformed stream.
+inline int take_frame(std::string* buf, std::string* body) {
+  if (buf->size() < 4) return 0;
+  const uint32_t len = detail::read_int<uint32_t>(buf->data());
+  if (len > kMaxFrameBody) return -1;
+  if (buf->size() < 4 + static_cast<size_t>(len)) return 0;
+  body->assign(buf->data() + 4, len);
+  buf->erase(0, 4 + static_cast<size_t>(len));
+  return 1;
+}
+
+/// Key -> shard partitioning hash (FNV-1a over the whole key; independent
+/// of both the HashDir bucket hash and the hash-key prefix, so shard
+/// balance does not correlate with partition balance).
+inline uint64_t shard_hash(std::string_view key) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace hart::server

@@ -1,0 +1,82 @@
+// Per-shard MPSC submission queue: many client/connection threads push,
+// one shard worker drains in batches. Bounded (back-pressure: push blocks
+// while full), closeable (graceful shutdown drains the tail, then
+// pop_batch returns false).
+//
+// Deliberately a mutex+condvar queue, not a lock-free ring: the critical
+// sections are a deque splice, the worker amortizes one lock acquisition
+// over a whole batch, and correctness under TSAN matters more here than
+// the last 100 ns of enqueue latency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace hart::server {
+
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(size_t capacity) : cap_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks while the queue is full. Returns false (item dropped) if the
+  /// queue was closed.
+  bool push(T item) {
+    std::unique_lock lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || q_.size() < cap_; });
+    if (closed_) return false;
+    q_.push_back(std::move(item));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item is queued or the queue is closed, then
+  /// moves up to `max_items` into `*out` (cleared first). Returns false
+  /// only when the queue is closed AND fully drained — the consumer's
+  /// termination condition.
+  bool pop_batch(std::vector<T>* out, size_t max_items) {
+    out->clear();
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return false;  // closed and drained
+    const size_t n = q_.size() < max_items ? q_.size() : max_items;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    lk.unlock();
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// After close(): pushes fail, the consumer drains the tail and then
+  /// pop_batch returns false. Idempotent.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] size_t size() const {
+    std::lock_guard lk(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> q_;
+  const size_t cap_;
+  bool closed_ = false;
+};
+
+}  // namespace hart::server

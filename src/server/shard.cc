@@ -1,0 +1,145 @@
+#include "server/shard.h"
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace hart::server {
+
+Shard::Shard(const Options& opts)
+    : opts_(opts),
+      arena_(std::make_unique<pmem::Arena>(opts.arena)),
+      hart_(std::make_unique<core::Hart>(*arena_, opts.hart)),
+      queue_(opts.queue_capacity) {
+  worker_ = std::thread([this] { worker(); });
+}
+
+Shard::~Shard() { shutdown(); }
+
+bool Shard::submit(Request req, Ack ack) {
+  Pending p;
+  p.req = std::move(req);
+  p.ack = std::move(ack);
+  return queue_.push(std::move(p));
+}
+
+void Shard::shutdown() {
+  if (down_.exchange(true)) return;
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+  hart_->quiesce();
+}
+
+void Shard::apply(Pending* p) {
+  Response& r = p->resp;
+  try {
+    switch (p->req.op) {
+      case OpCode::kPut:
+        r.status = hart_->insert(p->req.key, p->req.value) ? Status::kOk
+                                                           : Status::kUpdated;
+        p->fence = true;
+        break;
+      case OpCode::kGet:
+        r.status = hart_->search(p->req.key, &r.value) ? Status::kOk
+                                                       : Status::kNotFound;
+        break;
+      case OpCode::kUpdate:
+        if (hart_->update(p->req.key, p->req.value)) {
+          r.status = Status::kOk;
+          p->fence = true;
+        } else {
+          r.status = Status::kNotFound;
+        }
+        break;
+      case OpCode::kDelete:
+        if (hart_->remove(p->req.key)) {
+          r.status = Status::kOk;
+          p->fence = true;
+        } else {
+          r.status = Status::kNotFound;
+        }
+        break;
+      case OpCode::kPing:
+        r.status = Status::kOk;
+        break;
+      default:
+        r.status = Status::kBadRequest;
+        break;
+    }
+  } catch (const std::invalid_argument&) {
+    // Key/value validation rejects before any mutation; safe to continue.
+    r.status = Status::kBadRequest;
+    p->fence = false;
+  }
+}
+
+void Shard::worker() {
+#ifdef __linux__
+  // Deferred-latency batch stalls are tens of µs; the default 50 µs timer
+  // slack would round every one of them up. 1 µs keeps the model honest.
+  ::prctl(PR_SET_TIMERSLACK, 1000UL, 0, 0, 0);
+#endif
+  std::vector<Pending> batch;
+  while (queue_.pop_batch(&batch, opts_.batch_size)) {
+    bool any_write = false;
+    for (auto& p : batch) {
+      if (failed_.load(std::memory_order_relaxed)) {
+        p.resp.status = Status::kShardFailed;
+        stats_.failed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      try {
+        apply(&p);
+        any_write |= p.fence;
+        stats_.ops.fetch_add(1, std::memory_order_relaxed);
+      } catch (const pmem::CrashPoint&) {
+        // A simulated crash point fired mid-operation: the DRAM side of
+        // this shard may now disagree with PM, so stop serving. The
+        // in-flight request is NOT acked as durable; earlier requests in
+        // the batch completed their own persists and stay acked.
+        failed_.store(true, std::memory_order_release);
+        p.resp.status = Status::kShardFailed;
+        p.resp.epoch = 0;
+        stats_.failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    // Group commit: one epoch fence for the whole batch. Every op already
+    // persisted its own stores before returning, so the fence is the
+    // amortized batch-final persistent() — its completion releases all the
+    // acks below (a request is never acked before its epoch completed).
+    uint64_t epoch = 0;
+    if (any_write && !failed_.load(std::memory_order_relaxed)) {
+      try {
+        epoch = hart_->flush_epoch();
+        stats_.epochs.fetch_add(1, std::memory_order_relaxed);
+      } catch (const pmem::CrashPoint&) {
+        // The fence itself crashed. The batch's writes are still each
+        // individually durable, so the acks below remain truthful; the
+        // shard stops serving like any other crash point.
+        failed_.store(true, std::memory_order_release);
+      }
+    }
+    // Deferred-latency arenas bank the injected PM delay instead of
+    // spinning inside each persist; pay the whole batch's device time here
+    // with one sleep, before the acks — so an ack still implies the
+    // modeled device completed, but stalls of different shards overlap on
+    // a time-shared host instead of serializing in busy-wait loops.
+    stats_.device_ns.fetch_add(arena_->pay_latency(),
+                               std::memory_order_relaxed);
+    for (auto& p : batch) {
+      if (p.fence && is_acked_write(p.resp.status)) {
+        p.resp.epoch = epoch;
+        stats_.write_acks.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (p.ack) p.ack(std::move(p.resp));
+    }
+    stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace hart::server

@@ -1,0 +1,91 @@
+// One hartd shard: a private pmem::Arena + Hart, an MPSC submission queue
+// and a worker thread that drains requests in batches and group-commits
+// persists — one Hart::flush_epoch() fence per batch that performed a
+// write, with every request in the batch acked only after that epoch's
+// persistent() completed. See DESIGN.md §5.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "hart/hart.h"
+#include "pmem/arena.h"
+#include "server/proto.h"
+#include "server/queue.h"
+
+namespace hart::server {
+
+struct ShardStats {
+  std::atomic<uint64_t> ops{0};         // requests applied (any status)
+  std::atomic<uint64_t> write_acks{0};  // durable writes acked
+  std::atomic<uint64_t> batches{0};     // batches drained
+  std::atomic<uint64_t> epochs{0};      // group-commit fences issued
+  std::atomic<uint64_t> failed{0};      // requests refused after a crash point
+  std::atomic<uint64_t> device_ns{0};   // deferred PM latency paid per batch
+};
+
+class Shard {
+ public:
+  struct Options {
+    size_t index = 0;
+    pmem::Arena::Options arena;  // file_path already chosen by the caller
+    core::Hart::Options hart;
+    size_t batch_size = 32;
+    size_t queue_capacity = 4096;
+  };
+
+  /// Completion callback. Invoked exactly once per submitted request, from
+  /// the shard worker (or from submit() itself when already shut down).
+  using Ack = std::function<void(Response)>;
+
+  /// Opens the arena (recovering an existing file-backed HART) and starts
+  /// the worker.
+  explicit Shard(const Options& opts);
+  ~Shard();
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Enqueue a request. Returns false without invoking `ack` when the
+  /// shard is shutting down (the caller acks kShuttingDown itself).
+  bool submit(Request req, Ack ack);
+
+  /// Graceful: close the queue, drain every pending batch (their acks all
+  /// fire), join the worker, quiesce the Hart. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] core::Hart& hart() { return *hart_; }
+  [[nodiscard]] const core::Hart& hart() const { return *hart_; }
+  [[nodiscard]] pmem::Arena& arena() { return *arena_; }
+  [[nodiscard]] const ShardStats& stats() const { return stats_; }
+  /// True once a simulated crash point fired in the worker; subsequent
+  /// requests are refused with kShardFailed and never acked as durable.
+  [[nodiscard]] bool failed() const {
+    return failed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] size_t index() const { return opts_.index; }
+
+ private:
+  struct Pending {
+    Request req;
+    Ack ack;
+    Response resp;
+    bool fence = false;  // performed a durable write: ack after the epoch
+  };
+
+  void worker();
+  void apply(Pending* p);
+
+  Options opts_;
+  std::unique_ptr<pmem::Arena> arena_;
+  std::unique_ptr<core::Hart> hart_;
+  MpscQueue<Pending> queue_;
+  std::atomic<bool> failed_{false};
+  std::atomic<bool> down_{false};
+  ShardStats stats_;
+  std::thread worker_;  // last: started after everything above is live
+};
+
+}  // namespace hart::server

@@ -1,0 +1,139 @@
+#include "server/tcp.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hart::server {
+
+namespace {
+/// write() the whole buffer; MSG_NOSIGNAL so a dead peer yields EPIPE, not
+/// SIGPIPE. Returns false on any error (the connection is then abandoned).
+bool send_all(int fd, const char* p, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+}  // namespace
+
+TcpServer::TcpServer(Hartd& db, uint16_t port) : db_(db) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("cannot bind/listen on 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      continue;  // transient (EINTR, aborted handshake)
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    std::lock_guard lk(conns_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    conns_.push_back(conn);
+    conn_threads_.emplace_back([this, conn] { serve(conn); });
+  }
+}
+
+void TcpServer::send_response(const std::shared_ptr<Conn>& conn, uint64_t id,
+                              const Response& resp) {
+  std::string frame;
+  encode_response(id, resp, &frame);
+  std::lock_guard lk(conn->write_mu);
+  if (!conn->open) return;  // connection already torn down: drop the ack
+  if (!send_all(conn->fd, frame.data(), frame.size())) {
+    // Peer vanished; reads will notice too. Leave closing to stop()/serve.
+  }
+}
+
+void TcpServer::serve(const std::shared_ptr<Conn>& conn) {
+  std::string buf;
+  std::string body;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t r = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (r <= 0) break;  // EOF, error, or shutdown() from stop()
+    buf.append(chunk, static_cast<size_t>(r));
+    for (;;) {
+      const int got = take_frame(&buf, &body);
+      if (got < 0) return;  // malformed stream: drop the connection
+      if (got == 0) break;
+      uint64_t id = 0;
+      Request req;
+      if (!decode_request(body.data(), body.size(), &id, &req)) {
+        send_response(conn, id, Response{Status::kBadRequest, {}, 0});
+        continue;
+      }
+      db_.submit(std::move(req), [conn, id](Response resp) {
+        send_response(conn, id, resp);
+      });
+    }
+  }
+}
+
+void TcpServer::stop() {
+  if (stopping_.exchange(true)) return;
+  // Wake the accept loop, then join it so no new connections appear.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+
+  // Kick every reader out of recv(), join the connection threads, and only
+  // then close the fds — under write_mu, so a late ack can never write to
+  // a closed (possibly reused) descriptor.
+  std::vector<std::shared_ptr<Conn>> conns;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lk(conns_mu_);
+    conns.swap(conns_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& c : conns) ::shutdown(c->fd, SHUT_RDWR);
+  for (auto& t : threads)
+    if (t.joinable()) t.join();
+  for (auto& c : conns) {
+    std::lock_guard lk(c->write_mu);
+    c->open = false;
+    ::close(c->fd);
+  }
+}
+
+}  // namespace hart::server

@@ -1,0 +1,59 @@
+// TCP loopback listener for hartd: accepts connections on 127.0.0.1, reads
+// length-prefixed request frames (proto.h), submits them to the service,
+// and writes responses back as their shard acks complete (out of order
+// across shards; clients correlate by request id).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "server/hartd.h"
+
+namespace hart::server {
+
+class TcpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = kernel-chosen ephemeral port, see
+  /// port()) and starts the accept loop. Throws on bind failure.
+  TcpServer(Hartd& db, uint16_t port);
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+  /// Stop accepting, shut down every connection, join all threads. Safe to
+  /// call before or after Hartd::shutdown; pending acks that arrive after
+  /// a connection closed are dropped. Idempotent.
+  void stop();
+
+ private:
+  // Shared with in-flight ack callbacks: a response writer takes write_mu
+  // and checks `open` before using fd, so stop() can close the socket
+  // without racing a late ack.
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mu;
+    bool open = true;  // guarded by write_mu
+  };
+
+  void accept_loop();
+  void serve(const std::shared_ptr<Conn>& conn);
+  static void send_response(const std::shared_ptr<Conn>& conn, uint64_t id,
+                            const Response& resp);
+
+  Hartd& db_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace hart::server

@@ -325,6 +325,71 @@ TEST(Arena, FileBackedArenaSurvivesReopen) {
   std::filesystem::remove(path);
 }
 
+TEST(Arena, RelativeFilePathResolvesUnderArenaDirEnv) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "hart_arena_env_test" / "nested";
+  std::filesystem::remove_all(dir.parent_path());
+  ASSERT_EQ(::setenv("HART_ARENA_DIR", dir.c_str(), 1), 0);
+  struct Root {
+    uint64_t magic;
+  };
+  {
+    Arena::Options o;
+    o.size = 1 << 20;
+    o.file_path = "rel.arena";  // relative: lands under $HART_ARENA_DIR
+    Arena a(o);
+    a.root<Root>()->magic = 9;
+    a.persist(a.root<Root>(), sizeof(Root));
+  }
+  EXPECT_TRUE(std::filesystem::exists(dir / "rel.arena"));
+  EXPECT_EQ(Arena::resolve_file_path("rel.arena"), (dir / "rel.arena").string());
+  {
+    Arena::Options o;
+    o.size = 1 << 20;
+    o.file_path = "rel.arena";
+    Arena a(o);
+    EXPECT_TRUE(a.reopened());
+    EXPECT_EQ(a.root<Root>()->magic, 9u);
+  }
+  // Absolute paths ignore the env entirely.
+  const auto abs = std::filesystem::temp_directory_path() / "hart_abs.arena";
+  EXPECT_EQ(Arena::resolve_file_path(abs.string()), abs.string());
+  ASSERT_EQ(::unsetenv("HART_ARENA_DIR"), 0);
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+TEST(Arena, ZeroSizeResolvesFromArenaMbEnv) {
+  ASSERT_EQ(::setenv("HART_ARENA_MB", "8", 1), 0);
+  Arena::Options o;
+  o.size = 0;
+  Arena a(o);
+  EXPECT_EQ(a.size(), size_t{8} << 20);
+  ASSERT_EQ(::unsetenv("HART_ARENA_MB"), 0);
+  // Explicit sizes are untouched by the env.
+  ASSERT_EQ(::setenv("HART_ARENA_MB", "4", 1), 0);
+  Arena::Options o2;
+  o2.size = 2 << 20;
+  Arena b(o2);
+  EXPECT_EQ(b.size(), size_t{2} << 20);
+  ASSERT_EQ(::unsetenv("HART_ARENA_MB"), 0);
+}
+
+TEST(Arena, DeferredLatencyBanksInsteadOfSpinning) {
+  Arena::Options o = small_opts();
+  o.latency = LatencyConfig::c300_300();  // +200 ns/line both ways
+  o.defer_latency = true;
+  Arena a(o);
+  const uint64_t off = a.alloc(128, 64);
+  EXPECT_EQ(a.owed_latency_ns(), 0u);
+  a.persist(a.ptr<char>(off), 128);  // 2 lines -> 400 ns owed
+  EXPECT_EQ(a.owed_latency_ns(), 400u);
+  a.pm_read(a.ptr<char>(off), 64);  // 1 line -> +200 ns
+  EXPECT_EQ(a.owed_latency_ns(), 600u);
+  EXPECT_EQ(a.pay_latency(), 600u);
+  EXPECT_EQ(a.owed_latency_ns(), 0u);
+  EXPECT_EQ(a.pay_latency(), 0u);  // nothing owed: no sleep, returns 0
+}
+
 TEST(Arena, PmReadCountsLines) {
   Arena a(small_opts());
   const uint64_t off = a.alloc(256, 64);

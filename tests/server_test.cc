@@ -1,0 +1,236 @@
+// hartd service-layer tests: request routing, group-commit epoch acks,
+// both transports (in-process and TCP loopback), pipelined completion,
+// graceful shutdown, request validation, and PMCheck-cleanliness of the
+// whole batched-persist path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/tcp.h"
+
+namespace hart::server {
+namespace {
+
+Hartd::Options small_opts(size_t shards) {
+  Hartd::Options o;
+  o.shards = shards;
+  o.arena_mb = 32;
+  return o;
+}
+
+TEST(HartdTest, ExecuteBasicOps) {
+  Hartd db(small_opts(2));
+  EXPECT_EQ(db.execute({OpCode::kPut, "alpha", "one"}).status, Status::kOk);
+  EXPECT_EQ(db.execute({OpCode::kPut, "alpha", "two"}).status,
+            Status::kUpdated);
+  const Response got = db.execute({OpCode::kGet, "alpha", ""});
+  EXPECT_EQ(got.status, Status::kOk);
+  EXPECT_EQ(got.value, "two");
+  EXPECT_EQ(db.execute({OpCode::kUpdate, "alpha", "three"}).status,
+            Status::kOk);
+  EXPECT_EQ(db.execute({OpCode::kUpdate, "missing", "x"}).status,
+            Status::kNotFound);
+  EXPECT_EQ(db.execute({OpCode::kDelete, "alpha", ""}).status, Status::kOk);
+  EXPECT_EQ(db.execute({OpCode::kGet, "alpha", ""}).status,
+            Status::kNotFound);
+  EXPECT_EQ(db.execute({OpCode::kPing, "p", ""}).status, Status::kOk);
+  EXPECT_EQ(db.total_size(), 0u);
+}
+
+TEST(HartdTest, KeysRouteToStableShards) {
+  Hartd db(small_opts(4));
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "route-" + std::to_string(i);
+    EXPECT_EQ(db.shard_of(key), db.shard_of(key));
+    EXPECT_LT(db.shard_of(key), db.shard_count());
+    EXPECT_EQ(db.execute({OpCode::kPut, key, "v"}).status, Status::kOk);
+  }
+  EXPECT_EQ(db.total_size(), 200u);
+  size_t nonempty = 0;
+  for (size_t i = 0; i < db.shard_count(); ++i)
+    nonempty += db.shard(i).hart().size() > 0 ? 1 : 0;
+  EXPECT_GT(nonempty, 1u) << "FNV routing put every key on one shard";
+}
+
+TEST(HartdTest, WriteAcksCarryTheirEpoch) {
+  Hartd db(small_opts(1));
+  const Response w1 = db.execute({OpCode::kPut, "e1", "v"});
+  EXPECT_EQ(w1.status, Status::kOk);
+  EXPECT_GE(w1.epoch, 1u);
+  const Response w2 = db.execute({OpCode::kPut, "e2", "v"});
+  EXPECT_GT(w2.epoch, w1.epoch);  // a later batch fences a later epoch
+  // Reads do not fence and carry no epoch.
+  EXPECT_EQ(db.execute({OpCode::kGet, "e1", ""}).epoch, 0u);
+}
+
+TEST(HartdTest, GroupCommitAmortizesFences) {
+  Hartd::Options o = small_opts(1);
+  o.batch_size = 16;
+  Hartd db(o);
+  Client cl(db);
+  std::deque<uint64_t> ids;
+  for (int i = 0; i < 128; ++i)
+    ids.push_back(cl.send({OpCode::kPut, "gc-" + std::to_string(i), "v"}));
+  for (const uint64_t id : ids)
+    EXPECT_EQ(cl.wait(id).status, Status::kOk);
+  const auto& st = db.shard(0).stats();
+  EXPECT_EQ(st.write_acks.load(), 128u);
+  // Pipelined submission must have batched: far fewer fences than writes.
+  EXPECT_LT(st.epochs.load(), 128u);
+  EXPECT_GE(st.epochs.load(), st.batches.load() > 0 ? 1u : 0u);
+}
+
+TEST(ClientTest, SyncApiInProcess) {
+  Hartd db(small_opts(2));
+  Client cl(db);
+  EXPECT_EQ(cl.put("k", "v").status, Status::kOk);
+  const Response r = cl.get("k");
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.value, "v");
+  EXPECT_EQ(cl.update("k", "w").status, Status::kOk);
+  EXPECT_EQ(cl.get("k").value, "w");
+  EXPECT_EQ(cl.del("k").status, Status::kOk);
+  EXPECT_EQ(cl.get("k").status, Status::kNotFound);
+  EXPECT_EQ(cl.ping().status, Status::kOk);
+}
+
+TEST(ClientTest, PipelinedCompletesOutOfOrder) {
+  Hartd db(small_opts(4));
+  Client cl(db);
+  std::vector<uint64_t> ids;
+  ids.reserve(256);
+  for (int i = 0; i < 256; ++i)
+    ids.push_back(cl.send({OpCode::kPut, "p" + std::to_string(i), "v"}));
+  // Wait in reverse submission order: the id correlation must not care.
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it)
+    EXPECT_EQ(cl.wait(*it).status, Status::kOk);
+  EXPECT_EQ(cl.outstanding(), 0u);
+  EXPECT_EQ(db.total_size(), 256u);
+}
+
+TEST(ClientTest, TcpRoundTrip) {
+  Hartd db(small_opts(2));
+  TcpServer tcp(db, 0);  // ephemeral port
+  ASSERT_NE(tcp.port(), 0);
+  Client cl("127.0.0.1", tcp.port());
+  ASSERT_TRUE(cl.connected());
+  EXPECT_EQ(cl.put("net-key", "net-value").status, Status::kOk);
+  const Response r = cl.get("net-key");
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.value, "net-value");
+
+  std::deque<uint64_t> ids;
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(cl.send({OpCode::kPut, "tcp-" + std::to_string(i), "v"}));
+  for (const uint64_t id : ids)
+    EXPECT_EQ(cl.wait(id).status, Status::kOk);
+  EXPECT_EQ(db.total_size(), 101u);
+  tcp.stop();
+}
+
+TEST(ClientTest, ConcurrentClientsDisjointKeys) {
+  Hartd db(small_opts(4));
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 500;
+  std::vector<std::thread> pool;
+  for (int c = 0; c < kClients; ++c) {
+    pool.emplace_back([&db, c] {
+      Client cl(db);
+      std::deque<uint64_t> ids;
+      for (int i = 0; i < kPerClient; ++i) {
+        ids.push_back(cl.send({OpCode::kPut,
+                               "c" + std::to_string(c) + "-" +
+                                   std::to_string(i),
+                               "v" + std::to_string(c)}));
+        if (ids.size() >= 32) {
+          EXPECT_EQ(cl.wait(ids.front()).status, Status::kOk);
+          ids.pop_front();
+        }
+      }
+      while (!ids.empty()) {
+        EXPECT_EQ(cl.wait(ids.front()).status, Status::kOk);
+        ids.pop_front();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(db.total_size(),
+            static_cast<size_t>(kClients) * kPerClient);
+  Client check(db);
+  for (int c = 0; c < kClients; ++c)
+    EXPECT_EQ(check.get("c" + std::to_string(c) + "-0").value,
+              "v" + std::to_string(c));
+}
+
+TEST(HartdTest, ShutdownDrainsEveryAck) {
+  Hartd db(small_opts(2));
+  std::atomic<int> acked{0};
+  constexpr int kInflight = 300;
+  for (int i = 0; i < kInflight; ++i)
+    db.submit({OpCode::kPut, "drain-" + std::to_string(i), "v"},
+              [&acked](Response r) {
+                EXPECT_TRUE(r.status == Status::kOk ||
+                            r.status == Status::kShuttingDown);
+                acked.fetch_add(1);
+              });
+  db.shutdown();
+  // Drain guarantee: every submitted request was acked before shutdown()
+  // returned — no callback is dropped on the floor.
+  EXPECT_EQ(acked.load(), kInflight);
+  // After shutdown, submission fails fast with an immediate ack.
+  bool immediate = false;
+  EXPECT_FALSE(db.submit({OpCode::kPut, "late", "v"}, [&immediate](Response r) {
+    EXPECT_EQ(r.status, Status::kShuttingDown);
+    immediate = true;
+  }));
+  EXPECT_TRUE(immediate);
+}
+
+TEST(HartdTest, BadRequestsAreRejectedNotFatal) {
+  Hartd db(small_opts(2));
+  const std::string nul_key{"a\0b", 3};
+  EXPECT_EQ(db.execute({OpCode::kPut, nul_key, "v"}).status,
+            Status::kBadRequest);
+  EXPECT_EQ(db.execute({OpCode::kPut, std::string(64, 'k'), "v"}).status,
+            Status::kBadRequest);  // key > kMaxKeyLen
+  EXPECT_EQ(db.execute({OpCode::kPut, "ok", ""}).status,
+            Status::kBadRequest);  // empty value
+  // The shard is still healthy afterwards.
+  EXPECT_EQ(db.execute({OpCode::kPut, "ok", "v"}).status, Status::kOk);
+  EXPECT_EQ(db.total_size(), 1u);
+}
+
+TEST(HartdTest, BatchedPersistPathIsPmCheckClean) {
+  Hartd::Options o = small_opts(2);
+  o.check = true;  // PMCheck shadows every shard arena
+  Hartd db(o);
+  {
+    Client cl(db);
+    std::deque<uint64_t> ids;
+    for (int i = 0; i < 400; ++i) {
+      const std::string k = "chk-" + std::to_string(i);
+      ids.push_back(cl.send({OpCode::kPut, k, "v1"}));
+      ids.push_back(cl.send({OpCode::kUpdate, k, "v2"}));
+      ids.push_back(cl.send({OpCode::kGet, k, ""}));
+      if (i % 3 == 0) ids.push_back(cl.send({OpCode::kDelete, k, ""}));
+      while (ids.size() >= 64) {
+        cl.wait(ids.front());
+        ids.pop_front();
+      }
+    }
+    cl.wait_all();
+  }
+  db.shutdown();
+  for (size_t i = 0; i < db.shard_count(); ++i) {
+    const pmcheck::Report rep = db.shard(i).arena().pm_report();
+    EXPECT_EQ(rep.total(), 0u) << "shard " << i << ":\n" << rep.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace hart::server

@@ -1,0 +1,430 @@
+// hartd_loadgen — multi-client load driver for hartd.
+//
+// Drives the service with the repo's workload mixes (insert-only "Random",
+// or the paper's YCSB-style Read-Intensive / RMW / Write-Intensive mixes)
+// across a configurable number of client connections, each pipelining up
+// to --pipeline requests. Works over TCP (--port) or fully in-process
+// (--inproc, which spins up its own Hartd).
+//
+// Crash harness support:
+//   --acked-log P   append each acked insert's key to P (one write(2) per
+//                   ack, after the ack) — the log is always a subset of
+//                   the server's durable state, even across SIGKILL.
+//   --verify-acked P  read keys from P (tolerating a torn final line) and
+//                   GET each; exit 1 if any acked key is missing or has
+//                   the wrong value. This is the restart check.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "server/client.h"
+#include "server/tcp.h"
+#include "workload/mixes.h"
+
+namespace {
+
+using hart::server::Client;
+using hart::server::Hartd;
+using hart::server::OpCode;
+using hart::server::Request;
+using hart::server::Response;
+using hart::server::Status;
+
+struct Config {
+  std::string host = "127.0.0.1";
+  long port = -1;
+  bool inproc = false;
+  size_t clients = 4;
+  size_t ops = 100000;  // per client; 0 = duration mode
+  double seconds = 0;
+  std::string mix = "insert";
+  size_t pipeline = 32;
+  size_t preload = 5000;  // per client, for the mixed workloads
+  std::string acked_log;
+  std::string verify_acked;
+  // --inproc server knobs
+  size_t shards = 4;
+  size_t batch = 32;
+  std::string arena_dir;
+  size_t arena_mb = 0;
+  hart::pmem::LatencyConfig latency = hart::pmem::LatencyConfig::off();
+  bool defer_latency = true;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --port N          connect to hartd on 127.0.0.1:N\n"
+      "  --host H          server address           (default 127.0.0.1)\n"
+      "  --inproc          run an in-process Hartd instead of TCP\n"
+      "  --clients N       client connections/threads        (default 4)\n"
+      "  --ops N           ops per client (0 = use --seconds) (default 100000)\n"
+      "  --seconds S       run for S seconds instead of an op budget\n"
+      "  --mix M           insert | read-intensive | rmw | write-intensive\n"
+      "  --pipeline D      outstanding requests per client   (default 32)\n"
+      "  --preload N       preloaded keys per client for mixes (default 5000)\n"
+      "  --acked-log P     append acked insert keys to P (insert mix only)\n"
+      "  --verify-acked P  GET every key in P; exit 1 on any loss\n"
+      "  in-process server knobs (--inproc):\n"
+      "  --shards N --batch N --arena-dir D --arena-mb N --latency W/R\n"
+      "  --spin-latency    busy-wait injected latency per persist instead\n"
+      "                    of banking it and sleeping once per batch\n"
+      "  --help            this text\n",
+      argv0);
+}
+
+/// Deterministic 8-byte value for a key — load and verify agree on it.
+std::string value_of(const std::string& key) {
+  const uint64_t h = hart::server::shard_hash(key);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf, 8);
+}
+
+/// Distinct keys per client: 2-char client prefix + base-36 counter.
+std::string key_of(size_t client, uint64_t i) {
+  char buf[24];
+  buf[0] = static_cast<char>('A' + (client / 26) % 26);
+  buf[1] = static_cast<char>('A' + client % 26);
+  for (int p = 9; p >= 2; --p) {
+    const uint64_t d = i % 36;
+    buf[p] = d < 10 ? static_cast<char>('0' + d)
+                    : static_cast<char>('a' + d - 10);
+    i /= 36;
+  }
+  return std::string(buf, 10);
+}
+
+struct AckLog {
+  int fd = -1;
+  void open(const std::string& path) {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+      std::perror("loadgen: cannot open --acked-log");
+      std::exit(2);
+    }
+  }
+  /// One write(2) per line: atomic under O_APPEND, and in the kernel page
+  /// cache the instant it returns — a SIGKILL cannot unwrite it.
+  void append(const std::string& key) {
+    std::string line = key + "\n";
+    (void)!::write(fd, line.data(), line.size());
+  }
+};
+
+struct Counters {
+  std::atomic<uint64_t> acked{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> errors{0};
+};
+
+const hart::workload::MixSpec* mix_spec(const std::string& name) {
+  if (name == "read-intensive") return &hart::workload::kReadIntensive;
+  if (name == "rmw") return &hart::workload::kReadModifyWrite;
+  if (name == "write-intensive") return &hart::workload::kWriteIntensive;
+  return nullptr;  // "insert"
+}
+
+/// One client: pipelined request loop until the op budget or deadline.
+void run_client(Client& cli, const Config& cfg, size_t id, AckLog* log,
+                Counters* ctr) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(cfg.seconds));
+  const bool timed = cfg.ops == 0;
+  const hart::workload::MixSpec* mix = mix_spec(cfg.mix);
+
+  // Mixed workloads: preload synchronously, then follow a generated op
+  // stream over the client's private key pool.
+  std::vector<hart::workload::Op> ops;
+  size_t pool = 0;
+  if (mix != nullptr) {
+    const size_t budget = timed ? 1000000 : cfg.ops;
+    pool = cfg.preload + budget / 2 + 16;
+    ops = hart::workload::make_mixed_ops(budget, cfg.preload, pool, *mix,
+                                         /*seed=*/7 + id);
+    for (size_t i = 0; i < cfg.preload; ++i) {
+      const std::string k = key_of(id, i);
+      if (!hart::server::is_acked_write(cli.put(k, value_of(k)).status))
+        ctr->errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::deque<std::pair<uint64_t, std::string>> inflight;  // req id -> key
+  auto drain_one = [&] {
+    auto [rid, key] = std::move(inflight.front());
+    inflight.pop_front();
+    const Response r = cli.wait(rid);
+    switch (r.status) {
+      case Status::kOk:
+      case Status::kUpdated:
+        ctr->acked.fetch_add(1, std::memory_order_relaxed);
+        if (log != nullptr && !key.empty()) log->append(key);
+        break;
+      case Status::kNotFound:
+        ctr->misses.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        ctr->errors.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    return r.status != Status::kNetError &&
+           r.status != Status::kShuttingDown;
+  };
+
+  bool alive = true;
+  for (uint64_t i = 0; alive; ++i) {
+    if (timed) {
+      if (std::chrono::steady_clock::now() >= deadline) break;
+    } else if (i >= cfg.ops) {
+      break;
+    }
+    while (alive && inflight.size() >= cfg.pipeline) alive = drain_one();
+    if (!alive) break;
+
+    Request req;
+    std::string logged_key;
+    if (mix == nullptr) {
+      req.op = OpCode::kPut;
+      req.key = key_of(id, i);
+      req.value = value_of(req.key);
+      logged_key = req.key;
+    } else {
+      const auto& op = ops[i % ops.size()];
+      const std::string k = key_of(id, op.key_idx);
+      switch (op.type) {
+        case hart::workload::OpType::kInsert:
+          req = {OpCode::kPut, k, value_of(k)};
+          break;
+        case hart::workload::OpType::kSearch:
+          req = {OpCode::kGet, k, {}};
+          break;
+        case hart::workload::OpType::kUpdate:
+          req = {OpCode::kUpdate, k, value_of(k)};
+          break;
+        case hart::workload::OpType::kDelete:
+          req = {OpCode::kDelete, k, {}};
+          break;
+      }
+    }
+    inflight.emplace_back(cli.send(std::move(req)), std::move(logged_key));
+  }
+  while (!inflight.empty() && drain_one()) {
+  }
+  while (!inflight.empty()) {  // transport died: count the remainder
+    inflight.pop_front();
+    ctr->errors.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+int verify_acked(const Config& cfg, Hartd* local) {
+  std::ifstream in(cfg.verify_acked, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "loadgen: cannot read %s\n",
+                 cfg.verify_acked.c_str());
+    return 2;
+  }
+  // Only newline-terminated lines count: a SIGKILL can tear the final
+  // line, and a torn line was by construction written after its ack was
+  // durable anyway — skipping it never hides a loss.
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  std::vector<std::string> keys;
+  std::unordered_set<std::string> seen;
+  size_t start = 0;
+  for (size_t nl = all.find('\n'); nl != std::string::npos;
+       start = nl + 1, nl = all.find('\n', start)) {
+    std::string line = all.substr(start, nl - start);
+    if (!line.empty() && seen.insert(line).second)
+      keys.push_back(std::move(line));
+  }
+
+  std::unique_ptr<Client> cli =
+      local != nullptr ? std::make_unique<Client>(*local)
+                       : std::make_unique<Client>(
+                             cfg.host, static_cast<uint16_t>(cfg.port));
+  size_t missing = 0, wrong = 0;
+  for (const auto& key : keys) {
+    const Response r = cli->get(key);
+    if (r.status != Status::kOk) {
+      ++missing;
+      if (missing <= 10)
+        std::fprintf(stderr, "loadgen: ACKED KEY LOST: %s (%s)\n",
+                     key.c_str(), hart::server::status_name(r.status));
+    } else if (r.value != value_of(key)) {
+      ++wrong;
+      if (wrong <= 10)
+        std::fprintf(stderr, "loadgen: ACKED KEY CORRUPT: %s\n", key.c_str());
+    }
+  }
+  std::printf("loadgen: verified %zu acked keys: %zu missing, %zu corrupt\n",
+              keys.size(), missing, wrong);
+  return missing + wrong == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "loadgen: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (a == "--host") {
+      cfg.host = need("--host");
+    } else if (a == "--port") {
+      cfg.port = std::strtol(need("--port"), nullptr, 10);
+    } else if (a == "--inproc") {
+      cfg.inproc = true;
+    } else if (a == "--clients") {
+      cfg.clients = std::strtoull(need("--clients"), nullptr, 10);
+    } else if (a == "--ops") {
+      cfg.ops = std::strtoull(need("--ops"), nullptr, 10);
+    } else if (a == "--seconds") {
+      cfg.seconds = std::strtod(need("--seconds"), nullptr);
+      cfg.ops = 0;
+    } else if (a == "--mix") {
+      cfg.mix = need("--mix");
+    } else if (a == "--pipeline") {
+      cfg.pipeline = std::strtoull(need("--pipeline"), nullptr, 10);
+    } else if (a == "--preload") {
+      cfg.preload = std::strtoull(need("--preload"), nullptr, 10);
+    } else if (a == "--acked-log") {
+      cfg.acked_log = need("--acked-log");
+    } else if (a == "--verify-acked") {
+      cfg.verify_acked = need("--verify-acked");
+    } else if (a == "--shards") {
+      cfg.shards = std::strtoull(need("--shards"), nullptr, 10);
+    } else if (a == "--batch") {
+      cfg.batch = std::strtoull(need("--batch"), nullptr, 10);
+    } else if (a == "--arena-dir") {
+      cfg.arena_dir = need("--arena-dir");
+    } else if (a == "--arena-mb") {
+      cfg.arena_mb = std::strtoull(need("--arena-mb"), nullptr, 10);
+    } else if (a == "--latency") {
+      const std::string v = need("--latency");
+      const size_t slash = v.find('/');
+      if (slash == std::string::npos) {
+        std::fprintf(stderr, "loadgen: --latency wants W/R (e.g. 300/100)\n");
+        return 2;
+      }
+      cfg.latency.pm_write_ns =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+      cfg.latency.pm_read_ns = static_cast<uint32_t>(
+          std::strtoul(v.c_str() + slash + 1, nullptr, 10));
+    } else if (a == "--spin-latency") {
+      cfg.defer_latency = false;
+    } else {
+      std::fprintf(stderr, "loadgen: unknown flag '%s' (--help)\n",
+                   a.c_str());
+      return 2;
+    }
+  }
+  if (!cfg.inproc && cfg.port < 0) {
+    std::fprintf(stderr, "loadgen: need --port or --inproc (--help)\n");
+    return 2;
+  }
+  if (!cfg.acked_log.empty() && cfg.mix != "insert") {
+    std::fprintf(stderr,
+                 "loadgen: --acked-log requires --mix insert (delete ops "
+                 "would falsify the replay)\n");
+    return 2;
+  }
+  if (cfg.mix != "insert" && mix_spec(cfg.mix) == nullptr) {
+    std::fprintf(stderr, "loadgen: unknown mix '%s'\n", cfg.mix.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<Hartd> local;
+  if (cfg.inproc) {
+    Hartd::Options o;
+    o.shards = cfg.shards;
+    o.batch_size = cfg.batch;
+    o.arena_dir = cfg.arena_dir;
+    o.arena_mb = cfg.arena_mb;
+    o.latency = cfg.latency;
+    o.defer_latency = cfg.defer_latency;
+    local = std::make_unique<Hartd>(o);
+  }
+
+  if (!cfg.verify_acked.empty()) return verify_acked(cfg, local.get());
+
+  AckLog log;
+  if (!cfg.acked_log.empty()) log.open(cfg.acked_log);
+  AckLog* logp = cfg.acked_log.empty() ? nullptr : &log;
+
+  // One connection (or in-process client) per client thread.
+  std::vector<std::unique_ptr<Client>> clients;
+  for (size_t c = 0; c < cfg.clients; ++c) {
+    try {
+      clients.push_back(local != nullptr
+                            ? std::make_unique<Client>(*local)
+                            : std::make_unique<Client>(
+                                  cfg.host, static_cast<uint16_t>(cfg.port)));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "loadgen: connect failed: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  Counters ctr;
+  hart::common::Stopwatch sw;
+  std::vector<std::thread> pool;
+  for (size_t c = 0; c < cfg.clients; ++c)
+    pool.emplace_back(
+        [&, c] { run_client(*clients[c], cfg, c, logp, &ctr); });
+  for (auto& t : pool) t.join();
+  const double secs = sw.seconds();
+
+  const uint64_t acked = ctr.acked.load();
+  std::printf(
+      "loadgen: mix=%s clients=%zu pipeline=%zu: %llu acked, %llu miss, "
+      "%llu errors in %.2fs = %.0f ops/s\n",
+      cfg.mix.c_str(), cfg.clients, cfg.pipeline,
+      static_cast<unsigned long long>(acked),
+      static_cast<unsigned long long>(ctr.misses.load()),
+      static_cast<unsigned long long>(ctr.errors.load()), secs,
+      (static_cast<double>(acked) + static_cast<double>(ctr.misses.load())) /
+          (secs > 0 ? secs : 1));
+  if (local != nullptr) {
+    local->shutdown();
+    for (size_t s = 0; s < local->shard_count(); ++s) {
+      const auto& st = local->shard(s).stats();
+      std::printf(
+          "  shard %zu: %llu ops, %llu batches, %llu epochs (avg batch "
+          "%.1f)\n",
+          s, static_cast<unsigned long long>(st.ops.load()),
+          static_cast<unsigned long long>(st.batches.load()),
+          static_cast<unsigned long long>(st.epochs.load()),
+          st.batches.load() != 0 ? static_cast<double>(st.ops.load()) /
+                                       static_cast<double>(st.batches.load())
+                                 : 0.0);
+    }
+  }
+  // Connection loss mid-run is an expected outcome for the crash harness:
+  // the acked log stays valid. Exit 0 unless nothing at all succeeded.
+  return acked > 0 || ctr.misses.load() > 0 ? 0 : 1;
+}

@@ -1,0 +1,145 @@
+// hartd — the HART KV service daemon. Serves N file-backed (or anonymous)
+// HART shards over a TCP loopback listener; SIGINT/SIGTERM trigger a
+// graceful shutdown (drain queues, quiesce shards, sync arenas). With
+// --arena-dir, a restart after a crash recovers every shard and loses no
+// acked write. See README.md "hartd quickstart".
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "server/client.h"
+#include "server/tcp.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --port N        TCP port on 127.0.0.1 (0 = ephemeral; default 7677)\n"
+      "  --port-file P   write the bound port to file P (for scripts)\n"
+      "  --shards N      number of HART shards               (default 4)\n"
+      "  --batch N       max requests per group-commit batch (default 32)\n"
+      "  --queue N       per-shard submission queue capacity (default 4096)\n"
+      "  --arena-dir D   file-backed shard arenas in D (relative paths\n"
+      "                  resolve under $HART_ARENA_DIR); omit = in-memory\n"
+      "  --arena-mb N    per-shard arena MiB (default $HART_ARENA_MB or 256)\n"
+      "  --latency W/R   PM write/read latency ns (e.g. 300/100; default off)\n"
+      "  --spin-latency  busy-wait injected latency inside each persist\n"
+      "                  (default: bank it, pay per batch with a sleep)\n"
+      "  --check         enable PMCheck on every shard arena\n"
+      "  --help          this text\n",
+      argv0);
+}
+
+bool parse_latency(const std::string& s, hart::pmem::LatencyConfig* lat) {
+  const size_t slash = s.find('/');
+  if (slash == std::string::npos) return false;
+  lat->pm_write_ns = static_cast<uint32_t>(std::strtoul(s.c_str(), nullptr, 10));
+  lat->pm_read_ns =
+      static_cast<uint32_t>(std::strtoul(s.c_str() + slash + 1, nullptr, 10));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hart::server::Hartd;
+  Hartd::Options opts;
+  long port = 7677;
+  std::string port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hartd: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (a == "--port") {
+      port = std::strtol(need("--port"), nullptr, 10);
+    } else if (a == "--port-file") {
+      port_file = need("--port-file");
+    } else if (a == "--shards") {
+      opts.shards = std::strtoull(need("--shards"), nullptr, 10);
+    } else if (a == "--batch") {
+      opts.batch_size = std::strtoull(need("--batch"), nullptr, 10);
+    } else if (a == "--queue") {
+      opts.queue_capacity = std::strtoull(need("--queue"), nullptr, 10);
+    } else if (a == "--arena-dir") {
+      opts.arena_dir = need("--arena-dir");
+    } else if (a == "--arena-mb") {
+      opts.arena_mb = std::strtoull(need("--arena-mb"), nullptr, 10);
+    } else if (a == "--latency") {
+      if (!parse_latency(need("--latency"), &opts.latency)) {
+        std::fprintf(stderr, "hartd: --latency wants W/R, e.g. 300/100\n");
+        return 2;
+      }
+    } else if (a == "--spin-latency") {
+      opts.defer_latency = false;
+    } else if (a == "--check") {
+      opts.check = true;
+    } else {
+      std::fprintf(stderr, "hartd: unknown flag '%s' (--help)\n", a.c_str());
+      return 2;
+    }
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    Hartd db(opts);
+    const bool recovered = db.reopened();
+    hart::server::TcpServer tcp(db, static_cast<uint16_t>(port));
+
+    if (!port_file.empty()) {
+      if (FILE* f = std::fopen(port_file.c_str(), "w"); f != nullptr) {
+        std::fprintf(f, "%u\n", tcp.port());
+        std::fclose(f);
+      }
+    }
+    std::printf("hartd: listening on 127.0.0.1:%u — %zu shard(s), batch %zu%s%s\n",
+                tcp.port(), db.shard_count(), opts.batch_size,
+                opts.arena_dir.empty() ? ", in-memory arenas" : ", file-backed",
+                recovered ? " (recovered existing shards)" : "");
+    if (recovered)
+      std::printf("hartd: %zu keys recovered across shards\n",
+                  db.total_size());
+    std::fflush(stdout);
+
+    while (g_stop == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::printf("hartd: shutting down (drain + quiesce)\n");
+    tcp.stop();
+    db.shutdown();
+    uint64_t ops = 0, batches = 0, epochs = 0;
+    for (size_t i = 0; i < db.shard_count(); ++i) {
+      const auto& st = db.shard(i).stats();
+      ops += st.ops.load();
+      batches += st.batches.load();
+      epochs += st.epochs.load();
+    }
+    std::printf("hartd: served %llu ops in %llu batches (%llu epochs), "
+                "%zu keys live\n",
+                static_cast<unsigned long long>(ops),
+                static_cast<unsigned long long>(batches),
+                static_cast<unsigned long long>(epochs), db.total_size());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hartd: fatal: %s\n", e.what());
+    return 1;
+  }
+}
