@@ -33,6 +33,7 @@
 #include "common/table.h"
 #include "fptree/fptree.h"
 #include "hart/hart.h"
+#include "obs/trace.h"
 #include "pmem/arena.h"
 #include "woart/woart.h"
 #include "workload/keygen.h"
@@ -74,6 +75,9 @@ inline const std::vector<BenchFlag>& common_bench_flags() {
        "append machine-readable rows to this file", true},
       {"--percentiles", "HART_BENCH_PERCENTILES",
        "collect per-op latency histograms", false},
+      {"--trace-out", "HART_TRACE_OUT",
+       "write a chrome://tracing JSON timeline of the run to this file",
+       true},
   };
   return flags;
 }
@@ -110,6 +114,22 @@ inline void parse_bench_flags(int argc, char** argv, const char* what,
       value = argv[++i];
     }
     ::setenv(hit->env, value, 1);
+  }
+
+  // HART_TRACE_OUT / --trace-out: arm the tracer now (so every phase and
+  // op span of the run is captured) and dump the timeline at exit.
+  if (const char* path = std::getenv("HART_TRACE_OUT");
+      path != nullptr && path[0] != '\0') {
+    static std::string trace_path;
+    trace_path = path;
+    obs::Tracer::instance().enable();
+    std::atexit([] {
+      if (obs::Tracer::instance().write_chrome_json(trace_path))
+        std::fprintf(stderr, "trace: wrote %s (load in chrome://tracing)\n",
+                     trace_path.c_str());
+      else
+        std::fprintf(stderr, "trace: cannot write %s\n", trace_path.c_str());
+    });
   }
 }
 
@@ -216,16 +236,22 @@ inline double run_basic_op(TreeKind kind, const pmem::LatencyConfig& lat,
   auto arena = make_bench_arena(lat);
   auto tree = make_tree(kind, *arena);
   const bool record = hist != nullptr && percentiles_enabled();
+  auto& tracer = obs::Tracer::instance();
+  const bool trace = tracer.enabled();
+  // One timeline lane entry per measured cell; per-op spans when tracing.
+  obs::TraceSpan phase(op_name(op), obs::TraceKind::kPhase,
+                       static_cast<uint32_t>(kind));
 
   auto timed = [&](auto&& body) {
-    if (!record) {
+    if (!record && !trace) {
       body();
       return;
     }
-    const common::Stopwatch op_sw;
-    const uint64_t t0 = op_sw.nanos();
+    const uint64_t t0 = tracer.now_ns();
     body();
-    hist->record(op_sw.nanos() - t0);
+    const uint64_t dt = tracer.now_ns() - t0;
+    if (record) hist->record(dt);
+    if (trace) tracer.record(op_name(op), obs::TraceKind::kOp, t0, dt);
   };
 
   if (op == BasicOp::kInsert) {
@@ -266,15 +292,27 @@ inline double run_basic_op(TreeKind kind, const pmem::LatencyConfig& lat,
 }
 
 /// Set HART_BENCH_CSV=<path> to append machine-readable rows
-/// (figure,workload,latency,tree,us_per_op) alongside the tables.
+/// (figure,workload,latency,tree,us_per_op) alongside the tables. When a
+/// populated histogram is supplied (--percentiles), three extra columns
+/// p50_us,p95_us,p99_us follow — the first five columns never move, so
+/// existing scripts keep parsing.
 inline void csv_row(const char* fig, const std::string& workload,
                     const std::string& latency, const char* tree,
-                    double us_per_op) {
+                    double us_per_op,
+                    const common::LatencyHistogram* hist = nullptr) {
   const char* path = std::getenv("HART_BENCH_CSV");
   if (path == nullptr) return;
   if (FILE* f = std::fopen(path, "a"); f != nullptr) {
-    std::fprintf(f, "%s,%s,%s,%s,%.6f\n", fig, workload.c_str(),
+    std::fprintf(f, "%s,%s,%s,%s,%.6f", fig, workload.c_str(),
                  latency.c_str(), tree, us_per_op);
+    if (hist != nullptr && hist->count() > 0) {
+      const common::Percentiles p = hist->percentiles();
+      std::fprintf(f, ",%.3f,%.3f,%.3f",
+                   static_cast<double>(p.p50_ns) / 1000.0,
+                   static_cast<double>(p.p95_ns) / 1000.0,
+                   static_cast<double>(p.p99_ns) / 1000.0);
+    }
+    std::fprintf(f, "\n");
     std::fclose(f);
   }
 }
@@ -305,7 +343,7 @@ inline void run_basic_op_figure(const char* fig, BasicOp op) {
         const double us = run_basic_op(kind, lat, keys, op, &hist);
         row.push_back(common::Table::num(us));
         csv_row(fig, workload::workload_name(wk), lat.label(),
-                tree_name(kind), us);
+                tree_name(kind), us, &hist);
         if (hist.count() > 0)
           tails.push_back(std::string(tree_name(kind)) + " @ " +
                           lat.label() + ": " + hist.summary());

@@ -25,7 +25,18 @@
 #include <cstring>
 #include <span>
 
+#include "obs/counters.h"
+
 namespace hart::art {
+
+namespace detail {
+/// HARTscope: NODE4->16->48->256 growth events across every ART instance.
+inline obs::Counter& grow_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("art_node_grow_total");
+  return c;
+}
+}  // namespace detail
 
 using Key = std::span<const uint8_t>;
 
@@ -317,6 +328,7 @@ class Tree {
           p->children[pos] = child;
           ++p->num_children;
         } else {
+          detail::grow_counter().inc();
           auto* g = alloc_node<Node16>(detail::kNode16);
           std::memcpy(g->keys, p->keys, 4);
           std::memcpy(g->children, p->children, 4 * sizeof(Node*));
@@ -340,6 +352,7 @@ class Tree {
           p->children[pos] = child;
           ++p->num_children;
         } else {
+          detail::grow_counter().inc();
           auto* g = alloc_node<Node48>(detail::kNode48);
           std::memset(g->child_index, detail::kEmptySlot, 256);
           std::memset(g->children, 0, sizeof(g->children));
@@ -363,6 +376,7 @@ class Tree {
           p->child_index[byte] = static_cast<uint8_t>(slot);
           ++p->num_children;
         } else {
+          detail::grow_counter().inc();
           auto* g = alloc_node<Node256>(detail::kNode256);
           std::memset(g->children, 0, sizeof(g->children));
           for (uint32_t b = 0; b < 256; ++b)

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/counters.h"
+
 namespace hart::pmart {
 
 namespace {
@@ -205,12 +207,22 @@ bool ArtCow::for_each_child_sorted(const PNode* n, F&& f) const {
 
 // ---- CoW node builders -----------------------------------------------------
 
+namespace {
+// HARTscope: every PM node cloned by the CoW baseline (all three builders).
+obs::Counter& cow_clone_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("artcow_cow_clones_total");
+  return c;
+}
+}  // namespace
+
 void ArtCow::free_node(const PNode* n) {
   arena_.free(arena_.off(n), pnode_size(n->type), 64);
 }
 
 uint64_t ArtCow::clone_with_child(const PNode* n, uint32_t byte,
                                   uint64_t child) {
+  cow_clone_counter().inc();
   // Gather surviving entries, then build the (possibly grown) clone.
   std::pair<uint8_t, uint64_t> entries[257];
   int cnt = 0;
@@ -269,6 +281,7 @@ uint64_t ArtCow::clone_with_child(const PNode* n, uint32_t byte,
 }
 
 uint64_t ArtCow::clone_without_child(const PNode* n, uint32_t byte) {
+  cow_clone_counter().inc();
   std::pair<uint8_t, uint64_t> entries[257];
   int cnt = 0;
   for_each_child_sorted(n, [&](uint8_t b, uint64_t c) {
@@ -327,6 +340,7 @@ uint64_t ArtCow::clone_without_child(const PNode* n, uint32_t byte) {
 }
 
 uint64_t ArtCow::clone_with_pword(const PNode* n, uint64_t pword) {
+  cow_clone_counter().inc();
   const uint64_t off = arena_.alloc(pnode_size(n->type), 64);
   auto* g = arena_.ptr<PNode>(off);
   std::memcpy(g, n, pnode_size(n->type));

@@ -1,15 +1,29 @@
-// Log-bucketed latency histogram for the benchmark harness: cheap to
-// record (one increment), accurate to ~4% per bucket, reports mean and
-// percentiles. Used when HART_BENCH_PERCENTILES=1.
+// Log-bucketed latency histogram for the benchmark harness and the
+// HARTscope observability layer: cheap to record (one increment),
+// accurate to ~4% per bucket, mergeable, reports mean and percentiles.
+// Used when HART_BENCH_PERCENTILES=1 and per shard/op in hartd.
 #pragma once
 
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 namespace hart::common {
+
+/// One-shot percentile bundle (all in nanoseconds) for exposition.
+struct Percentiles {
+  uint64_t count = 0;
+  double mean_ns = 0.0;
+  uint64_t min_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p95_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;
+  uint64_t max_ns = 0;
+};
 
 class LatencyHistogram {
  public:
@@ -23,17 +37,46 @@ class LatencyHistogram {
     counts_[bucket_of(ns)]++;
     ++n_;
     sum_ += ns;
+    min_ = std::min(min_, ns);
+    max_ = std::max(max_, ns);
+  }
+
+  /// Clear in place, keeping the bucket storage (no reallocation).
+  void reset() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    n_ = 0;
+    sum_ = 0;
+    min_ = std::numeric_limits<uint64_t>::max();
+    max_ = 0;
   }
 
   void merge(const LatencyHistogram& other) {
     for (int i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
     n_ += other.n_;
     sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
   }
 
   [[nodiscard]] uint64_t count() const { return n_; }
+  [[nodiscard]] uint64_t sum_ns() const { return sum_; }
+  [[nodiscard]] uint64_t min_ns() const { return n_ == 0 ? 0 : min_; }
+  [[nodiscard]] uint64_t max_ns() const { return max_; }
   [[nodiscard]] double mean_ns() const {
     return n_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(n_);
+  }
+
+  [[nodiscard]] Percentiles percentiles() const {
+    Percentiles p;
+    p.count = n_;
+    p.mean_ns = mean_ns();
+    p.min_ns = min_ns();
+    p.p50_ns = percentile_ns(50);
+    p.p95_ns = percentile_ns(95);
+    p.p99_ns = percentile_ns(99);
+    p.p999_ns = percentile_ns(99.9);
+    p.max_ns = max_ns();
+    return p;
   }
 
   /// p in [0, 100]; returns the lower edge of the bucket containing the
@@ -77,6 +120,8 @@ class LatencyHistogram {
   std::vector<uint64_t> counts_;
   uint64_t n_ = 0;
   uint64_t sum_ = 0;
+  uint64_t min_ = std::numeric_limits<uint64_t>::max();
+  uint64_t max_ = 0;
 };
 
 }  // namespace hart::common

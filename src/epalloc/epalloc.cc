@@ -7,7 +7,42 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/counters.h"
+
 namespace hart::epalloc {
+
+namespace {
+// HARTscope: process-wide allocator event tallies. Registry references
+// are resolved once (the map is node-based, references are stable) so a
+// hot-path bump is a single striped relaxed fetch_add.
+struct EpCounters {
+  obs::Counter& ep_malloc;
+  obs::Counter& commit;
+  obs::Counter& release;
+  obs::Counter& free_obj;
+  obs::Counter& chunk_alloc;
+  obs::Counter& chunk_recycle;
+  obs::Counter& ulog_take;
+  obs::Counter& ulog_reclaim;
+  obs::Counter& stale_value_reclaim;
+};
+
+EpCounters& ep_counters() {
+  auto& reg = obs::Registry::instance();
+  static EpCounters c{
+      reg.counter("ep_malloc_total"),
+      reg.counter("ep_commit_total"),
+      reg.counter("ep_release_total"),
+      reg.counter("ep_free_total"),
+      reg.counter("ep_chunk_alloc_total"),
+      reg.counter("ep_chunk_recycle_total"),
+      reg.counter("ep_ulog_take_total"),
+      reg.counter("ep_ulog_reclaim_total"),
+      reg.counter("ep_stale_value_reclaim_total"),
+  };
+  return c;
+}
+}  // namespace
 
 EPAllocator::EPAllocator(pmem::Arena& arena, EPRoot* root,
                          uint32_t leaf_obj_size, LeafProbeFn probe,
@@ -58,10 +93,12 @@ uint64_t EPAllocator::new_chunk_locked(TypeState& st, ObjType t) {
   cs.reserved = 0;
   cs.prev = 0;
   make_available_locked(st, off, cs);
+  ep_counters().chunk_alloc.inc();
   return off;
 }
 
 uint64_t EPAllocator::ep_malloc(ObjType t) {
+  ep_counters().ep_malloc.inc();
   TypeState& st = ts(t);
   uint64_t obj_off = 0;
   {
@@ -102,6 +139,7 @@ uint64_t EPAllocator::ep_malloc(ObjType t) {
   if (t == ObjType::kLeaf && probe_ != nullptr) {
     const LeafValueRef ref = probe_(arena_, obj_off);
     if (ref.value_off != 0 && bit_is_set(ref.cls, ref.value_off)) {
+      ep_counters().stale_value_reclaim.inc();
       free_object(ref.cls, ref.value_off);
       recycle_chunk_of(ref.cls, ref.value_off);
       clear_(arena_, obj_off);
@@ -111,6 +149,7 @@ uint64_t EPAllocator::ep_malloc(ObjType t) {
 }
 
 void EPAllocator::commit(ObjType t, uint64_t obj_off) {
+  ep_counters().commit.inc();
   TypeState& st = ts(t);
   const uint64_t c_off = st.geom.chunk_of(obj_off);
   const uint32_t idx = st.geom.index_of(obj_off);
@@ -127,6 +166,7 @@ void EPAllocator::commit(ObjType t, uint64_t obj_off) {
 }
 
 void EPAllocator::release(ObjType t, uint64_t obj_off) {
+  ep_counters().release.inc();
   TypeState& st = ts(t);
   const uint64_t c_off = st.geom.chunk_of(obj_off);
   const uint32_t idx = st.geom.index_of(obj_off);
@@ -138,6 +178,7 @@ void EPAllocator::release(ObjType t, uint64_t obj_off) {
 }
 
 void EPAllocator::free_object_locked(TypeState& st, uint64_t obj_off) {
+  ep_counters().free_obj.inc();
   const uint64_t c_off = st.geom.chunk_of(obj_off);
   const uint32_t idx = st.geom.index_of(obj_off);
   auto* c = chunk_ptr(c_off);
@@ -239,6 +280,7 @@ void EPAllocator::recycle_chunk_of(ObjType t, uint64_t obj_off) {
   }
   st.chunks.erase(it);  // stale avail entries are skipped on pop
   arena_.free(c_off, st.geom.chunk_bytes, st.geom.stride);
+  ep_counters().chunk_recycle.inc();
 
   rlog = RecycleLog{};
   arena_.trace_store(&rlog, sizeof(rlog));
@@ -252,6 +294,7 @@ UpdateLog* EPAllocator::acquire_ulog() {
       const auto idx = static_cast<uint32_t>(std::countr_one(ulog_busy_));
       if (idx < kUpdateLogSlots) {
         ulog_busy_ |= (uint32_t{1} << idx);
+        ep_counters().ulog_take.inc();
         return &root_->ulogs[idx];
       }
     }
@@ -260,6 +303,7 @@ UpdateLog* EPAllocator::acquire_ulog() {
 }
 
 void EPAllocator::reclaim_ulog(UpdateLog* log) {
+  ep_counters().ulog_reclaim.inc();
   *log = UpdateLog{};
   arena_.trace_store(log, sizeof(*log));
   arena_.persist(log, sizeof(*log));

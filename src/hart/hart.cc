@@ -12,6 +12,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
+
 namespace hart::core {
 
 namespace {
@@ -314,11 +317,15 @@ uint64_t Hart::flush_epoch() {
   // time, so the fence is never a redundant persist, and its completion
   // point is the batch's commit point (each op persisted its own data
   // before returning; this is the amortized final fence).
+  obs::TraceSpan span("epoch_fence", obs::TraceKind::kFence);
   const uint64_t e = epoch_.load(std::memory_order_relaxed) + 1;
   root_->epoch = e;
   arena_.trace_store(&root_->epoch, sizeof(root_->epoch));
   arena_.persist(&root_->epoch, sizeof(root_->epoch));
   epoch_.store(e, std::memory_order_release);
+  static obs::Counter& fences =
+      obs::Registry::instance().counter("hart_fence_total");
+  fences.inc();
   return e;
 }
 
@@ -395,6 +402,10 @@ void Hart::replay_update_logs() {
 // Algorithm 7: Recovery(HT) — rebuild the hash table and all internal
 // nodes from the persistent leaf list.
 void Hart::recover(unsigned threads) {
+  obs::TraceSpan span("hart_recover", obs::TraceKind::kRecovery, threads);
+  static obs::Counter& runs =
+      obs::Registry::instance().counter("hart_recover_runs_total");
+  runs.inc();
   dir_.clear();
   count_.store(0, std::memory_order_relaxed);
   epoch_.store(root_->epoch, std::memory_order_relaxed);
@@ -414,8 +425,11 @@ void Hart::recover(unsigned threads) {
     count_.fetch_add(1, std::memory_order_relaxed);
   };
 
+  static obs::Counter& recovered =
+      obs::Registry::instance().counter("hart_recovered_leaves_total");
   if (threads <= 1) {
     ep_.for_each_live(epalloc::ObjType::kLeaf, insert_leaf);
+    recovered.add(count_.load(std::memory_order_relaxed));
     return;
   }
 
@@ -441,6 +455,7 @@ void Hart::recover(unsigned threads) {
     });
   }
   for (auto& th : pool) th.join();
+  recovered.add(count_.load(std::memory_order_relaxed));
 }
 
 }  // namespace hart::core

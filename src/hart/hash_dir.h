@@ -24,6 +24,7 @@
 
 #include "art/art_tree.h"
 #include "hart/hart_leaf.h"
+#include "obs/counters.h"
 
 namespace hart::core {
 
@@ -114,6 +115,10 @@ class HashDir {
         if (dram_bytes_ != nullptr)
           dram_bytes_->fetch_add(sizeof(Partition),
                                  std::memory_order_relaxed);
+        // HARTscope: one new hash-dir partition (ART) came into existence.
+        static obs::Counter& created =
+            obs::Registry::instance().counter("hart_partition_create_total");
+        created.inc();
         owned.release();
         {
           std::unique_lock lk(sorted_mu_);

@@ -1,0 +1,172 @@
+// HARTscope counter registry — the process-wide accounting spine.
+//
+// Two kinds of metric feed one scrape:
+//
+//  * Counter — a named, monotonic event tally backed by sharded
+//    std::atomic cells (one stripe per thread, cache-line padded), so a
+//    hot-path increment is a single relaxed fetch_add on a line no other
+//    thread touches. Used for low/medium-frequency structural events
+//    (EPallocator micro-log takes, chunk recycles, ART node growth,
+//    hash-dir partition creation, epoch fences, CoW clones).
+//
+//  * Source — a registered callback that emits cumulative (name, value)
+//    pairs when the registry is scraped. Per-instance counters that
+//    already exist on the hot path (pmem::Arena::Stats) register as
+//    sources, so persist/flush/read accounting costs NOTHING extra per
+//    event: aggregation happens only at scrape time. When a source is
+//    unregistered (arena destroyed) its final sample is folded into
+//    retained counters, so scraped totals stay monotonic across instance
+//    lifetimes.
+//
+// snapshot() merges both kinds, summing same-named entries. Everything is
+// header-only; inline function-local statics give one registry per
+// process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hart::obs {
+
+/// A monotonic event counter: one cache-line-padded atomic cell per
+/// stripe; threads are spread over stripes round-robin on first use.
+/// add() is lock-free and wait-free; value() sums the stripes (scrape
+/// path, allowed to be slightly stale — these are event tallies that
+/// never guard other memory, same argument as pmem::Stats).
+class Counter {
+ public:
+  static constexpr unsigned kStripes = 16;  // power of two
+
+  void add(uint64_t n) {
+    cells_[stripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  [[nodiscard]] uint64_t value() const {
+    uint64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  /// Tests only: not linearizable against concurrent add().
+  void reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+
+  static unsigned stripe() {
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned mine =
+        next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+    return mine;
+  }
+
+  Cell cells_[kStripes];
+};
+
+class Registry {
+ public:
+  /// Cumulative (metric name, value) pairs. Names may carry Prometheus
+  /// labels ("hartd_shard_ops_total{shard=\"0\"}").
+  using Sample = std::vector<std::pair<std::string, uint64_t>>;
+  using SourceFn = std::function<void(Sample*)>;
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+
+  /// Find-or-create the named counter. The reference stays valid for the
+  /// life of the process (node-based map); call sites cache it.
+  Counter& counter(std::string_view name) {
+    std::lock_guard lk(mu_);
+    return counters_[std::string(name)];
+  }
+
+  /// Register a scrape-time source emitting *cumulative* values. Returns
+  /// a handle for unregister_source(). The callback runs under the
+  /// registry mutex and must not call back into the registry.
+  uint64_t register_source(SourceFn fn) {
+    std::lock_guard lk(mu_);
+    const uint64_t id = next_source_++;
+    sources_.emplace_back(id, std::move(fn));
+    return id;
+  }
+
+  /// Drop a source, folding its final cumulative sample into retained
+  /// counters — totals never move backwards when an instance dies.
+  void unregister_source(uint64_t id) {
+    std::lock_guard lk(mu_);
+    for (auto it = sources_.begin(); it != sources_.end(); ++it) {
+      if (it->first != id) continue;
+      Sample final;
+      it->second(&final);
+      for (auto& [name, v] : final) counters_[name].add(v);
+      sources_.erase(it);
+      return;
+    }
+  }
+
+  /// Merged view: retained counters plus every live source, same-named
+  /// entries summed, sorted by name.
+  [[nodiscard]] Sample snapshot() const {
+    std::lock_guard lk(mu_);
+    std::map<std::string, uint64_t, std::less<>> merged;
+    for (const auto& [name, c] : counters_) merged[name] += c.value();
+    Sample live;
+    for (const auto& [id, fn] : sources_) {
+      live.clear();
+      fn(&live);
+      for (const auto& [name, v] : live) merged[name] += v;
+    }
+    return {merged.begin(), merged.end()};
+  }
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::vector<std::pair<uint64_t, SourceFn>> sources_;
+  uint64_t next_source_ = 1;
+};
+
+/// RAII source registration (member-friendly: movable, auto-unregisters).
+class SourceHandle {
+ public:
+  SourceHandle() = default;
+  explicit SourceHandle(Registry::SourceFn fn)
+      : id_(Registry::instance().register_source(std::move(fn))) {}
+  ~SourceHandle() { release(); }
+  SourceHandle(SourceHandle&& o) noexcept : id_(o.id_) { o.id_ = 0; }
+  SourceHandle& operator=(SourceHandle&& o) noexcept {
+    if (this != &o) {
+      release();
+      id_ = o.id_;
+      o.id_ = 0;
+    }
+    return *this;
+  }
+  SourceHandle(const SourceHandle&) = delete;
+  SourceHandle& operator=(const SourceHandle&) = delete;
+
+ private:
+  void release() {
+    if (id_ != 0) Registry::instance().unregister_source(id_);
+    id_ = 0;
+  }
+  uint64_t id_ = 0;
+};
+
+}  // namespace hart::obs

@@ -1,0 +1,148 @@
+// HARTscope exposition — render a counter snapshot plus latency
+// histograms as Prometheus text format or JSON.
+//
+// Counters come straight from Registry::snapshot(); histograms are
+// passed as named views (the caller owns the merge, e.g. hartd merges
+// per-shard per-op histograms at scrape time). Histograms render as
+// Prometheus summaries: quantile-labeled gauges plus _count and _sum.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "obs/counters.h"
+
+namespace hart::obs {
+
+/// A named histogram for exposition. `labels` is the rendered label body
+/// without braces ("shard=\"0\",op=\"insert\"") or empty.
+struct HistogramView {
+  std::string name;
+  std::string labels;
+  hart::common::LatencyHistogram hist;
+};
+
+namespace detail {
+
+inline std::string_view base_name(std::string_view metric) {
+  const size_t brace = metric.find('{');
+  return brace == std::string_view::npos ? metric : metric.substr(0, brace);
+}
+
+inline void append_quantile(std::string* out, const HistogramView& h,
+                            const char* q, uint64_t ns) {
+  char buf[64];
+  *out += h.name;
+  *out += "{";
+  if (!h.labels.empty()) {
+    *out += h.labels;
+    *out += ",";
+  }
+  std::snprintf(buf, sizeof(buf), "quantile=\"%s\"} %llu\n", q,
+                static_cast<unsigned long long>(ns));
+  *out += buf;
+}
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Prometheus text format, v0.0.4. Counters get a TYPE line per base
+/// name; histograms render as summaries (quantile series + _count/_sum).
+inline std::string prometheus_text(const Registry::Sample& counters,
+                                   const std::vector<HistogramView>& hists) {
+  std::string out;
+  char buf[64];
+  std::string_view last_base;
+  for (const auto& [name, value] : counters) {
+    const std::string_view base = detail::base_name(name);
+    if (base != last_base) {
+      out += "# TYPE ";
+      out += base;
+      out += " counter\n";
+      last_base = base;
+    }
+    out += name;
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  last_base = {};
+  for (const HistogramView& h : hists) {
+    if (h.name != last_base) {
+      out += "# TYPE ";
+      out += h.name;
+      out += " summary\n";
+      last_base = h.name;
+    }
+    const auto p = h.hist.percentiles();
+    detail::append_quantile(&out, h, "0.5", p.p50_ns);
+    detail::append_quantile(&out, h, "0.95", p.p95_ns);
+    detail::append_quantile(&out, h, "0.99", p.p99_ns);
+    detail::append_quantile(&out, h, "0.999", p.p999_ns);
+    const std::string lbl = h.labels.empty() ? "" : "{" + h.labels + "}";
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(p.count));
+    out += h.name + "_count" + lbl + buf;
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(h.hist.sum_ns()));
+    out += h.name + "_sum" + lbl + buf;
+  }
+  return out;
+}
+
+/// JSON: {"counters":{name:value,...},"histograms":[{...},...]}.
+inline std::string json_text(const Registry::Sample& counters,
+                             const std::vector<HistogramView>& hists) {
+  std::string out = "{\"counters\":{";
+  char buf[96];
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", first ? "" : ",",
+                  detail::json_escape(name).c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+    first = false;
+  }
+  out += "},\"histograms\":[";
+  first = true;
+  for (const HistogramView& h : hists) {
+    const auto p = h.hist.percentiles();
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + detail::json_escape(h.name) + "\"";
+    if (!h.labels.empty())
+      out += ",\"labels\":\"" + detail::json_escape(h.labels) + "\"";
+    std::snprintf(buf, sizeof(buf),
+                  ",\"count\":%llu,\"mean_ns\":%.1f,\"min_ns\":%llu",
+                  static_cast<unsigned long long>(p.count), p.mean_ns,
+                  static_cast<unsigned long long>(p.min_ns));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",\"p50_ns\":%llu,\"p95_ns\":%llu,\"p99_ns\":%llu",
+                  static_cast<unsigned long long>(p.p50_ns),
+                  static_cast<unsigned long long>(p.p95_ns),
+                  static_cast<unsigned long long>(p.p99_ns));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"p999_ns\":%llu,\"max_ns\":%llu}",
+                  static_cast<unsigned long long>(p.p999_ns),
+                  static_cast<unsigned long long>(p.max_ns));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hart::obs

@@ -1,0 +1,264 @@
+// HARTscope trace — bounded per-thread ring buffers of typed events,
+// exportable as chrome://tracing JSON.
+//
+// Each thread that records gets its own fixed-capacity ring (registered
+// with the Tracer on first use), so recording is a single unsynchronized
+// slot write — no lock, no allocation, and old events are overwritten
+// when the ring wraps. The global enabled flag is a relaxed atomic load,
+// so a disabled tracer costs one predictable branch per probe.
+//
+// Export (chrome_json()) merges every ring, sorts by timestamp and emits
+// the Trace Event Format ("X" duration events / "i" instants) that
+// chrome://tracing and Perfetto load directly. Export is meant to run
+// after workers quiesced (hartd shutdown, bench atexit); a concurrent
+// export sees a consistent-enough view for a debugging timeline but may
+// tear an in-flight slot.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hart::obs {
+
+enum class TraceKind : uint8_t {
+  kOp = 0,       // one index/service operation
+  kBatch = 1,    // one group-commit batch
+  kFence = 2,    // epoch fence persist
+  kRecovery = 3, // recovery phase
+  kPhase = 4,    // bench phase / workload cell
+  kMark = 5,     // instant marker
+};
+
+inline const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kOp: return "op";
+    case TraceKind::kBatch: return "batch";
+    case TraceKind::kFence: return "fence";
+    case TraceKind::kRecovery: return "recovery";
+    case TraceKind::kPhase: return "phase";
+    default: return "mark";
+  }
+}
+
+struct TraceEvent {
+  uint64_t ts_ns = 0;   // since Tracer epoch
+  uint64_t dur_ns = 0;  // 0 = instant event
+  char name[22] = {};   // NUL-terminated, truncated
+  TraceKind kind = TraceKind::kMark;
+  uint8_t pad = 0;
+  uint32_t arg = 0;     // shard index / batch size / record count ...
+};
+
+/// Single-writer bounded ring. Readers (export, tests) take a snapshot in
+/// record order, oldest first; once full, each push evicts the oldest.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity) : ev_(capacity == 0 ? 1 : capacity) {}
+
+  void push(const TraceEvent& e) {
+    ev_[static_cast<size_t>(head_ % ev_.size())] = e;
+    ++head_;
+  }
+
+  [[nodiscard]] size_t capacity() const { return ev_.size(); }
+  [[nodiscard]] uint64_t pushed() const { return head_; }
+  [[nodiscard]] size_t size() const {
+    return head_ < ev_.size() ? static_cast<size_t>(head_) : ev_.size();
+  }
+
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> out;
+    const size_t n = size();
+    out.reserve(n);
+    const uint64_t first = head_ - n;
+    for (size_t i = 0; i < n; ++i)
+      out.push_back(ev_[static_cast<size_t>((first + i) % ev_.size())]);
+    return out;
+  }
+
+ private:
+  std::vector<TraceEvent> ev_;
+  uint64_t head_ = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance() {
+    static Tracer t;
+    return t;
+  }
+
+  /// Arm tracing; subsequent record() calls land in per-thread rings of
+  /// `ring_capacity` events (~48 B each). Resets any previous rings.
+  void enable(size_t ring_capacity = size_t{1} << 15) {
+    std::lock_guard lk(mu_);
+    rings_.clear();
+    ring_capacity_ = ring_capacity;
+    epoch_ = std::chrono::steady_clock::now();
+    ++gen_;
+    on_.store(true, std::memory_order_release);
+  }
+
+  void disable() { on_.store(false, std::memory_order_release); }
+
+  [[nodiscard]] bool enabled() const {
+    return on_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since enable(); the timestamp domain of every event.
+  [[nodiscard]] uint64_t now_ns() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Record one event; no-op when disabled. `start_ns` is in the now_ns()
+  /// domain (capture it before the timed section, pass the duration).
+  void record(const char* name, TraceKind kind, uint64_t start_ns,
+              uint64_t dur_ns, uint32_t arg = 0) {
+    if (!enabled()) return;
+    TraceEvent e;
+    e.ts_ns = start_ns;
+    e.dur_ns = dur_ns;
+    e.kind = kind;
+    e.arg = arg;
+    std::snprintf(e.name, sizeof(e.name), "%s", name);
+    ring()->push(e);
+  }
+
+  /// Instant marker at now.
+  void mark(const char* name, TraceKind kind = TraceKind::kMark,
+            uint32_t arg = 0) {
+    record(name, kind, now_ns(), 0, arg);
+  }
+
+  /// Merge every ring into Trace Event Format JSON. `tid` is the ring's
+  /// registration index (one lane per recording thread).
+  [[nodiscard]] std::string chrome_json() const {
+    struct Tagged {
+      TraceEvent e;
+      size_t tid;
+    };
+    std::vector<Tagged> all;
+    {
+      std::lock_guard lk(mu_);
+      for (size_t t = 0; t < rings_.size(); ++t)
+        for (const TraceEvent& e : rings_[t]->snapshot())
+          all.push_back({e, t});
+    }
+    std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+      return a.e.ts_ns < b.e.ts_ns;
+    });
+    std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    char buf[256];
+    for (size_t i = 0; i < all.size(); ++i) {
+      const TraceEvent& e = all[i].e;
+      const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+      if (e.dur_ns == 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                      "\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%zu,"
+                      "\"args\":{\"arg\":%u}}",
+                      i == 0 ? "" : ",", e.name, trace_kind_name(e.kind),
+                      ts_us, all[i].tid, e.arg);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                      "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%zu,"
+                      "\"args\":{\"arg\":%u}}",
+                      i == 0 ? "" : ",", e.name, trace_kind_name(e.kind),
+                      ts_us, static_cast<double>(e.dur_ns) / 1000.0,
+                      all[i].tid, e.arg);
+      }
+      out += buf;
+    }
+    out += "]}";
+    return out;
+  }
+
+  /// Write chrome_json() to `path`; returns false on I/O failure.
+  bool write_chrome_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string json = chrome_json();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+  [[nodiscard]] size_t ring_count() const {
+    std::lock_guard lk(mu_);
+    return rings_.size();
+  }
+
+  /// Total events recorded (including overwritten ones).
+  [[nodiscard]] uint64_t events_recorded() const {
+    std::lock_guard lk(mu_);
+    uint64_t n = 0;
+    for (const auto& r : rings_) n += r->pushed();
+    return n;
+  }
+
+ private:
+  Tracer() = default;
+
+  TraceRing* ring() {
+    // Cache the ring per (thread, enable-generation): enable() drops old
+    // rings, so a stale cached pointer from a previous generation must
+    // re-register rather than dangle.
+    struct Slot {
+      uint64_t gen = 0;
+      TraceRing* ring = nullptr;
+    };
+    thread_local Slot slot;
+    std::lock_guard lk(mu_);
+    if (slot.ring == nullptr || slot.gen != gen_) {
+      rings_.push_back(std::make_unique<TraceRing>(ring_capacity_));
+      slot.ring = rings_.back().get();
+      slot.gen = gen_;
+    }
+    return slot.ring;
+  }
+
+  mutable std::mutex mu_;
+  std::atomic<bool> on_{false};
+  std::deque<std::unique_ptr<TraceRing>> rings_;
+  size_t ring_capacity_ = size_t{1} << 15;
+  uint64_t gen_ = 0;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+/// RAII duration event: times its scope, records on destruction.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, TraceKind kind, uint32_t arg = 0)
+      : name_(name), kind_(kind), arg_(arg),
+        on_(Tracer::instance().enabled()) {
+    if (on_) t0_ = Tracer::instance().now_ns();
+  }
+  ~TraceSpan() {
+    if (on_)
+      Tracer::instance().record(name_, kind_, t0_,
+                                Tracer::instance().now_ns() - t0_, arg_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  TraceKind kind_;
+  uint32_t arg_;
+  bool on_;
+  uint64_t t0_ = 0;
+};
+
+}  // namespace hart::obs

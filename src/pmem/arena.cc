@@ -86,6 +86,22 @@ Arena::Arena(const Options& opts)
     check_ = std::make_unique<pmcheck::PmCheck>(
         base_, opts_.size, kArenaHeaderSize, reopened_, opts_.check_config);
   }
+
+  // HARTscope: expose this arena's device-model counters as scrape-time
+  // pm_* metrics. A pull-source, not per-event counter bumps — the hot
+  // persist/pm_read paths pay nothing beyond the Stats updates they
+  // already do; aggregation happens only when the registry is scraped.
+  obs_source_ = obs::SourceHandle([this](obs::Registry::Sample* out) {
+    const StatsSnapshot s = stats_.snapshot();
+    out->emplace_back("pm_persist_calls_total", s.persist_calls);
+    out->emplace_back("pm_persisted_bytes_total", s.persisted_bytes);
+    out->emplace_back("pm_read_lines_total", s.pm_read_lines);
+    out->emplace_back("pm_alloc_calls_total", s.alloc_calls);
+    out->emplace_back("pm_free_calls_total", s.free_calls);
+    out->emplace_back("pm_alloc_meta_persists_total", s.alloc_meta_persists);
+    out->emplace_back("pm_injected_ns_total", s.injected_ns);
+    out->emplace_back("pm_deferred_paid_ns_total", s.deferred_paid_ns);
+  });
 }
 
 void Arena::map_memory() {
@@ -113,6 +129,9 @@ void Arena::map_memory() {
 }
 
 Arena::~Arena() {
+  // Drop the scrape source before unmapping; the fold-on-unregister keeps
+  // process-wide pm_* totals monotonic after this arena is gone.
+  obs_source_ = obs::SourceHandle();
   if (base_ != nullptr) {
     if (file_backed_) ::msync(base_, opts_.size, MS_SYNC);
     ::munmap(base_, opts_.size);
@@ -206,6 +225,7 @@ void Arena::pm_read(const void* p, size_t len) const {
 uint64_t Arena::pay_latency() {
   const uint64_t ns = owed_ns_.exchange(0, std::memory_order_relaxed);
   if (ns == 0) return 0;
+  stats_.deferred_paid_ns.fetch_add(ns, std::memory_order_relaxed);
   struct timespec ts{};
   ::clock_gettime(CLOCK_MONOTONIC, &ts);
   ts.tv_nsec += static_cast<long>(ns % 1000000000);

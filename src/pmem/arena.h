@@ -26,6 +26,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "obs/counters.h"
 #include "pmcheck/pmcheck.h"
 #include "pmem/block_alloc.h"
 #include "pmem/latency.h"
@@ -194,6 +195,7 @@ class Arena {
   /// Inject `ns` of device latency: spin now, or bank it for pay_latency().
   void charge_latency(uint64_t ns) const {
     if (ns == 0) return;
+    stats_.injected_ns.fetch_add(ns, std::memory_order_relaxed);
     if (opts_.defer_latency) {
       owed_ns_.fetch_add(ns, std::memory_order_relaxed);
     } else {
@@ -214,6 +216,11 @@ class Arena {
   std::atomic<bool> crash_armed_{false};
   std::atomic<int64_t> crash_countdown_{0};
   common::Rng crash_rng_;
+  // HARTscope: this arena's Stats, scraped as cumulative pm_* metrics.
+  // Registered last / destroyed first, so the source never outlives the
+  // Stats it reads; unregistering folds the final sample into the global
+  // registry, keeping scrape totals monotonic across arena lifetimes.
+  obs::SourceHandle obs_source_;
 };
 
 }  // namespace hart::pmem

@@ -17,6 +17,8 @@ struct StatsSnapshot {
   uint64_t alloc_meta_persists = 0; // modeled allocator-metadata flushes
   uint64_t pm_live_bytes = 0;       // logical (requested) live PM bytes
   uint64_t pm_block_bytes = 0;      // physical (block-rounded) live PM bytes
+  uint64_t injected_ns = 0;         // device latency charged (spun or owed)
+  uint64_t deferred_paid_ns = 0;    // deferred latency slept off in pay_latency
 };
 
 class Stats {
@@ -36,6 +38,9 @@ class Stats {
   std::atomic<uint64_t> alloc_meta_persists{0};
   std::atomic<uint64_t> pm_live_bytes{0};
   std::atomic<uint64_t> pm_block_bytes{0};
+  // mutable: charged from const paths (pm_read / charge_latency).
+  mutable std::atomic<uint64_t> injected_ns{0};
+  mutable std::atomic<uint64_t> deferred_paid_ns{0};
 
   [[nodiscard]] StatsSnapshot snapshot() const {
     StatsSnapshot s;
@@ -48,6 +53,8 @@ class Stats {
         alloc_meta_persists.load(std::memory_order_relaxed);
     s.pm_live_bytes = pm_live_bytes.load(std::memory_order_relaxed);
     s.pm_block_bytes = pm_block_bytes.load(std::memory_order_relaxed);
+    s.injected_ns = injected_ns.load(std::memory_order_relaxed);
+    s.deferred_paid_ns = deferred_paid_ns.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -58,6 +65,8 @@ class Stats {
     alloc_calls = 0;
     free_calls = 0;
     alloc_meta_persists = 0;
+    injected_ns = 0;
+    deferred_paid_ns = 0;
     // pm_live_bytes / pm_block_bytes track live state and are not reset.
   }
 };

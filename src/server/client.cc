@@ -172,5 +172,8 @@ Response Client::del(std::string key) {
   return wait(send(Request{OpCode::kDelete, std::move(key), {}}));
 }
 Response Client::ping() { return wait(send(Request{OpCode::kPing, {}, {}})); }
+Response Client::stats(std::string format) {
+  return wait(send(Request{OpCode::kStats, {}, std::move(format)}));
+}
 
 }  // namespace hart::server

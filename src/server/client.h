@@ -39,6 +39,9 @@ class Client {
   Response update(std::string key, std::string value);
   Response del(std::string key);
   Response ping();
+  /// Scrape the server's HARTscope metrics; the snapshot is in the
+  /// response value. `format`: "json" or "" / "prometheus" (text).
+  Response stats(std::string format = {});
 
   // ---- pipelined API ----------------------------------------------------
   /// Fire a request without waiting; returns its id. On a dead transport

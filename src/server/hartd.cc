@@ -1,5 +1,6 @@
 #include "server/hartd.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -7,11 +8,17 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.h"
+#include "server/stats.h"
+
 namespace hart::server {
 
 Hartd::Hartd(const Options& opts) : opts_(opts) {
   if (opts_.shards == 0) throw std::invalid_argument("shards must be >= 1");
   shards_.resize(opts_.shards);
+  obs::TraceSpan span("hartd_open", obs::TraceKind::kRecovery,
+                      static_cast<uint32_t>(opts_.shards));
+  const auto t0 = std::chrono::steady_clock::now();
 
   // Shard construction doubles as restart recovery for file-backed arenas
   // (Hart's constructor runs Algorithm 7 on a re-opened arena), so open
@@ -46,6 +53,11 @@ Hartd::Hartd(const Options& opts) : opts_(opts) {
 
   reopened_ = !opts_.arena_dir.empty();
   for (auto& s : shards_) reopened_ = reopened_ && s->arena().reopened();
+  recovery_ms_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  if (reopened_) recovered_keys_ = total_size();
 }
 
 Hartd::~Hartd() { shutdown(); }
@@ -54,6 +66,21 @@ bool Hartd::submit(Request req, Shard::Ack ack) {
   if (down_.load(std::memory_order_acquire)) {
     if (ack) ack(Response{Status::kShuttingDown, {}, 0});
     return false;
+  }
+  // kStats is answered here on the submitter's thread (both transports
+  // funnel through submit), never routed to a shard — a scrape must not
+  // count as a shard op or join a group-commit batch.
+  if (req.op == OpCode::kStats) {
+    Response r;
+    r.status = Status::kOk;
+    r.value = req.value == "json" ? stats_json(*this) : stats_prometheus(*this);
+    if (r.value.size() > kMaxStatsPayload) {
+      // Truncate on a line boundary so the payload stays parseable.
+      const size_t cut = r.value.rfind('\n', kMaxStatsPayload);
+      r.value.resize(cut == std::string::npos ? kMaxStatsPayload : cut + 1);
+    }
+    if (ack) ack(std::move(r));
+    return true;
   }
   Shard& s = *shards_[shard_of(req.key)];
   if (!s.submit(std::move(req), ack)) {

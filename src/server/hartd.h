@@ -67,16 +67,23 @@ class Hartd {
 
   [[nodiscard]] size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] Shard& shard(size_t i) { return *shards_[i]; }
+  [[nodiscard]] const Shard& shard(size_t i) const { return *shards_[i]; }
   /// True when every file-backed shard re-opened an existing arena.
   [[nodiscard]] bool reopened() const { return reopened_; }
   /// Total live keys across shards.
   [[nodiscard]] size_t total_size() const;
+  /// Wall-clock time the constructor spent opening/recovering shards.
+  [[nodiscard]] uint64_t recovery_ms() const { return recovery_ms_; }
+  /// Keys recovered at construction (0 when arenas were fresh).
+  [[nodiscard]] uint64_t recovered_keys() const { return recovered_keys_; }
 
  private:
   Options opts_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> down_{false};
   bool reopened_ = false;
+  uint64_t recovery_ms_ = 0;
+  uint64_t recovered_keys_ = 0;
 };
 
 }  // namespace hart::server

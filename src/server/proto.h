@@ -31,6 +31,11 @@ enum class OpCode : uint8_t {
   kUpdate = 3,  // update-only (miss -> kNotFound)
   kDelete = 4,
   kPing = 5,
+  /// Scrape the server's HARTscope metrics. The request value selects the
+  /// format ("json", anything else = Prometheus text); the response value
+  /// carries the rendered snapshot. Answered directly by the dispatcher,
+  /// never routed to a shard, so it does not perturb per-shard op counts.
+  kStats = 6,
 };
 
 enum class Status : uint8_t {
@@ -76,9 +81,11 @@ struct Response {
   uint64_t epoch = 0;
 };
 
-/// Frames are tiny (key <= 24, value <= 64); anything bigger than this is
-/// a corrupt or hostile stream and the connection is dropped.
-inline constexpr uint32_t kMaxFrameBody = 4096;
+/// KV frames are tiny (key <= 24, value <= 64), but a kStats response
+/// carries a rendered metrics snapshot whose size is bounded by the u16
+/// val_len field (<= 65535 bytes, see Hartd's truncation). Anything bigger
+/// than this cap is a corrupt or hostile stream and the connection drops.
+inline constexpr uint32_t kMaxFrameBody = 128 * 1024;
 inline constexpr size_t kRequestFixed = 8 + 1 + 1 + 2;
 inline constexpr size_t kResponseFixed = 8 + 1 + 1 + 2 + 8;
 
@@ -117,7 +124,7 @@ inline bool decode_request(const char* p, size_t n, uint64_t* id,
   const size_t klen = detail::read_int<uint8_t>(p + 9);
   const size_t vlen = detail::read_int<uint16_t>(p + 10);
   if (op < static_cast<uint8_t>(OpCode::kPut) ||
-      op > static_cast<uint8_t>(OpCode::kPing) ||
+      op > static_cast<uint8_t>(OpCode::kStats) ||
       n != kRequestFixed + klen + vlen)
     return false;
   r->op = static_cast<OpCode>(op);

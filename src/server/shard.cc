@@ -4,11 +4,23 @@
 #include <sys/prctl.h>
 #endif
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace hart::server {
+
+namespace {
+inline uint64_t mono_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 Shard::Shard(const Options& opts)
     : opts_(opts),
@@ -84,16 +96,29 @@ void Shard::worker() {
   ::prctl(PR_SET_TIMERSLACK, 1000UL, 0, 0, 0);
 #endif
   std::vector<Pending> batch;
+  // Per-batch latency staging: one mutex acquisition per batch (not per
+  // op) merges these into hists_ for scrapers.
+  std::array<common::LatencyHistogram, ShardHistograms::kOps> local_op;
+  common::LatencyHistogram local_fence;
   while (queue_.pop_batch(&batch, opts_.batch_size)) {
+    obs::TraceSpan batch_span("shard_batch", obs::TraceKind::kBatch,
+                              static_cast<uint32_t>(batch.size()));
     bool any_write = false;
+    bool any_timed = false;
     for (auto& p : batch) {
       if (failed_.load(std::memory_order_relaxed)) {
         p.resp.status = Status::kShardFailed;
         stats_.failed.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
+      const size_t hidx = op_hist_index(p.req.op);
+      const uint64_t t0 = hidx == SIZE_MAX ? 0 : mono_ns();
       try {
         apply(&p);
+        if (hidx != SIZE_MAX) {
+          local_op[hidx].record(mono_ns() - t0);
+          any_timed = true;
+        }
         any_write |= p.fence;
         stats_.ops.fetch_add(1, std::memory_order_relaxed);
       } catch (const pmem::CrashPoint&) {
@@ -114,8 +139,11 @@ void Shard::worker() {
     // acks below (a request is never acked before its epoch completed).
     uint64_t epoch = 0;
     if (any_write && !failed_.load(std::memory_order_relaxed)) {
+      const uint64_t f0 = mono_ns();
       try {
         epoch = hart_->flush_epoch();
+        local_fence.record(mono_ns() - f0);
+        any_timed = true;
         stats_.epochs.fetch_add(1, std::memory_order_relaxed);
       } catch (const pmem::CrashPoint&) {
         // The fence itself crashed. The batch's writes are still each
@@ -139,6 +167,18 @@ void Shard::worker() {
       if (p.ack) p.ack(std::move(p.resp));
     }
     stats_.batches.fetch_add(1, std::memory_order_relaxed);
+    if (any_timed) {
+      std::lock_guard lk(hist_mu_);
+      for (size_t i = 0; i < ShardHistograms::kOps; ++i) {
+        if (local_op[i].count() == 0) continue;
+        hists_.op[i].merge(local_op[i]);
+        local_op[i].reset();
+      }
+      if (local_fence.count() != 0) {
+        hists_.fence.merge(local_fence);
+        local_fence.reset();
+      }
+    }
   }
 }
 

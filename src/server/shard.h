@@ -5,12 +5,15 @@
 // persistent() completed. See DESIGN.md §5.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 
+#include "common/histogram.h"
 #include "hart/hart.h"
 #include "pmem/arena.h"
 #include "server/proto.h"
@@ -26,6 +29,31 @@ struct ShardStats {
   std::atomic<uint64_t> failed{0};      // requests refused after a crash point
   std::atomic<uint64_t> device_ns{0};   // deferred PM latency paid per batch
 };
+
+/// HARTscope: per-shard apply-time latency, split by operation, plus the
+/// group-commit fence. Indices follow op_hist_index().
+struct ShardHistograms {
+  static constexpr size_t kOps = 4;  // insert / get / update / delete
+  std::array<common::LatencyHistogram, kOps> op;
+  common::LatencyHistogram fence;
+};
+
+/// Histogram slot for a KV op; SIZE_MAX for kPing/kStats (not timed).
+inline size_t op_hist_index(OpCode op) {
+  switch (op) {
+    case OpCode::kPut: return 0;
+    case OpCode::kGet: return 1;
+    case OpCode::kUpdate: return 2;
+    case OpCode::kDelete: return 3;
+    default: return SIZE_MAX;
+  }
+}
+
+inline const char* op_hist_name(size_t idx) {
+  static constexpr const char* kNames[ShardHistograms::kOps] = {
+      "insert", "get", "update", "delete"};
+  return kNames[idx];
+}
 
 class Shard {
  public:
@@ -59,7 +87,13 @@ class Shard {
   [[nodiscard]] core::Hart& hart() { return *hart_; }
   [[nodiscard]] const core::Hart& hart() const { return *hart_; }
   [[nodiscard]] pmem::Arena& arena() { return *arena_; }
+  [[nodiscard]] const pmem::Arena& arena() const { return *arena_; }
   [[nodiscard]] const ShardStats& stats() const { return stats_; }
+  /// Copy of the per-op latency histograms (worker writes, scrapes read).
+  [[nodiscard]] ShardHistograms histograms() const {
+    std::lock_guard lk(hist_mu_);
+    return hists_;
+  }
   /// True once a simulated crash point fired in the worker; subsequent
   /// requests are refused with kShardFailed and never acked as durable.
   [[nodiscard]] bool failed() const {
@@ -85,6 +119,8 @@ class Shard {
   std::atomic<bool> failed_{false};
   std::atomic<bool> down_{false};
   ShardStats stats_;
+  mutable std::mutex hist_mu_;  // guards hists_: worker records, scrapes copy
+  ShardHistograms hists_;
   std::thread worker_;  // last: started after everything above is live
 };
 

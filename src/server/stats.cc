@@ -1,0 +1,90 @@
+#include "server/stats.h"
+
+#include <algorithm>
+
+#include "server/hartd.h"
+
+namespace hart::server {
+
+namespace {
+
+std::string shard_label(size_t i) {
+  return "shard=\"" + std::to_string(i) + "\"";
+}
+
+}  // namespace
+
+void collect_stats(const Hartd& d, obs::Registry::Sample* counters,
+                   std::vector<obs::HistogramView>* hists) {
+  *counters = obs::Registry::instance().snapshot();
+  hists->clear();
+
+  uint64_t ops = 0, write_acks = 0, batches = 0, epochs = 0, failed = 0,
+           device_ns = 0;
+  for (size_t i = 0; i < d.shard_count(); ++i) {
+    const Shard& s = d.shard(i);
+    const ShardStats& st = s.stats();
+    const uint64_t s_ops = st.ops.load(std::memory_order_relaxed);
+    const uint64_t s_acks = st.write_acks.load(std::memory_order_relaxed);
+    const uint64_t s_batches = st.batches.load(std::memory_order_relaxed);
+    const uint64_t s_epochs = st.epochs.load(std::memory_order_relaxed);
+    const uint64_t s_failed = st.failed.load(std::memory_order_relaxed);
+    const uint64_t s_dev = st.device_ns.load(std::memory_order_relaxed);
+    ops += s_ops;
+    write_acks += s_acks;
+    batches += s_batches;
+    epochs += s_epochs;
+    failed += s_failed;
+    device_ns += s_dev;
+    const std::string lbl = shard_label(i);
+    counters->emplace_back("hartd_shard_ops_total{" + lbl + "}", s_ops);
+    counters->emplace_back("hartd_shard_write_acks_total{" + lbl + "}",
+                           s_acks);
+    counters->emplace_back("hartd_shard_batches_total{" + lbl + "}",
+                           s_batches);
+    counters->emplace_back("hartd_shard_epochs_total{" + lbl + "}", s_epochs);
+
+    const ShardHistograms sh = s.histograms();
+    for (size_t o = 0; o < ShardHistograms::kOps; ++o) {
+      if (sh.op[o].count() == 0) continue;
+      hists->push_back({"hartd_op_latency_ns",
+                        lbl + ",op=\"" + op_hist_name(o) + "\"", sh.op[o]});
+    }
+    if (sh.fence.count() != 0)
+      hists->push_back({"hartd_fence_latency_ns", lbl, sh.fence});
+  }
+
+  counters->emplace_back("hartd_ops_total", ops);
+  counters->emplace_back("hartd_write_acks_total", write_acks);
+  counters->emplace_back("hartd_batches_total", batches);
+  counters->emplace_back("hartd_epochs_total", epochs);
+  counters->emplace_back("hartd_failed_total", failed);
+  counters->emplace_back("hartd_device_ns_total", device_ns);
+  counters->emplace_back("hartd_live_keys", d.total_size());
+  counters->emplace_back("hartd_recovery_duration_ms", d.recovery_ms());
+  counters->emplace_back("hartd_recovered_keys", d.recovered_keys());
+
+  // Prometheus TYPE lines are emitted when the base name changes, so
+  // same-base series must be adjacent.
+  std::sort(counters->begin(), counters->end());
+  std::sort(hists->begin(), hists->end(),
+            [](const obs::HistogramView& a, const obs::HistogramView& b) {
+              return a.name != b.name ? a.name < b.name : a.labels < b.labels;
+            });
+}
+
+std::string stats_prometheus(const Hartd& d) {
+  obs::Registry::Sample counters;
+  std::vector<obs::HistogramView> hists;
+  collect_stats(d, &counters, &hists);
+  return obs::prometheus_text(counters, hists);
+}
+
+std::string stats_json(const Hartd& d) {
+  obs::Registry::Sample counters;
+  std::vector<obs::HistogramView> hists;
+  collect_stats(d, &counters, &hists);
+  return obs::json_text(counters, hists);
+}
+
+}  // namespace hart::server

@@ -1,0 +1,32 @@
+// HARTscope service scrape: merge the process-wide obs registry (pm_*,
+// ep_*, hart_* counters) with hartd's service-level totals, per-shard
+// labeled counters and per-op latency histograms, and render the result
+// as Prometheus text or JSON. Backs the kStats protocol op, hartd's
+// --stats-dump loop and hartd_loadgen --stats-out (in-proc mode).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace hart::server {
+
+class Hartd;
+
+/// The kStats response value travels in a u16 val_len field; the rendered
+/// text is truncated to this (whole lines are dropped, see truncation in
+/// Hartd) so the frame stays well-formed.
+inline constexpr size_t kMaxStatsPayload = 65000;
+
+/// Gather every metric for one scrape: global registry counters plus
+/// hartd_* service totals / per-shard series, and one HistogramView per
+/// (shard, op) plus the per-shard fence histogram. `counters` comes back
+/// sorted by name (Prometheus TYPE grouping relies on it).
+void collect_stats(const Hartd& d, obs::Registry::Sample* counters,
+                   std::vector<obs::HistogramView>* hists);
+
+std::string stats_prometheus(const Hartd& d);
+std::string stats_json(const Hartd& d);
+
+}  // namespace hart::server

@@ -71,5 +71,80 @@ TEST(Histogram, HugeValuesSaturateLastBucket) {
   EXPECT_GT(h.percentile_ns(100), 0u);
 }
 
+TEST(Histogram, MergeIsAssociative) {
+  // (a ⊕ b) ⊕ c and a ⊕ (b ⊕ c) must agree bucket-for-bucket — hartd
+  // merges per-batch → per-shard → per-scrape in that order, the bench
+  // merges per-thread → total, and both must report the same numbers.
+  Rng rng(42);
+  LatencyHistogram a, b, c;
+  for (int i = 0; i < 5000; ++i) a.record(10 + rng.next_below(1000));
+  for (int i = 0; i < 5000; ++i) b.record(1000 + rng.next_below(100000));
+  for (int i = 0; i < 5000; ++i) c.record(rng.next_below(50));
+
+  LatencyHistogram left_a = a;  // (a + b) + c
+  left_a.merge(b);
+  left_a.merge(c);
+  LatencyHistogram bc = b;  // a + (b + c)
+  bc.merge(c);
+  LatencyHistogram right_a = a;
+  right_a.merge(bc);
+
+  EXPECT_EQ(left_a.count(), right_a.count());
+  EXPECT_EQ(left_a.sum_ns(), right_a.sum_ns());
+  EXPECT_EQ(left_a.min_ns(), right_a.min_ns());
+  EXPECT_EQ(left_a.max_ns(), right_a.max_ns());
+  for (const double p : {1.0, 50.0, 95.0, 99.0, 99.9})
+    EXPECT_EQ(left_a.percentile_ns(p), right_a.percentile_ns(p)) << p;
+}
+
+TEST(Histogram, MinMaxTrackedThroughMerge) {
+  LatencyHistogram a, b;
+  a.record(500);
+  a.record(700);
+  b.record(100);
+  b.record(90000);
+  EXPECT_EQ(a.min_ns(), 500u);
+  EXPECT_EQ(a.max_ns(), 700u);
+  a.merge(b);
+  EXPECT_EQ(a.min_ns(), 100u);
+  EXPECT_EQ(a.max_ns(), 90000u);
+  // Merging an empty histogram must not disturb min/max.
+  a.merge(LatencyHistogram{});
+  EXPECT_EQ(a.min_ns(), 100u);
+  EXPECT_EQ(a.max_ns(), 90000u);
+}
+
+TEST(Histogram, PercentilesBundleMatchesDirectQueries) {
+  LatencyHistogram h;
+  Rng rng(3);
+  for (int i = 0; i < 50000; ++i) h.record(100 + rng.next_below(100000));
+  const Percentiles p = h.percentiles();
+  EXPECT_EQ(p.count, h.count());
+  EXPECT_EQ(p.mean_ns, h.mean_ns());
+  EXPECT_EQ(p.min_ns, h.min_ns());
+  EXPECT_EQ(p.max_ns, h.max_ns());
+  EXPECT_EQ(p.p50_ns, h.percentile_ns(50));
+  EXPECT_EQ(p.p95_ns, h.percentile_ns(95));
+  EXPECT_EQ(p.p99_ns, h.percentile_ns(99));
+  EXPECT_EQ(p.p999_ns, h.percentile_ns(99.9));
+  EXPECT_LE(p.min_ns, p.p50_ns);
+  EXPECT_LE(p.p50_ns, p.p99_ns);
+  EXPECT_LE(p.p99_ns, p.max_ns);
+}
+
+TEST(Histogram, ResetClearsInPlace) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(12345);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_ns(), 0u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_EQ(h.percentile_ns(99), 0u);
+  h.record(777);  // reusable after reset
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min_ns(), 777u);
+}
+
 }  // namespace
 }  // namespace hart::common

@@ -1,0 +1,226 @@
+// Tests for the HARTscope observability spine: striped counters and the
+// registry (concurrent writers, source fold-on-unregister), the bounded
+// per-thread trace ring (wraparound, chrome JSON shape) and the
+// Prometheus/JSON exposition.
+//
+// The Registry and Tracer are process-wide singletons shared with any
+// instrumented code in this binary, so every test uses its own uniquely
+// named counters and asserts with >= / deltas where other activity could
+// bleed in.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace hart::obs {
+namespace {
+
+uint64_t snapshot_value(const Registry::Sample& s, const std::string& name) {
+  for (const auto& [n, v] : s)
+    if (n == name) return v;
+  return 0;
+}
+
+TEST(Counter, EightWriterThreadsLoseNothing) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Counter, AddAndResetAggregateAcrossStripes) {
+  Counter c;
+  c.add(41);
+  c.inc();
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Registry, CounterReferenceIsStableAndShared) {
+  auto& r = Registry::instance();
+  Counter& a = r.counter("obs_test_stable_total");
+  Counter& b = r.counter("obs_test_stable_total");
+  EXPECT_EQ(&a, &b);
+  const uint64_t before = a.value();
+  b.inc();
+  EXPECT_EQ(a.value(), before + 1);
+}
+
+TEST(Registry, ConcurrentFindOrCreateYieldsOneCounter) {
+  auto& r = Registry::instance();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&r] {
+      Counter& c = r.counter("obs_test_concurrent_total");
+      for (uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(r.counter("obs_test_concurrent_total").value(),
+            kThreads * kPerThread);
+}
+
+TEST(Registry, SourceFoldsIntoCountersOnUnregister) {
+  auto& r = Registry::instance();
+  const std::string name = "obs_test_source_total";
+  const uint64_t base = snapshot_value(r.snapshot(), name);
+
+  std::atomic<uint64_t> emitted{123};
+  {
+    SourceHandle h([&emitted, &name](Registry::Sample* out) {
+      out->emplace_back(name, emitted.load());
+    });
+    // Live source: scrape sees the cumulative value.
+    EXPECT_EQ(snapshot_value(r.snapshot(), name), base + 123);
+    emitted = 200;
+    EXPECT_EQ(snapshot_value(r.snapshot(), name), base + 200);
+  }
+  // Handle destroyed: the final sample folded into a retained counter, so
+  // the total never moves backwards.
+  EXPECT_EQ(snapshot_value(r.snapshot(), name), base + 200);
+}
+
+TEST(Registry, SnapshotSumsSameNamedCounterAndSource) {
+  auto& r = Registry::instance();
+  const std::string name = "obs_test_summed_total";
+  const uint64_t base = snapshot_value(r.snapshot(), name);
+  r.counter(name).add(10);
+  SourceHandle h([&name](Registry::Sample* out) {
+    out->emplace_back(name, 32);
+  });
+  EXPECT_EQ(snapshot_value(r.snapshot(), name), base + 42);
+}
+
+TEST(TraceRing, FillsThenWrapsKeepingNewest) {
+  TraceRing ring(4);
+  for (uint32_t i = 0; i < 3; ++i) {
+    TraceEvent e;
+    e.ts_ns = i;
+    e.arg = i;
+    ring.push(e);
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.pushed(), 3u);
+  auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap.front().arg, 0u);
+  EXPECT_EQ(snap.back().arg, 2u);
+
+  // Push 7 more: 10 total through a 4-slot ring — only 6..9 survive,
+  // oldest first.
+  for (uint32_t i = 3; i < 10; ++i) {
+    TraceEvent e;
+    e.ts_ns = i;
+    e.arg = i;
+    ring.push(e);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.pushed(), 10u);
+  snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) EXPECT_EQ(snap[i].arg, 6 + i);
+}
+
+TEST(Tracer, RecordsSpansAndEmitsChromeJson) {
+  auto& tr = Tracer::instance();
+  tr.enable(/*ring_capacity=*/64);
+  { TraceSpan span("obs_test_span", TraceKind::kPhase, 7); }
+  tr.mark("obs_test_mark", TraceKind::kMark, 9);
+  tr.disable();
+
+  EXPECT_GE(tr.events_recorded(), 2u);
+  const std::string json = tr.chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // duration event
+  EXPECT_NE(json.find("\"obs_test_mark\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant event
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Tracer, LongNamesAreTruncatedNotOverrun) {
+  auto& tr = Tracer::instance();
+  tr.enable(/*ring_capacity=*/8);
+  tr.mark("this_name_is_far_longer_than_the_inline_buffer");
+  tr.disable();
+  const std::string json = tr.chrome_json();
+  EXPECT_NE(json.find("this_name_is_far_long"), std::string::npos);
+  EXPECT_EQ(json.find("inline_buffer"), std::string::npos);
+}
+
+TEST(Tracer, ReenableDropsOldEvents) {
+  auto& tr = Tracer::instance();
+  tr.enable(/*ring_capacity=*/8);
+  tr.mark("obs_test_before");
+  tr.enable(/*ring_capacity=*/8);  // reset
+  tr.mark("obs_test_after");
+  tr.disable();
+  const std::string json = tr.chrome_json();
+  EXPECT_EQ(json.find("obs_test_before"), std::string::npos);
+  EXPECT_NE(json.find("obs_test_after"), std::string::npos);
+}
+
+TEST(Export, PrometheusTextGroupsTypesAndRendersSummaries) {
+  Registry::Sample counters = {
+      {"alpha_total", 1},
+      {"beta_total{shard=\"0\"}", 2},
+      {"beta_total{shard=\"1\"}", 3},
+  };
+  common::LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(1000);
+  std::vector<HistogramView> hists;
+  hists.push_back({"op_latency_ns", "op=\"insert\"", h});
+
+  const std::string text = prometheus_text(counters, hists);
+  EXPECT_NE(text.find("# TYPE alpha_total counter\nalpha_total 1\n"),
+            std::string::npos);
+  // One TYPE line for both beta series.
+  size_t beta_types = 0;
+  for (size_t pos = 0;
+       (pos = text.find("# TYPE beta_total counter", pos)) != std::string::npos;
+       ++pos)
+    ++beta_types;
+  EXPECT_EQ(beta_types, 1u);
+  EXPECT_NE(text.find("beta_total{shard=\"1\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE op_latency_ns summary"), std::string::npos);
+  EXPECT_NE(
+      text.find("op_latency_ns{op=\"insert\",quantile=\"0.5\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find("op_latency_ns_count{op=\"insert\"} 1000\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("op_latency_ns_sum{op=\"insert\"} 1000000\n"),
+            std::string::npos);
+}
+
+TEST(Export, JsonTextEscapesAndRendersPercentiles) {
+  Registry::Sample counters = {{"quoted\"name", 5}};
+  common::LatencyHistogram h;
+  h.record(500);
+  std::vector<HistogramView> hists;
+  hists.push_back({"lat", "", h});
+  const std::string json = json_text(counters, hists);
+  EXPECT_NE(json.find("\"quoted\\\"name\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"max_ns\":500"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace hart::obs

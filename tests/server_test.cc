@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "server/client.h"
+#include "server/stats.h"
 #include "server/tcp.h"
 
 namespace hart::server {
@@ -230,6 +231,73 @@ TEST(HartdTest, BatchedPersistPathIsPmCheckClean) {
     const pmcheck::Report rep = db.shard(i).arena().pm_report();
     EXPECT_EQ(rep.total(), 0u) << "shard " << i << ":\n" << rep.to_string();
   }
+}
+
+TEST(HartdStats, StatsOpCountsEveryAckedOpExactly) {
+  // The per-instance shard counters (not the process-global registry,
+  // which other tests in this binary also bump) must equal the number of
+  // acked ops — and the STATS op itself must never perturb them.
+  Hartd db(small_opts(2));
+  Client cli(db);
+
+  constexpr int kPuts = 300;
+  uint64_t acked = 0;
+  for (int i = 0; i < kPuts; ++i)
+    if (is_acked_write(cli.put("stat-" + std::to_string(i), "v").status))
+      ++acked;
+  for (int i = 0; i < 50; ++i)
+    if (cli.get("stat-" + std::to_string(i)).status == Status::kOk) ++acked;
+  ASSERT_EQ(acked, kPuts + 50u);
+
+  auto shard_ops = [&db] {
+    uint64_t n = 0;
+    for (size_t s = 0; s < db.shard_count(); ++s)
+      n += db.shard(s).stats().ops.load();
+    return n;
+  };
+  EXPECT_EQ(shard_ops(), acked);
+
+  // STATS is answered by the dispatcher, not routed to a shard: the op
+  // counter must not move, and the payload must carry the right total.
+  const Response st = cli.stats();
+  ASSERT_EQ(st.status, Status::kOk);
+  EXPECT_EQ(shard_ops(), acked);
+  EXPECT_NE(st.value.find("hartd_ops_total " + std::to_string(acked) + "\n"),
+            std::string::npos)
+      << st.value.substr(0, 2000);
+  EXPECT_NE(st.value.find("# TYPE hartd_ops_total counter"),
+            std::string::npos);
+  // Per-op latency summaries: every put and get above was timed.
+  EXPECT_NE(st.value.find("hartd_op_latency_ns"), std::string::npos);
+  EXPECT_NE(st.value.find("op=\"insert\""), std::string::npos);
+
+  // JSON variant parses the same totals and the scrape stays monotonic.
+  const Response js = cli.stats("json");
+  ASSERT_EQ(js.status, Status::kOk);
+  EXPECT_NE(js.value.find("\"hartd_ops_total\":" + std::to_string(acked)),
+            std::string::npos)
+      << js.value.substr(0, 2000);
+  EXPECT_EQ(js.value.front(), '{');
+  EXPECT_EQ(js.value.back(), '}');
+}
+
+TEST(HartdStats, StatsWorksOverTcpAndAfterMoreWrites) {
+  Hartd db(small_opts(2));
+  TcpServer tcp(db, 0);
+  Client cli("127.0.0.1", tcp.port());
+  for (int i = 0; i < 64; ++i)
+    ASSERT_TRUE(is_acked_write(cli.put("t-" + std::to_string(i), "v").status));
+  const Response a = cli.stats();
+  ASSERT_EQ(a.status, Status::kOk);
+  EXPECT_NE(a.value.find("hartd_ops_total 64\n"), std::string::npos);
+
+  for (int i = 0; i < 36; ++i)
+    ASSERT_TRUE(is_acked_write(cli.put("u-" + std::to_string(i), "v").status));
+  const Response b = cli.stats();
+  ASSERT_EQ(b.status, Status::kOk);
+  EXPECT_NE(b.value.find("hartd_ops_total 100\n"), std::string::npos)
+      << "ops total not monotonic across scrapes";
+  EXPECT_NE(b.value.find("hartd_live_keys 100\n"), std::string::npos);
 }
 
 }  // namespace

@@ -16,7 +16,9 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,8 +31,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 #include "server/client.h"
+#include "server/stats.h"
 #include "server/tcp.h"
 #include "workload/mixes.h"
 
@@ -55,6 +60,8 @@ struct Config {
   size_t preload = 5000;  // per client, for the mixed workloads
   std::string acked_log;
   std::string verify_acked;
+  std::string stats_out;  // final Prometheus snapshot file
+  std::string trace_out;  // chrome://tracing JSON file
   // --inproc server knobs
   size_t shards = 4;
   size_t batch = 32;
@@ -78,6 +85,8 @@ void usage(const char* argv0) {
       "  --preload N       preloaded keys per client for mixes (default 5000)\n"
       "  --acked-log P     append acked insert keys to P (insert mix only)\n"
       "  --verify-acked P  GET every key in P; exit 1 on any loss\n"
+      "  --stats-out P     write a final Prometheus metrics snapshot to P\n"
+      "  --trace-out P     write a chrome://tracing JSON timeline to P\n"
       "  in-process server knobs (--inproc):\n"
       "  --shards N --batch N --arena-dir D --arena-mb N --latency W/R\n"
       "  --spin-latency    busy-wait injected latency per persist instead\n"
@@ -139,9 +148,23 @@ const hart::workload::MixSpec* mix_spec(const std::string& name) {
   return nullptr;  // "insert"
 }
 
+/// Client-observed latency (send → ack), one histogram per op type. Each
+/// client thread owns its own instance; main() merges them after join.
+struct OpHists {
+  std::array<hart::common::LatencyHistogram, hart::server::ShardHistograms::kOps>
+      h;
+};
+
+uint64_t mono_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// One client: pipelined request loop until the op budget or deadline.
 void run_client(Client& cli, const Config& cfg, size_t id, AckLog* log,
-                Counters* ctr) {
+                Counters* ctr, OpHists* hists) {
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -165,11 +188,22 @@ void run_client(Client& cli, const Config& cfg, size_t id, AckLog* log,
     }
   }
 
-  std::deque<std::pair<uint64_t, std::string>> inflight;  // req id -> key
+  struct Inflight {
+    uint64_t rid;
+    std::string key;  // non-empty = append to the ack log on ack
+    size_t slot;      // op_hist_index, SIZE_MAX = untimed
+    uint64_t t0;      // send time (mono_ns)
+  };
+  std::deque<Inflight> inflight;
   auto drain_one = [&] {
-    auto [rid, key] = std::move(inflight.front());
+    Inflight f = std::move(inflight.front());
     inflight.pop_front();
-    const Response r = cli.wait(rid);
+    const Response r = cli.wait(f.rid);
+    if (f.slot != SIZE_MAX &&
+        (r.status == Status::kOk || r.status == Status::kUpdated ||
+         r.status == Status::kNotFound))
+      hists->h[f.slot].record(mono_ns() - f.t0);
+    const std::string& key = f.key;
     switch (r.status) {
       case Status::kOk:
       case Status::kUpdated:
@@ -222,7 +256,10 @@ void run_client(Client& cli, const Config& cfg, size_t id, AckLog* log,
           break;
       }
     }
-    inflight.emplace_back(cli.send(std::move(req)), std::move(logged_key));
+    const size_t slot = hart::server::op_hist_index(req.op);
+    const uint64_t t0 = mono_ns();
+    inflight.push_back(
+        Inflight{cli.send(std::move(req)), std::move(logged_key), slot, t0});
   }
   while (!inflight.empty() && drain_one()) {
   }
@@ -230,6 +267,19 @@ void run_client(Client& cli, const Config& cfg, size_t id, AckLog* log,
     inflight.pop_front();
     ctr->errors.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+/// Final Prometheus snapshot: directly from the in-process Hartd, or over
+/// the wire via a STATS request for TCP runs. Empty on transport failure.
+std::string fetch_stats(const Config& cfg, Hartd* local) {
+  if (local != nullptr) return hart::server::stats_prometheus(*local);
+  try {
+    Client cli(cfg.host, static_cast<uint16_t>(cfg.port));
+    const Response r = cli.stats();
+    if (r.status == Status::kOk) return r.value;
+  } catch (const std::exception&) {
+  }
+  return {};
 }
 
 int verify_acked(const Config& cfg, Hartd* local) {
@@ -274,6 +324,16 @@ int verify_acked(const Config& cfg, Hartd* local) {
   }
   std::printf("loadgen: verified %zu acked keys: %zu missing, %zu corrupt\n",
               keys.size(), missing, wrong);
+  if (missing + wrong != 0) {
+    // Lost an acked write: dump the server's metrics (recovery duration,
+    // replayed keys, per-shard op counts) before failing — the snapshot is
+    // the first thing a durability-bug triage needs.
+    const Response st = cli->stats();
+    if (st.status == Status::kOk)
+      std::fprintf(stderr,
+                   "loadgen: server stats at verification failure:\n%s",
+                   st.value.c_str());
+  }
   return missing + wrong == 0 ? 0 : 1;
 }
 
@@ -316,6 +376,10 @@ int main(int argc, char** argv) {
       cfg.acked_log = need("--acked-log");
     } else if (a == "--verify-acked") {
       cfg.verify_acked = need("--verify-acked");
+    } else if (a == "--stats-out") {
+      cfg.stats_out = need("--stats-out");
+    } else if (a == "--trace-out") {
+      cfg.trace_out = need("--trace-out");
     } else if (a == "--shards") {
       cfg.shards = std::strtoull(need("--shards"), nullptr, 10);
     } else if (a == "--batch") {
@@ -358,6 +422,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Arm the tracer before the in-process Hartd exists so shard recovery
+  // (and, for TCP runs, the client-side timeline) lands in the trace.
+  if (!cfg.trace_out.empty()) hart::obs::Tracer::instance().enable();
+
   std::unique_ptr<Hartd> local;
   if (cfg.inproc) {
     Hartd::Options o;
@@ -391,11 +459,12 @@ int main(int argc, char** argv) {
   }
 
   Counters ctr;
+  std::vector<OpHists> hists(cfg.clients);
   hart::common::Stopwatch sw;
   std::vector<std::thread> pool;
   for (size_t c = 0; c < cfg.clients; ++c)
     pool.emplace_back(
-        [&, c] { run_client(*clients[c], cfg, c, logp, &ctr); });
+        [&, c] { run_client(*clients[c], cfg, c, logp, &ctr, &hists[c]); });
   for (auto& t : pool) t.join();
   const double secs = sw.seconds();
 
@@ -409,6 +478,39 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(ctr.errors.load()), secs,
       (static_cast<double>(acked) + static_cast<double>(ctr.misses.load())) /
           (secs > 0 ? secs : 1));
+
+  // Per-op-type client-observed latency (send → ack), merged over clients.
+  OpHists total;
+  for (const auto& h : hists)
+    for (size_t s = 0; s < total.h.size(); ++s) total.h[s].merge(h.h[s]);
+  for (size_t s = 0; s < total.h.size(); ++s) {
+    if (total.h[s].count() == 0) continue;
+    const auto p = total.h[s].percentiles();
+    std::printf(
+        "  %-7s n=%-9llu mean=%8.1fus p50=%8.1fus p95=%8.1fus "
+        "p99=%8.1fus max=%8.1fus\n",
+        hart::server::op_hist_name(s),
+        static_cast<unsigned long long>(p.count), p.mean_ns / 1e3,
+        static_cast<double>(p.p50_ns) / 1e3,
+        static_cast<double>(p.p95_ns) / 1e3,
+        static_cast<double>(p.p99_ns) / 1e3,
+        static_cast<double>(p.max_ns) / 1e3);
+  }
+
+  // Snapshot metrics while the server is still up (TCP) / pre-shutdown
+  // (in-proc), so the scrape itself is part of the measured run.
+  if (!cfg.stats_out.empty()) {
+    const std::string text = fetch_stats(cfg, local.get());
+    if (std::ofstream out(cfg.stats_out, std::ios::binary);
+        !text.empty() && out) {
+      out << text;
+      std::printf("loadgen: stats written to %s\n", cfg.stats_out.c_str());
+    } else {
+      std::fprintf(stderr, "loadgen: cannot write stats to %s\n",
+                   cfg.stats_out.c_str());
+    }
+  }
+
   if (local != nullptr) {
     local->shutdown();
     for (size_t s = 0; s < local->shard_count(); ++s) {
@@ -423,6 +525,14 @@ int main(int argc, char** argv) {
                                        static_cast<double>(st.batches.load())
                                  : 0.0);
     }
+  }
+  if (!cfg.trace_out.empty()) {
+    if (hart::obs::Tracer::instance().write_chrome_json(cfg.trace_out))
+      std::printf("loadgen: trace written to %s (load in chrome://tracing)\n",
+                  cfg.trace_out.c_str());
+    else
+      std::fprintf(stderr, "loadgen: cannot write trace to %s\n",
+                   cfg.trace_out.c_str());
   }
   // Connection loss mid-run is an expected outcome for the crash harness:
   // the acked log stays valid. Exit 0 unless nothing at all succeeded.

@@ -10,7 +10,9 @@
 #include <string>
 #include <thread>
 
+#include "obs/trace.h"
 #include "server/client.h"
+#include "server/stats.h"
 #include "server/tcp.h"
 
 namespace {
@@ -33,6 +35,10 @@ void usage(const char* argv0) {
       "  --spin-latency  busy-wait injected latency inside each persist\n"
       "                  (default: bank it, pay per batch with a sleep)\n"
       "  --check         enable PMCheck on every shard arena\n"
+      "  --stats-dump N  print a Prometheus-text metrics snapshot to stdout\n"
+      "                  every N seconds (and once at shutdown)\n"
+      "  --trace-out F   record a trace of batches/fences/recovery and\n"
+      "                  write chrome://tracing JSON to F at shutdown\n"
       "  --help          this text\n",
       argv0);
 }
@@ -53,6 +59,8 @@ int main(int argc, char** argv) {
   Hartd::Options opts;
   long port = 7677;
   std::string port_file;
+  std::string trace_out;
+  long stats_dump_secs = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -89,6 +97,10 @@ int main(int argc, char** argv) {
       opts.defer_latency = false;
     } else if (a == "--check") {
       opts.check = true;
+    } else if (a == "--stats-dump") {
+      stats_dump_secs = std::strtol(need("--stats-dump"), nullptr, 10);
+    } else if (a == "--trace-out") {
+      trace_out = need("--trace-out");
     } else {
       std::fprintf(stderr, "hartd: unknown flag '%s' (--help)\n", a.c_str());
       return 2;
@@ -98,6 +110,10 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
   std::signal(SIGPIPE, SIG_IGN);
+
+  // Arm the tracer before the Hartd constructor so shard recovery shows
+  // up in the timeline.
+  if (!trace_out.empty()) hart::obs::Tracer::instance().enable();
 
   try {
     Hartd db(opts);
@@ -119,12 +135,33 @@ int main(int argc, char** argv) {
                   db.total_size());
     std::fflush(stdout);
 
-    while (g_stop == 0)
+    long ticks = 0;
+    while (g_stop == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (stats_dump_secs > 0 && ++ticks >= stats_dump_secs * 20) {
+        ticks = 0;
+        std::printf("# hartd stats dump\n%s# end stats dump\n",
+                    hart::server::stats_prometheus(db).c_str());
+        std::fflush(stdout);
+      }
+    }
 
     std::printf("hartd: shutting down (drain + quiesce)\n");
     tcp.stop();
+    if (stats_dump_secs > 0) {
+      std::printf("# hartd stats dump (final)\n%s# end stats dump\n",
+                  hart::server::stats_prometheus(db).c_str());
+      std::fflush(stdout);
+    }
     db.shutdown();
+    if (!trace_out.empty()) {
+      if (hart::obs::Tracer::instance().write_chrome_json(trace_out))
+        std::printf("hartd: trace written to %s (load in chrome://tracing)\n",
+                    trace_out.c_str());
+      else
+        std::fprintf(stderr, "hartd: cannot write trace to %s\n",
+                     trace_out.c_str());
+    }
     uint64_t ops = 0, batches = 0, epochs = 0;
     for (size_t i = 0; i < db.shard_count(); ++i) {
       const auto& st = db.shard(i).stats();

@@ -62,7 +62,13 @@ echo "   $ACKED acked inserts at SIGKILL"
 echo "== phase 2: restart on the same arenas (PMCheck on) + replay acked set"
 rm -f "$DIR/port"
 start_server "--check"
-"$LOADGEN" --port "$PORT" --verify-acked "$DIR/acked.log"
+# On replay failure loadgen dumps the post-restart server stats (recovery
+# duration, recovered keys, per-shard op counts) to stderr via the STATS
+# op before exiting nonzero — keep that output next to the FAIL line.
+if ! "$LOADGEN" --port "$PORT" --verify-acked "$DIR/acked.log"; then
+  echo "FAIL: acked-write replay failed — post-restart stats dumped above"
+  exit 1
+fi
 
 kill -TERM "$SRV"
 wait "$SRV"
