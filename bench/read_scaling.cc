@@ -1,0 +1,281 @@
+// Read-scaling ablation: fig5's search workload driven by 1..T concurrent
+// reader threads, optimistic lock-free reads (default) vs the paper's
+// per-partition reader/writer lock (--rwlock-reads).
+//
+// Two variants per thread count:
+//   * read-only — fig5 proper: every thread issues point lookups over the
+//     preloaded keys, nothing mutates;
+//   * churn — one extra writer thread updates random keys throughout, the
+//     case the optimistic path exists for: rwlock readers serialize behind
+//     the writer's exclusive sections, lock-free readers do not.
+//
+// Prints a table and (HART_BENCH_JSON / --json) writes the full grid as
+// machine-readable JSON; BENCH_read_scaling.json in the repo root is a
+// checked-in run of this binary. See EXPERIMENTS.md for methodology.
+#include "bench/bench_common.h"
+
+#include <atomic>
+#include <cstdint>
+#include <ctime>
+#include <mutex>
+#include <thread>
+
+namespace hart::bench {
+namespace {
+
+struct Cell {
+  std::string latency;
+  std::string variant;  // "read-only" | "churn"
+  std::string mode;     // "optimistic" | "rwlock"
+  unsigned threads = 0;
+  double mops = 0;        // reader throughput, million searches/s
+  double write_mops = 0;  // writer throughput (churn cells)
+  double p50_us = 0;      // reader per-op latency
+  double p99_us = 0;
+};
+
+size_t cell_ms() { return env_size("HART_BENCH_CELL_MS", 400); }
+size_t churn_writers() { return env_size("HART_BENCH_WRITERS", 1); }
+bool hot_partition() { return env_size("HART_BENCH_HOT", 0) != 0; }
+
+bool rwlock_only() {
+  const char* v = std::getenv("HART_BENCH_RWLOCK_ONLY");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Measure aggregate search throughput: `threads` readers doing uniform
+/// random lookups for ~cell_ms, plus (churn) one writer updating random
+/// keys the whole time. Returns reader Mops/s.
+struct CellResult {
+  double read_mops = 0;   // aggregate reader throughput
+  double write_mops = 0;  // aggregate writer throughput (churn only)
+  double p50_us = 0;      // reader per-op latency percentiles
+  double p99_us = 0;
+};
+
+CellResult run_cell(core::Hart& h, const std::vector<std::string>& keys,
+                    unsigned threads, bool churn) {
+  std::atomic<bool> stop{false};
+  std::atomic<bool> go{false};
+  std::atomic<unsigned> ready{0};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  const unsigned writers = churn ? static_cast<unsigned>(churn_writers()) : 0;
+  const unsigned all = threads + writers;
+  common::LatencyHistogram hist;
+  std::mutex hist_mu;
+
+  std::vector<std::thread> ts;
+  ts.reserve(all);
+  for (unsigned t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      common::Rng rng(t * 7919 + 13);
+      std::string v;
+      uint64_t ops = 0;
+      common::LatencyHistogram local;
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {}
+      while (!stop.load(std::memory_order_relaxed)) {
+        common::Stopwatch op;
+        h.search(keys[rng.next_below(keys.size())], &v);
+        local.record(op.nanos());
+        ++ops;
+      }
+      reads.fetch_add(ops);
+      std::lock_guard lk(hist_mu);
+      hist.merge(local);
+    });
+  }
+  for (unsigned w = 0; w < writers; ++w) {
+    ts.emplace_back([&, w] {
+      common::Rng rng(4242 + w * 17);
+      uint64_t ops = 0;
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {}
+      int round = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t i = rng.next_below(keys.size());
+        h.update(keys[i], value_for(i, ++round));
+        ++ops;
+      }
+      writes.fetch_add(ops);
+    });
+  }
+
+  while (ready.load() != all) std::this_thread::yield();
+  common::Stopwatch sw;
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cell_ms()));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : ts) th.join();
+  const double secs = sw.seconds();
+  CellResult r;
+  r.read_mops = static_cast<double>(reads.load()) / secs / 1e6;
+  r.write_mops = static_cast<double>(writes.load()) / secs / 1e6;
+  const common::Percentiles p = hist.percentiles();
+  r.p50_us = static_cast<double>(p.p50_ns) / 1000.0;
+  r.p99_us = static_cast<double>(p.p99_ns) / 1000.0;
+  return r;
+}
+
+void emit_json(const char* path, const std::vector<Cell>& cells,
+               size_t records, unsigned max_threads) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  char stamp[32] = "";
+  const std::time_t now = std::time(nullptr);
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%d", std::gmtime(&now));
+  std::fprintf(f,
+               "{\n  \"bench\": \"read_scaling\",\n  \"date\": \"%s\",\n"
+               "  \"records\": %zu,\n  \"max_threads\": %u,\n"
+               "  \"hw_threads\": %u,\n  \"cell_ms\": %zu,\n"
+               "  \"hot_partition\": %s,\n  \"churn_writers\": %zu,\n",
+               stamp, records, max_threads,
+               std::thread::hardware_concurrency(), cell_ms(),
+               hot_partition() ? "true" : "false", churn_writers());
+  if (std::thread::hardware_concurrency() < max_threads)
+    std::fprintf(f,
+                 "  \"host_note\": \"host has fewer hardware threads than "
+                 "max_threads: thread counts are oversubscribed, so curves "
+                 "measure read-protocol overhead and scheduling, not "
+                 "parallel scaling (see EXPERIMENTS.md)\",\n");
+
+  // Pair each optimistic cell with its rwlock twin for the speedup block.
+  auto find = [&](const Cell& c, const char* mode) -> const Cell* {
+    for (const auto& o : cells)
+      if (o.latency == c.latency && o.variant == c.variant &&
+          o.threads == c.threads && o.mode == mode)
+        return &o;
+    return nullptr;
+  };
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"latency\": \"%s\", \"variant\": \"%s\", "
+                 "\"mode\": \"%s\", \"threads\": %u, \"read_mops\": %.3f, "
+                 "\"write_mops\": %.3f, \"read_p50_us\": %.2f, "
+                 "\"read_p99_us\": %.2f}%s\n",
+                 c.latency.c_str(), c.variant.c_str(), c.mode.c_str(),
+                 c.threads, c.mops, c.write_mops, c.p50_us, c.p99_us,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedup_vs_rwlock\": [\n");
+  bool first = true;
+  for (const auto& c : cells) {
+    if (c.mode != "optimistic") continue;
+    const Cell* base = find(c, "rwlock");
+    if (base == nullptr || base->mops <= 0) continue;
+    std::fprintf(f,
+                 "%s    {\"latency\": \"%s\", \"variant\": \"%s\", "
+                 "\"threads\": %u, \"speedup\": %.2f}",
+                 first ? "" : ",\n", c.latency.c_str(), c.variant.c_str(),
+                 c.threads, c.mops / base->mops);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "read_scaling: wrote %s\n", path);
+}
+
+int run(int argc, char** argv) {
+  parse_bench_flags(
+      argc, argv,
+      "Read scaling: fig5 search at 1..T threads, optimistic vs rwlock",
+      {{"--rwlock-reads", "HART_BENCH_RWLOCK_ONLY",
+        "run only the paper's rwlock read-path baseline", false},
+       {"--json", "HART_BENCH_JSON",
+        "write the full result grid to this JSON file", true},
+       {"--cell-ms", "HART_BENCH_CELL_MS",
+        "measured milliseconds per cell (default 400)", true},
+       {"--hot", "HART_BENCH_HOT",
+        "single-prefix keys: all traffic in one partition/lock", false},
+       {"--writers", "HART_BENCH_WRITERS",
+        "writer threads in the churn variant (default 1)", true}});
+
+  const size_t n = bench_records();
+  const unsigned max_threads = bench_threads() < 8 ? bench_threads() : 8;
+  std::vector<unsigned> thread_counts;
+  for (unsigned t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+
+  // Read scaling is about the lock protocol, not PM latency sweeps:
+  // default to the paper's 300/300 midpoint unless --latency narrows it.
+  std::vector<pmem::LatencyConfig> configs = {pmem::LatencyConfig::c300_300()};
+  if (std::getenv("HART_BENCH_LATENCY") != nullptr) configs = paper_configs();
+
+  std::vector<const char*> modes;
+  if (!rwlock_only()) modes.push_back("optimistic");
+  modes.push_back("rwlock");
+
+  std::cout << "Read scaling: search Mops/s, " << n
+            << " random keys, cells of " << cell_ms() << " ms\n"
+            << "Modes: optimistic (lock-free reads) vs rwlock "
+               "(--rwlock-reads ablation)\n\n";
+
+  // --hot (HART_BENCH_HOT=1): every key shares one 2-byte prefix, so all
+  // traffic lands in a single partition — one rwlock — the worst case for
+  // the paper's locking and the best case for the optimistic path.
+  std::vector<std::string> keys;
+  if (hot_partition()) {
+    keys.reserve(n);
+    char buf[32];
+    for (size_t i = 0; i < n; ++i) {
+      std::snprintf(buf, sizeof(buf), "hh%08zu", i);
+      keys.emplace_back(buf);
+    }
+  } else {
+    keys = workload::make_workload(workload::WorkloadKind::kRandom, n);
+  }
+
+  std::vector<Cell> cells;
+  for (const auto& lat : configs) {
+    for (const char* variant : {"read-only", "churn"}) {
+      common::Table table({std::string("(") + variant + ", " + lat.label() +
+                               ") threads",
+                           "optimistic", "rwlock", "speedup",
+                           "p99 opt/rw us"});
+      for (const unsigned t : thread_counts) {
+        std::vector<std::string> row{std::to_string(t)};
+        CellResult opt;
+        CellResult rw;
+        for (const char* mode : modes) {
+          const bool rwlock = std::string_view(mode) == "rwlock";
+          auto arena = make_bench_arena(lat);
+          core::Hart h(*arena, {.rwlock_reads = rwlock});
+          for (size_t i = 0; i < keys.size(); ++i)
+            h.insert(keys[i], value_for(i));
+          const CellResult r =
+              run_cell(h, keys, t, std::string_view(variant) == "churn");
+          (rwlock ? rw : opt) = r;
+          cells.push_back({lat.label(), variant, mode, t, r.read_mops,
+                           r.write_mops, r.p50_us, r.p99_us});
+        }
+        row.push_back(rwlock_only() ? "-" : common::Table::num(opt.read_mops));
+        row.push_back(common::Table::num(rw.read_mops));
+        row.push_back(rw.read_mops > 0 && !rwlock_only()
+                          ? common::Table::num(opt.read_mops / rw.read_mops) +
+                                "x"
+                          : "-");
+        row.push_back((rwlock_only() ? std::string("-")
+                                     : common::Table::num(opt.p99_us)) +
+                      " / " + common::Table::num(rw.p99_us));
+        table.add_row(std::move(row));
+      }
+      table.print();
+      std::cout << '\n';
+    }
+  }
+
+  if (const char* path = std::getenv("HART_BENCH_JSON");
+      path != nullptr && path[0] != '\0')
+    emit_json(path, cells, n, max_threads);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hart::bench
+
+int main(int argc, char** argv) { return hart::bench::run(argc, argv); }

@@ -23,7 +23,7 @@ int usage(const char* prog) {
   std::cerr << "usage: " << prog
             << " <file> put <key> <value> | get <key> | del <key> | "
                "scan <lo> <n> | stats\n"
-               "keys: 1..24 bytes (no NUL); values: 1..16 bytes\n";
+               "keys: 1..24 bytes (no NUL); values: 1..64 bytes\n";
   return 2;
 }
 

@@ -18,7 +18,7 @@ int main() {
   // select the ART through the DRAM hash table (the paper's default).
   hart::core::Hart index(arena, {.hash_key_len = 2});
 
-  // Insert. Keys are 1..24 NUL-free bytes; values are 1..16 bytes.
+  // Insert. Keys are 1..24 NUL-free bytes; values are 1..64 bytes.
   index.insert("apple", "fruit");
   index.insert("apricot", "fruit");
   index.insert("avocado", "berry?");

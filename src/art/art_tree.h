@@ -14,8 +14,31 @@
 // implementation was based on). Iteration order is therefore plain
 // lexicographic order.
 //
-// Concurrency: single writer, or multiple readers with no writer — HART
-// enforces this with one reader/writer lock per ART (Section III.A.3).
+// Concurrency: single writer, plus any number of lock-free optimistic
+// readers (search_optimistic). The write side is serialized externally
+// (HART holds the partition write lock); the read side never locks:
+//
+//   * every node carries a seqlock-style version word (odd = mid-mutation
+//     or obsolete). Readers snapshot it before consuming a node and
+//     re-validate after (read_begin/read_validate);
+//   * in-place mutations are confined to the child arrays of a published
+//     node and are bracketed by lock_version/unlock_version;
+//   * every structural change — grow, shrink, prefix split, NODE4 collapse
+//     — builds a replacement node off-line, publishes it with one release
+//     store into the parent slot, and retires the replaced node. Node
+//     type, prefix_len and prefix bytes are therefore immutable once a
+//     node is published, which is what makes a reader's depth accounting
+//     safe against concurrent path-compression changes;
+//   * retired nodes are marked obsolete (version forced odd forever) and
+//     handed to an ebr::Domain so their memory outlives any reader still
+//     inside them. With no domain (ebr == nullptr) frees are eager and
+//     readers must hold the external lock (the pre-OLC behaviour).
+//
+// A stale reader can therefore only ever observe a consistent historical
+// snapshot: replacement nodes share their (immutable) subtrees with the
+// nodes they replace, and any torn in-place edit fails validation.
+// Owners must drain the EBR domain before destroying a Tree: retire
+// callbacks reference the tree (for dram_bytes accounting).
 #pragma once
 
 #include <algorithm>
@@ -25,6 +48,7 @@
 #include <cstring>
 #include <span>
 
+#include "common/ebr.h"
 #include "obs/counters.h"
 
 namespace hart::art {
@@ -34,6 +58,12 @@ namespace detail {
 inline obs::Counter& grow_counter() {
   static obs::Counter& c =
       obs::Registry::instance().counter("art_node_grow_total");
+  return c;
+}
+/// HARTscope: optimistic-read attempts that failed validation and retried.
+inline obs::Counter& optimistic_retry_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("art_optimistic_retry_total");
   return c;
 }
 }  // namespace detail
@@ -55,29 +85,67 @@ namespace detail {
 enum NodeType : uint8_t { kNode4 = 1, kNode16 = 2, kNode48 = 3, kNode256 = 4 };
 
 struct Node {
+  // Immutable once the node is published into the tree:
   uint8_t type;
-  uint16_t num_children = 0;  // NODE256 can hold 256 children
   uint32_t prefix_len = 0;              // logical length of the compressed path
   uint8_t prefix[kMaxPrefixLen] = {0};  // first min(prefix_len, kMax) bytes
+  // Seqlock word: even = stable, odd = mid-mutation or obsolete (retired).
+  std::atomic<uint64_t> version{0};
+  std::atomic<uint16_t> num_children{0};  // NODE256 can hold 256 children
 };
 
 struct Node4 : Node {
-  uint8_t keys[4];
-  Node* children[4];
+  std::atomic<uint8_t> keys[4];
+  std::atomic<Node*> children[4];
 };
 struct Node16 : Node {
-  uint8_t keys[16];
-  Node* children[16];
+  std::atomic<uint8_t> keys[16];
+  std::atomic<Node*> children[16];
 };
 struct Node48 : Node {
-  uint8_t child_index[256];  // 0xFF = empty, else slot into children
-  Node* children[48];
+  std::atomic<uint8_t> child_index[256];  // kEmptySlot = empty, else slot
+  std::atomic<Node*> children[48];
 };
 struct Node256 : Node {
-  Node* children[256];
+  std::atomic<Node*> children[256];
 };
 
 inline constexpr uint8_t kEmptySlot = 0xFF;
+
+// ---- seqlock protocol (Boehm-style seqlock over relaxed atomics) --------
+/// Writer: make the version odd before an in-place edit. The release fence
+/// orders the odd store before the (relaxed) data stores that follow, so a
+/// reader that observed any of them re-reads an odd/advanced version.
+inline void lock_version(Node* n) {
+  n->version.store(n->version.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+}
+/// Writer: back to even; the release store orders the edit before it.
+inline void unlock_version(Node* n) {
+  n->version.store(n->version.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+}
+/// Writer: a replaced node is left odd forever so any reader still holding
+/// it fails validation (it must currently be even — never retire mid-edit).
+inline void mark_obsolete(Node* n) {
+  n->version.store(n->version.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+}
+
+/// Reader: snapshot the version; false if the node is mid-mutation or
+/// obsolete (caller restarts).
+inline bool read_begin(const Node* n, uint64_t* v) {
+  *v = n->version.load(std::memory_order_acquire);
+  return (*v & 1) == 0;
+}
+/// Reader: true iff everything read since read_begin was a consistent
+/// snapshot. The acquire fence orders the (relaxed) data loads before the
+/// re-read of the version.
+inline bool read_validate(const Node* n, uint64_t v) {
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return n->version.load(std::memory_order_relaxed) == v;
+}
 
 }  // namespace detail
 
@@ -95,20 +163,37 @@ class Tree {
  public:
   using Leaf = typename Traits::Leaf;
 
+  /// Result of one optimistic lookup: `ok == false` means validation kept
+  /// failing (writer churn) and the caller should fall back to a locked
+  /// read; `ok == true` makes `leaf` definitive (nullptr = not present).
+  struct SearchResult {
+    Leaf* leaf = nullptr;
+    bool ok = false;
+  };
+
   /// `dram_bytes` (optional) tracks this tree's internal-node footprint.
+  /// `ebr` (optional) defers node frees past concurrent optimistic
+  /// readers; nullptr frees eagerly (readers must then hold the caller's
+  /// lock). The domain must be drained before the tree is destroyed.
   explicit Tree(Traits traits = Traits{},
-                std::atomic<uint64_t>* dram_bytes = nullptr)
-      : traits_(traits), dram_bytes_(dram_bytes) {}
+                std::atomic<uint64_t>* dram_bytes = nullptr,
+                common::ebr::Domain* ebr = nullptr)
+      : traits_(traits), dram_bytes_(dram_bytes), ebr_(ebr) {}
   ~Tree() { clear(); }
   Tree(const Tree&) = delete;
   Tree& operator=(const Tree&) = delete;
 
-  [[nodiscard]] bool empty() const { return root_ == nullptr; }
-  [[nodiscard]] size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const {
+    return root_.load(std::memory_order_acquire) == nullptr;
+  }
+  [[nodiscard]] size_t size() const {
+    return count_.load(std::memory_order_relaxed);
+  }
 
-  /// Point lookup; nullptr if absent.
+  /// Point lookup; nullptr if absent. Requires the caller's lock (shared
+  /// or exclusive) — no validation is performed.
   [[nodiscard]] Leaf* search(Key k) const {
-    Node* n = root_;
+    Node* n = root_.load(std::memory_order_acquire);
     uint32_t depth = 0;
     while (n != nullptr) {
       if (is_leaf(n)) {
@@ -122,11 +207,23 @@ class Tree {
           if (n->prefix[i] != key_at(k, depth + i)) return nullptr;
         depth += n->prefix_len;
       }
-      Node* const* child = find_child(n, key_at(k, depth));
-      n = child != nullptr ? *child : nullptr;
+      n = get_child(n, key_at(k, depth));
       ++depth;
     }
     return nullptr;
+  }
+
+  /// Lock-free point lookup: validate-and-retry descent, up to
+  /// `max_attempts` restarts before giving up (result.ok == false).
+  /// The caller must hold an ebr::Guard on this tree's domain.
+  [[nodiscard]] SearchResult search_optimistic(Key k,
+                                               int max_attempts = 64) const {
+    for (int a = 0; a < max_attempts; ++a) {
+      SearchResult r = search_attempt(k);
+      if (r.ok) return r;
+      detail::optimistic_retry_counter().inc();
+    }
+    return {nullptr, false};
   }
 
   /// Insert `leaf` under key `k`. If the key already exists, nothing is
@@ -139,28 +236,36 @@ class Tree {
 
   /// Leftmost (smallest-key) leaf; nullptr when empty.
   [[nodiscard]] Leaf* minimum() const {
-    return root_ ? minimum(root_) : nullptr;
+    Node* r = root_.load(std::memory_order_acquire);
+    return r != nullptr ? minimum(r) : nullptr;
   }
 
   /// In-order traversal of all leaves; `fn(Leaf*)` returns false to stop.
-  /// Returns false iff stopped early.
+  /// Returns false iff stopped early. Under a concurrent writer the walk is
+  /// memory-safe but may reflect a torn snapshot — callers that run it
+  /// optimistically must validate externally (HART: partition mod-version)
+  /// and discard the results on mismatch.
   template <class F>
   bool for_each(F&& fn) const {
-    return root_ == nullptr || walk_all(root_, fn);
+    Node* r = root_.load(std::memory_order_acquire);
+    return r == nullptr || walk_all(r, fn);
   }
 
-  /// In-order traversal of leaves with key >= lo.
+  /// In-order traversal of leaves with key >= lo (same caveats as for_each).
   template <class F>
   bool for_each_from(Key lo, F&& fn) const {
-    return root_ == nullptr || walk_from(root_, lo, 0, fn);
+    Node* r = root_.load(std::memory_order_acquire);
+    return r == nullptr || walk_from(r, lo, 0, fn);
   }
 
-  /// Free all internal nodes (leaves are owned by the caller).
+  /// Free all internal nodes (leaves are owned by the caller). Requires
+  /// exclusivity and a drained EBR domain.
   void clear() {
-    if (root_ != nullptr) {
-      clear_rec(root_);
-      root_ = nullptr;
-      count_ = 0;
+    Node* r = root_.load(std::memory_order_relaxed);
+    if (r != nullptr) {
+      clear_rec(r);
+      root_.store(nullptr, std::memory_order_relaxed);
+      count_.store(0, std::memory_order_relaxed);
     }
   }
 
@@ -184,7 +289,7 @@ class Tree {
   // ---- node memory ------------------------------------------------------
   template <class N>
   N* alloc_node(detail::NodeType t) {
-    N* n = new N();
+    N* n = new N();  // value-init: atomics zero, child_index set by callers
     n->type = t;
     if (dram_bytes_)
       dram_bytes_->fetch_add(sizeof(N), std::memory_order_relaxed);
@@ -209,6 +314,19 @@ class Tree {
     }
   }
 
+  static void retire_cb(void* p, void* ctx) {
+    static_cast<Tree*>(ctx)->free_node(static_cast<Node*>(p));
+  }
+  /// Replaced node: fail any reader still holding it, defer the free past
+  /// every current reader epoch (or free eagerly without a domain).
+  void retire_node(Node* n) {
+    detail::mark_obsolete(n);
+    if (ebr_ != nullptr)
+      ebr_->retire(n, &retire_cb, this);
+    else
+      free_node(n);
+  }
+
   void clear_rec(Node* n) {
     if (is_leaf(n)) return;
     for_each_child(n, [&](uint32_t, Node* c) {
@@ -219,73 +337,133 @@ class Tree {
   }
 
   // ---- child access -------------------------------------------------------
-  static Node* const* find_child(const Node* n, uint32_t byte) {
+  /// Read-side child lookup: loads the slot value (acquire, so a freshly
+  /// published node's immutable fields are visible). Tolerates torn state
+  /// (bounds-checks NODE48 slots, null-checks) — a wrong answer under a
+  /// concurrent edit is caught by the caller's validation.
+  static Node* get_child(const Node* n, uint32_t byte) {
     switch (n->type) {
       case detail::kNode4: {
         const auto* p = static_cast<const Node4*>(n);
-        for (int i = 0; i < p->num_children; ++i)
-          if (p->keys[i] == byte) return &p->children[i];
+        const uint16_t nc = std::min<uint16_t>(
+            p->num_children.load(std::memory_order_acquire), 4);
+        for (uint16_t i = 0; i < nc; ++i)
+          if (p->keys[i].load(std::memory_order_relaxed) == byte)
+            return p->children[i].load(std::memory_order_acquire);
         return nullptr;
       }
       case detail::kNode16: {
         const auto* p = static_cast<const Node16*>(n);
-        for (int i = 0; i < p->num_children; ++i)
-          if (p->keys[i] == byte) return &p->children[i];
+        const uint16_t nc = std::min<uint16_t>(
+            p->num_children.load(std::memory_order_acquire), 16);
+        for (uint16_t i = 0; i < nc; ++i)
+          if (p->keys[i].load(std::memory_order_relaxed) == byte)
+            return p->children[i].load(std::memory_order_acquire);
         return nullptr;
       }
       case detail::kNode48: {
         const auto* p = static_cast<const Node48*>(n);
-        const uint8_t slot = p->child_index[byte];
-        return slot == detail::kEmptySlot ? nullptr : &p->children[slot];
+        const uint8_t slot = p->child_index[byte].load(std::memory_order_relaxed);
+        if (slot == detail::kEmptySlot || slot >= 48) return nullptr;
+        return p->children[slot].load(std::memory_order_acquire);
       }
       default: {
         const auto* p = static_cast<const Node256*>(n);
-        return p->children[byte] != nullptr ? &p->children[byte] : nullptr;
+        return p->children[byte].load(std::memory_order_acquire);
       }
     }
   }
-  static Node** find_child(Node* n, uint32_t byte) {
-    return const_cast<Node**>(find_child(static_cast<const Node*>(n), byte));
+
+  /// Write-side child lookup (writer-exclusive): the mutable slot.
+  static std::atomic<Node*>* find_child_slot(Node* n, uint32_t byte) {
+    switch (n->type) {
+      case detail::kNode4: {
+        auto* p = static_cast<Node4*>(n);
+        const uint16_t nc = p->num_children.load(std::memory_order_relaxed);
+        for (uint16_t i = 0; i < nc; ++i)
+          if (p->keys[i].load(std::memory_order_relaxed) == byte)
+            return &p->children[i];
+        return nullptr;
+      }
+      case detail::kNode16: {
+        auto* p = static_cast<Node16*>(n);
+        const uint16_t nc = p->num_children.load(std::memory_order_relaxed);
+        for (uint16_t i = 0; i < nc; ++i)
+          if (p->keys[i].load(std::memory_order_relaxed) == byte)
+            return &p->children[i];
+        return nullptr;
+      }
+      case detail::kNode48: {
+        auto* p = static_cast<Node48*>(n);
+        const uint8_t slot = p->child_index[byte].load(std::memory_order_relaxed);
+        return slot == detail::kEmptySlot ? nullptr : &p->children[slot];
+      }
+      default: {
+        auto* p = static_cast<Node256*>(n);
+        return p->children[byte].load(std::memory_order_relaxed) != nullptr
+                   ? &p->children[byte]
+                   : nullptr;
+      }
+    }
   }
 
   /// Invoke f(byte, child) in ascending key-byte order; f returns false to
-  /// stop. Returns false iff stopped.
+  /// stop. Returns false iff stopped. Null-checks every slot so a torn
+  /// snapshot (concurrent writer) cannot yield a null deref downstream.
   template <class F>
   static bool for_each_child(const Node* n, F&& f) {
     switch (n->type) {
       case detail::kNode4: {
         const auto* p = static_cast<const Node4*>(n);
-        for (int i = 0; i < p->num_children; ++i)
-          if (!f(p->keys[i], p->children[i])) return false;
+        const uint16_t nc = std::min<uint16_t>(
+            p->num_children.load(std::memory_order_acquire), 4);
+        for (uint16_t i = 0; i < nc; ++i) {
+          Node* c = p->children[i].load(std::memory_order_acquire);
+          if (c != nullptr &&
+              !f(p->keys[i].load(std::memory_order_relaxed), c))
+            return false;
+        }
         return true;
       }
       case detail::kNode16: {
         const auto* p = static_cast<const Node16*>(n);
-        for (int i = 0; i < p->num_children; ++i)
-          if (!f(p->keys[i], p->children[i])) return false;
+        const uint16_t nc = std::min<uint16_t>(
+            p->num_children.load(std::memory_order_acquire), 16);
+        for (uint16_t i = 0; i < nc; ++i) {
+          Node* c = p->children[i].load(std::memory_order_acquire);
+          if (c != nullptr &&
+              !f(p->keys[i].load(std::memory_order_relaxed), c))
+            return false;
+        }
         return true;
       }
       case detail::kNode48: {
         const auto* p = static_cast<const Node48*>(n);
         for (uint32_t b = 0; b < 256; ++b) {
-          const uint8_t slot = p->child_index[b];
-          if (slot != detail::kEmptySlot)
-            if (!f(b, p->children[slot])) return false;
+          const uint8_t slot =
+              p->child_index[b].load(std::memory_order_relaxed);
+          if (slot == detail::kEmptySlot || slot >= 48) continue;
+          Node* c = p->children[slot].load(std::memory_order_acquire);
+          if (c != nullptr && !f(b, c)) return false;
         }
         return true;
       }
       default: {
         const auto* p = static_cast<const Node256*>(n);
-        for (uint32_t b = 0; b < 256; ++b)
-          if (p->children[b] != nullptr)
-            if (!f(b, p->children[b])) return false;
+        for (uint32_t b = 0; b < 256; ++b) {
+          Node* c = p->children[b].load(std::memory_order_acquire);
+          if (c != nullptr && !f(b, c)) return false;
+        }
         return true;
       }
     }
   }
 
+  /// Leftmost leaf of `n`'s subtree; nullptr on a torn snapshot that
+  /// dead-ends (only possible under a concurrent writer — callers on the
+  /// optimistic path treat it as "invalid, will be re-validated").
   Leaf* minimum(const Node* n) const {
-    while (!is_leaf(n)) {
+    while (n != nullptr && !is_leaf(n)) {
       const Node* next = nullptr;
       for_each_child(n, [&](uint32_t, Node* c) {
         next = c;
@@ -293,7 +471,7 @@ class Tree {
       });
       n = next;
     }
-    return as_leaf(n);
+    return n != nullptr ? as_leaf(n) : nullptr;
   }
 
   // ---- prefix helpers ----------------------------------------------------
@@ -305,111 +483,202 @@ class Tree {
     for (; i < stored; ++i)
       if (n->prefix[i] != key_at(k, depth + i)) return i;
     if (n->prefix_len > kMaxPrefixLen) {
-      const Key lk = traits_.key(minimum(n));
+      Leaf* ml = minimum(n);
+      if (ml == nullptr) return i;  // torn snapshot; writer-side never hits
+      const Key lk = traits_.key(ml);
       for (; i < n->prefix_len; ++i)
         if (key_at(lk, depth + i) != key_at(k, depth + i)) return i;
     }
     return n->prefix_len;
   }
 
+  // ---- raw (unpublished-node) child insertion ----------------------------
+  /// Sorted insert into a NODE4/16 that is not yet published (or whose
+  /// version is locked by the caller): plain relaxed stores, no locking.
+  template <class N>
+  static void add_sorted_raw(N* p, uint32_t byte, Node* child) {
+    const uint16_t nc = p->num_children.load(std::memory_order_relaxed);
+    uint16_t pos = 0;
+    while (pos < nc && p->keys[pos].load(std::memory_order_relaxed) < byte)
+      ++pos;
+    for (uint16_t i = nc; i > pos; --i) {
+      p->keys[i].store(p->keys[i - 1].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      p->children[i].store(p->children[i - 1].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+    p->keys[pos].store(static_cast<uint8_t>(byte), std::memory_order_relaxed);
+    p->children[pos].store(child, std::memory_order_relaxed);
+    p->num_children.store(nc + 1, std::memory_order_relaxed);
+  }
+
+  static void copy_header(Node* dst, const Node* src) {
+    dst->num_children.store(src->num_children.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    dst->prefix_len = src->prefix_len;
+    std::memcpy(dst->prefix, src->prefix, kMaxPrefixLen);
+  }
+
+  /// Deep-copy of one node (children pointers shared, not cloned) — the
+  /// building block of every clone-and-publish structural change.
+  Node* clone_node(const Node* n) {
+    switch (n->type) {
+      case detail::kNode4: {
+        const auto* s = static_cast<const Node4*>(n);
+        auto* d = alloc_node<Node4>(detail::kNode4);
+        copy_header(d, s);
+        for (int i = 0; i < 4; ++i) {
+          d->keys[i].store(s->keys[i].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+          d->children[i].store(s->children[i].load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+        }
+        return d;
+      }
+      case detail::kNode16: {
+        const auto* s = static_cast<const Node16*>(n);
+        auto* d = alloc_node<Node16>(detail::kNode16);
+        copy_header(d, s);
+        for (int i = 0; i < 16; ++i) {
+          d->keys[i].store(s->keys[i].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+          d->children[i].store(s->children[i].load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+        }
+        return d;
+      }
+      case detail::kNode48: {
+        const auto* s = static_cast<const Node48*>(n);
+        auto* d = alloc_node<Node48>(detail::kNode48);
+        copy_header(d, s);
+        for (uint32_t b = 0; b < 256; ++b)
+          d->child_index[b].store(
+              s->child_index[b].load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+        for (int i = 0; i < 48; ++i)
+          d->children[i].store(s->children[i].load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+        return d;
+      }
+      default: {
+        const auto* s = static_cast<const Node256*>(n);
+        auto* d = alloc_node<Node256>(detail::kNode256);
+        copy_header(d, s);
+        for (uint32_t b = 0; b < 256; ++b)
+          d->children[b].store(s->children[b].load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+        return d;
+      }
+    }
+  }
+
   // ---- add / grow ----------------------------------------------------------
-  void add_child(Node*& ref, Node* n, uint32_t byte, Node* child) {
+  /// Add `child` under `byte`. In place (seqlocked) when the node has room;
+  /// otherwise grow: build the bigger node off-line with the new child
+  /// already in it, publish with one release store, retire the old node.
+  void add_child(std::atomic<Node*>& ref, Node* n, uint32_t byte,
+                 Node* child) {
     switch (n->type) {
       case detail::kNode4: {
         auto* p = static_cast<Node4*>(n);
-        if (p->num_children < 4) {
-          int pos = 0;
-          while (pos < p->num_children && p->keys[pos] < byte) ++pos;
-          std::memmove(p->keys + pos + 1, p->keys + pos,
-                       p->num_children - pos);
-          std::memmove(p->children + pos + 1, p->children + pos,
-                       (p->num_children - pos) * sizeof(Node*));
-          p->keys[pos] = static_cast<uint8_t>(byte);
-          p->children[pos] = child;
-          ++p->num_children;
+        if (p->num_children.load(std::memory_order_relaxed) < 4) {
+          detail::lock_version(p);
+          add_sorted_raw(p, byte, child);
+          detail::unlock_version(p);
         } else {
           detail::grow_counter().inc();
           auto* g = alloc_node<Node16>(detail::kNode16);
-          std::memcpy(g->keys, p->keys, 4);
-          std::memcpy(g->children, p->children, 4 * sizeof(Node*));
           copy_header(g, p);
-          ref = g;
-          free_node(p);
-          add_child(ref, g, byte, child);
+          for (int i = 0; i < 4; ++i) {
+            g->keys[i].store(p->keys[i].load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+            g->children[i].store(
+                p->children[i].load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+          }
+          add_sorted_raw(g, byte, child);
+          ref.store(g, std::memory_order_release);
+          retire_node(p);
         }
         return;
       }
       case detail::kNode16: {
         auto* p = static_cast<Node16*>(n);
-        if (p->num_children < 16) {
-          int pos = 0;
-          while (pos < p->num_children && p->keys[pos] < byte) ++pos;
-          std::memmove(p->keys + pos + 1, p->keys + pos,
-                       p->num_children - pos);
-          std::memmove(p->children + pos + 1, p->children + pos,
-                       (p->num_children - pos) * sizeof(Node*));
-          p->keys[pos] = static_cast<uint8_t>(byte);
-          p->children[pos] = child;
-          ++p->num_children;
+        if (p->num_children.load(std::memory_order_relaxed) < 16) {
+          detail::lock_version(p);
+          add_sorted_raw(p, byte, child);
+          detail::unlock_version(p);
         } else {
           detail::grow_counter().inc();
           auto* g = alloc_node<Node48>(detail::kNode48);
-          std::memset(g->child_index, detail::kEmptySlot, 256);
-          std::memset(g->children, 0, sizeof(g->children));
+          for (uint32_t b = 0; b < 256; ++b)
+            g->child_index[b].store(detail::kEmptySlot,
+                                    std::memory_order_relaxed);
           for (int i = 0; i < 16; ++i) {
-            g->child_index[p->keys[i]] = static_cast<uint8_t>(i);
-            g->children[i] = p->children[i];
+            g->child_index[p->keys[i].load(std::memory_order_relaxed)].store(
+                static_cast<uint8_t>(i), std::memory_order_relaxed);
+            g->children[i].store(
+                p->children[i].load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
           }
           copy_header(g, p);
-          ref = g;
-          free_node(p);
-          add_child(ref, g, byte, child);
+          g->children[16].store(child, std::memory_order_relaxed);
+          g->child_index[byte].store(16, std::memory_order_relaxed);
+          g->num_children.store(17, std::memory_order_relaxed);
+          ref.store(g, std::memory_order_release);
+          retire_node(p);
         }
         return;
       }
       case detail::kNode48: {
         auto* p = static_cast<Node48*>(n);
-        if (p->num_children < 48) {
+        if (p->num_children.load(std::memory_order_relaxed) < 48) {
+          detail::lock_version(p);
           int slot = 0;
-          while (p->children[slot] != nullptr) ++slot;
-          p->children[slot] = child;
-          p->child_index[byte] = static_cast<uint8_t>(slot);
-          ++p->num_children;
+          while (p->children[slot].load(std::memory_order_relaxed) != nullptr)
+            ++slot;
+          p->children[slot].store(child, std::memory_order_relaxed);
+          p->child_index[byte].store(static_cast<uint8_t>(slot),
+                                     std::memory_order_relaxed);
+          p->num_children.fetch_add(1, std::memory_order_relaxed);
+          detail::unlock_version(p);
         } else {
           detail::grow_counter().inc();
           auto* g = alloc_node<Node256>(detail::kNode256);
-          std::memset(g->children, 0, sizeof(g->children));
-          for (uint32_t b = 0; b < 256; ++b)
-            if (p->child_index[b] != detail::kEmptySlot)
-              g->children[b] = p->children[p->child_index[b]];
+          for (uint32_t b = 0; b < 256; ++b) {
+            const uint8_t slot =
+                p->child_index[b].load(std::memory_order_relaxed);
+            if (slot != detail::kEmptySlot)
+              g->children[b].store(
+                  p->children[slot].load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+          }
           copy_header(g, p);
-          ref = g;
-          free_node(p);
-          add_child(ref, g, byte, child);
+          g->children[byte].store(child, std::memory_order_relaxed);
+          g->num_children.store(49, std::memory_order_relaxed);
+          ref.store(g, std::memory_order_release);
+          retire_node(p);
         }
         return;
       }
       default: {
         auto* p = static_cast<Node256*>(n);
-        p->children[byte] = child;
-        ++p->num_children;
+        detail::lock_version(p);
+        p->children[byte].store(child, std::memory_order_relaxed);
+        p->num_children.fetch_add(1, std::memory_order_relaxed);
+        detail::unlock_version(p);
         return;
       }
     }
   }
 
-  static void copy_header(Node* dst, const Node* src) {
-    dst->num_children = src->num_children;
-    dst->prefix_len = src->prefix_len;
-    std::memcpy(dst->prefix, src->prefix, kMaxPrefixLen);
-  }
-
   // ---- insert ----------------------------------------------------------
-  Leaf* insert_rec(Node*& ref, Key k, Leaf* leaf, uint32_t depth) {
-    Node* n = ref;
+  Leaf* insert_rec(std::atomic<Node*>& ref, Key k, Leaf* leaf,
+                   uint32_t depth) {
+    Node* n = ref.load(std::memory_order_relaxed);
     if (n == nullptr) {
-      ref = tag_leaf(leaf);
-      ++count_;
+      ref.store(tag_leaf(leaf), std::memory_order_release);
+      count_.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
     if (is_leaf(n)) {
@@ -423,61 +692,65 @@ class Tree {
       nn->prefix_len = lcp;
       for (uint32_t i = 0; i < std::min(lcp, kMaxPrefixLen); ++i)
         nn->prefix[i] = static_cast<uint8_t>(key_at(k, depth + i));
-      Node* nref = nn;
-      add_child(nref, nn, key_at(k, depth + lcp), tag_leaf(leaf));
-      add_child(nref, nn, key_at(ek, depth + lcp), n);
-      ref = nref;
-      ++count_;
+      add_sorted_raw(nn, key_at(k, depth + lcp), tag_leaf(leaf));
+      add_sorted_raw(nn, key_at(ek, depth + lcp), n);
+      ref.store(nn, std::memory_order_release);
+      count_.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
 
     if (n->prefix_len > 0) {
       const uint32_t p = prefix_mismatch(n, k, depth);
       if (p < n->prefix_len) {
-        // Split the compressed path at position p.
+        // Split the compressed path at position p. n's prefix is immutable
+        // once published, so the shortened remainder is a clone of n; the
+        // new NODE4 points at the clone and the new leaf, and n retires.
         auto* nn = alloc_node<Node4>(detail::kNode4);
         nn->prefix_len = p;
         std::memcpy(nn->prefix, n->prefix, std::min(p, kMaxPrefixLen));
-        Node* nref = nn;
+        Node* shrunk = clone_node(n);
+        shrunk->prefix_len = n->prefix_len - (p + 1);
+        uint32_t edge;
         if (n->prefix_len <= kMaxPrefixLen) {
-          add_child(nref, nn, n->prefix[p], n);
-          n->prefix_len -= p + 1;
-          std::memmove(n->prefix, n->prefix + p + 1,
-                       std::min(n->prefix_len, kMaxPrefixLen));
+          edge = n->prefix[p];
+          for (uint32_t i = 0; i < std::min(shrunk->prefix_len, kMaxPrefixLen);
+               ++i)
+            shrunk->prefix[i] = n->prefix[p + 1 + i];
         } else {
           // Recover the edge byte and the new stored prefix from a leaf.
           const Key lk = traits_.key(minimum(n));
-          n->prefix_len -= p + 1;
-          add_child(nref, nn, key_at(lk, depth + p), n);
-          for (uint32_t i = 0; i < std::min(n->prefix_len, kMaxPrefixLen);
+          edge = key_at(lk, depth + p);
+          for (uint32_t i = 0; i < std::min(shrunk->prefix_len, kMaxPrefixLen);
                ++i)
-            n->prefix[i] =
+            shrunk->prefix[i] =
                 static_cast<uint8_t>(key_at(lk, depth + p + 1 + i));
         }
-        add_child(nref, nn, key_at(k, depth + p), tag_leaf(leaf));
-        ref = nref;
-        ++count_;
+        add_sorted_raw(nn, edge, shrunk);
+        add_sorted_raw(nn, key_at(k, depth + p), tag_leaf(leaf));
+        ref.store(nn, std::memory_order_release);
+        retire_node(n);
+        count_.fetch_add(1, std::memory_order_relaxed);
         return nullptr;
       }
       depth += n->prefix_len;
     }
 
-    Node** child = find_child(n, key_at(k, depth));
+    std::atomic<Node*>* child = find_child_slot(n, key_at(k, depth));
     if (child != nullptr) return insert_rec(*child, k, leaf, depth + 1);
     add_child(ref, n, key_at(k, depth), tag_leaf(leaf));
-    ++count_;
+    count_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
 
   // ---- remove / shrink ---------------------------------------------------
-  Leaf* remove_rec(Node*& ref, Key k, uint32_t depth) {
-    Node* n = ref;
+  Leaf* remove_rec(std::atomic<Node*>& ref, Key k, uint32_t depth) {
+    Node* n = ref.load(std::memory_order_relaxed);
     if (n == nullptr) return nullptr;
     if (is_leaf(n)) {
       Leaf* l = as_leaf(n);
       if (!leaf_matches(l, k)) return nullptr;
-      ref = nullptr;
-      --count_;
+      ref.store(nullptr, std::memory_order_release);
+      count_.fetch_sub(1, std::memory_order_relaxed);
       return l;
     }
     if (n->prefix_len > 0) {
@@ -487,112 +760,210 @@ class Tree {
       depth += n->prefix_len;
     }
     const uint32_t byte = key_at(k, depth);
-    Node** child = find_child(n, byte);
+    std::atomic<Node*>* child = find_child_slot(n, byte);
     if (child == nullptr) return nullptr;
-    if (is_leaf(*child)) {
-      Leaf* l = as_leaf(*child);
+    Node* c = child->load(std::memory_order_relaxed);
+    if (is_leaf(c)) {
+      Leaf* l = as_leaf(c);
       if (!leaf_matches(l, k)) return nullptr;
-      remove_child(ref, n, byte, child);
-      --count_;
+      remove_child(ref, n, byte);
+      count_.fetch_sub(1, std::memory_order_relaxed);
       return l;
     }
     return remove_rec(*child, k, depth + 1);
   }
 
-  void remove_child(Node*& ref, Node* n, uint32_t byte, Node** slot) {
+  /// Remove the child under `byte`. In place (seqlocked) normally; at the
+  /// shrink thresholds (or the NODE4 collapse) build the smaller
+  /// replacement off-line, publish, retire the old node(s).
+  void remove_child(std::atomic<Node*>& ref, Node* n, uint32_t byte) {
     switch (n->type) {
       case detail::kNode4: {
         auto* p = static_cast<Node4*>(n);
-        const auto pos = static_cast<int>(slot - p->children);
-        std::memmove(p->keys + pos, p->keys + pos + 1,
-                     p->num_children - pos - 1);
-        std::memmove(p->children + pos, p->children + pos + 1,
-                     (p->num_children - pos - 1) * sizeof(Node*));
-        --p->num_children;
-        if (p->num_children == 1) {
-          Node* child = p->children[0];
-          if (!is_leaf(child)) {
-            // Re-concatenate the compressed paths (path compression).
-            uint32_t pl = p->prefix_len;
-            if (pl < kMaxPrefixLen) p->prefix[pl] = p->keys[0];
+        const uint16_t nc = p->num_children.load(std::memory_order_relaxed);
+        if (nc == 2) {
+          // Collapse: splice the surviving child into the parent slot.
+          const uint16_t keep =
+              p->keys[0].load(std::memory_order_relaxed) == byte ? 1 : 0;
+          const uint8_t edge = p->keys[keep].load(std::memory_order_relaxed);
+          Node* child = p->children[keep].load(std::memory_order_relaxed);
+          if (is_leaf(child)) {
+            ref.store(child, std::memory_order_release);
+            retire_node(p);
+          } else {
+            // Re-concatenate the compressed paths (path compression) on a
+            // clone — child's own prefix must stay immutable for readers.
+            Node* merged = clone_node(child);
+            uint8_t buf[kMaxPrefixLen];
+            uint32_t pl = p->prefix_len;  // logical length
+            std::memcpy(buf, p->prefix, std::min(pl, kMaxPrefixLen));
+            if (pl < kMaxPrefixLen) buf[pl] = edge;
             ++pl;
             if (pl < kMaxPrefixLen) {
-              const uint32_t sub = std::min(child->prefix_len,
-                                            kMaxPrefixLen - pl);
-              std::memcpy(p->prefix + pl, child->prefix, sub);
+              const uint32_t sub =
+                  std::min(child->prefix_len, kMaxPrefixLen - pl);
+              std::memcpy(buf + pl, child->prefix, sub);
               pl += sub;
             }
-            std::memcpy(child->prefix, p->prefix,
-                        std::min(pl, kMaxPrefixLen));
-            child->prefix_len += p->prefix_len + 1;
+            std::memcpy(merged->prefix, buf, std::min(pl, kMaxPrefixLen));
+            merged->prefix_len = child->prefix_len + p->prefix_len + 1;
+            ref.store(merged, std::memory_order_release);
+            retire_node(child);
+            retire_node(p);
           }
-          ref = child;
-          free_node(p);
+          return;
         }
+        detail::lock_version(p);
+        remove_sorted_locked(p, byte, nc);
+        detail::unlock_version(p);
         return;
       }
       case detail::kNode16: {
         auto* p = static_cast<Node16*>(n);
-        const auto pos = static_cast<int>(slot - p->children);
-        std::memmove(p->keys + pos, p->keys + pos + 1,
-                     p->num_children - pos - 1);
-        std::memmove(p->children + pos, p->children + pos + 1,
-                     (p->num_children - pos - 1) * sizeof(Node*));
-        --p->num_children;
-        if (p->num_children == 3) {
+        const uint16_t nc = p->num_children.load(std::memory_order_relaxed);
+        if (nc == 4) {  // dropping to 3: shrink to NODE4
           auto* s = alloc_node<Node4>(detail::kNode4);
           copy_header(s, p);
-          std::memcpy(s->keys, p->keys, 3);
-          std::memcpy(s->children, p->children, 3 * sizeof(Node*));
-          ref = s;
-          free_node(p);
+          uint16_t j = 0;
+          for (uint16_t i = 0; i < nc; ++i) {
+            const uint8_t kb = p->keys[i].load(std::memory_order_relaxed);
+            if (kb == byte) continue;
+            s->keys[j].store(kb, std::memory_order_relaxed);
+            s->children[j].store(
+                p->children[i].load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+            ++j;
+          }
+          s->num_children.store(j, std::memory_order_relaxed);
+          ref.store(s, std::memory_order_release);
+          retire_node(p);
+          return;
         }
+        detail::lock_version(p);
+        remove_sorted_locked(p, byte, nc);
+        detail::unlock_version(p);
         return;
       }
       case detail::kNode48: {
         auto* p = static_cast<Node48*>(n);
-        const auto slot_idx = p->child_index[byte];
-        p->child_index[byte] = detail::kEmptySlot;
-        p->children[slot_idx] = nullptr;
-        --p->num_children;
-        if (p->num_children == 12) {
+        const uint16_t nc = p->num_children.load(std::memory_order_relaxed);
+        if (nc == 13) {  // dropping to 12: shrink to NODE16
           auto* s = alloc_node<Node16>(detail::kNode16);
           copy_header(s, p);
-          int j = 0;
-          for (uint32_t b = 0; b < 256; ++b)
-            if (p->child_index[b] != detail::kEmptySlot) {
-              s->keys[j] = static_cast<uint8_t>(b);
-              s->children[j] = p->children[p->child_index[b]];
-              ++j;
-            }
-          s->num_children = static_cast<uint16_t>(j);
-          ref = s;
-          free_node(p);
+          uint16_t j = 0;
+          for (uint32_t b = 0; b < 256; ++b) {
+            if (b == byte) continue;
+            const uint8_t slot =
+                p->child_index[b].load(std::memory_order_relaxed);
+            if (slot == detail::kEmptySlot) continue;
+            s->keys[j].store(static_cast<uint8_t>(b),
+                             std::memory_order_relaxed);
+            s->children[j].store(
+                p->children[slot].load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+            ++j;
+          }
+          s->num_children.store(j, std::memory_order_relaxed);
+          ref.store(s, std::memory_order_release);
+          retire_node(p);
+          return;
         }
+        detail::lock_version(p);
+        const uint8_t slot_idx =
+            p->child_index[byte].load(std::memory_order_relaxed);
+        p->child_index[byte].store(detail::kEmptySlot,
+                                   std::memory_order_relaxed);
+        p->children[slot_idx].store(nullptr, std::memory_order_relaxed);
+        p->num_children.fetch_sub(1, std::memory_order_relaxed);
+        detail::unlock_version(p);
         return;
       }
       default: {
         auto* p = static_cast<Node256*>(n);
-        p->children[byte] = nullptr;
-        --p->num_children;
-        if (p->num_children == 37) {
+        const uint16_t nc = p->num_children.load(std::memory_order_relaxed);
+        if (nc == 38) {  // dropping to 37: shrink to NODE48
           auto* s = alloc_node<Node48>(detail::kNode48);
           copy_header(s, p);
-          std::memset(s->child_index, detail::kEmptySlot, 256);
-          std::memset(s->children, 0, sizeof(s->children));
-          int j = 0;
           for (uint32_t b = 0; b < 256; ++b)
-            if (p->children[b] != nullptr) {
-              s->child_index[b] = static_cast<uint8_t>(j);
-              s->children[j] = p->children[b];
-              ++j;
-            }
-          s->num_children = static_cast<uint16_t>(j);
-          ref = s;
-          free_node(p);
+            s->child_index[b].store(detail::kEmptySlot,
+                                    std::memory_order_relaxed);
+          uint16_t j = 0;
+          for (uint32_t b = 0; b < 256; ++b) {
+            if (b == byte) continue;
+            Node* c = p->children[b].load(std::memory_order_relaxed);
+            if (c == nullptr) continue;
+            s->child_index[b].store(static_cast<uint8_t>(j),
+                                    std::memory_order_relaxed);
+            s->children[j].store(c, std::memory_order_relaxed);
+            ++j;
+          }
+          s->num_children.store(j, std::memory_order_relaxed);
+          ref.store(s, std::memory_order_release);
+          retire_node(p);
+          return;
         }
+        detail::lock_version(p);
+        p->children[byte].store(nullptr, std::memory_order_relaxed);
+        p->num_children.fetch_sub(1, std::memory_order_relaxed);
+        detail::unlock_version(p);
         return;
       }
+    }
+  }
+
+  /// In-place sorted removal from a version-locked NODE4/16.
+  template <class N>
+  static void remove_sorted_locked(N* p, uint32_t byte, uint16_t nc) {
+    uint16_t pos = 0;
+    while (pos < nc && p->keys[pos].load(std::memory_order_relaxed) != byte)
+      ++pos;
+    for (uint16_t i = pos; i + 1 < nc; ++i) {
+      p->keys[i].store(p->keys[i + 1].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      p->children[i].store(p->children[i + 1].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+    p->num_children.store(nc - 1, std::memory_order_relaxed);
+  }
+
+  // ---- optimistic descent --------------------------------------------------
+  /// One validate-and-retry attempt (classic OLC interleaved validation:
+  /// re-check the parent after pinning the child's version, so a child
+  /// retired between the two reads forces a restart instead of a stale
+  /// answer). ok == false: torn, caller retries.
+  SearchResult search_attempt(Key k) const {
+    Node* n = root_.load(std::memory_order_acquire);
+    if (n == nullptr) return {nullptr, true};
+    if (is_leaf(n)) {
+      Leaf* l = as_leaf(n);
+      return {leaf_matches(l, k) ? l : nullptr, true};
+    }
+    uint64_t v;
+    if (!detail::read_begin(n, &v)) return {nullptr, false};
+    uint32_t depth = 0;
+    for (;;) {
+      const uint32_t plen = n->prefix_len;  // immutable once published
+      const uint32_t m = std::min(plen, kMaxPrefixLen);
+      bool mismatch = false;
+      for (uint32_t i = 0; i < m; ++i)
+        if (n->prefix[i] != key_at(k, depth + i)) {
+          mismatch = true;
+          break;
+        }
+      Node* child =
+          mismatch ? nullptr : get_child(n, key_at(k, depth + plen));
+      if (!detail::read_validate(n, v)) return {nullptr, false};
+      if (mismatch || child == nullptr) return {nullptr, true};
+      depth += plen + 1;
+      if (is_leaf(child)) {
+        Leaf* l = as_leaf(child);
+        return {leaf_matches(l, k) ? l : nullptr, true};
+      }
+      uint64_t vc;
+      if (!detail::read_begin(child, &vc)) return {nullptr, false};
+      if (!detail::read_validate(n, v)) return {nullptr, false};
+      n = child;
+      v = vc;
     }
   }
 
@@ -615,7 +986,9 @@ class Tree {
       if (a != b) return a < b ? -1 : 1;
     }
     if (n->prefix_len > kMaxPrefixLen) {
-      const Key lk = traits_.key(minimum(n));
+      Leaf* ml = minimum(n);
+      if (ml == nullptr) return -1;  // torn snapshot; caller revalidates
+      const Key lk = traits_.key(ml);
       for (uint32_t i = stored; i < n->prefix_len; ++i) {
         const uint32_t a = key_at(lk, depth + i);
         const uint32_t b = key_at(lo, depth + i);
@@ -656,8 +1029,9 @@ class Tree {
 
   Traits traits_;
   std::atomic<uint64_t>* dram_bytes_;
-  Node* root_ = nullptr;
-  size_t count_ = 0;
+  common::ebr::Domain* ebr_;
+  std::atomic<Node*> root_{nullptr};
+  std::atomic<size_t> count_{0};
 };
 
 }  // namespace hart::art

@@ -2,14 +2,16 @@
 // Not part of the paper's comparison — it serves as the DRAM upper bound
 // in the "cost of persistence" ablation (how much of HART's time goes into
 // durability rather than indexing) and as a differential-testing oracle.
+//
+// Reads stay under the shared lock (no EBR domain is passed to the tree,
+// so node frees are eager) — optimistic reads are HART's job; the oracle
+// stays simple.
 #pragma once
 
 #include <atomic>
-#include <cstring>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -29,12 +31,14 @@ class DramIndex final : public common::Index {
     tree_.clear();
   }
 
-  bool insert(std::string_view key, std::string_view value) override {
-    validate(key, value);
+  common::Status insert(std::string_view key,
+                        std::string_view value) override {
+    if (auto s = common::validate_key(key); !s.ok()) return s;
+    if (auto s = common::validate_value(value); !s.ok()) return s;
     std::unique_lock lk(mu_);
     if (Leaf* existing = tree_.search(as_key(key)); existing != nullptr) {
       existing->value.assign(value);
-      return false;
+      return common::Status::kUpdated;
     }
     auto leaf = std::make_unique<Leaf>();
     leaf->key.assign(key);
@@ -43,43 +47,44 @@ class DramIndex final : public common::Index {
     Leaf* raw = leaf.release();  // (do not mix release() into the call:
                                  // argument evaluation order is unspecified)
     tree_.insert(as_key(raw->key), raw);
-    return true;
+    return common::Status::kInserted;
   }
 
-  bool search(std::string_view key, std::string* out) const override {
-    validate_key(key);
+  common::Status search(std::string_view key, std::string* out) const override {
+    if (auto s = common::validate_key(key); !s.ok()) return s;
     std::shared_lock lk(mu_);
     const Leaf* l = tree_.search(as_key(key));
-    if (l == nullptr) return false;
+    if (l == nullptr) return common::Status::kNotFound;
     if (out != nullptr) *out = l->value;
-    return true;
+    return common::Status::kOk;
   }
 
-  bool update(std::string_view key, std::string_view value) override {
-    validate(key, value);
+  common::Status update(std::string_view key,
+                        std::string_view value) override {
+    if (auto s = common::validate_key(key); !s.ok()) return s;
+    if (auto s = common::validate_value(value); !s.ok()) return s;
     std::unique_lock lk(mu_);
     Leaf* l = tree_.search(as_key(key));
-    if (l == nullptr) return false;
+    if (l == nullptr) return common::Status::kNotFound;
     l->value.assign(value);
-    return true;
+    return common::Status::kOk;
   }
 
-  bool remove(std::string_view key) override {
-    validate_key(key);
+  common::Status remove(std::string_view key) override {
+    if (auto s = common::validate_key(key); !s.ok()) return s;
     std::unique_lock lk(mu_);
     Leaf* l = tree_.remove(as_key(key));
-    if (l == nullptr) return false;
+    if (l == nullptr) return common::Status::kNotFound;
     account(*l, -1);
     delete l;
-    return true;
+    return common::Status::kOk;
   }
 
   size_t range(std::string_view lo, size_t limit,
                std::vector<std::pair<std::string, std::string>>* out)
       const override {
-    validate_key(lo);
     out->clear();
-    if (limit == 0) return 0;
+    if (limit == 0 || !common::validate_key(lo).ok()) return 0;
     std::shared_lock lk(mu_);
     tree_.for_each_from(as_key(lo), [&](Leaf* l) {
       out->emplace_back(l->key, l->value);
@@ -117,17 +122,6 @@ class DramIndex final : public common::Index {
 
   static Key as_key(std::string_view s) {
     return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
-  }
-  static void validate_key(std::string_view key) {
-    if (key.empty() || key.size() > common::kMaxKeyLen)
-      throw std::invalid_argument("key length must be 1..24 bytes");
-    if (std::memchr(key.data(), 0, key.size()) != nullptr)
-      throw std::invalid_argument("keys must not contain NUL bytes");
-  }
-  static void validate(std::string_view key, std::string_view value) {
-    validate_key(key);
-    if (value.empty() || value.size() > common::kMaxValueLen)
-      throw std::invalid_argument("value length must be 1..64 bytes");
   }
   void account(const Leaf& l, int sign) {
     const auto bytes = static_cast<uint64_t>(

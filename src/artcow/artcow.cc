@@ -16,16 +16,6 @@ constexpr uint64_t kCowMagic = 0x434f5741'52540001ULL;
 uint32_t key_at(std::string_view k, uint32_t d) {
   return d < k.size() ? static_cast<uint8_t>(k[d]) : 0u;
 }
-void validate_key(std::string_view key) {
-  if (key.empty() || key.size() > common::kMaxKeyLen)
-    throw std::invalid_argument("key length must be 1..24 bytes");
-  if (std::memchr(key.data(), 0, key.size()) != nullptr)
-    throw std::invalid_argument("keys must not contain NUL bytes");
-}
-void validate_value(std::string_view value) {
-  if (value.empty() || value.size() > common::kMaxValueLen)
-    throw std::invalid_argument("value length must be 1..64 bytes");
-}
 std::string_view leaf_key(const PmLeaf* l) { return {l->key, l->key_len}; }
 }  // namespace
 
@@ -351,12 +341,12 @@ uint64_t ArtCow::clone_with_pword(const PNode* n, uint64_t pword) {
 
 // ---- insert ---------------------------------------------------------------
 
-bool ArtCow::insert(std::string_view key, std::string_view value) {
-  validate_key(key);
-  validate_value(value);
+common::Status ArtCow::insert(std::string_view key, std::string_view value) {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
+  if (auto s = common::validate_value(value); !s.ok()) return s;
   const bool inserted = insert_rec(&root_->root, key, value, 0);
   if (inserted) ++count_;
-  return inserted;
+  return inserted ? common::Status::kInserted : common::Status::kUpdated;
 }
 
 bool ArtCow::insert_rec(uint64_t* slot, std::string_view key,
@@ -461,19 +451,19 @@ bool ArtCow::insert_rec(uint64_t* slot, std::string_view key,
 
 // ---- search / update -------------------------------------------------------
 
-bool ArtCow::search(std::string_view key, std::string* out) const {
-  validate_key(key);
+common::Status ArtCow::search(std::string_view key, std::string* out) const {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
   uint64_t ref = root_->root;
   uint32_t depth = 0;
   while (ref != 0) {
     if (ChildRef::is_leaf(ref)) {
       const PmLeaf* l = leaf_at(ref);
       arena_.pm_read(l, sizeof(PmLeaf));
-      if (leaf_key(l) != key) return false;
+      if (leaf_key(l) != key) return common::Status::kNotFound;
       const auto* v = arena_.ptr<PmValue>(l->p_value);
       arena_.pm_read(v, 1 + v->len);
       if (out != nullptr) out->assign(v->data, v->len);
-      return true;
+      return common::Status::kOk;
     }
     PNode* n = node_at(ref);
     arena_.pm_read(n, sizeof(PNode));
@@ -481,19 +471,20 @@ bool ArtCow::search(std::string_view key, std::string* out) const {
     const uint32_t m = std::min<uint32_t>(PWord::prefix_len(w),
                                           kStoredPrefix);
     for (uint32_t i = 0; i < m; ++i)
-      if (PWord::prefix_byte(w, i) != key_at(key, depth + i)) return false;
+      if (PWord::prefix_byte(w, i) != key_at(key, depth + i))
+        return common::Status::kNotFound;
     depth += PWord::prefix_len(w);
     uint64_t* child = find_child_slot(n, key_at(key, depth));
-    if (child == nullptr) return false;
+    if (child == nullptr) return common::Status::kNotFound;
     ref = *child;
     ++depth;
   }
-  return false;
+  return common::Status::kNotFound;
 }
 
-bool ArtCow::update(std::string_view key, std::string_view value) {
-  validate_key(key);
-  validate_value(value);
+common::Status ArtCow::update(std::string_view key, std::string_view value) {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
+  if (auto s = common::validate_value(value); !s.ok()) return s;
   uint64_t ref = root_->root;
   uint32_t depth = 0;
   while (ref != 0 && !ChildRef::is_leaf(ref)) {
@@ -501,28 +492,28 @@ bool ArtCow::update(std::string_view key, std::string_view value) {
     arena_.pm_read(n, sizeof(PNode));
     depth += PWord::prefix_len(n->pword);
     uint64_t* child = find_child_slot(n, key_at(key, depth));
-    if (child == nullptr) return false;
+    if (child == nullptr) return common::Status::kNotFound;
     ref = *child;
     ++depth;
   }
-  if (ref == 0) return false;
+  if (ref == 0) return common::Status::kNotFound;
   PmLeaf* l = leaf_at(ref);
   arena_.pm_read(l, sizeof(PmLeaf));
-  if (leaf_key(l) != key) return false;
+  if (leaf_key(l) != key) return common::Status::kNotFound;
   const uint64_t old = l->p_value;
   l->p_value = alloc_value(arena_, value);
   persist(&l->p_value, 8);
   free_value(arena_, old);
-  return true;
+  return common::Status::kOk;
 }
 
 // ---- remove ----------------------------------------------------------------
 
-bool ArtCow::remove(std::string_view key) {
-  validate_key(key);
+common::Status ArtCow::remove(std::string_view key) {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
   const bool removed = remove_rec(&root_->root, key, 0);
   if (removed) --count_;
-  return removed;
+  return removed ? common::Status::kOk : common::Status::kNotFound;
 }
 
 bool ArtCow::remove_rec(uint64_t* slot, std::string_view key,
@@ -645,8 +636,8 @@ bool ArtCow::walk_from(uint64_t ref, std::string_view lo, uint32_t depth,
 size_t ArtCow::range(
     std::string_view lo, size_t limit,
     std::vector<std::pair<std::string, std::string>>* out) const {
-  validate_key(lo);
   out->clear();
+  if (!common::validate_key(lo).ok()) return 0;
   if (limit == 0 || root_->root == 0) return 0;
   auto emit = [&](const PmLeaf* l) {
     const auto* v = arena_.ptr<PmValue>(l->p_value);

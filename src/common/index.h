@@ -4,12 +4,19 @@
 // Keys are byte strings of 1..kMaxKeyLen bytes that must not contain a NUL
 // byte (the internal radix trees use an implicit 0x00 terminator, the same
 // restriction as libart, which the paper's implementation was based on).
+// A key that violates either rule is rejected with
+// Status::kInvalidArgument at the API boundary — it would otherwise be
+// silently truncated at the embedded NUL by the implicit terminator.
 // Values are byte strings of 1..kMaxValueLen bytes; they are stored
 // out-of-leaf in persistent memory in fixed size classes (Section III.A.5).
 // The paper ships two classes (8 B / 16 B) and notes the design "can be
 // easily extended to support more sizes of values by implementing more
 // singly linked-lists of value object memory chunks" — this implementation
 // does exactly that, with classes {8, 16, 32, 64}.
+//
+// API v2: operations return common::Status instead of bool. Status's
+// implicit bool conversion reproduces the v1 truth table (see status.h),
+// so v1-style call sites keep working unchanged.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +25,8 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/status.h"
 
 namespace hart::common {
 
@@ -31,6 +40,23 @@ struct MemoryUsage {
   uint64_t pm_bytes = 0;
 };
 
+/// Boundary validation shared by every index: a key must be 1..kMaxKeyLen
+/// bytes with no embedded NUL (the radix trees' implicit 0x00 terminator
+/// would silently truncate it otherwise).
+inline Status validate_key(std::string_view key) {
+  if (key.empty() || key.size() > kMaxKeyLen ||
+      key.find('\0') != std::string_view::npos)
+    return Status::kInvalidArgument;
+  return Status::kOk;
+}
+
+/// A value must be 1..kMaxValueLen bytes (arbitrary bytes allowed).
+inline Status validate_value(std::string_view value) {
+  if (value.empty() || value.size() > kMaxValueLen)
+    return Status::kInvalidArgument;
+  return Status::kOk;
+}
+
 /// Abstract index. Thread-safety is implementation-defined: HART supports
 /// concurrent operation (per-ART reader/writer locks); the baselines are
 /// single-writer like the paper's.
@@ -40,19 +66,22 @@ class Index {
 
   /// Upsert: inserts key->value, or updates the value if the key exists
   /// (Algorithm 1 calls Update() when the leaf is found).
-  /// Returns true if a new key was inserted, false if an existing one was
-  /// updated.
-  virtual bool insert(std::string_view key, std::string_view value) = 0;
+  /// Returns kInserted for a new key, kUpdated for an existing one, or
+  /// kInvalidArgument for a malformed key/value.
+  virtual Status insert(std::string_view key, std::string_view value) = 0;
 
-  /// Point lookup. On hit, copies the value into `out` and returns true.
-  virtual bool search(std::string_view key, std::string* out) const = 0;
+  /// Point lookup. On hit, copies the value into `out` and returns kOk;
+  /// kNotFound on a miss, kInvalidArgument for a malformed key.
+  virtual Status search(std::string_view key, std::string* out) const = 0;
 
-  /// Update the value of an existing key (Algorithm 3). Returns false if the
-  /// key is absent (no insertion happens).
-  virtual bool update(std::string_view key, std::string_view value) = 0;
+  /// Update the value of an existing key (Algorithm 3). Returns kOk on
+  /// success, kNotFound if the key is absent (no insertion happens), or
+  /// kInvalidArgument for a malformed key/value.
+  virtual Status update(std::string_view key, std::string_view value) = 0;
 
-  /// Delete a key (Algorithm 5). Returns false if the key is absent.
-  virtual bool remove(std::string_view key) = 0;
+  /// Delete a key (Algorithm 5). Returns kOk on success, kNotFound if the
+  /// key is absent, or kInvalidArgument for a malformed key.
+  virtual Status remove(std::string_view key) = 0;
 
   /// Ordered scan: collect up to `limit` entries with key >= lo, in key
   /// order. Returns the number collected.

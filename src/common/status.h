@@ -1,0 +1,70 @@
+// common::Status — the typed result of an index operation (Index API v2).
+//
+// The v1 interface returned bare bools whose meaning differed per call
+// ("inserted a new key" for insert, "hit" for search/update/remove) and
+// rejected malformed keys by throwing std::invalid_argument. Status makes
+// the outcome explicit while keeping every v1 call site compiling: the
+// implicit bool conversion reproduces the legacy truth table exactly
+// (kOk and kInserted are true; kUpdated, kNotFound and kInvalidArgument
+// are false), and validation failures now surface as kInvalidArgument
+// instead of an exception.
+#pragma once
+
+#include <cstdint>
+
+namespace hart::common {
+
+class Status {
+ public:
+  enum Code : uint8_t {
+    kOk = 0,               // search hit / update applied / remove applied
+    kInserted = 1,         // insert created a new key
+    kUpdated = 2,          // insert hit an existing key and updated it
+    kNotFound = 3,         // key absent
+    kInvalidArgument = 4,  // malformed key or value; nothing was mutated
+  };
+
+  constexpr Status() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): Code literals are Statuses.
+  constexpr Status(Code c) : code_(c) {}
+
+  [[nodiscard]] constexpr Code code() const { return code_; }
+  /// Every non-error outcome (the operation was applied or answered).
+  [[nodiscard]] constexpr bool ok() const {
+    return code_ != kNotFound && code_ != kInvalidArgument;
+  }
+
+  /// v1 bool semantics: insert() was true iff a NEW key was created;
+  /// search/update/remove were true iff the key was hit.
+  // NOLINTNEXTLINE(google-explicit-constructor): the v1 migration shim.
+  constexpr operator bool() const {
+    return code_ == kOk || code_ == kInserted;
+  }
+
+  friend constexpr bool operator==(Status a, Status b) {
+    return a.code_ == b.code_;
+  }
+  friend constexpr bool operator!=(Status a, Status b) { return !(a == b); }
+  // Exact-match Code overloads: without them `status == Status::kOk` is
+  // ambiguous between Status(Code) + the Status comparison and the
+  // operator bool + builtin integer comparison.
+  friend constexpr bool operator==(Status a, Code b) { return a.code_ == b; }
+  friend constexpr bool operator==(Code a, Status b) { return a == b.code_; }
+  friend constexpr bool operator!=(Status a, Code b) { return !(a == b); }
+  friend constexpr bool operator!=(Code a, Status b) { return !(a == b); }
+
+  [[nodiscard]] const char* name() const {
+    switch (code_) {
+      case kOk: return "ok";
+      case kInserted: return "inserted";
+      case kUpdated: return "updated";
+      case kNotFound: return "not-found";
+      default: return "invalid-argument";
+    }
+  }
+
+ private:
+  Code code_ = kOk;
+};
+
+}  // namespace hart::common

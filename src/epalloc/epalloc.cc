@@ -112,8 +112,8 @@ uint64_t EPAllocator::ep_malloc(ObjType t) {
           continue;
         }
         ChunkState& cs = it->second;
-        const uint64_t occupied =
-            ChunkHdr::bitmap(chunk_ptr(c_off)->header) | cs.reserved;
+        const uint64_t occupied = ChunkHdr::bitmap(chunk_ptr(c_off)->header) |
+                                  cs.reserved | cs.retired;
         const auto idx = static_cast<uint32_t>(std::countr_one(occupied));
         if (idx >= kObjectsPerChunk) {  // actually full
           cs.in_avail = false;
@@ -199,6 +199,65 @@ void EPAllocator::free_object(ObjType t, uint64_t obj_off) {
   free_object_locked(st, obj_off);
 }
 
+void EPAllocator::free_object_retired_locked(TypeState& st,
+                                             uint64_t obj_off) {
+  ep_counters().free_obj.inc();
+  const uint64_t c_off = st.geom.chunk_of(obj_off);
+  const uint32_t idx = st.geom.index_of(obj_off);
+  auto* c = chunk_ptr(c_off);
+  assert((ChunkHdr::bitmap(c->header) >> idx) & 1);
+  // Persistent bit resets stay eager: the delete must be durable before it
+  // is acked, regardless of how long readers pin the slot's *memory*.
+  std::atomic_ref<uint64_t>(c->header)
+      .store(ChunkHdr::with_bit(c->header, idx, false),
+             std::memory_order_release);
+  arena_.trace_store(&c->header, sizeof(c->header));
+  arena_.persist(&c->header, sizeof(c->header));
+  auto it = st.chunks.find(c_off);
+  assert(it != st.chunks.end());
+  // No make_available: the retired bit keeps ep_malloc away until
+  // release_retired() runs after the EBR grace period.
+  it->second.retired |= (uint64_t{1} << idx);
+}
+
+void EPAllocator::free_object_retired(ObjType t, uint64_t obj_off) {
+  TypeState& st = ts(t);
+  std::lock_guard lk(st.mu);
+  free_object_retired_locked(st, obj_off);
+}
+
+void EPAllocator::free_leaf_with_value_retired(uint64_t leaf_off,
+                                               ObjType vcls,
+                                               uint64_t val_off) {
+  TypeState& leaf_st = ts(ObjType::kLeaf);
+  std::lock_guard lk(leaf_st.mu);
+  free_object_retired_locked(leaf_st, leaf_off);
+  {
+    TypeState& val_st = ts(vcls);
+    std::lock_guard vlk(val_st.mu);
+    free_object_retired_locked(val_st, val_off);
+  }
+  // Clear the leaf's dangling value pointer; optimistic readers treat
+  // p_value == 0 as "deleted", and the slot cannot be re-reserved until
+  // release_retired().
+  clear_(arena_, leaf_off);
+}
+
+void EPAllocator::release_retired(ObjType t, uint64_t obj_off) {
+  TypeState& st = ts(t);
+  {
+    std::lock_guard lk(st.mu);
+    const uint64_t c_off = st.geom.chunk_of(obj_off);
+    auto it = st.chunks.find(c_off);
+    if (it == st.chunks.end()) return;  // chunk freed across a recovery
+    const uint32_t idx = st.geom.index_of(obj_off);
+    it->second.retired &= ~(uint64_t{1} << idx);
+    make_available_locked(st, c_off, it->second);
+  }
+  // The free skipped EPRecycle; run it now that the slot is reusable.
+  recycle_chunk_of(t, obj_off);
+}
+
 void EPAllocator::free_leaf_with_value(uint64_t leaf_off, ObjType vcls,
                                        uint64_t val_off) {
   TypeState& leaf_st = ts(ObjType::kLeaf);
@@ -243,7 +302,10 @@ void EPAllocator::recycle_chunk_of(ObjType t, uint64_t obj_off) {
   ChunkState& cs = it->second;
   auto* c = chunk_ptr(c_off);
   // Algorithm 6 lines 1-2: only an entirely empty chunk is recycled.
-  if (ChunkHdr::bitmap(c->header) != 0 || cs.reserved != 0) return;
+  // Retired slots count as occupied — readers may still be inside them.
+  if (ChunkHdr::bitmap(c->header) != 0 || cs.reserved != 0 ||
+      cs.retired != 0)
+    return;
 
   // The recycle log is one shared persistent structure: hold rlog_mu_ from
   // the first log store until the log is cleared, or two threads recycling

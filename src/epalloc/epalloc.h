@@ -72,6 +72,26 @@ class EPAllocator {
   void free_leaf_with_value(uint64_t leaf_off, ObjType vcls,
                             uint64_t val_off);
 
+  // ---- EBR-deferred reuse ---------------------------------------------
+  // Lock-free readers may still be dereferencing a slot when its owner
+  // frees it. The *_retired variants reset the persistent bit eagerly
+  // (the delete/update is durable immediately — crash recovery is
+  // unchanged) but also set a volatile `retired` bit that keeps ep_malloc
+  // from handing the slot out again. Once the reader grace period has
+  // elapsed (EBR callback) release_retired() clears the retired bit,
+  // makes the chunk allocatable and attempts the deferred chunk recycle.
+
+  /// free_object(), minus making the slot reusable.
+  void free_object_retired(ObjType t, uint64_t obj_off);
+
+  /// free_leaf_with_value(), minus making either slot reusable.
+  void free_leaf_with_value_retired(uint64_t leaf_off, ObjType vcls,
+                                    uint64_t val_off);
+
+  /// Grace period over: allow reuse and run the deferred EPRecycle.
+  /// Tolerates a chunk that no longer exists (freed across a recovery).
+  void release_retired(ObjType t, uint64_t obj_off);
+
   /// EPRecycle(MemChunkOf(obj)) — Algorithm 6. Unlinks and frees the chunk
   /// if it contains no used (or reserved) object.
   void recycle_chunk_of(ObjType t, uint64_t obj_off);
@@ -119,6 +139,7 @@ class EPAllocator {
  private:
   struct ChunkState {
     uint64_t reserved = 0;  // volatile reservation bitmap
+    uint64_t retired = 0;   // volatile: freed, awaiting EBR grace period
     uint64_t prev = 0;      // volatile back-pointer in the chunk list
     bool in_avail = false;
   };
@@ -138,6 +159,7 @@ class EPAllocator {
   }
   uint64_t new_chunk_locked(TypeState& st, ObjType t);
   void free_object_locked(TypeState& st, uint64_t obj_off);
+  void free_object_retired_locked(TypeState& st, uint64_t obj_off);
   void make_available_locked(TypeState& st, uint64_t chunk_off,
                              ChunkState& cs);
   void persist_head(ObjType t);

@@ -14,17 +14,6 @@ namespace {
 constexpr uint64_t kFpMagic = 0x46505452'45450001ULL;
 constexpr uint64_t kLeafFullMask = (uint64_t{1} << kLeafSlots) - 1;
 
-void validate_key(std::string_view key) {
-  if (key.empty() || key.size() > common::kMaxKeyLen)
-    throw std::invalid_argument("key length must be 1..24 bytes");
-  if (std::memchr(key.data(), 0, key.size()) != nullptr)
-    throw std::invalid_argument("keys must not contain NUL bytes");
-}
-void validate_value(std::string_view value) {
-  if (value.empty() || value.size() > common::kMaxValueLen)
-    throw std::invalid_argument("value length must be 1..64 bytes");
-}
-
 std::string_view entry_key(const FpLeaf::Entry& e) {
   return {e.key, e.klen};
 }
@@ -297,9 +286,9 @@ FpTree::Split FpTree::insert_rec(uint64_t ref, bool is_leaf,
   return up;
 }
 
-bool FpTree::insert(std::string_view key, std::string_view value) {
-  validate_key(key);
-  validate_value(value);
+common::Status FpTree::insert(std::string_view key, std::string_view value) {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
+  if (auto s = common::validate_value(value); !s.ok()) return s;
   if (tree_root_ == 0) {  // very first leaf
     const uint64_t off = alloc_leaf();
     FpLeaf* l = leaf_at(off);
@@ -310,7 +299,7 @@ bool FpTree::insert(std::string_view key, std::string_view value) {
     tree_root_ = off;
     root_is_leaf_ = true;
     count_ = 1;
-    return true;
+    return common::Status::kInserted;
   }
   bool inserted = false;
   const Split s = insert_rec(tree_root_, root_is_leaf_, key, value,
@@ -326,28 +315,28 @@ bool FpTree::insert(std::string_view key, std::string_view value) {
     root_is_leaf_ = false;
   }
   if (inserted) ++count_;
-  return inserted;
+  return inserted ? common::Status::kInserted : common::Status::kUpdated;
 }
 
-bool FpTree::search(std::string_view key, std::string* out) const {
-  validate_key(key);
-  if (tree_root_ == 0) return false;
+common::Status FpTree::search(std::string_view key, std::string* out) const {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
+  if (tree_root_ == 0) return common::Status::kNotFound;
   const uint64_t loff = descend(key);
   const FpLeaf* l = leaf_at(loff);
   const int slot = find_slot(l, key, fingerprint(key));
-  if (slot < 0) return false;
+  if (slot < 0) return common::Status::kNotFound;
   const auto* v = arena_.ptr<pmart::PmValue>(l->kv[slot].p_value);
   arena_.pm_read(v, 1 + v->len);
   if (out != nullptr) out->assign(v->data, v->len);
-  return true;
+  return common::Status::kOk;
 }
 
-bool FpTree::update(std::string_view key, std::string_view value) {
-  validate_key(key);
-  validate_value(value);
-  if (tree_root_ == 0) return false;
+common::Status FpTree::update(std::string_view key, std::string_view value) {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
+  if (auto s = common::validate_value(value); !s.ok()) return s;
+  if (tree_root_ == 0) return common::Status::kNotFound;
   // Reuse the insert path's update branch only when the key exists.
-  if (!search(key, nullptr)) return false;
+  if (!search(key, nullptr)) return common::Status::kNotFound;
   bool inserted = false;
   const Split s = insert_rec(tree_root_, root_is_leaf_, key, value,
                              &inserted);
@@ -362,29 +351,29 @@ bool FpTree::update(std::string_view key, std::string_view value) {
     root_is_leaf_ = false;
   }
   assert(!inserted);
-  return true;
+  return common::Status::kOk;
 }
 
-bool FpTree::remove(std::string_view key) {
-  validate_key(key);
-  if (tree_root_ == 0) return false;
+common::Status FpTree::remove(std::string_view key) {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
+  if (tree_root_ == 0) return common::Status::kNotFound;
   const uint64_t loff = descend(key);
   FpLeaf* l = leaf_at(loff);
   const int slot = find_slot(l, key, fingerprint(key));
-  if (slot < 0) return false;
+  if (slot < 0) return common::Status::kNotFound;
   const uint64_t voff = l->kv[slot].p_value;
   l->bitmap &= ~(uint64_t{1} << slot);  // atomic un-commit; no coalescing
   arena_.persist(&l->bitmap, sizeof(l->bitmap));
   pmart::free_value(arena_, voff);
   --count_;
-  return true;
+  return common::Status::kOk;
 }
 
 size_t FpTree::range(
     std::string_view lo, size_t limit,
     std::vector<std::pair<std::string, std::string>>* out) const {
-  validate_key(lo);
   out->clear();
+  if (!common::validate_key(lo).ok()) return 0;
   if (limit == 0 || tree_root_ == 0) return 0;
   uint64_t loff = descend(lo);
   while (loff != 0 && out->size() < limit) {

@@ -23,6 +23,37 @@ constexpr uint64_t kHartMagic = kHartRootMagic;
 size_t value_object_size(epalloc::ObjType t) {
   return epalloc::value_class_size(t);
 }
+
+obs::Counter& read_fallback_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("hart_read_fallback_total");
+  return c;
+}
+
+/// Writer side of the partition seqlock (HashDir::Partition::mod_version):
+/// odd for the duration of the mutator's critical section, so an optimistic
+/// multi-leaf walk (range) that overlaps any mutation sees a version change
+/// and discards its results. Boehm's seqlock-writer ordering: the odd store
+/// is fenced (release) before the data stores; the even store is itself a
+/// release.
+class ModGuard {
+ public:
+  explicit ModGuard(HashDir::Partition* part)
+      : part_(part),
+        v_(part->mod_version.load(std::memory_order_relaxed)) {
+    part_->mod_version.store(v_ + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  ~ModGuard() {
+    part_->mod_version.store(v_ + 2, std::memory_order_release);
+  }
+  ModGuard(const ModGuard&) = delete;
+  ModGuard& operator=(const ModGuard&) = delete;
+
+ private:
+  HashDir::Partition* part_;
+  uint64_t v_;
+};
 }  // namespace
 
 Hart::Options Hart::resolve_options(pmem::Arena& arena, Options opts) {
@@ -47,7 +78,8 @@ Hart::Hart(pmem::Arena& arena, Options opts)
           &hart_leaf_clear),
       dir_(opts_.hash_buckets,
            HartLeafTraits{opts_.hash_key_len, &arena},
-           &dram_bytes_) {
+           &dram_bytes_,
+           opts_.rwlock_reads ? nullptr : &common::ebr::Domain::instance()) {
   if (root_->magic == kHartMagic) {
     recover();
   } else {
@@ -58,32 +90,41 @@ Hart::Hart(pmem::Arena& arena, Options opts)
   }
 }
 
-void Hart::validate_key(std::string_view key) {
-  if (key.empty() || key.size() > common::kMaxKeyLen)
-    throw std::invalid_argument("key length must be 1..24 bytes");
-  if (std::memchr(key.data(), 0, key.size()) != nullptr)
-    throw std::invalid_argument("keys must not contain NUL bytes");
+Hart::~Hart() {
+  // Retired ART nodes hold a callback context pointing at their tree, and
+  // retired PM slots one pointing at this Hart — both die with us.
+  if (optimistic()) common::ebr::Domain::instance().drain();
 }
 
-void Hart::validate_value(std::string_view value) {
-  if (value.empty() || value.size() > common::kMaxValueLen)
-    throw std::invalid_argument("value length must be 1..64 bytes");
+void Hart::retire_slot(epalloc::ObjType cls, uint64_t off) {
+  // Offsets are 8-aligned (every EPallocator object size is a multiple of
+  // 8), so the class tag rides in the low bits of the packed pointer.
+  common::ebr::Domain::instance().retire(
+      reinterpret_cast<void*>(off | static_cast<uint64_t>(cls)),
+      &Hart::retire_slot_cb, this);
+}
+
+void Hart::retire_slot_cb(void* packed, void* self) {
+  const auto bits = reinterpret_cast<uint64_t>(packed);
+  static_cast<Hart*>(self)->ep_.release_retired(
+      static_cast<epalloc::ObjType>(bits & 7), bits & ~uint64_t{7});
 }
 
 // Algorithm 1: Insertion(K, V, HT).
-bool Hart::insert(std::string_view key, std::string_view value) {
-  validate_key(key);
-  validate_value(value);
+common::Status Hart::insert(std::string_view key, std::string_view value) {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
+  if (auto s = common::validate_value(value); !s.ok()) return s;
   const uint64_t hkey = pack_hash_key(key, opts_.hash_key_len);
   // Lines 2-5: locate the ART, creating one if absent.
   HashDir::Partition* part = dir_.find_or_create(hkey);
   std::unique_lock lk(part->mu);
+  ModGuard mod(part);
 
   // Line 6-8: if the key exists, this is an update.
   const art::Key akey = art_key(key);
   if (HartLeaf* existing = part->tree.search(akey); existing != nullptr) {
     update_locked(existing, value);
-    return false;
+    return common::Status::kUpdated;
   }
 
   // Lines 10-11: allocate the leaf and the value object.
@@ -107,6 +148,8 @@ bool Hart::insert(std::string_view key, std::string_view value) {
   auto* leaf = arena_.ptr<HartLeaf>(leaf_off);
   leaf->val_len = static_cast<uint8_t>(value.size());
   leaf->val_class = value_class_tag(vcls);
+  leaf->pad0 = 0;
+  leaf->vseq = 0;  // even: no update in flight (reused slots hold garbage)
   leaf->p_value = val_off;
   arena_.trace_store(&leaf->val_len,
                      sizeof(HartLeaf) - offsetof(HartLeaf, val_len));
@@ -124,19 +167,20 @@ bool Hart::insert(std::string_view key, std::string_view value) {
   arena_.persist(leaf, sizeof(HartLeaf));
 
   // Line 17: Insert2Tree — DRAM only, no persistence needed (selective
-  // consistency: internal nodes are reconstructable).
+  // consistency: internal nodes are reconstructable). The release store
+  // publishing the leaf into the tree is what makes the plain stores above
+  // visible to lock-free readers.
   HartLeafTraits traits{opts_.hash_key_len, &arena_};
   part->tree.insert(traits.key(leaf), leaf);
 
   // Line 18: set + persist the leaf bit — the commit point.
   ep_.commit(epalloc::ObjType::kLeaf, leaf_off);
   count_.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  return common::Status::kInserted;
 }
 
 // Algorithm 3: Update(K, V, L) — out-of-place with the update micro-log.
 void Hart::update_locked(HartLeaf* leaf, std::string_view value) {
-  validate_value(value);
   const uint64_t leaf_off = arena_.off(leaf);
   const uint64_t old_off = leaf->p_value;
   const epalloc::ObjType old_cls = value_class_of(leaf);
@@ -173,64 +217,133 @@ void Hart::update_locked(HartLeaf* leaf, std::string_view value) {
   ep_.commit(new_cls, new_off);
 
   // Line 8: swing the value pointer and its metadata in the leaf — they
-  // are adjacent at the leaf tail, one flush covers them.
-  leaf->val_len = static_cast<uint8_t>(value.size());
-  leaf->val_class = value_class_tag(new_cls);
-  leaf->p_value = new_off;
+  // are adjacent at the leaf tail, one flush covers them. The swing runs
+  // under the leaf's vseq seqlock so a lock-free reader can never pair the
+  // new pointer with the old length/class (or vice versa); p_value itself
+  // is a release store pairing with the reader's acquire, which publishes
+  // the new value's bytes. vseq is runtime-only: recovery replay rederives
+  // the tail from the log and rezeroes it.
+  const std::atomic_ref<uint32_t> vseq(leaf->vseq);
+  const uint32_t vs = vseq.load(std::memory_order_relaxed);
+  vseq.store(vs + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  std::atomic_ref<uint8_t>(leaf->val_len)
+      .store(static_cast<uint8_t>(value.size()), std::memory_order_relaxed);
+  std::atomic_ref<uint8_t>(leaf->val_class)
+      .store(value_class_tag(new_cls), std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(leaf->p_value)
+      .store(new_off, std::memory_order_release);
+  vseq.store(vs + 2, std::memory_order_release);
   arena_.trace_store(&leaf->val_len,
                      sizeof(HartLeaf) - offsetof(HartLeaf, val_len));
   arena_.persist(&leaf->val_len,
                  sizeof(HartLeaf) - offsetof(HartLeaf, val_len));
 
-  // Lines 9-10: release the old value, recycle its chunk if empty.
-  ep_.free_object(old_cls, old_off);
-  ep_.recycle_chunk_of(old_cls, old_off);
+  // Lines 9-10: release the old value, recycle its chunk if empty. With
+  // lock-free readers the slot's *reuse* (and the chunk recycle) waits out
+  // the grace period; durability is identical — the bit reset persists now.
+  if (optimistic()) {
+    ep_.free_object_retired(old_cls, old_off);
+    retire_slot(old_cls, old_off);
+  } else {
+    ep_.free_object(old_cls, old_off);
+    ep_.recycle_chunk_of(old_cls, old_off);
+  }
 
   // Line 11: LogReclaim.
   ep_.reclaim_ulog(ulog);
 }
 
-bool Hart::update(std::string_view key, std::string_view value) {
-  validate_key(key);
-  validate_value(value);
+common::Status Hart::update(std::string_view key, std::string_view value) {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
+  if (auto s = common::validate_value(value); !s.ok()) return s;
   HashDir::Partition* part =
       dir_.find(pack_hash_key(key, opts_.hash_key_len));
-  if (part == nullptr) return false;
+  if (part == nullptr) return common::Status::kNotFound;
   std::unique_lock lk(part->mu);
+  ModGuard mod(part);
   HartLeaf* leaf = part->tree.search(art_key(key));
-  if (leaf == nullptr) return false;
+  if (leaf == nullptr) return common::Status::kNotFound;
   update_locked(leaf, value);
-  return true;
+  return common::Status::kOk;
 }
 
-// Algorithm 4: Search(K, HT).
-bool Hart::search(std::string_view key, std::string* out) const {
-  validate_key(key);
+int Hart::read_leaf_value_optimistic(const HartLeaf* leaf,
+                                     std::string* out) const {
+  auto* m = const_cast<HartLeaf*>(leaf);
+  const std::atomic_ref<uint32_t> vseq(m->vseq);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const uint32_t v0 = vseq.load(std::memory_order_acquire);
+    if ((v0 & 1) != 0) continue;  // update mid-swing
+    // Acquire on p_value pairs with the updater's release store: the new
+    // value object's bytes become visible before its pointer does.
+    const uint64_t pv = std::atomic_ref<uint64_t>(m->p_value)
+                            .load(std::memory_order_acquire);
+    const uint8_t len = std::atomic_ref<uint8_t>(m->val_len)
+                            .load(std::memory_order_relaxed);
+    const uint8_t cls = std::atomic_ref<uint8_t>(m->val_class)
+                            .load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (vseq.load(std::memory_order_relaxed) != v0) continue;
+    // (pv, len, cls) is a consistent tail snapshot. The slot behind pv
+    // cannot be reused before our epoch pin is released (EBR), and value
+    // objects are never mutated in place, so the copy below is race-free.
+    if (pv == 0) return 0;  // deleted under us (Alg. 5's p_value clear)
+    const char* vp = arena_.ptr<char>(pv);
+    arena_.pm_read(vp, value_object_size(static_cast<epalloc::ObjType>(
+                           static_cast<uint8_t>(cls + 1))));
+    if (out != nullptr) out->assign(vp, len);
+    return 1;
+  }
+  return -1;
+}
+
+// Algorithm 4: Search(K, HT) — lock-free by default: OLC descent through
+// the DRAM nodes, then a vseq-validated value read from PM. Persistent
+// churn (retries exhausted) falls back to the paper's shared-lock read.
+common::Status Hart::search(std::string_view key, std::string* out) const {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
   HashDir::Partition* part =
       dir_.find(pack_hash_key(key, opts_.hash_key_len));
-  if (part == nullptr) return false;
+  if (part == nullptr) return common::Status::kNotFound;
+  const art::Key akey = art_key(key);
+  if (optimistic()) {
+    common::ebr::Guard g(common::ebr::Domain::instance());
+    const auto r = part->tree.search_optimistic(akey);
+    if (r.ok) {
+      if (r.leaf == nullptr) return common::Status::kNotFound;
+      // Line 9: validate the leaf bit in the chunk bitmap (lock-free).
+      if (!ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(r.leaf)))
+        return common::Status::kNotFound;
+      const int vr = read_leaf_value_optimistic(r.leaf, out);
+      if (vr > 0) return common::Status::kOk;
+      if (vr == 0) return common::Status::kNotFound;
+    }
+    read_fallback_counter().inc();
+  }
   std::shared_lock lk(part->mu);
-  const HartLeaf* leaf = part->tree.search(art_key(key));
-  if (leaf == nullptr) return false;
+  const HartLeaf* leaf = part->tree.search(akey);
+  if (leaf == nullptr) return common::Status::kNotFound;
   // Line 9: validate the leaf bit in the chunk bitmap.
   if (!ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
-    return false;
+    return common::Status::kNotFound;
   const char* vp = arena_.ptr<char>(leaf->p_value);
   arena_.pm_read(vp, value_object_size(value_class_of(leaf)));
   if (out != nullptr) out->assign(vp, leaf->val_len);
-  return true;
+  return common::Status::kOk;
 }
 
 // Algorithm 5: Deletion(K, HT).
-bool Hart::remove(std::string_view key) {
-  validate_key(key);
+common::Status Hart::remove(std::string_view key) {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
   HashDir::Partition* part =
       dir_.find(pack_hash_key(key, opts_.hash_key_len));
-  if (part == nullptr) return false;
+  if (part == nullptr) return common::Status::kNotFound;
   std::unique_lock lk(part->mu);
+  ModGuard mod(part);
   // Lines 5-9: locate and unlink the leaf from the (DRAM) tree.
   HartLeaf* leaf = part->tree.remove(art_key(key));
-  if (leaf == nullptr) return false;
+  if (leaf == nullptr) return common::Status::kNotFound;
   const uint64_t leaf_off = arena_.off(leaf);
   const uint64_t val_off = leaf->p_value;
   const epalloc::ObjType vcls = value_class_of(leaf);
@@ -245,38 +358,99 @@ bool Hart::remove(std::string_view key) {
   // a reuse of this leaf slot would see p_value -> live value with its bit
   // set and Alg. 2's stale-value check would reclaim the *new* owner's
   // value. All three steps happen atomically w.r.t. leaf reservations.
-  ep_.free_leaf_with_value(leaf_off, vcls, val_off);
-
-  // Lines 13-14: recycle now-empty chunks.
-  ep_.recycle_chunk_of(vcls, val_off);
-  ep_.recycle_chunk_of(epalloc::ObjType::kLeaf, leaf_off);
+  //
+  // Lock-free readers may still hold either slot, so in optimistic mode
+  // both frees are retired: the persistent bits reset now (the deletion is
+  // durable immediately), reuse and the chunk recycles wait out the grace
+  // period (release_retired runs them).
+  if (optimistic()) {
+    ep_.free_leaf_with_value_retired(leaf_off, vcls, val_off);
+    retire_slot(vcls, val_off);
+    retire_slot(epalloc::ObjType::kLeaf, leaf_off);
+  } else {
+    ep_.free_leaf_with_value(leaf_off, vcls, val_off);
+    // Lines 13-14: recycle now-empty chunks.
+    ep_.recycle_chunk_of(vcls, val_off);
+    ep_.recycle_chunk_of(epalloc::ObjType::kLeaf, leaf_off);
+  }
 
   // Lines 15-16: free the ART if it became empty (internal nodes were
   // already collapsed away by the tree removal).
   count_.fetch_sub(1, std::memory_order_relaxed);
-  return true;
+  return common::Status::kOk;
 }
 
 size_t Hart::range(
     std::string_view lo, size_t limit,
     std::vector<std::pair<std::string, std::string>>* out) const {
-  validate_key(lo);
   out->clear();
-  if (limit == 0) return 0;
+  if (limit == 0 || !common::validate_key(lo).ok()) return 0;
   const uint64_t hlo = pack_hash_key(lo, opts_.hash_key_len);
+
+  auto emit_locked = [&](HartLeaf* leaf) {
+    if (!ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
+      return true;
+    const char* vp = arena_.ptr<char>(leaf->p_value);
+    arena_.pm_read(vp, value_object_size(value_class_of(leaf)));
+    out->emplace_back(std::string(leaf->key, leaf->key_len),
+                      std::string(vp, leaf->val_len));
+    return out->size() < limit;
+  };
+
+  if (!optimistic()) {
+    dir_.for_each_partition_from(hlo, [&](HashDir::Partition* part) {
+      std::shared_lock lk(part->mu);
+      return part->hkey == hlo
+                 ? part->tree.for_each_from(art_key(lo), emit_locked)
+                 : part->tree.for_each(emit_locked);
+    });
+    return out->size();
+  }
+
+  // Optimistic scan: per partition, walk without the lock, staging entries
+  // aside; the walk is valid iff the partition's mod_version is even and
+  // unchanged across it (no mutator critical section overlapped). A torn
+  // walk is discarded and retried; persistent churn degrades to the
+  // shared-lock walk for that partition only.
+  common::ebr::Guard g(common::ebr::Domain::instance());
+  std::vector<std::pair<std::string, std::string>> staging;
+  constexpr int kRangeAttempts = 4;
   dir_.for_each_partition_from(hlo, [&](HashDir::Partition* part) {
-    std::shared_lock lk(part->mu);
-    auto emit = [&](HartLeaf* leaf) {
-      if (!ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
-        return true;
-      const char* vp = arena_.ptr<char>(leaf->p_value);
-      arena_.pm_read(vp, value_object_size(value_class_of(leaf)));
-      out->emplace_back(std::string(leaf->key, leaf->key_len),
-                        std::string(vp, leaf->val_len));
-      return out->size() < limit;
-    };
-    return part->hkey == hlo ? part->tree.for_each_from(art_key(lo), emit)
-                             : part->tree.for_each(emit);
+    bool done = false;
+    for (int a = 0; a < kRangeAttempts && !done; ++a) {
+      const uint64_t v0 = part->mod_version.load(std::memory_order_acquire);
+      if ((v0 & 1) != 0) continue;  // mutator mid-section; try again
+      staging.clear();
+      bool torn = false;
+      auto emit = [&](HartLeaf* leaf) {
+        if (!ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
+          return true;
+        std::string val;
+        const int vr = read_leaf_value_optimistic(leaf, &val);
+        if (vr < 0) {
+          torn = true;
+          return false;
+        }
+        if (vr == 0) return true;  // deleted under us
+        staging.emplace_back(std::string(leaf->key, leaf->key_len),
+                             std::move(val));
+        return out->size() + staging.size() < limit;
+      };
+      part->hkey == hlo ? part->tree.for_each_from(art_key(lo), emit)
+                        : part->tree.for_each(emit);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (torn || part->mod_version.load(std::memory_order_relaxed) != v0)
+        continue;
+      for (auto& kv : staging) out->push_back(std::move(kv));
+      done = true;
+    }
+    if (!done) {
+      read_fallback_counter().inc();
+      std::shared_lock lk(part->mu);
+      part->hkey == hlo ? part->tree.for_each_from(art_key(lo), emit_locked)
+                        : part->tree.for_each(emit_locked);
+    }
+    return out->size() < limit;
   });
   return out->size();
 }
@@ -286,15 +460,56 @@ size_t Hart::multi_get(const std::vector<std::string>& keys,
                        std::vector<bool>* found) const {
   out->assign(keys.size(), std::string());
   found->assign(keys.size(), false);
-  // Group request indices by partition so each ART lock is taken once.
+  size_t hits = 0;
+
+  if (optimistic()) {
+    // One epoch pin covers the whole batch; each key takes the lock-free
+    // point-lookup path, degrading to a per-partition shared lock only on
+    // validation churn.
+    common::ebr::Guard g(common::ebr::Domain::instance());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (!common::validate_key(keys[i]).ok()) continue;  // miss, not throw
+      HashDir::Partition* part =
+          dir_.find(pack_hash_key(keys[i], opts_.hash_key_len));
+      if (part == nullptr) continue;
+      const art::Key akey = art_key(keys[i]);
+      const auto r = part->tree.search_optimistic(akey);
+      if (r.ok) {
+        if (r.leaf == nullptr ||
+            !ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(r.leaf)))
+          continue;
+        const int vr = read_leaf_value_optimistic(r.leaf, &(*out)[i]);
+        if (vr == 0) continue;
+        if (vr > 0) {
+          (*found)[i] = true;
+          ++hits;
+          continue;
+        }
+      }
+      read_fallback_counter().inc();
+      std::shared_lock lk(part->mu);
+      const HartLeaf* leaf = part->tree.search(akey);
+      if (leaf == nullptr ||
+          !ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
+        continue;
+      const char* vp = arena_.ptr<char>(leaf->p_value);
+      arena_.pm_read(vp, value_object_size(value_class_of(leaf)));
+      (*out)[i].assign(vp, leaf->val_len);
+      (*found)[i] = true;
+      ++hits;
+    }
+    return hits;
+  }
+
+  // Ablation mode: group request indices by partition so each ART lock is
+  // taken once.
   std::unordered_map<HashDir::Partition*, std::vector<size_t>> groups;
   for (size_t i = 0; i < keys.size(); ++i) {
-    validate_key(keys[i]);
+    if (!common::validate_key(keys[i]).ok()) continue;
     HashDir::Partition* part =
         dir_.find(pack_hash_key(keys[i], opts_.hash_key_len));
     if (part != nullptr) groups[part].push_back(i);
   }
-  size_t hits = 0;
   for (auto& [part, idxs] : groups) {
     std::shared_lock lk(part->mu);
     for (const size_t i : idxs) {
@@ -334,6 +549,9 @@ void Hart::quiesce() {
     std::unique_lock lk(part->mu);
     return true;
   });
+  // Every in-flight op has completed; flush the reclamation backlog so a
+  // subsequent arena close leaves no slot in retired limbo.
+  if (optimistic()) common::ebr::Domain::instance().drain();
 }
 
 common::MemoryUsage Hart::memory_usage() const {
@@ -388,6 +606,7 @@ void Hart::replay_update_logs() {
     leaf->p_value = ulog.pnewv;
     leaf->val_len = static_cast<uint8_t>(ulog.new_len());
     leaf->val_class = value_class_tag(new_cls);
+    leaf->vseq = 0;  // a crash mid-swing may have left it odd
     arena_.trace_store(leaf, sizeof(HartLeaf));
     arena_.persist(leaf, sizeof(HartLeaf));
     if (ep_.bit_is_set(old_cls, ulog.poldv))
@@ -406,6 +625,9 @@ void Hart::recover(unsigned threads) {
   static obs::Counter& runs =
       obs::Registry::instance().counter("hart_recover_runs_total");
   runs.inc();
+  // Retired nodes/slots hold callbacks into the trees about to be cleared
+  // and the allocator state about to be rebuilt — flush them first.
+  if (optimistic()) common::ebr::Domain::instance().drain();
   dir_.clear();
   count_.store(0, std::memory_order_relaxed);
   epoch_.store(root_->epoch, std::memory_order_relaxed);

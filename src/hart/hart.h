@@ -5,12 +5,16 @@
 // in PM, managed by EPallocator. Selective consistency/persistence
 // (Section III.A.2): only leaves and values are persisted; the hash table
 // and all internal nodes are reconstructable from the leaves (Algorithm 7).
-// One reader/writer lock per ART provides concurrency (Section III.A.3).
+// Writers take one writer lock per ART (Section III.A.3); readers run
+// lock-free by default via optimistic node versioning plus epoch-based
+// reclamation (DESIGN.md §7), with Options::rwlock_reads restoring the
+// paper's reader/writer-lock read path as an ablation.
 #pragma once
 
 #include <atomic>
 #include <string_view>
 
+#include "common/ebr.h"
 #include "common/index.h"
 #include "epalloc/epalloc.h"
 #include "hart/hash_dir.h"
@@ -44,18 +48,26 @@ class Hart final : public common::Index {
     uint32_t hash_key_len = 2;
     /// Bucket count of the DRAM hash table (power of two).
     size_t hash_buckets = size_t{1} << 16;
+    /// Ablation: take the paper's per-ART reader/writer lock on the read
+    /// side (Section III.A.3) instead of the optimistic lock-free read
+    /// path. Reads then never retry, but serialize against writers; node
+    /// and slot frees become eager (no EBR deferral).
+    bool rwlock_reads = false;
   };
 
   /// Opens a HART on `arena`. A fresh arena is initialized; an arena whose
   /// root carries a valid HART signature is recovered (Algorithm 7).
   explicit Hart(pmem::Arena& arena) : Hart(arena, Options{}) {}
   Hart(pmem::Arena& arena, Options opts);
+  /// Drains the EBR domain: every node/slot this Hart retired is freed
+  /// before the trees and allocator state go away.
+  ~Hart() override;
 
   // ---- common::Index -----------------------------------------------------
-  bool insert(std::string_view key, std::string_view value) override;
-  bool search(std::string_view key, std::string* out) const override;
-  bool update(std::string_view key, std::string_view value) override;
-  bool remove(std::string_view key) override;
+  common::Status insert(std::string_view key, std::string_view value) override;
+  common::Status search(std::string_view key, std::string* out) const override;
+  common::Status update(std::string_view key, std::string_view value) override;
+  common::Status remove(std::string_view key) override;
   size_t range(std::string_view lo, size_t limit,
                std::vector<std::pair<std::string, std::string>>* out)
       const override;
@@ -125,8 +137,18 @@ class Hart final : public common::Index {
   /// Redo/abort in-flight updates after a crash (Algorithm 3's recovery
   /// case analysis).
   void replay_update_logs();
-  static void validate_key(std::string_view key);
-  static void validate_value(std::string_view value);
+
+  // ---- optimistic read path (ISSUE 5 tentpole) --------------------------
+  /// True when the lock-free read path (and hence EBR deferral) is active.
+  [[nodiscard]] bool optimistic() const { return !opts_.rwlock_reads; }
+  /// Reads the leaf's value under its vseq seqlock. Returns 1 on success
+  /// (out filled), 0 when the leaf is deleted (p_value == 0), -1 when the
+  /// read raced an update and the caller should retry or fall back.
+  int read_leaf_value_optimistic(const HartLeaf* leaf,
+                                 std::string* out) const;
+  /// Defer reuse of a freed PM slot until the reader grace period elapses.
+  void retire_slot(epalloc::ObjType cls, uint64_t off);
+  static void retire_slot_cb(void* packed, void* self);
 
   pmem::Arena& arena_;
   Options opts_;

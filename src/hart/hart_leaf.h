@@ -9,6 +9,8 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 #include "common/index.h"
@@ -22,12 +24,17 @@ struct HartLeaf {
   uint8_t key_len;                    // 1..24
   uint8_t val_len;                    // 1..64
   uint8_t val_class;                  // value class tag: 0/1/2/3 = 8/16/32/64 B
-  uint8_t pad[5];
+  uint8_t pad0;
+  // Value seqlock for lock-free readers: odd while an in-place update swings
+  // the tail (val_len/val_class/p_value), even when stable. Purely a runtime
+  // protocol — recovery ignores it (replay re-derives the tail from logs).
+  uint32_t vseq;
   // The value pointer and its metadata sit together at the leaf's tail so
   // an update can refresh all of them with a single flush (Alg. 3 line 8).
   uint64_t p_value;                   // arena offset of the value object
 };
 static_assert(sizeof(HartLeaf) == 40);
+static_assert(offsetof(HartLeaf, vseq) % alignof(uint32_t) == 0);
 static_assert(std::is_trivially_copyable_v<HartLeaf>);
 
 inline epalloc::ObjType value_class_for(size_t len) {
@@ -54,7 +61,10 @@ inline epalloc::EPAllocator::LeafValueRef hart_leaf_probe(
 
 inline void hart_leaf_clear(pmem::Arena& arena, uint64_t leaf_off) {
   auto* l = arena.ptr<HartLeaf>(leaf_off);
-  l->p_value = 0;  // object.p_value = NULL (Alg. 2 line 16)
+  // Atomic store: an optimistic reader may race this clear; p_value == 0
+  // is its "leaf deleted" signal.
+  std::atomic_ref<uint64_t>(l->p_value)
+      .store(0, std::memory_order_release);  // p_value = NULL (Alg. 2 l.16)
   arena.trace_store(&l->p_value, sizeof(l->p_value));
   arena.persist(&l->p_value, sizeof(l->p_value));
 }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -37,7 +38,11 @@ struct HartLeafTraits {
   const pmem::Arena* arena = nullptr;
 
   art::Key key(const Leaf* l) const {
-    if (arena != nullptr) arena->pm_read(l, sizeof(HartLeaf));
+    // Charge only the immutable key region (key bytes + key_len). The
+    // mutable tail (vseq / val meta / p_value) is concurrently stored by
+    // in-place updates and is read separately under the vseq seqlock;
+    // including it here would race PmCheck's plain-byte shadow compare.
+    if (arena != nullptr) arena->pm_read(l, offsetof(HartLeaf, val_len));
     const uint32_t h = kh < l->key_len ? kh : l->key_len;
     return {reinterpret_cast<const uint8_t*>(l->key) + h,
             static_cast<size_t>(l->key_len - h)};
@@ -61,18 +66,26 @@ class HashDir {
  public:
   struct Partition {
     Partition(uint64_t hk, HartLeafTraits traits,
-              std::atomic<uint64_t>* dram_bytes)
-        : hkey(hk), tree(traits, dram_bytes) {}
+              std::atomic<uint64_t>* dram_bytes,
+              common::ebr::Domain* ebr = nullptr)
+        : hkey(hk), tree(traits, dram_bytes, ebr) {}
     const uint64_t hkey;
-    mutable std::shared_mutex mu;  // the per-ART reader/writer lock
+    mutable std::shared_mutex mu;  // the per-ART writer (and fallback) lock
     HartArt tree;
+    /// Partition-level seqlock for optimistic multi-leaf reads (range):
+    /// mutators make it odd for the duration of their critical section; an
+    /// optimistic walk snapshots it before and validates after, retrying
+    /// (then falling back to the shared lock) on a change.
+    std::atomic<uint64_t> mod_version{0};
     std::atomic<Partition*> next{nullptr};
   };
 
   HashDir(size_t bucket_count_pow2, HartLeafTraits traits,
-          std::atomic<uint64_t>* dram_bytes)
+          std::atomic<uint64_t>* dram_bytes,
+          common::ebr::Domain* ebr = nullptr)
       : traits_(traits),
         dram_bytes_(dram_bytes),
+        ebr_(ebr),
         mask_(bucket_count_pow2 - 1),
         buckets_(bucket_count_pow2) {
     if (dram_bytes_ != nullptr)
@@ -106,7 +119,7 @@ class HashDir {
          q = q->next.load(std::memory_order_acquire))
       if (q->hkey == hkey) return q;
 
-    auto owned = std::make_unique<Partition>(hkey, traits_, dram_bytes_);
+    auto owned = std::make_unique<Partition>(hkey, traits_, dram_bytes_, ebr_);
     Partition* fresh = owned.get();
     for (;;) {
       fresh->next.store(p, std::memory_order_relaxed);
@@ -185,6 +198,7 @@ class HashDir {
 
   HartLeafTraits traits_;
   std::atomic<uint64_t>* dram_bytes_;
+  common::ebr::Domain* ebr_;
   const size_t mask_;
   std::vector<std::atomic<Partition*>> buckets_;
   mutable std::shared_mutex sorted_mu_;

@@ -176,4 +176,34 @@ Response Client::stats(std::string format) {
   return wait(send(Request{OpCode::kStats, {}, std::move(format)}));
 }
 
+size_t Client::multi_get(const std::vector<std::string>& keys,
+                         std::vector<std::string>* out,
+                         std::vector<bool>* found) {
+  out->assign(keys.size(), {});
+  found->assign(keys.size(), false);
+  Request req{OpCode::kMget, {}, {}};
+  if (!encode_mget_keys(keys, &req.value)) return 0;
+  const Response r = wait(send(std::move(req)));
+  if (r.status != Status::kOk) return 0;
+  if (!decode_mget_result(r.value, out, found) || out->size() != keys.size()) {
+    out->assign(keys.size(), {});
+    found->assign(keys.size(), false);
+    return 0;
+  }
+  size_t hits = 0;
+  for (const bool f : *found) hits += f ? 1 : 0;
+  return hits;
+}
+
+size_t Client::scan(std::string start, uint32_t limit,
+                    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  Request req{OpCode::kScan, std::move(start), {}};
+  encode_scan_limit(limit, &req.value);
+  const Response r = wait(send(std::move(req)));
+  if (r.status != Status::kOk || !decode_scan_result(r.value, out))
+    out->clear();
+  return out->size();
+}
+
 }  // namespace hart::server

@@ -17,6 +17,8 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "server/hartd.h"
 #include "server/proto.h"
@@ -42,6 +44,17 @@ class Client {
   /// Scrape the server's HARTscope metrics; the snapshot is in the
   /// response value. `format`: "json" or "" / "prometheus" (text).
   Response stats(std::string format = {});
+  /// Batched point lookups in one kMget round trip (dispatcher-served,
+  /// never queued behind writes). `out->at(i)` / `found->at(i)` answer
+  /// `keys[i]`; returns the hit count. At most kMaxBatchEntries keys;
+  /// oversized or failed batches come back all-miss.
+  size_t multi_get(const std::vector<std::string>& keys,
+                   std::vector<std::string>* out, std::vector<bool>* found);
+  /// Ordered scan: up to `limit` entries with key >= `start`, ascending,
+  /// merged across shards. Returns the entry count (0 on failure or when
+  /// `start` is not a valid key).
+  size_t scan(std::string start, uint32_t limit,
+              std::vector<std::pair<std::string, std::string>>* out);
 
   // ---- pipelined API ----------------------------------------------------
   /// Fire a request without waiting; returns its id. On a dead transport

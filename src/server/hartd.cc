@@ -1,8 +1,10 @@
 #include "server/hartd.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <exception>
+#include <iterator>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -51,6 +53,12 @@ Hartd::Hartd(const Options& opts) : opts_(opts) {
   for (auto& e : errs)
     if (e) std::rethrow_exception(e);
 
+  // In rwlock-reads ablation mode a dispatcher-side search would contend
+  // on the partition shared_mutexes the shard worker also takes; the
+  // original queued-read behavior is what the ablation measures, so the
+  // kGet fast path turns itself off.
+  fastpath_gets_ = opts_.fastpath_reads && !opts_.hart.rwlock_reads;
+
   reopened_ = !opts_.arena_dir.empty();
   for (auto& s : shards_) reopened_ = reopened_ && s->arena().reopened();
   recovery_ms_ = static_cast<uint64_t>(
@@ -82,12 +90,109 @@ bool Hartd::submit(Request req, Shard::Ack ack) {
     if (ack) ack(std::move(r));
     return true;
   }
+  // Dispatcher read fast path: HART's optimistic read protocol makes a
+  // search from this thread lock-free and safe against the shard worker's
+  // concurrent writes, so point and batch reads never queue behind a
+  // group-commit batch. kMget/kScan span shards and are always answered
+  // here; kGet only when the fast path is enabled (see Options).
+  if (req.op == OpCode::kMget) {
+    if (ack) ack(serve_mget(req));
+    return true;
+  }
+  if (req.op == OpCode::kScan) {
+    if (ack) ack(serve_scan(req));
+    return true;
+  }
+  if (req.op == OpCode::kGet && fastpath_gets_) {
+    if (ack) ack(serve_get(req));
+    return true;
+  }
   Shard& s = *shards_[shard_of(req.key)];
   if (!s.submit(std::move(req), ack)) {
     if (ack) ack(Response{Status::kShuttingDown, {}, 0});
     return false;
   }
   return true;
+}
+
+Response Hartd::serve_get(const Request& req) {
+  Response r;
+  Shard& s = *shards_[shard_of(req.key)];
+  if (s.failed()) {
+    r.status = Status::kShardFailed;
+    return r;
+  }
+  r.status = wire_status(s.hart().search(req.key, &r.value));
+  fastpath_reads_.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+Response Hartd::serve_mget(const Request& req) {
+  Response r;
+  std::vector<std::string> keys;
+  if (!decode_mget_keys(req.value, &keys)) {
+    r.status = Status::kBadRequest;
+    return r;
+  }
+  const size_t n = keys.size();
+  std::vector<std::string> vals(n);
+  std::vector<bool> found(n, false);
+  // Group request slots by shard so each shard's keys are served with a
+  // single Hart::multi_get (one EBR guard, partition-grouped probing).
+  std::vector<std::vector<size_t>> groups(shards_.size());
+  for (size_t i = 0; i < n; ++i) groups[shard_of(keys[i])].push_back(i);
+  std::vector<std::string> gkeys;
+  std::vector<std::string> gvals;
+  std::vector<bool> gfound;
+  for (size_t si = 0; si < shards_.size(); ++si) {
+    if (groups[si].empty()) continue;
+    if (shards_[si]->failed()) {
+      r.status = Status::kShardFailed;
+      return r;
+    }
+    gkeys.clear();
+    for (const size_t i : groups[si]) gkeys.push_back(keys[i]);
+    shards_[si]->hart().multi_get(gkeys, &gvals, &gfound);
+    for (size_t j = 0; j < groups[si].size(); ++j) {
+      vals[groups[si][j]] = std::move(gvals[j]);
+      found[groups[si][j]] = gfound[j];
+    }
+  }
+  r.status = encode_mget_result(vals, found, &r.value) ? Status::kOk
+                                                       : Status::kBadRequest;
+  fastpath_reads_.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+Response Hartd::serve_scan(const Request& req) {
+  Response r;
+  uint32_t limit = 0;
+  if (!decode_scan_limit(req.value, &limit) ||
+      !common::validate_key(req.key).ok()) {
+    r.status = Status::kBadRequest;
+    return r;
+  }
+  const size_t lim = std::min<size_t>(limit, kMaxBatchEntries);
+  // Keys are hash-partitioned across shards, so every shard can hold part
+  // of the range: take `lim` from each, merge (each shard's slice is
+  // already ascending) and keep the smallest `lim`.
+  std::vector<std::pair<std::string, std::string>> all;
+  std::vector<std::pair<std::string, std::string>> part;
+  for (const auto& s : shards_) {
+    if (s->failed()) {
+      r.status = Status::kShardFailed;
+      return r;
+    }
+    s->hart().range(req.key, lim, &part);
+    all.insert(all.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  std::sort(all.begin(), all.end());
+  if (all.size() > lim) all.resize(lim);
+  r.status = encode_scan_result(all, &r.value) ? Status::kOk
+                                               : Status::kBadRequest;
+  fastpath_reads_.fetch_add(1, std::memory_order_relaxed);
+  return r;
 }
 
 Response Hartd::execute(Request req) {

@@ -39,6 +39,12 @@ class Hartd {
     /// A relative path resolves under $HART_ARENA_DIR (Arena rules).
     /// Empty: anonymous arenas, no restart capability.
     std::string arena_dir;
+    /// Serve kGet on the submitting (dispatcher) thread through HART's
+    /// optimistic lock-free read path instead of queueing it behind the
+    /// shard's writes. Automatically disabled when `hart.rwlock_reads` is
+    /// set — the ablation keeps the original queued-read behavior. kMget
+    /// and kScan are always dispatcher-served (they span shards).
+    bool fastpath_reads = true;
     core::Hart::Options hart;
   };
 
@@ -76,11 +82,22 @@ class Hartd {
   [[nodiscard]] uint64_t recovery_ms() const { return recovery_ms_; }
   /// Keys recovered at construction (0 when arenas were fresh).
   [[nodiscard]] uint64_t recovered_keys() const { return recovered_keys_; }
+  /// Read requests (kGet/kMget/kScan) answered on the dispatcher thread
+  /// without entering a shard queue.
+  [[nodiscard]] uint64_t fastpath_reads() const {
+    return fastpath_reads_.load(std::memory_order_relaxed);
+  }
 
  private:
+  Response serve_get(const Request& req);
+  Response serve_mget(const Request& req);
+  Response serve_scan(const Request& req);
+
   Options opts_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> down_{false};
+  std::atomic<uint64_t> fastpath_reads_{0};
+  bool fastpath_gets_ = true;  // opts_.fastpath_reads && !rwlock_reads
   bool reopened_ = false;
   uint64_t recovery_ms_ = 0;
   uint64_t recovered_keys_ = 0;

@@ -22,6 +22,8 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace hart::server {
 
@@ -36,6 +38,19 @@ enum class OpCode : uint8_t {
   /// carries the rendered snapshot. Answered directly by the dispatcher,
   /// never routed to a shard, so it does not perturb per-shard op counts.
   kStats = 6,
+  /// Batched point lookups. The request key is empty; the value carries an
+  /// encoded key list (encode_mget_keys). The response value carries one
+  /// (found, value) entry per requested key, in request order
+  /// (encode_mget_result). Answered on the dispatcher thread via HART's
+  /// optimistic read path — the batch is grouped by shard and each group
+  /// served with one Hart::multi_get, never queued behind writes.
+  kMget = 7,
+  /// Ordered range scan. The request key is the inclusive start key; the
+  /// value is a u32 entry limit (encode_scan_limit). The response value
+  /// carries up to `limit` (key, value) pairs in ascending key order,
+  /// merged across shards (encode_scan_result). Dispatcher-served, like
+  /// kMget.
+  kScan = 8,
 };
 
 enum class Status : uint8_t {
@@ -124,7 +139,7 @@ inline bool decode_request(const char* p, size_t n, uint64_t* id,
   const size_t klen = detail::read_int<uint8_t>(p + 9);
   const size_t vlen = detail::read_int<uint16_t>(p + 10);
   if (op < static_cast<uint8_t>(OpCode::kPut) ||
-      op > static_cast<uint8_t>(OpCode::kStats) ||
+      op > static_cast<uint8_t>(OpCode::kScan) ||
       n != kRequestFixed + klen + vlen)
     return false;
   r->op = static_cast<OpCode>(op);
@@ -159,6 +174,146 @@ inline bool decode_response(const char* p, size_t n, uint64_t* id,
   r->epoch = detail::read_int<uint64_t>(p + 12);
   r->value.assign(p + kResponseFixed, vlen);
   return true;
+}
+
+// ---- kMget / kScan payload codecs ---------------------------------------
+//
+// Batch payloads ride inside the ordinary request/response value field, so
+// they are bounded by its u16 length prefix (65535 bytes). With keys <= 24
+// and values <= 64 bytes the worst-case per-entry footprint is 91 bytes;
+// kMaxBatchEntries keeps every legal batch comfortably inside the field.
+
+inline constexpr size_t kMaxBatchEntries = 512;
+
+/// kMget request value: u16 n | (u8 key_len, key bytes) * n.
+inline bool encode_mget_keys(const std::vector<std::string>& keys,
+                             std::string* out) {
+  if (keys.size() > kMaxBatchEntries) return false;
+  out->clear();
+  detail::append_int(out, static_cast<uint16_t>(keys.size()));
+  for (const std::string& k : keys) {
+    if (k.size() > 255) return false;
+    detail::append_int(out, static_cast<uint8_t>(k.size()));
+    out->append(k);
+  }
+  return true;
+}
+
+inline bool decode_mget_keys(std::string_view payload,
+                             std::vector<std::string>* keys) {
+  keys->clear();
+  if (payload.size() < 2) return false;
+  const size_t n = detail::read_int<uint16_t>(payload.data());
+  if (n > kMaxBatchEntries) return false;
+  size_t off = 2;
+  keys->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (off + 1 > payload.size()) return false;
+    const size_t klen = detail::read_int<uint8_t>(payload.data() + off);
+    off += 1;
+    if (off + klen > payload.size()) return false;
+    keys->emplace_back(payload.substr(off, klen));
+    off += klen;
+  }
+  return off == payload.size();
+}
+
+/// kMget response value: u16 n | (u8 found, u16 val_len, value bytes) * n,
+/// entry i answering request key i.
+inline bool encode_mget_result(const std::vector<std::string>& values,
+                               const std::vector<bool>& found,
+                               std::string* out) {
+  if (values.size() != found.size() || values.size() > kMaxBatchEntries)
+    return false;
+  out->clear();
+  detail::append_int(out, static_cast<uint16_t>(values.size()));
+  for (size_t i = 0; i < values.size(); ++i) {
+    detail::append_int(out, static_cast<uint8_t>(found[i] ? 1 : 0));
+    detail::append_int(out, static_cast<uint16_t>(values[i].size()));
+    out->append(values[i]);
+  }
+  return true;
+}
+
+inline bool decode_mget_result(std::string_view payload,
+                               std::vector<std::string>* values,
+                               std::vector<bool>* found) {
+  values->clear();
+  found->clear();
+  if (payload.size() < 2) return false;
+  const size_t n = detail::read_int<uint16_t>(payload.data());
+  if (n > kMaxBatchEntries) return false;
+  size_t off = 2;
+  values->reserve(n);
+  found->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (off + 3 > payload.size()) return false;
+    const bool hit = detail::read_int<uint8_t>(payload.data() + off) != 0;
+    const size_t vlen = detail::read_int<uint16_t>(payload.data() + off + 1);
+    off += 3;
+    if (off + vlen > payload.size()) return false;
+    found->push_back(hit);
+    values->emplace_back(payload.substr(off, vlen));
+    off += vlen;
+  }
+  return off == payload.size();
+}
+
+/// kScan request value: u32 entry limit (clamped server-side to
+/// kMaxBatchEntries).
+inline void encode_scan_limit(uint32_t limit, std::string* out) {
+  out->clear();
+  detail::append_int(out, limit);
+}
+
+inline bool decode_scan_limit(std::string_view payload, uint32_t* limit) {
+  if (payload.size() != 4) return false;
+  *limit = detail::read_int<uint32_t>(payload.data());
+  return true;
+}
+
+/// kScan response value: u16 n | (u8 key_len, key, u16 val_len, value) * n
+/// in ascending key order.
+inline bool encode_scan_result(
+    const std::vector<std::pair<std::string, std::string>>& entries,
+    std::string* out) {
+  if (entries.size() > kMaxBatchEntries) return false;
+  out->clear();
+  detail::append_int(out, static_cast<uint16_t>(entries.size()));
+  for (const auto& [k, v] : entries) {
+    if (k.size() > 255) return false;
+    detail::append_int(out, static_cast<uint8_t>(k.size()));
+    out->append(k);
+    detail::append_int(out, static_cast<uint16_t>(v.size()));
+    out->append(v);
+  }
+  return true;
+}
+
+inline bool decode_scan_result(
+    std::string_view payload,
+    std::vector<std::pair<std::string, std::string>>* entries) {
+  entries->clear();
+  if (payload.size() < 2) return false;
+  const size_t n = detail::read_int<uint16_t>(payload.data());
+  if (n > kMaxBatchEntries) return false;
+  size_t off = 2;
+  entries->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (off + 1 > payload.size()) return false;
+    const size_t klen = detail::read_int<uint8_t>(payload.data() + off);
+    off += 1;
+    if (off + klen + 2 > payload.size()) return false;
+    std::string key(payload.substr(off, klen));
+    off += klen;
+    const size_t vlen = detail::read_int<uint16_t>(payload.data() + off);
+    off += 2;
+    if (off + vlen > payload.size()) return false;
+    entries->emplace_back(std::move(key),
+                          std::string(payload.substr(off, vlen)));
+    off += vlen;
+  }
+  return off == payload.size();
 }
 
 /// Pull one complete frame body out of a receive buffer.

@@ -4,8 +4,8 @@
 #include <sys/prctl.h>
 #endif
 
+#include <algorithm>
 #include <chrono>
-#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -20,6 +20,7 @@ inline uint64_t mono_ns() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
 }  // namespace
 
 Shard::Shard(const Options& opts)
@@ -48,44 +49,65 @@ void Shard::shutdown() {
 
 void Shard::apply(Pending* p) {
   Response& r = p->resp;
-  try {
-    switch (p->req.op) {
-      case OpCode::kPut:
-        r.status = hart_->insert(p->req.key, p->req.value) ? Status::kOk
-                                                           : Status::kUpdated;
-        p->fence = true;
-        break;
-      case OpCode::kGet:
-        r.status = hart_->search(p->req.key, &r.value) ? Status::kOk
-                                                       : Status::kNotFound;
-        break;
-      case OpCode::kUpdate:
-        if (hart_->update(p->req.key, p->req.value)) {
-          r.status = Status::kOk;
-          p->fence = true;
-        } else {
-          r.status = Status::kNotFound;
-        }
-        break;
-      case OpCode::kDelete:
-        if (hart_->remove(p->req.key)) {
-          r.status = Status::kOk;
-          p->fence = true;
-        } else {
-          r.status = Status::kNotFound;
-        }
-        break;
-      case OpCode::kPing:
-        r.status = Status::kOk;
-        break;
-      default:
+  switch (p->req.op) {
+    case OpCode::kPut: {
+      const common::Status s = hart_->insert(p->req.key, p->req.value);
+      r.status = wire_status(s);
+      p->fence =
+          s.code() == common::Status::kInserted || s.code() == common::Status::kUpdated;
+      break;
+    }
+    case OpCode::kGet:
+      r.status = wire_status(hart_->search(p->req.key, &r.value));
+      break;
+    case OpCode::kUpdate: {
+      const common::Status s = hart_->update(p->req.key, p->req.value);
+      r.status = wire_status(s);
+      p->fence = s.code() == common::Status::kOk;
+      break;
+    }
+    case OpCode::kDelete: {
+      const common::Status s = hart_->remove(p->req.key);
+      r.status = wire_status(s);
+      p->fence = s.code() == common::Status::kOk;
+      break;
+    }
+    case OpCode::kPing:
+      r.status = Status::kOk;
+      break;
+    case OpCode::kMget: {
+      // Normally dispatcher-served (Hartd answers batch reads without
+      // queueing); kept here so a directly-submitted batch still answers.
+      std::vector<std::string> keys;
+      std::vector<std::string> vals;
+      std::vector<bool> found;
+      if (!decode_mget_keys(p->req.value, &keys)) {
         r.status = Status::kBadRequest;
         break;
+      }
+      hart_->multi_get(keys, &vals, &found);
+      r.status = encode_mget_result(vals, found, &r.value)
+                     ? Status::kOk
+                     : Status::kBadRequest;
+      break;
     }
-  } catch (const std::invalid_argument&) {
-    // Key/value validation rejects before any mutation; safe to continue.
-    r.status = Status::kBadRequest;
-    p->fence = false;
+    case OpCode::kScan: {
+      uint32_t limit = 0;
+      if (!decode_scan_limit(p->req.value, &limit) ||
+          !common::validate_key(p->req.key).ok()) {
+        r.status = Status::kBadRequest;
+        break;
+      }
+      std::vector<std::pair<std::string, std::string>> entries;
+      hart_->range(p->req.key,
+                   std::min<size_t>(limit, kMaxBatchEntries), &entries);
+      r.status = encode_scan_result(entries, &r.value) ? Status::kOk
+                                                       : Status::kBadRequest;
+      break;
+    }
+    default:
+      r.status = Status::kBadRequest;
+      break;
   }
 }
 

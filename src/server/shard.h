@@ -55,6 +55,24 @@ inline const char* op_hist_name(size_t idx) {
   return kNames[idx];
 }
 
+/// Index API v2 -> wire status. kInserted is only produced by insert and
+/// keeps the wire meaning of kOk for kPut (fresh key); kInvalidArgument
+/// maps to kBadRequest — the index rejected the key/value before touching
+/// anything, so the server keeps serving.
+inline Status wire_status(common::Status s) {
+  switch (s.code()) {
+    case common::Status::kOk:
+    case common::Status::kInserted:
+      return Status::kOk;
+    case common::Status::kUpdated:
+      return Status::kUpdated;
+    case common::Status::kNotFound:
+      return Status::kNotFound;
+    default:
+      return Status::kBadRequest;
+  }
+}
+
 class Shard {
  public:
   struct Options {

@@ -54,7 +54,12 @@ void collect_stats(const Hartd& d, obs::Registry::Sample* counters,
       hists->push_back({"hartd_fence_latency_ns", lbl, sh.fence});
   }
 
-  counters->emplace_back("hartd_ops_total", ops);
+  // Dispatcher-served reads (kGet fast path, kMget, kScan) never enter a
+  // shard queue, so they are accounted at the service level and folded
+  // into the ops total alongside the per-shard applied counts.
+  const uint64_t fastpath = d.fastpath_reads();
+  counters->emplace_back("hartd_fastpath_reads_total", fastpath);
+  counters->emplace_back("hartd_ops_total", ops + fastpath);
   counters->emplace_back("hartd_write_acks_total", write_acks);
   counters->emplace_back("hartd_batches_total", batches);
   counters->emplace_back("hartd_epochs_total", epochs);

@@ -34,10 +34,10 @@ class Woart final : public common::Index {
  public:
   explicit Woart(pmem::Arena& arena);
 
-  bool insert(std::string_view key, std::string_view value) override;
-  bool search(std::string_view key, std::string* out) const override;
-  bool update(std::string_view key, std::string_view value) override;
-  bool remove(std::string_view key) override;
+  common::Status insert(std::string_view key, std::string_view value) override;
+  common::Status search(std::string_view key, std::string* out) const override;
+  common::Status update(std::string_view key, std::string_view value) override;
+  common::Status remove(std::string_view key) override;
   size_t range(std::string_view lo, size_t limit,
                std::vector<std::pair<std::string, std::string>>* out)
       const override;

@@ -9,17 +9,6 @@ namespace hart::pmart {
 namespace {
 constexpr uint64_t kWortMagic = 0x574f5254'00000001ULL;
 
-void validate_key(std::string_view key) {
-  if (key.empty() || key.size() > common::kMaxKeyLen)
-    throw std::invalid_argument("key length must be 1..24 bytes");
-  if (std::memchr(key.data(), 0, key.size()) != nullptr)
-    throw std::invalid_argument("keys must not contain NUL bytes");
-}
-void validate_value(std::string_view value) {
-  if (value.empty() || value.size() > common::kMaxValueLen)
-    throw std::invalid_argument("value length must be 1..64 bytes");
-}
-
 std::string_view leaf_key(const PmLeaf* l) { return {l->key, l->key_len}; }
 
 /// Nibble of `k` at nibble-depth `d` (high nibble first), with the
@@ -101,12 +90,12 @@ uint64_t Wort::new_node(uint32_t depth, uint32_t plen,
   return off;
 }
 
-bool Wort::insert(std::string_view key, std::string_view value) {
-  validate_key(key);
-  validate_value(value);
+common::Status Wort::insert(std::string_view key, std::string_view value) {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
+  if (auto s = common::validate_value(value); !s.ok()) return s;
   const bool inserted = insert_rec(&root_->root, key, value, 0);
   if (inserted) ++count_;
-  return inserted;
+  return inserted ? common::Status::kInserted : common::Status::kUpdated;
 }
 
 bool Wort::insert_rec(uint64_t* slot, std::string_view key,
@@ -190,19 +179,19 @@ bool Wort::insert_rec(uint64_t* slot, std::string_view key,
   return true;
 }
 
-bool Wort::search(std::string_view key, std::string* out) const {
-  validate_key(key);
+common::Status Wort::search(std::string_view key, std::string* out) const {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
   uint64_t ref = root_->root;
   uint32_t depth = 0;
   while (ref != 0) {
     if (ChildRef::is_leaf(ref)) {
       const PmLeaf* l = leaf_at(ref);
       arena_.pm_read(l, sizeof(PmLeaf));
-      if (leaf_key(l) != key) return false;
+      if (leaf_key(l) != key) return common::Status::kNotFound;
       const auto* v = arena_.ptr<PmValue>(l->p_value);
       arena_.pm_read(v, 1 + v->len);
       if (out != nullptr) out->assign(v->data, v->len);
-      return true;
+      return common::Status::kOk;
     }
     const WortNode* n = node_at(ref);
     arena_.pm_read(n, sizeof(uint64_t));
@@ -213,12 +202,12 @@ bool Wort::search(std::string_view key, std::string* out) const {
     ref = n->children[nib];
     ++depth;
   }
-  return false;
+  return common::Status::kNotFound;
 }
 
-bool Wort::update(std::string_view key, std::string_view value) {
-  validate_key(key);
-  validate_value(value);
+common::Status Wort::update(std::string_view key, std::string_view value) {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
+  if (auto s = common::validate_value(value); !s.ok()) return s;
   uint64_t ref = root_->root;
   uint32_t depth = 0;
   while (ref != 0 && !ChildRef::is_leaf(ref)) {
@@ -228,22 +217,22 @@ bool Wort::update(std::string_view key, std::string_view value) {
     ref = n->children[key_nibble(key, depth)];
     ++depth;
   }
-  if (ref == 0) return false;
+  if (ref == 0) return common::Status::kNotFound;
   PmLeaf* l = leaf_at(ref);
   arena_.pm_read(l, sizeof(PmLeaf));
-  if (leaf_key(l) != key) return false;
+  if (leaf_key(l) != key) return common::Status::kNotFound;
   const uint64_t old = l->p_value;
   l->p_value = alloc_value(arena_, value);
   persist(&l->p_value, 8);
   free_value(arena_, old);
-  return true;
+  return common::Status::kOk;
 }
 
-bool Wort::remove(std::string_view key) {
-  validate_key(key);
+common::Status Wort::remove(std::string_view key) {
+  if (auto s = common::validate_key(key); !s.ok()) return s;
   const bool removed = remove_rec(&root_->root, key, 0);
   if (removed) --count_;
-  return removed;
+  return removed ? common::Status::kOk : common::Status::kNotFound;
 }
 
 bool Wort::remove_rec(uint64_t* slot, std::string_view key,
@@ -347,8 +336,8 @@ bool Wort::walk_from(uint64_t ref, std::string_view lo, uint32_t depth,
 size_t Wort::range(
     std::string_view lo, size_t limit,
     std::vector<std::pair<std::string, std::string>>* out) const {
-  validate_key(lo);
   out->clear();
+  if (!common::validate_key(lo).ok()) return 0;
   if (limit == 0 || root_->root == 0) return 0;
   auto emit = [&](const PmLeaf* l) {
     const auto* v = arena_.ptr<PmValue>(l->p_value);

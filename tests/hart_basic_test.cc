@@ -82,7 +82,9 @@ TEST(Hart, RemoveDeletesAndFreesPm) {
   EXPECT_EQ(h.size(), 1u);
   EXPECT_TRUE(h.remove("b"));
   EXPECT_EQ(h.size(), 0u);
-  // All chunks recycled: no live PM except nothing.
+  // Freed slots are retired through EBR and recycled once a grace period
+  // has passed; quiesce() drains the limbo lists deterministically.
+  h.quiesce();
   EXPECT_EQ(arena->stats().pm_live_bytes.load(), 0u);
 }
 
@@ -129,12 +131,19 @@ TEST(Hart, HashKeyLenZeroIsSingleArt) {
 TEST(Hart, RejectsInvalidKeysAndValues) {
   auto arena = make_arena();
   Hart h(*arena);
-  EXPECT_THROW(h.insert("", "v"), std::invalid_argument);
-  EXPECT_THROW(h.insert(std::string(25, 'x'), "v"), std::invalid_argument);
-  EXPECT_THROW(h.insert(std::string("a\0b", 3), "v"), std::invalid_argument);
-  EXPECT_THROW(h.insert("k", ""), std::invalid_argument);
-  EXPECT_THROW(h.insert("k", std::string(65, 'v')), std::invalid_argument);
-  EXPECT_NO_THROW(h.insert(std::string(24, 'x'), std::string(64, 'v')));
+  const common::Status bad = common::Status::kInvalidArgument;
+  EXPECT_EQ(h.insert("", "v"), bad);
+  EXPECT_EQ(h.insert(std::string(25, 'x'), "v"), bad);
+  EXPECT_EQ(h.insert(std::string("a\0b", 3), "v"), bad);
+  EXPECT_EQ(h.insert("k", ""), bad);
+  EXPECT_EQ(h.insert("k", std::string(65, 'v')), bad);
+  // Rejection happens before any mutation.
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_EQ(h.search(std::string("a\0b", 3), nullptr), bad);
+  EXPECT_EQ(h.update("", "v"), bad);
+  EXPECT_EQ(h.remove(std::string(25, 'x')), bad);
+  EXPECT_EQ(h.insert(std::string(24, 'x'), std::string(64, 'v')),
+            common::Status::kInserted);
 }
 
 TEST(Hart, RangeScanIsOrderedAcrossPartitions) {
@@ -265,7 +274,15 @@ TEST(Hart, MultiGetEmptyAndInvalid) {
   std::vector<std::string> vals;
   std::vector<bool> found;
   EXPECT_EQ(h.multi_get({}, &vals, &found), 0u);
-  EXPECT_THROW(h.multi_get({""}, &vals, &found), std::invalid_argument);
+  // Invalid keys are plain misses in a batch — the valid entries still
+  // come back (API v2: no exceptions from the read path).
+  h.insert("ok", "v");
+  EXPECT_EQ(h.multi_get({"", "ok", std::string(25, 'x')}, &vals, &found), 1u);
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_FALSE(found[0]);
+  EXPECT_TRUE(found[1]);
+  EXPECT_EQ(vals[1], "v");
+  EXPECT_FALSE(found[2]);
 }
 
 TEST(Hart, MultiGetAgreesWithSearch) {

@@ -84,8 +84,9 @@ TEST_P(IndexParamTest, ValueSizeBoundaries) {
     ASSERT_TRUE(index_->search(k, &v)) << k;
     EXPECT_EQ(v.size(), len) << k;
   }
-  EXPECT_THROW(index_->insert("z", std::string(65, 'x')),
-               std::invalid_argument);
+  EXPECT_EQ(index_->insert("z", std::string(65, 'x')),
+            common::Status::kInvalidArgument);
+  EXPECT_EQ(index_->insert("z", ""), common::Status::kInvalidArgument);
 }
 
 TEST_P(IndexParamTest, KeyLengthBoundaries) {
@@ -96,9 +97,31 @@ TEST_P(IndexParamTest, KeyLengthBoundaries) {
   std::string v;
   EXPECT_TRUE(index_->search(k1, &v));
   EXPECT_TRUE(index_->search(k24, &v));
-  EXPECT_THROW(index_->insert(std::string(25, 'k'), "v"),
-               std::invalid_argument);
-  EXPECT_THROW(index_->insert("", "v"), std::invalid_argument);
+  EXPECT_EQ(index_->insert(std::string(25, 'k'), "v"),
+            common::Status::kInvalidArgument);
+  EXPECT_EQ(index_->insert("", "v"), common::Status::kInvalidArgument);
+}
+
+TEST_P(IndexParamTest, InvalidKeysRejectedUniformly) {
+  // API v2 contract: embedded-NUL and over-length keys come back as
+  // kInvalidArgument from every operation, nothing is mutated, and no
+  // exception escapes the index.
+  const std::string nul_key("a\0b", 3);
+  const std::string long_key(25, 'k');
+  const common::Status bad = common::Status::kInvalidArgument;
+  for (const std::string& k : {nul_key, long_key, std::string()}) {
+    EXPECT_EQ(index_->insert(k, "v"), bad);
+    EXPECT_EQ(index_->search(k, nullptr), bad);
+    EXPECT_EQ(index_->update(k, "v"), bad);
+    EXPECT_EQ(index_->remove(k), bad);
+  }
+  EXPECT_EQ(index_->size(), 0u);
+  // An invalid range start scans nothing rather than throwing.
+  std::vector<std::pair<std::string, std::string>> out;
+  EXPECT_EQ(index_->range(nul_key, 10, &out), 0u);
+  // The index still works afterwards.
+  EXPECT_EQ(index_->insert("good", "v"), common::Status::kInserted);
+  EXPECT_EQ(index_->search("good", nullptr), common::Status::kOk);
 }
 
 TEST_P(IndexParamTest, PrefixKeysAreIndependent) {

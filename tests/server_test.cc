@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <deque>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "server/client.h"
@@ -206,6 +208,95 @@ TEST(HartdTest, BadRequestsAreRejectedNotFatal) {
   EXPECT_EQ(db.total_size(), 1u);
 }
 
+TEST(HartdTest, MgetBatchesAcrossShards) {
+  Hartd db(small_opts(4));
+  Client cl(db);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 100; ++i) {
+    keys.push_back("mg-" + std::to_string(i));
+    ASSERT_EQ(cl.put(keys.back(), "v" + std::to_string(i)).status,
+              Status::kOk);
+  }
+  // Mix in misses and an invalid key: both are plain per-entry misses.
+  keys.push_back("absent");
+  keys.push_back(std::string("x\0y", 3));
+  std::vector<std::string> vals;
+  std::vector<bool> found;
+  EXPECT_EQ(cl.multi_get(keys, &vals, &found), 100u);
+  ASSERT_EQ(vals.size(), keys.size());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(found[i]) << keys[i];
+    EXPECT_EQ(vals[i], "v" + std::to_string(i));
+  }
+  EXPECT_FALSE(found[100]);
+  EXPECT_FALSE(found[101]);
+  // The batch was dispatcher-served, never queued into a shard.
+  EXPECT_GE(db.fastpath_reads(), 1u);
+}
+
+TEST(HartdTest, ScanMergesShardsInKeyOrder) {
+  Hartd db(small_opts(4));
+  Client cl(db);
+  for (int i = 0; i < 200; ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "sc-%03d", i);
+    ASSERT_EQ(cl.put(buf, "v").status, Status::kOk);
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  // Keys are hash-partitioned over 4 shards, so an ordered scan exercises
+  // the dispatcher-side merge.
+  EXPECT_EQ(cl.scan("sc-050", 25, &out), 25u);
+  ASSERT_EQ(out.size(), 25u);
+  for (int i = 0; i < 25; ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "sc-%03d", 50 + i);
+    EXPECT_EQ(out[i].first, buf);
+  }
+  // Limit past the tail clips to what exists.
+  EXPECT_EQ(cl.scan("sc-190", 100, &out), 10u);
+  // An invalid start key is rejected, not fatal.
+  EXPECT_EQ(cl.scan(std::string("a\0b", 3), 10, &out), 0u);
+  EXPECT_EQ(cl.scan("", 10, &out), 0u);
+}
+
+TEST(HartdTest, MgetAndScanWorkOverTcp) {
+  Hartd db(small_opts(2));
+  TcpServer tcp(db, 0);
+  Client cl("127.0.0.1", tcp.port());
+  std::vector<std::string> keys;
+  for (int i = 0; i < 32; ++i) {
+    keys.push_back("net-" + std::to_string(100 + i));
+    ASSERT_EQ(cl.put(keys.back(), "w" + std::to_string(i)).status,
+              Status::kOk);
+  }
+  std::vector<std::string> vals;
+  std::vector<bool> found;
+  EXPECT_EQ(cl.multi_get(keys, &vals, &found), keys.size());
+  EXPECT_EQ(vals[5], "w5");
+  std::vector<std::pair<std::string, std::string>> out;
+  EXPECT_EQ(cl.scan("net-110", 8, &out), 8u);
+  EXPECT_EQ(out.front().first, "net-110");
+  EXPECT_EQ(out.back().first, "net-117");
+  tcp.stop();
+}
+
+TEST(HartdTest, RwlockReadsModeDisablesGetFastpath) {
+  Hartd::Options o = small_opts(2);
+  o.hart.rwlock_reads = true;  // the read-locking ablation
+  Hartd db(o);
+  Client cl(db);
+  ASSERT_EQ(cl.put("k", "v").status, Status::kOk);
+  EXPECT_EQ(cl.get("k").value, "v");
+  // Point reads went through the shard queues, not the dispatcher.
+  EXPECT_EQ(db.fastpath_reads(), 0u);
+  // Batch reads are still served (locked reads are thread-safe).
+  std::vector<std::string> vals;
+  std::vector<bool> found;
+  EXPECT_EQ(cl.multi_get({"k", "missing"}, &vals, &found), 1u);
+  EXPECT_TRUE(found[0]);
+  EXPECT_FALSE(found[1]);
+}
+
 TEST(HartdTest, BatchedPersistPathIsPmCheckClean) {
   Hartd::Options o = small_opts(2);
   o.check = true;  // PMCheck shadows every shard arena
@@ -255,13 +346,19 @@ TEST(HartdStats, StatsOpCountsEveryAckedOpExactly) {
       n += db.shard(s).stats().ops.load();
     return n;
   };
-  EXPECT_EQ(shard_ops(), acked);
+  // Writes applied by shard workers; reads served on the dispatcher fast
+  // path. Together they account for every acked op exactly.
+  EXPECT_EQ(shard_ops(), static_cast<uint64_t>(kPuts));
+  EXPECT_EQ(db.fastpath_reads(), 50u);
+  EXPECT_EQ(shard_ops() + db.fastpath_reads(), acked);
 
   // STATS is answered by the dispatcher, not routed to a shard: the op
   // counter must not move, and the payload must carry the right total.
   const Response st = cli.stats();
   ASSERT_EQ(st.status, Status::kOk);
-  EXPECT_EQ(shard_ops(), acked);
+  EXPECT_EQ(shard_ops() + db.fastpath_reads(), acked);
+  EXPECT_NE(st.value.find("hartd_fastpath_reads_total 50\n"),
+            std::string::npos);
   EXPECT_NE(st.value.find("hartd_ops_total " + std::to_string(acked) + "\n"),
             std::string::npos)
       << st.value.substr(0, 2000);

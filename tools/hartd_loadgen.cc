@@ -57,6 +57,7 @@ struct Config {
   double seconds = 0;
   std::string mix = "insert";
   size_t pipeline = 32;
+  size_t mget = 0;  // >0: batch this many GETs into one kMget request
   size_t preload = 5000;  // per client, for the mixed workloads
   std::string acked_log;
   std::string verify_acked;
@@ -82,6 +83,7 @@ void usage(const char* argv0) {
       "  --seconds S       run for S seconds instead of an op budget\n"
       "  --mix M           insert | read-intensive | rmw | write-intensive\n"
       "  --pipeline D      outstanding requests per client   (default 32)\n"
+      "  --mget N          batch reads N-at-a-time into MGET requests\n"
       "  --preload N       preloaded keys per client for mixes (default 5000)\n"
       "  --acked-log P     append acked insert keys to P (insert mix only)\n"
       "  --verify-acked P  GET every key in P; exit 1 on any loss\n"
@@ -190,15 +192,33 @@ void run_client(Client& cli, const Config& cfg, size_t id, AckLog* log,
 
   struct Inflight {
     uint64_t rid;
-    std::string key;  // non-empty = append to the ack log on ack
-    size_t slot;      // op_hist_index, SIZE_MAX = untimed
-    uint64_t t0;      // send time (mono_ns)
+    std::string key;     // non-empty = append to the ack log on ack
+    size_t slot;         // op_hist_index, SIZE_MAX = untimed
+    uint64_t t0;         // send time (mono_ns)
+    size_t mget_n = 0;   // >0: kMget carrying this many keys
   };
   std::deque<Inflight> inflight;
   auto drain_one = [&] {
     Inflight f = std::move(inflight.front());
     inflight.pop_front();
     const Response r = cli.wait(f.rid);
+    if (f.mget_n > 0) {
+      // One kMget = mget_n logical reads; hits/misses from the payload.
+      std::vector<std::string> vals;
+      std::vector<bool> found;
+      if (r.status == Status::kOk &&
+          hart::server::decode_mget_result(r.value, &vals, &found)) {
+        size_t hits = 0;
+        for (const bool ok : found) hits += ok ? 1 : 0;
+        ctr->acked.fetch_add(hits, std::memory_order_relaxed);
+        ctr->misses.fetch_add(found.size() - hits,
+                              std::memory_order_relaxed);
+      } else {
+        ctr->errors.fetch_add(f.mget_n, std::memory_order_relaxed);
+      }
+      return r.status != Status::kNetError &&
+             r.status != Status::kShuttingDown;
+    }
     if (f.slot != SIZE_MAX &&
         (r.status == Status::kOk || r.status == Status::kUpdated ||
          r.status == Status::kNotFound))
@@ -221,6 +241,18 @@ void run_client(Client& cli, const Config& cfg, size_t id, AckLog* log,
            r.status != Status::kShuttingDown;
   };
 
+  // --mget N: reads accumulate here and ship N-at-a-time as one kMget.
+  std::vector<std::string> mget_keys;
+  auto flush_mget = [&] {
+    if (mget_keys.empty()) return;
+    Request req{OpCode::kMget, {}, {}};
+    hart::server::encode_mget_keys(mget_keys, &req.value);
+    const size_t n = mget_keys.size();
+    inflight.push_back(
+        Inflight{cli.send(std::move(req)), {}, SIZE_MAX, mono_ns(), n});
+    mget_keys.clear();
+  };
+
   bool alive = true;
   for (uint64_t i = 0; alive; ++i) {
     if (timed) {
@@ -241,6 +273,11 @@ void run_client(Client& cli, const Config& cfg, size_t id, AckLog* log,
     } else {
       const auto& op = ops[i % ops.size()];
       const std::string k = key_of(id, op.key_idx);
+      if (cfg.mget > 0 && op.type == hart::workload::OpType::kSearch) {
+        mget_keys.push_back(k);
+        if (mget_keys.size() >= cfg.mget) flush_mget();
+        continue;
+      }
       switch (op.type) {
         case hart::workload::OpType::kInsert:
           req = {OpCode::kPut, k, value_of(k)};
@@ -261,6 +298,7 @@ void run_client(Client& cli, const Config& cfg, size_t id, AckLog* log,
     inflight.push_back(
         Inflight{cli.send(std::move(req)), std::move(logged_key), slot, t0});
   }
+  flush_mget();
   while (!inflight.empty() && drain_one()) {
   }
   while (!inflight.empty()) {  // transport died: count the remainder
@@ -370,6 +408,13 @@ int main(int argc, char** argv) {
       cfg.mix = need("--mix");
     } else if (a == "--pipeline") {
       cfg.pipeline = std::strtoull(need("--pipeline"), nullptr, 10);
+    } else if (a == "--mget") {
+      cfg.mget = std::strtoull(need("--mget"), nullptr, 10);
+      if (cfg.mget > hart::server::kMaxBatchEntries) {
+        std::fprintf(stderr, "loadgen: --mget capped at %zu\n",
+                     hart::server::kMaxBatchEntries);
+        cfg.mget = hart::server::kMaxBatchEntries;
+      }
     } else if (a == "--preload") {
       cfg.preload = std::strtoull(need("--preload"), nullptr, 10);
     } else if (a == "--acked-log") {

@@ -34,6 +34,9 @@ void usage(const char* argv0) {
       "  --latency W/R   PM write/read latency ns (e.g. 300/100; default off)\n"
       "  --spin-latency  busy-wait injected latency inside each persist\n"
       "                  (default: bank it, pay per batch with a sleep)\n"
+      "  --rwlock-reads  ablation: the paper's shared-lock read path\n"
+      "                  instead of lock-free optimistic reads (GETs then\n"
+      "                  queue behind shard writes again)\n"
       "  --check         enable PMCheck on every shard arena\n"
       "  --stats-dump N  print a Prometheus-text metrics snapshot to stdout\n"
       "                  every N seconds (and once at shutdown)\n"
@@ -95,6 +98,8 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--spin-latency") {
       opts.defer_latency = false;
+    } else if (a == "--rwlock-reads") {
+      opts.hart.rwlock_reads = true;
     } else if (a == "--check") {
       opts.check = true;
     } else if (a == "--stats-dump") {
