@@ -125,13 +125,13 @@ void BM_PersistsPerInsert(benchmark::State& state) {
   double per_op = 0;
   for (auto _ : state) {
     pmem::Arena arena(quiet_arena(1024));
-    auto tree = bench::make_tree(kind, arena);
+    auto idx = bench::make_tree(kind, arena);
     for (size_t i = 0; i < keys.size() / 2; ++i)
-      tree->insert(keys[i], bench::value_for(i));
+      idx->insert(keys[i], bench::value_for(i));
     const uint64_t before = arena.stats().persist_calls.load() +
                             arena.stats().alloc_meta_persists.load();
     for (size_t i = keys.size() / 2; i < keys.size(); ++i)
-      tree->insert(keys[i], bench::value_for(i));
+      idx->insert(keys[i], bench::value_for(i));
     const uint64_t after = arena.stats().persist_calls.load() +
                            arena.stats().alloc_meta_persists.load();
     per_op = static_cast<double>(after - before) /

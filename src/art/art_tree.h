@@ -228,11 +228,15 @@ class Tree {
 
   /// Insert `leaf` under key `k`. If the key already exists, nothing is
   /// modified and the existing leaf is returned; otherwise returns nullptr.
-  Leaf* insert(Key k, Leaf* leaf) { return insert_rec(root_, k, leaf, 0); }
+  /// With an EBR domain the caller must hold a Guard (structural changes
+  /// retire replaced nodes); without one the marker is moot.
+  Leaf* insert(Key k, Leaf* leaf) REQUIRES_EBR_PIN {
+    return insert_rec(root_, k, leaf, 0);
+  }
 
   /// Remove the leaf with key `k`; returns it (caller owns leaf memory), or
-  /// nullptr if absent.
-  Leaf* remove(Key k) { return remove_rec(root_, k, 0); }
+  /// nullptr if absent. Same pinning contract as insert().
+  Leaf* remove(Key k) REQUIRES_EBR_PIN { return remove_rec(root_, k, 0); }
 
   /// Leftmost (smallest-key) leaf; nullptr when empty.
   [[nodiscard]] Leaf* minimum() const {
@@ -319,7 +323,7 @@ class Tree {
   }
   /// Replaced node: fail any reader still holding it, defer the free past
   /// every current reader epoch (or free eagerly without a domain).
-  void retire_node(Node* n) {
+  void retire_node(Node* n) REQUIRES_EBR_PIN {
     detail::mark_obsolete(n);
     if (ebr_ != nullptr)
       ebr_->retire(n, &retire_cb, this);
@@ -577,7 +581,7 @@ class Tree {
   /// otherwise grow: build the bigger node off-line with the new child
   /// already in it, publish with one release store, retire the old node.
   void add_child(std::atomic<Node*>& ref, Node* n, uint32_t byte,
-                 Node* child) {
+                 Node* child) REQUIRES_EBR_PIN {
     switch (n->type) {
       case detail::kNode4: {
         auto* p = static_cast<Node4*>(n);
@@ -674,7 +678,7 @@ class Tree {
 
   // ---- insert ----------------------------------------------------------
   Leaf* insert_rec(std::atomic<Node*>& ref, Key k, Leaf* leaf,
-                   uint32_t depth) {
+                   uint32_t depth) REQUIRES_EBR_PIN {
     Node* n = ref.load(std::memory_order_relaxed);
     if (n == nullptr) {
       ref.store(tag_leaf(leaf), std::memory_order_release);
@@ -743,7 +747,8 @@ class Tree {
   }
 
   // ---- remove / shrink ---------------------------------------------------
-  Leaf* remove_rec(std::atomic<Node*>& ref, Key k, uint32_t depth) {
+  Leaf* remove_rec(std::atomic<Node*>& ref, Key k, uint32_t depth)
+      REQUIRES_EBR_PIN {
     Node* n = ref.load(std::memory_order_relaxed);
     if (n == nullptr) return nullptr;
     if (is_leaf(n)) {
@@ -776,7 +781,8 @@ class Tree {
   /// Remove the child under `byte`. In place (seqlocked) normally; at the
   /// shrink thresholds (or the NODE4 collapse) build the smaller
   /// replacement off-line, publish, retire the old node(s).
-  void remove_child(std::atomic<Node*>& ref, Node* n, uint32_t byte) {
+  void remove_child(std::atomic<Node*>& ref, Node* n, uint32_t byte)
+      REQUIRES_EBR_PIN {
     switch (n->type) {
       case detail::kNode4: {
         auto* p = static_cast<Node4*>(n);

@@ -10,12 +10,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 
 #include "art/art_tree.h"
+#include "common/annotations.h"
 #include "common/index.h"
 
 namespace hart::art {
@@ -35,7 +34,7 @@ class DramIndex final : public common::Index {
                         std::string_view value) override {
     if (auto s = common::validate_key(key); !s.ok()) return s;
     if (auto s = common::validate_value(value); !s.ok()) return s;
-    std::unique_lock lk(mu_);
+    common::WriterLock lk(mu_);
     if (Leaf* existing = tree_.search(as_key(key)); existing != nullptr) {
       existing->value.assign(value);
       return common::Status::kUpdated;
@@ -46,13 +45,14 @@ class DramIndex final : public common::Index {
     account(*leaf, +1);
     Leaf* raw = leaf.release();  // (do not mix release() into the call:
                                  // argument evaluation order is unspecified)
+    HARTLINT_SUPPRESS("HL003: tree has no EBR domain (eager frees)")
     tree_.insert(as_key(raw->key), raw);
     return common::Status::kInserted;
   }
 
   common::Status search(std::string_view key, std::string* out) const override {
     if (auto s = common::validate_key(key); !s.ok()) return s;
-    std::shared_lock lk(mu_);
+    common::ReaderLock lk(mu_);
     const Leaf* l = tree_.search(as_key(key));
     if (l == nullptr) return common::Status::kNotFound;
     if (out != nullptr) *out = l->value;
@@ -63,7 +63,7 @@ class DramIndex final : public common::Index {
                         std::string_view value) override {
     if (auto s = common::validate_key(key); !s.ok()) return s;
     if (auto s = common::validate_value(value); !s.ok()) return s;
-    std::unique_lock lk(mu_);
+    common::WriterLock lk(mu_);
     Leaf* l = tree_.search(as_key(key));
     if (l == nullptr) return common::Status::kNotFound;
     l->value.assign(value);
@@ -72,7 +72,8 @@ class DramIndex final : public common::Index {
 
   common::Status remove(std::string_view key) override {
     if (auto s = common::validate_key(key); !s.ok()) return s;
-    std::unique_lock lk(mu_);
+    common::WriterLock lk(mu_);
+    HARTLINT_SUPPRESS("HL003: tree has no EBR domain (eager frees)")
     Leaf* l = tree_.remove(as_key(key));
     if (l == nullptr) return common::Status::kNotFound;
     account(*l, -1);
@@ -85,7 +86,7 @@ class DramIndex final : public common::Index {
       const override {
     out->clear();
     if (limit == 0 || !common::validate_key(lo).ok()) return 0;
-    std::shared_lock lk(mu_);
+    common::ReaderLock lk(mu_);
     tree_.for_each_from(as_key(lo), [&](Leaf* l) {
       out->emplace_back(l->key, l->value);
       return out->size() < limit;
@@ -94,7 +95,7 @@ class DramIndex final : public common::Index {
   }
 
   size_t size() const override {
-    std::shared_lock lk(mu_);
+    common::ReaderLock lk(mu_);
     return tree_.size();
   }
 
@@ -132,9 +133,9 @@ class DramIndex final : public common::Index {
       dram_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
   }
 
-  mutable std::shared_mutex mu_;
+  mutable common::SharedMutex mu_;
   std::atomic<uint64_t> dram_bytes_{0};
-  Tree<LeafTraits> tree_;
+  Tree<LeafTraits> tree_ GUARDED_BY(mu_);
 };
 
 }  // namespace hart::art

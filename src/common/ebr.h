@@ -23,11 +23,12 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "obs/counters.h"
 
 namespace hart::common::ebr {
@@ -67,15 +68,44 @@ class Domain {
     size_t slot_;
   };
 
-  /// Defer `fn(ptr, ctx)` until the grace period has elapsed. Safe to call
-  /// from any thread, with or without a guard held (writers typically hold
-  /// none — they are serialized by their partition lock).
-  void retire(void* ptr, FreeFn fn, void* ctx) {
+  /// Defer `fn(ptr, ctx)` until the grace period has elapsed.
+  ///
+  /// Contract: the calling thread must hold a live Guard (be pinned on this
+  /// domain). Pinning freezes the retiring thread's view of the epoch, so
+  /// the retired pointer provably lands in a bucket that no reader admitted
+  /// *after* the unlink can reach — without it, a retire could race an
+  /// epoch advance and be bucketed one epoch early. Enforced by a debug
+  /// assert here and statically by hartlint rule HL003 (unpinned-retire).
+  ///
+  /// Happens-before chain that makes reclamation safe (the ordering audit
+  /// for this path — no extra std::atomic_thread_fence is needed):
+  ///
+  ///   1. retire() pushes under limbo_mu_; try_advance() swaps a limbo
+  ///      bucket under the same mutex. The mutex release/acquire orders
+  ///      every push before the swap that hands it to the free callbacks.
+  ///   2. The epoch snapshot inside retire() is taken *under* limbo_mu_,
+  ///      and epoch_.store(ep+1) in try_advance() is also under limbo_mu_:
+  ///      a retire therefore lands in the bucket of a stable epoch — it can
+  ///      never straddle an advance.
+  ///   3. pin() publishes the slot's (epoch, pinned) word with a seq_cst
+  ///      store and then re-reads epoch_ seq_cst; try_advance() scans the
+  ///      slots with seq_cst loads before its seq_cst epoch_ store. The
+  ///      single total order over these seq_cst accesses means either the
+  ///      advance sees the pin (and refuses to advance past it) or the
+  ///      reader sees the new epoch (and re-pins at it) — a pin can never
+  ///      be overlooked.
+  ///   4. A bucket is freed only once it is two epochs old (three-bucket
+  ///      rotation), so by (3) every reader that could have observed the
+  ///      retired pointer has unpinned; the unpin release-store is observed
+  ///      by the advance's slot scan (seq_cst), giving the final
+  ///      happens-before edge from last-use to fn(ptr, ctx).
+  void retire(void* ptr, FreeFn fn, void* ctx) REQUIRES_EBR_PIN {
+    assert(pinned_by_me() &&
+           "ebr::Domain::retire requires a live Guard on this thread");
     deferred_free_counter().inc();
-    size_t epoch_snapshot;
     {
-      std::lock_guard lk(limbo_mu_);
-      epoch_snapshot = epoch_.load(std::memory_order_relaxed);
+      MutexLock lk(limbo_mu_);
+      const uint64_t epoch_snapshot = epoch_.load(std::memory_order_relaxed);
       limbo_[epoch_snapshot % 3].push_back(Retired{ptr, fn, ctx});
       if (++retires_since_advance_ < kAdvanceEvery) return;
       retires_since_advance_ = 0;
@@ -83,14 +113,25 @@ class Domain {
     try_advance();
   }
 
+  /// True iff the calling thread currently holds a Guard on this domain.
+  /// Pure query: unlike pin(), it never claims a slot for the thread.
+  [[nodiscard]] bool pinned_by_me() const {
+    const ThreadSlots& ts = thread_slots();
+    for (const auto& e : ts.entries)
+      if (e.domain == this && e.depth > 0) return true;
+    return false;
+  }
+
   /// Block until everything retired before this call has been freed: spin
   /// advancing the epoch (waiting out straggler guards) until all three
   /// limbo lists are empty and no free callback is still running on
   /// another thread. Callers must not hold a Guard.
   void drain() {
+    assert(!pinned_by_me() &&
+           "ebr::Domain::drain under a Guard would deadlock the advance");
     for (;;) {
       {
-        std::lock_guard lk(limbo_mu_);
+        MutexLock lk(limbo_mu_);
         if (limbo_[0].empty() && limbo_[1].empty() && limbo_[2].empty() &&
             in_flight_.load(std::memory_order_acquire) == 0)
           return;
@@ -101,7 +142,7 @@ class Domain {
 
   /// Pending (retired, not yet freed) item count — for tests/stats.
   [[nodiscard]] size_t pending() const {
-    std::lock_guard lk(limbo_mu_);
+    MutexLock lk(limbo_mu_);
     return limbo_[0].size() + limbo_[1].size() + limbo_[2].size();
   }
 
@@ -217,7 +258,7 @@ class Domain {
   bool try_advance() {
     std::vector<Retired> to_free;
     {
-      std::lock_guard lk(limbo_mu_);
+      MutexLock lk(limbo_mu_);
       const uint64_t ep = epoch_.load(std::memory_order_relaxed);
       for (const Slot& s : slots_) {
         const uint64_t ctl = s.ctl.load(std::memory_order_seq_cst);
@@ -238,9 +279,11 @@ class Domain {
 
   std::atomic<uint64_t> epoch_{2};
   Slot slots_[kMaxSlots];
-  mutable std::mutex limbo_mu_;
-  std::vector<Retired> limbo_[3];
-  size_t retires_since_advance_ = 0;
+  // limbo_mu_ orders retires against bucket swaps (see retire() doc chain,
+  // steps 1-2); the epoch word itself is only ever advanced under it.
+  mutable Mutex limbo_mu_;
+  std::vector<Retired> limbo_[3] GUARDED_BY(limbo_mu_);
+  size_t retires_since_advance_ GUARDED_BY(limbo_mu_) = 0;
   std::atomic<size_t> in_flight_{0};
 };
 

@@ -102,7 +102,7 @@ uint64_t EPAllocator::ep_malloc(ObjType t) {
   TypeState& st = ts(t);
   uint64_t obj_off = 0;
   {
-    std::lock_guard lk(st.mu);
+    common::MutexLock lk(st.mu);
     for (;;) {
       while (!st.avail.empty()) {
         const uint64_t c_off = st.avail.back();
@@ -153,7 +153,7 @@ void EPAllocator::commit(ObjType t, uint64_t obj_off) {
   TypeState& st = ts(t);
   const uint64_t c_off = st.geom.chunk_of(obj_off);
   const uint32_t idx = st.geom.index_of(obj_off);
-  std::lock_guard lk(st.mu);
+  common::MutexLock lk(st.mu);
   auto* c = chunk_ptr(c_off);
   std::atomic_ref<uint64_t>(c->header)
       .store(ChunkHdr::with_bit(c->header, idx, true),
@@ -170,7 +170,7 @@ void EPAllocator::release(ObjType t, uint64_t obj_off) {
   TypeState& st = ts(t);
   const uint64_t c_off = st.geom.chunk_of(obj_off);
   const uint32_t idx = st.geom.index_of(obj_off);
-  std::lock_guard lk(st.mu);
+  common::MutexLock lk(st.mu);
   auto it = st.chunks.find(c_off);
   assert(it != st.chunks.end());
   it->second.reserved &= ~(uint64_t{1} << idx);
@@ -195,7 +195,7 @@ void EPAllocator::free_object_locked(TypeState& st, uint64_t obj_off) {
 
 void EPAllocator::free_object(ObjType t, uint64_t obj_off) {
   TypeState& st = ts(t);
-  std::lock_guard lk(st.mu);
+  common::MutexLock lk(st.mu);
   free_object_locked(st, obj_off);
 }
 
@@ -222,7 +222,7 @@ void EPAllocator::free_object_retired_locked(TypeState& st,
 
 void EPAllocator::free_object_retired(ObjType t, uint64_t obj_off) {
   TypeState& st = ts(t);
-  std::lock_guard lk(st.mu);
+  common::MutexLock lk(st.mu);
   free_object_retired_locked(st, obj_off);
 }
 
@@ -230,11 +230,11 @@ void EPAllocator::free_leaf_with_value_retired(uint64_t leaf_off,
                                                ObjType vcls,
                                                uint64_t val_off) {
   TypeState& leaf_st = ts(ObjType::kLeaf);
-  std::lock_guard lk(leaf_st.mu);
+  common::MutexLock lk(leaf_st.mu);
   free_object_retired_locked(leaf_st, leaf_off);
   {
     TypeState& val_st = ts(vcls);
-    std::lock_guard vlk(val_st.mu);
+    common::MutexLock vlk(val_st.mu);
     free_object_retired_locked(val_st, val_off);
   }
   // Clear the leaf's dangling value pointer; optimistic readers treat
@@ -246,7 +246,7 @@ void EPAllocator::free_leaf_with_value_retired(uint64_t leaf_off,
 void EPAllocator::release_retired(ObjType t, uint64_t obj_off) {
   TypeState& st = ts(t);
   {
-    std::lock_guard lk(st.mu);
+    common::MutexLock lk(st.mu);
     const uint64_t c_off = st.geom.chunk_of(obj_off);
     auto it = st.chunks.find(c_off);
     if (it == st.chunks.end()) return;  // chunk freed across a recovery
@@ -261,14 +261,14 @@ void EPAllocator::release_retired(ObjType t, uint64_t obj_off) {
 void EPAllocator::free_leaf_with_value(uint64_t leaf_off, ObjType vcls,
                                        uint64_t val_off) {
   TypeState& leaf_st = ts(ObjType::kLeaf);
-  std::lock_guard lk(leaf_st.mu);  // blocks leaf reservations throughout
+  common::MutexLock lk(leaf_st.mu);  // blocks leaf reservations throughout
   // Alg. 5 line 11: reset the leaf bit (the delete's commit point).
   free_object_locked(leaf_st, leaf_off);
   // Alg. 5 line 12: reset the value bit (nested LEAF -> VALUE lock order,
   // same as the stale-value probe path).
   {
     TypeState& val_st = ts(vcls);
-    std::lock_guard vlk(val_st.mu);
+    common::MutexLock vlk(val_st.mu);
     free_object_locked(val_st, val_off);
   }
   // Clear the leaf's dangling value pointer so the freed value slot can be
@@ -288,7 +288,7 @@ bool EPAllocator::bit_is_set(ObjType t, uint64_t obj_off) const {
   const TypeState& st = ts(t);
   const uint64_t c_off = st.geom.chunk_of(obj_off);
   const uint32_t idx = st.geom.index_of(obj_off);
-  std::lock_guard lk(st.mu);
+  common::MutexLock lk(st.mu);
   if (st.chunks.find(c_off) == st.chunks.end()) return false;
   return (ChunkHdr::bitmap(chunk_ptr(c_off)->header) >> idx) & 1;
 }
@@ -296,7 +296,7 @@ bool EPAllocator::bit_is_set(ObjType t, uint64_t obj_off) const {
 void EPAllocator::recycle_chunk_of(ObjType t, uint64_t obj_off) {
   TypeState& st = ts(t);
   const uint64_t c_off = st.geom.chunk_of(obj_off);
-  std::lock_guard lk(st.mu);
+  common::MutexLock lk(st.mu);
   auto it = st.chunks.find(c_off);
   if (it == st.chunks.end()) return;  // already recycled
   ChunkState& cs = it->second;
@@ -312,7 +312,7 @@ void EPAllocator::recycle_chunk_of(ObjType t, uint64_t obj_off) {
   // chunks of different types would interleave stores into the same words
   // (PM race found by PMCheck; recovery could then unlink a chunk with the
   // wrong type's geometry).
-  std::lock_guard rlk(rlog_mu_);
+  common::MutexLock rlk(rlog_mu_);
   RecycleLog& rlog = root_->rlog;
   rlog.type_plus1 = static_cast<uint64_t>(t) + 1;
   rlog.pcurrent = c_off;
@@ -352,7 +352,7 @@ void EPAllocator::recycle_chunk_of(ObjType t, uint64_t obj_off) {
 UpdateLog* EPAllocator::acquire_ulog() {
   for (;;) {
     {
-      std::lock_guard lk(ulog_mu_);
+      common::MutexLock lk(ulog_mu_);
       const auto idx = static_cast<uint32_t>(std::countr_one(ulog_busy_));
       if (idx < kUpdateLogSlots) {
         ulog_busy_ |= (uint32_t{1} << idx);
@@ -370,7 +370,7 @@ void EPAllocator::reclaim_ulog(UpdateLog* log) {
   arena_.trace_store(log, sizeof(*log));
   arena_.persist(log, sizeof(*log));
   const auto idx = static_cast<uint32_t>(log - root_->ulogs);
-  std::lock_guard lk(ulog_mu_);
+  common::MutexLock lk(ulog_mu_);
   ulog_busy_ &= ~(uint32_t{1} << idx);
 }
 
@@ -408,17 +408,22 @@ void EPAllocator::recover_structure() {
 
   arena_.reset_alloc_map();
   for (auto& st : types_) {
-    std::lock_guard lk(st.mu);
+    common::MutexLock lk(st.mu);
     st.chunks.clear();
     st.avail.clear();
   }
-  ulog_busy_ = 0;
+  {
+    // Recovery runs single-threaded, but ulog_busy_ is guarded state — take
+    // its lock so the reset is race-free even if a caller misuses the API.
+    common::MutexLock lk(ulog_mu_);
+    ulog_busy_ = 0;
+  }
 
   const uint64_t max_chunks =
       arena_.size() / sizeof(MemChunk);  // loop guard for corrupt lists
   for (int ti = 0; ti < kNumObjTypes; ++ti) {
     TypeState& st = types_[ti];
-    std::lock_guard lk(st.mu);
+    common::MutexLock lk(st.mu);
     uint64_t prev = 0;
     uint64_t off = root_->heads[ti];
     uint64_t n = 0;
@@ -467,7 +472,7 @@ std::vector<uint64_t> EPAllocator::chunk_offsets(ObjType t) const {
 
 uint64_t EPAllocator::live_objects(ObjType t) const {
   const TypeState& st = ts(t);
-  std::lock_guard lk(st.mu);
+  common::MutexLock lk(st.mu);
   uint64_t total = 0;
   for (const auto& [off, cs] : st.chunks)
     total += static_cast<uint64_t>(
@@ -477,7 +482,7 @@ uint64_t EPAllocator::live_objects(ObjType t) const {
 
 uint64_t EPAllocator::chunk_count(ObjType t) const {
   const TypeState& st = ts(t);
-  std::lock_guard lk(st.mu);
+  common::MutexLock lk(st.mu);
   return st.chunks.size();
 }
 

@@ -17,10 +17,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "epalloc/chunk.h"
 #include "epalloc/micrologs.h"
 #include "pmem/arena.h"
@@ -144,10 +144,11 @@ class EPAllocator {
     bool in_avail = false;
   };
   struct TypeState {
-    TypeGeometry geom;
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, ChunkState> chunks;
-    std::vector<uint64_t> avail;  // chunks that may have a free slot
+    TypeGeometry geom;  // immutable after construction; not guarded
+    mutable common::Mutex mu;
+    std::unordered_map<uint64_t, ChunkState> chunks GUARDED_BY(mu);
+    // Chunks that may have a free slot.
+    std::vector<uint64_t> avail GUARDED_BY(mu);
   };
 
   TypeState& ts(ObjType t) { return types_[static_cast<int>(t)]; }
@@ -157,11 +158,12 @@ class EPAllocator {
   MemChunk* chunk_ptr(uint64_t off) const {
     return arena_.ptr<MemChunk>(off);
   }
-  uint64_t new_chunk_locked(TypeState& st, ObjType t);
-  void free_object_locked(TypeState& st, uint64_t obj_off);
-  void free_object_retired_locked(TypeState& st, uint64_t obj_off);
+  uint64_t new_chunk_locked(TypeState& st, ObjType t) REQUIRES(st.mu);
+  void free_object_locked(TypeState& st, uint64_t obj_off) REQUIRES(st.mu);
+  void free_object_retired_locked(TypeState& st, uint64_t obj_off)
+      REQUIRES(st.mu);
   void make_available_locked(TypeState& st, uint64_t chunk_off,
-                             ChunkState& cs);
+                             ChunkState& cs) REQUIRES(st.mu);
   void persist_head(ObjType t);
   void finish_recycle_log();
 
@@ -170,15 +172,18 @@ class EPAllocator {
   LeafProbeFn probe_;
   LeafClearFn clear_;
   TypeState types_[kNumObjTypes];
-  std::mutex ulog_mu_;
-  uint32_t ulog_busy_ = 0;  // bitmask over kUpdateLogSlots (<= 32)
+  common::Mutex ulog_mu_;
+  // Bitmask over kUpdateLogSlots (<= 32).
+  uint32_t ulog_busy_ GUARDED_BY(ulog_mu_) = 0;
   /// Serializes all use of the single shared RecycleLog. The per-type mutex
   /// is not enough: chunks of *different* object types can be recycled
   /// concurrently, and without this lock both writers would interleave
   /// their stores into the same log words — a PM race that could make
   /// recovery unlink a chunk with the wrong type's geometry. Acquired
-  /// after a TypeState mutex, never the other way around.
-  std::mutex rlog_mu_;
+  /// after a TypeState mutex, never the other way around. Guards a PM
+  /// structure (root_->rlog), which TSA cannot express as GUARDED_BY; the
+  /// discipline is documented here and enforced by review + PMCheck.
+  common::Mutex rlog_mu_;
 };
 
 }  // namespace hart::epalloc

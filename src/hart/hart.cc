@@ -5,13 +5,12 @@
 #include <cassert>
 #include <cstddef>
 #include <cstring>
-#include <mutex>
-#include <shared_mutex>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
 
@@ -117,7 +116,11 @@ common::Status Hart::insert(std::string_view key, std::string_view value) {
   const uint64_t hkey = pack_hash_key(key, opts_.hash_key_len);
   // Lines 2-5: locate the ART, creating one if absent.
   HashDir::Partition* part = dir_.find_or_create(hkey);
-  std::unique_lock lk(part->mu);
+  common::WriterLock lk(part->mu);
+  // Writers pin the epoch too: every retire below (replaced ART nodes,
+  // superseded value slots) must land in a bucket readers admitted after
+  // the unlink cannot reach — see ebr::Domain::retire's contract.
+  common::ebr::Guard ebr_pin(common::ebr::Domain::instance());
   ModGuard mod(part);
 
   // Line 6-8: if the key exists, this is an update.
@@ -260,7 +263,8 @@ common::Status Hart::update(std::string_view key, std::string_view value) {
   HashDir::Partition* part =
       dir_.find(pack_hash_key(key, opts_.hash_key_len));
   if (part == nullptr) return common::Status::kNotFound;
-  std::unique_lock lk(part->mu);
+  common::WriterLock lk(part->mu);
+  common::ebr::Guard ebr_pin(common::ebr::Domain::instance());
   ModGuard mod(part);
   HartLeaf* leaf = part->tree.search(art_key(key));
   if (leaf == nullptr) return common::Status::kNotFound;
@@ -321,7 +325,7 @@ common::Status Hart::search(std::string_view key, std::string* out) const {
     }
     read_fallback_counter().inc();
   }
-  std::shared_lock lk(part->mu);
+  common::ReaderLock lk(part->mu);
   const HartLeaf* leaf = part->tree.search(akey);
   if (leaf == nullptr) return common::Status::kNotFound;
   // Line 9: validate the leaf bit in the chunk bitmap.
@@ -339,7 +343,8 @@ common::Status Hart::remove(std::string_view key) {
   HashDir::Partition* part =
       dir_.find(pack_hash_key(key, opts_.hash_key_len));
   if (part == nullptr) return common::Status::kNotFound;
-  std::unique_lock lk(part->mu);
+  common::WriterLock lk(part->mu);
+  common::ebr::Guard ebr_pin(common::ebr::Domain::instance());
   ModGuard mod(part);
   // Lines 5-9: locate and unlink the leaf from the (DRAM) tree.
   HartLeaf* leaf = part->tree.remove(art_key(key));
@@ -399,7 +404,7 @@ size_t Hart::range(
 
   if (!optimistic()) {
     dir_.for_each_partition_from(hlo, [&](HashDir::Partition* part) {
-      std::shared_lock lk(part->mu);
+      common::ReaderLock lk(part->mu);
       return part->hkey == hlo
                  ? part->tree.for_each_from(art_key(lo), emit_locked)
                  : part->tree.for_each(emit_locked);
@@ -446,7 +451,7 @@ size_t Hart::range(
     }
     if (!done) {
       read_fallback_counter().inc();
-      std::shared_lock lk(part->mu);
+      common::ReaderLock lk(part->mu);
       part->hkey == hlo ? part->tree.for_each_from(art_key(lo), emit_locked)
                         : part->tree.for_each(emit_locked);
     }
@@ -487,7 +492,7 @@ size_t Hart::multi_get(const std::vector<std::string>& keys,
         }
       }
       read_fallback_counter().inc();
-      std::shared_lock lk(part->mu);
+      common::ReaderLock lk(part->mu);
       const HartLeaf* leaf = part->tree.search(akey);
       if (leaf == nullptr ||
           !ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
@@ -511,7 +516,7 @@ size_t Hart::multi_get(const std::vector<std::string>& keys,
     if (part != nullptr) groups[part].push_back(i);
   }
   for (auto& [part, idxs] : groups) {
-    std::shared_lock lk(part->mu);
+    common::ReaderLock lk(part->mu);
     for (const size_t i : idxs) {
       const HartLeaf* leaf = part->tree.search(art_key(keys[i]));
       if (leaf == nullptr ||
@@ -546,7 +551,7 @@ uint64_t Hart::flush_epoch() {
 
 void Hart::quiesce() {
   dir_.for_each_partition([](HashDir::Partition* part) {
-    std::unique_lock lk(part->mu);
+    common::WriterLock lk(part->mu);
     return true;
   });
   // Every in-flight op has completed; flush the reclamation backlog so a
@@ -636,14 +641,21 @@ void Hart::recover(unsigned threads) {
 
   const HartLeafTraits traits{opts_.hash_key_len, &arena_};
   auto insert_leaf = [&](uint64_t leaf_off) {
+    // Rebuild inserts can replace (and thus retire) freshly built nodes in
+    // optimistic mode, so each recovery worker pins like any other writer.
+    common::ebr::Guard ebr_pin(common::ebr::Domain::instance());
     auto* leaf = arena_.ptr<HartLeaf>(leaf_off);
     assert(ep_.bit_is_set(value_class_of(leaf), leaf->p_value));
     const uint64_t hkey = pack_hash_key(
         std::string_view(leaf->key, leaf->key_len), opts_.hash_key_len);
     HashDir::Partition* part = dir_.find_or_create(hkey);
-    std::unique_lock lk(part->mu, std::defer_lock);
-    if (threads > 1) lk.lock();  // single-threaded recovery needs no locks
-    part->tree.insert(traits.key(leaf), leaf);
+    if (threads > 1) {
+      common::WriterLock lk(part->mu);
+      part->tree.insert(traits.key(leaf), leaf);
+    } else {
+      // Single-threaded recovery needs no locks.
+      part->tree.insert(traits.key(leaf), leaf);
+    }
     count_.fetch_add(1, std::memory_order_relaxed);
   };
 

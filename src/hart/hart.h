@@ -132,8 +132,10 @@ class Hart final : public common::Index {
             key.size() - h};
   }
   /// Algorithm 3 (out-of-place update with the update micro-log). The
-  /// partition's write lock must be held.
-  void update_locked(HartLeaf* leaf, std::string_view value);
+  /// partition's write lock must be held, and in optimistic mode the caller
+  /// must be pinned (the superseded value slot is retired through EBR).
+  void update_locked(HartLeaf* leaf, std::string_view value)
+      REQUIRES_EBR_PIN;
   /// Redo/abort in-flight updates after a crash (Algorithm 3's recovery
   /// case analysis).
   void replay_update_logs();
@@ -147,7 +149,7 @@ class Hart final : public common::Index {
   int read_leaf_value_optimistic(const HartLeaf* leaf,
                                  std::string* out) const;
   /// Defer reuse of a freed PM slot until the reader grace period elapses.
-  void retire_slot(epalloc::ObjType cls, uint64_t off);
+  void retire_slot(epalloc::ObjType cls, uint64_t off) REQUIRES_EBR_PIN;
   static void retire_slot_cb(void* packed, void* self);
 
   pmem::Arena& arena_;

@@ -19,11 +19,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string_view>
 #include <vector>
 
 #include "art/art_tree.h"
+#include "common/annotations.h"
 #include "hart/hart_leaf.h"
 #include "obs/counters.h"
 
@@ -70,7 +70,10 @@ class HashDir {
               common::ebr::Domain* ebr = nullptr)
         : hkey(hk), tree(traits, dram_bytes, ebr) {}
     const uint64_t hkey;
-    mutable std::shared_mutex mu;  // the per-ART writer (and fallback) lock
+    mutable common::SharedMutex mu;  // the per-ART writer (and fallback) lock
+    // Deliberately not GUARDED_BY(mu): optimistic readers traverse the tree
+    // with no lock at all, relying on OLC node versions + EBR instead; that
+    // protocol is checked by tools/hartlint (HL003/HL004), not by TSA.
     HartArt tree;
     /// Partition-level seqlock for optimistic multi-leaf reads (range):
     /// mutators make it odd for the duration of their critical section; an
@@ -134,7 +137,7 @@ class HashDir {
         created.inc();
         owned.release();
         {
-          std::unique_lock lk(sorted_mu_);
+          common::WriterLock lk(sorted_mu_);
           sorted_.emplace(hkey, fresh);
         }
         return fresh;
@@ -150,7 +153,7 @@ class HashDir {
   /// `f(Partition*)` returns false to stop.
   template <class F>
   void for_each_partition_from(uint64_t lo, F&& f) const {
-    std::shared_lock lk(sorted_mu_);
+    common::ReaderLock lk(sorted_mu_);
     for (auto it = sorted_.lower_bound(lo); it != sorted_.end(); ++it)
       if (!f(it->second)) return;
   }
@@ -161,7 +164,7 @@ class HashDir {
   }
 
   [[nodiscard]] size_t partition_count() const {
-    std::shared_lock lk(sorted_mu_);
+    common::ReaderLock lk(sorted_mu_);
     return sorted_.size();
   }
 
@@ -179,7 +182,7 @@ class HashDir {
         p = next;
       }
     }
-    std::unique_lock lk(sorted_mu_);
+    common::WriterLock lk(sorted_mu_);
     sorted_.clear();
   }
 
@@ -201,8 +204,8 @@ class HashDir {
   common::ebr::Domain* ebr_;
   const size_t mask_;
   std::vector<std::atomic<Partition*>> buckets_;
-  mutable std::shared_mutex sorted_mu_;
-  std::map<uint64_t, Partition*> sorted_;
+  mutable common::SharedMutex sorted_mu_;
+  std::map<uint64_t, Partition*> sorted_ GUARDED_BY(sorted_mu_);
 };
 
 }  // namespace hart::core

@@ -27,7 +27,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
+
+#include "common/annotations.h"
 #include <string>
 #include <string_view>
 #include <utility>
@@ -90,7 +91,7 @@ class Registry {
   /// Find-or-create the named counter. The reference stays valid for the
   /// life of the process (node-based map); call sites cache it.
   Counter& counter(std::string_view name) {
-    std::lock_guard lk(mu_);
+    common::MutexLock lk(mu_);
     return counters_[std::string(name)];
   }
 
@@ -98,7 +99,7 @@ class Registry {
   /// a handle for unregister_source(). The callback runs under the
   /// registry mutex and must not call back into the registry.
   uint64_t register_source(SourceFn fn) {
-    std::lock_guard lk(mu_);
+    common::MutexLock lk(mu_);
     const uint64_t id = next_source_++;
     sources_.emplace_back(id, std::move(fn));
     return id;
@@ -107,7 +108,7 @@ class Registry {
   /// Drop a source, folding its final cumulative sample into retained
   /// counters — totals never move backwards when an instance dies.
   void unregister_source(uint64_t id) {
-    std::lock_guard lk(mu_);
+    common::MutexLock lk(mu_);
     for (auto it = sources_.begin(); it != sources_.end(); ++it) {
       if (it->first != id) continue;
       Sample final;
@@ -121,7 +122,7 @@ class Registry {
   /// Merged view: retained counters plus every live source, same-named
   /// entries summed, sorted by name.
   [[nodiscard]] Sample snapshot() const {
-    std::lock_guard lk(mu_);
+    common::MutexLock lk(mu_);
     std::map<std::string, uint64_t, std::less<>> merged;
     for (const auto& [name, c] : counters_) merged[name] += c.value();
     Sample live;
@@ -136,10 +137,12 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::vector<std::pair<uint64_t, SourceFn>> sources_;
-  uint64_t next_source_ = 1;
+  mutable common::Mutex mu_;
+  // Node-based map: Counter& references handed out by counter() stay valid
+  // without the lock; only the map structure itself is guarded.
+  std::map<std::string, Counter, std::less<>> counters_ GUARDED_BY(mu_);
+  std::vector<std::pair<uint64_t, SourceFn>> sources_ GUARDED_BY(mu_);
+  uint64_t next_source_ GUARDED_BY(mu_) = 1;
 };
 
 /// RAII source registration (member-friendly: movable, auto-unregisters).

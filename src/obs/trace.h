@@ -22,9 +22,10 @@
 #include <cstring>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace hart::obs {
 
@@ -99,7 +100,7 @@ class Tracer {
   /// Arm tracing; subsequent record() calls land in per-thread rings of
   /// `ring_capacity` events (~48 B each). Resets any previous rings.
   void enable(size_t ring_capacity = size_t{1} << 15) {
-    std::lock_guard lk(mu_);
+    common::MutexLock lk(mu_);
     rings_.clear();
     ring_capacity_ = ring_capacity;
     epoch_ = std::chrono::steady_clock::now();
@@ -150,7 +151,7 @@ class Tracer {
     };
     std::vector<Tagged> all;
     {
-      std::lock_guard lk(mu_);
+      common::MutexLock lk(mu_);
       for (size_t t = 0; t < rings_.size(); ++t)
         for (const TraceEvent& e : rings_[t]->snapshot())
           all.push_back({e, t});
@@ -195,13 +196,13 @@ class Tracer {
   }
 
   [[nodiscard]] size_t ring_count() const {
-    std::lock_guard lk(mu_);
+    common::MutexLock lk(mu_);
     return rings_.size();
   }
 
   /// Total events recorded (including overwritten ones).
   [[nodiscard]] uint64_t events_recorded() const {
-    std::lock_guard lk(mu_);
+    common::MutexLock lk(mu_);
     uint64_t n = 0;
     for (const auto& r : rings_) n += r->pushed();
     return n;
@@ -219,7 +220,7 @@ class Tracer {
       TraceRing* ring = nullptr;
     };
     thread_local Slot slot;
-    std::lock_guard lk(mu_);
+    common::MutexLock lk(mu_);
     if (slot.ring == nullptr || slot.gen != gen_) {
       rings_.push_back(std::make_unique<TraceRing>(ring_capacity_));
       slot.ring = rings_.back().get();
@@ -228,11 +229,13 @@ class Tracer {
     return slot.ring;
   }
 
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   std::atomic<bool> on_{false};
-  std::deque<std::unique_ptr<TraceRing>> rings_;
-  size_t ring_capacity_ = size_t{1} << 15;
-  uint64_t gen_ = 0;
+  // Ring *contents* are single-writer (each ring belongs to one thread);
+  // mu_ guards only the registry of rings and the enable generation.
+  std::deque<std::unique_ptr<TraceRing>> rings_ GUARDED_BY(mu_);
+  size_t ring_capacity_ GUARDED_BY(mu_) = size_t{1} << 15;
+  uint64_t gen_ GUARDED_BY(mu_) = 0;
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
 };

@@ -95,7 +95,7 @@ void PmCheck::record(Kind k, uint64_t off, uint64_t len, uint32_t tid2,
 }
 
 void PmCheck::on_alloc(uint64_t off, uint64_t bytes) {
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   // Fresh span: content is whatever the allocator left there; sync the
   // shadow so only post-allocation stores count as dirty, and clear the
   // flushed-before flag so the first persist is never "redundant".
@@ -107,7 +107,7 @@ void PmCheck::on_alloc(uint64_t off, uint64_t bytes) {
 }
 
 void PmCheck::on_free(uint64_t off, uint64_t bytes) {
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   for (uint64_t l = line_of(off); l <= line_of(off + bytes - 1); ++l) {
     line_flags_[l] &= static_cast<uint8_t>(~(kAllocated | kAllocUnknown));
     stores_.erase(l);
@@ -116,7 +116,7 @@ void PmCheck::on_free(uint64_t off, uint64_t bytes) {
 
 void PmCheck::on_object_alloc(uint64_t off, uint64_t bytes) {
   if (bytes == 0) return;
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   // Object slots are re-used inside live chunks: the new owner's first
   // persist must not be judged against the previous owner's flushed bytes.
   for (uint64_t l = line_of(off); l <= line_of(off + bytes - 1); ++l)
@@ -124,7 +124,7 @@ void PmCheck::on_object_alloc(uint64_t off, uint64_t bytes) {
 }
 
 void PmCheck::on_reset_alloc_map() {
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   for (uint64_t l = header_bytes_ / kLineBytes; l < line_flags_.size(); ++l)
     line_flags_[l] &=
         static_cast<uint8_t>(~(kAllocated | kAllocUnknown | kFlushedBefore));
@@ -132,7 +132,7 @@ void PmCheck::on_reset_alloc_map() {
 }
 
 void PmCheck::on_mark_used(uint64_t off, uint64_t bytes) {
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   for (uint64_t l = line_of(off); l <= line_of(off + bytes - 1); ++l) {
     // Recovery re-persists ranges defensively (idempotent redo); clearing
     // the flushed-before flag keeps those from counting as redundant.
@@ -143,7 +143,7 @@ void PmCheck::on_mark_used(uint64_t off, uint64_t bytes) {
 void PmCheck::on_persist(uint64_t off, uint64_t len) {
   if (len == 0 || off + len > size_) return;
   const uint32_t tid = self_tid();
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   persist_calls_++;
   const uint64_t first = line_of(off);
   const uint64_t last = line_of(off + len - 1);
@@ -211,7 +211,7 @@ void PmCheck::on_persist(uint64_t off, uint64_t len) {
 
 void PmCheck::on_read(uint64_t off, uint64_t len) {
   if (!cfg_.unflushed_read || len == 0 || off + len > size_) return;
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   if (std::memcmp(base_ + off, shadow_.data() + off, len) != 0) {
     // Find the first dirty byte for the diagnostic.
     uint64_t d = off;
@@ -225,7 +225,7 @@ void PmCheck::on_read(uint64_t off, uint64_t len) {
 void PmCheck::on_store(uint64_t off, uint64_t len) {
   if (len == 0 || off + len > size_) return;
   const uint32_t tid = self_tid();
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   const uint64_t first = line_of(off);
   const uint64_t last = line_of(off + len - 1);
   bool unalloc_reported = false;
@@ -267,7 +267,7 @@ void PmCheck::on_store(uint64_t off, uint64_t len) {
 }
 
 void PmCheck::on_crash() {
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   // The arena just rolled unflushed lines back (modulo eviction survivors,
   // which are persistent after all): live contents are the persisted truth.
   std::memcpy(shadow_.data(), base_, size_);
@@ -277,7 +277,7 @@ void PmCheck::on_crash() {
 }
 
 Report PmCheck::report() const {
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   Report r;
   for (int k = 0; k < kNumKinds; ++k) r.counts[k] = counts_[k];
   r.samples = samples_;
@@ -288,14 +288,14 @@ Report PmCheck::report() const {
 }
 
 void PmCheck::reset_violations() {
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   for (uint64_t& c : counts_) c = 0;
   samples_.clear();
 }
 
 std::vector<std::pair<uint64_t, uint64_t>> PmCheck::unflushed_spans(
     size_t max_spans) const {
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   std::vector<std::pair<uint64_t, uint64_t>> out;
   uint64_t run_start = 0;
   uint64_t run_len = 0;

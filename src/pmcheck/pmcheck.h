@@ -42,10 +42,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace hart::pmcheck {
 
@@ -149,29 +150,32 @@ class PmCheck {
   };
 
   [[nodiscard]] uint64_t line_of(uint64_t off) const { return off >> 6; }
-  [[nodiscard]] bool line_allocated(uint64_t line) const;
+  [[nodiscard]] bool line_allocated(uint64_t line) const
+      REQUIRES_SHARED(mu_);
   void record(Kind k, uint64_t off, uint64_t len, uint32_t tid2,
-              std::string note);
+              std::string note) REQUIRES(mu_);
   static uint32_t self_tid();
 
   const std::byte* base_;
   const size_t size_;
   const size_t header_bytes_;
   const Config cfg_;
-  std::vector<std::byte> shadow_;      // flush shadow
-  std::vector<uint8_t> line_flags_;
+  std::vector<std::byte> shadow_ GUARDED_BY(mu_);  // flush shadow
+  std::vector<uint8_t> line_flags_ GUARDED_BY(mu_);
   // Open (unflushed) annotated-store windows, keyed by line index. Sparse:
   // correct code persists promptly, so this stays small.
-  std::unordered_map<uint64_t, std::vector<StoreRec>> stores_;
+  std::unordered_map<uint64_t, std::vector<StoreRec>> stores_
+      GUARDED_BY(mu_);
   // Each thread's immediately preceding persist range [off, off+len) — the
   // back-to-back evidence the redundant-persist check requires.
-  std::unordered_map<uint32_t, std::pair<uint64_t, uint64_t>> last_persist_;
-  mutable std::mutex mu_;
-  uint64_t counts_[kNumKinds] = {0, 0, 0, 0};
-  std::vector<Violation> samples_;
-  uint64_t persist_calls_ = 0;
-  uint64_t flushed_lines_ = 0;
-  uint64_t clean_line_flushes_ = 0;
+  std::unordered_map<uint32_t, std::pair<uint64_t, uint64_t>> last_persist_
+      GUARDED_BY(mu_);
+  mutable common::Mutex mu_;
+  uint64_t counts_[kNumKinds] GUARDED_BY(mu_) = {0, 0, 0, 0};
+  std::vector<Violation> samples_ GUARDED_BY(mu_);
+  uint64_t persist_calls_ GUARDED_BY(mu_) = 0;
+  uint64_t flushed_lines_ GUARDED_BY(mu_) = 0;
+  uint64_t clean_line_flushes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hart::pmcheck

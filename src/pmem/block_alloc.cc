@@ -1,5 +1,7 @@
 #include "pmem/block_alloc.h"
 
+#include "common/annotations.h"
+
 #include <new>
 #include <stdexcept>
 
@@ -41,7 +43,7 @@ uint64_t BlockAllocator::alloc(uint64_t bytes, uint64_t align) {
   const uint64_t n = blocks_of(bytes);
   const uint64_t align_blocks = align / kBlockSize;
 
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   auto& fl = free_lists_[pack_key(n, align_blocks)];
   if (!fl.empty()) {
     const uint64_t off = fl.back();
@@ -78,13 +80,13 @@ void BlockAllocator::free(uint64_t off, uint64_t bytes, uint64_t align) {
   if (align < kBlockSize) align = kBlockSize;
   const uint64_t n = blocks_of(bytes);
   const uint64_t first = (off - first_byte_) / kBlockSize;
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   clear_bits(first, n);
   free_lists_[pack_key(n, align / kBlockSize)].push_back(off);
 }
 
 void BlockAllocator::reset_all_free() {
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   bitmap_.assign(bitmap_.size(), 0);
   free_lists_.clear();
   hint_block_ = 0;
@@ -94,20 +96,20 @@ void BlockAllocator::reset_all_free() {
 void BlockAllocator::mark_used(uint64_t off, uint64_t bytes) {
   const uint64_t n = blocks_of(bytes);
   const uint64_t first = (off - first_byte_) / kBlockSize;
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   set_bits(first, n);
   if (first + n > hint_block_) hint_block_ = first + n;
 }
 
 uint64_t BlockAllocator::used_block_bytes() const {
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   return used_blocks_ * kBlockSize;
 }
 
 bool BlockAllocator::is_used(uint64_t off, uint64_t bytes) const {
   const uint64_t n = blocks_of(bytes);
   const uint64_t first = (off - first_byte_) / kBlockSize;
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   for (uint64_t b = first; b < first + n; ++b)
     if (!test_bit(b)) return false;
   return true;

@@ -15,10 +15,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "pmem/pmdefs.h"
 
 namespace hart::pmem {
@@ -50,21 +50,22 @@ class BlockAllocator {
   uint64_t blocks_of(uint64_t bytes) const {
     return (bytes + kBlockSize - 1) / kBlockSize;
   }
-  bool test_bit(uint64_t b) const {
+  bool test_bit(uint64_t b) const REQUIRES_SHARED(mu_) {
     return (bitmap_[b >> 6] >> (b & 63)) & 1;
   }
-  void set_bits(uint64_t first, uint64_t n);
-  void clear_bits(uint64_t first, uint64_t n);
-  bool span_free(uint64_t first, uint64_t n) const;
+  void set_bits(uint64_t first, uint64_t n) REQUIRES(mu_);
+  void clear_bits(uint64_t first, uint64_t n) REQUIRES(mu_);
+  bool span_free(uint64_t first, uint64_t n) const REQUIRES_SHARED(mu_);
 
   uint64_t first_byte_;
   uint64_t num_blocks_;
-  std::vector<uint64_t> bitmap_;  // 1 = used
+  std::vector<uint64_t> bitmap_ GUARDED_BY(mu_);  // 1 = used
   // Exact-size free lists: key packs (blocks, align_blocks).
-  std::unordered_map<uint64_t, std::vector<uint64_t>> free_lists_;
-  uint64_t hint_block_ = 0;  // rolling first-fit scan position
-  uint64_t used_blocks_ = 0;
-  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> free_lists_
+      GUARDED_BY(mu_);
+  uint64_t hint_block_ GUARDED_BY(mu_) = 0;  // rolling first-fit position
+  uint64_t used_blocks_ GUARDED_BY(mu_) = 0;
+  mutable common::Mutex mu_;
 };
 
 }  // namespace hart::pmem

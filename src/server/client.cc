@@ -62,7 +62,7 @@ Client::~Client() {
 
 void Client::complete(uint64_t id, Response resp) {
   {
-    std::lock_guard lk(mu_);
+    common::MutexLock lk(mu_);
     done_[id] = std::move(resp);
     --outstanding_;
   }
@@ -73,7 +73,7 @@ uint64_t Client::send(Request req) {
   uint64_t id;
   bool dead;
   {
-    std::lock_guard lk(mu_);
+    common::MutexLock lk(mu_);
     id = next_id_++;
     ++outstanding_;
     dead = broken_;
@@ -93,7 +93,7 @@ uint64_t Client::send(Request req) {
   encode_request(id, req, &frame);
   bool ok;
   {
-    std::lock_guard wl(write_mu_);
+    common::MutexLock wl(write_mu_);
     ok = send_all(fd_, frame.data(), frame.size());
   }
   if (!ok) complete(id, Response{Status::kNetError, {}, 0});
@@ -101,8 +101,8 @@ uint64_t Client::send(Request req) {
 }
 
 Response Client::wait(uint64_t id) {
-  std::unique_lock lk(mu_);
-  cv_.wait(lk, [&] { return done_.count(id) != 0 || broken_; });
+  common::MutexLock lk(mu_);
+  while (done_.count(id) == 0 && !broken_) cv_.wait(mu_);
   auto it = done_.find(id);
   if (it == done_.end()) return Response{Status::kNetError, {}, 0};
   Response r = std::move(it->second);
@@ -111,17 +111,17 @@ Response Client::wait(uint64_t id) {
 }
 
 void Client::wait_all() {
-  std::unique_lock lk(mu_);
-  cv_.wait(lk, [&] { return outstanding_ == 0 || broken_; });
+  common::MutexLock lk(mu_);
+  while (outstanding_ != 0 && !broken_) cv_.wait(mu_);
 }
 
 size_t Client::outstanding() const {
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   return outstanding_;
 }
 
 bool Client::connected() const {
-  std::lock_guard lk(mu_);
+  common::MutexLock lk(mu_);
   return !broken_;
 }
 
@@ -141,7 +141,7 @@ void Client::reader_loop() {
       Response resp;
       if (!decode_response(body.data(), body.size(), &id, &resp)) goto out;
       {
-        std::lock_guard lk(mu_);
+        common::MutexLock lk(mu_);
         done_[id] = std::move(resp);
         if (outstanding_ > 0) --outstanding_;
       }
@@ -152,7 +152,7 @@ out:
   // Stream is gone (server died or dtor shut the socket): fail every
   // current and future wait with kNetError.
   {
-    std::lock_guard lk(mu_);
+    common::MutexLock lk(mu_);
     broken_ = true;
   }
   cv_.notify_all();

@@ -11,15 +11,14 @@
 // correlation absorbs. A Client is thread-safe; one connection is shared.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "server/hartd.h"
 #include "server/proto.h"
 
@@ -76,14 +75,14 @@ class Client {
   Hartd* local_ = nullptr;  // in-process transport when non-null
   int fd_ = -1;             // TCP transport when >= 0
   std::thread reader_;
-  std::mutex write_mu_;  // serializes TCP frame writes
+  common::Mutex write_mu_;  // serializes TCP frame writes
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t next_id_ = 1;
-  size_t outstanding_ = 0;
-  bool broken_ = false;  // TCP stream died
-  std::unordered_map<uint64_t, Response> done_;
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  size_t outstanding_ GUARDED_BY(mu_) = 0;
+  bool broken_ GUARDED_BY(mu_) = false;  // TCP stream died
+  std::unordered_map<uint64_t, Response> done_ GUARDED_BY(mu_);
 };
 
 }  // namespace hart::server

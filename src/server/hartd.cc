@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <exception>
 #include <iterator>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "common/annotations.h"
 #include "obs/trace.h"
 #include "server/stats.h"
 
@@ -197,20 +196,22 @@ Response Hartd::serve_scan(const Request& req) {
 
 Response Hartd::execute(Request req) {
   struct Sync {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    Response resp;
+    common::Mutex mu;
+    common::CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    Response resp GUARDED_BY(mu);
   };
   auto sync = std::make_shared<Sync>();
   submit(std::move(req), [sync](Response r) {
-    std::lock_guard lk(sync->mu);
-    sync->resp = std::move(r);
-    sync->done = true;
+    {
+      common::MutexLock lk(sync->mu);
+      sync->resp = std::move(r);
+      sync->done = true;
+    }
     sync->cv.notify_one();
   });
-  std::unique_lock lk(sync->mu);
-  sync->cv.wait(lk, [&] { return sync->done; });
+  common::MutexLock lk(sync->mu);
+  while (!sync->done) sync->cv.wait(sync->mu);
   return std::move(sync->resp);
 }
 

@@ -190,7 +190,7 @@ void Shard::worker() {
     }
     stats_.batches.fetch_add(1, std::memory_order_relaxed);
     if (any_timed) {
-      std::lock_guard lk(hist_mu_);
+      common::MutexLock lk(hist_mu_);
       for (size_t i = 0; i < ShardHistograms::kOps; ++i) {
         if (local_op[i].count() == 0) continue;
         hists_.op[i].merge(local_op[i]);

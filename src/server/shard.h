@@ -10,9 +10,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/annotations.h"
 #include "common/histogram.h"
 #include "hart/hart.h"
 #include "pmem/arena.h"
@@ -109,7 +109,7 @@ class Shard {
   [[nodiscard]] const ShardStats& stats() const { return stats_; }
   /// Copy of the per-op latency histograms (worker writes, scrapes read).
   [[nodiscard]] ShardHistograms histograms() const {
-    std::lock_guard lk(hist_mu_);
+    common::MutexLock lk(hist_mu_);
     return hists_;
   }
   /// True once a simulated crash point fired in the worker; subsequent
@@ -137,8 +137,8 @@ class Shard {
   std::atomic<bool> failed_{false};
   std::atomic<bool> down_{false};
   ShardStats stats_;
-  mutable std::mutex hist_mu_;  // guards hists_: worker records, scrapes copy
-  ShardHistograms hists_;
+  mutable common::Mutex hist_mu_;  // worker records, scrapes copy
+  ShardHistograms hists_ GUARDED_BY(hist_mu_);
   std::thread worker_;  // last: started after everything above is live
 };
 

@@ -63,7 +63,7 @@ void TcpServer::accept_loop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
-    std::lock_guard lk(conns_mu_);
+    common::MutexLock lk(conns_mu_);
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
       return;
@@ -77,7 +77,7 @@ void TcpServer::send_response(const std::shared_ptr<Conn>& conn, uint64_t id,
                               const Response& resp) {
   std::string frame;
   encode_response(id, resp, &frame);
-  std::lock_guard lk(conn->write_mu);
+  common::MutexLock lk(conn->write_mu);
   if (!conn->open) return;  // connection already torn down: drop the ack
   if (!send_all(conn->fd, frame.data(), frame.size())) {
     // Peer vanished; reads will notice too. Leave closing to stop()/serve.
@@ -122,7 +122,7 @@ void TcpServer::stop() {
   std::vector<std::shared_ptr<Conn>> conns;
   std::vector<std::thread> threads;
   {
-    std::lock_guard lk(conns_mu_);
+    common::MutexLock lk(conns_mu_);
     conns.swap(conns_);
     threads.swap(conn_threads_);
   }
@@ -130,7 +130,7 @@ void TcpServer::stop() {
   for (auto& t : threads)
     if (t.joinable()) t.join();
   for (auto& c : conns) {
-    std::lock_guard lk(c->write_mu);
+    common::MutexLock lk(c->write_mu);
     c->open = false;
     ::close(c->fd);
   }

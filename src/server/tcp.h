@@ -7,10 +7,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "server/hartd.h"
 
 namespace hart::server {
@@ -37,8 +37,8 @@ class TcpServer {
   // without racing a late ack.
   struct Conn {
     int fd = -1;
-    std::mutex write_mu;
-    bool open = true;  // guarded by write_mu
+    common::Mutex write_mu;
+    bool open GUARDED_BY(write_mu) = true;
   };
 
   void accept_loop();
@@ -51,9 +51,9 @@ class TcpServer {
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  std::mutex conns_mu_;
-  std::vector<std::shared_ptr<Conn>> conns_;
-  std::vector<std::thread> conn_threads_;
+  common::Mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_ GUARDED_BY(conns_mu_);
+  std::vector<std::thread> conn_threads_ GUARDED_BY(conns_mu_);
 };
 
 }  // namespace hart::server

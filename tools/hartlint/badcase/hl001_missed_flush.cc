@@ -1,0 +1,40 @@
+// hartlint negative corpus — HL001 missed-flush.
+//
+// A PM store annotated with Arena::trace_store that no persist() ever
+// covers before the function returns: under the strict crash model the
+// bytes are still sitting in the (volatile) cache when power fails, and
+// recovery reads whatever was there before.
+//
+// NOT part of the build; linted by the hartlint_badcase_hl001 ctest gate,
+// which asserts that exactly this rule fires.
+
+#include <cstdint>
+#include <cstring>
+
+namespace hart::badcase {
+
+struct Arena {
+  template <typename T>
+  T* ptr(uint64_t off);
+  void trace_store(const void* p, uint64_t len);
+  void persist(const void* p, uint64_t len);
+};
+
+struct Record {
+  uint64_t key;
+  uint64_t value;
+};
+
+// BAD: the record is written and the store is annotated, but the function
+// acks (returns the offset to the caller) without any persist() — the
+// trace_store is not post-dominated by a flush.
+uint64_t write_record_no_flush(Arena& a, uint64_t off, uint64_t k,
+                               uint64_t v) {
+  Record* r = a.ptr<Record>(off);
+  r->key = k;
+  r->value = v;
+  a.trace_store(r, sizeof(*r));  // HL001: never persisted below
+  return off;
+}
+
+}  // namespace hart::badcase

@@ -1,0 +1,42 @@
+// hartlint negative corpus — HL002 guard-escape.
+//
+// A pointer read from an EBR-protected structure while pinned is handed
+// to the caller. The ebr::Guard unpins at the closing brace; from that
+// instant a concurrent writer's retire can be freed, so the returned
+// pointer dangles. The fix is to copy the bytes out under the guard.
+//
+// NOT part of the build; linted by the hartlint_badcase_hl002 ctest gate.
+
+#include <cstdint>
+#include <string>
+
+namespace hart::badcase {
+
+namespace ebr {
+struct Domain {
+  static Domain& instance();
+};
+struct Guard {
+  explicit Guard(Domain&);
+  ~Guard();
+};
+}  // namespace ebr
+
+struct Leaf {
+  char bytes[32];
+};
+
+struct Tree {
+  Leaf* search(uint64_t key);
+};
+
+// BAD: `leaf` is obtained inside the Guard scope and returned out of it.
+Leaf* lookup_leaked(Tree& t, uint64_t key) {
+  {
+    ebr::Guard g(ebr::Domain::instance());
+    Leaf* leaf = t.search(key);
+    return leaf;  // HL002: escapes the guard scope
+  }
+}
+
+}  // namespace hart::badcase

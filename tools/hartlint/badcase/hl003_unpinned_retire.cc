@@ -1,0 +1,40 @@
+// hartlint negative corpus — HL003 unpinned-retire.
+//
+// Domain::retire() called with no live ebr::Guard in scope and outside
+// any REQUIRES_EBR_PIN function. The retire can land in a limbo bucket
+// whose grace period an already-running unpinned reader is not counted
+// in — the memory may be freed while that reader still dereferences it.
+// (src/common/ebr.h also enforces this at runtime with an assert; the
+// lint catches it without executing the path.)
+//
+// NOT part of the build; linted by the hartlint_badcase_hl003 ctest gate.
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace hart::badcase {
+
+namespace ebr {
+struct Domain {
+  using FreeFn = void (*)(void*, void*);
+  static Domain& instance();
+  void retire(void* ptr, FreeFn fn, void* ctx);
+};
+struct Guard {
+  explicit Guard(Domain&);
+  ~Guard();
+};
+}  // namespace ebr
+
+struct Node {
+  uint64_t word;
+};
+
+inline void free_cb(void* p, void*) { std::free(p); }
+
+// BAD: unlinks and retires without pinning first.
+void unlink_and_retire_unpinned(Node* n) {
+  ebr::Domain::instance().retire(n, &free_cb, nullptr);  // HL003
+}
+
+}  // namespace hart::badcase

@@ -1,0 +1,37 @@
+// hartlint negative corpus — HL004 unvalidated-seqlock-read.
+//
+// A reader captures the leaf's vseq version word, reads the protected
+// fields, and never re-loads/compares the word. If an updater's swing
+// (odd store ... fields ... even store) interleaves, the reader returns
+// a torn mix of old and new bytes and nothing detects it.
+//
+// NOT part of the build; linted by the hartlint_badcase_hl004 ctest gate.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace hart::badcase {
+
+struct Leaf {
+  uint32_t vseq;
+  uint64_t p_value;
+  uint8_t val_len;
+};
+
+// BAD: v0 is captured but the snapshot is never validated against a
+// second load of vseq before use.
+int read_value_torn(Leaf* leaf, std::string* out) {
+  const std::atomic_ref<uint32_t> vseq(leaf->vseq);
+  const uint32_t v0 = vseq.load(std::memory_order_acquire);  // HL004
+  if ((v0 & 1) != 0) return -1;
+  const uint64_t pv =
+      std::atomic_ref<uint64_t>(leaf->p_value).load(std::memory_order_acquire);
+  if (pv == 0) return 0;
+  out->assign(reinterpret_cast<const char*>(pv),
+              std::atomic_ref<uint8_t>(leaf->val_len)
+                  .load(std::memory_order_relaxed));
+  return 1;  // no re-validation of vseq anywhere on this path
+}
+
+}  // namespace hart::badcase

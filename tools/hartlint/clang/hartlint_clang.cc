@@ -1,0 +1,202 @@
+// hartlint_clang — AST-precise checker for rule HL003 (unpinned-retire).
+//
+// The Python engine (tools/hartlint/hartlint.py) matches call sites
+// textually and therefore needs receiver-name heuristics to attribute a
+// call like `tree.insert(...)` to the REQUIRES_EBR_PIN-marked
+// art::Tree::insert rather than some unrelated insert. This tool does the
+// same check on the real AST: overload resolution has already happened, so
+// a call is checked iff its *resolved* callee carries the
+// `hart::requires_ebr_pin` annotate attribute (REQUIRES_EBR_PIN expands to
+// that attribute under -DHARTLINT_AST_PASS, see src/common/annotations.h)
+// or is ebr::Domain::retire itself.
+//
+// A checked call is pinned — and therefore clean — when
+//   * the enclosing function is itself annotated, or
+//   * a local variable of type hart::common::ebr::Guard is declared in a
+//     scope enclosing the call, before it.
+//
+// Build: optional, requires LLVM/Clang dev headers (find_package(Clang)).
+// Configure the repo with -DHART_BUILD_HARTLINT_CLANG=ON; when the
+// packages are absent the target silently does not exist and
+// tools/hartlint/run.sh prints a visible skip warning instead.
+//
+// Usage: hartlint_clang -p <build-dir-with-compile_commands.json> FILES...
+// Exit status: number of findings (0 = clean), capped at 125.
+
+#include <memory>
+#include <string>
+
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/ParentMapContext.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/AST/Stmt.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/raw_ostream.h"
+
+namespace {
+
+llvm::cl::OptionCategory kHartlintCategory("hartlint_clang options");
+
+int g_findings = 0;
+
+bool hasPinAnnotation(const clang::FunctionDecl* fd) {
+  if (fd == nullptr) return false;
+  for (const auto* attr : fd->specific_attrs<clang::AnnotateAttr>())
+    if (attr->getAnnotation() == "hart::requires_ebr_pin") return true;
+  return false;
+}
+
+bool isDomainRetire(const clang::FunctionDecl* fd) {
+  if (fd == nullptr || fd->getNameAsString() != "retire") return false;
+  const auto* method = llvm::dyn_cast<clang::CXXMethodDecl>(fd);
+  if (method == nullptr) return false;
+  return method->getParent()->getQualifiedNameAsString() ==
+         "hart::common::ebr::Domain";
+}
+
+bool isGuardType(clang::QualType qt) {
+  const auto* rd = qt.getCanonicalType()->getAsCXXRecordDecl();
+  return rd != nullptr &&
+         rd->getQualifiedNameAsString() == "hart::common::ebr::Guard";
+}
+
+/// True when `stmt` (transitively) declares an ebr::Guard local.
+bool declaresGuard(const clang::Stmt* stmt) {
+  const auto* ds = llvm::dyn_cast<clang::DeclStmt>(stmt);
+  if (ds == nullptr) return false;
+  for (const clang::Decl* d : ds->decls())
+    if (const auto* vd = llvm::dyn_cast<clang::VarDecl>(d))
+      if (isGuardType(vd->getType())) return true;
+  return false;
+}
+
+class PinVisitor : public clang::RecursiveASTVisitor<PinVisitor> {
+ public:
+  explicit PinVisitor(clang::ASTContext& ctx) : ctx_(ctx) {}
+
+  bool TraverseFunctionDecl(clang::FunctionDecl* fd) {
+    current_ = fd;
+    const bool ok =
+        clang::RecursiveASTVisitor<PinVisitor>::TraverseFunctionDecl(fd);
+    current_ = nullptr;
+    return ok;
+  }
+  bool TraverseCXXMethodDecl(clang::CXXMethodDecl* md) {
+    current_ = md;
+    const bool ok =
+        clang::RecursiveASTVisitor<PinVisitor>::TraverseCXXMethodDecl(md);
+    current_ = nullptr;
+    return ok;
+  }
+
+  bool VisitCallExpr(clang::CallExpr* call) {
+    const clang::FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr) return true;
+    if (!hasPinAnnotation(callee) && !isDomainRetire(callee)) return true;
+    if (hasPinAnnotation(current_)) return true;  // caller inherits the pin
+    if (guardInScope(call)) return true;
+    report(call, callee);
+    return true;
+  }
+
+ private:
+  /// Walk the parent chain; at each CompoundStmt, look for an ebr::Guard
+  /// declaration that precedes the child we arrived from.
+  bool guardInScope(const clang::Stmt* s) {
+    const clang::Stmt* child = s;
+    auto parents = ctx_.getParents(*s);
+    while (!parents.empty()) {
+      const auto* stmt = parents[0].get<clang::Stmt>();
+      if (stmt == nullptr) break;
+      if (const auto* cs = llvm::dyn_cast<clang::CompoundStmt>(stmt)) {
+        for (const clang::Stmt* item : cs->body()) {
+          if (item == child) break;  // only declarations before the call
+          if (declaresGuard(item)) return true;
+        }
+      }
+      child = stmt;
+      parents = ctx_.getParents(*stmt);
+    }
+    return false;
+  }
+
+  void report(const clang::CallExpr* call, const clang::FunctionDecl* callee) {
+    const clang::SourceManager& sm = ctx_.getSourceManager();
+    const clang::SourceLocation loc = call->getBeginLoc();
+    if (!sm.isInMainFile(loc)) return;  // headers reported via their TU once
+    // Same-line / preceding-line HARTLINT_SUPPRESS("HL003...").
+    const unsigned line = sm.getSpellingLineNumber(loc);
+    for (unsigned l = (line > 1 ? line - 1 : line); l <= line; ++l) {
+      const clang::FileID fid = sm.getFileID(loc);
+      bool invalid = false;
+      const llvm::StringRef buf = sm.getBufferData(fid, &invalid);
+      if (invalid) continue;
+      size_t pos = 0;
+      for (unsigned i = 1; i < l && pos != llvm::StringRef::npos; ++i)
+        pos = buf.find('\n', pos) + 1;
+      const llvm::StringRef lineText =
+          buf.substr(pos, buf.find('\n', pos) - pos);
+      if (lineText.contains("HARTLINT_SUPPRESS") &&
+          (lineText.contains("HL003") || lineText.contains("ALL")))
+        return;
+    }
+    ++g_findings;
+    llvm::errs() << sm.getFilename(loc) << ":" << line
+                 << ": HL003 unpinned-retire: call to "
+                 << callee->getQualifiedNameAsString()
+                 << " without a live ebr::Guard in scope and outside any "
+                    "REQUIRES_EBR_PIN function\n";
+  }
+
+  clang::ASTContext& ctx_;
+  const clang::FunctionDecl* current_ = nullptr;
+};
+
+class PinConsumer : public clang::ASTConsumer {
+ public:
+  void HandleTranslationUnit(clang::ASTContext& ctx) override {
+    PinVisitor v(ctx);
+    v.TraverseDecl(ctx.getTranslationUnitDecl());
+  }
+};
+
+class PinAction : public clang::ASTFrontendAction {
+ public:
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance&, llvm::StringRef) override {
+    return std::make_unique<PinConsumer>();
+  }
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto expected =
+      clang::tooling::CommonOptionsParser::create(argc, argv,
+                                                  kHartlintCategory);
+  if (!expected) {
+    llvm::errs() << llvm::toString(expected.takeError());
+    return 2;
+  }
+  clang::tooling::ClangTool tool(expected->getCompilations(),
+                                 expected->getSourcePathList());
+  // Re-expand REQUIRES_EBR_PIN into a visible annotate attribute.
+  tool.appendArgumentsAdjuster(clang::tooling::getInsertArgumentAdjuster(
+      "-DHARTLINT_AST_PASS",
+      clang::tooling::ArgumentInsertPosition::BEGIN));
+  const int run_status =
+      tool.run(clang::tooling::newFrontendActionFactory<PinAction>().get());
+  if (run_status != 0) return 2;
+  llvm::outs() << "hartlint_clang: " << g_findings << " finding(s)\n";
+  return g_findings > 125 ? 125 : g_findings;
+}

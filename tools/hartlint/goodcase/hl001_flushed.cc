@@ -1,0 +1,32 @@
+// hartlint positive corpus — HL001 clean: every annotated PM store is
+// followed by a persist() of the written range before the function
+// returns. Asserted clean by the hartlint_goodcase ctest gate.
+
+#include <cstdint>
+#include <cstring>
+
+namespace hart::goodcase {
+
+struct Arena {
+  template <typename T>
+  T* ptr(uint64_t off);
+  void trace_store(const void* p, uint64_t len);
+  void persist(const void* p, uint64_t len);
+};
+
+struct Record {
+  uint64_t key;
+  uint64_t value;
+};
+
+uint64_t write_record_flushed(Arena& a, uint64_t off, uint64_t k,
+                              uint64_t v) {
+  Record* r = a.ptr<Record>(off);
+  r->key = k;
+  r->value = v;
+  a.trace_store(r, sizeof(*r));
+  a.persist(r, sizeof(*r));  // store is post-dominated by the flush
+  return off;
+}
+
+}  // namespace hart::goodcase

@@ -1,0 +1,38 @@
+// hartlint positive corpus — HL002 clean: the value bytes are copied out
+// while the ebr::Guard is live; only owned data leaves the scope, never
+// a pointer into the protected structure. Asserted clean by the
+// hartlint_goodcase ctest gate.
+
+#include <cstdint>
+#include <string>
+
+namespace hart::goodcase {
+
+namespace ebr {
+struct Domain {
+  static Domain& instance();
+};
+struct Guard {
+  explicit Guard(Domain&);
+  ~Guard();
+};
+}  // namespace ebr
+
+struct Leaf {
+  char bytes[32];
+  uint8_t len;
+};
+
+struct Tree {
+  Leaf* search(uint64_t key);
+};
+
+bool lookup_copied(Tree& t, uint64_t key, std::string* out) {
+  ebr::Guard g(ebr::Domain::instance());
+  Leaf* leaf = t.search(key);
+  if (leaf == nullptr) return false;
+  out->assign(leaf->bytes, leaf->len);  // bytes copied under the pin
+  return true;
+}
+
+}  // namespace hart::goodcase

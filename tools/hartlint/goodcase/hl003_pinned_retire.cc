@@ -1,0 +1,34 @@
+// hartlint positive corpus — HL003 clean: retire() runs inside a live
+// ebr::Guard scope, so the thread's epoch pin orders the retire against
+// every concurrent reader's grace period. Asserted clean by the
+// hartlint_goodcase ctest gate.
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace hart::goodcase {
+
+namespace ebr {
+struct Domain {
+  using FreeFn = void (*)(void*, void*);
+  static Domain& instance();
+  void retire(void* ptr, FreeFn fn, void* ctx);
+};
+struct Guard {
+  explicit Guard(Domain&);
+  ~Guard();
+};
+}  // namespace ebr
+
+struct Node {
+  uint64_t word;
+};
+
+inline void free_cb(void* p, void*) { std::free(p); }
+
+void unlink_and_retire_pinned(Node* n) {
+  ebr::Guard g(ebr::Domain::instance());
+  ebr::Domain::instance().retire(n, &free_cb, nullptr);
+}
+
+}  // namespace hart::goodcase

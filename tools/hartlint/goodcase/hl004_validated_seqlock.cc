@@ -1,0 +1,36 @@
+// hartlint positive corpus — HL004 clean: the reader re-loads the vseq
+// version word after reading the protected fields and retries when it
+// moved, so a torn snapshot can never be returned. Asserted clean by the
+// hartlint_goodcase ctest gate.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace hart::goodcase {
+
+struct Leaf {
+  uint32_t vseq;
+  uint64_t p_value;
+  uint8_t val_len;
+};
+
+int read_value_validated(Leaf* leaf, std::string* out) {
+  const std::atomic_ref<uint32_t> vseq(leaf->vseq);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const uint32_t v0 = vseq.load(std::memory_order_acquire);
+    if ((v0 & 1) != 0) continue;
+    const uint64_t pv = std::atomic_ref<uint64_t>(leaf->p_value)
+                            .load(std::memory_order_acquire);
+    const uint8_t len = std::atomic_ref<uint8_t>(leaf->val_len)
+                            .load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (vseq.load(std::memory_order_relaxed) != v0) continue;
+    if (pv == 0) return 0;
+    out->assign(reinterpret_cast<const char*>(pv), len);
+    return 1;
+  }
+  return -1;
+}
+
+}  // namespace hart::goodcase

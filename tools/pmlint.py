@@ -6,10 +6,13 @@ heuristics that do not need the code to run:
 
   PL001 unpersisted-memcpy   A memcpy/memmove/memset whose destination was
                              obtained from Arena::ptr<T>() in the same
-                             function, where that pointer never reaches a
-                             persist()/trace_store() call in the function.
-                             The bytes land in PM but nothing makes them
-                             durable.
+                             function — directly, or through a pointer
+                             derived from it (member access `rec->bytes`,
+                             pointer arithmetic `base + off`) — where
+                             neither that pointer nor any pointer it was
+                             derived from reaches a persist()/trace_store()
+                             call in the function. The bytes land in PM but
+                             nothing makes them durable.
 
   PL002 bad-pm-member        A struct placed in PM (it has a POff<> member,
                              or the tree dereferences it via ptr<Struct>())
@@ -53,6 +56,12 @@ PTR_DECL_RE = re.compile(
 )
 MEMCPY_RE = re.compile(rf"\b(?:std::)?(?:memcpy|memmove|memset)\s*\(\s*([^,;]+),")
 PERSIST_USE_RE_TMPL = r"\b(?:persist|trace_store)\s*\(\s*[^,;()]*\b{id}\b"
+
+# Any pointer declaration — used to propagate PM-ness through aliases:
+# `unsigned char* dst = rec->bytes;`, `char* p2 = base + 64;`.
+ALIAS_DECL_RE = re.compile(
+    rf"\b(?:auto|char|unsigned\s+char|uint8_t|std::byte|{IDENT})\s*\*\s*"
+    rf"(?:const\s+)?({IDENT})\s*=\s*([^;]+);")
 
 STRUCT_RE = re.compile(rf"\b(?:struct|class)\s+({IDENT})\s*(?:final\s*)?(?::[^{{]*)?{{")
 PTR_DEREF_RE = re.compile(rf"\bptr\s*<\s*({IDENT})\s*>")
@@ -130,23 +139,50 @@ def lint_file(path: Path, pm_structs: set[str], findings: list[str]) -> None:
     # --- PL001: memcpy into a ptr<>()-derived pointer with no persist ----
     for start_line, body in function_bodies(text):
         pm_ptrs = {}  # pointer name -> offset identifier it was derived from
-        for m in PTR_DECL_RE.finditer(body):
-            pm_ptrs[m.group(1)] = m.group(2)
+        parents = {}  # alias name -> the PM pointer it was derived from
+        decls = [("pm", m) for m in PTR_DECL_RE.finditer(body)]
+        decls += [("alias", m) for m in ALIAS_DECL_RE.finditer(body)]
+        for kind, m in sorted(decls, key=lambda km: km[1].start()):
+            if kind == "pm":
+                pm_ptrs[m.group(1)] = m.group(2)
+            else:
+                # A pointer whose initializer is rooted in a known PM
+                # pointer (member access / array decay / arithmetic)
+                # inherits its PM-ness.
+                base = base_identifier(m.group(2))
+                if base in pm_ptrs or base in parents:
+                    if m.group(1) not in pm_ptrs:
+                        parents[m.group(1)] = base
         if not pm_ptrs:
             continue
+
+        def chain(name: str) -> list[str]:
+            out = [name]
+            while name in parents:
+                name = parents[name]
+                out.append(name)
+            return out
+
         for m in MEMCPY_RE.finditer(body):
             dest = base_identifier(m.group(1))
-            if dest not in pm_ptrs:
+            if dest not in pm_ptrs and dest not in parents:
                 continue
-            if re.search(PERSIST_USE_RE_TMPL.format(id=re.escape(dest)), body):
+            links = chain(dest)
+            # Persisting the alias or anything it was derived from (the
+            # whole record covers its member) discharges the store.
+            if any(
+                    re.search(PERSIST_USE_RE_TMPL.format(id=re.escape(c)),
+                              body) for c in links):
                 continue
-            src_off = pm_ptrs[dest]
+            src_off = pm_ptrs.get(links[-1])
             if src_off and re.search(rf"\breturn\s+{re.escape(src_off)}\s*;", body):
                 continue  # builder pattern: caller owns the persist
             line = start_line + body.count("\n", 0, m.start())
+            via = "" if dest in pm_ptrs else (
+                f" (via alias of '{links[-1]}')")
             findings.append(
                 f"{path}:{line}: PL001 unpersisted-memcpy: destination "
-                f"'{dest}' comes from Arena::ptr<>() but never reaches "
+                f"'{dest}' comes from Arena::ptr<>(){via} but never reaches "
                 f"persist()/trace_store() in this function"
             )
 

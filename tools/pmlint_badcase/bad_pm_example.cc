@@ -26,6 +26,30 @@ void forget_persist(pmem::Arena& a, uint64_t off, const char* src) {
   std::memcpy(dst, src, 32);
 }
 
+// PL001 through a member alias: the destination pointer is derived from a
+// PM record (`rec->bytes`), and neither the alias nor the record itself is
+// ever persisted. The pre-alias linter saw only direct ptr<>() results and
+// missed this.
+struct BadRec {
+  uint64_t id;
+  unsigned char bytes[48];
+};
+void forget_persist_member_alias(pmem::Arena& a, uint64_t off,
+                                 const char* src) {
+  auto* rec = a.ptr<BadRec>(off);
+  unsigned char* dst = rec->bytes;
+  std::memcpy(dst, src, 32);
+}
+
+// PL001 through pointer arithmetic: same story, the destination is a
+// PM-derived pointer offset into the middle of the allocation.
+void forget_persist_pointer_arith(pmem::Arena& a, uint64_t off,
+                                  const char* src) {
+  auto* base = a.ptr<char>(off);
+  char* dst2 = base + 64;
+  std::memcpy(dst2, src, 32);
+}
+
 // PL003: 96 bytes from a field address with no alignment guarantee — the
 // range straddles cache lines and costs an extra CLFLUSH per call.
 void misaligned_persist(pmem::Arena& a, BadNode* n) {
