@@ -1,0 +1,116 @@
+// hartrepl batch log — the primary's bounded, in-memory replication log.
+//
+// One stream per primary shard. Shard workers append their durable batches
+// (post-fence, see Shard::BatchSink) and the log assigns each wire batch a
+// per-stream monotone sequence number starting at 1. Follower links read
+// records after their confirmed position and ship them; retention is
+// bounded per stream (`retain`), so a follower that falls further behind
+// than the retained window hits a gap — counted and logged, never silently
+// skipped (DESIGN.md §9 "bounded log" limitation).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/annotations.h"
+#include "obs/counters.h"
+#include "server/proto.h"
+
+namespace hart::repl {
+
+class BatchLog {
+ public:
+  struct Record {
+    uint64_t seq = 0;
+    uint64_t epoch = 0;
+    std::vector<server::ReplEntry> entries;
+  };
+
+  BatchLog(size_t streams, size_t retain)
+      : streams_(streams), retain_(retain == 0 ? 1 : retain),
+        evicted_(obs::Registry::instance().counter(
+            "hartd_repl_log_evicted_total")) {}
+  BatchLog(const BatchLog&) = delete;
+  BatchLog& operator=(const BatchLog&) = delete;
+
+  [[nodiscard]] size_t streams() const { return streams_.size(); }
+
+  /// Append one wire batch to `stream`; returns its assigned seq.
+  uint64_t append(uint32_t stream, uint64_t epoch,
+                  std::vector<server::ReplEntry> entries) {
+    Stream& s = streams_.at(stream).s;
+    common::MutexLock lk(s.mu);
+    const uint64_t seq = ++s.tail;
+    s.records.push_back({seq, epoch, std::move(entries)});
+    while (s.records.size() > retain_) {
+      s.records.pop_front();
+      evicted_.inc();
+    }
+    return seq;
+  }
+
+  /// Copy up to `max` records of `stream` with seq > `after` into `*out`
+  /// (appended). Returns the number copied. When the oldest retained
+  /// record is already past `after + 1` the caller is looking at an
+  /// eviction gap — detectable as out->front().seq != after + 1.
+  size_t read_after(uint32_t stream, uint64_t after, size_t max,
+                    std::vector<Record>* out) const {
+    const Stream& s = streams_.at(stream).s;
+    common::MutexLock lk(s.mu);
+    size_t n = 0;
+    for (const Record& r : s.records) {
+      if (r.seq <= after) continue;
+      if (n == max) break;
+      out->push_back(r);
+      ++n;
+    }
+    return n;
+  }
+
+  /// Last assigned seq (0 before the first append).
+  [[nodiscard]] uint64_t tail_seq(uint32_t stream) const {
+    const Stream& s = streams_.at(stream).s;
+    common::MutexLock lk(s.mu);
+    return s.tail;
+  }
+
+  /// Oldest retained seq (0 when the stream is empty).
+  [[nodiscard]] uint64_t base_seq(uint32_t stream) const {
+    const Stream& s = streams_.at(stream).s;
+    common::MutexLock lk(s.mu);
+    return s.records.empty() ? 0 : s.records.front().seq;
+  }
+
+  /// Tail position of every stream (epoch = last appended batch's epoch).
+  [[nodiscard]] std::vector<server::ReplPosition> tail_positions() const {
+    std::vector<server::ReplPosition> out;
+    out.reserve(streams_.size());
+    for (uint32_t i = 0; i < streams_.size(); ++i) {
+      const Stream& s = streams_[i].s;
+      common::MutexLock lk(s.mu);
+      out.push_back(
+          {i, s.tail, s.records.empty() ? 0 : s.records.back().epoch});
+    }
+    return out;
+  }
+
+ private:
+  struct Stream {
+    mutable common::Mutex mu;
+    std::deque<Record> records GUARDED_BY(mu);
+    uint64_t tail GUARDED_BY(mu) = 0;
+  };
+  // Wrapper keeps Stream non-copyable members vector-constructible.
+  struct StreamSlot {
+    Stream s;
+  };
+
+  std::vector<StreamSlot> streams_;
+  const size_t retain_;
+  obs::Counter& evicted_;
+};
+
+}  // namespace hart::repl

@@ -1,0 +1,85 @@
+// hartrepl promotion state machine (DESIGN.md §9).
+//
+// A node's replication role:
+//
+//   kPrimary   — accepts client writes; ships durable batches to followers
+//                when replication is configured.
+//   kFollower  — rejects client writes (kNotPrimary), applies REPL_BATCH
+//                streams through the normal shard path, serves
+//                stale-tolerant reads via the lock-free read path.
+//   kPromoting — transient: a PROMOTE is draining the shard queues (tail
+//                replay of every already-received replication batch).
+//                Reads keep serving; writes and further REPL_BATCHes are
+//                rejected until the drain's fences complete.
+//
+// Transitions: kFollower -> kPromoting -> kPrimary, driven by exactly one
+// winning PROMOTE; concurrent PROMOTEs block until the winner finishes and
+// then report idempotent success. There is no demotion — a failed primary
+// rejoins the group as a fresh follower process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/annotations.h"
+
+namespace hart::repl {
+
+enum class Role : uint8_t { kPrimary = 0, kFollower = 1, kPromoting = 2 };
+
+inline const char* role_name(Role r) {
+  switch (r) {
+    case Role::kPrimary: return "primary";
+    case Role::kFollower: return "follower";
+    default: return "promoting";
+  }
+}
+
+class PromotionMachine {
+ public:
+  explicit PromotionMachine(Role initial) : role_(initial) {}
+  PromotionMachine(const PromotionMachine&) = delete;
+  PromotionMachine& operator=(const PromotionMachine&) = delete;
+
+  /// Lock-free role probe — this sits on the per-request dispatch path.
+  [[nodiscard]] Role role() const {
+    return role_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool accepts_writes() const { return role() == Role::kPrimary; }
+  [[nodiscard]] bool accepts_repl_batches() const {
+    return role() == Role::kFollower;
+  }
+
+  /// Run the promotion protocol at most once. `drain` performs the tail
+  /// replay (flush every shard queue and wait for the fences); it runs on
+  /// the caller's thread with the machine in kPromoting. Returns true for
+  /// the caller that performed the transition, false when the node was
+  /// already primary (including callers that lost the race and waited for
+  /// the winner).
+  template <typename DrainFn>
+  bool promote(DrainFn&& drain) {
+    {
+      common::MutexLock lk(mu_);
+      while (in_progress_) cv_.wait(mu_);
+      if (role() == Role::kPrimary) return false;
+      in_progress_ = true;
+      role_.store(Role::kPromoting, std::memory_order_release);
+    }
+    drain();
+    {
+      common::MutexLock lk(mu_);
+      role_.store(Role::kPrimary, std::memory_order_release);
+      in_progress_ = false;
+    }
+    cv_.notify_all();
+    return true;
+  }
+
+ private:
+  std::atomic<Role> role_;
+  common::Mutex mu_;
+  common::CondVar cv_;
+  bool in_progress_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace hart::repl

@@ -1,0 +1,73 @@
+// hartrepl session — the dedicated replication stream between a primary
+// and one follower.
+//
+// A thin framing client over the proto.h wire format: the owning link
+// thread connects / sends request frames; a reader thread decodes response
+// frames and hands them to a callback. Unlike hart::Client this keeps no
+// correlation state — the link owns the id -> (stream, seq) bookkeeping —
+// and never throws: replication links live through follower restarts, so
+// every failure is a return code and reconnection is the caller's loop
+// (bounded exponential backoff lives in the Replicator).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/annotations.h"
+#include "server/proto.h"
+
+namespace hart::repl {
+
+class ReplSession {
+ public:
+  /// Runs on the session's reader thread for every decoded response.
+  using ResponseFn = std::function<void(uint64_t id, server::Response&&)>;
+  /// Runs once on the reader thread when the stream dies (EOF, error, or
+  /// a malformed frame). Not invoked by close().
+  using DisconnectFn = std::function<void()>;
+
+  ReplSession(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+  ~ReplSession() { close(); }
+  ReplSession(const ReplSession&) = delete;
+  ReplSession& operator=(const ReplSession&) = delete;
+
+  /// One connection attempt (no retry). On success the reader thread is
+  /// running and send() may be used. Callbacks must be set before.
+  bool connect(ResponseFn on_response, DisconnectFn on_disconnect);
+
+  /// Frame and send one request. False when the stream is down (the
+  /// caller's reconnect loop takes over); a send failure also marks the
+  /// session disconnected.
+  bool send(uint64_t id, const server::Request& req);
+
+  [[nodiscard]] bool connected() const {
+    return up_.load(std::memory_order_acquire);
+  }
+
+  /// Force the stream down from any thread (e.g. after a follower
+  /// rejected a batch): the reader exits and the link reconnects.
+  void force_disconnect();
+
+  /// Tear down: shut the socket, join the reader. Idempotent; safe to
+  /// call with the session already disconnected.
+  void close();
+
+  [[nodiscard]] const std::string& host() const { return host_; }
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+ private:
+  void reader_loop(ResponseFn on_response, DisconnectFn on_disconnect);
+
+  const std::string host_;
+  const uint16_t port_;
+  common::Mutex fd_mu_;  // guards fd lifecycle against force_disconnect
+  int fd_ GUARDED_BY(fd_mu_) = -1;
+  std::atomic<bool> up_{false};
+  std::thread reader_;
+};
+
+}  // namespace hart::repl

@@ -6,6 +6,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -22,30 +24,61 @@ bool send_all(int fd, const char* p, size_t n) {
   }
   return true;
 }
+
+/// One TCP dial; -1 on any failure.
+int dial(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* ip =
+      (host == "localhost" || host.empty()) ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, ip, &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
 }  // namespace
 
 Client::Client(Hartd& local) : local_(&local) {}
 
-Client::Client(const std::string& host, uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw std::runtime_error("socket() failed");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  const char* ip = (host == "localhost" || host.empty()) ? "127.0.0.1"
-                                                         : host.c_str();
-  if (::inet_pton(AF_INET, ip, &addr.sin_addr) != 1) {
-    ::close(fd_);
-    throw std::runtime_error("bad host address: " + host);
+Client::Client(const std::string& host, uint16_t port)
+    : Client(std::vector<Endpoint>{{host, port}}, ReconnectPolicy{}) {}
+
+Client::Client(std::vector<Endpoint> endpoints, ReconnectPolicy policy)
+    : endpoints_(std::move(endpoints)), policy_(std::move(policy)) {
+  if (endpoints_.empty()) throw std::invalid_argument("no endpoints");
+  if (policy_.backoff_base_ms == 0) policy_.backoff_base_ms = 1;
+  policy_.backoff_max_ms =
+      std::max(policy_.backoff_max_ms, policy_.backoff_base_ms);
+  // Initial dial honors the same rotation/backoff as reconnection, with a
+  // minimum of one pass over the list.
+  const size_t rounds = std::max<size_t>(policy_.max_attempts, 1);
+  int fd = -1;
+  uint32_t backoff = policy_.backoff_base_ms;
+  common::MutexLock rl(reconnect_mu_);
+  for (size_t a = 0; a < rounds && fd < 0; ++a) {
+    const Endpoint& ep = endpoints_[ep_index_ % endpoints_.size()];
+    ++ep_index_;
+    fd = dial(ep.host, ep.port);
+    if (fd < 0 && a + 1 < rounds) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min(backoff * 2, policy_.backoff_max_ms);
+    }
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd_);
-    throw std::runtime_error("cannot connect to " + host + ":" +
-                             std::to_string(port));
+  if (fd < 0)
+    throw std::runtime_error("cannot connect to " + endpoints_[0].host + ":" +
+                             std::to_string(endpoints_[0].port));
+  {
+    common::MutexLock wl(write_mu_);
+    fd_ = fd;
   }
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  reader_ = std::thread([this] { reader_loop(); });
+  spawn_reader(fd);
 }
 
 Client::~Client() {
@@ -55,18 +88,67 @@ Client::~Client() {
     wait_all();
     return;
   }
-  ::shutdown(fd_, SHUT_RDWR);
+  closing_.store(true, std::memory_order_release);
+  common::MutexLock rl(reconnect_mu_);
+  {
+    common::MutexLock wl(write_mu_);
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
   if (reader_.joinable()) reader_.join();  // fails outstanding with kNetError
-  ::close(fd_);
+  common::MutexLock wl(write_mu_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void Client::spawn_reader(int fd) {
+  reader_ = std::thread([this, fd] { reader_loop(fd); });
 }
 
 void Client::complete(uint64_t id, Response resp) {
   {
     common::MutexLock lk(mu_);
+    // Exactly-once: a request the dying reader already failed must not be
+    // resurrected by a late transport error on the sender side.
+    if (pending_.erase(id) == 0) return;
     done_[id] = std::move(resp);
-    --outstanding_;
   }
   cv_.notify_all();
+}
+
+bool Client::try_reconnect() {
+  if (policy_.max_attempts == 0) return false;
+  common::MutexLock rl(reconnect_mu_);
+  {
+    common::MutexLock lk(mu_);
+    if (!broken_) return true;  // another sender already repaired it
+  }
+  // broken_ is set at the tail of reader_loop, so the join is bounded.
+  if (reader_.joinable()) reader_.join();
+  uint32_t backoff = policy_.backoff_base_ms;
+  for (size_t a = 0; a < policy_.max_attempts; ++a) {
+    if (closing_.load(std::memory_order_acquire)) return false;
+    const Endpoint& ep = endpoints_[ep_index_ % endpoints_.size()];
+    ++ep_index_;
+    const int fd = dial(ep.host, ep.port);
+    if (fd >= 0) {
+      {
+        common::MutexLock wl(write_mu_);
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = fd;
+      }
+      {
+        common::MutexLock lk(mu_);
+        broken_ = false;
+      }
+      spawn_reader(fd);
+      return true;
+    }
+    if (a + 1 < policy_.max_attempts) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min(backoff * 2, policy_.backoff_max_ms);
+    }
+  }
+  return false;
 }
 
 uint64_t Client::send(Request req) {
@@ -75,18 +157,26 @@ uint64_t Client::send(Request req) {
   {
     common::MutexLock lk(mu_);
     id = next_id_++;
-    ++outstanding_;
     dead = broken_;
   }
-  if (dead) {
-    complete(id, Response{Status::kNetError, {}, 0});
-    return id;
-  }
   if (local_ != nullptr) {
+    {
+      common::MutexLock lk(mu_);
+      pending_.insert(id);
+    }
     // Hartd::submit invokes the ack even when shutting down, so every id
     // completes exactly once.
     local_->submit(std::move(req),
                    [this, id](Response r) { complete(id, std::move(r)); });
+    return id;
+  }
+  if (dead) dead = !try_reconnect();
+  {
+    common::MutexLock lk(mu_);
+    pending_.insert(id);
+  }
+  if (dead) {
+    complete(id, Response{Status::kNetError, {}, 0});
     return id;
   }
   std::string frame;
@@ -94,7 +184,7 @@ uint64_t Client::send(Request req) {
   bool ok;
   {
     common::MutexLock wl(write_mu_);
-    ok = send_all(fd_, frame.data(), frame.size());
+    ok = fd_ >= 0 && send_all(fd_, frame.data(), frame.size());
   }
   if (!ok) complete(id, Response{Status::kNetError, {}, 0});
   return id;
@@ -102,7 +192,7 @@ uint64_t Client::send(Request req) {
 
 Response Client::wait(uint64_t id) {
   common::MutexLock lk(mu_);
-  while (done_.count(id) == 0 && !broken_) cv_.wait(mu_);
+  while (done_.count(id) == 0 && pending_.count(id) != 0) cv_.wait(mu_);
   auto it = done_.find(id);
   if (it == done_.end()) return Response{Status::kNetError, {}, 0};
   Response r = std::move(it->second);
@@ -112,12 +202,14 @@ Response Client::wait(uint64_t id) {
 
 void Client::wait_all() {
   common::MutexLock lk(mu_);
-  while (outstanding_ != 0 && !broken_) cv_.wait(mu_);
+  // A dying reader moves every pending id to done_, so this always
+  // terminates even without reconnection.
+  while (!pending_.empty()) cv_.wait(mu_);
 }
 
 size_t Client::outstanding() const {
   common::MutexLock lk(mu_);
-  return outstanding_;
+  return pending_.size();
 }
 
 bool Client::connected() const {
@@ -125,12 +217,12 @@ bool Client::connected() const {
   return !broken_;
 }
 
-void Client::reader_loop() {
+void Client::reader_loop(int fd) {
   std::string buf;
   std::string body;
   char chunk[4096];
   for (;;) {
-    const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+    const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
     if (r <= 0) break;
     buf.append(chunk, static_cast<size_t>(r));
     for (;;) {
@@ -142,18 +234,22 @@ void Client::reader_loop() {
       if (!decode_response(body.data(), body.size(), &id, &resp)) goto out;
       {
         common::MutexLock lk(mu_);
+        pending_.erase(id);
         done_[id] = std::move(resp);
-        if (outstanding_ > 0) --outstanding_;
       }
       cv_.notify_all();
     }
   }
 out:
-  // Stream is gone (server died or dtor shut the socket): fail every
-  // current and future wait with kNetError.
+  // Stream is gone (server died, protocol error, or dtor shut the
+  // socket): fail every in-flight request now — the next send() may
+  // reconnect, and a fresh stream will never answer these ids.
   {
     common::MutexLock lk(mu_);
     broken_ = true;
+    for (const uint64_t id : pending_)
+      done_[id] = Response{Status::kNetError, {}, 0};
+    pending_.clear();
   }
   cv_.notify_all();
 }
@@ -174,6 +270,9 @@ Response Client::del(std::string key) {
 Response Client::ping() { return wait(send(Request{OpCode::kPing, {}, {}})); }
 Response Client::stats(std::string format) {
   return wait(send(Request{OpCode::kStats, {}, std::move(format)}));
+}
+Response Client::promote() {
+  return wait(send(Request{OpCode::kPromote, {}, {}}));
 }
 
 size_t Client::multi_get(const std::vector<std::string>& keys,

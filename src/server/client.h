@@ -11,10 +11,12 @@
 // correlation absorbs. A Client is thread-safe; one connection is shared.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -24,12 +26,38 @@
 
 namespace hart::server {
 
+/// One server address for the TCP transport.
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Transparent reconnection for transient TCP errors: when the stream
+/// dies, the next send() redials the endpoint list (rotating — so a
+/// client configured with [primary, follower] lands on the promoted
+/// follower after a failover) with bounded exponential backoff. Requests
+/// in flight when the stream died still fail with kNetError: the client
+/// cannot know whether the server acked them, so it never silently
+/// retries a write.
+struct ReconnectPolicy {
+  /// Dial attempts per send() before giving up (kNetError). 0 disables
+  /// reconnection (the single-endpoint ctor's default).
+  size_t max_attempts = 0;
+  uint32_t backoff_base_ms = 10;
+  uint32_t backoff_max_ms = 1000;
+};
+
 class Client {
  public:
   /// In-process transport: submits into `local`'s shard queues.
   explicit Client(Hartd& local);
-  /// TCP transport. Throws on connection failure.
+  /// TCP transport, single endpoint, no reconnection (a dead stream fails
+  /// all requests with kNetError). Throws on connection failure.
   Client(const std::string& host, uint16_t port);
+  /// TCP transport over an endpoint list with reconnection. The initial
+  /// dial also honors the policy's attempts/backoff; throws when every
+  /// endpoint stays unreachable.
+  Client(std::vector<Endpoint> endpoints, ReconnectPolicy policy);
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -54,6 +82,9 @@ class Client {
   /// `start` is not a valid key).
   size_t scan(std::string start, uint32_t limit,
               std::vector<std::pair<std::string, std::string>>* out);
+  /// Ask the server to become primary (replication failover). The
+  /// response value carries the node's applied replication positions.
+  Response promote();
 
   // ---- pipelined API ----------------------------------------------------
   /// Fire a request without waiting; returns its id. On a dead transport
@@ -69,19 +100,33 @@ class Client {
   [[nodiscard]] bool connected() const;
 
  private:
-  void reader_loop();
+  void reader_loop(int fd);
   void complete(uint64_t id, Response resp);
+  /// Redial the endpoint list per the policy; true when a fresh stream is
+  /// up. Serialized so concurrent senders share one repair.
+  bool try_reconnect();
+  void spawn_reader(int fd) REQUIRES(reconnect_mu_);
 
   Hartd* local_ = nullptr;  // in-process transport when non-null
-  int fd_ = -1;             // TCP transport when >= 0
-  std::thread reader_;
+  std::vector<Endpoint> endpoints_;
+  ReconnectPolicy policy_;
+  std::atomic<bool> closing_{false};
+
+  common::Mutex reconnect_mu_;  // serializes redial + reader respawn
+  size_t ep_index_ GUARDED_BY(reconnect_mu_) = 0;
+  std::thread reader_;  // joined/respawned only under reconnect_mu_
+
   common::Mutex write_mu_;  // serializes TCP frame writes
+  int fd_ GUARDED_BY(write_mu_) = -1;  // TCP transport when >= 0
 
   mutable common::Mutex mu_;
   common::CondVar cv_;
   uint64_t next_id_ GUARDED_BY(mu_) = 1;
-  size_t outstanding_ GUARDED_BY(mu_) = 0;
   bool broken_ GUARDED_BY(mu_) = false;  // TCP stream died
+  /// Ids sent but not yet completed. A dying reader fails every pending
+  /// id into done_ with kNetError, so waiters never strand across a
+  /// reconnect (a fresh stream has no memory of the old one's requests).
+  std::unordered_set<uint64_t> pending_ GUARDED_BY(mu_);
   std::unordered_map<uint64_t, Response> done_ GUARDED_BY(mu_);
 };
 

@@ -14,8 +14,19 @@
 
 namespace hart::server {
 
-Hartd::Hartd(const Options& opts) : opts_(opts) {
+Hartd::Hartd(const Options& opts)
+    : opts_(opts),
+      promo_(opts.follow ? repl::Role::kFollower : repl::Role::kPrimary) {
   if (opts_.shards == 0) throw std::invalid_argument("shards must be >= 1");
+  if (!opts_.replicate_to.empty()) {
+    repl::ReplicatorOptions ro;
+    ro.targets = opts_.replicate_to;
+    ro.policy = opts_.ack_policy;
+    ro.streams = opts_.shards;
+    ro.retain_batches = opts_.repl_log_batches;
+    ro.window = opts_.repl_window;
+    repl_ = std::make_unique<repl::Replicator>(ro);
+  }
   shards_.resize(opts_.shards);
   obs::TraceSpan span("hartd_open", obs::TraceKind::kRecovery,
                       static_cast<uint32_t>(opts_.shards));
@@ -42,6 +53,12 @@ Hartd::Hartd(const Options& opts) : opts_(opts) {
         if (!opts_.arena_dir.empty())
           so.arena.file_path =
               opts_.arena_dir + "/shard-" + std::to_string(i) + ".arena";
+        if (repl_) {
+          so.batch_sink = [r = repl_.get()](size_t idx, DurableBatch&& b) {
+            r->on_batch(idx, std::move(b));
+          };
+          so.defer_write_acks = opts_.ack_policy == repl::AckPolicy::kQuorum;
+        }
         shards_[i] = std::make_unique<Shard>(so);
       } catch (...) {
         errs[i] = std::current_exception();
@@ -57,6 +74,20 @@ Hartd::Hartd(const Options& opts) : opts_(opts) {
   // original queued-read behavior is what the ablation measures, so the
   // kGet fast path turns itself off.
   fastpath_gets_ = opts_.fastpath_reads && !opts_.hart.rwlock_reads;
+
+  if (opts_.follow) {
+    // Replicated writes bypass the role gate (a follower rejects CLIENT
+    // writes, not its replication stream) and route by the follower's own
+    // shard count. The submit contract — ack exactly once, even on
+    // refusal — is what the applier's completion counting relies on.
+    applier_ = std::make_unique<repl::FollowerApplier>(
+        [this](Request&& r, repl::FollowerApplier::Ack ack) {
+          Shard& s = *shards_[shard_of(r.key)];
+          Shard::Ack copy = ack;
+          if (!s.submit(std::move(r), std::move(copy)))
+            ack(Response{Status::kShuttingDown, {}, 0});
+        });
+  }
 
   reopened_ = !opts_.arena_dir.empty();
   for (auto& s : shards_) reopened_ = reopened_ && s->arena().reopened();
@@ -89,6 +120,37 @@ bool Hartd::submit(Request req, Shard::Ack ack) {
     if (ack) ack(std::move(r));
     return true;
   }
+  // Replication control plane (DESIGN.md §9): these never touch a shard
+  // queue directly. A REPL_BATCH is only applied by a live follower; its
+  // response is the fence confirmation the primary's quorum counting
+  // relies on, so any wrong-role delivery must be refused, not absorbed.
+  if (req.op == OpCode::kReplBatch) {
+    if (applier_ && promo_.accepts_repl_batches()) {
+      applier_->apply(std::move(req), std::move(ack));
+      return true;
+    }
+    if (ack) ack(Response{Status::kNotPrimary, {}, 0});
+    return true;
+  }
+  if (req.op == OpCode::kReplAck) {
+    Response r;
+    r.status = encode_repl_positions(repl_positions(), &r.value)
+                   ? Status::kOk
+                   : Status::kBadRequest;
+    if (ack) ack(std::move(r));
+    return true;
+  }
+  if (req.op == OpCode::kPromote) {
+    // Tail replay + role flip; concurrent PROMOTEs serialize inside the
+    // machine and all report the same success (idempotent).
+    promo_.promote([this] { drain_shard_queues(); });
+    Response r;
+    r.status = encode_repl_positions(repl_positions(), &r.value)
+                   ? Status::kOk
+                   : Status::kBadRequest;
+    if (ack) ack(std::move(r));
+    return true;
+  }
   // Dispatcher read fast path: HART's optimistic read protocol makes a
   // search from this thread lock-free and safe against the shard worker's
   // concurrent writes, so point and batch reads never queue behind a
@@ -106,12 +168,51 @@ bool Hartd::submit(Request req, Shard::Ack ack) {
     if (ack) ack(serve_get(req));
     return true;
   }
+  // Role gate: only a primary accepts client writes. Followers (and a
+  // node mid-promotion, whose drain must see a frozen queue tail) refuse
+  // with kNotPrimary so clients redirect instead of silently diverging
+  // from the replication stream.
+  if (is_write(req.op) && !promo_.accepts_writes()) {
+    if (ack) ack(Response{Status::kNotPrimary, {}, 0});
+    return true;
+  }
   Shard& s = *shards_[shard_of(req.key)];
   if (!s.submit(std::move(req), ack)) {
     if (ack) ack(Response{Status::kShuttingDown, {}, 0});
     return false;
   }
   return true;
+}
+
+std::vector<ReplPosition> Hartd::repl_positions() const {
+  if (applier_) return applier_->positions();
+  if (repl_) return repl_->tail_positions();
+  return {};
+}
+
+void Hartd::drain_shard_queues() {
+  struct Latch {
+    common::Mutex mu;
+    common::CondVar cv;
+    size_t n GUARDED_BY(mu) = 0;
+  };
+  auto latch = std::make_shared<Latch>();
+  {
+    common::MutexLock lk(latch->mu);
+    latch->n = shards_.size();
+  }
+  auto arrive = [latch] {
+    common::MutexLock lk(latch->mu);
+    if (--latch->n == 0) latch->cv.notify_all();
+  };
+  for (auto& s : shards_) {
+    Request ping;
+    ping.op = OpCode::kPing;
+    if (!s->submit(std::move(ping), [arrive](Response) { arrive(); }))
+      arrive();
+  }
+  common::MutexLock lk(latch->mu);
+  while (latch->n > 0) latch->cv.wait(latch->mu);
 }
 
 Response Hartd::serve_get(const Request& req) {
@@ -217,7 +318,14 @@ Response Hartd::execute(Request req) {
 
 void Hartd::shutdown() {
   if (down_.exchange(true)) return;
+  // Shards first: joining the workers flushes every queued batch through
+  // the batch sink, so the replication log holds the final tail before the
+  // links drain it. Bounded drain — a dead follower must not hang exit.
   for (auto& s : shards_) s->shutdown();
+  if (repl_) {
+    repl_->drain(std::chrono::seconds(5));
+    repl_->shutdown();
+  }
 }
 
 size_t Hartd::total_size() const {

@@ -13,6 +13,9 @@
 #include <string_view>
 #include <vector>
 
+#include "repl/applier.h"
+#include "repl/promotion.h"
+#include "repl/replicator.h"
 #include "server/shard.h"
 
 namespace hart::server {
@@ -45,6 +48,22 @@ class Hartd {
     /// set — the ablation keeps the original queued-read behavior. kMget
     /// and kScan are always dispatcher-served (they span shards).
     bool fastpath_reads = true;
+    /// Start as a replication follower: client writes are rejected with
+    /// kNotPrimary, REPL_BATCH streams apply through the shard path, and
+    /// reads serve stale-tolerant from the lock-free read path. A PROMOTE
+    /// request flips the node to primary (DESIGN.md §9).
+    bool follow = false;
+    /// Followers to replicate to, as "host:port". Non-empty makes this
+    /// primary ship every shard's durable batch over dedicated
+    /// replication streams.
+    std::vector<std::string> replicate_to;
+    /// kLocal: ack writes after the local fence. kQuorum: defer write
+    /// acks until a majority of the replication group confirmed.
+    repl::AckPolicy ack_policy = repl::AckPolicy::kLocal;
+    /// Per-stream replication log retention, in wire batches.
+    size_t repl_log_batches = 4096;
+    /// Max unconfirmed wire batches in flight per follower link.
+    size_t repl_window = 64;
     core::Hart::Options hart;
   };
 
@@ -87,14 +106,35 @@ class Hartd {
   [[nodiscard]] uint64_t fastpath_reads() const {
     return fastpath_reads_.load(std::memory_order_relaxed);
   }
+  /// Current replication role (kPrimary for an unreplicated node).
+  [[nodiscard]] repl::Role role() const { return promo_.role(); }
+  /// Non-null when this node ships batches to followers.
+  [[nodiscard]] const repl::Replicator* replicator() const {
+    return repl_.get();
+  }
+  /// Non-null when this node started as a follower (kept after promotion
+  /// so applied positions stay queryable).
+  [[nodiscard]] const repl::FollowerApplier* applier() const {
+    return applier_.get();
+  }
 
  private:
   Response serve_get(const Request& req);
   Response serve_mget(const Request& req);
   Response serve_scan(const Request& req);
+  /// Positions payload for kReplAck/kPromote responses.
+  [[nodiscard]] std::vector<ReplPosition> repl_positions() const;
+  /// Tail replay for promotion: a ping through every shard queue fences
+  /// everything already queued (including replicated writes).
+  void drain_shard_queues();
 
   Options opts_;
+  repl::PromotionMachine promo_;
+  // Constructed before (destroyed after) the shards whose batch_sink
+  // points at it; Hartd::shutdown() orders the teardown explicitly.
+  std::unique_ptr<repl::Replicator> repl_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<repl::FollowerApplier> applier_;
   std::atomic<bool> down_{false};
   std::atomic<uint64_t> fastpath_reads_{0};
   bool fastpath_gets_ = true;  // opts_.fastpath_reads && !rwlock_reads

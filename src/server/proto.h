@@ -51,6 +51,30 @@ enum class OpCode : uint8_t {
   /// merged across shards (encode_scan_result). Dispatcher-served, like
   /// kMget.
   kScan = 8,
+  /// REPL_BATCH — primary -> follower on a replication stream: one durable
+  /// shard batch (encode_repl_batch in the request value: stream id, seq,
+  /// epoch, entries). The follower applies every entry through its normal
+  /// shard path and responds only after the entries' own group-commit
+  /// fence completed, carrying its updated position for the stream
+  /// (encode_repl_positions) — the response IS the fence confirmation the
+  /// primary's quorum ack policy waits on. Idempotent: replaying a batch
+  /// is harmless (PUT/UPDATE re-apply the same value, DELETE tolerates
+  /// kNotFound), so reconnect resend needs no dedup.
+  kReplBatch = 9,
+  /// REPL_ACK — replication position query. Empty request; the response
+  /// value reports the node's per-stream applied positions
+  /// (encode_repl_positions): on a follower the last applied (seq, epoch)
+  /// per primary shard stream, on a primary its batch-log tail. A
+  /// (re)connecting replication link sends this first and resumes
+  /// shipping from the follower's confirmed position.
+  kReplAck = 10,
+  /// PROMOTE — operator -> follower: finish applying every queued
+  /// replication batch (tail replay through the shard queues), fence, and
+  /// switch to the primary role; client writes are accepted from the
+  /// response onward. Idempotent; on a node that is already primary it
+  /// just reports kOk. The response value carries the final per-stream
+  /// positions (encode_repl_positions).
+  kPromote = 11,
 };
 
 enum class Status : uint8_t {
@@ -61,6 +85,11 @@ enum class Status : uint8_t {
   kShardFailed = 4,   // shard hit a (simulated) crash point; NOT acked
   kShuttingDown = 5,  // submitted after graceful shutdown began
   kNetError = 6,      // client-side only: transport failed before a reply
+  kNotPrimary = 7,    // write (or REPL_BATCH) sent to the wrong role
+  /// Frame-level protocol violation (oversized or unparseable stream).
+  /// The server sends this as a terminal response, then closes the
+  /// connection — the stream position is no longer trustworthy.
+  kProtocolError = 8,
 };
 
 inline const char* status_name(Status s) {
@@ -71,7 +100,9 @@ inline const char* status_name(Status s) {
     case Status::kBadRequest: return "bad-request";
     case Status::kShardFailed: return "shard-failed";
     case Status::kShuttingDown: return "shutting-down";
-    default: return "net-error";
+    case Status::kNetError: return "net-error";
+    case Status::kNotPrimary: return "not-primary";
+    default: return "protocol-error";
   }
 }
 
@@ -139,7 +170,7 @@ inline bool decode_request(const char* p, size_t n, uint64_t* id,
   const size_t klen = detail::read_int<uint8_t>(p + 9);
   const size_t vlen = detail::read_int<uint16_t>(p + 10);
   if (op < static_cast<uint8_t>(OpCode::kPut) ||
-      op > static_cast<uint8_t>(OpCode::kScan) ||
+      op > static_cast<uint8_t>(OpCode::kPromote) ||
       n != kRequestFixed + klen + vlen)
     return false;
   r->op = static_cast<OpCode>(op);
@@ -167,7 +198,7 @@ inline bool decode_response(const char* p, size_t n, uint64_t* id,
   *id = detail::read_int<uint64_t>(p);
   const auto st = detail::read_int<uint8_t>(p + 8);
   const size_t vlen = detail::read_int<uint16_t>(p + 10);
-  if (st > static_cast<uint8_t>(Status::kNetError) ||
+  if (st > static_cast<uint8_t>(Status::kProtocolError) ||
       n != kResponseFixed + vlen)
     return false;
   r->status = static_cast<Status>(st);
@@ -314,6 +345,135 @@ inline bool decode_scan_result(
     off += vlen;
   }
   return off == payload.size();
+}
+
+// ---- kReplBatch / kReplAck payload codecs -------------------------------
+//
+// Replication payloads ride in the ordinary request/response value field
+// (u16-bounded, 65535 bytes). A shard batch that would not fit is split by
+// the replicator into several wire batches sharing one epoch — each gets
+// its own seq, and a follower confirming seq S has, by stream ordering,
+// applied every seq <= S.
+
+/// One replicated write, in shard apply order.
+struct ReplEntry {
+  OpCode op = OpCode::kPut;
+  std::string key;
+  std::string value;
+};
+
+/// A node's applied position on one replication stream (= one primary
+/// shard). `seq` is the last wire batch applied, `epoch` the group-commit
+/// epoch that made it durable on the reporting node.
+struct ReplPosition {
+  uint32_t stream = 0;
+  uint64_t seq = 0;
+  uint64_t epoch = 0;
+};
+
+inline constexpr size_t kReplBatchFixed = 4 + 8 + 8 + 2;
+inline constexpr size_t kReplEntryFixed = 1 + 1 + 2;
+
+/// Wire footprint of one entry inside a kReplBatch payload.
+inline size_t repl_entry_wire_size(const ReplEntry& e) {
+  return kReplEntryFixed + e.key.size() + e.value.size();
+}
+
+/// kReplBatch request value:
+///   u32 stream | u64 seq | u64 epoch | u16 n
+///   | n * (u8 op, u8 key_len, u16 val_len, key, value)
+/// Fails (false) when the batch would overflow the u16 value field or an
+/// entry is unencodable — the caller must split first.
+inline bool encode_repl_batch(uint32_t stream, uint64_t seq, uint64_t epoch,
+                              const std::vector<ReplEntry>& entries,
+                              std::string* out) {
+  if (entries.size() > kMaxBatchEntries) return false;
+  size_t need = kReplBatchFixed;
+  for (const ReplEntry& e : entries) {
+    if (e.key.size() > 255 || e.value.size() > 65535 || !is_write(e.op))
+      return false;
+    need += repl_entry_wire_size(e);
+  }
+  if (need > 65535) return false;
+  out->clear();
+  out->reserve(need);
+  detail::append_int(out, stream);
+  detail::append_int(out, seq);
+  detail::append_int(out, epoch);
+  detail::append_int(out, static_cast<uint16_t>(entries.size()));
+  for (const ReplEntry& e : entries) {
+    detail::append_int(out, static_cast<uint8_t>(e.op));
+    detail::append_int(out, static_cast<uint8_t>(e.key.size()));
+    detail::append_int(out, static_cast<uint16_t>(e.value.size()));
+    out->append(e.key);
+    out->append(e.value);
+  }
+  return true;
+}
+
+inline bool decode_repl_batch(std::string_view payload, uint32_t* stream,
+                              uint64_t* seq, uint64_t* epoch,
+                              std::vector<ReplEntry>* entries) {
+  entries->clear();
+  if (payload.size() < kReplBatchFixed) return false;
+  const char* p = payload.data();
+  *stream = detail::read_int<uint32_t>(p);
+  *seq = detail::read_int<uint64_t>(p + 4);
+  *epoch = detail::read_int<uint64_t>(p + 12);
+  const size_t n = detail::read_int<uint16_t>(p + 20);
+  if (n > kMaxBatchEntries) return false;
+  size_t off = kReplBatchFixed;
+  entries->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (off + kReplEntryFixed > payload.size()) return false;
+    const auto op = detail::read_int<uint8_t>(p + off);
+    const size_t klen = detail::read_int<uint8_t>(p + off + 1);
+    const size_t vlen = detail::read_int<uint16_t>(p + off + 2);
+    off += kReplEntryFixed;
+    if (!is_write(static_cast<OpCode>(op))) return false;
+    if (off + klen + vlen > payload.size()) return false;
+    ReplEntry e;
+    e.op = static_cast<OpCode>(op);
+    e.key.assign(p + off, klen);
+    e.value.assign(p + off + klen, vlen);
+    entries->push_back(std::move(e));
+    off += klen + vlen;
+  }
+  return off == payload.size();
+}
+
+/// Position report (kReplBatch / kReplAck / kPromote response value):
+///   u16 n | n * (u32 stream, u64 seq, u64 epoch)
+inline bool encode_repl_positions(const std::vector<ReplPosition>& pos,
+                                  std::string* out) {
+  if (pos.size() > kMaxBatchEntries) return false;
+  out->clear();
+  detail::append_int(out, static_cast<uint16_t>(pos.size()));
+  for (const ReplPosition& p : pos) {
+    detail::append_int(out, p.stream);
+    detail::append_int(out, p.seq);
+    detail::append_int(out, p.epoch);
+  }
+  return true;
+}
+
+inline bool decode_repl_positions(std::string_view payload,
+                                  std::vector<ReplPosition>* pos) {
+  pos->clear();
+  if (payload.size() < 2) return false;
+  const size_t n = detail::read_int<uint16_t>(payload.data());
+  if (n > kMaxBatchEntries) return false;
+  if (payload.size() != 2 + n * 20) return false;
+  pos->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const char* p = payload.data() + 2 + i * 20;
+    ReplPosition r;
+    r.stream = detail::read_int<uint32_t>(p);
+    r.seq = detail::read_int<uint64_t>(p + 4);
+    r.epoch = detail::read_int<uint64_t>(p + 12);
+    pos->push_back(r);
+  }
+  return true;
 }
 
 /// Pull one complete frame body out of a receive buffer.

@@ -181,12 +181,30 @@ void Shard::worker() {
     // a time-shared host instead of serializing in busy-wait loops.
     stats_.device_ns.fetch_add(arena_->pay_latency(),
                                std::memory_order_relaxed);
+    // Replication: collect the batch's durable writes for the sink. In
+    // deferred-ack mode (quorum policy) the write acks move into the
+    // DurableBatch instead of firing here — the sink releases them once
+    // enough followers confirmed this batch's fence.
+    const bool sink = static_cast<bool>(opts_.batch_sink);
+    DurableBatch durable;
     for (auto& p : batch) {
       if (p.fence && is_acked_write(p.resp.status)) {
         p.resp.epoch = epoch;
         stats_.write_acks.fetch_add(1, std::memory_order_relaxed);
+        if (sink) {
+          durable.entries.push_back(
+              {p.req.op, std::move(p.req.key), std::move(p.req.value)});
+          if (opts_.defer_write_acks) {
+            durable.deferred.push_back({std::move(p.ack), std::move(p.resp)});
+            continue;
+          }
+        }
       }
       if (p.ack) p.ack(std::move(p.resp));
+    }
+    if (sink && !durable.entries.empty()) {
+      durable.epoch = epoch;
+      opts_.batch_sink(opts_.index, std::move(durable));
     }
     stats_.batches.fetch_add(1, std::memory_order_relaxed);
     if (any_timed) {

@@ -73,19 +73,45 @@ inline Status wire_status(common::Status s) {
   }
 }
 
+/// A batch's durable writes, handed to the replication sink right after the
+/// batch's group-commit fence completed on the worker thread: the entries
+/// in apply order, the fence epoch, and — when the shard runs with
+/// deferred write acks (quorum ack policy) — the write acks the sink now
+/// owns and must fire exactly once when the ack policy is satisfied.
+/// Reads, refused requests and failed writes are always acked by the shard
+/// itself and never appear here.
+struct DurableBatch {
+  uint64_t epoch = 0;
+  std::vector<ReplEntry> entries;
+  struct DeferredAck {
+    std::function<void(Response)> ack;
+    Response resp;
+  };
+  std::vector<DeferredAck> deferred;
+};
+
 class Shard {
  public:
+  /// Completion callback. Invoked exactly once per submitted request, from
+  /// the shard worker (or from submit() itself when already shut down).
+  using Ack = std::function<void(Response)>;
+
+  /// Post-fence replication hook, called on the worker thread with every
+  /// batch that durably applied at least one write.
+  using BatchSink = std::function<void(size_t shard_index, DurableBatch&&)>;
+
   struct Options {
     size_t index = 0;
     pmem::Arena::Options arena;  // file_path already chosen by the caller
     core::Hart::Options hart;
     size_t batch_size = 32;
     size_t queue_capacity = 4096;
+    /// When set, every fenced batch's writes are forwarded (see
+    /// DurableBatch). With `defer_write_acks` the sink also takes over
+    /// firing the batch's write acks — the quorum ack policy.
+    BatchSink batch_sink;
+    bool defer_write_acks = false;
   };
-
-  /// Completion callback. Invoked exactly once per submitted request, from
-  /// the shard worker (or from submit() itself when already shut down).
-  using Ack = std::function<void(Response)>;
 
   /// Opens the arena (recovering an existing file-backed HART) and starts
   /// the worker.

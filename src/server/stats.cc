@@ -69,6 +69,31 @@ void collect_stats(const Hartd& d, obs::Registry::Sample* counters,
   counters->emplace_back("hartd_recovery_duration_ms", d.recovery_ms());
   counters->emplace_back("hartd_recovered_keys", d.recovered_keys());
 
+  // Replication plane. Role is a numeric gauge (0 primary, 1 follower,
+  // 2 promoting); the cumulative repl counters (batches shipped / applied
+  // / confirmed, reconnects, evictions) already live in the registry
+  // snapshot merged above.
+  counters->emplace_back("hartd_repl_role",
+                         static_cast<uint64_t>(d.role()));
+  if (const repl::Replicator* r = d.replicator()) {
+    counters->emplace_back("hartd_repl_followers", r->follower_count());
+    counters->emplace_back("hartd_repl_connected_links",
+                           r->connected_links());
+    counters->emplace_back("hartd_repl_lag_batches", r->lag_batches());
+    counters->emplace_back("hartd_repl_quorum_needed", r->quorum_needed());
+    counters->emplace_back("hartd_repl_pending_quorum_acks",
+                           r->pending_quorum_acks());
+  }
+  if (const repl::FollowerApplier* a = d.applier()) {
+    for (const ReplPosition& p : a->positions()) {
+      const std::string lbl =
+          "stream=\"" + std::to_string(p.stream) + "\"";
+      counters->emplace_back("hartd_repl_applied_seq{" + lbl + "}", p.seq);
+      counters->emplace_back("hartd_repl_applied_epoch{" + lbl + "}",
+                             p.epoch);
+    }
+  }
+
   // Prometheus TYPE lines are emitted when the base name changes, so
   // same-base series must be adjacent.
   std::sort(counters->begin(), counters->end());

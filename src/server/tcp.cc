@@ -10,6 +10,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/counters.h"
+
 namespace hart::server {
 
 namespace {
@@ -94,12 +96,32 @@ void TcpServer::serve(const std::shared_ptr<Conn>& conn) {
     buf.append(chunk, static_cast<size_t>(r));
     for (;;) {
       const int got = take_frame(&buf, &body);
-      if (got < 0) return;  // malformed stream: drop the connection
+      if (got < 0) {
+        // Oversized or corrupt length prefix: the stream can't be
+        // re-synchronized, so the connection must drop — but tell the
+        // peer why first (id 0: the offending frame's id is unknowable).
+        obs::Registry::instance()
+            .counter("hartd_proto_errors_total")
+            .inc();
+        send_response(conn, 0, Response{Status::kProtocolError, {}, 0});
+        // Actively hang up so the peer sees EOF right away; the fd itself
+        // is closed (under write_mu) by stop() like every other conn.
+        ::shutdown(conn->fd, SHUT_RDWR);
+        return;
+      }
       if (got == 0) break;
       uint64_t id = 0;
       Request req;
       if (!decode_request(body.data(), body.size(), &id, &req)) {
-        send_response(conn, id, Response{Status::kBadRequest, {}, 0});
+        // Framing was intact, so the stream stays usable: answer this
+        // frame with a protocol error and keep serving. Recover the id
+        // when enough of the header arrived to carry one.
+        if (id == 0 && body.size() >= sizeof(uint64_t))
+          std::memcpy(&id, body.data(), sizeof(uint64_t));
+        obs::Registry::instance()
+            .counter("hartd_proto_errors_total")
+            .inc();
+        send_response(conn, id, Response{Status::kProtocolError, {}, 0});
         continue;
       }
       db_.submit(std::move(req), [conn, id](Response resp) {

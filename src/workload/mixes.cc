@@ -8,14 +8,14 @@ namespace hart::workload {
 
 std::vector<Op> make_mixed_ops(size_t n_ops, size_t preload,
                                size_t pool_size, const MixSpec& mix,
-                               uint64_t seed, DistKind dist) {
+                               uint64_t seed, DistKind dist, double theta) {
   if (mix.insert_pct + mix.search_pct + mix.update_pct + mix.delete_pct !=
       100)
     throw std::invalid_argument("mix percentages must sum to 100");
   if (preload == 0) throw std::invalid_argument("preload must be > 0");
 
   common::Rng rng(seed);
-  RequestDist picker(dist);
+  RequestDist picker(dist, theta);
   std::vector<Op> ops;
   ops.reserve(n_ops);
   // Live key indices, supporting O(1) uniform pick and swap-remove.

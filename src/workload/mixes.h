@@ -42,10 +42,12 @@ inline constexpr MixSpec kWriteIntensive{"Write-Intensive", 40, 20, 40, 0};
 /// Generate `n_ops` operations. The pool must contain at least
 /// `preload + n_ops * insert_pct/100 + 1` keys. `dist` selects which live
 /// key a search/update/delete targets: the paper uses Uniform; Zipfian and
-/// Latest are extensions (see distribution.h).
+/// Latest are extensions (see distribution.h). `theta` is the Zipfian skew
+/// (YCSB's 0.99 by default; ignored for other distributions).
 std::vector<Op> make_mixed_ops(size_t n_ops, size_t preload,
                                size_t pool_size, const MixSpec& mix,
                                uint64_t seed,
-                               DistKind dist = DistKind::kUniform);
+                               DistKind dist = DistKind::kUniform,
+                               double theta = 0.99);
 
 }  // namespace hart::workload

@@ -56,11 +56,14 @@ struct Config {
   size_t ops = 100000;  // per client; 0 = duration mode
   double seconds = 0;
   std::string mix = "insert";
+  double zipf = 0;  // >0: Zipfian skew theta for mixed-workload key picks
   size_t pipeline = 32;
   size_t mget = 0;  // >0: batch this many GETs into one kMget request
   size_t preload = 5000;  // per client, for the mixed workloads
   std::string acked_log;
   std::string verify_acked;
+  bool promote = false;     // send PROMOTE and exit (failover driver)
+  bool stats_only = false;  // scrape metrics and exit
   std::string stats_out;  // final Prometheus snapshot file
   std::string trace_out;  // chrome://tracing JSON file
   // --inproc server knobs
@@ -82,11 +85,17 @@ void usage(const char* argv0) {
       "  --ops N           ops per client (0 = use --seconds) (default 100000)\n"
       "  --seconds S       run for S seconds instead of an op budget\n"
       "  --mix M           insert | read-intensive | rmw | write-intensive\n"
+      "  --zipf S          Zipfian key skew for the mixed workloads, theta\n"
+      "                    in (0,1) — e.g. 0.99 for YCSB (default uniform)\n"
       "  --pipeline D      outstanding requests per client   (default 32)\n"
       "  --mget N          batch reads N-at-a-time into MGET requests\n"
       "  --preload N       preloaded keys per client for mixes (default 5000)\n"
       "  --acked-log P     append acked insert keys to P (insert mix only)\n"
       "  --verify-acked P  GET every key in P; exit 1 on any loss\n"
+      "  --promote         ask the server to become primary (failover),\n"
+      "                    print its applied replication positions, exit\n"
+      "  --stats-only      scrape the server's metrics snapshot and exit\n"
+      "                    (print, or write to --stats-out)\n"
       "  --stats-out P     write a final Prometheus metrics snapshot to P\n"
       "  --trace-out P     write a chrome://tracing JSON timeline to P\n"
       "  in-process server knobs (--inproc):\n"
@@ -181,8 +190,11 @@ void run_client(Client& cli, const Config& cfg, size_t id, AckLog* log,
   if (mix != nullptr) {
     const size_t budget = timed ? 1000000 : cfg.ops;
     pool = cfg.preload + budget / 2 + 16;
-    ops = hart::workload::make_mixed_ops(budget, cfg.preload, pool, *mix,
-                                         /*seed=*/7 + id);
+    ops = hart::workload::make_mixed_ops(
+        budget, cfg.preload, pool, *mix, /*seed=*/7 + id,
+        cfg.zipf > 0 ? hart::workload::DistKind::kZipfian
+                     : hart::workload::DistKind::kUniform,
+        cfg.zipf > 0 ? cfg.zipf : 0.99);
     for (size_t i = 0; i < cfg.preload; ++i) {
       const std::string k = key_of(id, i);
       if (!hart::server::is_acked_write(cli.put(k, value_of(k)).status))
@@ -406,6 +418,16 @@ int main(int argc, char** argv) {
       cfg.ops = 0;
     } else if (a == "--mix") {
       cfg.mix = need("--mix");
+    } else if (a == "--zipf") {
+      cfg.zipf = std::strtod(need("--zipf"), nullptr);
+      if (cfg.zipf <= 0 || cfg.zipf >= 1) {
+        std::fprintf(stderr, "loadgen: --zipf wants theta in (0,1)\n");
+        return 2;
+      }
+    } else if (a == "--promote") {
+      cfg.promote = true;
+    } else if (a == "--stats-only") {
+      cfg.stats_only = true;
     } else if (a == "--pipeline") {
       cfg.pipeline = std::strtoull(need("--pipeline"), nullptr, 10);
     } else if (a == "--mget") {
@@ -483,7 +505,57 @@ int main(int argc, char** argv) {
     local = std::make_unique<Hartd>(o);
   }
 
-  if (!cfg.verify_acked.empty()) return verify_acked(cfg, local.get());
+  if (cfg.promote) {
+    // Failover driver: tell the (former follower) server to take over.
+    try {
+      Client cli(cfg.host, static_cast<uint16_t>(cfg.port));
+      const Response r = cli.promote();
+      std::printf("loadgen: promote: %s\n",
+                  hart::server::status_name(r.status));
+      std::vector<hart::server::ReplPosition> pos;
+      if (hart::server::decode_repl_positions(r.value, &pos))
+        for (const auto& p : pos)
+          std::printf("  stream %u applied seq %llu (epoch %llu)\n", p.stream,
+                      static_cast<unsigned long long>(p.seq),
+                      static_cast<unsigned long long>(p.epoch));
+      return r.status == Status::kOk ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "loadgen: promote failed: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (cfg.stats_only) {
+    const std::string text = fetch_stats(cfg, local.get());
+    if (text.empty()) {
+      std::fprintf(stderr, "loadgen: stats scrape failed\n");
+      return 1;
+    }
+    if (cfg.stats_out.empty()) {
+      std::fputs(text.c_str(), stdout);
+    } else if (std::ofstream out(cfg.stats_out, std::ios::binary); out) {
+      out << text;
+      std::printf("loadgen: stats written to %s\n", cfg.stats_out.c_str());
+    } else {
+      std::fprintf(stderr, "loadgen: cannot write stats to %s\n",
+                   cfg.stats_out.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (!cfg.verify_acked.empty()) {
+    const int rc = verify_acked(cfg, local.get());
+    // A post-verify snapshot (repl counters, recovery stats) rides along
+    // when requested — the smoke tests assert on it.
+    if (!cfg.stats_out.empty()) {
+      const std::string text = fetch_stats(cfg, local.get());
+      if (std::ofstream out(cfg.stats_out, std::ios::binary);
+          !text.empty() && out)
+        out << text;
+    }
+    return rc;
+  }
 
   AckLog log;
   if (!cfg.acked_log.empty()) log.open(cfg.acked_log);

@@ -38,6 +38,18 @@ void usage(const char* argv0) {
       "                  instead of lock-free optimistic reads (GETs then\n"
       "                  queue behind shard writes again)\n"
       "  --check         enable PMCheck on every shard arena\n"
+      "  --follow        start as a replication follower: client writes are\n"
+      "                  rejected (not-primary), REPL_BATCH streams apply,\n"
+      "                  reads serve stale-tolerant; PROMOTE flips to primary\n"
+      "  --replicate-to L  ship every durable batch to followers, L =\n"
+      "                  host:port[,host:port...]\n"
+      "  --ack-policy P  local: ack writes after the local fence (default)\n"
+      "                  quorum: ack only after a majority of followers\n"
+      "                  confirmed the batch's fence\n"
+      "  --repl-log N    per-stream replication log retention, in wire\n"
+      "                  batches (default 4096)\n"
+      "  --repl-window N max unconfirmed wire batches per follower link\n"
+      "                  (default 64)\n"
       "  --stats-dump N  print a Prometheus-text metrics snapshot to stdout\n"
       "                  every N seconds (and once at shutdown)\n"
       "  --trace-out F   record a trace of batches/fences/recovery and\n"
@@ -102,6 +114,38 @@ int main(int argc, char** argv) {
       opts.hart.rwlock_reads = true;
     } else if (a == "--check") {
       opts.check = true;
+    } else if (a == "--follow") {
+      opts.follow = true;
+    } else if (a == "--replicate-to") {
+      std::string list = need("--replicate-to");
+      size_t start = 0;
+      while (start <= list.size()) {
+        const size_t comma = list.find(',', start);
+        const std::string one =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!one.empty()) opts.replicate_to.push_back(one);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (opts.replicate_to.empty()) {
+        std::fprintf(stderr, "hartd: --replicate-to wants host:port[,...]\n");
+        return 2;
+      }
+    } else if (a == "--ack-policy") {
+      const std::string p = need("--ack-policy");
+      if (p == "local") {
+        opts.ack_policy = hart::repl::AckPolicy::kLocal;
+      } else if (p == "quorum") {
+        opts.ack_policy = hart::repl::AckPolicy::kQuorum;
+      } else {
+        std::fprintf(stderr, "hartd: --ack-policy wants local|quorum\n");
+        return 2;
+      }
+    } else if (a == "--repl-log") {
+      opts.repl_log_batches = std::strtoull(need("--repl-log"), nullptr, 10);
+    } else if (a == "--repl-window") {
+      opts.repl_window = std::strtoull(need("--repl-window"), nullptr, 10);
     } else if (a == "--stats-dump") {
       stats_dump_secs = std::strtol(need("--stats-dump"), nullptr, 10);
     } else if (a == "--trace-out") {
@@ -110,6 +154,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "hartd: unknown flag '%s' (--help)\n", a.c_str());
       return 2;
     }
+  }
+
+  if (opts.ack_policy == hart::repl::AckPolicy::kQuorum &&
+      opts.replicate_to.empty()) {
+    std::fprintf(stderr,
+                 "hartd: --ack-policy quorum needs --replicate-to; acks "
+                 "would otherwise never release\n");
+    return 2;
   }
 
   std::signal(SIGINT, on_signal);
@@ -135,6 +187,15 @@ int main(int argc, char** argv) {
                 tcp.port(), db.shard_count(), opts.batch_size,
                 opts.arena_dir.empty() ? ", in-memory arenas" : ", file-backed",
                 recovered ? " (recovered existing shards)" : "");
+    std::printf("hartd: role %s%s%s\n", hart::repl::role_name(db.role()),
+                opts.replicate_to.empty()
+                    ? ""
+                    : (std::string(", replicating to ") +
+                       std::to_string(opts.replicate_to.size()) +
+                       " follower(s), ack-policy " +
+                       hart::repl::ack_policy_name(opts.ack_policy))
+                          .c_str(),
+                opts.follow ? " (PROMOTE to take over)" : "");
     if (recovered)
       std::printf("hartd: %zu keys recovered across shards\n",
                   db.total_size());

@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# repl_smoke.sh HARTD_BIN LOADGEN_BIN [SECONDS]
+#
+# The hartrepl failover smoke (DESIGN.md §9). Two phases:
+#
+#  phase 1 — quorum ack policy, primary SIGKILL:
+#    start a follower and a primary replicating to it with
+#    --ack-policy quorum, drive an insert burst recording every acked key,
+#    SIGKILL the primary mid-burst (no drain), PROMOTE the follower, and
+#    replay the acked set against it. Because a quorum ack is only
+#    released after the follower confirmed the batch's fence, ZERO acked
+#    writes may be missing — this is the subsystem's correctness oracle.
+#    The follower's scrape must also show nonzero
+#    hartd_repl_batches_applied_total (the stream really ran).
+#
+#  phase 2 — local ack policy, graceful handover:
+#    same topology with --ack-policy local; SIGTERM the primary (graceful
+#    shutdown drains the replication tail), promote, replay. Local policy
+#    only guarantees durability across a *graceful* exit.
+#
+# Run by ctest (repl_smoke, 2 s) and by the CI repl-smoke job (5 s).
+set -euo pipefail
+
+HARTD=${1:?usage: repl_smoke.sh HARTD LOADGEN [SECONDS]}
+LOADGEN=${2:?usage: repl_smoke.sh HARTD LOADGEN [SECONDS]}
+SECS=${3:-5}
+
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/hart_repl_smoke.XXXXXX")
+PRI=
+FOL=
+LG=
+cleanup() {
+  [ -n "$PRI" ] && kill -9 "$PRI" 2>/dev/null || true
+  [ -n "$FOL" ] && kill -9 "$FOL" 2>/dev/null || true
+  [ -n "$LG" ] && kill "$LG" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+wait_port() { # $1 = port file, $2 = pid, $3 = name
+  for _ in $(seq 100); do
+    [ -s "$1" ] && return 0
+    kill -0 "$2" 2>/dev/null || { echo "FAIL: $3 died at startup"; exit 1; }
+    sleep 0.1
+  done
+  echo "FAIL: $3 never published its port"
+  exit 1
+}
+
+start_follower() { # $1 = phase tag
+  rm -f "$DIR/fport"
+  "$HARTD" --port 0 --port-file "$DIR/fport" --shards 4 --batch 32 \
+           --arena-mb 64 --follow > "$DIR/follower-$1.log" 2>&1 &
+  FOL=$!
+  wait_port "$DIR/fport" "$FOL" follower
+  FPORT=$(cat "$DIR/fport")
+}
+
+start_primary() { # $1 = ack policy, $2 = phase tag
+  rm -f "$DIR/pport"
+  "$HARTD" --port 0 --port-file "$DIR/pport" --shards 4 --batch 32 \
+           --arena-mb 64 --replicate-to "127.0.0.1:$FPORT" \
+           --ack-policy "$1" > "$DIR/primary-$2.log" 2>&1 &
+  PRI=$!
+  wait_port "$DIR/pport" "$PRI" primary
+  PPORT=$(cat "$DIR/pport")
+}
+
+run_phase() { # $1 = ack policy, $2 = kill signal (KILL|TERM), $3 = tag
+  start_follower "$3"
+  start_primary "$1" "$3"
+  echo "   follower :$FPORT  primary :$PPORT  (ack-policy $1)"
+
+  rm -f "$DIR/acked-$3.log"
+  "$LOADGEN" --port "$PPORT" --clients 4 --seconds "$SECS" --mix insert \
+             --pipeline 32 --acked-log "$DIR/acked-$3.log" &
+  LG=$!
+
+  # Take the primary down mid-burst. KILL = crash (no drain): only quorum
+  # acks survive by construction. TERM = graceful: shutdown drains the
+  # replication tail first, so local acks must survive too.
+  sleep "$(awk "BEGIN{print $SECS/2}")"
+  kill "-$2" "$PRI"
+  wait "$PRI" 2>/dev/null || true
+  PRI=
+  wait "$LG" || true   # loadgen tolerates the dead connection
+  LG=
+
+  ACKED=$(wc -l < "$DIR/acked-$3.log")
+  if [ "$ACKED" -lt 100 ]; then
+    echo "FAIL: only $ACKED acked inserts before the $2 — burst too small"
+    exit 1
+  fi
+  echo "   $ACKED acked inserts at SIG$2"
+
+  # Failover: the follower becomes primary (tail replay of everything the
+  # replication stream already delivered), then must hold every acked key.
+  if ! "$LOADGEN" --port "$FPORT" --promote; then
+    echo "FAIL: promote failed"
+    exit 1
+  fi
+  if ! "$LOADGEN" --port "$FPORT" --verify-acked "$DIR/acked-$3.log" \
+                  --stats-out "$DIR/stats-$3.prom"; then
+    echo "FAIL: acked-write replay on the promoted follower failed ($3)"
+    sed -n '1,40p' "$DIR/follower-$3.log" || true
+    exit 1
+  fi
+
+  # The oracle only means something if replication actually carried the
+  # data: the promoted follower must report applied batches, and its role
+  # gauge must read primary (0) after the promote.
+  APPLIED=$(awk '/^hartd_repl_batches_applied_total/ {print $2}' \
+                "$DIR/stats-$3.prom")
+  ROLE=$(awk '/^hartd_repl_role/ {print $2}' "$DIR/stats-$3.prom")
+  if [ -z "$APPLIED" ] || [ "$APPLIED" -eq 0 ]; then
+    echo "FAIL: follower shows no applied replication batches"
+    exit 1
+  fi
+  if [ "$ROLE" != "0" ]; then
+    echo "FAIL: promoted follower still reports role $ROLE"
+    exit 1
+  fi
+  echo "   follower applied $APPLIED replication batches, role=primary"
+
+  kill -TERM "$FOL"
+  wait "$FOL" 2>/dev/null || true
+  FOL=
+}
+
+echo "== phase 1: quorum acks, SIGKILL primary mid-burst, promote, verify"
+run_phase quorum KILL q
+echo "== phase 2: local acks, graceful SIGTERM handover, promote, verify"
+run_phase local TERM l
+echo "PASS: failover preserved every acked write under both ack policies"
