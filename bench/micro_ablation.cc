@@ -8,8 +8,13 @@
 //   * per-operation persist counts under selective persistence.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "art/dram_index.h"
+#include "art/simd.h"
 #include "bench/bench_common.h"
+#include "common/bloom.h"
+#include "common/histogram.h"
 #include "epalloc/epalloc.h"
 #include "hart/verify.h"
 #include "workload/mixes.h"
@@ -274,6 +279,108 @@ void BM_CostOfPersistence(benchmark::State& state) {
                           static_cast<int64_t>(keys.size()));
 }
 BENCHMARK(BM_CostOfPersistence)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// --- read fast-path ablation: SIMD x fingerprints x Bloom --------------------
+
+pmem::Arena::Options ablation_arena(size_t mb = 1024) {
+  // The read fast paths are about skipping PM reads, so the grid runs at
+  // the paper's full 300/300 point (not the read-optimistic 300/100 the
+  // other ablations use) — the PM reads being skipped must cost something.
+  pmem::Arena::Options o;
+  o.size = mb << 20;
+  o.latency = pmem::LatencyConfig::c300_300();
+  o.charge_alloc_persist = true;
+  return o;
+}
+
+inline uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void BM_ReadPathAblation(benchmark::State& state) {
+  // Full 2^3 layer grid x {hit-heavy, miss-heavy}. Each layer is toggled
+  // independently: SIMD via the runtime kill-switch, fingerprints via
+  // Hart::Options, the Bloom front via an explicit dispatcher-style probe
+  // before each search (what Hartd::serve_get does).
+  const bool simd_on = state.range(0) != 0;
+  const bool fp_on = state.range(1) != 0;
+  const bool bloom_on = state.range(2) != 0;
+  const bool miss_heavy = state.range(3) != 0;
+
+  constexpr size_t kLive = 100000;
+  const auto pool = workload::make_random(2 * kLive, 23);
+
+  pmem::Arena arena(ablation_arena());
+  core::Hart::Options ho;
+  ho.fingerprints = fp_on;
+  core::Hart h(arena, ho);
+  common::CountingBloom bloom(kLive, 10);
+  for (size_t i = 0; i < kLive; ++i) {
+    h.insert(pool[i], bench::value_for(i));
+    bloom.add(pool[i]);
+  }
+
+  art::simd::set_enabled(simd_on);
+  common::LatencyHistogram hist;
+  std::string v;
+  size_t i = 0;
+  size_t found = 0;
+  for (auto _ : state) {
+    // Miss-heavy probes the unloaded half of the pool (every lookup a
+    // definitive miss); hit-heavy probes only live keys.
+    const std::string& key =
+        miss_heavy ? pool[kLive + i] : pool[i];
+    const uint64_t t0 = now_ns();
+    if (!bloom_on || bloom.may_contain(key)) {
+      if (h.search(key, &v).ok()) ++found;
+    }
+    hist.record(now_ns() - t0);
+    i = (i + 7919) % kLive;
+  }
+  art::simd::set_enabled(true);
+
+  if (!miss_heavy && found == 0) state.SkipWithError("no hits");
+  const auto p = hist.percentiles();
+  state.counters["p50_ns"] = static_cast<double>(p.p50_ns);
+  state.counters["p99_ns"] = static_cast<double>(p.p99_ns);
+  state.SetLabel(std::string(simd_on ? "simd" : "scalar") +
+                 (fp_on ? "+fp" : "") + (bloom_on ? "+bloom" : "") +
+                 (miss_heavy ? "/miss" : "/hit"));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadPathAblation)
+    ->ArgsProduct({{0, 1}, {0, 1}, {0, 1}, {0, 1}});
+
+void BM_FastPathInsertOverhead(benchmark::State& state) {
+  // The acceptance gate for the read layers: inserts must not pay for
+  // them. arg 0 = baseline, 1 = fingerprints (the always-on layer — this
+  // is what fig4 inserts now include: one derived byte inside the
+  // already-persisted leaf tail), 2 = fingerprints + Bloom maintenance
+  // (the opt-in service-layer filter, one add per fresh key).
+  const auto mode = state.range(0);
+  const auto keys = workload::make_random(50000, 29);
+  for (auto _ : state) {
+    state.PauseTiming();
+    pmem::Arena arena(ablation_arena());
+    core::Hart::Options ho;
+    ho.fingerprints = mode >= 1;
+    core::Hart h(arena, ho);
+    common::CountingBloom bloom(keys.size(), 10);
+    state.ResumeTiming();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      h.insert(keys[i], bench::value_for(i));
+      if (mode >= 2) bloom.add(keys[i]);
+    }
+  }
+  static const char* kLabels[] = {"baseline", "fp", "fp+bloom"};
+  state.SetLabel(kLabels[mode]);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_FastPathInsertOverhead)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 

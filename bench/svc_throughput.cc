@@ -11,6 +11,7 @@
 // configs are compute-bound from the start, so the scaling column shows
 // the device-bound configs' speedup only.
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <string>
 #include <thread>
@@ -18,6 +19,7 @@
 
 #include "bench/bench_common.h"
 #include "server/client.h"
+#include "workload/mixes.h"
 
 namespace {
 
@@ -36,6 +38,10 @@ struct SvcResult {
 size_t svc_ops() { return env_size("HART_SVC_OPS", 20000); }       // per client
 size_t svc_clients() { return env_size("HART_SVC_CLIENTS", 4); }
 size_t svc_pipeline() { return env_size("HART_SVC_PIPELINE", 64); }
+double svc_zipf() {  // Zipfian theta for the mixed-workload section
+  const char* v = std::getenv("HART_SVC_ZIPF");
+  return v != nullptr ? std::strtod(v, nullptr) : 0.99;
+}
 
 SvcResult run_service(size_t shards, size_t batch,
                       const hart::pmem::LatencyConfig& lat) {
@@ -82,6 +88,89 @@ SvcResult run_service(size_t shards, size_t batch,
   return r;
 }
 
+// Mixed Read-Intensive stream through the pipelined client path, with the
+// request distribution (Uniform or Zipfian at `theta`) choosing which live
+// key each search/update/delete targets. Each client owns a disjoint
+// key-pool slice (client-prefixed keys), preloads it untimed, then replays
+// its op stream.
+SvcResult run_mixed_service(size_t shards, size_t batch,
+                            const hart::pmem::LatencyConfig& lat,
+                            hart::workload::DistKind dist, double theta) {
+  namespace wl = hart::workload;
+  Hartd::Options o;
+  o.shards = shards;
+  o.batch_size = batch;
+  o.latency = lat;
+  o.arena_mb = 64;
+  Hartd db(o);
+
+  const size_t per_client = svc_ops();
+  const size_t preload = per_client / 2;
+  const size_t pool_size = preload + per_client;
+  auto key_for = [](size_t c, size_t i) {
+    char key[24];
+    std::snprintf(key, sizeof(key), "%c%c%08zx",
+                  static_cast<char>('A' + (c / 26) % 26),
+                  static_cast<char>('A' + c % 26), i);
+    return std::string(key);
+  };
+  for (size_t c = 0; c < svc_clients(); ++c)
+    for (size_t i = 0; i < preload; ++i)
+      db.execute(Request{OpCode::kPut, key_for(c, i), value_for(i)});
+
+  hart::common::Stopwatch sw;
+  std::vector<std::thread> pool;
+  for (size_t c = 0; c < svc_clients(); ++c) {
+    pool.emplace_back([&db, &key_for, c, per_client, preload, pool_size,
+                       dist, theta] {
+      const auto ops =
+          wl::make_mixed_ops(per_client, preload, pool_size,
+                             wl::kReadIntensive, 31 * c + 7, dist, theta);
+      hart::Client cl(db);
+      std::deque<uint64_t> inflight;
+      for (const auto& op : ops) {
+        std::string key = key_for(c, op.key_idx);
+        Request req;
+        switch (op.type) {
+          case wl::OpType::kInsert:
+            req = Request{OpCode::kPut, std::move(key),
+                          value_for(op.key_idx)};
+            break;
+          case wl::OpType::kSearch:
+            req = Request{OpCode::kGet, std::move(key), ""};
+            break;
+          case wl::OpType::kUpdate:
+            req = Request{OpCode::kUpdate, std::move(key),
+                          value_for(op.key_idx, 1)};
+            break;
+          case wl::OpType::kDelete:
+            req = Request{OpCode::kDelete, std::move(key), ""};
+            break;
+        }
+        inflight.push_back(cl.send(std::move(req)));
+        if (inflight.size() >= svc_pipeline()) {
+          cl.wait(inflight.front());
+          inflight.pop_front();
+        }
+      }
+      cl.wait_all();
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  SvcResult r;
+  r.ops_per_sec =
+      static_cast<double>(per_client * svc_clients()) / sw.seconds();
+  for (size_t i = 0; i < db.shard_count(); ++i) {
+    const auto& st = db.shard(i).stats();
+    r.batches += st.batches.load();
+    r.epochs += st.epochs.load();
+    r.acks += st.write_acks.load();
+  }
+  db.shutdown();
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,7 +181,10 @@ int main(int argc, char** argv) {
        {"--svc-clients", "HART_SVC_CLIENTS", "client threads (default 4)",
         true},
        {"--svc-pipeline", "HART_SVC_PIPELINE",
-        "outstanding requests per client (default 64)", true}});
+        "outstanding requests per client (default 64)", true},
+       {"--zipf", "HART_SVC_ZIPF",
+        "Zipfian theta for the mixed-distribution section (default 0.99)",
+        true}});
 
   const size_t total = svc_ops() * svc_clients();
   std::cout << "hartd service throughput — Random-insert, " << total
@@ -149,5 +241,34 @@ int main(int argc, char** argv) {
             lats[1].label(), "hartd", 1e6 / r.ops_per_sec);
   }
   batching.print();
+
+  // Request-distribution skew through the whole service path: the same
+  // Read-Intensive mix keyed Uniformly vs Zipfian-skewed (YCSB theta via
+  // --zipf). Skew concentrates requests on few keys — hot shard queues and
+  // hot cache lines — so the delta is the service's sensitivity to
+  // real-world (power-law) traffic rather than benchmark-uniform traffic.
+  const double theta = svc_zipf();
+  char zl[32];
+  std::snprintf(zl, sizeof(zl), "Zipfian(%.2f)", theta);
+  hart::common::Table mixed(
+      {"Read-Intensive mix (4 shards, 600/300)", "ops/s", "avg batch"});
+  const hart::workload::DistKind dists[] = {
+      hart::workload::DistKind::kUniform,
+      hart::workload::DistKind::kZipfian};
+  for (const auto dist : dists) {
+    const SvcResult r = run_mixed_service(4, 32, lats[1], dist, theta);
+    const char* label =
+        dist == hart::workload::DistKind::kUniform ? "Uniform" : zl;
+    char ops[32], avg[32];
+    std::snprintf(ops, sizeof(ops), "%.0f", r.ops_per_sec);
+    std::snprintf(avg, sizeof(avg), "%.1f",
+                  r.batches != 0 ? static_cast<double>(r.acks) /
+                                       static_cast<double>(r.batches)
+                                 : 0.0);
+    mixed.add_row({label, ops, avg});
+    csv_row("svc-mixed", std::string("Read-Intensive/") + label,
+            lats[1].label(), "hartd", 1e6 / r.ops_per_sec);
+  }
+  mixed.print();
   return 0;
 }

@@ -48,6 +48,7 @@
 #include <cstring>
 #include <span>
 
+#include "art/simd.h"
 #include "common/ebr.h"
 #include "obs/counters.h"
 
@@ -66,9 +67,40 @@ inline obs::Counter& optimistic_retry_counter() {
       obs::Registry::instance().counter("art_optimistic_retry_total");
   return c;
 }
+/// HARTscope: leaf probes rejected by the one-byte fingerprint guard
+/// before touching the leaf's (PM-resident) key bytes.
+inline obs::Counter& fp_skip_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("hart_fp_skip_total");
+  return c;
+}
+/// HARTscope: fingerprint matched but the full key compare did not (the
+/// guard's false-positive rate: this / (this + skips) ≈ 1/255 expected).
+inline obs::Counter& fp_false_positive_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("hart_fp_false_positive_total");
+  return c;
+}
 }  // namespace detail
 
 using Key = std::span<const uint8_t>;
+
+/// One-byte key fingerprint (FPTree-style, PAPERS.md): FNV-1a 64 folded
+/// down to 8 bits. Never returns 0 — 0 is reserved to mean "no
+/// fingerprint" in tagged leaf pointers and persisted leaf headers, which
+/// keeps images and trees written without the guard readable with it on.
+inline uint8_t key_fingerprint(Key k) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const uint8_t b : k) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 32;
+  h ^= h >> 16;
+  h ^= h >> 8;
+  const auto fp = static_cast<uint8_t>(h);
+  return fp == 0 ? uint8_t{1} : fp;
+}
 
 inline constexpr uint32_t kMaxPrefixLen = 10;
 
@@ -175,10 +207,14 @@ class Tree {
   /// `ebr` (optional) defers node frees past concurrent optimistic
   /// readers; nullptr frees eagerly (readers must then hold the caller's
   /// lock). The domain must be drained before the tree is destroyed.
+  /// `fp_guard` stores a one-byte key fingerprint in the high byte of
+  /// every tagged leaf pointer and rejects mismatched probes before the
+  /// leaf's key bytes (PM for HART leaves) are ever read.
   explicit Tree(Traits traits = Traits{},
                 std::atomic<uint64_t>* dram_bytes = nullptr,
-                common::ebr::Domain* ebr = nullptr)
-      : traits_(traits), dram_bytes_(dram_bytes), ebr_(ebr) {}
+                common::ebr::Domain* ebr = nullptr, bool fp_guard = false)
+      : traits_(traits), dram_bytes_(dram_bytes), ebr_(ebr),
+        fp_guard_(fp_guard) {}
   ~Tree() { clear(); }
   Tree(const Tree&) = delete;
   Tree& operator=(const Tree&) = delete;
@@ -193,12 +229,16 @@ class Tree {
   /// Point lookup; nullptr if absent. Requires the caller's lock (shared
   /// or exclusive) — no validation is performed.
   [[nodiscard]] Leaf* search(Key k) const {
+    const uint8_t kfp = fp_guard_ ? key_fingerprint(k) : uint8_t{0};
     Node* n = root_.load(std::memory_order_acquire);
     uint32_t depth = 0;
     while (n != nullptr) {
       if (is_leaf(n)) {
+        if (!fp_check(n, kfp)) return nullptr;
         Leaf* l = as_leaf(n);
-        return leaf_matches(l, k) ? l : nullptr;
+        if (leaf_matches(l, k)) return l;
+        if (fp_guard_) detail::fp_false_positive_counter().inc();
+        return nullptr;
       }
       if (n->prefix_len > 0) {
         // Optimistic skip: verify only the stored bytes, confirm at leaf.
@@ -231,12 +271,16 @@ class Tree {
   /// With an EBR domain the caller must hold a Guard (structural changes
   /// retire replaced nodes); without one the marker is moot.
   Leaf* insert(Key k, Leaf* leaf) REQUIRES_EBR_PIN {
-    return insert_rec(root_, k, leaf, 0);
+    const uint8_t kfp = fp_guard_ ? key_fingerprint(k) : uint8_t{0};
+    return insert_rec(root_, k, leaf, 0, kfp);
   }
 
   /// Remove the leaf with key `k`; returns it (caller owns leaf memory), or
   /// nullptr if absent. Same pinning contract as insert().
-  Leaf* remove(Key k) REQUIRES_EBR_PIN { return remove_rec(root_, k, 0); }
+  Leaf* remove(Key k) REQUIRES_EBR_PIN {
+    const uint8_t kfp = fp_guard_ ? key_fingerprint(k) : uint8_t{0};
+    return remove_rec(root_, k, 0, kfp);
+  }
 
   /// Leftmost (smallest-key) leaf; nullptr when empty.
   [[nodiscard]] Leaf* minimum() const {
@@ -275,14 +319,36 @@ class Tree {
 
  private:
   // ---- leaf tagging ----------------------------------------------------
+  // Bit 0 marks a leaf; bits 56..63 carry the key fingerprint (0 = none).
+  // User-space pointers leave the top byte clear on every supported
+  // target, so the fingerprint rides along for free and is stripped by
+  // as_leaf() before any dereference.
+  static constexpr unsigned kFpShift = 56;
+  static constexpr uintptr_t kFpMask = uintptr_t{0xFF} << kFpShift;
+
   static bool is_leaf(const Node* n) {
     return (reinterpret_cast<uintptr_t>(n) & 1) != 0;
   }
   static Leaf* as_leaf(const Node* n) {
-    return reinterpret_cast<Leaf*>(reinterpret_cast<uintptr_t>(n) & ~uintptr_t{1});
+    return reinterpret_cast<Leaf*>(reinterpret_cast<uintptr_t>(n) &
+                                   ~(kFpMask | uintptr_t{1}));
   }
-  static Node* tag_leaf(Leaf* l) {
-    return reinterpret_cast<Node*>(reinterpret_cast<uintptr_t>(l) | 1);
+  static Node* tag_leaf(Leaf* l, uint8_t fp) {
+    return reinterpret_cast<Node*>(reinterpret_cast<uintptr_t>(l) |
+                                   (uintptr_t{fp} << kFpShift) | 1);
+  }
+  static uint8_t leaf_fp(const Node* n) {
+    return static_cast<uint8_t>(reinterpret_cast<uintptr_t>(n) >> kFpShift);
+  }
+  /// Guard a tagged-leaf probe: true = proceed to the full key compare,
+  /// false = fingerprints prove a mismatch (key bytes never read). A zero
+  /// stored fingerprint (guard-off writer) always proceeds.
+  bool fp_check(const Node* n, uint8_t kfp) const {
+    if (!fp_guard_) return true;
+    const uint8_t lfp = leaf_fp(n);
+    if (lfp == 0 || lfp == kfp) return true;
+    detail::fp_skip_counter().inc();
+    return false;
   }
   bool leaf_matches(const Leaf* l, Key k) const {
     const Key lk = traits_.key(l);
@@ -360,6 +426,21 @@ class Tree {
         const auto* p = static_cast<const Node16*>(n);
         const uint16_t nc = std::min<uint16_t>(
             p->num_children.load(std::memory_order_acquire), 16);
+#if HART_SIMD
+        // One 16-byte compare over the atomic key array (layout-identical
+        // to plain bytes; asserted below). A torn lane under a concurrent
+        // writer yields at worst a wrong slot, exactly like the relaxed
+        // scalar loads — the caller's validation catches it either way.
+        if (simd::enabled()) {
+          static_assert(sizeof(p->keys) == 16 &&
+                        sizeof(std::atomic<uint8_t>) == 1);
+          const int i = simd::find_byte16_vec(
+              reinterpret_cast<const uint8_t*>(&p->keys[0]), nc,
+              static_cast<uint8_t>(byte));
+          return i >= 0 ? p->children[i].load(std::memory_order_acquire)
+                        : nullptr;
+        }
+#endif
         for (uint16_t i = 0; i < nc; ++i)
           if (p->keys[i].load(std::memory_order_relaxed) == byte)
             return p->children[i].load(std::memory_order_acquire);
@@ -392,6 +473,14 @@ class Tree {
       case detail::kNode16: {
         auto* p = static_cast<Node16*>(n);
         const uint16_t nc = p->num_children.load(std::memory_order_relaxed);
+#if HART_SIMD
+        if (simd::enabled()) {
+          const int i = simd::find_byte16_vec(
+              reinterpret_cast<const uint8_t*>(&p->keys[0]), nc,
+              static_cast<uint8_t>(byte));
+          return i >= 0 ? &p->children[i] : nullptr;
+        }
+#endif
         for (uint16_t i = 0; i < nc; ++i)
           if (p->keys[i].load(std::memory_order_relaxed) == byte)
             return &p->children[i];
@@ -443,6 +532,27 @@ class Tree {
       }
       case detail::kNode48: {
         const auto* p = static_cast<const Node48*>(n);
+#if HART_SIMD
+        // Vector scan for occupied child_index entries; the slot value is
+        // re-loaded atomically once found, so torn-snapshot tolerance is
+        // unchanged from the scalar walk below.
+        if (simd::enabled()) {
+          const auto* idx =
+              reinterpret_cast<const uint8_t*>(&p->child_index[0]);
+          static_assert(sizeof(p->child_index) == 256);
+          for (unsigned b =
+                   simd::next_occupied48_vec(idx, 0, detail::kEmptySlot);
+               b < 256;
+               b = simd::next_occupied48_vec(idx, b + 1, detail::kEmptySlot)) {
+            const uint8_t slot =
+                p->child_index[b].load(std::memory_order_relaxed);
+            if (slot == detail::kEmptySlot || slot >= 48) continue;
+            Node* c = p->children[slot].load(std::memory_order_acquire);
+            if (c != nullptr && !f(b, c)) return false;
+          }
+          return true;
+        }
+#endif
         for (uint32_t b = 0; b < 256; ++b) {
           const uint8_t slot =
               p->child_index[b].load(std::memory_order_relaxed);
@@ -678,10 +788,10 @@ class Tree {
 
   // ---- insert ----------------------------------------------------------
   Leaf* insert_rec(std::atomic<Node*>& ref, Key k, Leaf* leaf,
-                   uint32_t depth) REQUIRES_EBR_PIN {
+                   uint32_t depth, uint8_t kfp) REQUIRES_EBR_PIN {
     Node* n = ref.load(std::memory_order_relaxed);
     if (n == nullptr) {
-      ref.store(tag_leaf(leaf), std::memory_order_release);
+      ref.store(tag_leaf(leaf, kfp), std::memory_order_release);
       count_.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
@@ -689,6 +799,7 @@ class Tree {
       Leaf* existing = as_leaf(n);
       if (leaf_matches(existing, k)) return existing;
       // Lazy expansion undone: split into a NODE4 under the common prefix.
+      // `n` is re-stored as-is, so the existing leaf keeps its fingerprint.
       const Key ek = traits_.key(existing);
       uint32_t lcp = 0;
       while (key_at(k, depth + lcp) == key_at(ek, depth + lcp)) ++lcp;
@@ -696,7 +807,7 @@ class Tree {
       nn->prefix_len = lcp;
       for (uint32_t i = 0; i < std::min(lcp, kMaxPrefixLen); ++i)
         nn->prefix[i] = static_cast<uint8_t>(key_at(k, depth + i));
-      add_sorted_raw(nn, key_at(k, depth + lcp), tag_leaf(leaf));
+      add_sorted_raw(nn, key_at(k, depth + lcp), tag_leaf(leaf, kfp));
       add_sorted_raw(nn, key_at(ek, depth + lcp), n);
       ref.store(nn, std::memory_order_release);
       count_.fetch_add(1, std::memory_order_relaxed);
@@ -730,7 +841,7 @@ class Tree {
                 static_cast<uint8_t>(key_at(lk, depth + p + 1 + i));
         }
         add_sorted_raw(nn, edge, shrunk);
-        add_sorted_raw(nn, key_at(k, depth + p), tag_leaf(leaf));
+        add_sorted_raw(nn, key_at(k, depth + p), tag_leaf(leaf, kfp));
         ref.store(nn, std::memory_order_release);
         retire_node(n);
         count_.fetch_add(1, std::memory_order_relaxed);
@@ -740,18 +851,19 @@ class Tree {
     }
 
     std::atomic<Node*>* child = find_child_slot(n, key_at(k, depth));
-    if (child != nullptr) return insert_rec(*child, k, leaf, depth + 1);
-    add_child(ref, n, key_at(k, depth), tag_leaf(leaf));
+    if (child != nullptr) return insert_rec(*child, k, leaf, depth + 1, kfp);
+    add_child(ref, n, key_at(k, depth), tag_leaf(leaf, kfp));
     count_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
 
   // ---- remove / shrink ---------------------------------------------------
-  Leaf* remove_rec(std::atomic<Node*>& ref, Key k, uint32_t depth)
-      REQUIRES_EBR_PIN {
+  Leaf* remove_rec(std::atomic<Node*>& ref, Key k, uint32_t depth,
+                   uint8_t kfp) REQUIRES_EBR_PIN {
     Node* n = ref.load(std::memory_order_relaxed);
     if (n == nullptr) return nullptr;
     if (is_leaf(n)) {
+      if (!fp_check(n, kfp)) return nullptr;
       Leaf* l = as_leaf(n);
       if (!leaf_matches(l, k)) return nullptr;
       ref.store(nullptr, std::memory_order_release);
@@ -769,13 +881,14 @@ class Tree {
     if (child == nullptr) return nullptr;
     Node* c = child->load(std::memory_order_relaxed);
     if (is_leaf(c)) {
+      if (!fp_check(c, kfp)) return nullptr;
       Leaf* l = as_leaf(c);
       if (!leaf_matches(l, k)) return nullptr;
       remove_child(ref, n, byte);
       count_.fetch_sub(1, std::memory_order_relaxed);
       return l;
     }
-    return remove_rec(*child, k, depth + 1);
+    return remove_rec(*child, k, depth + 1, kfp);
   }
 
   /// Remove the child under `byte`. In place (seqlocked) normally; at the
@@ -938,11 +1051,15 @@ class Tree {
   /// retired between the two reads forces a restart instead of a stale
   /// answer). ok == false: torn, caller retries.
   SearchResult search_attempt(Key k) const {
+    const uint8_t kfp = fp_guard_ ? key_fingerprint(k) : uint8_t{0};
     Node* n = root_.load(std::memory_order_acquire);
     if (n == nullptr) return {nullptr, true};
     if (is_leaf(n)) {
+      if (!fp_check(n, kfp)) return {nullptr, true};
       Leaf* l = as_leaf(n);
-      return {leaf_matches(l, k) ? l : nullptr, true};
+      if (leaf_matches(l, k)) return {l, true};
+      if (fp_guard_) detail::fp_false_positive_counter().inc();
+      return {nullptr, true};
     }
     uint64_t v;
     if (!detail::read_begin(n, &v)) return {nullptr, false};
@@ -962,8 +1079,14 @@ class Tree {
       if (mismatch || child == nullptr) return {nullptr, true};
       depth += plen + 1;
       if (is_leaf(child)) {
+        // The parent validated above, so `child` is a consistent read; the
+        // fingerprint decides off the pointer bits alone — a guarded miss
+        // never dereferences the leaf (no PM key read).
+        if (!fp_check(child, kfp)) return {nullptr, true};
         Leaf* l = as_leaf(child);
-        return {leaf_matches(l, k) ? l : nullptr, true};
+        if (leaf_matches(l, k)) return {l, true};
+        if (fp_guard_) detail::fp_false_positive_counter().inc();
+        return {nullptr, true};
       }
       uint64_t vc;
       if (!detail::read_begin(child, &vc)) return {nullptr, false};
@@ -1036,6 +1159,7 @@ class Tree {
   Traits traits_;
   std::atomic<uint64_t>* dram_bytes_;
   common::ebr::Domain* ebr_;
+  bool fp_guard_;
   std::atomic<Node*> root_{nullptr};
   std::atomic<size_t> count_{0};
 };

@@ -1,0 +1,140 @@
+// Counting Bloom filter for the shard GET/MGET fast path.
+//
+// A plain bit-array Bloom filter cannot support deletes (clearing a bit
+// can create a false NEGATIVE for another key), and the shard workload
+// deletes keys. This filter therefore stores 4-bit saturating counters,
+// two per byte:
+//
+//   * add       increments each of the k counters (saturating at 15);
+//   * remove    decrements counters that are < 15 — a saturated counter
+//     is sticky forever, trading a slightly higher false-positive rate
+//     for the no-false-negative guarantee even after counter overflow;
+//   * may_contain is true iff all k counters are nonzero.
+//
+// Contract: remove() only for keys previously add()ed (the shard enforces
+// this by mutating the filter on the Hart's kInserted / delete-kOk status
+// codes only). Under that contract the filter NEVER reports a false
+// negative: every live key's counters are >= 1.
+//
+// Thread safety: add/remove CAS their counter nibbles; may_contain is a
+// relaxed read. The dispatcher may probe concurrently with a shard worker
+// mutating — a probe racing the insert of the same key is benign because
+// the dispatcher only short-circuits NEGATIVE lookups, and an in-flight
+// (unacked) insert may legitimately be reported either way.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace hart::common {
+
+class CountingBloom {
+ public:
+  /// Sizes the filter at `expected_keys * bits_per_key` counters (4 bits
+  /// each, so DRAM cost is expected_keys * bits_per_key / 2 bytes). The
+  /// hash count k is the textbook optimum ln2 * bits_per_key, clamped to
+  /// [1, 16].
+  CountingBloom(size_t expected_keys, size_t bits_per_key)
+      : cells_(std::max<size_t>(expected_keys, 1) *
+               std::max<size_t>(bits_per_key, 1)),
+        k_(hash_count(bits_per_key)),
+        bytes_((cells_ + 1) / 2) {}
+
+  CountingBloom(const CountingBloom&) = delete;
+  CountingBloom& operator=(const CountingBloom&) = delete;
+
+  void add(std::string_view key) {
+    uint64_t h1 = 0;
+    uint64_t h2 = 0;
+    seed(key, &h1, &h2);
+    for (unsigned i = 0; i < k_; ++i)
+      bump(slot(h1, h2, i), +1);
+  }
+
+  /// Only for keys previously add()ed (see the contract above).
+  void remove(std::string_view key) {
+    uint64_t h1 = 0;
+    uint64_t h2 = 0;
+    seed(key, &h1, &h2);
+    for (unsigned i = 0; i < k_; ++i)
+      bump(slot(h1, h2, i), -1);
+  }
+
+  /// False means definitively absent (no false negatives under the
+  /// contract); true means "probably present".
+  [[nodiscard]] bool may_contain(std::string_view key) const {
+    uint64_t h1 = 0;
+    uint64_t h2 = 0;
+    seed(key, &h1, &h2);
+    for (unsigned i = 0; i < k_; ++i)
+      if (counter(slot(h1, h2, i)) == 0) return false;
+    return true;
+  }
+
+  [[nodiscard]] size_t counter_count() const { return cells_; }
+  [[nodiscard]] unsigned hashes() const { return k_; }
+  [[nodiscard]] size_t memory_bytes() const {
+    return bytes_.size() * sizeof(bytes_[0]);
+  }
+
+ private:
+  static unsigned hash_count(size_t bits_per_key) {
+    const double k = std::round(0.693 * static_cast<double>(bits_per_key));
+    if (k < 1.0) return 1;
+    if (k > 16.0) return 16;
+    return static_cast<unsigned>(k);
+  }
+
+  /// FNV-1a 64 for h1; a splitmix64 finalizer (forced odd) for the double
+  /// hashing step h1 + i*h2 — k well-spread slots from one key pass.
+  static void seed(std::string_view key, uint64_t* h1, uint64_t* h2) {
+    uint64_t h = 1469598103934665603ULL;
+    for (const char c : key) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 1099511628211ULL;
+    }
+    *h1 = h;
+    h += 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    *h2 = (h ^ (h >> 31)) | 1;
+  }
+
+  [[nodiscard]] size_t slot(uint64_t h1, uint64_t h2, unsigned i) const {
+    return static_cast<size_t>((h1 + i * h2) % cells_);
+  }
+
+  [[nodiscard]] uint8_t counter(size_t s) const {
+    const uint8_t b = bytes_[s / 2].load(std::memory_order_relaxed);
+    return (s & 1) != 0 ? b >> 4 : b & 0x0F;
+  }
+
+  /// CAS one nibble up or down. Saturated (15) counters are sticky: never
+  /// incremented past, never decremented from — overflow degrades the
+  /// false-positive rate, never correctness.
+  void bump(size_t s, int delta) {
+    std::atomic<uint8_t>& cell = bytes_[s / 2];
+    const unsigned shift = (s & 1) != 0 ? 4 : 0;
+    uint8_t cur = cell.load(std::memory_order_relaxed);
+    for (;;) {
+      const uint8_t nib = (cur >> shift) & 0x0F;
+      if (nib == 15) return;  // sticky
+      if (delta < 0 && nib == 0) return;  // contract violated; stay safe
+      const auto next = static_cast<uint8_t>(
+          (cur & ~(0x0Fu << shift)) |
+          (static_cast<unsigned>(nib + delta) << shift));
+      if (cell.compare_exchange_weak(cur, next, std::memory_order_relaxed))
+        return;
+    }
+  }
+
+  size_t cells_;
+  unsigned k_;
+  std::vector<std::atomic<uint8_t>> bytes_;
+};
+
+}  // namespace hart::common

@@ -78,7 +78,8 @@ Hart::Hart(pmem::Arena& arena, Options opts)
       dir_(opts_.hash_buckets,
            HartLeafTraits{opts_.hash_key_len, &arena},
            &dram_bytes_,
-           opts_.rwlock_reads ? nullptr : &common::ebr::Domain::instance()) {
+           opts_.rwlock_reads ? nullptr : &common::ebr::Domain::instance(),
+           opts_.fingerprints) {
   if (root_->magic == kHartMagic) {
     recover();
   } else {
@@ -151,7 +152,10 @@ common::Status Hart::insert(std::string_view key, std::string_view value) {
   auto* leaf = arena_.ptr<HartLeaf>(leaf_off);
   leaf->val_len = static_cast<uint8_t>(value.size());
   leaf->val_class = value_class_tag(vcls);
-  leaf->pad0 = 0;
+  // The ART-key fingerprint persists with the rest of the tail below —
+  // key_fp sits inside the [val_len, end) range, so it costs no extra
+  // trace_store/persist. Recovery re-tags the DRAM tree from it.
+  leaf->key_fp = art::key_fingerprint(akey);
   leaf->vseq = 0;  // even: no update in flight (reused slots hold garbage)
   leaf->p_value = val_off;
   arena_.trace_store(&leaf->val_len,
@@ -646,6 +650,16 @@ void Hart::recover(unsigned threads) {
     common::ebr::Guard ebr_pin(common::ebr::Domain::instance());
     auto* leaf = arena_.ptr<HartLeaf>(leaf_off);
     assert(ep_.bit_is_set(value_class_of(leaf), leaf->p_value));
+    // Fingerprint fix-up: the DRAM-side tag is re-derived from the key
+    // bytes by tree.insert below; the persisted copy is repaired here when
+    // a legacy image (key_fp == 0) or corruption disagrees. Each leaf is
+    // visited by exactly one recovery worker, so the plain store is safe.
+    const uint8_t want_fp = art::key_fingerprint(traits.key(leaf));
+    if (leaf->key_fp != want_fp) {
+      leaf->key_fp = want_fp;
+      arena_.trace_store(&leaf->key_fp, sizeof(leaf->key_fp));
+      arena_.persist(&leaf->key_fp, sizeof(leaf->key_fp));
+    }
     const uint64_t hkey = pack_hash_key(
         std::string_view(leaf->key, leaf->key_len), opts_.hash_key_len);
     HashDir::Partition* part = dir_.find_or_create(hkey);

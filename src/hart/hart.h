@@ -53,6 +53,13 @@ class Hart final : public common::Index {
     /// path. Reads then never retry, but serialize against writers; node
     /// and slot frees become eager (no EBR deferral).
     bool rwlock_reads = false;
+    /// One-byte key fingerprints (FPTree-style) in every tagged leaf
+    /// pointer, checked before the leaf's PM key bytes are read — misses
+    /// and hash-collision probes skip PM entirely. The persisted copy
+    /// lives in HartLeaf::key_fp (written with the leaf tail, no extra
+    /// flush); recovery rebuilds the DRAM tags from the key bytes. Off is
+    /// the ablation baseline.
+    bool fingerprints = true;
   };
 
   /// Opens a HART on `arena`. A fresh arena is initialized; an arena whose
@@ -114,6 +121,18 @@ class Hart final : public common::Index {
   /// (and any later operation observes all of them). Used by the service
   /// layer's graceful shutdown before closing the arena.
   void quiesce();
+
+  /// Enumerate the full key of every live leaf straight from the
+  /// EPallocator's chunk lists (no tree descent; unordered). Used by the
+  /// service layer to rebuild per-shard Bloom filters after recovery.
+  /// Requires quiescence (no concurrent writers), same as recover().
+  template <class F>
+  void for_each_key(F&& fn) const {
+    ep_.for_each_live(epalloc::ObjType::kLeaf, [&](uint64_t off) {
+      const auto* leaf = arena_.ptr<HartLeaf>(off);
+      fn(std::string_view(leaf->key, leaf->key_len));
+    });
+  }
 
   [[nodiscard]] uint32_t hash_key_len() const { return opts_.hash_key_len; }
   [[nodiscard]] size_t partition_count() const {

@@ -67,8 +67,8 @@ class HashDir {
   struct Partition {
     Partition(uint64_t hk, HartLeafTraits traits,
               std::atomic<uint64_t>* dram_bytes,
-              common::ebr::Domain* ebr = nullptr)
-        : hkey(hk), tree(traits, dram_bytes, ebr) {}
+              common::ebr::Domain* ebr = nullptr, bool fp_guard = false)
+        : hkey(hk), tree(traits, dram_bytes, ebr, fp_guard) {}
     const uint64_t hkey;
     mutable common::SharedMutex mu;  // the per-ART writer (and fallback) lock
     // Deliberately not GUARDED_BY(mu): optimistic readers traverse the tree
@@ -83,12 +83,15 @@ class HashDir {
     std::atomic<Partition*> next{nullptr};
   };
 
+  /// `fp_guard` is forwarded to every partition ART (fingerprint-tagged
+  /// leaf pointers; see art::Tree).
   HashDir(size_t bucket_count_pow2, HartLeafTraits traits,
           std::atomic<uint64_t>* dram_bytes,
-          common::ebr::Domain* ebr = nullptr)
+          common::ebr::Domain* ebr = nullptr, bool fp_guard = false)
       : traits_(traits),
         dram_bytes_(dram_bytes),
         ebr_(ebr),
+        fp_guard_(fp_guard),
         mask_(bucket_count_pow2 - 1),
         buckets_(bucket_count_pow2) {
     if (dram_bytes_ != nullptr)
@@ -122,7 +125,9 @@ class HashDir {
          q = q->next.load(std::memory_order_acquire))
       if (q->hkey == hkey) return q;
 
-    auto owned = std::make_unique<Partition>(hkey, traits_, dram_bytes_, ebr_);
+    auto owned =
+        std::make_unique<Partition>(hkey, traits_, dram_bytes_, ebr_,
+                                    fp_guard_);
     Partition* fresh = owned.get();
     for (;;) {
       fresh->next.store(p, std::memory_order_relaxed);
@@ -202,6 +207,7 @@ class HashDir {
   HartLeafTraits traits_;
   std::atomic<uint64_t>* dram_bytes_;
   common::ebr::Domain* ebr_;
+  const bool fp_guard_;
   const size_t mask_;
   std::vector<std::atomic<Partition*>> buckets_;
   mutable common::SharedMutex sorted_mu_;

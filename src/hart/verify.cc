@@ -151,11 +151,27 @@ VerifyReport verify_hart_image(const pmem::Arena& arena) {
       const bool live = (bm >> i) & 1;
       if (live) {
         ++report.live_leaves;
-        if (leaf->key_len == 0 || leaf->key_len > common::kMaxKeyLen)
+        if (leaf->key_len == 0 || leaf->key_len > common::kMaxKeyLen) {
           ctx.error("leaf " + hex(leaf_off) + ": bad key length " +
                     std::to_string(leaf->key_len));
-        else if (std::memchr(leaf->key, 0, leaf->key_len) != nullptr)
+        } else if (std::memchr(leaf->key, 0, leaf->key_len) != nullptr) {
           ctx.error("leaf " + hex(leaf_off) + ": key contains NUL");
+        } else if (leaf->key_fp != 0) {
+          // V3 (fingerprint): a nonzero persisted fingerprint must match
+          // the one derived from the key bytes after the hash prefix
+          // (0 = legacy/unset image, repaired lazily by recovery).
+          const uint32_t kh = root->hash_key_len < leaf->key_len
+                                  ? root->hash_key_len
+                                  : leaf->key_len;
+          const art::Key ak{
+              reinterpret_cast<const uint8_t*>(leaf->key) + kh,
+              static_cast<size_t>(leaf->key_len - kh)};
+          if (leaf->key_fp != art::key_fingerprint(ak))
+            ctx.error("leaf " + hex(leaf_off) +
+                      ": key fingerprint mismatch (stored " +
+                      std::to_string(leaf->key_fp) + ", derived " +
+                      std::to_string(art::key_fingerprint(ak)) + ")");
+        }
         if (leaf->val_class > 3) {
           ctx.error("leaf " + hex(leaf_off) + ": bad value class " +
                     std::to_string(leaf->val_class));

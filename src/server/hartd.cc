@@ -9,10 +9,28 @@
 #include <utility>
 
 #include "common/annotations.h"
+#include "obs/counters.h"
 #include "obs/trace.h"
 #include "server/stats.h"
 
 namespace hart::server {
+
+namespace {
+/// HARTscope: GET/MGET lookups answered kNotFound straight from a shard's
+/// Bloom filter — the key never reached the Hart (or a queue).
+obs::Counter& bloom_negative_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("hartd_bloom_negative_total");
+  return c;
+}
+/// HARTscope: Bloom said "maybe" but the Hart said kNotFound (the filter's
+/// false-positive tally; negatives / (negatives + fp) = filter hit rate).
+obs::Counter& bloom_fp_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("hartd_bloom_fp_total");
+  return c;
+}
+}  // namespace
 
 Hartd::Hartd(const Options& opts)
     : opts_(opts),
@@ -44,6 +62,8 @@ Hartd::Hartd(const Options& opts)
         so.index = i;
         so.batch_size = opts_.batch_size;
         so.queue_capacity = opts_.queue_capacity;
+        so.bloom_bits_per_key = opts_.bloom_bits_per_key;
+        so.bloom_expected_keys = opts_.bloom_expected_keys;
         so.hart = opts_.hart;
         so.arena.size = opts_.arena_mb << 20;  // 0 -> HART_ARENA_MB default
         so.arena.latency = opts_.latency;
@@ -176,6 +196,16 @@ bool Hartd::submit(Request req, Shard::Ack ack) {
     if (ack) ack(Response{Status::kNotPrimary, {}, 0});
     return true;
   }
+  // Bloom short-circuit for queued GETs (the kGet fast path is off — the
+  // rwlock-reads ablation): a definitive miss is answered here without
+  // ever entering the shard queue. Consistent with the fast path above,
+  // which also serves reads ahead of queued unacked writes.
+  if (req.op == OpCode::kGet &&
+      !shards_[shard_of(req.key)]->bloom_may_contain(req.key)) {
+    bloom_negative_counter().inc();
+    if (ack) ack(Response{Status::kNotFound, {}, 0});
+    return true;
+  }
   Shard& s = *shards_[shard_of(req.key)];
   if (!s.submit(std::move(req), ack)) {
     if (ack) ack(Response{Status::kShuttingDown, {}, 0});
@@ -222,7 +252,16 @@ Response Hartd::serve_get(const Request& req) {
     r.status = Status::kShardFailed;
     return r;
   }
+  // Bloom guard: a definitive miss never descends into the Hart at all.
+  if (!s.bloom_may_contain(req.key)) {
+    bloom_negative_counter().inc();
+    r.status = Status::kNotFound;
+    fastpath_reads_.fetch_add(1, std::memory_order_relaxed);
+    return r;
+  }
   r.status = wire_status(s.hart().search(req.key, &r.value));
+  if (r.status == Status::kNotFound && s.has_bloom())
+    bloom_fp_counter().inc();
   fastpath_reads_.fetch_add(1, std::memory_order_relaxed);
   return r;
 }
@@ -239,8 +278,17 @@ Response Hartd::serve_mget(const Request& req) {
   std::vector<bool> found(n, false);
   // Group request slots by shard so each shard's keys are served with a
   // single Hart::multi_get (one EBR guard, partition-grouped probing).
+  // Bloom-filtered keys never join a group: found[i] stays false and the
+  // shard is not probed for them.
   std::vector<std::vector<size_t>> groups(shards_.size());
-  for (size_t i = 0; i < n; ++i) groups[shard_of(keys[i])].push_back(i);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t si = shard_of(keys[i]);
+    if (!shards_[si]->bloom_may_contain(keys[i])) {
+      bloom_negative_counter().inc();
+      continue;
+    }
+    groups[si].push_back(i);
+  }
   std::vector<std::string> gkeys;
   std::vector<std::string> gvals;
   std::vector<bool> gfound;
@@ -256,6 +304,7 @@ Response Hartd::serve_mget(const Request& req) {
     for (size_t j = 0; j < groups[si].size(); ++j) {
       vals[groups[si][j]] = std::move(gvals[j]);
       found[groups[si][j]] = gfound[j];
+      if (!gfound[j] && shards_[si]->has_bloom()) bloom_fp_counter().inc();
     }
   }
   r.status = encode_mget_result(vals, found, &r.value) ? Status::kOk

@@ -64,6 +64,13 @@ class Hartd {
     size_t repl_log_batches = 4096;
     /// Max unconfirmed wire batches in flight per follower link.
     size_t repl_window = 64;
+    /// Per-shard counting Bloom filter consulted by the dispatcher before
+    /// a GET/MGET touches the shard (short-circuits definitive misses;
+    /// rebuilt from the recovered keys on restart). 0 = off; 10 is a
+    /// reasonable on value (~0.8% false positives).
+    size_t bloom_bits_per_key = 0;
+    /// Per-shard key capacity the filter is sized for.
+    size_t bloom_expected_keys = size_t{1} << 20;
     core::Hart::Options hart;
   };
 

@@ -28,6 +28,15 @@ Shard::Shard(const Options& opts)
       arena_(std::make_unique<pmem::Arena>(opts.arena)),
       hart_(std::make_unique<core::Hart>(*arena_, opts.hart)),
       queue_(opts.queue_capacity) {
+  if (opts.bloom_bits_per_key > 0) {
+    // Rebuild-on-recovery: size for the larger of the configured capacity
+    // and what the (possibly recovered) Hart already holds, then seed the
+    // filter from the live leaf list — all before the worker can serve.
+    bloom_ = std::make_unique<common::CountingBloom>(
+        std::max(opts.bloom_expected_keys, hart_->size()),
+        opts.bloom_bits_per_key);
+    hart_->for_each_key([this](std::string_view k) { bloom_->add(k); });
+  }
   worker_ = std::thread([this] { worker(); });
 }
 
@@ -55,6 +64,10 @@ void Shard::apply(Pending* p) {
       r.status = wire_status(s);
       p->fence =
           s.code() == common::Status::kInserted || s.code() == common::Status::kUpdated;
+      // Bloom add only on a FRESH key: add/remove must stay balanced for
+      // the counting filter's no-false-negative contract.
+      if (bloom_ != nullptr && s.code() == common::Status::kInserted)
+        bloom_->add(p->req.key);
       break;
     }
     case OpCode::kGet:
@@ -70,6 +83,8 @@ void Shard::apply(Pending* p) {
       const common::Status s = hart_->remove(p->req.key);
       r.status = wire_status(s);
       p->fence = s.code() == common::Status::kOk;
+      if (bloom_ != nullptr && s.code() == common::Status::kOk)
+        bloom_->remove(p->req.key);
       break;
     }
     case OpCode::kPing:

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "common/annotations.h"
+#include "common/bloom.h"
 #include "common/histogram.h"
 #include "hart/hart.h"
 #include "pmem/arena.h"
@@ -111,6 +112,13 @@ class Shard {
     /// firing the batch's write acks — the quorum ack policy.
     BatchSink batch_sink;
     bool defer_write_acks = false;
+    /// Counting Bloom filter in front of the Hart for dispatcher-side
+    /// negative-lookup short-circuit (0 = off). DRAM cost is about
+    /// expected_keys * bits_per_key / 2 bytes per shard.
+    size_t bloom_bits_per_key = 0;
+    /// Keys the filter is sized for; grown to the recovered key count when
+    /// an existing arena holds more.
+    size_t bloom_expected_keys = size_t{1} << 20;
   };
 
   /// Opens the arena (recovering an existing file-backed HART) and starts
@@ -145,6 +153,14 @@ class Shard {
   }
   [[nodiscard]] size_t index() const { return opts_.index; }
 
+  /// Dispatcher fast path: false means the key is definitively absent
+  /// (the GET can be answered kNotFound without enqueueing; no false
+  /// negatives — see common::CountingBloom). Always true with no filter.
+  [[nodiscard]] bool bloom_may_contain(std::string_view key) const {
+    return bloom_ == nullptr || bloom_->may_contain(key);
+  }
+  [[nodiscard]] bool has_bloom() const { return bloom_ != nullptr; }
+
  private:
   struct Pending {
     Request req;
@@ -159,6 +175,9 @@ class Shard {
   Options opts_;
   std::unique_ptr<pmem::Arena> arena_;
   std::unique_ptr<core::Hart> hart_;
+  // Built (and recovery-rebuilt) in the constructor before worker_ starts;
+  // mutated only by the worker (apply), probed lock-free by dispatchers.
+  std::unique_ptr<common::CountingBloom> bloom_;
   MpscQueue<Pending> queue_;
   std::atomic<bool> failed_{false};
   std::atomic<bool> down_{false};

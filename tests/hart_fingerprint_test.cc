@@ -1,0 +1,217 @@
+// Fingerprint-guard tests (Hart::Options::fingerprints): the one-byte key
+// fingerprint rides in the tagged leaf pointer (DRAM) and HartLeaf::key_fp
+// (PM). The guard must (a) never produce a false negative — a colliding
+// fingerprint still resolves through the full key compare; (b) actually
+// skip the PM key read on guarded misses; (c) survive a restart, with
+// recovery repairing any corrupted persisted copy.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "art/art_tree.h"
+#include "common/rng.h"
+#include "hart/hart.h"
+#include "hart/hart_leaf.h"
+#include "hart/verify.h"
+#include "obs/counters.h"
+
+namespace hart::core {
+namespace {
+
+art::Key suffix_key(const std::string& key, uint32_t kh) {
+  const size_t skip = kh < key.size() ? kh : key.size();
+  return {reinterpret_cast<const uint8_t*>(key.data()) + skip,
+          key.size() - skip};
+}
+
+/// Random NUL-free keys, 5..20 bytes, all distinct.
+std::vector<std::string> random_keys(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::set<std::string> out;
+  while (out.size() < n) {
+    std::string key(5 + rng.next() % 16, '\0');
+    for (auto& c : key) c = static_cast<char>('!' + rng.next() % 94);
+    out.insert(std::move(key));
+  }
+  return {out.begin(), out.end()};
+}
+
+pmem::Arena::Options small_arena() {
+  pmem::Arena::Options o;
+  o.size = 32 << 20;
+  return o;
+}
+
+TEST(HartFingerprint, FingerprintIsNeverZero) {
+  // 0 is the "no fingerprint" sentinel in both the tagged pointer and the
+  // persisted byte; the derivation must never collide with it.
+  for (const auto& key : random_keys(5000, 17))
+    EXPECT_NE(art::key_fingerprint(suffix_key(key, 0)), 0) << key;
+  EXPECT_NE(art::key_fingerprint(art::Key{}), 0) << "empty suffix";
+}
+
+TEST(HartFingerprint, PersistedFingerprintsMatchDerivation) {
+  pmem::Arena arena(small_arena());
+  Hart h(arena);
+  const auto keys = random_keys(500, 3);
+  for (const auto& key : keys) ASSERT_TRUE(h.insert(key, "v").ok());
+  size_t seen = 0;
+  h.allocator().for_each_live(epalloc::ObjType::kLeaf, [&](uint64_t off) {
+    const auto* leaf = arena.ptr<HartLeaf>(off);
+    const std::string key(leaf->key, leaf->key_len);
+    EXPECT_EQ(leaf->key_fp,
+              art::key_fingerprint(suffix_key(key, h.hash_key_len())))
+        << key;
+    ++seen;
+  });
+  EXPECT_EQ(seen, keys.size());
+  EXPECT_TRUE(verify_hart_image(arena).ok());
+}
+
+TEST(HartFingerprint, CollidingFingerprintResolvesViaFullCompare) {
+  pmem::Arena arena(small_arena());
+  Hart h(arena);
+  // Brute-force a pair of distinct keys in the same partition (same first
+  // kh bytes) whose ART-suffix fingerprints collide: the guard passes, and
+  // only the full key compare may reject.
+  const std::string base = "PPcollision-base";
+  const uint8_t want = art::key_fingerprint(suffix_key(base, 2));
+  std::string twin;
+  for (uint64_t i = 0; twin.empty(); ++i) {
+    std::string cand = "PPtwin-" + std::to_string(i);
+    if (art::key_fingerprint(suffix_key(cand, 2)) == want) twin = cand;
+  }
+  ASSERT_TRUE(h.insert(base, "base-value").ok());
+
+  auto& fp_counter =
+      obs::Registry::instance().counter("hart_fp_false_positive_total");
+  const uint64_t fps_before = fp_counter.value();
+  std::string v;
+  EXPECT_EQ(h.search(twin, &v).code(), common::Status::kNotFound);
+  EXPECT_GE(fp_counter.value(), fps_before + 1)
+      << "a colliding-fp miss is exactly the guard's false positive";
+
+  ASSERT_TRUE(h.insert(twin, "twin-value").ok());
+  ASSERT_TRUE(h.search(base, &v).ok());
+  EXPECT_EQ(v, "base-value");
+  ASSERT_TRUE(h.search(twin, &v).ok());
+  EXPECT_EQ(v, "twin-value");
+}
+
+TEST(HartFingerprint, GuardSkipsPmKeyReadsOnMisses) {
+  // Misses whose fingerprint differs from the resident leaf's must not
+  // touch the PM key bytes at all; the unguarded tree reads them on every
+  // miss to run the full compare.
+  const std::string live = "QQresident-key";
+  std::vector<std::string> probes;
+  const uint8_t live_fp = art::key_fingerprint(suffix_key(live, 2));
+  for (uint64_t i = 0; probes.size() < 200; ++i) {
+    std::string cand = "QQprobe-" + std::to_string(i);
+    if (art::key_fingerprint(suffix_key(cand, 2)) != live_fp)
+      probes.push_back(std::move(cand));
+  }
+
+  auto miss_read_lines = [&](bool fingerprints) {
+    pmem::Arena arena(small_arena());
+    Hart::Options o;
+    o.fingerprints = fingerprints;
+    Hart h(arena, o);
+    EXPECT_TRUE(h.insert(live, "v").ok());
+    const uint64_t before =
+        arena.stats().pm_read_lines.load(std::memory_order_relaxed);
+    std::string v;
+    for (const auto& p : probes)
+      EXPECT_EQ(h.search(p, &v).code(), common::Status::kNotFound);
+    return arena.stats().pm_read_lines.load(std::memory_order_relaxed) -
+           before;
+  };
+
+  auto& skips =
+      obs::Registry::instance().counter("hart_fp_skip_total");
+  const uint64_t skips_before = skips.value();
+  const uint64_t guarded = miss_read_lines(true);
+  const uint64_t unguarded = miss_read_lines(false);
+  EXPECT_EQ(guarded, 0u) << "guarded misses must skip PM entirely";
+  EXPECT_GT(unguarded, 0u) << "unguarded misses pay the PM key read";
+  EXPECT_GE(skips.value() - skips_before, probes.size());
+}
+
+TEST(HartFingerprint, OnOffParityOverMixedOps) {
+  pmem::Arena a_on(small_arena());
+  pmem::Arena a_off(small_arena());
+  Hart::Options on;
+  Hart::Options off;
+  off.fingerprints = false;
+  Hart h_on(a_on, on);
+  Hart h_off(a_off, off);
+  const auto keys = random_keys(800, 11);
+  common::Rng rng(29);
+  for (int step = 0; step < 4000; ++step) {
+    const auto& key = keys[rng.next() % keys.size()];
+    switch (rng.next() % 3) {
+      case 0:
+        EXPECT_EQ(h_on.insert(key, "v").code(),
+                  h_off.insert(key, "v").code());
+        break;
+      case 1: {
+        std::string v1, v2;
+        EXPECT_EQ(h_on.search(key, &v1).code(),
+                  h_off.search(key, &v2).code())
+            << key;
+        EXPECT_EQ(v1, v2);
+        break;
+      }
+      default:
+        EXPECT_EQ(h_on.remove(key).code(), h_off.remove(key).code());
+        break;
+    }
+  }
+  EXPECT_EQ(h_on.size(), h_off.size());
+}
+
+TEST(HartFingerprint, RestartPreservesAndRecoveryRepairsFingerprints) {
+  const std::string path = testing::TempDir() + "hart_fp_restart.arena";
+  std::filesystem::remove(path);
+  auto file_arena = [&] {
+    pmem::Arena::Options o;
+    o.size = 32 << 20;
+    o.file_path = path;
+    return o;
+  };
+  const auto keys = random_keys(200, 23);
+  {
+    pmem::Arena arena(file_arena());
+    Hart h(arena);
+    for (const auto& key : keys) ASSERT_TRUE(h.insert(key, "v").ok());
+    h.flush_epoch();
+  }
+  pmem::Arena arena(file_arena());
+  ASSERT_TRUE(arena.reopened());
+  Hart h(arena);  // recovery
+  std::string v;
+  for (const auto& key : keys) ASSERT_TRUE(h.search(key, &v).ok());
+
+  // Corrupt one persisted fingerprint to a wrong nonzero value: the
+  // verifier must flag it, and a recovery pass must repair it.
+  uint64_t victim = 0;
+  h.allocator().for_each_live(epalloc::ObjType::kLeaf,
+                              [&](uint64_t off) { victim = off; });
+  ASSERT_NE(victim, 0u);
+  auto* leaf = arena.ptr<HartLeaf>(victim);
+  const uint8_t good = leaf->key_fp;
+  uint8_t bad = good ^ 0x5A;
+  if (bad == 0) bad = 0xA5;
+  leaf->key_fp = bad;
+  EXPECT_FALSE(verify_hart_image(arena).ok());
+
+  h.recover();
+  EXPECT_EQ(leaf->key_fp, good);
+  EXPECT_TRUE(verify_hart_image(arena).ok());
+  for (const auto& key : keys) ASSERT_TRUE(h.search(key, &v).ok());
+}
+
+}  // namespace
+}  // namespace hart::core

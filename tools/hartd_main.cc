@@ -34,6 +34,10 @@ void usage(const char* argv0) {
       "  --latency W/R   PM write/read latency ns (e.g. 300/100; default off)\n"
       "  --spin-latency  busy-wait injected latency inside each persist\n"
       "                  (default: bank it, pay per batch with a sleep)\n"
+      "  --bloom-bits-per-key N  per-shard counting Bloom filter in front\n"
+      "                  of the Hart: the dispatcher answers definitively-\n"
+      "                  absent GET/MGET keys without touching the shard\n"
+      "                  (10 is reasonable, ~0.8%% false positives; 0 = off)\n"
       "  --rwlock-reads  ablation: the paper's shared-lock read path\n"
       "                  instead of lock-free optimistic reads (GETs then\n"
       "                  queue behind shard writes again)\n"
@@ -110,6 +114,9 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--spin-latency") {
       opts.defer_latency = false;
+    } else if (a == "--bloom-bits-per-key") {
+      opts.bloom_bits_per_key =
+          std::strtoull(need("--bloom-bits-per-key"), nullptr, 10);
     } else if (a == "--rwlock-reads") {
       opts.hart.rwlock_reads = true;
     } else if (a == "--check") {

@@ -50,6 +50,18 @@ void forget_persist_pointer_arith(pmem::Arena& a, uint64_t off,
   std::memcpy(dst2, src, 32);
 }
 
+// PL001 on a fingerprint sidecar: rebuilding a per-leaf fingerprint array
+// in PM without flushing it — after a crash the guards silently disagree
+// with the keys and every lookup through them is a wrong-answer, not a
+// slow-answer. (The real HART keeps the persisted fingerprint inside the
+// leaf's already-persisted tail range; see DESIGN.md §10.)
+void rebuild_fingerprints_unpersisted(pmem::Arena& a, uint64_t off,
+                                      const unsigned char* fps, size_t n) {
+  auto* fp_array = a.ptr<unsigned char>(off);
+  std::memset(fp_array, 0, n);
+  std::memcpy(fp_array, fps, n);
+}
+
 // PL003: 96 bytes from a field address with no alignment guarantee — the
 // range straddles cache lines and costs an extra CLFLUSH per call.
 void misaligned_persist(pmem::Arena& a, BadNode* n) {
