@@ -295,11 +295,14 @@ inline double run_basic_op(TreeKind kind, const pmem::LatencyConfig& lat,
 /// (figure,workload,latency,tree,us_per_op) alongside the tables. When a
 /// populated histogram is supplied (--percentiles), three extra columns
 /// p50_us,p95_us,p99_us follow — the first five columns never move, so
-/// existing scripts keep parsing.
+/// existing scripts keep parsing. `extra` is appended verbatim after
+/// everything else (the service benches use it for stage-latency
+/// columns); it must start with ',' when non-empty.
 inline void csv_row(const char* fig, const std::string& workload,
                     const std::string& latency, const char* tree,
                     double us_per_op,
-                    const common::LatencyHistogram* hist = nullptr) {
+                    const common::LatencyHistogram* hist = nullptr,
+                    const std::string& extra = {}) {
   const char* path = std::getenv("HART_BENCH_CSV");
   if (path == nullptr) return;
   if (FILE* f = std::fopen(path, "a"); f != nullptr) {
@@ -312,6 +315,7 @@ inline void csv_row(const char* fig, const std::string& workload,
                    static_cast<double>(p.p95_ns) / 1000.0,
                    static_cast<double>(p.p99_ns) / 1000.0);
     }
+    if (!extra.empty()) std::fputs(extra.c_str(), f);
     std::fprintf(f, "\n");
     std::fclose(f);
   }

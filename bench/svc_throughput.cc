@@ -33,7 +33,28 @@ struct SvcResult {
   uint64_t batches = 0;
   uint64_t epochs = 0;
   uint64_t acks = 0;
+  // Server-side stage attribution, merged across shards.
+  hart::common::LatencyHistogram queue_wait;
+  hart::common::LatencyHistogram batch_residency;
+  hart::common::LatencyHistogram fence_wait;
 };
+
+/// Stage-latency CSV columns (queue/residency/fence p50+p99, in µs),
+/// appended after the stable columns via csv_row's `extra` parameter.
+std::string stage_csv(const SvcResult& r) {
+  const auto q = r.queue_wait.percentiles();
+  const auto b = r.batch_residency.percentiles();
+  const auto f = r.fence_wait.percentiles();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), ",%.3f,%.3f,%.3f,%.3f,%.3f,%.3f",
+                static_cast<double>(q.p50_ns) / 1e3,
+                static_cast<double>(q.p99_ns) / 1e3,
+                static_cast<double>(b.p50_ns) / 1e3,
+                static_cast<double>(b.p99_ns) / 1e3,
+                static_cast<double>(f.p50_ns) / 1e3,
+                static_cast<double>(f.p99_ns) / 1e3);
+  return buf;
+}
 
 size_t svc_ops() { return env_size("HART_SVC_OPS", 20000); }       // per client
 size_t svc_clients() { return env_size("HART_SVC_CLIENTS", 4); }
@@ -83,6 +104,10 @@ SvcResult run_service(size_t shards, size_t batch,
     r.batches += st.batches.load();
     r.epochs += st.epochs.load();
     r.acks += st.write_acks.load();
+    const auto sh = db.shard(i).histograms();
+    r.queue_wait.merge(sh.queue_wait);
+    r.batch_residency.merge(sh.batch_residency);
+    r.fence_wait.merge(sh.fence_wait);
   }
   db.shutdown();
   return r;
@@ -166,6 +191,10 @@ SvcResult run_mixed_service(size_t shards, size_t batch,
     r.batches += st.batches.load();
     r.epochs += st.epochs.load();
     r.acks += st.write_acks.load();
+    const auto sh = db.shard(i).histograms();
+    r.queue_wait.merge(sh.queue_wait);
+    r.batch_residency.merge(sh.batch_residency);
+    r.fence_wait.merge(sh.fence_wait);
   }
   db.shutdown();
   return r;
@@ -213,7 +242,8 @@ int main(int argc, char** argv) {
                     r.ops_per_sec / base);
       row.emplace_back(cell);
       csv_row("svc-scaling", "Random-insert/" + std::to_string(shards),
-              lat.label(), "hartd", 1e6 / r.ops_per_sec);
+              lat.label(), "hartd", 1e6 / r.ops_per_sec, nullptr,
+              stage_csv(r));
     }
     scaling.add_row(std::move(row));
   }
@@ -238,7 +268,8 @@ int main(int argc, char** argv) {
                       static_cast<double>(total));
     batching.add_row({std::to_string(batch), ops, avg, fences});
     csv_row("svc-batch", "Random-insert/batch" + std::to_string(batch),
-            lats[1].label(), "hartd", 1e6 / r.ops_per_sec);
+            lats[1].label(), "hartd", 1e6 / r.ops_per_sec, nullptr,
+            stage_csv(r));
   }
   batching.print();
 
@@ -267,7 +298,8 @@ int main(int argc, char** argv) {
                                  : 0.0);
     mixed.add_row({label, ops, avg});
     csv_row("svc-mixed", std::string("Read-Intensive/") + label,
-            lats[1].label(), "hartd", 1e6 / r.ops_per_sec);
+            lats[1].label(), "hartd", 1e6 / r.ops_per_sec, nullptr,
+            stage_csv(r));
   }
   mixed.print();
   return 0;

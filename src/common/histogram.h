@@ -34,16 +34,24 @@ class LatencyHistogram {
   LatencyHistogram() : counts_(kBuckets, 0) {}
 
   void record(uint64_t ns) {
-    counts_[bucket_of(ns)]++;
+    const int b = bucket_of(ns);
+    counts_[b]++;
+    lo_ = std::min(lo_, b);
+    hi_ = std::max(hi_, b + 1);
     ++n_;
     sum_ += ns;
     min_ = std::min(min_, ns);
     max_ = std::max(max_, ns);
   }
 
-  /// Clear in place, keeping the bucket storage (no reallocation).
+  /// Clear in place, keeping the bucket storage (no reallocation). Only
+  /// the touched bucket range is wiped — the shard workers reset their
+  /// per-batch locals once per batch, and latencies cluster into a few
+  /// dozen adjacent buckets out of kBuckets.
   void reset() {
-    std::fill(counts_.begin(), counts_.end(), 0);
+    if (n_ != 0) std::fill(counts_.begin() + lo_, counts_.begin() + hi_, 0);
+    lo_ = kBuckets;
+    hi_ = 0;
     n_ = 0;
     sum_ = 0;
     min_ = std::numeric_limits<uint64_t>::max();
@@ -51,7 +59,10 @@ class LatencyHistogram {
   }
 
   void merge(const LatencyHistogram& other) {
-    for (int i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    if (other.n_ == 0) return;
+    for (int i = other.lo_; i < other.hi_; ++i) counts_[i] += other.counts_[i];
+    lo_ = std::min(lo_, other.lo_);
+    hi_ = std::max(hi_, other.hi_);
     n_ += other.n_;
     sum_ += other.sum_;
     min_ = std::min(min_, other.min_);
@@ -118,6 +129,10 @@ class LatencyHistogram {
   }
 
   std::vector<uint64_t> counts_;
+  // Touched bucket range [lo_, hi_): bounds merge/reset to the buckets
+  // actually used. Empty histogram: lo_ == kBuckets, hi_ == 0.
+  int lo_ = kBuckets;
+  int hi_ = 0;
   uint64_t n_ = 0;
   uint64_t sum_ = 0;
   uint64_t min_ = std::numeric_limits<uint64_t>::max();

@@ -56,6 +56,8 @@ struct TraceEvent {
   TraceKind kind = TraceKind::kMark;
   uint8_t pad = 0;
   uint32_t arg = 0;     // shard index / batch size / record count ...
+  uint64_t trace_id = 0;  // 0 = unsampled; nonzero ids stitch spans
+                          // across threads and processes
 };
 
 /// Single-writer bounded ring. Readers (export, tests) take a snapshot in
@@ -124,14 +126,17 @@ class Tracer {
 
   /// Record one event; no-op when disabled. `start_ns` is in the now_ns()
   /// domain (capture it before the timed section, pass the duration).
+  /// `trace_id` (nonzero) marks the event as part of a sampled request's
+  /// distributed span tree.
   void record(const char* name, TraceKind kind, uint64_t start_ns,
-              uint64_t dur_ns, uint32_t arg = 0) {
+              uint64_t dur_ns, uint32_t arg = 0, uint64_t trace_id = 0) {
     if (!enabled()) return;
     TraceEvent e;
     e.ts_ns = start_ns;
     e.dur_ns = dur_ns;
     e.kind = kind;
     e.arg = arg;
+    e.trace_id = trace_id;
     std::snprintf(e.name, sizeof(e.name), "%s", name);
     ring()->push(e);
   }
@@ -160,25 +165,33 @@ class Tracer {
       return a.e.ts_ns < b.e.ts_ns;
     });
     std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
-    char buf[256];
+    char buf[320];
     for (size_t i = 0; i < all.size(); ++i) {
       const TraceEvent& e = all[i].e;
       const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+      // Sampled events carry their trace id in args (hex string: u64 ids
+      // overflow JSON double precision), so exports from several
+      // processes stitch into one span tree on the shared id.
+      char trace_arg[40] = {};
+      if (e.trace_id != 0)
+        std::snprintf(trace_arg, sizeof(trace_arg),
+                      ",\"trace\":\"%016llx\"",
+                      static_cast<unsigned long long>(e.trace_id));
       if (e.dur_ns == 0) {
         std::snprintf(buf, sizeof(buf),
                       "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
                       "\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%zu,"
-                      "\"args\":{\"arg\":%u}}",
+                      "\"args\":{\"arg\":%u%s}}",
                       i == 0 ? "" : ",", e.name, trace_kind_name(e.kind),
-                      ts_us, all[i].tid, e.arg);
+                      ts_us, all[i].tid, e.arg, trace_arg);
       } else {
         std::snprintf(buf, sizeof(buf),
                       "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
                       "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%zu,"
-                      "\"args\":{\"arg\":%u}}",
+                      "\"args\":{\"arg\":%u%s}}",
                       i == 0 ? "" : ",", e.name, trace_kind_name(e.kind),
                       ts_us, static_cast<double>(e.dur_ns) / 1000.0,
-                      all[i].tid, e.arg);
+                      all[i].tid, e.arg, trace_arg);
       }
       out += buf;
     }
@@ -198,6 +211,22 @@ class Tracer {
   [[nodiscard]] size_t ring_count() const {
     common::MutexLock lk(mu_);
     return rings_.size();
+  }
+
+  /// Merged snapshot of every ring's surviving events, timestamp order.
+  /// Meant for tests and post-quiesce inspection (same caveats as export).
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> all;
+    {
+      common::MutexLock lk(mu_);
+      for (const auto& r : rings_)
+        for (const TraceEvent& e : r->snapshot()) all.push_back(e);
+    }
+    std::sort(all.begin(), all.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                return a.ts_ns < b.ts_ns;
+              });
+    return all;
   }
 
   /// Total events recorded (including overwritten ones).
@@ -240,18 +269,21 @@ class Tracer {
       std::chrono::steady_clock::now();
 };
 
-/// RAII duration event: times its scope, records on destruction.
+/// RAII duration event: times its scope, records on destruction. Pass a
+/// nonzero `trace_id` to tie the span into a sampled request's tree.
 class TraceSpan {
  public:
-  TraceSpan(const char* name, TraceKind kind, uint32_t arg = 0)
-      : name_(name), kind_(kind), arg_(arg),
+  TraceSpan(const char* name, TraceKind kind, uint32_t arg = 0,
+            uint64_t trace_id = 0)
+      : name_(name), kind_(kind), arg_(arg), trace_id_(trace_id),
         on_(Tracer::instance().enabled()) {
     if (on_) t0_ = Tracer::instance().now_ns();
   }
   ~TraceSpan() {
     if (on_)
       Tracer::instance().record(name_, kind_, t0_,
-                                Tracer::instance().now_ns() - t0_, arg_);
+                                Tracer::instance().now_ns() - t0_, arg_,
+                                trace_id_);
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -260,6 +292,7 @@ class TraceSpan {
   const char* name_;
   TraceKind kind_;
   uint32_t arg_;
+  uint64_t trace_id_;
   bool on_;
   uint64_t t0_ = 0;
 };

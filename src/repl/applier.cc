@@ -1,12 +1,22 @@
 #include "repl/applier.h"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <utility>
+
+#include "obs/trace.h"
 
 namespace hart::repl {
 
 namespace {
+
+inline uint64_t mono_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Entry outcomes that keep a replicated batch healthy. kNotFound covers
 /// idempotent replay of a DELETE whose key is already gone.
@@ -31,6 +41,9 @@ struct FollowerApplier::BatchCtx {
   uint32_t stream = 0;
   uint64_t seq = 0;
   size_t entries = 0;
+  uint64_t bytes = 0;     // wire payload size of this batch
+  uint64_t t0_ns = 0;     // apply start, for the follower_apply span
+  std::vector<uint64_t> traces;  // sampled entries' trace ids
   std::atomic<size_t> remaining{0};
   std::atomic<uint64_t> epoch{0};  // max follower epoch across entries
   std::atomic<uint8_t> fail{0};    // first failing wire status (0 = none)
@@ -44,7 +57,9 @@ FollowerApplier::FollowerApplier(SubmitFn submit)
       entries_applied_(obs::Registry::instance().counter(
           "hartd_repl_entries_applied_total")),
       batch_errors_(obs::Registry::instance().counter(
-          "hartd_repl_batch_errors_total")) {}
+          "hartd_repl_batch_errors_total")) {
+  start_ns_ = mono_ns();
+}
 
 void FollowerApplier::apply(server::Request&& req, Ack ack) {
   uint32_t stream = 0;
@@ -65,12 +80,20 @@ void FollowerApplier::apply(server::Request&& req, Ack ack) {
   ctx->stream = stream;
   ctx->seq = seq;
   ctx->entries = entries.size();
+  ctx->bytes = req.value.size();
+  ctx->t0_ns = mono_ns();
   ctx->remaining.store(entries.size(), std::memory_order_relaxed);
   ctx->ack = std::move(ack);
+  if (obs::Tracer::instance().enabled()) {
+    for (const server::ReplEntry& e : entries)
+      if (e.trace_id != 0) ctx->traces.push_back(e.trace_id);
+  }
 
   {
     common::MutexLock lk(mu_);
-    streams_[stream].inflight[seq] += 1;
+    StreamState& st = streams_[stream];
+    st.inflight[seq] += 1;
+    st.inflight_bytes += ctx->bytes;
   }
 
   if (entries.empty()) {
@@ -80,6 +103,7 @@ void FollowerApplier::apply(server::Request&& req, Ack ack) {
     d.resp.status = server::Status::kOk;
     d.ack = std::move(ctx->ack);
     d.entries = 0;
+    d.bytes = ctx->bytes;
     d.success = true;
     batch_done(stream, seq, std::move(d));
     return;
@@ -90,6 +114,7 @@ void FollowerApplier::apply(server::Request&& req, Ack ack) {
     sub.op = e.op;
     sub.key = std::move(e.key);
     sub.value = std::move(e.value);
+    sub.trace_id = e.trace_id;  // sampled ops stay sampled on this node
     submit_(std::move(sub), [ctx](server::Response resp) {
       if (entry_ok(resp.status)) {
         store_max(&ctx->epoch, resp.epoch);
@@ -100,6 +125,16 @@ void FollowerApplier::apply(server::Request&& req, Ack ack) {
             std::memory_order_relaxed);
       }
       if (ctx->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Stitch the sampled ops into the originating trace: receive ->
+        // all entry fences done, on the follower.
+        obs::Tracer& tr = obs::Tracer::instance();
+        if (tr.enabled() && !ctx->traces.empty()) {
+          const uint64_t dur = mono_ns() - ctx->t0_ns;
+          const uint64_t now = tr.now_ns();
+          for (const uint64_t tid : ctx->traces)
+            tr.record("follower_apply", obs::TraceKind::kOp,
+                      now > dur ? now - dur : 0, dur, ctx->stream, tid);
+        }
         DoneEntry d;
         const uint8_t f = ctx->fail.load(std::memory_order_relaxed);
         d.success = f == 0;
@@ -108,6 +143,7 @@ void FollowerApplier::apply(server::Request&& req, Ack ack) {
         d.resp.epoch = ctx->epoch.load(std::memory_order_relaxed);
         d.ack = std::move(ctx->ack);
         d.entries = ctx->entries;
+        d.bytes = ctx->bytes;
         ctx->self->batch_done(ctx->stream, ctx->seq, std::move(d));
       }
     });
@@ -132,6 +168,7 @@ void FollowerApplier::batch_done(uint32_t stream, uint64_t seq,
       // Reconnect replay finished while the original completion is still
       // parked: the old connection is dead, so fire its ack immediately
       // (harmless) and let the fresh one take the slot.
+      st.inflight_bytes -= std::min(st.inflight_bytes, dup->second.bytes);
       to_fire.push_back(std::move(dup->second));
       dup->second = std::move(done);
     } else {
@@ -145,6 +182,7 @@ void FollowerApplier::batch_done(uint32_t stream, uint64_t seq,
       if (!st.inflight.empty() && st.inflight.begin()->first < it->first)
         break;
       DoneEntry d = std::move(it->second);
+      st.inflight_bytes -= std::min(st.inflight_bytes, d.bytes);
       if (d.success) {
         if (it->first > st.applied) {
           st.applied = it->first;
@@ -157,11 +195,28 @@ void FollowerApplier::batch_done(uint32_t stream, uint64_t seq,
       }
       st.done.erase(it);
       to_fire.push_back(std::move(d));
+      last_release_ns_ = mono_ns();
     }
   }
   for (DoneEntry& d : to_fire) {
     if (d.ack) d.ack(std::move(d.resp));
   }
+}
+
+FollowerApplier::Health FollowerApplier::health() const {
+  Health h;
+  const uint64_t now = mono_ns();
+  common::MutexLock lk(mu_);
+  for (const auto& [stream, st] : streams_) {
+    h.backlog_batches += st.inflight.size() + st.done.size();
+    h.backlog_bytes += st.inflight_bytes;
+  }
+  if (h.backlog_batches != 0) {
+    const uint64_t since =
+        last_release_ns_ != 0 ? last_release_ns_ : start_ns_;
+    h.last_apply_age_ms = now > since ? (now - since) / 1000000 : 0;
+  }
+  return h;
 }
 
 std::vector<server::ReplPosition> FollowerApplier::positions() const {

@@ -50,6 +50,18 @@ class FollowerApplier {
   /// epoch, not the primary's.
   [[nodiscard]] std::vector<server::ReplPosition> positions() const;
 
+  /// Follower-side replication health: wire batches received but not yet
+  /// released (still applying or parked for ordered release) and their
+  /// payload bytes, plus how stale the last release is. The age is 0 when
+  /// the backlog is empty — same convergence semantics as the primary's
+  /// LinkHealth, so hartd_repl_lag_* gauges read the same on both roles.
+  struct Health {
+    uint64_t backlog_batches = 0;
+    uint64_t backlog_bytes = 0;
+    uint64_t last_apply_age_ms = 0;
+  };
+  [[nodiscard]] Health health() const;
+
  private:
   struct BatchCtx;
 
@@ -57,12 +69,14 @@ class FollowerApplier {
     server::Response resp;
     Ack ack;
     size_t entries = 0;
+    uint64_t bytes = 0;  // wire payload size, drains backlog_bytes
     bool success = false;
   };
 
   struct StreamState {
     uint64_t applied = 0;        // released high-water seq
     uint64_t applied_epoch = 0;  // follower epoch of that release
+    uint64_t inflight_bytes = 0; // payload bytes received, not yet released
     std::map<uint64_t, size_t> inflight;      // seq -> count being applied
     std::map<uint64_t, DoneEntry> done;       // fenced, awaiting ordered release
   };
@@ -75,6 +89,8 @@ class FollowerApplier {
   SubmitFn submit_;
   mutable common::Mutex mu_;
   std::map<uint32_t, StreamState> streams_ GUARDED_BY(mu_);
+  uint64_t last_release_ns_ GUARDED_BY(mu_) = 0;  // mono, last ordered release
+  uint64_t start_ns_ = 0;  // mono at construction
 
   obs::Counter& batches_applied_;
   obs::Counter& entries_applied_;

@@ -9,6 +9,7 @@
 // skipped (DESIGN.md §9 "bounded log" limitation).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -27,6 +28,7 @@ class BatchLog {
     uint64_t seq = 0;
     uint64_t epoch = 0;
     std::vector<server::ReplEntry> entries;
+    size_t bytes = 0;  // wire payload footprint, for byte-lag gauges
   };
 
   BatchLog(size_t streams, size_t retain)
@@ -41,14 +43,18 @@ class BatchLog {
   /// Append one wire batch to `stream`; returns its assigned seq.
   uint64_t append(uint32_t stream, uint64_t epoch,
                   std::vector<server::ReplEntry> entries) {
+    size_t bytes = server::kReplBatchFixed;
+    for (const server::ReplEntry& e : entries)
+      bytes += server::repl_entry_wire_size(e);
     Stream& s = streams_.at(stream).s;
     common::MutexLock lk(s.mu);
     const uint64_t seq = ++s.tail;
-    s.records.push_back({seq, epoch, std::move(entries)});
+    s.records.push_back({seq, epoch, std::move(entries), bytes});
     while (s.records.size() > retain_) {
       s.records.pop_front();
       evicted_.inc();
     }
+    if (s.records.size() > s.occupancy_hwm) s.occupancy_hwm = s.records.size();
     return seq;
   }
 
@@ -84,6 +90,29 @@ class BatchLog {
     return s.records.empty() ? 0 : s.records.front().seq;
   }
 
+  /// Wire bytes retained past `after` — the byte lag of a link confirmed
+  /// up to `after`. Records already evicted contribute nothing (they are
+  /// reported through the gap/resync path instead).
+  [[nodiscard]] uint64_t bytes_after(uint32_t stream, uint64_t after) const {
+    const Stream& s = streams_.at(stream).s;
+    common::MutexLock lk(s.mu);
+    uint64_t bytes = 0;
+    for (const Record& r : s.records)
+      if (r.seq > after) bytes += r.bytes;
+    return bytes;
+  }
+
+  /// Most records simultaneously retained on any stream since startup —
+  /// how close the bounded log has come to evicting (retain = the cap).
+  [[nodiscard]] size_t occupancy_high_watermark() const {
+    size_t hwm = 0;
+    for (const StreamSlot& slot : streams_) {
+      common::MutexLock lk(slot.s.mu);
+      hwm = std::max(hwm, slot.s.occupancy_hwm);
+    }
+    return hwm;
+  }
+
   /// Tail position of every stream (epoch = last appended batch's epoch).
   [[nodiscard]] std::vector<server::ReplPosition> tail_positions() const {
     std::vector<server::ReplPosition> out;
@@ -102,6 +131,7 @@ class BatchLog {
     mutable common::Mutex mu;
     std::deque<Record> records GUARDED_BY(mu);
     uint64_t tail GUARDED_BY(mu) = 0;
+    size_t occupancy_hwm GUARDED_BY(mu) = 0;
   };
   // Wrapper keeps Stream non-copyable members vector-constructible.
   struct StreamSlot {

@@ -1,9 +1,13 @@
 #include "repl/replicator.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/trace.h"
 
 namespace hart::repl {
 
@@ -12,6 +16,24 @@ namespace {
 /// Wire batches must fit the request's u16 value field; leave headroom so
 /// a split never trips encode_repl_batch's own limit.
 constexpr size_t kWireBudget = 64 * 1024;
+
+inline uint64_t mono_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Backdated sampled-trace span (same convention as the shard worker):
+/// the stage just ended and took `dur_ns`.
+inline void trace_stage(const char* name, uint64_t dur_ns, uint32_t arg,
+                        uint64_t trace_id) {
+  obs::Tracer& tr = obs::Tracer::instance();
+  if (!tr.enabled()) return;
+  const uint64_t now = tr.now_ns();
+  tr.record(name, obs::TraceKind::kOp, now > dur_ns ? now - dur_ns : 0,
+            dur_ns, arg, trace_id);
+}
 
 /// "host:port" (host may be empty -> loopback).
 bool parse_target(const std::string& t, std::string* host, uint16_t* port) {
@@ -48,6 +70,7 @@ Replicator::Replicator(const ReplicatorOptions& opts)
       quorum_acks_(
           obs::Registry::instance().counter("hartd_repl_quorum_acks_total")),
       resyncs_(obs::Registry::instance().counter("hartd_repl_resyncs_total")) {
+  start_ns_ = mono_ns();
   if (opts_.window == 0) opts_.window = 1;
   if (opts_.backoff_base_ms == 0) opts_.backoff_base_ms = 1;
   if (opts_.backoff_max_ms < opts_.backoff_base_ms)
@@ -107,7 +130,13 @@ void Replicator::on_batch(size_t shard_index, server::DurableBatch&& batch) {
         // an empty batch: never park acks that nothing will release.
         fire_now = std::move(batch.deferred);
       } else {
-        pending_[stream].push_back({last_seq, std::move(batch.deferred)});
+        pending_[stream].push_back(
+            {last_seq, mono_ns(), std::move(batch.deferred)});
+        // The link thread may have shipped this seq (log_.append happens
+        // before mu_ is taken) and the confirm may already be in — and no
+        // later confirm is guaranteed to arrive on this stream. Release
+        // immediately if quorum is already met.
+        release_quorum(stream, &fire_now);
       }
     }
     work_cv_.notify_all();
@@ -202,6 +231,38 @@ size_t Replicator::pending_quorum_acks() const {
   return n;
 }
 
+std::vector<LinkHealth> Replicator::link_health() const {
+  std::vector<LinkHealth> out;
+  out.reserve(links_.size());
+  const uint64_t now = mono_ns();
+  common::MutexLock lk(mu_);
+  for (const auto& l : links_) {
+    LinkHealth h;
+    h.index = l->index;
+    h.target = l->host + ":" + std::to_string(l->port);
+    h.connected = l->session->connected();
+    h.synced = l->synced;
+    h.backoff_ms = l->cur_backoff_ms;
+    for (uint32_t s = 0; s < opts_.streams; ++s) {
+      const uint64_t tail = log_.tail_seq(s);
+      if (tail > l->confirmed[s]) {
+        h.lag_seq += tail - l->confirmed[s];
+        h.lag_bytes += log_.bytes_after(s, l->confirmed[s]);
+      }
+    }
+    // Staleness only counts while the link actually owes confirmations;
+    // a caught-up link reports 0 (the repl_smoke drain oracle relies on
+    // this converging with lag).
+    if (h.lag_seq != 0) {
+      const uint64_t since =
+          l->last_confirm_ns != 0 ? l->last_confirm_ns : start_ns_;
+      h.last_confirm_age_ms = now > since ? (now - since) / 1000000 : 0;
+    }
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
 bool Replicator::link_connect(Link* l) {
   {
     // Fresh connection: everything previously in flight is unknown; the
@@ -262,11 +323,14 @@ void Replicator::link_loop(Link* l) {
         if (l->session->connected()) l->session->force_disconnect();
         common::MutexLock lk(mu_);
         if (stop_.load(std::memory_order_acquire)) return;
+        l->cur_backoff_ms = backoff;
         state_cv_.wait_for(mu_, std::chrono::milliseconds(backoff));
         backoff = std::min(backoff * 2, opts_.backoff_max_ms);
         continue;
       }
       backoff = opts_.backoff_base_ms;
+      common::MutexLock lk(mu_);
+      l->cur_backoff_ms = 0;
     }
 
     // Collect-under-lock, send-unlocked: encode the next window of
@@ -305,7 +369,14 @@ void Replicator::link_loop(Link* l) {
             continue;
           }
           const uint64_t id = l->next_id++;
-          l->inflight[id] = {/*handshake=*/false, s, r.seq};
+          Inflight inf{/*handshake=*/false, s, r.seq, mono_ns(), {}};
+          // Sampled entries: remember their ids so the confirm records a
+          // ship->confirm repl_ship span per traced op.
+          if (obs::Tracer::instance().enabled()) {
+            for (const server::ReplEntry& e : r.entries)
+              if (e.trace_id != 0) inf.traces.push_back(e.trace_id);
+          }
+          l->inflight[id] = std::move(inf);
           l->sent[s] = r.seq;
           to_send.emplace_back(id, std::move(req));
         }
@@ -355,6 +426,14 @@ void Replicator::handle_response(Link* l, uint64_t id,
       // The follower's reply IS its fence confirmation for this seq (and,
       // by its ordered ack release, for every earlier seq it received).
       l->confirmed[inf.stream] = std::max(l->confirmed[inf.stream], inf.seq);
+      l->last_confirm_ns = mono_ns();
+      const uint64_t ship_ns =
+          inf.sent_ns != 0 && l->last_confirm_ns > inf.sent_ns
+              ? l->last_confirm_ns - inf.sent_ns
+              : 0;
+      for (const uint64_t tid : inf.traces)
+        trace_stage("repl_ship", ship_ns, static_cast<uint32_t>(l->index),
+                    tid);
       confirmed_total_.inc();
       if (needed_ != 0) release_quorum(inf.stream, &to_fire);
       state_cv_.notify_all();
@@ -377,8 +456,25 @@ void Replicator::release_quorum(
   const uint64_t q = quorum_confirmed(stream);
   auto& dq = pending_[stream];
   while (!dq.empty() && dq.front().seq <= q) {
-    quorum_acks_.add(dq.front().acks.size());
-    for (auto& a : dq.front().acks) out->push_back(std::move(a));
+    PendingAcks& pa = dq.front();
+    // Stage 4 of the write pipeline: how long the quorum parking lot held
+    // this batch's acks. One sample per released write ack.
+    const uint64_t now = mono_ns();
+    const uint64_t wait = pa.park_ns != 0 && now > pa.park_ns
+                              ? now - pa.park_ns
+                              : 0;
+    for (size_t i = 0; i < pa.acks.size(); ++i) quorum_wait_.record(wait);
+    if (opts_.slow_op_us != 0 && wait > opts_.slow_op_us * 1000)
+      std::fprintf(stderr,
+                   "hartd slow-op stage=quorum_wait stream=%u seq=%" PRIu64
+                   " acks=%zu wait_us=%" PRIu64 "\n",
+                   stream, pa.seq, pa.acks.size(), wait / 1000);
+    for (auto& a : pa.acks) {
+      if (a.trace_id != 0)
+        trace_stage("quorum_ack", wait, stream, a.trace_id);
+      out->push_back(std::move(a));
+    }
+    quorum_acks_.add(pa.acks.size());
     dq.pop_front();
   }
 }

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/annotations.h"
+#include "common/histogram.h"
 #include "obs/counters.h"
 #include "repl/batch_log.h"
 #include "repl/session.h"
@@ -59,6 +60,25 @@ struct ReplicatorOptions {
   size_t window = 64;
   uint32_t backoff_base_ms = 10;
   uint32_t backoff_max_ms = 1000;
+  /// Structured slow-op log threshold for the quorum-wait stage (a
+  /// deferred write ack parked longer than this logs its wait). 0 = off.
+  uint64_t slow_op_us = 0;
+};
+
+/// Point-in-time replication health of one follower link, for the
+/// hartd_repl_lag_* / reconnect gauges (DESIGN.md §12).
+struct LinkHealth {
+  size_t index = 0;
+  std::string target;       // "host:port" as configured
+  bool connected = false;
+  bool synced = false;      // position handshake done on this connection
+  uint64_t lag_seq = 0;     // unconfirmed wire batches, summed over streams
+  uint64_t lag_bytes = 0;   // retained wire bytes past the confirmed seq
+  /// Milliseconds since the link last confirmed a batch — 0 when the link
+  /// is fully caught up (nothing outstanding to confirm), so the gauge
+  /// measures confirm staleness only while there is lag.
+  uint64_t last_confirm_age_ms = 0;
+  uint32_t backoff_ms = 0;  // current reconnect backoff; 0 when connected
 };
 
 class Replicator {
@@ -98,6 +118,14 @@ class Replicator {
     return log_.tail_positions();
   }
   [[nodiscard]] const BatchLog& log() const { return log_; }
+  /// Per-link replication health snapshot (lag, staleness, backoff).
+  [[nodiscard]] std::vector<LinkHealth> link_health() const;
+  /// Copy of the repl-wait-for-quorum stage histogram: how long deferred
+  /// write acks sat parked before quorum released them.
+  [[nodiscard]] common::LatencyHistogram quorum_wait_histogram() const {
+    common::MutexLock lk(mu_);
+    return quorum_wait_;
+  }
 
  private:
   /// One outstanding request on a link: either the position-query
@@ -106,6 +134,10 @@ class Replicator {
     bool handshake = false;
     uint32_t stream = 0;
     uint64_t seq = 0;
+    uint64_t sent_ns = 0;  // ship time, for the repl_ship span duration
+    /// Trace ids of sampled entries in this wire batch (only collected
+    /// while the tracer is enabled).
+    std::vector<uint64_t> traces;
   };
 
   struct Link {
@@ -121,6 +153,8 @@ class Replicator {
     uint64_t next_id = 1;
     bool synced = false;  // handshake completed on current connection
     bool ever_connected = false;
+    uint64_t last_confirm_ns = 0;  // mono; 0 until the first confirm
+    uint32_t cur_backoff_ms = 0;   // nonzero while reconnecting
   };
 
   void link_loop(Link* l);
@@ -137,6 +171,7 @@ class Replicator {
 
   ReplicatorOptions opts_;
   size_t needed_ = 0;
+  uint64_t start_ns_ = 0;  // mono at construction, for confirm-age gauges
   BatchLog log_;
 
   mutable common::Mutex mu_;
@@ -144,10 +179,12 @@ class Replicator {
   common::CondVar state_cv_;  // drain() and handshake waiters
   struct PendingAcks {
     uint64_t seq = 0;  // last wire-batch seq of the durable batch
+    uint64_t park_ns = 0;  // when the acks were parked (quorum-wait start)
     std::vector<server::DurableBatch::DeferredAck> acks;
   };
   /// Per stream, FIFO by seq (shard workers append in seq order).
   std::vector<std::deque<PendingAcks>> pending_ GUARDED_BY(mu_);
+  common::LatencyHistogram quorum_wait_ GUARDED_BY(mu_);
   bool down_ GUARDED_BY(mu_) = false;
 
   std::atomic<bool> stop_{false};

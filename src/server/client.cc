@@ -12,6 +12,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace hart::server {
 
 namespace {
@@ -104,12 +106,48 @@ void Client::spawn_reader(int fd) {
   reader_ = std::thread([this, fd] { reader_loop(fd); });
 }
 
+void Client::set_trace_sampling(uint64_t every_n) {
+  common::MutexLock lk(mu_);
+  trace_every_ = every_n;
+  if (trace_base_ == 0) {
+    trace_base_ = static_cast<uint64_t>(
+                      std::chrono::steady_clock::now().time_since_epoch()
+                          .count()) ^
+                  (reinterpret_cast<uintptr_t>(this) << 16);
+  }
+}
+
+void Client::trace_start(uint64_t id, Request* req) {
+  if (req->trace_id == 0) {
+    if (trace_every_ == 0 || req->op > OpCode::kPing) return;
+    if (++trace_tick_ % trace_every_ != 0) return;
+    req->trace_id = trace_base_ ^ (trace_tick_ << 1) ^ 1;
+  }
+  obs::Tracer& tr = obs::Tracer::instance();
+  if (tr.enabled()) traced_[id] = {req->trace_id, tr.now_ns()};
+}
+
+void Client::trace_finish(uint64_t id) {
+  if (traced_.empty()) return;
+  auto it = traced_.find(id);
+  if (it == traced_.end()) return;
+  obs::Tracer& tr = obs::Tracer::instance();
+  if (tr.enabled()) {
+    const uint64_t now = tr.now_ns();
+    const uint64_t start = it->second.start_ns;
+    tr.record("client", obs::TraceKind::kOp, start,
+              now > start ? now - start : 0, 0, it->second.trace_id);
+  }
+  traced_.erase(it);
+}
+
 void Client::complete(uint64_t id, Response resp) {
   {
     common::MutexLock lk(mu_);
     // Exactly-once: a request the dying reader already failed must not be
     // resurrected by a late transport error on the sender side.
     if (pending_.erase(id) == 0) return;
+    trace_finish(id);
     done_[id] = std::move(resp);
   }
   cv_.notify_all();
@@ -158,6 +196,7 @@ uint64_t Client::send(Request req) {
     common::MutexLock lk(mu_);
     id = next_id_++;
     dead = broken_;
+    trace_start(id, &req);
   }
   if (local_ != nullptr) {
     {
@@ -234,7 +273,7 @@ void Client::reader_loop(int fd) {
       if (!decode_response(body.data(), body.size(), &id, &resp)) goto out;
       {
         common::MutexLock lk(mu_);
-        pending_.erase(id);
+        if (pending_.erase(id) != 0) trace_finish(id);
         done_[id] = std::move(resp);
       }
       cv_.notify_all();
@@ -247,8 +286,10 @@ out:
   {
     common::MutexLock lk(mu_);
     broken_ = true;
-    for (const uint64_t id : pending_)
+    for (const uint64_t id : pending_) {
+      trace_finish(id);
       done_[id] = Response{Status::kNetError, {}, 0};
+    }
     pending_.clear();
   }
   cv_.notify_all();

@@ -99,9 +99,19 @@ class Client {
   [[nodiscard]] size_t outstanding() const;
   [[nodiscard]] bool connected() const;
 
+  /// Client-side trace sampling: stamp every Nth KV request (that is not
+  /// already stamped) with a fresh trace id and record a "client" span
+  /// covering send -> response completion. 1 = every request, 0 = off
+  /// (default). Spans land in this process's obs::Tracer when enabled.
+  void set_trace_sampling(uint64_t every_n);
+
  private:
   void reader_loop(int fd);
   void complete(uint64_t id, Response resp);
+  /// Stamp a sampled request and remember its span start (under mu_).
+  void trace_start(uint64_t id, Request* req) REQUIRES(mu_);
+  /// Pop the span state for a completing id and record the "client" span.
+  void trace_finish(uint64_t id) REQUIRES(mu_);
   /// Redial the endpoint list per the policy; true when a fresh stream is
   /// up. Serialized so concurrent senders share one repair.
   bool try_reconnect();
@@ -123,6 +133,14 @@ class Client {
   common::CondVar cv_;
   uint64_t next_id_ GUARDED_BY(mu_) = 1;
   bool broken_ GUARDED_BY(mu_) = false;  // TCP stream died
+  uint64_t trace_every_ GUARDED_BY(mu_) = 0;  // sample every Nth; 0 = off
+  uint64_t trace_tick_ GUARDED_BY(mu_) = 0;
+  uint64_t trace_base_ GUARDED_BY(mu_) = 0;  // per-client trace-id salt
+  struct TraceStart {
+    uint64_t trace_id = 0;
+    uint64_t start_ns = 0;  // tracer-epoch span start
+  };
+  std::unordered_map<uint64_t, TraceStart> traced_ GUARDED_BY(mu_);
   /// Ids sent but not yet completed. A dying reader fails every pending
   /// id into done_ with kNetError, so waiters never strand across a
   /// reconnect (a fresh stream has no memory of the old one's requests).

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <exception>
 #include <iterator>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -30,6 +31,14 @@ obs::Counter& bloom_fp_counter() {
       obs::Registry::instance().counter("hartd_bloom_fp_total");
   return c;
 }
+/// Client writes refused with kNotPrimary by the role gate (follower or
+/// mid-promotion node) — visible in STATS on every role so an operator
+/// can see misdirected traffic from the follower's side too.
+obs::Counter& write_rejected_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("hartd_write_rejected_total");
+  return c;
+}
 }  // namespace
 
 Hartd::Hartd(const Options& opts)
@@ -43,8 +52,16 @@ Hartd::Hartd(const Options& opts)
     ro.streams = opts_.shards;
     ro.retain_batches = opts_.repl_log_batches;
     ro.window = opts_.repl_window;
+    ro.slow_op_us = opts_.slow_op_us;
     repl_ = std::make_unique<repl::Replicator>(ro);
   }
+  // Trace-id salt: ids must not collide between the primary and a
+  // follower started in the same process (tests run both in-proc), so mix
+  // the construction time with this object's address.
+  trace_base_ = static_cast<uint64_t>(
+                    std::chrono::steady_clock::now().time_since_epoch()
+                        .count()) ^
+                (reinterpret_cast<uintptr_t>(this) << 16);
   shards_.resize(opts_.shards);
   obs::TraceSpan span("hartd_open", obs::TraceKind::kRecovery,
                       static_cast<uint32_t>(opts_.shards));
@@ -64,6 +81,7 @@ Hartd::Hartd(const Options& opts)
         so.queue_capacity = opts_.queue_capacity;
         so.bloom_bits_per_key = opts_.bloom_bits_per_key;
         so.bloom_expected_keys = opts_.bloom_expected_keys;
+        so.slow_op_us = opts_.slow_op_us;
         so.hart = opts_.hart;
         so.arena.size = opts_.arena_mb << 20;  // 0 -> HART_ARENA_MB default
         so.arena.latency = opts_.latency;
@@ -125,6 +143,24 @@ bool Hartd::submit(Request req, Shard::Ack ack) {
     if (ack) ack(Response{Status::kShuttingDown, {}, 0});
     return false;
   }
+  // Dispatcher-side trace sampling: stamp every Nth unsampled KV request
+  // (client-stamped ids pass through untouched). Control-plane ops
+  // (stats/repl/promote) are never sampled here.
+  if (opts_.trace_sample != 0 && req.trace_id == 0 &&
+      req.op <= OpCode::kPing &&
+      trace_seq_.fetch_add(1, std::memory_order_relaxed) %
+              opts_.trace_sample ==
+          0) {
+    req.trace_id = trace_base_ ^ (trace_seq_.load(std::memory_order_relaxed)
+                                  << 1) ^ 1;
+  }
+  // Sampled requests get a dispatch span covering routing + any
+  // dispatcher-served fast path (the shard stages record their own);
+  // unsampled ops record nothing here.
+  std::optional<obs::TraceSpan> dispatch_span;
+  if (req.trace_id != 0 && obs::Tracer::instance().enabled())
+    dispatch_span.emplace("dispatch", obs::TraceKind::kOp,
+                          static_cast<uint32_t>(req.op), req.trace_id);
   // kStats is answered here on the submitter's thread (both transports
   // funnel through submit), never routed to a shard — a scrape must not
   // count as a shard op or join a group-commit batch.
@@ -193,6 +229,7 @@ bool Hartd::submit(Request req, Shard::Ack ack) {
   // with kNotPrimary so clients redirect instead of silently diverging
   // from the replication stream.
   if (is_write(req.op) && !promo_.accepts_writes()) {
+    write_rejected_counter().inc();
     if (ack) ack(Response{Status::kNotPrimary, {}, 0});
     return true;
   }

@@ -71,6 +71,14 @@ class Hartd {
     size_t bloom_bits_per_key = 0;
     /// Per-shard key capacity the filter is sized for.
     size_t bloom_expected_keys = size_t{1} << 20;
+    /// Structured slow-op log: any request whose queue->ack-ready time (or
+    /// quorum wait) exceeds this many µs logs its stage breakdown to
+    /// stderr and bumps hartd_slow_ops_total. 0 = disabled.
+    uint64_t slow_op_us = 0;
+    /// Dispatcher-side trace sampling: stamp every Nth KV request that
+    /// arrives unsampled with a fresh trace id (1 = every request). 0 =
+    /// off; client-stamped ids are always honored regardless.
+    uint64_t trace_sample = 0;
     core::Hart::Options hart;
   };
 
@@ -144,6 +152,8 @@ class Hartd {
   std::unique_ptr<repl::FollowerApplier> applier_;
   std::atomic<bool> down_{false};
   std::atomic<uint64_t> fastpath_reads_{0};
+  std::atomic<uint64_t> trace_seq_{0};  // dispatcher sampling tick
+  uint64_t trace_base_ = 0;  // per-process trace-id salt
   bool fastpath_gets_ = true;  // opts_.fastpath_reads && !rwlock_reads
   bool reopened_ = false;
   uint64_t recovery_ms_ = 0;

@@ -9,6 +9,14 @@
 //   response body: u64 id | u8 status | u8 pad | u16 val_len | u64 epoch
 //                  | value
 //
+// Trace context (optional, backward compatible): a sampled request sets
+// the high bit of the op byte (kTraceFlag) and inserts a u64 trace id
+// between the fixed header and the key. Old clients never set the bit and
+// old servers reject flagged ops as out of range — compatibility only has
+// to hold in the old-client -> new-server direction, which is unchanged
+// byte-for-byte. The same convention extends each kReplBatch entry, so a
+// sampled write keeps its id across the replication hop.
+//
 // `id` is a client-chosen correlation token: the pipelined client sends
 // many requests without waiting and matches responses by id (per-shard
 // batching means responses can complete out of submission order across
@@ -119,6 +127,9 @@ struct Request {
   OpCode op = OpCode::kPing;
   std::string key;
   std::string value;
+  /// Nonzero = this request is trace-sampled: every stage it crosses
+  /// records a span carrying this id (obs::TraceEvent::trace_id).
+  uint64_t trace_id = 0;
 };
 
 struct Response {
@@ -134,6 +145,10 @@ struct Response {
 inline constexpr uint32_t kMaxFrameBody = 128 * 1024;
 inline constexpr size_t kRequestFixed = 8 + 1 + 1 + 2;
 inline constexpr size_t kResponseFixed = 8 + 1 + 1 + 2 + 8;
+
+/// High bit of the op byte: a u64 trace id follows the fixed request (or
+/// repl-entry) header. Ops stay < 0x80 so the flag never collides.
+inline constexpr uint8_t kTraceFlag = 0x80;
 
 namespace detail {
 template <typename T>
@@ -151,13 +166,17 @@ T read_int(const char* p) {
 }  // namespace detail
 
 inline void encode_request(uint64_t id, const Request& r, std::string* out) {
-  const uint32_t body = static_cast<uint32_t>(kRequestFixed + r.key.size() +
-                                              r.value.size());
+  const size_t trace = r.trace_id != 0 ? 8 : 0;
+  const uint32_t body = static_cast<uint32_t>(kRequestFixed + trace +
+                                              r.key.size() + r.value.size());
   detail::append_int(out, body);
   detail::append_int(out, id);
-  detail::append_int(out, static_cast<uint8_t>(r.op));
+  detail::append_int(out, static_cast<uint8_t>(
+                              static_cast<uint8_t>(r.op) |
+                              (trace != 0 ? kTraceFlag : 0)));
   detail::append_int(out, static_cast<uint8_t>(r.key.size()));
   detail::append_int(out, static_cast<uint16_t>(r.value.size()));
+  if (trace != 0) detail::append_int(out, r.trace_id);
   out->append(r.key);
   out->append(r.value);
 }
@@ -166,16 +185,25 @@ inline bool decode_request(const char* p, size_t n, uint64_t* id,
                            Request* r) {
   if (n < kRequestFixed) return false;
   *id = detail::read_int<uint64_t>(p);
-  const auto op = detail::read_int<uint8_t>(p + 8);
+  const auto raw_op = detail::read_int<uint8_t>(p + 8);
+  const bool traced = (raw_op & kTraceFlag) != 0;
+  const auto op = static_cast<uint8_t>(raw_op & ~kTraceFlag);
   const size_t klen = detail::read_int<uint8_t>(p + 9);
   const size_t vlen = detail::read_int<uint16_t>(p + 10);
+  size_t off = kRequestFixed;
+  r->trace_id = 0;
+  if (traced) {
+    if (n < off + 8) return false;
+    r->trace_id = detail::read_int<uint64_t>(p + off);
+    off += 8;
+  }
   if (op < static_cast<uint8_t>(OpCode::kPut) ||
       op > static_cast<uint8_t>(OpCode::kPromote) ||
-      n != kRequestFixed + klen + vlen)
+      n != off + klen + vlen)
     return false;
   r->op = static_cast<OpCode>(op);
-  r->key.assign(p + kRequestFixed, klen);
-  r->value.assign(p + kRequestFixed + klen, vlen);
+  r->key.assign(p + off, klen);
+  r->value.assign(p + off + klen, vlen);
   return true;
 }
 
@@ -355,11 +383,15 @@ inline bool decode_scan_result(
 // its own seq, and a follower confirming seq S has, by stream ordering,
 // applied every seq <= S.
 
-/// One replicated write, in shard apply order.
+/// One replicated write, in shard apply order. A nonzero `trace_id`
+/// travels with the entry (kTraceFlag on the entry op byte + appended
+/// u64) so the follower's apply span joins the originating request's
+/// trace.
 struct ReplEntry {
   OpCode op = OpCode::kPut;
   std::string key;
   std::string value;
+  uint64_t trace_id = 0;
 };
 
 /// A node's applied position on one replication stream (= one primary
@@ -376,7 +408,8 @@ inline constexpr size_t kReplEntryFixed = 1 + 1 + 2;
 
 /// Wire footprint of one entry inside a kReplBatch payload.
 inline size_t repl_entry_wire_size(const ReplEntry& e) {
-  return kReplEntryFixed + e.key.size() + e.value.size();
+  return kReplEntryFixed + (e.trace_id != 0 ? 8 : 0) + e.key.size() +
+         e.value.size();
 }
 
 /// kReplBatch request value:
@@ -402,9 +435,12 @@ inline bool encode_repl_batch(uint32_t stream, uint64_t seq, uint64_t epoch,
   detail::append_int(out, epoch);
   detail::append_int(out, static_cast<uint16_t>(entries.size()));
   for (const ReplEntry& e : entries) {
-    detail::append_int(out, static_cast<uint8_t>(e.op));
+    detail::append_int(out, static_cast<uint8_t>(
+                                static_cast<uint8_t>(e.op) |
+                                (e.trace_id != 0 ? kTraceFlag : 0)));
     detail::append_int(out, static_cast<uint8_t>(e.key.size()));
     detail::append_int(out, static_cast<uint16_t>(e.value.size()));
+    if (e.trace_id != 0) detail::append_int(out, e.trace_id);
     out->append(e.key);
     out->append(e.value);
   }
@@ -426,13 +462,20 @@ inline bool decode_repl_batch(std::string_view payload, uint32_t* stream,
   entries->reserve(n);
   for (size_t i = 0; i < n; ++i) {
     if (off + kReplEntryFixed > payload.size()) return false;
-    const auto op = detail::read_int<uint8_t>(p + off);
+    const auto raw_op = detail::read_int<uint8_t>(p + off);
+    const bool traced = (raw_op & kTraceFlag) != 0;
+    const auto op = static_cast<uint8_t>(raw_op & ~kTraceFlag);
     const size_t klen = detail::read_int<uint8_t>(p + off + 1);
     const size_t vlen = detail::read_int<uint16_t>(p + off + 2);
     off += kReplEntryFixed;
     if (!is_write(static_cast<OpCode>(op))) return false;
-    if (off + klen + vlen > payload.size()) return false;
     ReplEntry e;
+    if (traced) {
+      if (off + 8 > payload.size()) return false;
+      e.trace_id = detail::read_int<uint64_t>(p + off);
+      off += 8;
+    }
+    if (off + klen + vlen > payload.size()) return false;
     e.op = static_cast<OpCode>(op);
     e.key.assign(p + off, klen);
     e.value.assign(p + off + klen, vlen);

@@ -6,9 +6,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
 #include <utility>
 #include <vector>
 
+#include "obs/counters.h"
 #include "obs/trace.h"
 
 namespace hart::server {
@@ -19,6 +21,23 @@ inline uint64_t mono_ns() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+obs::Counter& slow_ops_counter() {
+  static obs::Counter& c =
+      obs::Registry::instance().counter("hartd_slow_ops_total");
+  return c;
+}
+
+/// Backdated sampled-trace span: the stage just ended and took `dur_ns`,
+/// so its start in the tracer's time domain is now - dur.
+inline void trace_stage(const char* name, uint64_t dur_ns, uint32_t shard,
+                        uint64_t trace_id) {
+  obs::Tracer& tr = obs::Tracer::instance();
+  if (!tr.enabled()) return;
+  const uint64_t now = tr.now_ns();
+  tr.record(name, obs::TraceKind::kOp, now > dur_ns ? now - dur_ns : 0,
+            dur_ns, shard, trace_id);
 }
 
 }  // namespace
@@ -46,6 +65,7 @@ bool Shard::submit(Request req, Ack ack) {
   Pending p;
   p.req = std::move(req);
   p.ack = std::move(ack);
+  p.enq_ns = mono_ns();
   return queue_.push(std::move(p));
 }
 
@@ -137,12 +157,24 @@ void Shard::worker() {
   // op) merges these into hists_ for scrapers.
   std::array<common::LatencyHistogram, ShardHistograms::kOps> local_op;
   common::LatencyHistogram local_fence;
+  common::LatencyHistogram local_queue;
+  common::LatencyHistogram local_resid;
+  common::LatencyHistogram local_fwait;
+  const uint32_t shard_arg = static_cast<uint32_t>(opts_.index);
   while (queue_.pop_batch(&batch, opts_.batch_size)) {
     obs::TraceSpan batch_span("shard_batch", obs::TraceKind::kBatch,
                               static_cast<uint32_t>(batch.size()));
+    const uint64_t deq_ns = mono_ns();
     bool any_write = false;
     bool any_timed = false;
     for (auto& p : batch) {
+      // Stage 1: MPSC queue residency (submit -> this dequeue). Recorded
+      // for every op, sampled ops additionally emit a queue_wait span.
+      const uint64_t qw = deq_ns > p.enq_ns ? deq_ns - p.enq_ns : 0;
+      local_queue.record(qw);
+      any_timed = true;
+      if (p.req.trace_id != 0)
+        trace_stage("queue_wait", qw, shard_arg, p.req.trace_id);
       if (failed_.load(std::memory_order_relaxed)) {
         p.resp.status = Status::kShardFailed;
         stats_.failed.fetch_add(1, std::memory_order_relaxed);
@@ -153,8 +185,11 @@ void Shard::worker() {
       try {
         apply(&p);
         if (hidx != SIZE_MAX) {
-          local_op[hidx].record(mono_ns() - t0);
-          any_timed = true;
+          p.apply_end_ns = mono_ns();
+          local_op[hidx].record(p.apply_end_ns - t0);
+          if (p.req.trace_id != 0)
+            trace_stage("shard_apply", p.apply_end_ns - t0, shard_arg,
+                        p.req.trace_id);
         }
         any_write |= p.fence;
         stats_.ops.fetch_add(1, std::memory_order_relaxed);
@@ -180,7 +215,6 @@ void Shard::worker() {
       try {
         epoch = hart_->flush_epoch();
         local_fence.record(mono_ns() - f0);
-        any_timed = true;
         stats_.epochs.fetch_add(1, std::memory_order_relaxed);
       } catch (const pmem::CrashPoint&) {
         // The fence itself crashed. The batch's writes are still each
@@ -201,16 +235,49 @@ void Shard::worker() {
     // DurableBatch instead of firing here — the sink releases them once
     // enough followers confirmed this batch's fence.
     const bool sink = static_cast<bool>(opts_.batch_sink);
+    // Ack-ready timestamp: apply + fence + device pay all completed. The
+    // whole batch becomes ready at once, so every op shares it for the
+    // batch_residency / fence_wait stages below.
+    const uint64_t ready_ns = mono_ns();
     DurableBatch durable;
     for (auto& p : batch) {
+      local_resid.record(ready_ns > deq_ns ? ready_ns - deq_ns : 0);
+      if (p.fence && p.apply_end_ns != 0) {
+        const uint64_t fw =
+            ready_ns > p.apply_end_ns ? ready_ns - p.apply_end_ns : 0;
+        local_fwait.record(fw);
+        if (p.req.trace_id != 0)
+          trace_stage("fence", fw, shard_arg, p.req.trace_id);
+      }
+      if (opts_.slow_op_us != 0 && p.enq_ns != 0 &&
+          ready_ns - p.enq_ns > opts_.slow_op_us * 1000) {
+        const uint64_t total = ready_ns - p.enq_ns;
+        const uint64_t queue_ns = deq_ns > p.enq_ns ? deq_ns - p.enq_ns : 0;
+        const uint64_t apply_ns =
+            p.apply_end_ns > deq_ns ? p.apply_end_ns - deq_ns : 0;
+        const uint64_t fence_ns = p.apply_end_ns != 0 && p.fence
+                                      ? ready_ns - p.apply_end_ns
+                                      : 0;
+        std::fprintf(stderr,
+                     "hartd slow-op shard=%zu op=%u status=%s total_us=%" PRIu64
+                     " queue_us=%" PRIu64 " apply_us=%" PRIu64
+                     " fence_us=%" PRIu64 " trace=%016" PRIx64 "\n",
+                     opts_.index, static_cast<unsigned>(p.req.op),
+                     status_name(p.resp.status), total / 1000,
+                     queue_ns / 1000, apply_ns / 1000, fence_ns / 1000,
+                     p.req.trace_id);
+        slow_ops_counter().inc();
+      }
       if (p.fence && is_acked_write(p.resp.status)) {
         p.resp.epoch = epoch;
         stats_.write_acks.fetch_add(1, std::memory_order_relaxed);
         if (sink) {
-          durable.entries.push_back(
-              {p.req.op, std::move(p.req.key), std::move(p.req.value)});
+          durable.entries.push_back({p.req.op, std::move(p.req.key),
+                                     std::move(p.req.value),
+                                     p.req.trace_id});
           if (opts_.defer_write_acks) {
-            durable.deferred.push_back({std::move(p.ack), std::move(p.resp)});
+            durable.deferred.push_back(
+                {std::move(p.ack), std::move(p.resp), p.req.trace_id});
             continue;
           }
         }
@@ -233,6 +300,15 @@ void Shard::worker() {
         hists_.fence.merge(local_fence);
         local_fence.reset();
       }
+      auto fold = [](common::LatencyHistogram* local,
+                     common::LatencyHistogram* global) {
+        if (local->count() == 0) return;
+        global->merge(*local);
+        local->reset();
+      };
+      fold(&local_queue, &hists_.queue_wait);
+      fold(&local_resid, &hists_.batch_residency);
+      fold(&local_fwait, &hists_.fence_wait);
     }
   }
 }

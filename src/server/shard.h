@@ -33,10 +33,23 @@ struct ShardStats {
 
 /// HARTscope: per-shard apply-time latency, split by operation, plus the
 /// group-commit fence. Indices follow op_hist_index().
+///
+/// Stage attribution (HARTscope v2): every queued op additionally lands in
+/// the per-shard stage histograms —
+///   queue_wait       submit() -> worker dequeue (MPSC queue residency)
+///   batch_residency  dequeue -> ack-ready (apply + fence + device pay,
+///                    shared by every op of the batch)
+///   fence_wait       apply end -> post-fence for fenced writes only (how
+///                    long a write waited on the amortized epoch fence)
+/// The fourth stage, repl-wait-for-quorum, is owned by repl::Replicator
+/// (the parking lot lives there). All are well-defined zeros when empty.
 struct ShardHistograms {
   static constexpr size_t kOps = 4;  // insert / get / update / delete
   std::array<common::LatencyHistogram, kOps> op;
   common::LatencyHistogram fence;
+  common::LatencyHistogram queue_wait;
+  common::LatencyHistogram batch_residency;
+  common::LatencyHistogram fence_wait;
 };
 
 /// Histogram slot for a KV op; SIZE_MAX for kPing/kStats (not timed).
@@ -87,6 +100,7 @@ struct DurableBatch {
   struct DeferredAck {
     std::function<void(Response)> ack;
     Response resp;
+    uint64_t trace_id = 0;  // nonzero: record a quorum_ack span on release
   };
   std::vector<DeferredAck> deferred;
 };
@@ -119,6 +133,10 @@ class Shard {
     /// Keys the filter is sized for; grown to the recovered key count when
     /// an existing arena holds more.
     size_t bloom_expected_keys = size_t{1} << 20;
+    /// Structured slow-op log threshold: a request whose submit->ack-ready
+    /// time exceeds this emits one stderr line with its full stage
+    /// breakdown (and bumps hartd_slow_ops_total). 0 = disabled.
+    uint64_t slow_op_us = 0;
   };
 
   /// Opens the arena (recovering an existing file-backed HART) and starts
@@ -166,6 +184,8 @@ class Shard {
     Request req;
     Ack ack;
     Response resp;
+    uint64_t enq_ns = 0;       // stamped by submit(): queue-wait start
+    uint64_t apply_end_ns = 0; // stamped by the worker after apply()
     bool fence = false;  // performed a durable write: ack after the epoch
   };
 

@@ -52,6 +52,15 @@ void collect_stats(const Hartd& d, obs::Registry::Sample* counters,
     }
     if (sh.fence.count() != 0)
       hists->push_back({"hartd_fence_latency_ns", lbl, sh.fence});
+    // Stage-latency attribution (DESIGN.md §12). Always emitted — an idle
+    // shard exposes well-defined zeros (empty-histogram percentiles are 0)
+    // rather than disappearing from the scrape.
+    hists->push_back({"hartd_stage_latency_ns",
+                      lbl + ",stage=\"queue_wait\"", sh.queue_wait});
+    hists->push_back({"hartd_stage_latency_ns",
+                      lbl + ",stage=\"batch_residency\"", sh.batch_residency});
+    hists->push_back({"hartd_stage_latency_ns",
+                      lbl + ",stage=\"fence_wait\"", sh.fence_wait});
   }
 
   // Dispatcher-served reads (kGet fast path, kMget, kScan) never enter a
@@ -83,6 +92,35 @@ void collect_stats(const Hartd& d, obs::Registry::Sample* counters,
     counters->emplace_back("hartd_repl_quorum_needed", r->quorum_needed());
     counters->emplace_back("hartd_repl_pending_quorum_acks",
                            r->pending_quorum_acks());
+    counters->emplace_back("hartd_repl_log_occupancy_hwm",
+                           r->log().occupancy_high_watermark());
+    // Per-link health, plus worst-case aggregates under the same gauge
+    // names the follower role emits — dashboards poll one name per role.
+    uint64_t lag_seq = 0, lag_bytes = 0, confirm_age = 0;
+    for (const repl::LinkHealth& lh : r->link_health()) {
+      const std::string lbl = "link=\"" + std::to_string(lh.index) + "\"";
+      counters->emplace_back("hartd_repl_link_lag_seq{" + lbl + "}",
+                             lh.lag_seq);
+      counters->emplace_back("hartd_repl_link_lag_bytes{" + lbl + "}",
+                             lh.lag_bytes);
+      counters->emplace_back(
+          "hartd_repl_link_last_confirm_age_ms{" + lbl + "}",
+          lh.last_confirm_age_ms);
+      counters->emplace_back("hartd_repl_link_connected{" + lbl + "}",
+                             lh.connected ? 1 : 0);
+      counters->emplace_back("hartd_repl_link_synced{" + lbl + "}",
+                             lh.synced ? 1 : 0);
+      counters->emplace_back("hartd_repl_link_backoff_ms{" + lbl + "}",
+                             lh.backoff_ms);
+      lag_seq = std::max(lag_seq, lh.lag_seq);
+      lag_bytes = std::max(lag_bytes, lh.lag_bytes);
+      confirm_age = std::max(confirm_age, lh.last_confirm_age_ms);
+    }
+    counters->emplace_back("hartd_repl_lag_seq", lag_seq);
+    counters->emplace_back("hartd_repl_lag_bytes", lag_bytes);
+    counters->emplace_back("hartd_repl_last_confirm_age_ms", confirm_age);
+    hists->push_back({"hartd_stage_latency_ns", "stage=\"quorum_wait\"",
+                      r->quorum_wait_histogram()});
   }
   if (const repl::FollowerApplier* a = d.applier()) {
     for (const ReplPosition& p : a->positions()) {
@@ -91,6 +129,16 @@ void collect_stats(const Hartd& d, obs::Registry::Sample* counters,
       counters->emplace_back("hartd_repl_applied_seq{" + lbl + "}", p.seq);
       counters->emplace_back("hartd_repl_applied_epoch{" + lbl + "}",
                              p.epoch);
+    }
+    // Follower-side lag under the same gauge names the primary emits, so
+    // repl_smoke can assert convergence-to-zero on either role. A promoted
+    // node that also replicates onward reports the primary-side view.
+    if (d.replicator() == nullptr) {
+      const repl::FollowerApplier::Health h = a->health();
+      counters->emplace_back("hartd_repl_lag_seq", h.backlog_batches);
+      counters->emplace_back("hartd_repl_lag_bytes", h.backlog_bytes);
+      counters->emplace_back("hartd_repl_last_confirm_age_ms",
+                             h.last_apply_age_ms);
     }
   }
 

@@ -14,6 +14,29 @@ TEST(Histogram, EmptyIsZero) {
   EXPECT_EQ(h.percentile_ns(50), 0u);
 }
 
+TEST(Histogram, EmptyPercentilesBundleIsAllZero) {
+  // The stage-attribution histograms are scraped even when a shard is
+  // idle, so the whole percentiles() bundle must be well-defined zeros on
+  // zero samples — no NaNs, no garbage tails.
+  LatencyHistogram h;
+  const Percentiles p = h.percentiles();
+  EXPECT_EQ(p.count, 0u);
+  EXPECT_EQ(p.mean_ns, 0.0);
+  EXPECT_EQ(p.min_ns, 0u);
+  EXPECT_EQ(p.max_ns, 0u);
+  EXPECT_EQ(p.p50_ns, 0u);
+  EXPECT_EQ(p.p95_ns, 0u);
+  EXPECT_EQ(p.p99_ns, 0u);
+  EXPECT_EQ(p.p999_ns, 0u);
+  EXPECT_EQ(h.sum_ns(), 0u);
+
+  // Merging an empty histogram into an empty one stays empty.
+  LatencyHistogram other;
+  h.merge(other);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentiles().p999_ns, 0u);
+}
+
 TEST(Histogram, SingleValue) {
   LatencyHistogram h;
   h.record(1000);

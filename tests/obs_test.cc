@@ -95,6 +95,45 @@ TEST(Registry, SourceFoldsIntoCountersOnUnregister) {
   EXPECT_EQ(snapshot_value(r.snapshot(), name), base + 200);
 }
 
+TEST(Registry, ConcurrentScrapeVsFoldOnUnregisterStaysMonotone) {
+  // Scrapes race source churn (register -> emit -> unregister/fold). The
+  // registry serializes both under its mutex, so no scrape may ever see
+  // the metric's total move backwards, and the final folded total must
+  // equal the sum of everything every source emitted.
+  auto& r = Registry::instance();
+  const std::string name = "obs_test_scrape_fold_total";
+  const uint64_t base = snapshot_value(r.snapshot(), name);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> regressions{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 3; ++t)
+    scrapers.emplace_back([&] {
+      uint64_t last = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t v = snapshot_value(r.snapshot(), name) - base;
+        if (v < last) regressions.fetch_add(1);
+        last = v;
+      }
+    });
+
+  static constexpr uint64_t kSources = 200;
+  static constexpr uint64_t kPerSource = 5;
+  for (uint64_t i = 0; i < kSources; ++i) {
+    SourceHandle h([&name](Registry::Sample* out) {
+      out->emplace_back(name, kPerSource);
+    });
+    // Handle destruction folds kPerSource into the retained counter while
+    // the scrapers hammer snapshot().
+  }
+  stop = true;
+  for (auto& t : scrapers) t.join();
+
+  EXPECT_EQ(regressions.load(), 0u);
+  EXPECT_EQ(snapshot_value(r.snapshot(), name),
+            base + kSources * kPerSource);
+}
+
 TEST(Registry, SnapshotSumsSameNamedCounterAndSource) {
   auto& r = Registry::instance();
   const std::string name = "obs_test_summed_total";

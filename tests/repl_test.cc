@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -185,6 +186,37 @@ TEST(ReplTest, FollowerRejectsClientWritesServesReads) {
   // Reads stay served (stale-tolerant), as do pings.
   EXPECT_EQ(db.execute({OpCode::kGet, "k", ""}).status, Status::kNotFound);
   EXPECT_EQ(db.execute({OpCode::kPing, "", ""}).status, Status::kOk);
+  db.shutdown();
+}
+
+TEST(ReplTest, FollowerAnswersStatsWithHealthGauges) {
+  Hartd db(follower_opts(2));
+  ASSERT_EQ(db.role(), repl::Role::kFollower);
+
+  // A rejected client write is visible in the counters, not just in the
+  // per-request status.
+  EXPECT_EQ(db.execute({OpCode::kPut, "k", "v"}).status,
+            Status::kNotPrimary);
+
+  // STATS is answered on a follower (it is dispatched before the role
+  // gate) and carries the replication health gauges under the same names
+  // the primary emits.
+  const Response st = db.execute({OpCode::kStats, "", ""});
+  ASSERT_EQ(st.status, Status::kOk);
+  const std::string& text = st.value;
+  EXPECT_NE(text.find("hartd_repl_role 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("hartd_repl_lag_seq 0"), std::string::npos);
+  EXPECT_NE(text.find("hartd_repl_lag_bytes 0"), std::string::npos);
+  EXPECT_NE(text.find("hartd_repl_last_confirm_age_ms 0"),
+            std::string::npos);
+
+  // Anchor to line start: a bare find() would hit the "# TYPE" line.
+  const size_t pos = text.find("\nhartd_write_rejected_total ");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_GE(std::strtoull(text.c_str() + pos +
+                              std::strlen("\nhartd_write_rejected_total "),
+                          nullptr, 10),
+            1u);
   db.shutdown();
 }
 

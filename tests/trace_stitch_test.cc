@@ -1,0 +1,119 @@
+// End-to-end request tracing (DESIGN.md §12): a sampled PUT under
+// quorum replication must produce one stitched span tree — client,
+// dispatch, shard queue, apply, fence, replicator ship, follower apply,
+// quorum ack — all carrying the same trace id. Primary and follower run
+// in one process here, so both nodes' spans land in the same Tracer and
+// the whole tree is assertable from Tracer::events().
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "server/client.h"
+#include "server/hartd.h"
+#include "server/tcp.h"
+
+namespace hart::server {
+namespace {
+
+Hartd::Options base_opts(size_t shards) {
+  Hartd::Options o;
+  o.shards = shards;
+  o.batch_size = 8;
+  o.arena_mb = 32;
+  return o;
+}
+
+/// All events of the current trace that carry `trace_id`.
+std::vector<obs::TraceEvent> events_of(uint64_t trace_id) {
+  std::vector<obs::TraceEvent> out;
+  for (const obs::TraceEvent& e : obs::Tracer::instance().events())
+    if (e.trace_id == trace_id) out.push_back(e);
+  return out;
+}
+
+bool has_span(const std::vector<obs::TraceEvent>& evs, const char* name) {
+  for (const obs::TraceEvent& e : evs)
+    if (std::strcmp(e.name, name) == 0) return true;
+  return false;
+}
+
+TEST(TraceStitchTest, QuorumPutProducesFullSpanTree) {
+  obs::Tracer::instance().enable();
+
+  Hartd::Options fo = base_opts(2);
+  fo.follow = true;
+  Hartd follower(fo);
+  TcpServer fsrv(follower, 0);
+
+  Hartd::Options po = base_opts(2);
+  po.replicate_to = {"127.0.0.1:" + std::to_string(fsrv.port())};
+  po.ack_policy = repl::AckPolicy::kQuorum;
+  Hartd primary(po);
+
+  Client cli(primary);
+  cli.set_trace_sampling(1);  // stamp every request
+  ASSERT_TRUE(is_acked_write(cli.put("traced-key", "traced-val").status));
+
+  // The client span closed when the quorum-released ack completed the
+  // put, and every server-side span records before that ack fires — the
+  // whole tree is visible now, with one consistent id.
+  uint64_t trace_id = 0;
+  for (const obs::TraceEvent& e : obs::Tracer::instance().events())
+    if (std::strcmp(e.name, "client") == 0 && e.trace_id != 0)
+      trace_id = e.trace_id;
+  ASSERT_NE(trace_id, 0u) << "sampled PUT produced no client span";
+
+  const std::vector<obs::TraceEvent> evs = events_of(trace_id);
+  for (const char* name :
+       {"client", "dispatch", "queue_wait", "shard_apply", "fence",
+        "repl_ship", "follower_apply", "quorum_ack"}) {
+    EXPECT_TRUE(has_span(evs, name))
+        << "span '" << name << "' missing from trace "
+        << std::hex << trace_id;
+  }
+
+  primary.shutdown();
+  fsrv.stop();
+  follower.shutdown();
+  obs::Tracer::instance().disable();
+}
+
+TEST(TraceStitchTest, DispatcherSamplingStampsUnsampledRequests) {
+  obs::Tracer::instance().enable();
+
+  Hartd::Options o = base_opts(1);
+  o.trace_sample = 1;  // dispatcher stamps every unsampled KV request
+  Hartd db(o);
+  ASSERT_TRUE(is_acked_write(db.execute({OpCode::kPut, "dk", "dv"}).status));
+  db.shutdown();
+
+  uint64_t trace_id = 0;
+  for (const obs::TraceEvent& e : obs::Tracer::instance().events())
+    if (std::strcmp(e.name, "dispatch") == 0 && e.trace_id != 0)
+      trace_id = e.trace_id;
+  ASSERT_NE(trace_id, 0u);
+  const std::vector<obs::TraceEvent> evs = events_of(trace_id);
+  EXPECT_TRUE(has_span(evs, "queue_wait"));
+  EXPECT_TRUE(has_span(evs, "shard_apply"));
+  EXPECT_TRUE(has_span(evs, "fence"));
+  obs::Tracer::instance().disable();
+}
+
+TEST(TraceStitchTest, UnsampledRunRecordsNoTraceIds) {
+  obs::Tracer::instance().enable();
+
+  Hartd db(base_opts(1));  // no sampling anywhere
+  Client cli(db);
+  ASSERT_TRUE(is_acked_write(cli.put("uk", "uv").status));
+  db.shutdown();
+
+  for (const obs::TraceEvent& e : obs::Tracer::instance().events())
+    EXPECT_EQ(e.trace_id, 0u) << e.name;
+  obs::Tracer::instance().disable();
+}
+
+}  // namespace
+}  // namespace hart::server

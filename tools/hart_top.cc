@@ -1,0 +1,241 @@
+// hart_top — a terminal dashboard for one or more hartd instances.
+//
+// Polls each endpoint's STATS scrape (Prometheus text, over the normal
+// client protocol) on an interval and renders a compact per-node view:
+// role, throughput (delta between polls), live keys, stage-latency
+// percentiles (queue wait / batch residency / fence wait / quorum wait),
+// slow-op count, and the replication health gauges (per-role lag,
+// confirm staleness, link state). Ctrl-C exits.
+//
+//   hart_top --endpoints 127.0.0.1:7677,127.0.0.1:7678 --interval 2
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+
+namespace {
+
+using hart::server::Client;
+using hart::server::Response;
+using hart::server::Status;
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --endpoints H:P[,H:P...] [options]\n"
+      "  --endpoints L   hartd endpoints to poll, host:port[,host:port...]\n"
+      "  --interval S    seconds between polls            (default 2)\n"
+      "  --count N       exit after N polls               (default 0 = forever)\n"
+      "  --no-clear      append frames instead of clearing the screen\n"
+      "  --help          this text\n",
+      argv0);
+}
+
+/// One scrape, parsed: full series name (with label body) -> value.
+using Sample = std::map<std::string, double>;
+
+Sample parse_prometheus(const std::string& text) {
+  Sample out;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0) continue;
+    out[line.substr(0, sp)] = std::strtod(line.c_str() + sp + 1, nullptr);
+  }
+  return out;
+}
+
+double value_of(const Sample& s, const std::string& key) {
+  const auto it = s.find(key);
+  return it == s.end() ? 0 : it->second;
+}
+
+/// Max over every series of `name` whose label body contains all `needles`
+/// (e.g. worst per-shard p99 of one stage). 0 when nothing matches.
+double max_match(const Sample& s, const std::string& name,
+                 const std::vector<std::string>& needles) {
+  double best = 0;
+  const std::string prefix = name + "{";
+  for (auto it = s.lower_bound(prefix);
+       it != s.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    bool all = true;
+    for (const std::string& n : needles)
+      if (it->first.find(n) == std::string::npos) {
+        all = false;
+        break;
+      }
+    if (all && it->second > best) best = it->second;
+  }
+  return best;
+}
+
+const char* role_name(double role) {
+  if (role == 1) return "follower";
+  if (role == 2) return "promoting";
+  return "primary";
+}
+
+struct Node {
+  std::string host;
+  uint16_t port = 0;
+  std::unique_ptr<Client> client;
+  Sample prev;
+  bool had_prev = false;
+};
+
+void print_stage(const Sample& s, const char* stage) {
+  const std::string st = std::string("stage=\"") + stage + "\"";
+  const double p50 =
+      max_match(s, "hartd_stage_latency_ns", {st, "quantile=\"0.5\""});
+  const double p99 =
+      max_match(s, "hartd_stage_latency_ns", {st, "quantile=\"0.99\""});
+  std::printf("    %-15s p50 %9.1fus  p99 %9.1fus\n", stage, p50 / 1e3,
+              p99 / 1e3);
+}
+
+void render(Node* n, double interval_s) {
+  std::printf("%s:%u — ", n->host.c_str(), n->port);
+  if (n->client == nullptr) {
+    try {
+      n->client = std::make_unique<Client>(n->host, n->port);
+    } catch (const std::exception&) {
+      std::printf("unreachable\n");
+      return;
+    }
+  }
+  const Response r = n->client->stats();
+  if (r.status != Status::kOk) {
+    std::printf("scrape failed (%s)\n", hart::server::status_name(r.status));
+    n->client.reset();  // redial on the next poll
+    n->had_prev = false;
+    return;
+  }
+  const Sample s = parse_prometheus(r.value);
+
+  const double ops = value_of(s, "hartd_ops_total");
+  const double rate =
+      n->had_prev && interval_s > 0
+          ? (ops - value_of(n->prev, "hartd_ops_total")) / interval_s
+          : 0;
+  std::printf("%s, %.0f ops (%.0f/s), %.0f keys, %.0f slow-ops\n",
+              role_name(value_of(s, "hartd_repl_role")), ops, rate,
+              value_of(s, "hartd_live_keys"),
+              value_of(s, "hartd_slow_ops_total"));
+
+  print_stage(s, "queue_wait");
+  print_stage(s, "batch_residency");
+  print_stage(s, "fence_wait");
+  if (max_match(s, "hartd_stage_latency_ns",
+                {"stage=\"quorum_wait\"", "quantile=\"0.5\""}) > 0 ||
+      value_of(s, "hartd_repl_quorum_needed") > 0)
+    print_stage(s, "quorum_wait");
+
+  // Replication health: both roles expose the same lag gauge names.
+  if (s.count("hartd_repl_lag_seq") != 0) {
+    std::printf(
+        "    repl            lag %.0f batches / %.0f bytes, confirm-age "
+        "%.0fms",
+        value_of(s, "hartd_repl_lag_seq"), value_of(s, "hartd_repl_lag_bytes"),
+        value_of(s, "hartd_repl_last_confirm_age_ms"));
+    if (value_of(s, "hartd_repl_followers") > 0)
+      std::printf(", links %.0f/%.0f up, log-hwm %.0f",
+                  value_of(s, "hartd_repl_connected_links"),
+                  value_of(s, "hartd_repl_followers"),
+                  value_of(s, "hartd_repl_log_occupancy_hwm"));
+    std::printf("\n");
+  }
+  n->prev = s;
+  n->had_prev = true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Node> nodes;
+  double interval_s = 2;
+  long count = 0;
+  bool clear = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hart_top: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (a == "--endpoints") {
+      const std::string list = need("--endpoints");
+      size_t start = 0;
+      while (start <= list.size()) {
+        const size_t comma = list.find(',', start);
+        const std::string one =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        const size_t colon = one.rfind(':');
+        if (colon != std::string::npos) {
+          Node n;
+          n.host = one.substr(0, colon);
+          n.port = static_cast<uint16_t>(
+              std::strtoul(one.c_str() + colon + 1, nullptr, 10));
+          nodes.push_back(std::move(n));
+        } else if (!one.empty()) {
+          std::fprintf(stderr, "hart_top: bad endpoint '%s'\n", one.c_str());
+          return 2;
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (a == "--interval") {
+      interval_s = std::strtod(need("--interval"), nullptr);
+    } else if (a == "--count") {
+      count = std::strtol(need("--count"), nullptr, 10);
+    } else if (a == "--no-clear") {
+      clear = false;
+    } else {
+      std::fprintf(stderr, "hart_top: unknown flag '%s' (--help)\n",
+                   a.c_str());
+      return 2;
+    }
+  }
+  if (nodes.empty()) {
+    std::fprintf(stderr, "hart_top: need --endpoints (--help)\n");
+    return 2;
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  for (long frame = 0; g_stop == 0; ++frame) {
+    if (clear) std::printf("\x1b[2J\x1b[H");
+    std::printf("hart_top — %zu node(s), every %.1fs\n\n", nodes.size(),
+                interval_s);
+    for (Node& n : nodes) render(&n, interval_s);
+    std::fflush(stdout);
+    if (count > 0 && frame + 1 >= count) break;
+    // Sleep in small slices so Ctrl-C exits promptly.
+    for (double left = interval_s; left > 0 && g_stop == 0; left -= 0.05)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return 0;
+}

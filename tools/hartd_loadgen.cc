@@ -66,6 +66,7 @@ struct Config {
   bool stats_only = false;  // scrape metrics and exit
   std::string stats_out;  // final Prometheus snapshot file
   std::string trace_out;  // chrome://tracing JSON file
+  size_t trace_sample = 0;  // client-side: stamp every Nth request
   // --inproc server knobs
   size_t shards = 4;
   size_t batch = 32;
@@ -98,6 +99,9 @@ void usage(const char* argv0) {
       "                    (print, or write to --stats-out)\n"
       "  --stats-out P     write a final Prometheus metrics snapshot to P\n"
       "  --trace-out P     write a chrome://tracing JSON timeline to P\n"
+      "  --trace-sample N  stamp every Nth request with a trace id; spans\n"
+      "                    propagate through the server's stage timeline\n"
+      "                    (1 = every request, 0 = off)\n"
       "  in-process server knobs (--inproc):\n"
       "  --shards N --batch N --arena-dir D --arena-mb N --latency W/R\n"
       "  --spin-latency    busy-wait injected latency per persist instead\n"
@@ -447,6 +451,8 @@ int main(int argc, char** argv) {
       cfg.stats_out = need("--stats-out");
     } else if (a == "--trace-out") {
       cfg.trace_out = need("--trace-out");
+    } else if (a == "--trace-sample") {
+      cfg.trace_sample = std::strtoull(need("--trace-sample"), nullptr, 10);
     } else if (a == "--shards") {
       cfg.shards = std::strtoull(need("--shards"), nullptr, 10);
     } else if (a == "--batch") {
@@ -573,6 +579,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "loadgen: connect failed: %s\n", e.what());
       return 1;
     }
+    if (cfg.trace_sample > 0)
+      clients.back()->set_trace_sampling(cfg.trace_sample);
   }
 
   Counters ctr;

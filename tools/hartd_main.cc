@@ -58,6 +58,12 @@ void usage(const char* argv0) {
       "                  every N seconds (and once at shutdown)\n"
       "  --trace-out F   record a trace of batches/fences/recovery and\n"
       "                  write chrome://tracing JSON to F at shutdown\n"
+      "  --trace-sample N  dispatcher-side request tracing: stamp every Nth\n"
+      "                  unsampled KV request with a trace id (1 = all,\n"
+      "                  0 = off); spans land in the --trace-out timeline\n"
+      "  --slow-op-us N  structured slow-op log: any request whose stage\n"
+      "                  breakdown exceeds N microseconds logs to stderr\n"
+      "                  and bumps hartd_slow_ops_total (0 = off)\n"
       "  --help          this text\n",
       argv0);
 }
@@ -157,6 +163,10 @@ int main(int argc, char** argv) {
       stats_dump_secs = std::strtol(need("--stats-dump"), nullptr, 10);
     } else if (a == "--trace-out") {
       trace_out = need("--trace-out");
+    } else if (a == "--trace-sample") {
+      opts.trace_sample = std::strtoull(need("--trace-sample"), nullptr, 10);
+    } else if (a == "--slow-op-us") {
+      opts.slow_op_us = std::strtoull(need("--slow-op-us"), nullptr, 10);
     } else {
       std::fprintf(stderr, "hartd: unknown flag '%s' (--help)\n", a.c_str());
       return 2;

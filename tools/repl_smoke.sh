@@ -18,6 +18,10 @@
 #    shutdown drains the replication tail), promote, replay. Local policy
 #    only guarantees durability across a *graceful* exit.
 #
+#  Both phases first run a warm-up burst and require the replication-lag
+#  health gauges (hartd_repl_lag_seq / _lag_bytes / _last_confirm_age_ms)
+#  to converge to zero on both roles before the killed burst starts.
+#
 # Run by ctest (repl_smoke, 2 s) and by the CI repl-smoke job (5 s).
 set -euo pipefail
 
@@ -67,10 +71,40 @@ start_primary() { # $1 = ack policy, $2 = phase tag
   PPORT=$(cat "$DIR/pport")
 }
 
+# After a quiesced burst every replication lag gauge must read zero on
+# both roles — the health gauges' "caught up" contract (DESIGN.md §12).
+wait_lag_drained() { # $1 = port, $2 = role name
+  for _ in $(seq 100); do
+    if "$LOADGEN" --port "$1" --stats-only --stats-out "$DIR/lag.prom" \
+                  > /dev/null 2>&1; then
+      LAG_SEQ=$(awk '$1 == "hartd_repl_lag_seq" {print $2}' "$DIR/lag.prom")
+      LAG_BYTES=$(awk '$1 == "hartd_repl_lag_bytes" {print $2}' "$DIR/lag.prom")
+      LAG_AGE=$(awk '$1 == "hartd_repl_last_confirm_age_ms" {print $2}' \
+                    "$DIR/lag.prom")
+      if [ "${LAG_SEQ:-x}" = "0" ] && [ "${LAG_BYTES:-x}" = "0" ] &&
+         [ "${LAG_AGE:-x}" = "0" ]; then
+        return 0
+      fi
+    fi
+    sleep 0.1
+  done
+  echo "FAIL: $2 lag gauges never drained to zero" \
+       "(lag_seq=${LAG_SEQ:-?} lag_bytes=${LAG_BYTES:-?} age_ms=${LAG_AGE:-?})"
+  exit 1
+}
+
 run_phase() { # $1 = ack policy, $2 = kill signal (KILL|TERM), $3 = tag
   start_follower "$3"
   start_primary "$1" "$3"
   echo "   follower :$FPORT  primary :$PPORT  (ack-policy $1)"
+
+  # Warm-up burst, then the lag gauges on BOTH roles must converge to zero
+  # before the real (killed) burst starts.
+  "$LOADGEN" --port "$PPORT" --clients 2 --ops 1000 --mix insert \
+             --pipeline 16 > /dev/null
+  wait_lag_drained "$PPORT" primary
+  wait_lag_drained "$FPORT" follower
+  echo "   warm-up drained: repl lag gauges at zero on both roles"
 
   rm -f "$DIR/acked-$3.log"
   "$LOADGEN" --port "$PPORT" --clients 4 --seconds "$SECS" --mix insert \
