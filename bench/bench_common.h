@@ -273,7 +273,7 @@ inline double run_basic_op(TreeKind kind, const pmem::LatencyConfig& lat,
     case BasicOp::kSearch: {
       std::string v;
       size_t hits = 0;
-      for (const auto* k : order) timed([&] { hits += tree->search(*k, &v); });
+      for (const auto* k : order) timed([&] { hits += tree->search(*k, &v).ok() ? 1 : 0; });
       if (hits != keys.size()) std::cerr << "warning: search misses\n";
       break;
     }

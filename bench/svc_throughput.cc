@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "epalloc/allocator.h"
+#include "obs/counters.h"
 #include "server/client.h"
 #include "workload/mixes.h"
 
@@ -65,12 +67,15 @@ double svc_zipf() {  // Zipfian theta for the mixed-workload section
 }
 
 SvcResult run_service(size_t shards, size_t batch,
-                      const hart::pmem::LatencyConfig& lat) {
+                      const hart::pmem::LatencyConfig& lat,
+                      hart::epalloc::AllocOptions::Kind alloc_kind =
+                          hart::epalloc::AllocOptions::Kind::kAuto) {
   Hartd::Options o;
   o.shards = shards;
   o.batch_size = batch;
   o.latency = lat;
   o.arena_mb = 64;
+  o.hart.alloc.kind = alloc_kind;
   Hartd db(o);
 
   const size_t per_client = svc_ops();
@@ -302,5 +307,75 @@ int main(int argc, char** argv) {
             stage_csv(r));
   }
   mixed.print();
+
+  // Allocator ablation: the same Random-insert burst under the striped
+  // allocator (service default: chunk-header persists batched onto the
+  // epoch fence) vs the legacy single-instance EPAllocator (--legacy-alloc,
+  // one eager header persist per alloc/free). The metric that matters is
+  // PM metadata persists *per op* — the striped allocator amortizes a
+  // whole batch of header updates into one flush per dirty chunk line at
+  // the fence the service already pays for. Emitted as a machine-readable
+  // BENCH json line for the experiment harness.
+  {
+    using hart::epalloc::AllocOptions;
+    auto& reg = hart::obs::Registry::instance();
+    auto meta_persists = [&reg] {
+      return reg.counter("epalloc_pm_meta_persists_total").value();
+    };
+    struct Leg {
+      const char* name;
+      AllocOptions::Kind kind;
+      double ops_per_sec = 0;
+      uint64_t persists = 0;
+      double per_op = 0;
+    } legs[] = {{"striped", AllocOptions::Kind::kStriped},
+                {"legacy", AllocOptions::Kind::kLegacy}};
+    const uint64_t deferred0 =
+        reg.counter("epalloc_meta_persists_deferred_total").value();
+    const uint64_t flushes0 =
+        reg.counter("epalloc_meta_flush_batches_total").value();
+    for (Leg& leg : legs) {
+      const uint64_t before = meta_persists();
+      const SvcResult r = run_service(4, 32, lats[1], leg.kind);
+      leg.persists = meta_persists() - before;
+      leg.ops_per_sec = r.ops_per_sec;
+      leg.per_op = static_cast<double>(leg.persists) /
+                   static_cast<double>(total);
+    }
+    hart::common::Table ablation({"allocator (4 shards, 600/300)", "ops/s",
+                                  "PM meta persists", "persists/op"});
+    for (const Leg& leg : legs) {
+      char ops[32], pp[32], po[32];
+      std::snprintf(ops, sizeof(ops), "%.0f", leg.ops_per_sec);
+      std::snprintf(pp, sizeof(pp), "%llu",
+                    static_cast<unsigned long long>(leg.persists));
+      std::snprintf(po, sizeof(po), "%.4f", leg.per_op);
+      ablation.add_row({leg.name, ops, pp, po});
+    }
+    ablation.print();
+    const double reduction =
+        legs[1].per_op > 0 ? 1.0 - legs[0].per_op / legs[1].per_op : 0.0;
+    std::printf(
+        "BENCH {\"name\":\"svc_alloc_ablation\",\"workload\":"
+        "\"Random-insert\",\"shards\":4,\"batch\":32,\"latency\":\"%s\","
+        "\"ops\":%zu,"
+        "\"striped\":{\"ops_per_sec\":%.0f,\"pm_meta_persists\":%llu,"
+        "\"persists_per_op\":%.4f},"
+        "\"legacy\":{\"ops_per_sec\":%.0f,\"pm_meta_persists\":%llu,"
+        "\"persists_per_op\":%.4f},"
+        "\"pm_meta_persist_reduction\":%.4f,"
+        "\"meta_persists_deferred\":%llu,\"meta_flush_batches\":%llu}\n",
+        lats[1].label().c_str(), total, legs[0].ops_per_sec,
+        static_cast<unsigned long long>(legs[0].persists), legs[0].per_op,
+        legs[1].ops_per_sec,
+        static_cast<unsigned long long>(legs[1].persists), legs[1].per_op,
+        reduction,
+        static_cast<unsigned long long>(
+            reg.counter("epalloc_meta_persists_deferred_total").value() -
+            deferred0),
+        static_cast<unsigned long long>(
+            reg.counter("epalloc_meta_flush_batches_total").value() -
+            flushes0));
+  }
   return 0;
 }

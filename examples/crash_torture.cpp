@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     size_t present = 0;
     for (size_t i = 0; i < committed; ++i) {
       std::string v;
-      if (!recovered.search(keys[i], &v)) {
+      if (!recovered.search(keys[i], &v).ok()) {
         std::cerr << "LOST committed key " << keys[i] << " (crash_at="
                   << crash_at << ")\n";
         return 1;

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "get" && argc == 4) {
       std::string v;
-      if (!index.search(argv[3], &v)) {
+      if (!index.search(argv[3], &v).ok()) {
         std::cerr << "not found\n";
         return 1;
       }
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "del" && argc == 4) {
-      if (!index.remove(argv[3])) {
+      if (!index.remove(argv[3]).ok()) {
         std::cerr << "not found\n";
         return 1;
       }

@@ -26,7 +26,7 @@ int main() {
 
   // Search.
   std::string v;
-  const bool found = index.search("apple", &v);
+  const bool found = index.search("apple", &v).ok();
   std::cout << "apple found: " << found << ", value: " << v << "\n";
 
   // Update (out-of-place, crash-safe through the update micro-log).
@@ -36,7 +36,7 @@ int main() {
 
   // Delete.
   index.remove("banana");
-  std::cout << "banana present: " << index.search("banana", nullptr)
+  std::cout << "banana present: " << index.search("banana", nullptr).ok()
             << "\n";
 
   // Ordered scan from a lower bound.
@@ -50,7 +50,7 @@ int main() {
   // all internal nodes from the persistent leaf chunks.
   hart::core::Hart recovered(arena);
   std::cout << "recovered " << recovered.size() << " records; apple: "
-            << (recovered.search("apple", &v) ? v : "<missing>") << "\n";
+            << (recovered.search("apple", &v).ok() ? v : "<missing>") << "\n";
 
   const auto mem = index.memory_usage();
   std::cout << "PM bytes: " << mem.pm_bytes

@@ -3,11 +3,12 @@
 // The v1 interface returned bare bools whose meaning differed per call
 // ("inserted a new key" for insert, "hit" for search/update/remove) and
 // rejected malformed keys by throwing std::invalid_argument. Status makes
-// the outcome explicit while keeping every v1 call site compiling: the
-// implicit bool conversion reproduces the legacy truth table exactly
-// (kOk and kInserted are true; kUpdated, kNotFound and kInvalidArgument
-// are false), and validation failures now surface as kInvalidArgument
-// instead of an exception.
+// the outcome explicit: callers compare against a Code (or use ok() for
+// "the operation was applied or answered"), and validation failures
+// surface as kInvalidArgument instead of an exception. There is
+// deliberately no implicit bool conversion — the v1 shim's truth table
+// (kOk and kInserted true, everything else false) read differently per
+// operation and hid kUpdated/kOutOfMemory outcomes behind `false`.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +23,8 @@ class Status {
     kUpdated = 2,          // insert hit an existing key and updated it
     kNotFound = 3,         // key absent
     kInvalidArgument = 4,  // malformed key or value; nothing was mutated
+    kOutOfMemory = 5,      // arena exhausted; nothing was mutated
+    kUnavailable = 6,      // service/transport failure (client-side)
   };
 
   constexpr Status() = default;
@@ -31,27 +34,13 @@ class Status {
   [[nodiscard]] constexpr Code code() const { return code_; }
   /// Every non-error outcome (the operation was applied or answered).
   [[nodiscard]] constexpr bool ok() const {
-    return code_ != kNotFound && code_ != kInvalidArgument;
-  }
-
-  /// v1 bool semantics: insert() was true iff a NEW key was created;
-  /// search/update/remove were true iff the key was hit.
-  // NOLINTNEXTLINE(google-explicit-constructor): the v1 migration shim.
-  constexpr operator bool() const {
-    return code_ == kOk || code_ == kInserted;
+    return code_ == kOk || code_ == kInserted || code_ == kUpdated;
   }
 
   friend constexpr bool operator==(Status a, Status b) {
     return a.code_ == b.code_;
   }
   friend constexpr bool operator!=(Status a, Status b) { return !(a == b); }
-  // Exact-match Code overloads: without them `status == Status::kOk` is
-  // ambiguous between Status(Code) + the Status comparison and the
-  // operator bool + builtin integer comparison.
-  friend constexpr bool operator==(Status a, Code b) { return a.code_ == b; }
-  friend constexpr bool operator==(Code a, Status b) { return a == b.code_; }
-  friend constexpr bool operator!=(Status a, Code b) { return !(a == b); }
-  friend constexpr bool operator!=(Code a, Status b) { return !(a == b); }
 
   [[nodiscard]] const char* name() const {
     switch (code_) {
@@ -59,6 +48,8 @@ class Status {
       case kInserted: return "inserted";
       case kUpdated: return "updated";
       case kNotFound: return "not-found";
+      case kOutOfMemory: return "out-of-memory";
+      case kUnavailable: return "unavailable";
       default: return "invalid-argument";
     }
   }

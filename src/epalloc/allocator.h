@@ -1,0 +1,191 @@
+// epalloc::Allocator — the v2 allocator interface (striped PM allocation).
+//
+// PR 10 redesign: every index tree used to hold a concrete EPAllocator by
+// value; the allocator API is now an abstract interface with two
+// implementations selected at arena-open time:
+//
+//   * EPAllocator (epalloc.h)  — the paper's single-instance allocator.
+//     Every bitmap mutation persists its chunk header inline. Kept as the
+//     `--legacy-alloc` ablation baseline.
+//   * StripedAllocator (striped.h) — HESH/Dash-style striped sub-allocators,
+//     one stripe per modeled DIMM. Volatile chunk metadata (including a DRAM
+//     shadow of each chunk's free bitmap) is partitioned by a deterministic
+//     chunk->stripe map, threads spread across stripes round-robin
+//     (equalization) and steal when their stripe is empty, and — in batched
+//     mode — chunk-header persists are deferred to flush_metadata(), which
+//     the service piggybacks on the group-commit epoch fence.
+//
+// Interface conventions:
+//   * reserve() is Status-typed: arena exhaustion is a reportable
+//     kOutOfMemory, not an exception escaping the write path.
+//   * flush_metadata(epoch) is the explicit persistence hook. Eager
+//     implementations make it a no-op; batched implementations persist all
+//     dirty chunk headers and unblock pending-free slots. Callers must
+//     invoke it before declaring an epoch durable.
+//   * Both implementations write byte-identical persistent images (chunk
+//     lists, headers, micro-logs), so an arena created under either opens
+//     under the other — see tests/alloc_parity_test.cc.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "epalloc/chunk.h"
+#include "epalloc/micrologs.h"
+#include "pmem/arena.h"
+
+namespace hart::epalloc {
+
+/// Result of probing a free leaf slot for a dangling committed value left
+/// by a prior incomplete insertion or deletion (Algorithm 2, lines 12-16).
+struct LeafValueRef {
+  uint64_t value_off = 0;  // 0 = no dangling value
+  ObjType cls = ObjType::kValue8;
+};
+/// Reads the (stale) leaf at `leaf_off` and reports its value reference.
+using LeafProbeFn = LeafValueRef (*)(const pmem::Arena&, uint64_t leaf_off);
+/// Clears the stale leaf's value pointer (object.p_value = NULL).
+using LeafClearFn = void (*)(pmem::Arena&, uint64_t leaf_off);
+
+/// Allocator construction knobs (part of Hart::Options and hartd::Config).
+struct AllocOptions {
+  enum class Kind : uint8_t {
+    kAuto,     // striped, unless the HART_LEGACY_ALLOC env var is set
+    kStriped,  // force the striped allocator
+    kLegacy,   // force the paper's single-instance EPAllocator
+  };
+  Kind kind = Kind::kAuto;
+  /// Hard ceiling on the stripe count (a modeled system has at most a few
+  /// dozen DIMMs; the factory clamps here).
+  static constexpr uint32_t kMaxStripes = 64;
+  /// Number of stripes (modeled DIMMs). 0 = auto: min(hw threads, 8),
+  /// at least 1. Ignored by the legacy allocator.
+  uint32_t stripes = 0;
+  /// Defer chunk-header persists to flush_metadata() (the service sets this;
+  /// raw Hart embedders default to eager per-op durability). Ignored by the
+  /// legacy allocator, which always persists inline.
+  bool batched_meta = false;
+};
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Algorithm 2. On kOk, *obj_off holds a reserved object's arena offset.
+  /// The persistent bit is not yet set; call commit() once the object is
+  /// reachable from the index, or release() to abort. kOutOfMemory when the
+  /// arena cannot fit another chunk (nothing is reserved).
+  virtual common::Status reserve(ObjType t, uint64_t* obj_off) = 0;
+
+  /// Set the object's bitmap bit (e.g. Alg. 1 lines 14/18). The header
+  /// store is immediate (lock-free readers see it via bit_probe); whether
+  /// the *persist* is inline or deferred to flush_metadata() depends on the
+  /// implementation's batching mode.
+  virtual void commit(ObjType t, uint64_t obj_off) = 0;
+
+  /// Drop a reservation without committing (abort path; no crash involved).
+  virtual void release(ObjType t, uint64_t obj_off) = 0;
+
+  /// Reset the object's bitmap bit (deletion / update paths). Does not
+  /// recycle; call recycle_chunk_of() afterwards (Alg. 5/6).
+  virtual void free_object(ObjType t, uint64_t obj_off) = 0;
+
+  /// Deletion path (Alg. 5 lines 11-12 plus the p_value clear deviation,
+  /// see DESIGN.md): atomically — with respect to leaf reservations —
+  /// reset the leaf bit, reset the value bit, and clear the leaf's value
+  /// pointer.
+  virtual void free_leaf_with_value(uint64_t leaf_off, ObjType vcls,
+                                    uint64_t val_off) = 0;
+
+  // ---- EBR-deferred reuse ---------------------------------------------
+  // The *_retired variants reset the persistent bit but also set a volatile
+  // `retired` bit that keeps reserve() from handing the slot out again
+  // until release_retired() runs after the reader grace period.
+
+  /// free_object(), minus making the slot reusable.
+  virtual void free_object_retired(ObjType t, uint64_t obj_off) = 0;
+
+  /// free_leaf_with_value(), minus making either slot reusable.
+  virtual void free_leaf_with_value_retired(uint64_t leaf_off, ObjType vcls,
+                                            uint64_t val_off) = 0;
+
+  /// Grace period over: allow reuse and run the deferred EPRecycle.
+  /// Tolerates a chunk that no longer exists (freed across a recovery).
+  virtual void release_retired(ObjType t, uint64_t obj_off) = 0;
+
+  /// EPRecycle(MemChunkOf(obj)) — Algorithm 6. Unlinks and frees the chunk
+  /// if it contains no used (or reserved, retired, pending) object.
+  virtual void recycle_chunk_of(ObjType t, uint64_t obj_off) = 0;
+
+  [[nodiscard]] virtual bool bit_is_set(ObjType t, uint64_t obj_off) const = 0;
+
+  /// Lock-free read of an object's persistent bit, for concurrent readers
+  /// (HART search validates the leaf bit, Algorithm 4 line 9). Header words
+  /// are updated with atomic 8-byte stores, so this is race-free.
+  [[nodiscard]] virtual bool bit_probe(ObjType t, uint64_t obj_off) const = 0;
+
+  [[nodiscard]] virtual const TypeGeometry& geom(ObjType t) const = 0;
+  [[nodiscard]] uint64_t chunk_of(ObjType t, uint64_t obj_off) const {
+    return geom(t).chunk_of(obj_off);
+  }
+
+  // ---- batched metadata persistence -----------------------------------
+  /// Persist every deferred chunk-header word and unblock pending-free
+  /// slots. The service calls this once per group-commit batch, inside
+  /// Hart::flush_epoch() before the epoch stamp persists; `epoch` is the
+  /// epoch being made durable (informational). Eager implementations:
+  /// no-op.
+  virtual void flush_metadata(uint64_t epoch) = 0;
+
+  /// Number of allocation stripes (1 for the legacy allocator).
+  [[nodiscard]] virtual uint32_t stripe_count() const = 0;
+
+  /// "legacy" or "striped" — for --print-config and stats.
+  [[nodiscard]] virtual const char* kind_name() const = 0;
+
+  // ---- update-log slot pool (Algorithm 3 uses one slot per update) ----
+  virtual UpdateLog* acquire_ulog() = 0;
+  /// LogReclaim: zero + persist the slot, return it to the pool. Always
+  /// eager — a deferred zero-persist could replay a stale completed log.
+  virtual void reclaim_ulog(UpdateLog* log) = 0;
+
+  // ---- recovery -------------------------------------------------------
+  /// Structural recovery: finish or roll back the recycle log, rebuild the
+  /// arena allocation map from the reachable chunk lists (leak freedom by
+  /// construction), and rebuild all volatile state — including the DRAM
+  /// bitmap shadows — from the PM headers. The caller then replays its
+  /// update logs and rebuilds DRAM structures (Algorithm 7).
+  virtual void recover_structure() = 0;
+
+  /// Invoke `f(obj_off)` for every object whose bit is set, in list order.
+  virtual void for_each_live(ObjType t,
+                             const std::function<void(uint64_t)>& f) const = 0;
+
+  /// Snapshot of the chunk offsets of one list (parallel recovery shards
+  /// the leaf list across workers by chunk).
+  [[nodiscard]] virtual std::vector<uint64_t> chunk_offsets(ObjType t)
+      const = 0;
+
+  // ---- introspection (tests, stats) -----------------------------------
+  [[nodiscard]] virtual uint64_t live_objects(ObjType t) const = 0;
+  [[nodiscard]] virtual uint64_t chunk_count(ObjType t) const = 0;
+  [[nodiscard]] virtual uint64_t list_head(ObjType t) const = 0;
+};
+
+/// Build the allocator selected by `opts` over `root` (which must live in
+/// the arena header). On a fresh arena the root must be zero; on reopen
+/// call recover_structure() before any use.
+std::unique_ptr<Allocator> make_allocator(pmem::Arena& arena, EPRoot* root,
+                                          uint32_t leaf_obj_size,
+                                          LeafProbeFn probe, LeafClearFn clear,
+                                          const AllocOptions& opts = {});
+
+/// Resolve AllocOptions::Kind::kAuto against the HART_LEGACY_ALLOC
+/// environment variable (set in CI ablation legs). Returns the concrete
+/// kind that make_allocator would build.
+AllocOptions::Kind resolve_alloc_kind(AllocOptions::Kind k);
+
+}  // namespace hart::epalloc

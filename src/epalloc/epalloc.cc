@@ -25,6 +25,10 @@ struct EpCounters {
   obs::Counter& ulog_take;
   obs::Counter& ulog_reclaim;
   obs::Counter& stale_value_reclaim;
+  // Chunk-header (bitmap word) persists — the PM metadata writes the
+  // striped allocator batches away. Counted here too so the --legacy-alloc
+  // ablation reports a comparable number.
+  obs::Counter& pm_meta_persists;
 };
 
 EpCounters& ep_counters() {
@@ -39,6 +43,7 @@ EpCounters& ep_counters() {
       reg.counter("ep_ulog_take_total"),
       reg.counter("ep_ulog_reclaim_total"),
       reg.counter("ep_stale_value_reclaim_total"),
+      reg.counter("epalloc_pm_meta_persists_total"),
   };
   return c;
 }
@@ -148,6 +153,15 @@ uint64_t EPAllocator::ep_malloc(ObjType t) {
   return obj_off;
 }
 
+common::Status EPAllocator::reserve(ObjType t, uint64_t* obj_off) {
+  try {
+    *obj_off = ep_malloc(t);
+  } catch (const std::bad_alloc&) {
+    return common::Status::kOutOfMemory;
+  }
+  return common::Status::kOk;
+}
+
 void EPAllocator::commit(ObjType t, uint64_t obj_off) {
   ep_counters().commit.inc();
   TypeState& st = ts(t);
@@ -160,6 +174,7 @@ void EPAllocator::commit(ObjType t, uint64_t obj_off) {
              std::memory_order_release);
   arena_.trace_store(&c->header, sizeof(c->header));
   arena_.persist(&c->header, sizeof(c->header));
+  ep_counters().pm_meta_persists.inc();
   auto it = st.chunks.find(c_off);
   assert(it != st.chunks.end());
   it->second.reserved &= ~(uint64_t{1} << idx);
@@ -188,6 +203,7 @@ void EPAllocator::free_object_locked(TypeState& st, uint64_t obj_off) {
              std::memory_order_release);
   arena_.trace_store(&c->header, sizeof(c->header));
   arena_.persist(&c->header, sizeof(c->header));
+  ep_counters().pm_meta_persists.inc();
   auto it = st.chunks.find(c_off);
   assert(it != st.chunks.end());
   make_available_locked(st, c_off, it->second);
@@ -213,6 +229,7 @@ void EPAllocator::free_object_retired_locked(TypeState& st,
              std::memory_order_release);
   arena_.trace_store(&c->header, sizeof(c->header));
   arena_.persist(&c->header, sizeof(c->header));
+  ep_counters().pm_meta_persists.inc();
   auto it = st.chunks.find(c_off);
   assert(it != st.chunks.end());
   // No make_available: the retired bit keeps ep_malloc away until

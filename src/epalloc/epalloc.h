@@ -13,6 +13,11 @@
 // reservation, so concurrent writers on different ARTs never collide), and
 // commit() sets the persistent bit. Reservations evaporate at a crash —
 // which is exactly the paper's leak-freedom argument.
+//
+// This is the *legacy* implementation of the epalloc::Allocator interface
+// (allocator.h): one instance per arena, every header mutation persisted
+// inline. The striped allocator (striped.h) is the default since PR 10;
+// this one stays selectable via --legacy-alloc as the ablation baseline.
 #pragma once
 
 #include <cstdint>
@@ -21,24 +26,20 @@
 #include <vector>
 
 #include "common/annotations.h"
+#include "epalloc/allocator.h"
 #include "epalloc/chunk.h"
 #include "epalloc/micrologs.h"
 #include "pmem/arena.h"
 
 namespace hart::epalloc {
 
-class EPAllocator {
+class EPAllocator final : public Allocator {
  public:
-  /// Result of probing a free leaf slot for a dangling committed value left
-  /// by a prior incomplete insertion or deletion (Algorithm 2, lines 12-16).
-  struct LeafValueRef {
-    uint64_t value_off = 0;  // 0 = no dangling value
-    ObjType cls = ObjType::kValue8;
-  };
-  /// Reads the (stale) leaf at `leaf_off` and reports its value reference.
-  using LeafProbeFn = LeafValueRef (*)(const pmem::Arena&, uint64_t leaf_off);
-  /// Clears the stale leaf's value pointer (object.p_value = NULL).
-  using LeafClearFn = void (*)(pmem::Arena&, uint64_t leaf_off);
+  // Pre-interface spellings (the probe/clear types moved to namespace scope
+  // with the Allocator split; existing embedders qualify them here).
+  using LeafValueRef = epalloc::LeafValueRef;
+  using LeafProbeFn = epalloc::LeafProbeFn;
+  using LeafClearFn = epalloc::LeafClearFn;
 
   /// `root` must live in the arena header (persistent). On a fresh arena it
   /// must be zero; on reopen call recover_structure() before any use.
@@ -50,18 +51,22 @@ class EPAllocator {
 
   /// Algorithm 2. Returns the arena offset of a reserved object. The
   /// persistent bit is not yet set; call commit() once the object is
-  /// reachable from the index, or release() to abort.
+  /// reachable from the index, or release() to abort. Throws std::bad_alloc
+  /// on arena exhaustion (reserve() is the non-throwing spelling).
   uint64_t ep_malloc(ObjType t);
 
+  /// ep_malloc with the arena-exhaustion path surfaced as kOutOfMemory.
+  common::Status reserve(ObjType t, uint64_t* obj_off) override;
+
   /// Set and persist the object's bitmap bit (e.g. Alg. 1 lines 14/18).
-  void commit(ObjType t, uint64_t obj_off);
+  void commit(ObjType t, uint64_t obj_off) override;
 
   /// Drop a reservation without committing (abort path; no crash involved).
-  void release(ObjType t, uint64_t obj_off);
+  void release(ObjType t, uint64_t obj_off) override;
 
   /// Reset and persist the object's bitmap bit (deletion / update paths).
   /// Does not recycle; call recycle_chunk_of() afterwards (Alg. 5/6).
-  void free_object(ObjType t, uint64_t obj_off);
+  void free_object(ObjType t, uint64_t obj_off) override;
 
   /// Deletion path (Alg. 5 lines 11-12 plus the p_value clear deviation,
   /// see DESIGN.md): atomically — with respect to leaf reservations —
@@ -70,7 +75,7 @@ class EPAllocator {
   /// writer from reserving the just-freed leaf slot and racing the
   /// stale-value probe against this clear.
   void free_leaf_with_value(uint64_t leaf_off, ObjType vcls,
-                            uint64_t val_off);
+                            uint64_t val_off) override;
 
   // ---- EBR-deferred reuse ---------------------------------------------
   // Lock-free readers may still be dereferencing a slot when its owner
@@ -82,57 +87,59 @@ class EPAllocator {
   // makes the chunk allocatable and attempts the deferred chunk recycle.
 
   /// free_object(), minus making the slot reusable.
-  void free_object_retired(ObjType t, uint64_t obj_off);
+  void free_object_retired(ObjType t, uint64_t obj_off) override;
 
   /// free_leaf_with_value(), minus making either slot reusable.
   void free_leaf_with_value_retired(uint64_t leaf_off, ObjType vcls,
-                                    uint64_t val_off);
+                                    uint64_t val_off) override;
 
   /// Grace period over: allow reuse and run the deferred EPRecycle.
   /// Tolerates a chunk that no longer exists (freed across a recovery).
-  void release_retired(ObjType t, uint64_t obj_off);
+  void release_retired(ObjType t, uint64_t obj_off) override;
 
   /// EPRecycle(MemChunkOf(obj)) — Algorithm 6. Unlinks and frees the chunk
   /// if it contains no used (or reserved) object.
-  void recycle_chunk_of(ObjType t, uint64_t obj_off);
+  void recycle_chunk_of(ObjType t, uint64_t obj_off) override;
 
-  [[nodiscard]] bool bit_is_set(ObjType t, uint64_t obj_off) const;
+  [[nodiscard]] bool bit_is_set(ObjType t, uint64_t obj_off) const override;
 
   /// Lock-free read of an object's persistent bit, for concurrent readers
   /// (HART search validates the leaf bit, Algorithm 4 line 9). Header words
   /// are updated with atomic 8-byte stores, so this is race-free.
-  [[nodiscard]] bool bit_probe(ObjType t, uint64_t obj_off) const;
-  [[nodiscard]] const TypeGeometry& geom(ObjType t) const {
+  [[nodiscard]] bool bit_probe(ObjType t, uint64_t obj_off) const override;
+  [[nodiscard]] const TypeGeometry& geom(ObjType t) const override {
     return types_[static_cast<int>(t)].geom;
   }
-  [[nodiscard]] uint64_t chunk_of(ObjType t, uint64_t obj_off) const {
-    return geom(t).chunk_of(obj_off);
-  }
+
+  /// Every header persist here is inline, so there is nothing to flush.
+  void flush_metadata(uint64_t /*epoch*/) override {}
+  [[nodiscard]] uint32_t stripe_count() const override { return 1; }
+  [[nodiscard]] const char* kind_name() const override { return "legacy"; }
 
   // ---- update-log slot pool (Algorithm 3 uses one slot per update) ----
-  UpdateLog* acquire_ulog();
+  UpdateLog* acquire_ulog() override;
   /// LogReclaim: zero + persist the slot, return it to the pool.
-  void reclaim_ulog(UpdateLog* log);
+  void reclaim_ulog(UpdateLog* log) override;
 
   // ---- recovery -------------------------------------------------------
   /// Structural recovery: finish or roll back the recycle log, rebuild the
   /// arena allocation map from the reachable chunk lists (leak freedom by
   /// construction), and rebuild all volatile state. The caller then replays
   /// its update logs and rebuilds DRAM structures (Algorithm 7).
-  void recover_structure();
+  void recover_structure() override;
 
   /// Invoke `f(obj_off)` for every object whose bit is set, in list order.
   void for_each_live(ObjType t,
-                     const std::function<void(uint64_t)>& f) const;
+                     const std::function<void(uint64_t)>& f) const override;
 
   /// Snapshot of the chunk offsets of one list (parallel recovery shards
   /// the leaf list across workers by chunk).
-  [[nodiscard]] std::vector<uint64_t> chunk_offsets(ObjType t) const;
+  [[nodiscard]] std::vector<uint64_t> chunk_offsets(ObjType t) const override;
 
   // ---- introspection (tests, stats) -----------------------------------
-  [[nodiscard]] uint64_t live_objects(ObjType t) const;
-  [[nodiscard]] uint64_t chunk_count(ObjType t) const;
-  [[nodiscard]] uint64_t list_head(ObjType t) const {
+  [[nodiscard]] uint64_t live_objects(ObjType t) const override;
+  [[nodiscard]] uint64_t chunk_count(ObjType t) const override;
+  [[nodiscard]] uint64_t list_head(ObjType t) const override {
     return root_->heads[static_cast<int>(t)];
   }
 

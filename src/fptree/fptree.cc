@@ -336,7 +336,7 @@ common::Status FpTree::update(std::string_view key, std::string_view value) {
   if (auto s = common::validate_value(value); !s.ok()) return s;
   if (tree_root_ == 0) return common::Status::kNotFound;
   // Reuse the insert path's update branch only when the key exists.
-  if (!search(key, nullptr)) return common::Status::kNotFound;
+  if (!search(key, nullptr).ok()) return common::Status::kNotFound;
   bool inserted = false;
   const Split s = insert_rec(tree_root_, root_is_leaf_, key, value,
                              &inserted);

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/annotations.h"
@@ -73,8 +74,9 @@ Hart::Hart(pmem::Arena& arena, Options opts)
     : arena_(arena),
       opts_(resolve_options(arena, opts)),
       root_(arena.root<HartRoot>()),
-      ep_(arena, &root_->ep, sizeof(HartLeaf), &hart_leaf_probe,
-          &hart_leaf_clear),
+      ep_(epalloc::make_allocator(arena, &root_->ep, sizeof(HartLeaf),
+                                  &hart_leaf_probe, &hart_leaf_clear,
+                                  opts_.alloc)),
       dir_(opts_.hash_buckets,
            HartLeafTraits{opts_.hash_key_len, &arena},
            &dram_bytes_,
@@ -106,7 +108,7 @@ void Hart::retire_slot(epalloc::ObjType cls, uint64_t off) {
 
 void Hart::retire_slot_cb(void* packed, void* self) {
   const auto bits = reinterpret_cast<uint64_t>(packed);
-  static_cast<Hart*>(self)->ep_.release_retired(
+  static_cast<Hart*>(self)->ep_->release_retired(
       static_cast<epalloc::ObjType>(bits & 7), bits & ~uint64_t{7});
 }
 
@@ -127,14 +129,21 @@ common::Status Hart::insert(std::string_view key, std::string_view value) {
   // Line 6-8: if the key exists, this is an update.
   const art::Key akey = art_key(key);
   if (HartLeaf* existing = part->tree.search(akey); existing != nullptr) {
-    update_locked(existing, value);
+    if (auto s = update_locked(existing, value); !s.ok()) return s;
     return common::Status::kUpdated;
   }
 
-  // Lines 10-11: allocate the leaf and the value object.
-  const uint64_t leaf_off = ep_.ep_malloc(epalloc::ObjType::kLeaf);
+  // Lines 10-11: allocate the leaf and the value object. Exhaustion backs
+  // out cleanly — reservations are volatile, nothing was persisted.
+  uint64_t leaf_off = 0;
+  if (auto s = ep_->reserve(epalloc::ObjType::kLeaf, &leaf_off); !s.ok())
+    return s;
   const epalloc::ObjType vcls = value_class_for(value.size());
-  const uint64_t val_off = ep_.ep_malloc(vcls);
+  uint64_t val_off = 0;
+  if (auto s = ep_->reserve(vcls, &val_off); !s.ok()) {
+    ep_->release(epalloc::ObjType::kLeaf, leaf_off);
+    return s;
+  }
 
   // Line 12: value = V; persistent(value).
   char* vp = arena_.ptr<char>(val_off);
@@ -164,7 +173,7 @@ common::Status Hart::insert(std::string_view key, std::string_view value) {
                  sizeof(HartLeaf) - offsetof(HartLeaf, val_len));
 
   // Line 14: set + persist the value bit.
-  ep_.commit(vcls, val_off);
+  ep_->commit(vcls, val_off);
 
   // Lines 15-16: the complete key and its length into the leaf.
   std::memcpy(leaf->key, key.data(), key.size());
@@ -181,19 +190,19 @@ common::Status Hart::insert(std::string_view key, std::string_view value) {
   part->tree.insert(traits.key(leaf), leaf);
 
   // Line 18: set + persist the leaf bit — the commit point.
-  ep_.commit(epalloc::ObjType::kLeaf, leaf_off);
+  ep_->commit(epalloc::ObjType::kLeaf, leaf_off);
   count_.fetch_add(1, std::memory_order_relaxed);
   return common::Status::kInserted;
 }
 
 // Algorithm 3: Update(K, V, L) — out-of-place with the update micro-log.
-void Hart::update_locked(HartLeaf* leaf, std::string_view value) {
+common::Status Hart::update_locked(HartLeaf* leaf, std::string_view value) {
   const uint64_t leaf_off = arena_.off(leaf);
   const uint64_t old_off = leaf->p_value;
   const epalloc::ObjType old_cls = value_class_of(leaf);
   const epalloc::ObjType new_cls = value_class_for(value.size());
 
-  epalloc::UpdateLog* ulog = ep_.acquire_ulog();
+  epalloc::UpdateLog* ulog = ep_->acquire_ulog();
   // Lines 2-3: record the leaf and its old value in the log. The two words
   // share a cache line and stores are program-ordered, so one flush
   // suffices (recovery treats {pleaf} and {pleaf, poldv} identically: both
@@ -203,8 +212,15 @@ void Hart::update_locked(HartLeaf* leaf, std::string_view value) {
   arena_.trace_store(&ulog->pleaf, 2 * sizeof(uint64_t));
   arena_.persist(&ulog->pleaf, 2 * sizeof(uint64_t));
 
-  // Lines 4-5: write the new value into freshly allocated space.
-  const uint64_t new_off = ep_.ep_malloc(new_cls);
+  // Lines 4-5: write the new value into freshly allocated space. On
+  // exhaustion the old value is untouched and pnewv was never written, so
+  // reclaiming the log is a clean abort (recovery would have reset it the
+  // same way).
+  uint64_t new_off = 0;
+  if (auto s = ep_->reserve(new_cls, &new_off); !s.ok()) {
+    ep_->reclaim_ulog(ulog);
+    return s;
+  }
   char* vp = arena_.ptr<char>(new_off);
   std::memcpy(vp, value.data(), value.size());
   std::memset(vp + value.size(), 0, value_object_size(new_cls) - value.size());
@@ -221,7 +237,7 @@ void Hart::update_locked(HartLeaf* leaf, std::string_view value) {
   arena_.persist(&ulog->pnewv, 2 * sizeof(uint64_t));  // pnewv + meta
 
   // Line 7: set the bit for the new value.
-  ep_.commit(new_cls, new_off);
+  ep_->commit(new_cls, new_off);
 
   // Line 8: swing the value pointer and its metadata in the leaf — they
   // are adjacent at the leaf tail, one flush covers them. The swing runs
@@ -250,15 +266,16 @@ void Hart::update_locked(HartLeaf* leaf, std::string_view value) {
   // lock-free readers the slot's *reuse* (and the chunk recycle) waits out
   // the grace period; durability is identical — the bit reset persists now.
   if (optimistic()) {
-    ep_.free_object_retired(old_cls, old_off);
+    ep_->free_object_retired(old_cls, old_off);
     retire_slot(old_cls, old_off);
   } else {
-    ep_.free_object(old_cls, old_off);
-    ep_.recycle_chunk_of(old_cls, old_off);
+    ep_->free_object(old_cls, old_off);
+    ep_->recycle_chunk_of(old_cls, old_off);
   }
 
   // Line 11: LogReclaim.
-  ep_.reclaim_ulog(ulog);
+  ep_->reclaim_ulog(ulog);
+  return common::Status::kOk;
 }
 
 common::Status Hart::update(std::string_view key, std::string_view value) {
@@ -272,7 +289,7 @@ common::Status Hart::update(std::string_view key, std::string_view value) {
   ModGuard mod(part);
   HartLeaf* leaf = part->tree.search(art_key(key));
   if (leaf == nullptr) return common::Status::kNotFound;
-  update_locked(leaf, value);
+  if (auto s = update_locked(leaf, value); !s.ok()) return s;
   return common::Status::kOk;
 }
 
@@ -321,7 +338,7 @@ common::Status Hart::search(std::string_view key, std::string* out) const {
     if (r.ok) {
       if (r.leaf == nullptr) return common::Status::kNotFound;
       // Line 9: validate the leaf bit in the chunk bitmap (lock-free).
-      if (!ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(r.leaf)))
+      if (!ep_->bit_probe(epalloc::ObjType::kLeaf, arena_.off(r.leaf)))
         return common::Status::kNotFound;
       const int vr = read_leaf_value_optimistic(r.leaf, out);
       if (vr > 0) return common::Status::kOk;
@@ -333,7 +350,7 @@ common::Status Hart::search(std::string_view key, std::string* out) const {
   const HartLeaf* leaf = part->tree.search(akey);
   if (leaf == nullptr) return common::Status::kNotFound;
   // Line 9: validate the leaf bit in the chunk bitmap.
-  if (!ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
+  if (!ep_->bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
     return common::Status::kNotFound;
   const char* vp = arena_.ptr<char>(leaf->p_value);
   arena_.pm_read(vp, value_object_size(value_class_of(leaf)));
@@ -373,14 +390,14 @@ common::Status Hart::remove(std::string_view key) {
   // durable immediately), reuse and the chunk recycles wait out the grace
   // period (release_retired runs them).
   if (optimistic()) {
-    ep_.free_leaf_with_value_retired(leaf_off, vcls, val_off);
+    ep_->free_leaf_with_value_retired(leaf_off, vcls, val_off);
     retire_slot(vcls, val_off);
     retire_slot(epalloc::ObjType::kLeaf, leaf_off);
   } else {
-    ep_.free_leaf_with_value(leaf_off, vcls, val_off);
+    ep_->free_leaf_with_value(leaf_off, vcls, val_off);
     // Lines 13-14: recycle now-empty chunks.
-    ep_.recycle_chunk_of(vcls, val_off);
-    ep_.recycle_chunk_of(epalloc::ObjType::kLeaf, leaf_off);
+    ep_->recycle_chunk_of(vcls, val_off);
+    ep_->recycle_chunk_of(epalloc::ObjType::kLeaf, leaf_off);
   }
 
   // Lines 15-16: free the ART if it became empty (internal nodes were
@@ -397,7 +414,7 @@ size_t Hart::range(
   const uint64_t hlo = pack_hash_key(lo, opts_.hash_key_len);
 
   auto emit_locked = [&](HartLeaf* leaf) {
-    if (!ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
+    if (!ep_->bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
       return true;
     const char* vp = arena_.ptr<char>(leaf->p_value);
     arena_.pm_read(vp, value_object_size(value_class_of(leaf)));
@@ -432,7 +449,7 @@ size_t Hart::range(
       staging.clear();
       bool torn = false;
       auto emit = [&](HartLeaf* leaf) {
-        if (!ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
+        if (!ep_->bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
           return true;
         std::string val;
         const int vr = read_leaf_value_optimistic(leaf, &val);
@@ -485,7 +502,7 @@ size_t Hart::multi_get(const std::vector<std::string>& keys,
       const auto r = part->tree.search_optimistic(akey);
       if (r.ok) {
         if (r.leaf == nullptr ||
-            !ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(r.leaf)))
+            !ep_->bit_probe(epalloc::ObjType::kLeaf, arena_.off(r.leaf)))
           continue;
         const int vr = read_leaf_value_optimistic(r.leaf, &(*out)[i]);
         if (vr == 0) continue;
@@ -499,7 +516,7 @@ size_t Hart::multi_get(const std::vector<std::string>& keys,
       common::ReaderLock lk(part->mu);
       const HartLeaf* leaf = part->tree.search(akey);
       if (leaf == nullptr ||
-          !ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
+          !ep_->bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
         continue;
       const char* vp = arena_.ptr<char>(leaf->p_value);
       arena_.pm_read(vp, value_object_size(value_class_of(leaf)));
@@ -524,7 +541,7 @@ size_t Hart::multi_get(const std::vector<std::string>& keys,
     for (const size_t i : idxs) {
       const HartLeaf* leaf = part->tree.search(art_key(keys[i]));
       if (leaf == nullptr ||
-          !ep_.bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
+          !ep_->bit_probe(epalloc::ObjType::kLeaf, arena_.off(leaf)))
         continue;
       const char* vp = arena_.ptr<char>(leaf->p_value);
       arena_.pm_read(vp, value_object_size(value_class_of(leaf)));
@@ -543,6 +560,10 @@ uint64_t Hart::flush_epoch() {
   // before returning; this is the amortized final fence).
   obs::TraceSpan span("epoch_fence", obs::TraceKind::kFence);
   const uint64_t e = epoch_.load(std::memory_order_relaxed) + 1;
+  // Batched allocator metadata rides this fence: every deferred chunk-
+  // header persist must be durable before the epoch stamp that declares
+  // the batch committed (no-op for eager allocators).
+  ep_->flush_metadata(e);
   root_->epoch = e;
   arena_.trace_store(&root_->epoch, sizeof(root_->epoch));
   arena_.persist(&root_->epoch, sizeof(root_->epoch));
@@ -559,8 +580,11 @@ void Hart::quiesce() {
     return true;
   });
   // Every in-flight op has completed; flush the reclamation backlog so a
-  // subsequent arena close leaves no slot in retired limbo.
+  // subsequent arena close leaves no slot in retired limbo, and push any
+  // deferred chunk-header persists out (the drain's frees may have dirtied
+  // more headers, so the order matters).
   if (optimistic()) common::ebr::Domain::instance().drain();
+  ep_->flush_metadata(epoch_.load(std::memory_order_relaxed));
 }
 
 common::MemoryUsage Hart::memory_usage() const {
@@ -611,16 +635,16 @@ void Hart::replay_update_logs() {
     auto* leaf = arena_.ptr<HartLeaf>(ulog.pleaf);
     const epalloc::ObjType new_cls = ulog.new_class();
     const epalloc::ObjType old_cls = ulog.old_class();
-    ep_.commit(new_cls, ulog.pnewv);
+    ep_->commit(new_cls, ulog.pnewv);
     leaf->p_value = ulog.pnewv;
     leaf->val_len = static_cast<uint8_t>(ulog.new_len());
     leaf->val_class = value_class_tag(new_cls);
     leaf->vseq = 0;  // a crash mid-swing may have left it odd
     arena_.trace_store(leaf, sizeof(HartLeaf));
     arena_.persist(leaf, sizeof(HartLeaf));
-    if (ep_.bit_is_set(old_cls, ulog.poldv))
-      ep_.free_object(old_cls, ulog.poldv);
-    ep_.recycle_chunk_of(old_cls, ulog.poldv);
+    if (ep_->bit_is_set(old_cls, ulog.poldv))
+      ep_->free_object(old_cls, ulog.poldv);
+    ep_->recycle_chunk_of(old_cls, ulog.poldv);
     ulog = epalloc::UpdateLog{};
     arena_.trace_store(&ulog, sizeof(ulog));
     arena_.persist(&ulog, sizeof(ulog));
@@ -640,8 +664,13 @@ void Hart::recover(unsigned threads) {
   dir_.clear();
   count_.store(0, std::memory_order_relaxed);
   epoch_.store(root_->epoch, std::memory_order_relaxed);
-  ep_.recover_structure();
+  ep_->recover_structure();
   replay_update_logs();
+
+  static obs::Counter& completed_deletes = obs::Registry::instance().counter(
+      "hart_recover_completed_deletes_total");
+  static obs::Counter& recommitted_values = obs::Registry::instance().counter(
+      "hart_recover_recommitted_values_total");
 
   const HartLeafTraits traits{opts_.hash_key_len, &arena_};
   auto insert_leaf = [&](uint64_t leaf_off) {
@@ -649,7 +678,28 @@ void Hart::recover(unsigned threads) {
     // optimistic mode, so each recovery worker pins like any other writer.
     common::ebr::Guard ebr_pin(common::ebr::Domain::instance());
     auto* leaf = arena_.ptr<HartLeaf>(leaf_off);
-    assert(ep_.bit_is_set(value_class_of(leaf), leaf->p_value));
+    // Batched-metadata crash repairs. With the legacy (eager) schedule
+    // neither state can arise — the old recovery asserted as much — but
+    // when header persists batch onto the epoch fence, a crash between a
+    // durable step and its deferred header flush leaves exactly these two
+    // torn shapes:
+    if (leaf->p_value == 0) {
+      // An in-flight delete: the leaf's p_value clear persisted (it is
+      // eager) but the header bit clears were still deferred. Complete the
+      // delete — the slot is free, nothing references the value (the value
+      // side, if still committed, is swept as an orphan below).
+      completed_deletes.inc();
+      ep_->free_object(epalloc::ObjType::kLeaf, leaf_off);
+      return;
+    }
+    if (!ep_->bit_is_set(value_class_of(leaf), leaf->p_value)) {
+      // An in-flight insert/update that reached its leaf-side commit point
+      // but whose value-bit persist was still deferred: the value bytes
+      // are durable (they persist eagerly, before the leaf commit), so
+      // re-committing the bit finishes the operation.
+      recommitted_values.inc();
+      ep_->commit(value_class_of(leaf), leaf->p_value);
+    }
     // Fingerprint fix-up: the DRAM-side tag is re-derived from the key
     // bytes by tree.insert below; the persisted copy is repaired here when
     // a legacy image (key_fp == 0) or corruption disagrees. Each leaf is
@@ -676,34 +726,71 @@ void Hart::recover(unsigned threads) {
   static obs::Counter& recovered =
       obs::Registry::instance().counter("hart_recovered_leaves_total");
   if (threads <= 1) {
-    ep_.for_each_live(epalloc::ObjType::kLeaf, insert_leaf);
-    recovered.add(count_.load(std::memory_order_relaxed));
-    return;
-  }
-
-  // Parallel recovery (extension): shard the leaf chunks across workers.
-  const std::vector<uint64_t> chunks =
-      ep_.chunk_offsets(epalloc::ObjType::kLeaf);
-  const auto& geom = ep_.geom(epalloc::ObjType::kLeaf);
-  std::vector<std::thread> pool;
-  std::atomic<size_t> next{0};
-  for (unsigned t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= chunks.size()) return;
-        const auto* c = arena_.ptr<epalloc::MemChunk>(chunks[i]);
-        uint64_t bm = epalloc::ChunkHdr::bitmap(c->header);
-        while (bm != 0) {
-          const auto idx = static_cast<uint32_t>(std::countr_zero(bm));
-          bm &= bm - 1;
-          insert_leaf(geom.object_off(chunks[i], idx));
+    ep_->for_each_live(epalloc::ObjType::kLeaf, insert_leaf);
+  } else {
+    // Parallel recovery (extension): shard the leaf chunks across workers.
+    const std::vector<uint64_t> chunks =
+        ep_->chunk_offsets(epalloc::ObjType::kLeaf);
+    const auto& geom = ep_->geom(epalloc::ObjType::kLeaf);
+    std::vector<std::thread> pool;
+    std::atomic<size_t> next{0};
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= chunks.size()) return;
+          const auto* c = arena_.ptr<epalloc::MemChunk>(chunks[i]);
+          uint64_t bm = epalloc::ChunkHdr::bitmap(c->header);
+          while (bm != 0) {
+            const auto idx = static_cast<uint32_t>(std::countr_zero(bm));
+            bm &= bm - 1;
+            insert_leaf(geom.object_off(chunks[i], idx));
+          }
         }
-      }
-    });
+      });
+    }
+    for (auto& th : pool) th.join();
   }
-  for (auto& th : pool) th.join();
   recovered.add(count_.load(std::memory_order_relaxed));
+
+  sweep_orphaned_values();
+  // Every repair above must be durable before recovery is declared done —
+  // a crash right after recover() must not resurrect the repaired states.
+  ep_->flush_metadata(root_->epoch);
+}
+
+// Reachability sweep over the value lists (batched-metadata crash repair).
+// A crash can leave a committed value referenced by no leaf slot at all:
+// e.g. a delete whose value-bit clear was deferred while the (eager)
+// p_value clear persisted. Free those. Values referenced only by a *free*
+// leaf slot (a dangling ref) are deliberately kept committed — that is the
+// pre-existing pending-reclamation state the stale-value probe reclaims
+// lazily on slot reuse (Alg. 2 lines 12-16), and legacy crash images rely
+// on it. On a legacy (eager-metadata) image every committed value is
+// referenced somewhere, so this sweep is a no-op.
+void Hart::sweep_orphaned_values() {
+  static obs::Counter& orphans_freed = obs::Registry::instance().counter(
+      "hart_recover_orphan_values_total");
+  std::unordered_set<uint64_t> referenced;
+  const auto& lg = ep_->geom(epalloc::ObjType::kLeaf);
+  for (const uint64_t c_off :
+       ep_->chunk_offsets(epalloc::ObjType::kLeaf)) {
+    for (uint32_t i = 0; i < epalloc::kObjectsPerChunk; ++i) {
+      const auto* leaf = arena_.ptr<HartLeaf>(lg.object_off(c_off, i));
+      if (leaf->p_value != 0) referenced.insert(leaf->p_value);
+    }
+  }
+  for (int t = 1; t < epalloc::kNumObjTypes; ++t) {
+    const auto cls = static_cast<epalloc::ObjType>(t);
+    std::vector<uint64_t> orphans;
+    ep_->for_each_live(cls, [&](uint64_t off) {
+      if (!referenced.contains(off)) orphans.push_back(off);
+    });
+    for (const uint64_t off : orphans) {
+      orphans_freed.inc();
+      ep_->free_object(cls, off);
+    }
+  }
 }
 
 }  // namespace hart::core

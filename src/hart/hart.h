@@ -12,11 +12,12 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <string_view>
 
 #include "common/ebr.h"
 #include "common/index.h"
-#include "epalloc/epalloc.h"
+#include "epalloc/allocator.h"
 #include "hart/hash_dir.h"
 #include "hart/hart_leaf.h"
 #include "pmem/arena.h"
@@ -60,6 +61,12 @@ class Hart final : public common::Index {
     /// flush); recovery rebuilds the DRAM tags from the key bytes. Off is
     /// the ablation baseline.
     bool fingerprints = true;
+    /// PM allocator selection: striped vs legacy, stripe count, and whether
+    /// chunk-header persists batch onto the flush_epoch() fence. Bare Hart
+    /// embedders default to eager metadata persists (per-op durability, as
+    /// the crash tests require); the service turns batching on because its
+    /// acks already wait for the epoch fence.
+    epalloc::AllocOptions alloc;
   };
 
   /// Opens a HART on `arena`. A fresh arena is initialized; an arena whose
@@ -103,13 +110,16 @@ class Hart final : public common::Index {
   /// lock-free and every tree insert takes its partition's write lock).
   void recover(unsigned threads = 1);
 
-  /// Group-commit epoch fence (the service layer's batching hook): stamps
-  /// and persists the root's epoch counter with ONE persistent() call,
-  /// then returns the new epoch. Every operation that returned before this
-  /// call is durable once flush_epoch() returns — each op already persists
-  /// its own data, so the fence is the per-batch "final fence" that a real
-  /// PM group commit would amortize (one fence per batch instead of per
-  /// op). Callers must serialize calls per Hart (one committer thread).
+  /// Group-commit epoch fence (the service layer's batching hook): flushes
+  /// the allocator's deferred chunk-header persists (Allocator::
+  /// flush_metadata — a no-op unless Options::alloc.batched_meta), then
+  /// stamps and persists the root's epoch counter with ONE persistent()
+  /// call and returns the new epoch. Every operation that returned before
+  /// this call is durable once flush_epoch() returns — each op already
+  /// persists its own data, so the fence is the per-batch "final fence"
+  /// that a real PM group commit would amortize (one fence per batch
+  /// instead of per op). Callers must serialize calls per Hart (one
+  /// committer thread).
   uint64_t flush_epoch();
   /// The last epoch returned by flush_epoch() (0 before the first fence).
   [[nodiscard]] uint64_t epoch() const {
@@ -128,7 +138,7 @@ class Hart final : public common::Index {
   /// Requires quiescence (no concurrent writers), same as recover().
   template <class F>
   void for_each_key(F&& fn) const {
-    ep_.for_each_live(epalloc::ObjType::kLeaf, [&](uint64_t off) {
+    ep_->for_each_live(epalloc::ObjType::kLeaf, [&](uint64_t off) {
       const auto* leaf = arena_.ptr<HartLeaf>(off);
       fn(std::string_view(leaf->key, leaf->key_len));
     });
@@ -138,8 +148,8 @@ class Hart final : public common::Index {
   [[nodiscard]] size_t partition_count() const {
     return dir_.partition_count();
   }
-  [[nodiscard]] epalloc::EPAllocator& allocator() { return ep_; }
-  [[nodiscard]] const epalloc::EPAllocator& allocator() const { return ep_; }
+  [[nodiscard]] epalloc::Allocator& allocator() { return *ep_; }
+  [[nodiscard]] const epalloc::Allocator& allocator() const { return *ep_; }
   [[nodiscard]] pmem::Arena& arena() { return arena_; }
 
  private:
@@ -153,11 +163,16 @@ class Hart final : public common::Index {
   /// Algorithm 3 (out-of-place update with the update micro-log). The
   /// partition's write lock must be held, and in optimistic mode the caller
   /// must be pinned (the superseded value slot is retired through EBR).
-  void update_locked(HartLeaf* leaf, std::string_view value)
+  /// kOk on success; kOutOfMemory when the new value cannot be allocated
+  /// (the old value is untouched and the log is reclaimed).
+  common::Status update_locked(HartLeaf* leaf, std::string_view value)
       REQUIRES_EBR_PIN;
   /// Redo/abort in-flight updates after a crash (Algorithm 3's recovery
   /// case analysis).
   void replay_update_logs();
+  /// Free committed values no leaf slot references (batched-metadata crash
+  /// repair; a no-op on eager-metadata images). Runs after the leaf walk.
+  void sweep_orphaned_values();
 
   // ---- optimistic read path (ISSUE 5 tentpole) --------------------------
   /// True when the lock-free read path (and hence EBR deferral) is active.
@@ -174,7 +189,7 @@ class Hart final : public common::Index {
   pmem::Arena& arena_;
   Options opts_;
   HartRoot* root_;
-  epalloc::EPAllocator ep_;
+  std::unique_ptr<epalloc::Allocator> ep_;
   std::atomic<uint64_t> dram_bytes_{0};
   HashDir dir_;
   std::atomic<size_t> count_{0};

@@ -14,7 +14,7 @@
 #include <cstdint>
 
 #include "common/index.h"
-#include "epalloc/epalloc.h"
+#include "epalloc/allocator.h"
 #include "pmem/arena.h"
 
 namespace hart::core {
@@ -55,10 +55,10 @@ inline epalloc::ObjType value_class_of(const HartLeaf* l) {
 /// EPallocator stale-value probe (Algorithm 2, lines 12-16): a free leaf
 /// slot handed out by EPMalloc may still reference a value committed by a
 /// prior incomplete insertion or deletion.
-inline epalloc::EPAllocator::LeafValueRef hart_leaf_probe(
+inline epalloc::LeafValueRef hart_leaf_probe(
     const pmem::Arena& arena, uint64_t leaf_off) {
   const auto* l = arena.ptr<HartLeaf>(leaf_off);
-  epalloc::EPAllocator::LeafValueRef ref;
+  epalloc::LeafValueRef ref;
   ref.value_off = l->p_value;
   ref.cls = value_class_of(l);
   return ref;

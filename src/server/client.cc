@@ -309,11 +309,17 @@ Response Client::del(std::string key) {
   return wait(send(Request{OpCode::kDelete, std::move(key), {}}));
 }
 Response Client::ping() { return wait(send(Request{OpCode::kPing, {}, {}})); }
-Response Client::stats(std::string format) {
-  return wait(send(Request{OpCode::kStats, {}, std::move(format)}));
+common::Status Client::stats(std::string* out, std::string format) {
+  Response r = wait(send(Request{OpCode::kStats, {}, std::move(format)}));
+  if (out != nullptr)
+    *out = r.status == Status::kOk ? std::move(r.value) : std::string();
+  return common_status(r.status);
 }
-Response Client::promote() {
-  return wait(send(Request{OpCode::kPromote, {}, {}}));
+common::Status Client::promote(std::string* positions) {
+  Response r = wait(send(Request{OpCode::kPromote, {}, {}}));
+  if (positions != nullptr)
+    *positions = r.status == Status::kOk ? std::move(r.value) : std::string();
+  return common_status(r.status);
 }
 
 size_t Client::multi_get(const std::vector<std::string>& keys,

@@ -68,9 +68,11 @@ class Client {
   Response update(std::string key, std::string value);
   Response del(std::string key);
   Response ping();
-  /// Scrape the server's HARTscope metrics; the snapshot is in the
-  /// response value. `format`: "json" or "" / "prometheus" (text).
-  Response stats(std::string format = {});
+  /// Scrape the server's HARTscope metrics into *out. `format`: "json" or
+  /// "" / "prometheus" (text). kOk on success; kUnavailable when the
+  /// transport or server could not answer (Index API v2 — no wire Status
+  /// leaks through this call).
+  common::Status stats(std::string* out, std::string format = {});
   /// Batched point lookups in one kMget round trip (dispatcher-served,
   /// never queued behind writes). `out->at(i)` / `found->at(i)` answer
   /// `keys[i]`; returns the hit count. At most kMaxBatchEntries keys;
@@ -82,9 +84,11 @@ class Client {
   /// `start` is not a valid key).
   size_t scan(std::string start, uint32_t limit,
               std::vector<std::pair<std::string, std::string>>* out);
-  /// Ask the server to become primary (replication failover). The
-  /// response value carries the node's applied replication positions.
-  Response promote();
+  /// Ask the server to become primary (replication failover). kOk on
+  /// success, with the node's applied replication positions (an encoded
+  /// ReplPosition list) written to *positions when non-null; kUnavailable
+  /// when the node refused or the transport failed.
+  common::Status promote(std::string* positions = nullptr);
 
   // ---- pipelined API ----------------------------------------------------
   /// Fire a request without waiting; returns its id. On a dead transport

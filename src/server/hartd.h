@@ -79,7 +79,18 @@ class Hartd {
     /// arrives unsampled with a fresh trace id (1 = every request). 0 =
     /// off; client-stamped ids are always honored regardless.
     uint64_t trace_sample = 0;
-    core::Hart::Options hart;
+    /// Engine options for every shard's Hart. The service defaults the
+    /// allocator to batched chunk-header persists (alloc.batched_meta):
+    /// write acks already wait for the shard's flush_epoch() fence, which
+    /// is exactly where Allocator::flush_metadata() runs, so batching is
+    /// ack-truthful here — unlike for a bare Hart embedder, whose ops must
+    /// be individually durable on return. --eager-meta restores the
+    /// per-op persists as an ablation.
+    core::Hart::Options hart = [] {
+      core::Hart::Options h;
+      h.alloc.batched_meta = true;
+      return h;
+    }();
   };
 
   /// Opens (or recovers) all shards; shard recovery runs in parallel, one

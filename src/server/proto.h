@@ -33,6 +33,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace hart::server {
 
 enum class OpCode : uint8_t {
@@ -117,6 +119,22 @@ inline const char* status_name(Status s) {
 /// An acked write: the server persisted it before replying.
 inline bool is_acked_write(Status s) {
   return s == Status::kOk || s == Status::kUpdated;
+}
+
+/// Wire status -> Index API v2 status (the inverse of shard.h's
+/// wire_status, for client-side APIs that report common::Status).
+/// Server-/transport-side failures — crash points, shutdown, net errors,
+/// wrong role, protocol violations — all collapse to kUnavailable: from
+/// the caller's view the service could not answer, and the wire status
+/// string (status_name) is the diagnostic channel.
+inline common::Status common_status(Status s) {
+  switch (s) {
+    case Status::kOk: return common::Status::kOk;
+    case Status::kUpdated: return common::Status::kUpdated;
+    case Status::kNotFound: return common::Status::kNotFound;
+    case Status::kBadRequest: return common::Status::kInvalidArgument;
+    default: return common::Status::kUnavailable;
+  }
 }
 
 inline bool is_write(OpCode op) {

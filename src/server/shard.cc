@@ -195,9 +195,11 @@ void Shard::worker() {
         stats_.ops.fetch_add(1, std::memory_order_relaxed);
       } catch (const pmem::CrashPoint&) {
         // A simulated crash point fired mid-operation: the DRAM side of
-        // this shard may now disagree with PM, so stop serving. The
-        // in-flight request is NOT acked as durable; earlier requests in
-        // the batch completed their own persists and stay acked.
+        // this shard may now disagree with PM, so stop serving. No write
+        // in this batch may be acked durable — the batch never reaches
+        // its epoch fence, and with batched chunk-header persists the
+        // fence IS each write's durability point (the downgrade loop
+        // below catches the ops that applied before the crash).
         failed_.store(true, std::memory_order_release);
         p.resp.status = Status::kShardFailed;
         p.resp.epoch = 0;
@@ -205,10 +207,12 @@ void Shard::worker() {
       }
     }
 
-    // Group commit: one epoch fence for the whole batch. Every op already
-    // persisted its own stores before returning, so the fence is the
-    // amortized batch-final persistent() — its completion releases all the
-    // acks below (a request is never acked before its epoch completed).
+    // Group commit: one epoch fence for the whole batch. Each op already
+    // persisted its own data stores, and flush_epoch() flushes the
+    // allocator's deferred chunk-header persists (batched_meta) before
+    // stamping the epoch — so the fence's completion is what makes every
+    // write in the batch durable, and it must precede all the acks below
+    // (a request is never acked before its epoch completed).
     uint64_t epoch = 0;
     if (any_write && !failed_.load(std::memory_order_relaxed)) {
       const uint64_t f0 = mono_ns();
@@ -217,10 +221,23 @@ void Shard::worker() {
         local_fence.record(mono_ns() - f0);
         stats_.epochs.fetch_add(1, std::memory_order_relaxed);
       } catch (const pmem::CrashPoint&) {
-        // The fence itself crashed. The batch's writes are still each
-        // individually durable, so the acks below remain truthful; the
-        // shard stops serving like any other crash point.
+        // The fence itself crashed; the shard stops serving like any
+        // other crash point, and the downgrade below keeps the batch's
+        // acks truthful (its deferred header persists never completed).
         failed_.store(true, std::memory_order_release);
+      }
+    }
+    if (failed_.load(std::memory_order_relaxed)) {
+      // Crashed batch: writes that applied before the crash point never
+      // reached the fence, so under batched metadata persists they may
+      // not be durable. Refuse their acks — an acked write must survive
+      // recovery; a refused-but-recovered write is merely conservative.
+      for (auto& p : batch) {
+        if (p.fence && is_acked_write(p.resp.status)) {
+          p.resp.status = Status::kShardFailed;
+          p.resp.epoch = 0;
+          stats_.failed.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     }
     // Deferred-latency arenas bank the injected PM delay instead of

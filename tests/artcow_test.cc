@@ -35,17 +35,17 @@ std::string random_key(common::Rng& rng, uint32_t max_len = 12,
 TEST(ArtCow, BasicCrud) {
   auto arena = make_arena();
   ArtCow t(*arena);
-  EXPECT_TRUE(t.insert("one", "1"));
-  EXPECT_TRUE(t.insert("two", "2"));
-  EXPECT_TRUE(t.insert("three", "3"));
+  EXPECT_EQ(t.insert("one", "1"), common::Status::kInserted);
+  EXPECT_EQ(t.insert("two", "2"), common::Status::kInserted);
+  EXPECT_EQ(t.insert("three", "3"), common::Status::kInserted);
   std::string v;
-  EXPECT_TRUE(t.search("two", &v));
+  EXPECT_EQ(t.search("two", &v), common::Status::kOk);
   EXPECT_EQ(v, "2");
-  EXPECT_TRUE(t.update("two", "2x"));
-  EXPECT_TRUE(t.search("two", &v));
+  EXPECT_EQ(t.update("two", "2x"), common::Status::kOk);
+  EXPECT_EQ(t.search("two", &v), common::Status::kOk);
   EXPECT_EQ(v, "2x");
-  EXPECT_TRUE(t.remove("one"));
-  EXPECT_FALSE(t.search("one", &v));
+  EXPECT_EQ(t.remove("one"), common::Status::kOk);
+  EXPECT_EQ(t.search("one", &v), common::Status::kNotFound);
   EXPECT_EQ(t.size(), 2u);
 }
 
@@ -59,7 +59,7 @@ TEST(ArtCow, CowReplacesNodesOnGrowth) {
   EXPECT_GT(arena->stats().alloc_calls.load(), allocs_before + 10);
   for (int b = 1; b <= 5; ++b) {
     std::string v;
-    EXPECT_TRUE(t.search(std::string(1, static_cast<char>(b)) + "x", &v));
+    EXPECT_EQ(t.search(std::string(1, static_cast<char>(b)) + "x", &v), common::Status::kOk);
   }
 }
 
@@ -74,14 +74,14 @@ TEST(ArtCow, DifferentialFuzzAgainstMap) {
     switch (rng.next_below(4)) {
       case 0:
       case 1: {
-        const bool fresh = t.insert(key, val);
+        const bool fresh = t.insert(key, val) == common::Status::kInserted;
         EXPECT_EQ(fresh, ref.find(key) == ref.end()) << key;
         ref[key] = val;
         break;
       }
       case 2: {
         std::string v;
-        const bool found = t.search(key, &v);
+        const bool found = t.search(key, &v).ok();
         const auto it = ref.find(key);
         EXPECT_EQ(found, it != ref.end()) << key;
         if (found) {
@@ -90,7 +90,7 @@ TEST(ArtCow, DifferentialFuzzAgainstMap) {
         break;
       }
       default: {
-        EXPECT_EQ(t.remove(key), ref.erase(key) == 1) << key;
+        EXPECT_EQ(t.remove(key).ok(), ref.erase(key) == 1) << key;
         break;
       }
     }
@@ -138,7 +138,7 @@ TEST(ArtCow, CrashSweepDuringInserts) {
     ArtCow t2(*arena);
     for (size_t i = 0; i < committed; ++i) {
       std::string v;
-      EXPECT_TRUE(t2.search(keys[i], &v))
+      EXPECT_EQ(t2.search(keys[i], &v), common::Status::kOk)
           << "crash_at=" << crash_at << " key=" << keys[i];
     }
     for (const auto& k : keys) t2.insert(k, "v2");
@@ -173,7 +173,7 @@ TEST(ArtCow, CrashSweepDuringRemoves) {
     ArtCow t2(*arena);
     for (size_t i = 0; i < keys.size(); ++i) {
       std::string v;
-      const bool found = t2.search(keys[i], &v);
+      const bool found = t2.search(keys[i], &v).ok();
       if (i < removed) {
         EXPECT_FALSE(found) << "crash_at=" << crash_at << " " << keys[i];
       } else if (i > removed) {
@@ -190,7 +190,7 @@ TEST(ArtCow, PmBytesBalanceAfterChurn) {
   std::map<std::string, int> keys;
   while (keys.size() < 400) keys[random_key(rng)] = 1;
   for (auto& [k, unused] : keys) t.insert(k, "v");
-  for (auto& [k, unused] : keys) EXPECT_TRUE(t.remove(k));
+  for (auto& [k, unused] : keys) EXPECT_EQ(t.remove(k), common::Status::kOk);
   EXPECT_EQ(t.size(), 0u);
   EXPECT_EQ(arena->stats().pm_live_bytes.load(), 0u);
 }

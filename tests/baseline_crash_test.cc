@@ -71,7 +71,7 @@ TEST_P(BaselineCrash, UpdateSweepIsAtomic) {
     EXPECT_EQ(t2->size(), keys.size());
     for (size_t i = 0; i < keys.size(); ++i) {
       std::string v;
-      ASSERT_TRUE(t2->search(keys[i], &v))
+      ASSERT_EQ(t2->search(keys[i], &v), common::Status::kOk)
           << factory.name << " crash_at=" << crash_at << " " << keys[i];
       if (i < updated)
         EXPECT_EQ(v, "new-value") << factory.name << " " << keys[i];
@@ -108,7 +108,7 @@ TEST_P(BaselineCrash, InsertSweepWithEviction) {
     auto t2 = factory.make(*arena);
     for (size_t i = 0; i < committed; ++i) {
       std::string v;
-      ASSERT_TRUE(t2->search(keys[i], &v))
+      ASSERT_EQ(t2->search(keys[i], &v), common::Status::kOk)
           << factory.name << " crash_at=" << crash_at << " " << keys[i];
       EXPECT_EQ(v, "val");
     }

@@ -35,17 +35,17 @@ std::string random_key(common::Rng& rng, uint32_t max_len = 12) {
 TEST(FpTree, BasicCrud) {
   auto arena = make_arena();
   FpTree t(*arena);
-  EXPECT_TRUE(t.insert("hello", "world"));
-  EXPECT_FALSE(t.insert("hello", "again")) << "duplicate insert updates";
+  EXPECT_EQ(t.insert("hello", "world"), common::Status::kInserted);
+  EXPECT_EQ(t.insert("hello", "again"), common::Status::kUpdated) << "duplicate insert updates";
   std::string v;
-  EXPECT_TRUE(t.search("hello", &v));
+  EXPECT_EQ(t.search("hello", &v), common::Status::kOk);
   EXPECT_EQ(v, "again");
-  EXPECT_TRUE(t.update("hello", "third"));
-  EXPECT_TRUE(t.search("hello", &v));
+  EXPECT_EQ(t.update("hello", "third"), common::Status::kOk);
+  EXPECT_EQ(t.search("hello", &v), common::Status::kOk);
   EXPECT_EQ(v, "third");
-  EXPECT_FALSE(t.update("nothere", "x"));
-  EXPECT_TRUE(t.remove("hello"));
-  EXPECT_FALSE(t.search("hello", &v));
+  EXPECT_EQ(t.update("nothere", "x"), common::Status::kNotFound);
+  EXPECT_EQ(t.remove("hello"), common::Status::kOk);
+  EXPECT_EQ(t.search("hello", &v), common::Status::kNotFound);
   EXPECT_EQ(t.size(), 0u);
 }
 
@@ -54,11 +54,11 @@ TEST(FpTree, SplitsKeepEverythingFindable) {
   FpTree t(*arena);
   // Well past several leaf splits (48 slots per leaf).
   for (int i = 0; i < 1000; ++i)
-    EXPECT_TRUE(t.insert("key" + std::to_string(i), "v" + std::to_string(i)));
+    EXPECT_EQ(t.insert("key" + std::to_string(i), "v" + std::to_string(i)), common::Status::kInserted);
   EXPECT_EQ(t.size(), 1000u);
   for (int i = 0; i < 1000; ++i) {
     std::string v;
-    EXPECT_TRUE(t.search("key" + std::to_string(i), &v)) << i;
+    EXPECT_EQ(t.search("key" + std::to_string(i), &v), common::Status::kOk) << i;
     EXPECT_EQ(v, "v" + std::to_string(i));
   }
 }
@@ -72,10 +72,10 @@ TEST(FpTree, FingerprintCollisionsAreDisambiguated) {
     t.insert("c" + std::to_string(i), "v" + std::to_string(i));
   for (int i = 0; i < 40; ++i) {
     std::string v;
-    ASSERT_TRUE(t.search("c" + std::to_string(i), &v));
+    ASSERT_EQ(t.search("c" + std::to_string(i), &v), common::Status::kOk);
     EXPECT_EQ(v, "v" + std::to_string(i));
   }
-  EXPECT_FALSE(t.search("c40", nullptr));
+  EXPECT_EQ(t.search("c40", nullptr), common::Status::kNotFound);
 }
 
 TEST(FpTree, RangeWalksTheLeafList) {
@@ -111,13 +111,14 @@ TEST(FpTree, DifferentialFuzzAgainstMap) {
     switch (rng.next_below(4)) {
       case 0:
       case 1: {
-        EXPECT_EQ(t.insert(key, val), ref.find(key) == ref.end()) << key;
+        EXPECT_EQ(t.insert(key, val) == common::Status::kInserted,
+                  ref.find(key) == ref.end()) << key;
         ref[key] = val;
         break;
       }
       case 2: {
         std::string v;
-        const bool found = t.search(key, &v);
+        const bool found = t.search(key, &v).ok();
         const auto it = ref.find(key);
         EXPECT_EQ(found, it != ref.end()) << key;
         if (found) {
@@ -126,7 +127,7 @@ TEST(FpTree, DifferentialFuzzAgainstMap) {
         break;
       }
       default:
-        EXPECT_EQ(t.remove(key), ref.erase(key) == 1) << key;
+        EXPECT_EQ(t.remove(key).ok(), ref.erase(key) == 1) << key;
         break;
     }
   }
@@ -149,7 +150,7 @@ TEST(FpTree, RecoveryRebuildsInnerNodes) {
   EXPECT_EQ(t2.size(), ref.size());
   for (const auto& [k, v] : ref) {
     std::string got;
-    ASSERT_TRUE(t2.search(k, &got)) << k;
+    ASSERT_EQ(t2.search(k, &got), common::Status::kOk) << k;
     EXPECT_EQ(got, v);
   }
   // Ordered scan still works after rebuild.
@@ -168,7 +169,7 @@ TEST(FpTree, NoCoalescingKeepsLeavesAllocated) {
   FpTree t(*arena);
   for (int i = 0; i < 500; ++i) t.insert("k" + std::to_string(i), "v");
   const uint64_t pm_full = arena->stats().pm_live_bytes.load();
-  for (int i = 0; i < 500; ++i) EXPECT_TRUE(t.remove("k" + std::to_string(i)));
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(t.remove("k" + std::to_string(i)), common::Status::kOk);
   EXPECT_EQ(t.size(), 0u);
   // The out-of-leaf values are freed, but FPTree never coalesces or frees
   // leaves (paper Section IV.E): leaf bytes stay allocated.
@@ -209,7 +210,7 @@ TEST(FpTree, CrashSweepDuringInsertsAndSplits) {
     EXPECT_EQ(arena->root<uint64_t>()[2], 0u) << "split log must be clear";
     for (size_t i = 0; i < committed; ++i) {
       std::string v;
-      EXPECT_TRUE(t2.search(keys[i], &v))
+      EXPECT_EQ(t2.search(keys[i], &v), common::Status::kOk)
           << "crash_at=" << crash_at << " key=" << keys[i];
       EXPECT_EQ(v, "val");
     }
@@ -221,7 +222,7 @@ TEST(FpTree, CrashSweepDuringInsertsAndSplits) {
     EXPECT_EQ(t2.size(), keys.size());
     for (const auto& k : keys) {
       std::string v;
-      ASSERT_TRUE(t2.search(k, &v)) << k;
+      ASSERT_EQ(t2.search(k, &v), common::Status::kOk) << k;
       EXPECT_EQ(v, "v2");
     }
   }

@@ -25,22 +25,22 @@ testutil::CheckedArena make_arena(size_t mb = 64) {
 TEST(Hart, InsertSearchRoundTrip) {
   auto arena = make_arena();
   Hart h(*arena);
-  EXPECT_TRUE(h.insert("hello", "world"));
+  EXPECT_EQ(h.insert("hello", "world"), common::Status::kInserted);
   std::string v;
-  EXPECT_TRUE(h.search("hello", &v));
+  EXPECT_EQ(h.search("hello", &v), common::Status::kOk);
   EXPECT_EQ(v, "world");
-  EXPECT_FALSE(h.search("hell", &v));
-  EXPECT_FALSE(h.search("hello!", &v));
+  EXPECT_EQ(h.search("hell", &v), common::Status::kNotFound);
+  EXPECT_EQ(h.search("hello!", &v), common::Status::kNotFound);
   EXPECT_EQ(h.size(), 1u);
 }
 
 TEST(Hart, InsertExistingKeyUpdates) {
   auto arena = make_arena();
   Hart h(*arena);
-  EXPECT_TRUE(h.insert("k", "v1"));
-  EXPECT_FALSE(h.insert("k", "v2")) << "Alg.1 line 7-8: update, not insert";
+  EXPECT_EQ(h.insert("k", "v1"), common::Status::kInserted);
+  EXPECT_EQ(h.insert("k", "v2"), common::Status::kUpdated) << "Alg.1 line 7-8: update, not insert";
   std::string v;
-  EXPECT_TRUE(h.search("k", &v));
+  EXPECT_EQ(h.search("k", &v), common::Status::kOk);
   EXPECT_EQ(v, "v2");
   EXPECT_EQ(h.size(), 1u);
 }
@@ -48,9 +48,9 @@ TEST(Hart, InsertExistingKeyUpdates) {
 TEST(Hart, UpdateRequiresExistingKey) {
   auto arena = make_arena();
   Hart h(*arena);
-  EXPECT_FALSE(h.update("missing", "v"));
+  EXPECT_EQ(h.update("missing", "v"), common::Status::kNotFound);
   h.insert("present", "a");
-  EXPECT_TRUE(h.update("present", "b"));
+  EXPECT_EQ(h.update("present", "b"), common::Status::kOk);
   std::string v;
   h.search("present", &v);
   EXPECT_EQ(v, "b");
@@ -60,12 +60,12 @@ TEST(Hart, UpdateAcrossValueSizeClasses) {
   auto arena = make_arena();
   Hart h(*arena);
   h.insert("k", "short");                  // 8-byte class
-  EXPECT_TRUE(h.update("k", "a-much-longer-v"));  // 16-byte class
+  EXPECT_EQ(h.update("k", "a-much-longer-v"), common::Status::kOk);  // 16-byte class
   std::string v;
-  EXPECT_TRUE(h.search("k", &v));
+  EXPECT_EQ(h.search("k", &v), common::Status::kOk);
   EXPECT_EQ(v, "a-much-longer-v");
-  EXPECT_TRUE(h.update("k", "x"));  // back to the 8-byte class
-  EXPECT_TRUE(h.search("k", &v));
+  EXPECT_EQ(h.update("k", "x"), common::Status::kOk);  // back to the 8-byte class
+  EXPECT_EQ(h.search("k", &v), common::Status::kOk);
   EXPECT_EQ(v, "x");
 }
 
@@ -74,13 +74,13 @@ TEST(Hart, RemoveDeletesAndFreesPm) {
   Hart h(*arena);
   h.insert("a", "1");
   h.insert("b", "2");
-  EXPECT_TRUE(h.remove("a"));
-  EXPECT_FALSE(h.remove("a"));
+  EXPECT_EQ(h.remove("a"), common::Status::kOk);
+  EXPECT_EQ(h.remove("a"), common::Status::kNotFound);
   std::string v;
-  EXPECT_FALSE(h.search("a", &v));
-  EXPECT_TRUE(h.search("b", &v));
+  EXPECT_EQ(h.search("a", &v), common::Status::kNotFound);
+  EXPECT_EQ(h.search("b", &v), common::Status::kOk);
   EXPECT_EQ(h.size(), 1u);
-  EXPECT_TRUE(h.remove("b"));
+  EXPECT_EQ(h.remove("b"), common::Status::kOk);
   EXPECT_EQ(h.size(), 0u);
   // Freed slots are retired through EBR and recycled once a grace period
   // has passed; quiesce() drains the limbo lists deterministically.
@@ -91,19 +91,19 @@ TEST(Hart, RemoveDeletesAndFreesPm) {
 TEST(Hart, KeysShorterThanHashPrefix) {
   auto arena = make_arena();
   Hart h(*arena, {.hash_key_len = 2});
-  EXPECT_TRUE(h.insert("a", "1"));
-  EXPECT_TRUE(h.insert("ab", "2"));
-  EXPECT_TRUE(h.insert("abc", "3"));
+  EXPECT_EQ(h.insert("a", "1"), common::Status::kInserted);
+  EXPECT_EQ(h.insert("ab", "2"), common::Status::kInserted);
+  EXPECT_EQ(h.insert("abc", "3"), common::Status::kInserted);
   std::string v;
-  EXPECT_TRUE(h.search("a", &v));
+  EXPECT_EQ(h.search("a", &v), common::Status::kOk);
   EXPECT_EQ(v, "1");
-  EXPECT_TRUE(h.search("ab", &v));
+  EXPECT_EQ(h.search("ab", &v), common::Status::kOk);
   EXPECT_EQ(v, "2");
-  EXPECT_TRUE(h.search("abc", &v));
+  EXPECT_EQ(h.search("abc", &v), common::Status::kOk);
   EXPECT_EQ(v, "3");
-  EXPECT_TRUE(h.remove("ab"));
-  EXPECT_TRUE(h.search("a", &v));
-  EXPECT_TRUE(h.search("abc", &v));
+  EXPECT_EQ(h.remove("ab"), common::Status::kOk);
+  EXPECT_EQ(h.search("a", &v), common::Status::kOk);
+  EXPECT_EQ(h.search("abc", &v), common::Status::kOk);
 }
 
 TEST(Hart, DistinctPrefixesUseDistinctArts) {
@@ -124,7 +124,7 @@ TEST(Hart, HashKeyLenZeroIsSingleArt) {
   h.insert("gamma", "3");
   EXPECT_EQ(h.partition_count(), 1u);
   std::string v;
-  EXPECT_TRUE(h.search("beta", &v));
+  EXPECT_EQ(h.search("beta", &v), common::Status::kOk);
   EXPECT_EQ(v, "2");
 }
 
@@ -185,7 +185,7 @@ TEST(Hart, RecoveryRebuildsIdenticalContents) {
     int n = 0;
     for (auto it = ref.begin(); it != ref.end();) {
       if (++n % 4 == 0) {
-        EXPECT_TRUE(h.remove(it->first));
+        EXPECT_EQ(h.remove(it->first), common::Status::kOk);
         it = ref.erase(it);
       } else {
         ++it;
@@ -197,7 +197,7 @@ TEST(Hart, RecoveryRebuildsIdenticalContents) {
   EXPECT_EQ(h2.size(), ref.size());
   for (const auto& [key, value] : ref) {
     std::string v;
-    EXPECT_TRUE(h2.search(key, &v)) << key;
+    EXPECT_EQ(h2.search(key, &v), common::Status::kOk) << key;
     EXPECT_EQ(v, value) << key;
   }
   // Ordered scan equals the reference map order.
@@ -303,7 +303,7 @@ TEST(Hart, MultiGetAgreesWithSearch) {
   h.multi_get(keys, &vals, &found);
   for (size_t i = 0; i < keys.size(); ++i) {
     std::string v;
-    const bool f = h.search(keys[i], &v);
+    const bool f = h.search(keys[i], &v).ok();
     EXPECT_EQ(f, static_cast<bool>(found[i])) << keys[i];
     if (f) {
       EXPECT_EQ(v, vals[i]);

@@ -41,7 +41,7 @@ TEST(HartConcurrent, ParallelInsertsDisjointPrefixes) {
       // Distinct 2-byte prefix per thread => distinct ART per thread.
       const std::string prefix = std::string(1, 'A' + t) + "x";
       for (int i = 0; i < kPerThread; ++i)
-        ASSERT_TRUE(h.insert(prefix + std::to_string(i), "v"));
+        ASSERT_EQ(h.insert(prefix + std::to_string(i), "v"), common::Status::kInserted);
     });
   }
   for (auto& th : threads) th.join();
@@ -49,7 +49,7 @@ TEST(HartConcurrent, ParallelInsertsDisjointPrefixes) {
   for (int t = 0; t < kThreads; ++t) {
     const std::string prefix = std::string(1, 'A' + t) + "x";
     for (int i = 0; i < kPerThread; i += 97)
-      EXPECT_TRUE(h.search(prefix + std::to_string(i), nullptr));
+      EXPECT_EQ(h.search(prefix + std::to_string(i), nullptr), common::Status::kOk);
   }
 }
 
@@ -73,7 +73,7 @@ TEST(HartConcurrent, ParallelUpsertsSamePrefixSerialize) {
   EXPECT_EQ(h.size(), static_cast<size_t>(kKeys));
   for (int i = 0; i < kKeys; ++i) {
     std::string v;
-    ASSERT_TRUE(h.search("shared" + std::to_string(i), &v));
+    ASSERT_EQ(h.search("shared" + std::to_string(i), &v), common::Status::kOk);
     EXPECT_EQ(v[0], 't') << "value must be one thread's write, not torn";
   }
 }
@@ -93,7 +93,7 @@ TEST(HartConcurrent, ReadersRunDuringWrites) {
       std::string v;
       while (!stop.load(std::memory_order_relaxed)) {
         const auto& k = keys[rng.next_below(keys.size())];
-        if (h.search(k, &v)) {
+        if (h.search(k, &v).ok()) {
           EXPECT_TRUE(v == "stable" || v == "fresh") << v;
           hits.fetch_add(1, std::memory_order_relaxed);
         } else {
@@ -114,7 +114,7 @@ TEST(HartConcurrent, ReadersRunDuringWrites) {
   for (auto& r : readers) r.join();
   EXPECT_GT(hits.load(), 0u);
   EXPECT_EQ(h.size(), keys.size());
-  for (const auto& k : keys) EXPECT_TRUE(h.search(k, nullptr)) << k;
+  for (const auto& k : keys) EXPECT_EQ(h.search(k, nullptr), common::Status::kOk) << k;
 }
 
 TEST(HartConcurrent, FullChurnStressThenValidate) {
@@ -145,7 +145,7 @@ TEST(HartConcurrent, FullChurnStressThenValidate) {
             break;
           }
           case 2: {
-            if (h.update(k, "u" + std::to_string(step % 101)))
+            if (h.update(k, "u" + std::to_string(step % 101)).ok())
               mine[k] = "u" + std::to_string(step % 101);
             break;
           }
@@ -163,7 +163,7 @@ TEST(HartConcurrent, FullChurnStressThenValidate) {
     total += finals[t].size();
     for (const auto& [k, v] : finals[t]) {
       std::string got;
-      ASSERT_TRUE(h.search(k, &got)) << k;
+      ASSERT_EQ(h.search(k, &got), common::Status::kOk) << k;
       EXPECT_EQ(got, v) << k;
     }
   }
@@ -175,7 +175,7 @@ TEST(HartConcurrent, FullChurnStressThenValidate) {
   for (int t = 0; t < kThreads; ++t)
     for (const auto& [k, v] : finals[t]) {
       std::string got;
-      ASSERT_TRUE(h2.search(k, &got)) << k;
+      ASSERT_EQ(h2.search(k, &got), common::Status::kOk) << k;
       EXPECT_EQ(got, v) << k;
     }
 }

@@ -67,7 +67,7 @@ TEST(HartCrash, InsertSweep) {
     EXPECT_LE(h2.size(), committed + 1);
     for (size_t i = 0; i < committed; ++i) {
       std::string v;
-      ASSERT_TRUE(h2.search(keys[i], &v))
+      ASSERT_EQ(h2.search(keys[i], &v), common::Status::kOk)
           << "crash_at=" << crash_at << " key=" << keys[i];
       EXPECT_EQ(v, "val-" + keys[i].substr(0, 4));
     }
@@ -77,7 +77,7 @@ TEST(HartCrash, InsertSweep) {
     EXPECT_EQ(h2.size(), keys.size());
     for (const auto& k : keys) {
       std::string v;
-      ASSERT_TRUE(h2.search(k, &v));
+      ASSERT_EQ(h2.search(k, &v), common::Status::kOk);
       EXPECT_EQ(v, "after");
     }
   }
@@ -106,7 +106,7 @@ TEST(HartCrash, UpdateSweepHonorsLogCases) {
     EXPECT_EQ(h2.size(), keys.size()) << "updates never change the key set";
     for (size_t i = 0; i < keys.size(); ++i) {
       std::string v;
-      ASSERT_TRUE(h2.search(keys[i], &v))
+      ASSERT_EQ(h2.search(keys[i], &v), common::Status::kOk)
           << "crash_at=" << crash_at << " " << keys[i];
       if (i < updated) {
         EXPECT_EQ(v, "new-value-16byte") << "committed update lost";
@@ -144,7 +144,7 @@ TEST(HartCrash, DeleteSweep) {
     }
     Hart h2(*arena);
     for (size_t i = 0; i < keys.size(); ++i) {
-      const bool found = h2.search(keys[i], nullptr);
+      const bool found = h2.search(keys[i], nullptr).ok();
       if (i < removed) {
         EXPECT_FALSE(found) << "crash_at=" << crash_at << " " << keys[i];
       } else if (i > removed) {
@@ -189,7 +189,7 @@ TEST(HartCrash, MixedChurnSweepWithEviction) {
             case 1: {
               pending_key = k;
               pending_value = "u" + std::to_string(step);
-              if (h.update(k, pending_value)) committed[k] = pending_value;
+              if (h.update(k, pending_value).ok()) committed[k] = pending_value;
               break;
             }
             default:
@@ -214,7 +214,7 @@ TEST(HartCrash, MixedChurnSweepWithEviction) {
     // nothing else: never a torn value).
     for (const auto& [k, v] : committed) {
       std::string got;
-      const bool found = h2.search(k, &got);
+      const bool found = h2.search(k, &got).ok();
       if (k == pending_key) {
         if (pending_value.empty()) {  // in-flight delete
           EXPECT_TRUE(!found || got == v) << k;
@@ -264,7 +264,7 @@ TEST(HartCrash, RepeatedCrashesDuringRecovery) {
   EXPECT_EQ(h2.size(), keys.size());
   for (const auto& k : keys) {
     std::string v;
-    ASSERT_TRUE(h2.search(k, &v)) << k;
+    ASSERT_EQ(h2.search(k, &v), common::Status::kOk) << k;
     EXPECT_TRUE(v == "old" || v == "new-value-16byte");
   }
   expect_leak_free(h2, *arena);

@@ -120,7 +120,7 @@ TEST(HartRecovery, ParallelMatchesSequential) {
     for (const auto& [k, v] : ref) {
       if (++probe % 7 != 0) continue;  // sample
       std::string got;
-      ASSERT_TRUE(h2.search(k, &got)) << k << " threads=" << threads;
+      ASSERT_EQ(h2.search(k, &got), common::Status::kOk) << k << " threads=" << threads;
       EXPECT_EQ(got, v);
     }
     // Ordered iteration intact after the parallel rebuild.

@@ -62,7 +62,7 @@ TEST(HartOptimistic, ReadersNeverSeeTornValuesUnderChurn) {
   Hart h(*arena);
   constexpr int kKeys = 512;
   for (int i = 0; i < kKeys; i += 2)
-    ASSERT_TRUE(h.insert(churn_key(i), std::string(8, 'a')));
+    ASSERT_EQ(h.insert(churn_key(i), std::string(8, 'a')), common::Status::kInserted);
 
   const uint64_t retries0 = ctr("art_optimistic_retry_total");
   const uint64_t deferred0 = ctr("ebr_deferred_free_total");
@@ -112,7 +112,7 @@ TEST(HartOptimistic, ReadersNeverSeeTornValuesUnderChurn) {
       std::vector<std::pair<std::string, std::string>> out;
       while (!stop.load(std::memory_order_relaxed)) {
         const int i = static_cast<int>(rng.next_below(kKeys));
-        if (h.search(churn_key(i), &v)) {
+        if (h.search(churn_key(i), &v).ok()) {
           hits.fetch_add(1, std::memory_order_relaxed);
           if (!untorn(v)) torn.fetch_add(1, std::memory_order_relaxed);
         }
@@ -165,7 +165,7 @@ TEST(HartOptimistic, ReadersNeverSeeTornValuesUnderChurn) {
   size_t live = 0;
   for (int i = 0; i < kKeys; ++i) {
     std::string v;
-    if (h.search(churn_key(i), &v)) {
+    if (h.search(churn_key(i), &v).ok()) {
       ++live;
       EXPECT_TRUE(untorn(v));
     }
@@ -221,7 +221,7 @@ TEST(HartOptimistic, RwlockAblationServesSameContract) {
       common::Rng rng(t + 40);
       std::string v;
       for (int n = 0; n < 20000; ++n)
-        if (h.search(churn_key(static_cast<int>(rng.next_below(128))), &v) &&
+        if (h.search(churn_key(static_cast<int>(rng.next_below(128))), &v).ok() &&
             !untorn(v))
           torn.fetch_add(1, std::memory_order_relaxed);
     });

@@ -111,7 +111,7 @@ TEST(HashDirGrowthTest, HartRangeConsistentDuringPrefixGrowth) {
     for (int i = 0; i < kKeys; ++i) {
       const std::string key{static_cast<char>('a' + i / 26),
                             static_cast<char>('a' + i % 26), 'x'};
-      ASSERT_TRUE(h.insert(key, "v"));
+      ASSERT_EQ(h.insert(key, "v"), common::Status::kInserted);
       inserted.store(i + 1, std::memory_order_release);
     }
   });

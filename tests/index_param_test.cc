@@ -57,17 +57,17 @@ class IndexParamTest : public ::testing::TestWithParam<size_t> {
 
 TEST_P(IndexParamTest, EmptyIndexMissesEverything) {
   std::string v;
-  EXPECT_FALSE(index_->search("anything", &v));
-  EXPECT_FALSE(index_->remove("anything"));
-  EXPECT_FALSE(index_->update("anything", "x"));
+  EXPECT_EQ(index_->search("anything", &v), common::Status::kNotFound);
+  EXPECT_EQ(index_->remove("anything"), common::Status::kNotFound);
+  EXPECT_EQ(index_->update("anything", "x"), common::Status::kNotFound);
   EXPECT_EQ(index_->size(), 0u);
 }
 
 TEST_P(IndexParamTest, UpsertContract) {
-  EXPECT_TRUE(index_->insert("k", "v1"));
-  EXPECT_FALSE(index_->insert("k", "v2"));
+  EXPECT_EQ(index_->insert("k", "v1"), common::Status::kInserted);
+  EXPECT_EQ(index_->insert("k", "v2"), common::Status::kUpdated);
   std::string v;
-  ASSERT_TRUE(index_->search("k", &v));
+  ASSERT_EQ(index_->search("k", &v), common::Status::kOk);
   EXPECT_EQ(v, "v2");
   EXPECT_EQ(index_->size(), 1u);
 }
@@ -78,10 +78,10 @@ TEST_P(IndexParamTest, ValueSizeBoundaries) {
       {"a", 1},  {"b", 8},  {"c", 9},  {"d", 16},
       {"e", 17}, {"f", 32}, {"g", 33}, {"h", 64}};
   for (const auto& [k, len] : lens)
-    EXPECT_TRUE(index_->insert(k, std::string(len, 'x' ))) << k;
+    EXPECT_EQ(index_->insert(k, std::string(len, 'x' )), common::Status::kInserted) << k;
   for (const auto& [k, len] : lens) {
     std::string v;
-    ASSERT_TRUE(index_->search(k, &v)) << k;
+    ASSERT_EQ(index_->search(k, &v), common::Status::kOk) << k;
     EXPECT_EQ(v.size(), len) << k;
   }
   EXPECT_EQ(index_->insert("z", std::string(65, 'x')),
@@ -92,11 +92,11 @@ TEST_P(IndexParamTest, ValueSizeBoundaries) {
 TEST_P(IndexParamTest, KeyLengthBoundaries) {
   const std::string k1(1, 'k');
   const std::string k24(24, 'k');
-  EXPECT_TRUE(index_->insert(k1, "v"));
-  EXPECT_TRUE(index_->insert(k24, "v"));
+  EXPECT_EQ(index_->insert(k1, "v"), common::Status::kInserted);
+  EXPECT_EQ(index_->insert(k24, "v"), common::Status::kInserted);
   std::string v;
-  EXPECT_TRUE(index_->search(k1, &v));
-  EXPECT_TRUE(index_->search(k24, &v));
+  EXPECT_EQ(index_->search(k1, &v), common::Status::kOk);
+  EXPECT_EQ(index_->search(k24, &v), common::Status::kOk);
   EXPECT_EQ(index_->insert(std::string(25, 'k'), "v"),
             common::Status::kInvalidArgument);
   EXPECT_EQ(index_->insert("", "v"), common::Status::kInvalidArgument);
@@ -126,14 +126,14 @@ TEST_P(IndexParamTest, InvalidKeysRejectedUniformly) {
 
 TEST_P(IndexParamTest, PrefixKeysAreIndependent) {
   for (const char* k : {"a", "ab", "abc", "abcd", "abcde"})
-    EXPECT_TRUE(index_->insert(k, k));
-  EXPECT_TRUE(index_->remove("abc"));
+    EXPECT_EQ(index_->insert(k, k), common::Status::kInserted);
+  EXPECT_EQ(index_->remove("abc"), common::Status::kOk);
   for (const char* k : {"a", "ab", "abcd", "abcde"}) {
     std::string v;
-    EXPECT_TRUE(index_->search(k, &v)) << k;
+    EXPECT_EQ(index_->search(k, &v), common::Status::kOk) << k;
     EXPECT_EQ(v, k);
   }
-  EXPECT_FALSE(index_->search("abc", nullptr));
+  EXPECT_EQ(index_->search("abc", nullptr), common::Status::kNotFound);
 }
 
 TEST_P(IndexParamTest, RangeScanOrderedWithLimit) {
@@ -161,24 +161,24 @@ TEST_P(IndexParamTest, RangeScanOrderedWithLimit) {
 TEST_P(IndexParamTest, DictionaryWorkloadRoundTrip) {
   const auto words = workload::make_dictionary(3000, 7);
   for (size_t i = 0; i < words.size(); ++i)
-    EXPECT_TRUE(index_->insert(words[i], "w" + std::to_string(i % 100)));
+    EXPECT_EQ(index_->insert(words[i], "w" + std::to_string(i % 100)), common::Status::kInserted);
   EXPECT_EQ(index_->size(), words.size());
   for (size_t i = 0; i < words.size(); ++i) {
     std::string v;
-    ASSERT_TRUE(index_->search(words[i], &v)) << words[i];
+    ASSERT_EQ(index_->search(words[i], &v), common::Status::kOk) << words[i];
     EXPECT_EQ(v, "w" + std::to_string(i % 100));
   }
   // Delete every other word.
   for (size_t i = 0; i < words.size(); i += 2)
-    EXPECT_TRUE(index_->remove(words[i]));
+    EXPECT_EQ(index_->remove(words[i]), common::Status::kOk);
   for (size_t i = 0; i < words.size(); ++i)
-    EXPECT_EQ(index_->search(words[i], nullptr), i % 2 == 1) << words[i];
+    EXPECT_EQ(index_->search(words[i], nullptr).ok(), i % 2 == 1) << words[i];
 }
 
 TEST_P(IndexParamTest, SequentialWorkloadRoundTrip) {
   const auto keys = workload::make_sequential(2000);
-  for (const auto& k : keys) EXPECT_TRUE(index_->insert(k, "v"));
-  for (const auto& k : keys) EXPECT_TRUE(index_->search(k, nullptr));
+  for (const auto& k : keys) EXPECT_EQ(index_->insert(k, "v"), common::Status::kInserted);
+  for (const auto& k : keys) EXPECT_EQ(index_->search(k, nullptr), common::Status::kOk);
   // Sequential keys are dense: the range from the first key returns them
   // in generation order.
   std::vector<std::pair<std::string, std::string>> out;
@@ -200,13 +200,14 @@ TEST_P(IndexParamTest, RandomChurnAgainstReference) {
       case 0:
       case 1:
       case 2: {
-        EXPECT_EQ(index_->insert(k, val), ref.find(k) == ref.end());
+        EXPECT_EQ(index_->insert(k, val) == common::Status::kInserted,
+                  ref.find(k) == ref.end());
         ref[k] = val;
         break;
       }
       case 3: {
         std::string v;
-        const bool found = index_->search(k, &v);
+        const bool found = index_->search(k, &v).ok();
         EXPECT_EQ(found, ref.count(k) == 1);
         if (found) {
           EXPECT_EQ(v, ref[k]);
@@ -214,7 +215,7 @@ TEST_P(IndexParamTest, RandomChurnAgainstReference) {
         break;
       }
       default:
-        EXPECT_EQ(index_->remove(k), ref.erase(k) == 1);
+        EXPECT_EQ(index_->remove(k).ok(), ref.erase(k) == 1);
         break;
     }
   }

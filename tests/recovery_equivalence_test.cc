@@ -80,11 +80,11 @@ TEST_P(RecoveryEquivalence, ReopenMatchesCleanState) {
   EXPECT_EQ(reopened->size(), ref.size());
   for (const auto& [k, v] : ref) {
     std::string got;
-    ASSERT_TRUE(reopened->search(k, &got)) << factory.name << " lost " << k;
+    ASSERT_EQ(reopened->search(k, &got), common::Status::kOk) << factory.name << " lost " << k;
     EXPECT_EQ(got, v) << k;
   }
   for (size_t i = 0; i < keys.size(); i += 3)
-    EXPECT_FALSE(reopened->search(keys[i], nullptr))
+    EXPECT_EQ(reopened->search(keys[i], nullptr), common::Status::kNotFound)
         << factory.name << " resurrected " << keys[i];
 
   // Ordered iteration agrees with the reference map.
@@ -99,9 +99,9 @@ TEST_P(RecoveryEquivalence, ReopenMatchesCleanState) {
   }
 
   // And the reopened index remains writable.
-  EXPECT_TRUE(reopened->insert("zzz-new-key", "fresh"));
+  EXPECT_EQ(reopened->insert("zzz-new-key", "fresh"), common::Status::kInserted);
   std::string v;
-  EXPECT_TRUE(reopened->search("zzz-new-key", &v));
+  EXPECT_EQ(reopened->search("zzz-new-key", &v), common::Status::kOk);
 
   const pmcheck::Report rep = arena.pm_report();
   EXPECT_EQ(rep.total(), 0u) << factory.name << ": " << rep.to_string();

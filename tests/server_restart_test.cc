@@ -91,24 +91,27 @@ TEST(RestartTest, CrashPointMidBatchKeepsAckedWrites) {
   Hartd db(o);
   Client cl(db);
 
-  // Establish some baseline writes, then arm a crash a few persists ahead
-  // while a pipelined burst is in flight.
+  // Establish an acked baseline (each write waited to completion, so its
+  // batch's epoch fence — the durability point under batched metadata
+  // persists — has run), then arm a crash a few persists ahead while a
+  // pipelined burst is in flight.
+  std::set<std::string> acked;
+  for (int i = 0; i < 50; ++i) {
+    const std::string k = "pre-" + std::to_string(i);
+    ASSERT_TRUE(is_acked_write(cl.put(k, "v").status));
+    acked.insert(k);
+  }
   struct Sent {
     uint64_t id;
     std::string key;
   };
   std::vector<Sent> sent;
-  for (int i = 0; i < 50; ++i) {
-    const std::string k = "pre-" + std::to_string(i);
-    sent.push_back({cl.send({OpCode::kPut, k, "v"}), k});
-  }
   db.shard(0).arena().arm_crash_after(40);
   for (int i = 0; i < 200; ++i) {
     const std::string k = "burst-" + std::to_string(i);
     sent.push_back({cl.send({OpCode::kPut, k, "v"}), k});
   }
 
-  std::set<std::string> acked;
   size_t failed = 0;
   for (const auto& s : sent) {
     const Response r = cl.wait(s.id);
@@ -132,7 +135,7 @@ TEST(RestartTest, CrashPointMidBatchKeepsAckedWrites) {
   db.shard(0).hart().recover();
   std::string v;
   for (const auto& key : acked)
-    EXPECT_TRUE(db.shard(0).hart().search(key, &v))
+    EXPECT_EQ(db.shard(0).hart().search(key, &v), common::Status::kOk)
         << "acked write lost: " << key;
 }
 

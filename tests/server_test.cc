@@ -354,28 +354,27 @@ TEST(HartdStats, StatsOpCountsEveryAckedOpExactly) {
 
   // STATS is answered by the dispatcher, not routed to a shard: the op
   // counter must not move, and the payload must carry the right total.
-  const Response st = cli.stats();
-  ASSERT_EQ(st.status, Status::kOk);
+  std::string st;
+  ASSERT_EQ(cli.stats(&st), common::Status::kOk);
   EXPECT_EQ(shard_ops() + db.fastpath_reads(), acked);
-  EXPECT_NE(st.value.find("hartd_fastpath_reads_total 50\n"),
+  EXPECT_NE(st.find("hartd_fastpath_reads_total 50\n"),
             std::string::npos);
-  EXPECT_NE(st.value.find("hartd_ops_total " + std::to_string(acked) + "\n"),
+  EXPECT_NE(st.find("hartd_ops_total " + std::to_string(acked) + "\n"),
             std::string::npos)
-      << st.value.substr(0, 2000);
-  EXPECT_NE(st.value.find("# TYPE hartd_ops_total counter"),
-            std::string::npos);
+      << st.substr(0, 2000);
+  EXPECT_NE(st.find("# TYPE hartd_ops_total counter"), std::string::npos);
   // Per-op latency summaries: every put and get above was timed.
-  EXPECT_NE(st.value.find("hartd_op_latency_ns"), std::string::npos);
-  EXPECT_NE(st.value.find("op=\"insert\""), std::string::npos);
+  EXPECT_NE(st.find("hartd_op_latency_ns"), std::string::npos);
+  EXPECT_NE(st.find("op=\"insert\""), std::string::npos);
 
   // JSON variant parses the same totals and the scrape stays monotonic.
-  const Response js = cli.stats("json");
-  ASSERT_EQ(js.status, Status::kOk);
-  EXPECT_NE(js.value.find("\"hartd_ops_total\":" + std::to_string(acked)),
+  std::string js;
+  ASSERT_EQ(cli.stats(&js, "json"), common::Status::kOk);
+  EXPECT_NE(js.find("\"hartd_ops_total\":" + std::to_string(acked)),
             std::string::npos)
-      << js.value.substr(0, 2000);
-  EXPECT_EQ(js.value.front(), '{');
-  EXPECT_EQ(js.value.back(), '}');
+      << js.substr(0, 2000);
+  EXPECT_EQ(js.front(), '{');
+  EXPECT_EQ(js.back(), '}');
 }
 
 TEST(HartdStats, StatsWorksOverTcpAndAfterMoreWrites) {
@@ -384,17 +383,17 @@ TEST(HartdStats, StatsWorksOverTcpAndAfterMoreWrites) {
   Client cli("127.0.0.1", tcp.port());
   for (int i = 0; i < 64; ++i)
     ASSERT_TRUE(is_acked_write(cli.put("t-" + std::to_string(i), "v").status));
-  const Response a = cli.stats();
-  ASSERT_EQ(a.status, Status::kOk);
-  EXPECT_NE(a.value.find("hartd_ops_total 64\n"), std::string::npos);
+  std::string a;
+  ASSERT_EQ(cli.stats(&a), common::Status::kOk);
+  EXPECT_NE(a.find("hartd_ops_total 64\n"), std::string::npos);
 
   for (int i = 0; i < 36; ++i)
     ASSERT_TRUE(is_acked_write(cli.put("u-" + std::to_string(i), "v").status));
-  const Response b = cli.stats();
-  ASSERT_EQ(b.status, Status::kOk);
-  EXPECT_NE(b.value.find("hartd_ops_total 100\n"), std::string::npos)
+  std::string b;
+  ASSERT_EQ(cli.stats(&b), common::Status::kOk);
+  EXPECT_NE(b.find("hartd_ops_total 100\n"), std::string::npos)
       << "ops total not monotonic across scrapes";
-  EXPECT_NE(b.value.find("hartd_live_keys 100\n"), std::string::npos);
+  EXPECT_NE(b.find("hartd_live_keys 100\n"), std::string::npos);
 }
 
 }  // namespace

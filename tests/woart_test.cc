@@ -36,18 +36,18 @@ std::string random_key(common::Rng& rng, uint32_t max_len = 12,
 TEST(Woart, InsertSearchUpdateRemove) {
   auto arena = make_arena();
   Woart t(*arena);
-  EXPECT_TRUE(t.insert("alpha", "1"));
-  EXPECT_TRUE(t.insert("beta", "2"));
-  EXPECT_FALSE(t.insert("alpha", "1b")) << "duplicate insert updates";
+  EXPECT_EQ(t.insert("alpha", "1"), common::Status::kInserted);
+  EXPECT_EQ(t.insert("beta", "2"), common::Status::kInserted);
+  EXPECT_EQ(t.insert("alpha", "1b"), common::Status::kUpdated) << "duplicate insert updates";
   std::string v;
-  EXPECT_TRUE(t.search("alpha", &v));
+  EXPECT_EQ(t.search("alpha", &v), common::Status::kOk);
   EXPECT_EQ(v, "1b");
-  EXPECT_TRUE(t.update("beta", "2b"));
-  EXPECT_TRUE(t.search("beta", &v));
+  EXPECT_EQ(t.update("beta", "2b"), common::Status::kOk);
+  EXPECT_EQ(t.search("beta", &v), common::Status::kOk);
   EXPECT_EQ(v, "2b");
-  EXPECT_FALSE(t.update("gamma", "x"));
-  EXPECT_TRUE(t.remove("alpha"));
-  EXPECT_FALSE(t.search("alpha", &v));
+  EXPECT_EQ(t.update("gamma", "x"), common::Status::kNotFound);
+  EXPECT_EQ(t.remove("alpha"), common::Status::kOk);
+  EXPECT_EQ(t.search("alpha", &v), common::Status::kNotFound);
   EXPECT_EQ(t.size(), 1u);
 }
 
@@ -58,12 +58,12 @@ TEST(Woart, PrefixKeysAndDeepSplits) {
   for (const std::string& s :
        {std::string("q"), base, base + "a", base + "b",
         std::string(15, 'q') + "Z"})
-    EXPECT_TRUE(t.insert(s, "v"));
+    EXPECT_EQ(t.insert(s, "v"), common::Status::kInserted);
   for (const std::string& s :
        {std::string("q"), base, base + "a", base + "b",
         std::string(15, 'q') + "Z"}) {
     std::string v;
-    EXPECT_TRUE(t.search(s, &v)) << s;
+    EXPECT_EQ(t.search(s, &v), common::Status::kOk) << s;
   }
 }
 
@@ -73,26 +73,26 @@ TEST(Woart, GrowsThroughAllNodeTypes) {
   for (int b = 1; b < 256; ++b) {
     std::string s(1, static_cast<char>(b));
     s += "tail";
-    EXPECT_TRUE(t.insert(s, "v"));
+    EXPECT_EQ(t.insert(s, "v"), common::Status::kInserted);
   }
   EXPECT_EQ(t.size(), 255u);
   for (int b = 1; b < 256; ++b) {
     std::string s(1, static_cast<char>(b));
     s += "tail";
     std::string v;
-    EXPECT_TRUE(t.search(s, &v)) << b;
+    EXPECT_EQ(t.search(s, &v), common::Status::kOk) << b;
   }
   // And shrink back down.
   for (int b = 1; b < 250; ++b) {
     std::string s(1, static_cast<char>(b));
     s += "tail";
-    EXPECT_TRUE(t.remove(s)) << b;
+    EXPECT_EQ(t.remove(s), common::Status::kOk) << b;
   }
   for (int b = 250; b < 256; ++b) {
     std::string s(1, static_cast<char>(b));
     s += "tail";
     std::string v;
-    EXPECT_TRUE(t.search(s, &v)) << b;
+    EXPECT_EQ(t.search(s, &v), common::Status::kOk) << b;
   }
 }
 
@@ -120,14 +120,14 @@ TEST(Woart, DifferentialFuzzAgainstMap) {
     switch (rng.next_below(4)) {
       case 0:
       case 1: {
-        const bool fresh = t.insert(key, val);
+        const bool fresh = t.insert(key, val) == common::Status::kInserted;
         EXPECT_EQ(fresh, ref.find(key) == ref.end()) << key;
         ref[key] = val;
         break;
       }
       case 2: {
         std::string v;
-        const bool found = t.search(key, &v);
+        const bool found = t.search(key, &v).ok();
         const auto it = ref.find(key);
         EXPECT_EQ(found, it != ref.end()) << key;
         if (found) {
@@ -136,7 +136,7 @@ TEST(Woart, DifferentialFuzzAgainstMap) {
         break;
       }
       default: {
-        const bool removed = t.remove(key);
+        const bool removed = t.remove(key).ok();
         EXPECT_EQ(removed, ref.erase(key) == 1) << key;
         break;
       }
@@ -163,7 +163,7 @@ TEST(Woart, PmLiveBytesReturnToZeroAfterDeletingAll) {
     std::map<std::string, int> keys;
     for (int i = 0; i < 800; ++i) keys[random_key(rng)] = 1;
     for (const auto& [k, unused] : keys) t.insert(k, "v");
-    for (const auto& [k, unused] : keys) EXPECT_TRUE(t.remove(k)) << k;
+    for (const auto& [k, unused] : keys) EXPECT_EQ(t.remove(k), common::Status::kOk) << k;
     EXPECT_EQ(t.size(), 0u);
     EXPECT_EQ(arena->stats().pm_live_bytes.load(), 0u);
   }
@@ -206,7 +206,7 @@ TEST(Woart, CrashSweepDuringInserts) {
     Woart t2(*arena);  // constructor recovers
     for (size_t i = 0; i < committed; ++i) {
       std::string v;
-      EXPECT_TRUE(t2.search(keys[i], &v))
+      EXPECT_EQ(t2.search(keys[i], &v), common::Status::kOk)
           << "crash_at=" << crash_at << " key=" << keys[i];
       EXPECT_EQ(v, "val");
     }
@@ -214,7 +214,7 @@ TEST(Woart, CrashSweepDuringInserts) {
     for (const auto& k : keys) t2.insert(k, "val2");
     for (const auto& k : keys) {
       std::string v;
-      EXPECT_TRUE(t2.search(k, &v));
+      EXPECT_EQ(t2.search(k, &v), common::Status::kOk);
       EXPECT_EQ(v, "val2");
     }
     EXPECT_EQ(t2.size(), keys.size());
@@ -248,7 +248,7 @@ TEST(Woart, CrashSweepDuringRemoves) {
     Woart t2(*arena);
     for (size_t i = 0; i < keys.size(); ++i) {
       std::string v;
-      const bool found = t2.search(keys[i], &v);
+      const bool found = t2.search(keys[i], &v).ok();
       if (i < removed) {
         EXPECT_FALSE(found) << "crash_at=" << crash_at << " " << keys[i];
       } else if (i > removed) {

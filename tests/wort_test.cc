@@ -38,15 +38,15 @@ TEST(WortPWordCodec, RoundTripsNibbles) {
 TEST(Wort, BasicCrud) {
   auto arena = make_arena();
   Wort t(*arena);
-  EXPECT_TRUE(t.insert("hello", "world"));
-  EXPECT_FALSE(t.insert("hello", "again"));
+  EXPECT_EQ(t.insert("hello", "world"), common::Status::kInserted);
+  EXPECT_EQ(t.insert("hello", "again"), common::Status::kUpdated);
   std::string v;
-  EXPECT_TRUE(t.search("hello", &v));
+  EXPECT_EQ(t.search("hello", &v), common::Status::kOk);
   EXPECT_EQ(v, "again");
-  EXPECT_TRUE(t.update("hello", "x"));
-  EXPECT_FALSE(t.update("missing", "x"));
-  EXPECT_TRUE(t.remove("hello"));
-  EXPECT_FALSE(t.search("hello", nullptr));
+  EXPECT_EQ(t.update("hello", "x"), common::Status::kOk);
+  EXPECT_EQ(t.update("missing", "x"), common::Status::kNotFound);
+  EXPECT_EQ(t.remove("hello"), common::Status::kOk);
+  EXPECT_EQ(t.search("hello", nullptr), common::Status::kNotFound);
   EXPECT_EQ(t.size(), 0u);
   EXPECT_EQ(arena->stats().pm_live_bytes.load(), 0u);
 }
@@ -55,15 +55,15 @@ TEST(Wort, PrefixKeysCoexist) {
   auto arena = make_arena();
   Wort t(*arena);
   for (const char* k : {"a", "ab", "abc", "abcd"})
-    EXPECT_TRUE(t.insert(k, k));
+    EXPECT_EQ(t.insert(k, k), common::Status::kInserted);
   for (const char* k : {"a", "ab", "abc", "abcd"}) {
     std::string v;
-    EXPECT_TRUE(t.search(k, &v)) << k;
+    EXPECT_EQ(t.search(k, &v), common::Status::kOk) << k;
     EXPECT_EQ(v, k);
   }
-  EXPECT_TRUE(t.remove("ab"));
-  EXPECT_TRUE(t.search("abc", nullptr));
-  EXPECT_TRUE(t.search("a", nullptr));
+  EXPECT_EQ(t.remove("ab"), common::Status::kOk);
+  EXPECT_EQ(t.search("abc", nullptr), common::Status::kOk);
+  EXPECT_EQ(t.search("a", nullptr), common::Status::kOk);
 }
 
 TEST(Wort, LongSharedPrefixBeyondStoredNibbles) {
@@ -72,17 +72,17 @@ TEST(Wort, LongSharedPrefixBeyondStoredNibbles) {
   auto arena = make_arena();
   Wort t(*arena);
   const std::string base(10, 'w');  // 20 nibbles shared
-  EXPECT_TRUE(t.insert(base + "aaa", "1"));
-  EXPECT_TRUE(t.insert(base + "aab", "2"));
-  EXPECT_TRUE(t.insert(base + "zzz", "3"));
-  EXPECT_TRUE(t.insert(std::string(4, 'w') + "Q", "4"));
+  EXPECT_EQ(t.insert(base + "aaa", "1"), common::Status::kInserted);
+  EXPECT_EQ(t.insert(base + "aab", "2"), common::Status::kInserted);
+  EXPECT_EQ(t.insert(base + "zzz", "3"), common::Status::kInserted);
+  EXPECT_EQ(t.insert(std::string(4, 'w') + "Q", "4"), common::Status::kInserted);
   for (const auto& [k, v] : std::map<std::string, std::string>{
            {base + "aaa", "1"},
            {base + "aab", "2"},
            {base + "zzz", "3"},
            {std::string(4, 'w') + "Q", "4"}}) {
     std::string got;
-    ASSERT_TRUE(t.search(k, &got)) << k;
+    ASSERT_EQ(t.search(k, &got), common::Status::kOk) << k;
     EXPECT_EQ(got, v);
   }
 }
@@ -101,13 +101,14 @@ TEST(Wort, DifferentialFuzzAgainstMap) {
     switch (rng.next_below(4)) {
       case 0:
       case 1: {
-        EXPECT_EQ(t.insert(key, val), ref.find(key) == ref.end()) << key;
+        EXPECT_EQ(t.insert(key, val) == common::Status::kInserted,
+                  ref.find(key) == ref.end()) << key;
         ref[key] = val;
         break;
       }
       case 2: {
         std::string v;
-        const bool found = t.search(key, &v);
+        const bool found = t.search(key, &v).ok();
         EXPECT_EQ(found, ref.count(key) == 1) << key;
         if (found) {
           EXPECT_EQ(v, ref[key]);
@@ -115,7 +116,7 @@ TEST(Wort, DifferentialFuzzAgainstMap) {
         break;
       }
       default:
-        EXPECT_EQ(t.remove(key), ref.erase(key) == 1) << key;
+        EXPECT_EQ(t.remove(key).ok(), ref.erase(key) == 1) << key;
         break;
     }
     EXPECT_EQ(t.size(), ref.size());
@@ -168,7 +169,7 @@ TEST(Wort, CrashSweepDuringInserts) {
     Wort t2(*arena);
     for (size_t i = 0; i < committed; ++i) {
       std::string v;
-      ASSERT_TRUE(t2.search(keys[i], &v))
+      ASSERT_EQ(t2.search(keys[i], &v), common::Status::kOk)
           << "crash_at=" << crash_at << " " << keys[i];
       EXPECT_EQ(v, "val");
     }
@@ -190,7 +191,7 @@ TEST(Wort, RecoverRebuildsAllocationMap) {
   EXPECT_EQ(arena->stats().pm_live_bytes.load(), live);
   EXPECT_EQ(t2.size(), keys.size());
   for (size_t i = 0; i < keys.size(); i += 37)
-    EXPECT_TRUE(t2.search(keys[i], nullptr)) << keys[i];
+    EXPECT_EQ(t2.search(keys[i], nullptr), common::Status::kOk) << keys[i];
 }
 
 }  // namespace

@@ -118,14 +118,15 @@ void render(Node* n, double interval_s) {
       return;
     }
   }
-  const Response r = n->client->stats();
-  if (r.status != Status::kOk) {
-    std::printf("scrape failed (%s)\n", hart::server::status_name(r.status));
+  std::string text;
+  const hart::common::Status st = n->client->stats(&text);
+  if (!st.ok()) {
+    std::printf("scrape failed (%s)\n", st.name());
     n->client.reset();  // redial on the next poll
     n->had_prev = false;
     return;
   }
-  const Sample s = parse_prometheus(r.value);
+  const Sample s = parse_prometheus(text);
 
   const double ops = value_of(s, "hartd_ops_total");
   const double rate =

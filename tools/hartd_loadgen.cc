@@ -35,6 +35,7 @@
 #include "common/stopwatch.h"
 #include "obs/trace.h"
 #include "server/client.h"
+#include "server/config.h"
 #include "server/stats.h"
 #include "server/tcp.h"
 #include "workload/mixes.h"
@@ -67,13 +68,9 @@ struct Config {
   std::string stats_out;  // final Prometheus snapshot file
   std::string trace_out;  // chrome://tracing JSON file
   size_t trace_sample = 0;  // client-side: stamp every Nth request
-  // --inproc server knobs
-  size_t shards = 4;
-  size_t batch = 32;
-  std::string arena_dir;
-  size_t arena_mb = 0;
-  hart::pmem::LatencyConfig latency = hart::pmem::LatencyConfig::off();
-  bool defer_latency = true;
+  // --inproc server knobs, parsed by the shared hartd flag matcher
+  // (server/config.h) so loadgen and hartd cannot drift.
+  Hartd::Options server;
 };
 
 void usage(const char* argv0) {
@@ -102,8 +99,10 @@ void usage(const char* argv0) {
       "  --trace-sample N  stamp every Nth request with a trace id; spans\n"
       "                    propagate through the server's stage timeline\n"
       "                    (1 = every request, 0 = off)\n"
-      "  in-process server knobs (--inproc):\n"
-      "  --shards N --batch N --arena-dir D --arena-mb N --latency W/R\n"
+      "  in-process server knobs (--inproc), shared with hartd:\n"
+      "  --shards N --batch N --queue N --arena-dir D --arena-mb N\n"
+      "  --latency W/R --bloom-bits-per-key N --rwlock-reads --check\n"
+      "  --legacy-alloc --alloc-stripes N --eager-meta\n"
       "  --spin-latency    busy-wait injected latency per persist instead\n"
       "                    of banking it and sleeping once per batch\n"
       "  --help            this text\n",
@@ -329,8 +328,8 @@ std::string fetch_stats(const Config& cfg, Hartd* local) {
   if (local != nullptr) return hart::server::stats_prometheus(*local);
   try {
     Client cli(cfg.host, static_cast<uint16_t>(cfg.port));
-    const Response r = cli.stats();
-    if (r.status == Status::kOk) return r.value;
+    std::string text;
+    if (cli.stats(&text).ok()) return text;
   } catch (const std::exception&) {
   }
   return {};
@@ -382,11 +381,11 @@ int verify_acked(const Config& cfg, Hartd* local) {
     // Lost an acked write: dump the server's metrics (recovery duration,
     // replayed keys, per-shard op counts) before failing — the snapshot is
     // the first thing a durability-bug triage needs.
-    const Response st = cli->stats();
-    if (st.status == Status::kOk)
+    std::string st;
+    if (cli->stats(&st).ok())
       std::fprintf(stderr,
                    "loadgen: server stats at verification failure:\n%s",
-                   st.value.c_str());
+                   st.c_str());
   }
   return missing + wrong == 0 ? 0 : 1;
 }
@@ -396,6 +395,19 @@ int verify_acked(const Config& cfg, Hartd* local) {
 int main(int argc, char** argv) {
   Config cfg;
   for (int i = 1; i < argc; ++i) {
+    {
+      std::string err;
+      switch (hart::server::parse_server_flag(argc, argv, &i, &cfg.server,
+                                              &err)) {
+        case hart::server::FlagParse::kOk:
+          continue;
+        case hart::server::FlagParse::kError:
+          std::fprintf(stderr, "loadgen: %s\n", err.c_str());
+          return 2;
+        case hart::server::FlagParse::kNoMatch:
+          break;
+      }
+    }
     const std::string a = argv[i];
     auto need = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -453,27 +465,6 @@ int main(int argc, char** argv) {
       cfg.trace_out = need("--trace-out");
     } else if (a == "--trace-sample") {
       cfg.trace_sample = std::strtoull(need("--trace-sample"), nullptr, 10);
-    } else if (a == "--shards") {
-      cfg.shards = std::strtoull(need("--shards"), nullptr, 10);
-    } else if (a == "--batch") {
-      cfg.batch = std::strtoull(need("--batch"), nullptr, 10);
-    } else if (a == "--arena-dir") {
-      cfg.arena_dir = need("--arena-dir");
-    } else if (a == "--arena-mb") {
-      cfg.arena_mb = std::strtoull(need("--arena-mb"), nullptr, 10);
-    } else if (a == "--latency") {
-      const std::string v = need("--latency");
-      const size_t slash = v.find('/');
-      if (slash == std::string::npos) {
-        std::fprintf(stderr, "loadgen: --latency wants W/R (e.g. 300/100)\n");
-        return 2;
-      }
-      cfg.latency.pm_write_ns =
-          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
-      cfg.latency.pm_read_ns = static_cast<uint32_t>(
-          std::strtoul(v.c_str() + slash + 1, nullptr, 10));
-    } else if (a == "--spin-latency") {
-      cfg.defer_latency = false;
     } else {
       std::fprintf(stderr, "loadgen: unknown flag '%s' (--help)\n",
                    a.c_str());
@@ -500,31 +491,22 @@ int main(int argc, char** argv) {
   if (!cfg.trace_out.empty()) hart::obs::Tracer::instance().enable();
 
   std::unique_ptr<Hartd> local;
-  if (cfg.inproc) {
-    Hartd::Options o;
-    o.shards = cfg.shards;
-    o.batch_size = cfg.batch;
-    o.arena_dir = cfg.arena_dir;
-    o.arena_mb = cfg.arena_mb;
-    o.latency = cfg.latency;
-    o.defer_latency = cfg.defer_latency;
-    local = std::make_unique<Hartd>(o);
-  }
+  if (cfg.inproc) local = std::make_unique<Hartd>(cfg.server);
 
   if (cfg.promote) {
     // Failover driver: tell the (former follower) server to take over.
     try {
       Client cli(cfg.host, static_cast<uint16_t>(cfg.port));
-      const Response r = cli.promote();
-      std::printf("loadgen: promote: %s\n",
-                  hart::server::status_name(r.status));
+      std::string positions;
+      const hart::common::Status s = cli.promote(&positions);
+      std::printf("loadgen: promote: %s\n", s.name());
       std::vector<hart::server::ReplPosition> pos;
-      if (hart::server::decode_repl_positions(r.value, &pos))
+      if (hart::server::decode_repl_positions(positions, &pos))
         for (const auto& p : pos)
           std::printf("  stream %u applied seq %llu (epoch %llu)\n", p.stream,
                       static_cast<unsigned long long>(p.seq),
                       static_cast<unsigned long long>(p.epoch));
-      return r.status == Status::kOk ? 0 : 1;
+      return s.ok() ? 0 : 1;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "loadgen: promote failed: %s\n", e.what());
       return 1;

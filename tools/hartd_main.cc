@@ -3,15 +3,18 @@
 // graceful shutdown (drain queues, quiesce shards, sync arenas). With
 // --arena-dir, a restart after a crash recovers every shard and loses no
 // acked write. See README.md "hartd quickstart".
+//
+// All flag parsing and validation lives in server/config.{h,cc}
+// (hartd::Config) — this file is only the process scaffolding: signals,
+// the listener, the tick loop, and shutdown reporting.
 #include <csignal>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <thread>
 
 #include "obs/trace.h"
 #include "server/client.h"
+#include "server/config.h"
 #include "server/stats.h"
 #include "server/tcp.h"
 
@@ -20,165 +23,29 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 void on_signal(int) { g_stop = 1; }
 
-void usage(const char* argv0) {
-  std::printf(
-      "usage: %s [options]\n"
-      "  --port N        TCP port on 127.0.0.1 (0 = ephemeral; default 7677)\n"
-      "  --port-file P   write the bound port to file P (for scripts)\n"
-      "  --shards N      number of HART shards               (default 4)\n"
-      "  --batch N       max requests per group-commit batch (default 32)\n"
-      "  --queue N       per-shard submission queue capacity (default 4096)\n"
-      "  --arena-dir D   file-backed shard arenas in D (relative paths\n"
-      "                  resolve under $HART_ARENA_DIR); omit = in-memory\n"
-      "  --arena-mb N    per-shard arena MiB (default $HART_ARENA_MB or 256)\n"
-      "  --latency W/R   PM write/read latency ns (e.g. 300/100; default off)\n"
-      "  --spin-latency  busy-wait injected latency inside each persist\n"
-      "                  (default: bank it, pay per batch with a sleep)\n"
-      "  --bloom-bits-per-key N  per-shard counting Bloom filter in front\n"
-      "                  of the Hart: the dispatcher answers definitively-\n"
-      "                  absent GET/MGET keys without touching the shard\n"
-      "                  (10 is reasonable, ~0.8%% false positives; 0 = off)\n"
-      "  --rwlock-reads  ablation: the paper's shared-lock read path\n"
-      "                  instead of lock-free optimistic reads (GETs then\n"
-      "                  queue behind shard writes again)\n"
-      "  --check         enable PMCheck on every shard arena\n"
-      "  --follow        start as a replication follower: client writes are\n"
-      "                  rejected (not-primary), REPL_BATCH streams apply,\n"
-      "                  reads serve stale-tolerant; PROMOTE flips to primary\n"
-      "  --replicate-to L  ship every durable batch to followers, L =\n"
-      "                  host:port[,host:port...]\n"
-      "  --ack-policy P  local: ack writes after the local fence (default)\n"
-      "                  quorum: ack only after a majority of followers\n"
-      "                  confirmed the batch's fence\n"
-      "  --repl-log N    per-stream replication log retention, in wire\n"
-      "                  batches (default 4096)\n"
-      "  --repl-window N max unconfirmed wire batches per follower link\n"
-      "                  (default 64)\n"
-      "  --stats-dump N  print a Prometheus-text metrics snapshot to stdout\n"
-      "                  every N seconds (and once at shutdown)\n"
-      "  --trace-out F   record a trace of batches/fences/recovery and\n"
-      "                  write chrome://tracing JSON to F at shutdown\n"
-      "  --trace-sample N  dispatcher-side request tracing: stamp every Nth\n"
-      "                  unsampled KV request with a trace id (1 = all,\n"
-      "                  0 = off); spans land in the --trace-out timeline\n"
-      "  --slow-op-us N  structured slow-op log: any request whose stage\n"
-      "                  breakdown exceeds N microseconds logs to stderr\n"
-      "                  and bumps hartd_slow_ops_total (0 = off)\n"
-      "  --help          this text\n",
-      argv0);
-}
-
-bool parse_latency(const std::string& s, hart::pmem::LatencyConfig* lat) {
-  const size_t slash = s.find('/');
-  if (slash == std::string::npos) return false;
-  lat->pm_write_ns = static_cast<uint32_t>(std::strtoul(s.c_str(), nullptr, 10));
-  lat->pm_read_ns =
-      static_cast<uint32_t>(std::strtoul(s.c_str() + slash + 1, nullptr, 10));
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
+  using hart::server::Config;
   using hart::server::Hartd;
-  Hartd::Options opts;
-  long port = 7677;
-  std::string port_file;
-  std::string trace_out;
-  long stats_dump_secs = 0;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto need = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "hartd: %s needs a value\n", flag);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (a == "--help" || a == "-h") {
-      usage(argv[0]);
-      return 0;
-    } else if (a == "--port") {
-      port = std::strtol(need("--port"), nullptr, 10);
-    } else if (a == "--port-file") {
-      port_file = need("--port-file");
-    } else if (a == "--shards") {
-      opts.shards = std::strtoull(need("--shards"), nullptr, 10);
-    } else if (a == "--batch") {
-      opts.batch_size = std::strtoull(need("--batch"), nullptr, 10);
-    } else if (a == "--queue") {
-      opts.queue_capacity = std::strtoull(need("--queue"), nullptr, 10);
-    } else if (a == "--arena-dir") {
-      opts.arena_dir = need("--arena-dir");
-    } else if (a == "--arena-mb") {
-      opts.arena_mb = std::strtoull(need("--arena-mb"), nullptr, 10);
-    } else if (a == "--latency") {
-      if (!parse_latency(need("--latency"), &opts.latency)) {
-        std::fprintf(stderr, "hartd: --latency wants W/R, e.g. 300/100\n");
-        return 2;
-      }
-    } else if (a == "--spin-latency") {
-      opts.defer_latency = false;
-    } else if (a == "--bloom-bits-per-key") {
-      opts.bloom_bits_per_key =
-          std::strtoull(need("--bloom-bits-per-key"), nullptr, 10);
-    } else if (a == "--rwlock-reads") {
-      opts.hart.rwlock_reads = true;
-    } else if (a == "--check") {
-      opts.check = true;
-    } else if (a == "--follow") {
-      opts.follow = true;
-    } else if (a == "--replicate-to") {
-      std::string list = need("--replicate-to");
-      size_t start = 0;
-      while (start <= list.size()) {
-        const size_t comma = list.find(',', start);
-        const std::string one =
-            list.substr(start, comma == std::string::npos ? std::string::npos
-                                                          : comma - start);
-        if (!one.empty()) opts.replicate_to.push_back(one);
-        if (comma == std::string::npos) break;
-        start = comma + 1;
-      }
-      if (opts.replicate_to.empty()) {
-        std::fprintf(stderr, "hartd: --replicate-to wants host:port[,...]\n");
-        return 2;
-      }
-    } else if (a == "--ack-policy") {
-      const std::string p = need("--ack-policy");
-      if (p == "local") {
-        opts.ack_policy = hart::repl::AckPolicy::kLocal;
-      } else if (p == "quorum") {
-        opts.ack_policy = hart::repl::AckPolicy::kQuorum;
-      } else {
-        std::fprintf(stderr, "hartd: --ack-policy wants local|quorum\n");
-        return 2;
-      }
-    } else if (a == "--repl-log") {
-      opts.repl_log_batches = std::strtoull(need("--repl-log"), nullptr, 10);
-    } else if (a == "--repl-window") {
-      opts.repl_window = std::strtoull(need("--repl-window"), nullptr, 10);
-    } else if (a == "--stats-dump") {
-      stats_dump_secs = std::strtol(need("--stats-dump"), nullptr, 10);
-    } else if (a == "--trace-out") {
-      trace_out = need("--trace-out");
-    } else if (a == "--trace-sample") {
-      opts.trace_sample = std::strtoull(need("--trace-sample"), nullptr, 10);
-    } else if (a == "--slow-op-us") {
-      opts.slow_op_us = std::strtoull(need("--slow-op-us"), nullptr, 10);
-    } else {
-      std::fprintf(stderr, "hartd: unknown flag '%s' (--help)\n", a.c_str());
+  Config cfg;
+  std::string err;
+  if (!hart::server::parse_config(argc, argv, &cfg, &err)) {
+    std::fprintf(stderr, "hartd: %s\n", err.c_str());
+    return 2;
+  }
+  if (cfg.show_help) {
+    std::fputs(hart::server::usage_text(argv[0]).c_str(), stdout);
+    return 0;
+  }
+  if (cfg.print_config) {
+    if (!hart::server::validate_config(cfg, &err)) {
+      std::fprintf(stderr, "hartd: %s\n", err.c_str());
       return 2;
     }
-  }
-
-  if (opts.ack_policy == hart::repl::AckPolicy::kQuorum &&
-      opts.replicate_to.empty()) {
-    std::fprintf(stderr,
-                 "hartd: --ack-policy quorum needs --replicate-to; acks "
-                 "would otherwise never release\n");
-    return 2;
+    std::fputs(hart::server::dump_config(cfg).c_str(), stdout);
+    return 0;
   }
 
   std::signal(SIGINT, on_signal);
@@ -187,32 +54,36 @@ int main(int argc, char** argv) {
 
   // Arm the tracer before the Hartd constructor so shard recovery shows
   // up in the timeline.
-  if (!trace_out.empty()) hart::obs::Tracer::instance().enable();
+  if (!cfg.trace_out.empty()) hart::obs::Tracer::instance().enable();
 
   try {
-    Hartd db(opts);
+    Hartd db(cfg.service);
     const bool recovered = db.reopened();
-    hart::server::TcpServer tcp(db, static_cast<uint16_t>(port));
+    hart::server::TcpServer tcp(db, static_cast<uint16_t>(cfg.port));
 
-    if (!port_file.empty()) {
-      if (FILE* f = std::fopen(port_file.c_str(), "w"); f != nullptr) {
+    if (!cfg.port_file.empty()) {
+      if (FILE* f = std::fopen(cfg.port_file.c_str(), "w"); f != nullptr) {
         std::fprintf(f, "%u\n", tcp.port());
         std::fclose(f);
       }
     }
-    std::printf("hartd: listening on 127.0.0.1:%u — %zu shard(s), batch %zu%s%s\n",
-                tcp.port(), db.shard_count(), opts.batch_size,
-                opts.arena_dir.empty() ? ", in-memory arenas" : ", file-backed",
-                recovered ? " (recovered existing shards)" : "");
+    std::printf(
+        "hartd: listening on 127.0.0.1:%u — %zu shard(s), batch %zu%s%s\n",
+        tcp.port(), db.shard_count(), cfg.service.batch_size,
+        cfg.service.arena_dir.empty() ? ", in-memory arenas" : ", file-backed",
+        recovered ? " (recovered existing shards)" : "");
+    std::printf("hartd: allocator %s, %zu stripe(s) per shard\n",
+                db.shard(0).hart().allocator().kind_name(),
+                db.shard(0).hart().allocator().stripe_count());
     std::printf("hartd: role %s%s%s\n", hart::repl::role_name(db.role()),
-                opts.replicate_to.empty()
+                cfg.service.replicate_to.empty()
                     ? ""
                     : (std::string(", replicating to ") +
-                       std::to_string(opts.replicate_to.size()) +
+                       std::to_string(cfg.service.replicate_to.size()) +
                        " follower(s), ack-policy " +
-                       hart::repl::ack_policy_name(opts.ack_policy))
+                       hart::repl::ack_policy_name(cfg.service.ack_policy))
                           .c_str(),
-                opts.follow ? " (PROMOTE to take over)" : "");
+                cfg.service.follow ? " (PROMOTE to take over)" : "");
     if (recovered)
       std::printf("hartd: %zu keys recovered across shards\n",
                   db.total_size());
@@ -221,7 +92,7 @@ int main(int argc, char** argv) {
     long ticks = 0;
     while (g_stop == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
-      if (stats_dump_secs > 0 && ++ticks >= stats_dump_secs * 20) {
+      if (cfg.stats_dump_secs > 0 && ++ticks >= cfg.stats_dump_secs * 20) {
         ticks = 0;
         std::printf("# hartd stats dump\n%s# end stats dump\n",
                     hart::server::stats_prometheus(db).c_str());
@@ -231,19 +102,19 @@ int main(int argc, char** argv) {
 
     std::printf("hartd: shutting down (drain + quiesce)\n");
     tcp.stop();
-    if (stats_dump_secs > 0) {
+    if (cfg.stats_dump_secs > 0) {
       std::printf("# hartd stats dump (final)\n%s# end stats dump\n",
                   hart::server::stats_prometheus(db).c_str());
       std::fflush(stdout);
     }
     db.shutdown();
-    if (!trace_out.empty()) {
-      if (hart::obs::Tracer::instance().write_chrome_json(trace_out))
+    if (!cfg.trace_out.empty()) {
+      if (hart::obs::Tracer::instance().write_chrome_json(cfg.trace_out))
         std::printf("hartd: trace written to %s (load in chrome://tracing)\n",
-                    trace_out.c_str());
+                    cfg.trace_out.c_str());
       else
         std::fprintf(stderr, "hartd: cannot write trace to %s\n",
-                     trace_out.c_str());
+                     cfg.trace_out.c_str());
     }
     uint64_t ops = 0, batches = 0, epochs = 0;
     for (size_t i = 0; i < db.shard_count(); ++i) {
